@@ -1,0 +1,101 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! index-masked traversal, early-terminated core counting, and the
+//! dense-box treatment across density regimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdbscan::{fdbscan_densebox, fdbscan_with, FdbscanOptions, Params};
+use fdbscan_data::{blobs, Dataset2};
+use fdbscan_device::Device;
+
+fn bench_mask(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let points = Dataset2::RoadNetwork.generate(8192, 42);
+    let params = Params::new(0.08, 100);
+    let mut group = c.benchmark_group("ablation-mask");
+    group.sample_size(10);
+    for (name, masked) in [("masked", true), ("unmasked", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                fdbscan_with(
+                    &device,
+                    &points,
+                    params,
+                    FdbscanOptions { masked_traversal: masked, early_termination: true, star: false },
+                )
+                .map(|(c, _)| c.num_clusters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_early_termination(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let points = Dataset2::PortoTaxi.generate(8192, 42);
+    let params = Params::new(0.01, 50);
+    let mut group = c.benchmark_group("ablation-earlyterm");
+    group.sample_size(10);
+    for (name, early) in [("early-term", true), ("full-count", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                fdbscan_with(
+                    &device,
+                    &points,
+                    params,
+                    FdbscanOptions { masked_traversal: true, early_termination: early, star: false },
+                )
+                .map(|(c, _)| c.num_clusters)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_densebox_regimes(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let mut group = c.benchmark_group("ablation-densebox");
+    group.sample_size(10);
+    for spread in [0.002f32, 0.05, 0.2] {
+        let points = blobs::<2>(8192, 10, spread, 1.0, 0.05, 42);
+        let params = Params::new(0.02, 20);
+        group.bench_with_input(
+            BenchmarkId::new("fdbscan", format!("{spread}")),
+            &points,
+            |b, points| {
+                b.iter(|| fdbscan::fdbscan(&device, points, params).map(|(c, _)| c.num_clusters))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fdbscan-densebox", format!("{spread}")),
+            &points,
+            |b, points| {
+                b.iter(|| fdbscan_densebox(&device, points, params).map(|(c, _)| c.num_clusters))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_index_choice(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let points = Dataset2::PortoTaxi.generate(8192, 42);
+    let params = Params::new(0.01, 50);
+    let mut group = c.benchmark_group("ablation-index");
+    group.sample_size(10);
+    group.bench_function("bvh", |b| {
+        b.iter(|| fdbscan::fdbscan(&device, &points, params).map(|(c, _)| c.num_clusters))
+    });
+    group.bench_function("kdtree", |b| {
+        b.iter(|| fdbscan::fdbscan_kdtree(&device, &points, params).map(|(c, _)| c.num_clusters))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mask,
+    bench_early_termination,
+    bench_densebox_regimes,
+    bench_index_choice
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 4(d)(e)(f): time vs eps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdbscan::Params;
+use fdbscan_bench::{fig4_eps_config, Algo};
+use fdbscan_data::Dataset2;
+use fdbscan_device::Device;
+
+fn bench(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let n = 4096;
+    for kind in Dataset2::ALL {
+        let (minpts, eps_values) = fig4_eps_config(kind);
+        let points = kind.generate(n, 42);
+        let mut group = c.benchmark_group(format!("fig4-eps/{}", kind.name()));
+        group.sample_size(10);
+        for &eps in &[eps_values[0], eps_values[2], *eps_values.last().unwrap()] {
+            for algo in Algo::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), format!("{eps}")),
+                    &eps,
+                    |b, &eps| {
+                        b.iter(|| {
+                            algo.run2(&device, &points, Params::new(eps, minpts))
+                                .map(|(c, _)| c.num_clusters)
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Fig. 4(a)(b)(c): time vs minpts, four algorithms,
+//! three datasets. Reduced n (4096) keeps the full grid tractable; the
+//! `figures` binary runs the paper-size version.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdbscan::Params;
+use fdbscan_bench::{fig4_minpts_config, Algo};
+use fdbscan_data::Dataset2;
+use fdbscan_device::Device;
+
+fn bench(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let n = 4096;
+    for kind in Dataset2::ALL {
+        let (eps, minpts_values) = fig4_minpts_config(kind);
+        let points = kind.generate(n, 42);
+        let mut group = c.benchmark_group(format!("fig4-minpts/{}", kind.name()));
+        group.sample_size(10);
+        for &minpts in &[minpts_values[0], minpts_values[2], *minpts_values.last().unwrap()] {
+            for algo in Algo::ALL {
+                group.bench_with_input(
+                    BenchmarkId::new(algo.name(), minpts),
+                    &minpts,
+                    |b, &minpts| {
+                        b.iter(|| {
+                            algo.run2(&device, &points, Params::new(eps, minpts))
+                                .map(|(c, _)| c.num_clusters)
+                        })
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 4(g)(h)(i): time vs number of samples
+//! (log-log in the paper). G-DBSCAN's OOM points appear as instant
+//! (failed) runs under the scaled memory budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fdbscan::Params;
+use fdbscan_bench::{fig4_scaling_config, Algo, SCALING_MEMORY_BUDGET};
+use fdbscan_data::{subsample, Dataset2};
+use fdbscan_device::{Device, DeviceConfig};
+
+fn bench(c: &mut Criterion) {
+    let device = Device::new(DeviceConfig::default().with_memory_budget(SCALING_MEMORY_BUDGET));
+    for kind in Dataset2::ALL {
+        let (minpts, eps) = fig4_scaling_config(kind);
+        let full = kind.generate(16_384, 42);
+        let mut group = c.benchmark_group(format!("fig4-scaling/{}", kind.name()));
+        group.sample_size(10);
+        for n in [1024usize, 4096, 16_384] {
+            let points = subsample(&full, n, 42 ^ n as u64);
+            group.throughput(Throughput::Elements(n as u64));
+            for algo in Algo::ALL {
+                group.bench_with_input(BenchmarkId::new(algo.name(), n), &points, |b, points| {
+                    b.iter(|| {
+                        algo.run2(&device, points, Params::new(eps, minpts))
+                            .map(|(c, _)| c.num_clusters)
+                            .ok()
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 6: 3-D cosmology, time vs minpts at the
+//! (density-scaled) physics eps, FDBSCAN vs FDBSCAN-DenseBox.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdbscan::Params;
+use fdbscan_bench::{fig6_minpts_values, scaled_cosmo_eps, Algo};
+use fdbscan_data::cosmology::default_snapshot;
+use fdbscan_device::Device;
+
+fn bench(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let n = 30_000;
+    let eps = scaled_cosmo_eps(n);
+    let points = default_snapshot(n, 42);
+    let mut group = c.benchmark_group("fig6-minpts-3d");
+    group.sample_size(10);
+    for minpts in fig6_minpts_values() {
+        for algo in Algo::TREE {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), minpts),
+                &minpts,
+                |b, &minpts| {
+                    b.iter(|| {
+                        algo.run3(&device, &points, Params::new(eps, minpts))
+                            .map(|(c, _)| c.num_clusters)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Fig. 7: 3-D cosmology, time vs eps at minpts = 5.
+//! The dense-cell advantage grows with eps (16x at the paper's largest).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdbscan::Params;
+use fdbscan_bench::{fig7_eps_values, Algo};
+use fdbscan_data::cosmology::default_snapshot;
+use fdbscan_device::Device;
+
+fn bench(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let n = 30_000;
+    let points = default_snapshot(n, 42);
+    let mut group = c.benchmark_group("fig7-eps-3d");
+    group.sample_size(10);
+    let eps_values = fig7_eps_values(n);
+    // First, middle and last of the sweep.
+    for &eps in &[eps_values[0], eps_values[2], *eps_values.last().unwrap()] {
+        for algo in Algo::TREE {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), format!("{eps:.3}")),
+                &eps,
+                |b, &eps| {
+                    b.iter(|| {
+                        algo.run3(&device, &points, Params::new(eps, 5))
+                            .map(|(c, _)| c.num_clusters)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Substrate micro-benchmarks: the building blocks whose throughput the
+//! tree algorithms inherit (BVH construction, radius queries, radix
+//! sort, union-find).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fdbscan_bvh::Bvh;
+use fdbscan_data::Dataset2;
+use fdbscan_device::Device;
+use fdbscan_geom::Aabb;
+use fdbscan_unionfind::AtomicLabels;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::ops::ControlFlow;
+
+fn bench_bvh_build(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let mut group = c.benchmark_group("substrate/bvh-build");
+    group.sample_size(10);
+    for n in [4096usize, 16_384, 65_536] {
+        let points = Dataset2::PortoTaxi.generate(n, 1);
+        let bounds: Vec<Aabb<2>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bounds, |b, bounds| {
+            b.iter(|| Bvh::build(&device, bounds).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bvh_query(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let n = 16_384;
+    let points = Dataset2::PortoTaxi.generate(n, 1);
+    let bounds: Vec<Aabb<2>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
+    let bvh = Bvh::build(&device, &bounds);
+    let mut group = c.benchmark_group("substrate/bvh-query");
+    group.sample_size(10);
+    for eps in [0.001f32, 0.01, 0.05] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for p in points.iter().step_by(16) {
+                    bvh.for_each_in_radius(p, eps, 0, |_, _| {
+                        total += 1;
+                        ControlFlow::Continue(())
+                    });
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let mut group = c.benchmark_group("substrate/radix-sort");
+    group.sample_size(10);
+    for n in [16_384usize, 262_144] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &keys, |b, keys| {
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut v: Vec<u32> = (0..n as u32).collect();
+                fdbscan_psort::sort_pairs(&device, &mut k, &mut v);
+                k[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let n = 100_000u32;
+    let mut rng = StdRng::seed_from_u64(5);
+    let edges: Vec<(u32, u32)> =
+        (0..200_000).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let mut group = c.benchmark_group("substrate/union-find");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("union+flatten", |b| {
+        b.iter(|| {
+            let labels = AtomicLabels::new(n as usize);
+            let labels_ref = &labels;
+            let edges_ref = &edges;
+            device.launch(edges.len(), |e| {
+                let (x, y) = edges_ref[e];
+                labels_ref.union(x, y);
+            });
+            labels.flatten(&device);
+            labels.count_sets()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bvh_build,
+    bench_bvh_query,
+    bench_radix_sort,
+    bench_union_find
+);
+criterion_main!(benches);

@@ -1,0 +1,404 @@
+//! Regenerates every figure of the paper's evaluation section as text
+//! tables.
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin figures -- all
+//! cargo run --release -p fdbscan-bench --bin figures -- fig4-minpts --n 16384
+//! cargo run --release -p fdbscan-bench --bin figures -- fig6 --cosmo-n 200000
+//! ```
+//!
+//! Modes: `fig4-minpts`, `fig4-eps`, `fig4-scaling`, `fig6`, `fig7`,
+//! `claims`, `memory`, `ablations`, `all`.
+
+use fdbscan::{
+    fdbscan, fdbscan_auto, fdbscan_densebox, fdbscan_kdtree, fdbscan_with, AutoChoice,
+    FdbscanOptions, Params,
+};
+use fdbscan_bench::{
+    cell, fig4_eps_config, fig4_minpts_config, fig4_scaling_config, fig6_minpts_values,
+    fig7_eps_values, scaled_cosmo_eps, Algo, SCALING_MEMORY_BUDGET,
+};
+use fdbscan_data::cosmology::default_snapshot;
+use fdbscan_data::{blobs, Dataset2};
+use fdbscan_device::{Device, DeviceConfig};
+
+struct Options {
+    n: usize,
+    cosmo_n: usize,
+    max_scaling_n: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self { n: 16_384, cosmo_n: 200_000, max_scaling_n: 32_768, seed: 42 }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("all").to_string();
+    let mut options = Options::default();
+    let mut it = args.iter().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().and_then(|v| v.parse::<usize>().ok());
+        match flag.as_str() {
+            "--n" => options.n = value().expect("--n requires a number"),
+            "--cosmo-n" => options.cosmo_n = value().expect("--cosmo-n requires a number"),
+            "--max-scaling-n" => {
+                options.max_scaling_n = value().expect("--max-scaling-n requires a number")
+            }
+            "--seed" => options.seed = value().expect("--seed requires a number") as u64,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    match mode.as_str() {
+        "fig4-minpts" => fig4_minpts(&options),
+        "fig4-eps" => fig4_eps(&options),
+        "fig4-scaling" => fig4_scaling(&options),
+        "fig6" => fig6(&options),
+        "fig7" => fig7(&options),
+        "claims" => claims(&options),
+        "memory" => memory(&options),
+        "ablations" => ablations(&options),
+        "all" => {
+            fig4_minpts(&options);
+            fig4_eps(&options);
+            fig4_scaling(&options);
+            fig6(&options);
+            fig7(&options);
+            claims(&options);
+            memory(&options);
+            ablations(&options);
+        }
+        other => {
+            eprintln!("unknown mode {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn header(title: &str) {
+    println!("\n## {title}\n");
+}
+
+fn algo_columns() -> String {
+    Algo::ALL.iter().map(|a| format!("{:>18}", a.name())).collect()
+}
+
+/// Fig. 4(a)(b)(c): time vs minpts, all four algorithms, three datasets.
+fn fig4_minpts(options: &Options) {
+    let device = Device::with_defaults();
+    for kind in Dataset2::ALL {
+        let (eps, minpts_values) = fig4_minpts_config(kind);
+        header(&format!(
+            "Fig 4 minpts-sweep | {} | n = {}, eps = {eps} | time in ms",
+            kind.name(),
+            options.n
+        ));
+        let points = kind.generate(options.n, options.seed);
+        println!("{:>8}{}", "minpts", algo_columns());
+        for &minpts in &minpts_values {
+            let params = Params::new(eps, minpts);
+            let row: String = Algo::ALL
+                .iter()
+                .map(|a| format!("{:>18}", cell(&a.run2(&device, &points, params))))
+                .collect();
+            println!("{minpts:>8}{row}");
+        }
+    }
+}
+
+/// Fig. 4(d)(e)(f): time vs eps.
+fn fig4_eps(options: &Options) {
+    let device = Device::with_defaults();
+    for kind in Dataset2::ALL {
+        let (minpts, eps_values) = fig4_eps_config(kind);
+        header(&format!(
+            "Fig 4 eps-sweep | {} | n = {}, minpts = {minpts} | time in ms",
+            kind.name(),
+            options.n
+        ));
+        let points = kind.generate(options.n, options.seed);
+        println!("{:>8}{}", "eps", algo_columns());
+        for &eps in &eps_values {
+            let params = Params::new(eps, minpts);
+            let row: String = Algo::ALL
+                .iter()
+                .map(|a| format!("{:>18}", cell(&a.run2(&device, &points, params))))
+                .collect();
+            println!("{eps:>8}{row}");
+        }
+    }
+}
+
+/// Fig. 4(g)(h)(i): time vs n (log scale), with the device memory budget
+/// that reproduces G-DBSCAN's OOM points.
+fn fig4_scaling(options: &Options) {
+    let device =
+        Device::new(DeviceConfig::default().with_memory_budget(SCALING_MEMORY_BUDGET));
+    for kind in Dataset2::ALL {
+        let (minpts, eps) = fig4_scaling_config(kind);
+        header(&format!(
+            "Fig 4 scaling | {} | eps = {eps}, minpts = {minpts}, budget = {} MiB | time in ms",
+            kind.name(),
+            SCALING_MEMORY_BUDGET >> 20
+        ));
+        println!("{:>8}{}", "n", algo_columns());
+        let full = kind.generate(options.max_scaling_n, options.seed);
+        let mut n = 1024usize;
+        while n <= options.max_scaling_n {
+            let points = fdbscan_data::subsample(&full, n, options.seed ^ n as u64);
+            let params = Params::new(eps, minpts);
+            let row: String = Algo::ALL
+                .iter()
+                .map(|a| format!("{:>18}", cell(&a.run2(&device, &points, params))))
+                .collect();
+            println!("{n:>8}{row}");
+            n *= 2;
+        }
+    }
+}
+
+/// Fig. 6: 3-D cosmology, time vs minpts at the (scaled) physics eps.
+fn fig6(options: &Options) {
+    let device = Device::with_defaults();
+    let n = options.cosmo_n;
+    let eps = scaled_cosmo_eps(n);
+    header(&format!(
+        "Fig 6 | cosmology | n = {n}, eps = {eps:.4} (paper: 0.042 at 36.9M) | time in ms"
+    ));
+    let points = default_snapshot(n, options.seed);
+    println!(
+        "{:>8}{:>18}{:>18}{:>12}",
+        "minpts", "fdbscan", "fdbscan-densebox", "dense %"
+    );
+    for minpts in fig6_minpts_values() {
+        let params = Params::new(eps, minpts);
+        let a = fdbscan(&device, &points, params);
+        let b = fdbscan_densebox(&device, &points, params);
+        let dense_pct = b
+            .as_ref()
+            .ok()
+            .and_then(|(_, s)| s.dense.map(|d| 100.0 * d.dense_fraction))
+            .unwrap_or(f64::NAN);
+        println!("{minpts:>8}{:>18}{:>18}{dense_pct:>11.1}%", cell(&a), cell(&b));
+    }
+}
+
+/// Fig. 7: 3-D cosmology, time vs eps at minpts = 5.
+fn fig7(options: &Options) {
+    let device = Device::with_defaults();
+    let n = options.cosmo_n;
+    header(&format!("Fig 7 | cosmology | n = {n}, minpts = 5 | time in ms"));
+    let points = default_snapshot(n, options.seed);
+    println!(
+        "{:>10}{:>18}{:>18}{:>12}{:>10}",
+        "eps", "fdbscan", "fdbscan-densebox", "dense %", "speedup"
+    );
+    for eps in fig7_eps_values(n) {
+        let params = Params::new(eps, 5);
+        let a = fdbscan(&device, &points, params);
+        let b = fdbscan_densebox(&device, &points, params);
+        let dense_pct = b
+            .as_ref()
+            .ok()
+            .and_then(|(_, s)| s.dense.map(|d| 100.0 * d.dense_fraction))
+            .unwrap_or(f64::NAN);
+        let speedup = match (&a, &b) {
+            (Ok((_, sa)), Ok((_, sb))) => sa.total_ms() / sb.total_ms(),
+            _ => f64::NAN,
+        };
+        println!(
+            "{eps:>10.4}{:>18}{:>18}{dense_pct:>11.1}%{speedup:>9.1}x",
+            cell(&a),
+            cell(&b)
+        );
+    }
+}
+
+/// In-text structural claims about dense-cell membership.
+fn claims(options: &Options) {
+    let device = Device::with_defaults();
+    header("Claim: >95% of points in dense cells for 2-D datasets (at the minpts-study settings)");
+    println!("{:>12}{:>8}{:>8}{:>14}{:>12}", "dataset", "eps", "minpts", "dense cells", "dense %");
+    for kind in Dataset2::ALL {
+        let (eps, minpts_values) = fig4_minpts_config(kind);
+        let points = kind.generate(options.n, options.seed);
+        for &minpts in &[minpts_values[0], *minpts_values.last().unwrap()] {
+            let (_, stats) =
+                fdbscan_densebox(&device, &points, Params::new(eps, minpts)).unwrap();
+            let d = stats.dense.unwrap();
+            println!(
+                "{:>12}{eps:>8}{minpts:>8}{:>14}{:>11.1}%",
+                kind.name(),
+                d.num_dense_cells,
+                100.0 * d.dense_fraction
+            );
+        }
+    }
+
+    header("Claim: 3-D dense-cell membership falls with minpts (13% @5, <2% @50, 0% @>100)");
+    let n = options.cosmo_n;
+    let eps = scaled_cosmo_eps(n);
+    let points = default_snapshot(n, options.seed);
+    println!("{:>8}{:>14}{:>12}", "minpts", "dense cells", "dense %");
+    for minpts in [5usize, 50, 100, 300] {
+        let (_, stats) = fdbscan_densebox(&device, &points, Params::new(eps, minpts)).unwrap();
+        let d = stats.dense.unwrap();
+        println!("{minpts:>8}{:>14}{:>11.1}%", d.num_dense_cells, 100.0 * d.dense_fraction);
+    }
+
+    header("Claim: ~91% of points in dense cells at eps = 1.0 (scaled: 24x physics eps)");
+    let big_eps = scaled_cosmo_eps(n) * 24.0;
+    let (_, stats) = fdbscan_densebox(&device, &points, Params::new(big_eps, 5)).unwrap();
+    let d = stats.dense.unwrap();
+    println!("eps = {big_eps:.3}: dense % = {:.1}%", 100.0 * d.dense_fraction);
+}
+
+/// Peak device memory per algorithm (the G-DBSCAN blowup, §2.2/§5.1).
+fn memory(options: &Options) {
+    let device = Device::with_defaults();
+    header(&format!(
+        "Memory | porto-taxi | eps = 0.05, minpts = 1000, n swept | peak device KiB"
+    ));
+    println!("{:>8}{}", "n", algo_columns());
+    let full = Dataset2::PortoTaxi.generate(options.max_scaling_n, options.seed);
+    let mut n = 1024usize;
+    while n <= options.max_scaling_n {
+        let points = fdbscan_data::subsample(&full, n, options.seed ^ n as u64);
+        let params = Params::new(0.05, 1000);
+        let row: String = Algo::ALL
+            .iter()
+            .map(|a| match a.run2(&device, &points, params) {
+                Ok((_, stats)) => format!("{:>18}", stats.peak_memory_bytes / 1024),
+                Err(_) => format!("{:>18}", "OOM"),
+            })
+            .collect();
+        println!("{n:>8}{row}");
+        n *= 2;
+    }
+}
+
+/// Ablations of the design choices DESIGN.md calls out.
+fn ablations(options: &Options) {
+    let device = Device::with_defaults();
+
+    header("Ablation: index-masked traversal (Fig. 1) on 3d-road");
+    let points = Dataset2::RoadNetwork.generate(options.n, options.seed);
+    let params = Params::new(0.08, 100);
+    let (_, masked) = fdbscan(&device, &points, params).unwrap();
+    let (_, unmasked) = fdbscan_with(
+        &device,
+        &points,
+        params,
+        FdbscanOptions { masked_traversal: false, early_termination: true, star: false },
+    )
+    .unwrap();
+    println!("{:<12}{:>12}{:>16}{:>16}{:>12}", "variant", "time ms", "distances", "nodes", "unions");
+    for (name, s) in [("masked", &masked), ("unmasked", &unmasked)] {
+        println!(
+            "{name:<12}{:>12.1}{:>16}{:>16}{:>12}",
+            s.total_ms(),
+            s.counters.distance_computations,
+            s.counters.bvh_nodes_visited,
+            s.counters.unions
+        );
+    }
+
+    header("Ablation: early-terminated core counting (§3.2) on porto-taxi");
+    let points = Dataset2::PortoTaxi.generate(options.n, options.seed);
+    let params = Params::new(0.01, 50);
+    let (_, early) = fdbscan(&device, &points, params).unwrap();
+    let (_, full) = fdbscan_with(
+        &device,
+        &points,
+        params,
+        FdbscanOptions { masked_traversal: true, early_termination: false, star: false },
+    )
+    .unwrap();
+    println!("{:<12}{:>12}{:>16}{:>16}", "variant", "time ms", "distances", "nodes");
+    for (name, s) in [("early-term", &early), ("full-count", &full)] {
+        println!(
+            "{name:<12}{:>12.1}{:>16}{:>16}",
+            s.total_ms(),
+            s.counters.distance_computations,
+            s.counters.bvh_nodes_visited
+        );
+    }
+
+    header("Ablation: dense-box handling across density regimes (blob spread sweep)");
+    println!(
+        "{:>10}{:>12}{:>16}{:>12}{:>14}{:>14}",
+        "spread", "dense %", "fdbscan ms", "dbox ms", "fdb dist", "dbox dist"
+    );
+    for spread in [0.002f32, 0.01, 0.05, 0.2] {
+        let points = blobs::<2>(options.n, 10, spread, 1.0, 0.05, options.seed);
+        let params = Params::new(0.02, 20);
+        let (_, plain) = fdbscan(&device, &points, params).unwrap();
+        let (_, dense) = fdbscan_densebox(&device, &points, params).unwrap();
+        println!(
+            "{spread:>10}{:>11.1}%{:>16.1}{:>12.1}{:>14}{:>14}",
+            100.0 * dense.dense.unwrap().dense_fraction,
+            plain.total_ms(),
+            dense.total_ms(),
+            plain.counters.distance_computations,
+            dense.counters.distance_computations
+        );
+    }
+
+    header("Ablation: search-index choice (BVH vs k-d tree), FDBSCAN main framework");
+    println!(
+        "{:>12}{:>14}{:>14}{:>16}{:>16}",
+        "dataset", "bvh ms", "kdtree ms", "bvh nodes", "kd nodes"
+    );
+    for kind in Dataset2::ALL {
+        let points = kind.generate(options.n, options.seed);
+        let params = match kind {
+            Dataset2::Ngsim => Params::new(0.005, 50),
+            Dataset2::PortoTaxi => Params::new(0.01, 50),
+            Dataset2::RoadNetwork => Params::new(0.08, 100),
+        };
+        let (_, bvh_stats) = fdbscan(&device, &points, params).unwrap();
+        let (_, kd_stats) = fdbscan_kdtree(&device, &points, params).unwrap();
+        println!(
+            "{:>12}{:>14.1}{:>14.1}{:>16}{:>16}",
+            kind.name(),
+            bvh_stats.total_ms(),
+            kd_stats.total_ms(),
+            bvh_stats.counters.bvh_nodes_visited,
+            kd_stats.counters.bvh_nodes_visited
+        );
+    }
+
+    header("Extension: heuristic FDBSCAN/DenseBox switch (paper §6 future work)");
+    println!("{:>12}{:>10}{:>12}{:>12}", "workload", "dense %", "choice", "time ms");
+    let workloads: Vec<(&str, Vec<fdbscan_geom::Point2>, Params)> = vec![
+        (
+            "road-dense",
+            Dataset2::RoadNetwork.generate(options.n, options.seed),
+            Params::new(0.08, 20),
+        ),
+        (
+            "uniform",
+            fdbscan_data::uniform::<2>(options.n, 100.0, options.seed),
+            Params::new(0.3, 10),
+        ),
+    ];
+    for (name, points, params) in &workloads {
+        let (_, stats, choice) = fdbscan_auto(&device, points, *params).unwrap();
+        let dense_pct = stats.dense.map(|d| 100.0 * d.dense_fraction).unwrap_or(0.0);
+        println!(
+            "{name:>12}{dense_pct:>9.1}%{:>12}{:>12.1}",
+            match choice {
+                AutoChoice::Fdbscan => "fdbscan",
+                AutoChoice::DenseBox => "densebox",
+            },
+            stats.total_ms()
+        );
+    }
+}

@@ -1,0 +1,443 @@
+//! Fully parallel LBVH construction (Karras 2012).
+//!
+//! Construction runs as a fixed sequence of batched kernels, mirroring
+//! the GPU pipeline:
+//!
+//! 1. reduce the scene bounds,
+//! 2. compute a Morton code per primitive (box center),
+//! 3. radix-sort primitives by code,
+//! 4. emit the internal-node topology — one thread per internal node,
+//!    no synchronization (Karras' key contribution),
+//! 5. refit internal bounds bottom-up with per-node arrival counters.
+//!
+//! Ties between equal Morton codes are broken with the primitive index
+//! (the standard `code ## index` augmentation), so duplicate positions —
+//! common in clustering data — still produce a balanced tree.
+
+use fdbscan_device::shared::SharedMut;
+use fdbscan_device::Device;
+use fdbscan_geom::{morton::morton_code, Aabb};
+
+use crate::node::NodeRef;
+use crate::Bvh;
+
+impl<const D: usize> Bvh<D> {
+    /// Builds a hierarchy over `bounds`; the payload of leaf `k` is the
+    /// caller index `k` (recoverable with [`Bvh::leaf_payload`]).
+    ///
+    /// Runs entirely as device kernels. `bounds` may be empty.
+    pub fn build(device: &Device, bounds: &[Aabb<D>]) -> Self {
+        let n = bounds.len();
+        if n == 0 {
+            return Self {
+                internal_bounds: Vec::new(),
+                children: Vec::new(),
+                ranges: Vec::new(),
+                leaf_bounds: Vec::new(),
+                leaf_payload: Vec::new(),
+                positions: Vec::new(),
+                scene: Aabb::empty(),
+            };
+        }
+        assert!(n < (1usize << 31), "primitive count exceeds NodeRef range");
+
+        // 1. Scene bounds (parallel merge reduction).
+        let scene = device.reduce(n, Aabb::empty(), |i| bounds[i], |a, b| a.merged(&b));
+
+        // 2. Morton code of every box center.
+        let mut codes = vec![0u64; n];
+        {
+            let codes_view = SharedMut::new(&mut codes);
+            let scene_ref = &scene;
+            device.launch(n, |i| {
+                let code = morton_code(&bounds[i].center(), scene_ref);
+                // SAFETY: one writer per index.
+                unsafe { codes_view.write(i, code) };
+            });
+        }
+
+        // 3. Sort primitives by code (stable: ties keep index order).
+        let mut payload: Vec<u32> = (0..n as u32).collect();
+        fdbscan_psort::sort_pairs(device, &mut codes, &mut payload);
+
+        // Inverse permutation and permuted leaf bounds.
+        let mut positions = vec![0u32; n];
+        let mut leaf_bounds = vec![Aabb::<D>::empty(); n];
+        {
+            let positions_view = SharedMut::new(&mut positions);
+            let leaf_view = SharedMut::new(&mut leaf_bounds);
+            let payload_ref = &payload;
+            device.launch(n, |pos| {
+                let id = payload_ref[pos] as usize;
+                // SAFETY: `payload` is a permutation, so `positions[id]`
+                // has exactly one writer; `leaf_bounds[pos]` trivially so.
+                unsafe {
+                    positions_view.write(id, pos as u32);
+                    leaf_view.write(pos, bounds[id]);
+                }
+            });
+        }
+
+        if n == 1 {
+            return Self {
+                internal_bounds: Vec::new(),
+                children: Vec::new(),
+                ranges: Vec::new(),
+                leaf_bounds,
+                leaf_payload: payload,
+                positions,
+                scene,
+            };
+        }
+
+        // 4. Internal topology: one thread per internal node.
+        let internal_count = n - 1;
+        let mut children = vec![[NodeRef::internal(0); 2]; internal_count];
+        let mut ranges = vec![[0u32; 2]; internal_count];
+        let mut internal_parent = vec![0u32; internal_count];
+        let mut leaf_parent = vec![0u32; n];
+        {
+            let children_view = SharedMut::new(&mut children);
+            let ranges_view = SharedMut::new(&mut ranges);
+            let iparent_view = SharedMut::new(&mut internal_parent);
+            let lparent_view = SharedMut::new(&mut leaf_parent);
+            let codes_ref = &codes;
+            device.launch(internal_count, |i| {
+                let (left, right, first, last) = karras_node(codes_ref, i as i64);
+                // SAFETY: node `i` writes only its own slots; each child
+                // (leaf or internal) has exactly one parent, so the
+                // parent writes are unique too.
+                unsafe {
+                    children_view.write(i, [left, right]);
+                    ranges_view.write(i, [first, last]);
+                    for child in [left, right] {
+                        if child.is_leaf() {
+                            lparent_view.write(child.index() as usize, i as u32);
+                        } else {
+                            iparent_view.write(child.index() as usize, i as u32);
+                        }
+                    }
+                }
+            });
+        }
+
+        // 5. Bottom-up refit with arrival counters.
+        let mut internal_bounds = vec![Aabb::<D>::empty(); internal_count];
+        {
+            use std::sync::atomic::{AtomicU32, Ordering};
+            let flags: Vec<AtomicU32> = (0..internal_count).map(|_| AtomicU32::new(0)).collect();
+            let bounds_view = SharedMut::new(&mut internal_bounds);
+            let children_ref = &children;
+            let iparent_ref = &internal_parent;
+            let lparent_ref = &leaf_parent;
+            let leaf_bounds_ref = &leaf_bounds;
+            let flags_ref = &flags;
+            device.launch(n, |leaf| {
+                let mut node = lparent_ref[leaf] as usize;
+                loop {
+                    // The first thread to arrive stops; the second (whose
+                    // sibling subtree is complete) computes the bounds.
+                    // AcqRel pairs the children's bound writes (released
+                    // by the earlier arrival) with this thread's reads.
+                    if flags_ref[node].fetch_add(1, Ordering::AcqRel) == 0 {
+                        return;
+                    }
+                    let [l, r] = children_ref[node];
+                    // SAFETY: only the second-arriving thread writes this
+                    // node, and both children are finalized (their own
+                    // second arrival happened-before our fetch_add).
+                    let lb = unsafe { child_bounds(&bounds_view, leaf_bounds_ref, l) };
+                    let rb = unsafe { child_bounds(&bounds_view, leaf_bounds_ref, r) };
+                    unsafe { bounds_view.write(node, lb.merged(&rb)) };
+                    if node == 0 {
+                        return; // root refitted
+                    }
+                    node = iparent_ref[node] as usize;
+                }
+            });
+        }
+
+        Self {
+            internal_bounds,
+            children,
+            ranges,
+            leaf_bounds,
+            leaf_payload: payload,
+            positions,
+            scene,
+        }
+    }
+}
+
+/// Reads a child's (already finalized) bounds.
+///
+/// # Safety
+/// The child's bounds must have been completely written before the caller
+/// observed its arrival flag (see refit kernel).
+#[inline]
+unsafe fn child_bounds<const D: usize>(
+    internal: &SharedMut<'_, Aabb<D>>,
+    leaves: &[Aabb<D>],
+    child: NodeRef,
+) -> Aabb<D> {
+    if child.is_leaf() {
+        leaves[child.index() as usize]
+    } else {
+        internal.read(child.index() as usize)
+    }
+}
+
+/// Longest-common-prefix metric over augmented codes `code ## index`.
+/// Out-of-range `j` yields -1 (strictly smaller than any real prefix).
+#[inline]
+fn delta(codes: &[u64], i: i64, j: i64) -> i64 {
+    if j < 0 || j >= codes.len() as i64 {
+        return -1;
+    }
+    let ci = codes[i as usize];
+    let cj = codes[j as usize];
+    if ci != cj {
+        (ci ^ cj).leading_zeros() as i64
+    } else {
+        64 + ((i as u64) ^ (j as u64)).leading_zeros() as i64
+    }
+}
+
+/// Computes children and covered sorted-leaf range of internal node `i`
+/// (Karras 2012, Algorithm "determine range" + "find split").
+fn karras_node(codes: &[u64], i: i64) -> (NodeRef, NodeRef, u32, u32) {
+    // Direction of the node's range: toward the neighbor with the longer
+    // common prefix.
+    let d: i64 = if delta(codes, i, i + 1) > delta(codes, i, i - 1) { 1 } else { -1 };
+    let delta_min = delta(codes, i, i - d);
+
+    // Exponential probe for an upper bound on the range length.
+    let mut l_max: i64 = 2;
+    while delta(codes, i, i + l_max * d) > delta_min {
+        l_max *= 2;
+    }
+    // Binary search the exact other end.
+    let mut l: i64 = 0;
+    let mut t = l_max / 2;
+    while t >= 1 {
+        if delta(codes, i, i + (l + t) * d) > delta_min {
+            l += t;
+        }
+        t /= 2;
+    }
+    let j = i + l * d;
+    let delta_node = delta(codes, i, j);
+
+    // Binary search the split position: the highest index in the range
+    // sharing more than `delta_node` prefix bits with `i`.
+    let mut s: i64 = 0;
+    let mut t = (l + 1) / 2; // ceil(l / 2); l is nonnegative
+    loop {
+        if delta(codes, i, i + (s + t) * d) > delta_node {
+            s += t;
+        }
+        if t <= 1 {
+            break;
+        }
+        t = (t + 1) / 2;
+    }
+    let split = i + s * d + d.min(0);
+
+    let first = i.min(j);
+    let last = i.max(j);
+    let left = if first == split {
+        NodeRef::leaf(split as u32)
+    } else {
+        NodeRef::internal(split as u32)
+    };
+    let right = if last == split + 1 {
+        NodeRef::leaf((split + 1) as u32)
+    } else {
+        NodeRef::internal((split + 1) as u32)
+    };
+    (left, right, first as u32, last as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_device::DeviceConfig;
+    use fdbscan_geom::Point;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn point_boxes(points: &[Point<2>]) -> Vec<Aabb<2>> {
+        points.iter().map(|p| Aabb::from_point(*p)).collect()
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new([rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)])).collect()
+    }
+
+    /// Walks the tree and checks every structural invariant.
+    fn validate<const D: usize>(bvh: &Bvh<D>) {
+        let n = bvh.len();
+        if n < 2 {
+            assert!(bvh.children.is_empty());
+            return;
+        }
+        assert_eq!(bvh.children.len(), n - 1);
+        assert_eq!(bvh.ranges.len(), n - 1);
+
+        // Every leaf must be reachable exactly once; ranges must nest.
+        let mut leaf_seen = vec![false; n];
+        let mut stack = vec![NodeRef::internal(0)];
+        while let Some(node) = stack.pop() {
+            if node.is_leaf() {
+                let pos = node.index() as usize;
+                assert!(!leaf_seen[pos], "leaf {pos} reached twice");
+                leaf_seen[pos] = true;
+                continue;
+            }
+            let i = node.index() as usize;
+            let [l, r] = bvh.children[i];
+            let [first, last] = bvh.ranges[i];
+            assert!(first < last, "internal node must cover >= 2 leaves");
+            // Children bounds are contained in the parent bounds.
+            let pb = &bvh.internal_bounds[i];
+            for child in [l, r] {
+                let cb = if child.is_leaf() {
+                    &bvh.leaf_bounds[child.index() as usize]
+                } else {
+                    &bvh.internal_bounds[child.index() as usize]
+                };
+                assert_eq!(pb.merged(cb), *pb, "child bounds escape parent");
+                // Child ranges are within the parent's.
+                let (cf, cl) = if child.is_leaf() {
+                    (child.index(), child.index())
+                } else {
+                    let [f, l2] = bvh.ranges[child.index() as usize];
+                    (f, l2)
+                };
+                assert!(first <= cf && cl <= last, "child range escapes parent");
+            }
+            stack.push(l);
+            stack.push(r);
+        }
+        assert!(leaf_seen.iter().all(|&s| s), "not all leaves reachable");
+
+        // The payload must be a permutation with a correct inverse.
+        let mut payload_sorted = bvh.leaf_payload.clone();
+        payload_sorted.sort_unstable();
+        assert!(payload_sorted.iter().enumerate().all(|(i, &p)| p == i as u32));
+        for id in 0..n as u32 {
+            assert_eq!(bvh.leaf_payload(bvh.leaf_pos_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn empty_build() {
+        let device = Device::with_defaults();
+        let bvh = Bvh::<2>::build(&device, &[]);
+        assert!(bvh.is_empty());
+        assert!(bvh.scene_bounds().is_empty());
+    }
+
+    #[test]
+    fn single_leaf() {
+        let device = Device::with_defaults();
+        let bvh = Bvh::build(&device, &point_boxes(&[Point::new([1.0, 2.0])]));
+        assert_eq!(bvh.len(), 1);
+        assert_eq!(bvh.leaf_payload(0), 0);
+        assert_eq!(bvh.leaf_pos_of(0), 0);
+        validate(&bvh);
+    }
+
+    #[test]
+    fn two_leaves() {
+        let device = Device::with_defaults();
+        let bvh = Bvh::build(
+            &device,
+            &point_boxes(&[Point::new([0.0, 0.0]), Point::new([5.0, 5.0])]),
+        );
+        assert_eq!(bvh.len(), 2);
+        validate(&bvh);
+        // Root bounds must equal the scene.
+        assert_eq!(bvh.internal_bounds[0], bvh.scene_bounds());
+    }
+
+    #[test]
+    fn random_build_is_valid() {
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        for n in [3usize, 7, 64, 255, 1000, 4096] {
+            let bvh = Bvh::build(&device, &point_boxes(&random_points(n, n as u64)));
+            assert_eq!(bvh.len(), n);
+            validate(&bvh);
+        }
+    }
+
+    #[test]
+    fn all_duplicate_points_build_balanced() {
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        let points = vec![Point::new([1.0, 1.0]); 1024];
+        let bvh = Bvh::build(&device, &point_boxes(&points));
+        validate(&bvh);
+        // With the index tiebreak the tree over identical codes is a
+        // radix tree over indices: depth must be logarithmic, not linear.
+        let mut max_depth = 0usize;
+        let mut stack = vec![(NodeRef::internal(0), 1usize)];
+        while let Some((node, depth)) = stack.pop() {
+            if node.is_leaf() {
+                max_depth = max_depth.max(depth);
+                continue;
+            }
+            let [l, r] = bvh.children[node.index() as usize];
+            stack.push((l, depth + 1));
+            stack.push((r, depth + 1));
+        }
+        assert!(max_depth <= 12, "depth {max_depth} too large for 1024 duplicates");
+    }
+
+    #[test]
+    fn collinear_points() {
+        let device = Device::with_defaults();
+        let points: Vec<Point<2>> =
+            (0..500).map(|i| Point::new([i as f32, 0.0])).collect();
+        let bvh = Bvh::build(&device, &point_boxes(&points));
+        validate(&bvh);
+    }
+
+    #[test]
+    fn mixed_boxes_and_points() {
+        let device = Device::with_defaults();
+        let mut bounds = point_boxes(&random_points(100, 5));
+        bounds.push(Aabb::from_corners(Point::new([-1.0, -1.0]), Point::new([1.0, 1.0])));
+        bounds.push(Aabb::from_corners(Point::new([3.0, 3.0]), Point::new([4.0, 9.0])));
+        let bvh = Bvh::build(&device, &bounds);
+        validate(&bvh);
+    }
+
+    #[test]
+    fn build_3d() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let mut rng = StdRng::seed_from_u64(9);
+        let bounds: Vec<Aabb<3>> = (0..2000)
+            .map(|_| {
+                Aabb::from_point(Point::new([
+                    rng.gen_range(0.0..64.0),
+                    rng.gen_range(0.0..64.0),
+                    rng.gen_range(0.0..64.0),
+                ]))
+            })
+            .collect();
+        let bvh = Bvh::build(&device, &bounds);
+        assert_eq!(bvh.len(), 2000);
+        // Spot-check: root bounds contain every input box.
+        let root = bvh.internal_bounds[0];
+        for b in &bounds {
+            assert_eq!(root.merged(b), root);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let device = Device::with_defaults();
+        let bvh = Bvh::build(&device, &point_boxes(&random_points(100, 1)));
+        assert!(bvh.memory_bytes() > 100 * std::mem::size_of::<Aabb<2>>());
+    }
+}

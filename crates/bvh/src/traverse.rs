@@ -1,0 +1,370 @@
+//! Batched radius queries with callbacks, early termination and masking.
+
+use std::ops::ControlFlow;
+
+use fdbscan_geom::Point;
+
+use crate::node::NodeRef;
+use crate::Bvh;
+
+/// Maximum traversal stack depth.
+///
+/// Each descent in a Karras tree strictly increases the common-prefix
+/// length of the covered range, and prefixes of the augmented codes
+/// (64 code bits + 32 index bits) are at most 96 bits long, so the tree
+/// depth is bounded by 97 regardless of the input distribution.
+const STACK_DEPTH: usize = 128;
+
+/// Per-query traversal statistics, for the device work counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Nodes (internal or leaf) whose bounds were tested.
+    pub nodes_visited: u64,
+    /// Leaves whose bounds passed the test (callback invocations). For
+    /// point primitives the bounds test *is* the exact distance test, so
+    /// this doubles as a distance-computation count.
+    pub leaf_hits: u64,
+    /// Whether the callback terminated the traversal early.
+    pub terminated_early: bool,
+}
+
+impl<const D: usize> Bvh<D> {
+    /// Invokes `callback(leaf_pos, payload)` for every leaf whose bounds
+    /// intersect the ball `center ± eps`, skipping all leaves with sorted
+    /// position `< cutoff` (the index mask of paper Fig. 1; pass `0` for
+    /// an unmasked query).
+    ///
+    /// The callback may return [`ControlFlow::Break`] to terminate this
+    /// query's traversal early (used to stop counting at `minpts`).
+    ///
+    /// For point leaves, the bounds test is already the exact
+    /// `dist <= eps` test, so the callback only fires on true neighbors.
+    /// For box leaves (dense cells) the callback receives candidates and
+    /// performs its own membership scan.
+    pub fn for_each_in_radius<F>(
+        &self,
+        center: &Point<D>,
+        eps: f32,
+        cutoff: u32,
+        mut callback: F,
+    ) -> QueryStats
+    where
+        F: FnMut(u32, u32) -> ControlFlow<()>,
+    {
+        let mut stats = QueryStats::default();
+        let n = self.len();
+        if n == 0 {
+            return stats;
+        }
+        let eps_sq = eps * eps;
+
+        if n == 1 {
+            stats.nodes_visited = 1;
+            if cutoff == 0 && self.leaf_bounds[0].dist_sq(center) <= eps_sq {
+                stats.leaf_hits = 1;
+                if callback(0, self.leaf_payload[0]).is_break() {
+                    stats.terminated_early = true;
+                }
+            }
+            return stats;
+        }
+
+        // Root pre-check.
+        stats.nodes_visited = 1;
+        if self.ranges[0][1] < cutoff || self.internal_bounds[0].dist_sq(center) > eps_sq {
+            return stats;
+        }
+
+        let mut stack = [NodeRef::internal(0); STACK_DEPTH];
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            let node = stack[top];
+            let i = node.index() as usize;
+            for child in self.children[i] {
+                // Index mask: skip subtrees entirely below the cutoff.
+                if child.is_leaf() {
+                    if child.index() < cutoff {
+                        continue;
+                    }
+                } else if self.ranges[child.index() as usize][1] < cutoff {
+                    continue;
+                }
+                stats.nodes_visited += 1;
+                let child_bounds = if child.is_leaf() {
+                    &self.leaf_bounds[child.index() as usize]
+                } else {
+                    &self.internal_bounds[child.index() as usize]
+                };
+                if child_bounds.dist_sq(center) > eps_sq {
+                    continue;
+                }
+                if child.is_leaf() {
+                    let pos = child.index();
+                    stats.leaf_hits += 1;
+                    if callback(pos, self.leaf_payload[pos as usize]).is_break() {
+                        stats.terminated_early = true;
+                        return stats;
+                    }
+                } else {
+                    debug_assert!(top < STACK_DEPTH, "traversal stack overflow");
+                    stack[top] = child;
+                    top += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Collects the payloads of all leaves within `eps` of `center`
+    /// (unmasked). Convenience for tests and examples.
+    pub fn collect_in_radius(&self, center: &Point<D>, eps: f32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_in_radius(center, eps, 0, |_, payload| {
+            out.push(payload);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_device::{Device, DeviceConfig};
+    use fdbscan_geom::Aabb;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn build_points(device: &Device, points: &[Point<2>]) -> Bvh<2> {
+        let bounds: Vec<Aabb<2>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
+        Bvh::build(device, &bounds)
+    }
+
+    fn brute_force(points: &[Point<2>], center: &Point<2>, eps: f32) -> Vec<u32> {
+        let eps_sq = eps * eps;
+        let mut out: Vec<u32> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.dist_sq(center) <= eps_sq)
+            .map(|(i, _)| i as u32)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn query_empty_tree() {
+        let device = Device::with_defaults();
+        let bvh = build_points(&device, &[]);
+        assert!(bvh.collect_in_radius(&Point::new([0.0, 0.0]), 10.0).is_empty());
+    }
+
+    #[test]
+    fn query_single_leaf() {
+        let device = Device::with_defaults();
+        let bvh = build_points(&device, &[Point::new([1.0, 1.0])]);
+        assert_eq!(bvh.collect_in_radius(&Point::new([1.0, 1.5]), 1.0), vec![0]);
+        assert!(bvh.collect_in_radius(&Point::new([5.0, 5.0]), 1.0).is_empty());
+    }
+
+    #[test]
+    fn radius_boundary_is_inclusive() {
+        let device = Device::with_defaults();
+        let bvh = build_points(&device, &[Point::new([0.0, 0.0]), Point::new([3.0, 4.0])]);
+        // dist((0,0), (3,4)) == 5 exactly.
+        let hits = bvh.collect_in_radius(&Point::new([0.0, 0.0]), 5.0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        let points = random_points(3000, 17);
+        let bvh = build_points(&device, &points);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..50 {
+            let center =
+                Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
+            let eps = rng.gen_range(0.1..20.0);
+            let mut got = bvh.collect_in_radius(&center, eps);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&points, &center, eps));
+        }
+    }
+
+    #[test]
+    fn masked_query_yields_higher_positions_only() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let points = random_points(2000, 3);
+        let bvh = build_points(&device, &points);
+        let eps = 8.0;
+        for id in [0u32, 10, 500, 1999] {
+            let pos = bvh.leaf_pos_of(id);
+            let mut masked = Vec::new();
+            bvh.for_each_in_radius(&points[id as usize], eps, pos + 1, |leaf_pos, payload| {
+                assert!(leaf_pos > pos, "mask violated");
+                masked.push(payload);
+                ControlFlow::Continue(())
+            });
+            // The masked result must be exactly the unmasked neighbors
+            // whose sorted position exceeds this point's.
+            let mut expected: Vec<u32> = brute_force(&points, &points[id as usize], eps)
+                .into_iter()
+                .filter(|&other| bvh.leaf_pos_of(other) > pos)
+                .collect();
+            expected.sort_unstable();
+            masked.sort_unstable();
+            assert_eq!(masked, expected);
+        }
+    }
+
+    #[test]
+    fn masked_pairs_cover_every_pair_exactly_once() {
+        // Union over all i of masked-query(i) must be the full set of
+        // unordered close pairs, without duplicates — the guarantee the
+        // FDBSCAN main phase relies on.
+        let device = Device::with_defaults();
+        let points = random_points(300, 8);
+        let bvh = build_points(&device, &points);
+        let eps = 10.0;
+        let mut pairs = std::collections::HashSet::new();
+        for id in 0..points.len() as u32 {
+            let pos = bvh.leaf_pos_of(id);
+            bvh.for_each_in_radius(&points[id as usize], eps, pos + 1, |_, other| {
+                let key = (id.min(other), id.max(other));
+                assert!(pairs.insert(key), "pair {key:?} reported twice");
+                ControlFlow::Continue(())
+            });
+        }
+        let mut expected = std::collections::HashSet::new();
+        for a in 0..points.len() {
+            for b in (a + 1)..points.len() {
+                if points[a].dist_sq(&points[b]) <= eps * eps {
+                    expected.insert((a as u32, b as u32));
+                }
+            }
+        }
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn early_termination_stops_traversal() {
+        let device = Device::with_defaults();
+        let points = vec![Point::new([0.0, 0.0]); 100];
+        let bvh = build_points(&device, &points);
+        let mut count = 0;
+        let stats = bvh.for_each_in_radius(&Point::new([0.0, 0.0]), 1.0, 0, |_, _| {
+            count += 1;
+            if count >= 5 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(count, 5);
+        assert!(stats.terminated_early);
+        assert_eq!(stats.leaf_hits, 5);
+    }
+
+    #[test]
+    fn stats_count_visits() {
+        let device = Device::with_defaults();
+        let points = random_points(1000, 4);
+        let bvh = build_points(&device, &points);
+        let stats =
+            bvh.for_each_in_radius(&Point::new([50.0, 50.0]), 5.0, 0, |_, _| {
+                ControlFlow::Continue(())
+            });
+        assert!(stats.nodes_visited >= 1);
+        // A masked query from the same center visits no more nodes.
+        let masked = bvh.for_each_in_radius(&Point::new([50.0, 50.0]), 5.0, 500, |_, _| {
+            ControlFlow::Continue(())
+        });
+        assert!(masked.nodes_visited <= stats.nodes_visited);
+    }
+
+    #[test]
+    fn full_mask_visits_nothing_but_root() {
+        let device = Device::with_defaults();
+        let points = random_points(100, 6);
+        let bvh = build_points(&device, &points);
+        let stats = bvh.for_each_in_radius(
+            &Point::new([50.0, 50.0]),
+            1000.0,
+            points.len() as u32, // every leaf is masked
+            |_, _| ControlFlow::Continue(()),
+        );
+        assert_eq!(stats.leaf_hits, 0);
+        assert_eq!(stats.nodes_visited, 1);
+    }
+
+    #[test]
+    fn query_on_box_leaves_reports_candidates() {
+        let device = Device::with_defaults();
+        let bounds = vec![
+            Aabb::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0])),
+            Aabb::from_corners(Point::new([10.0, 10.0]), Point::new([11.0, 11.0])),
+            Aabb::from_point(Point::new([2.5, 0.5])),
+        ];
+        let bvh = Bvh::build(&device, &bounds);
+        // A ball near the first box and the isolated point, far from the
+        // second box.
+        let mut hits = bvh.collect_in_radius(&Point::new([2.0, 0.5]), 1.1);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn traversal_equals_brute_force(
+            seed in any::<u64>(),
+            n in 1usize..400,
+            eps in 0.01f32..40.0,
+            cx in 0.0f32..100.0,
+            cy in 0.0f32..100.0,
+        ) {
+            let device = Device::new(DeviceConfig::sequential());
+            let points = random_points(n, seed);
+            let bvh = build_points(&device, &points);
+            let center = Point::new([cx, cy]);
+            let mut got = bvh.collect_in_radius(&center, eps);
+            got.sort_unstable();
+            prop_assert_eq!(got, brute_force(&points, &center, eps));
+        }
+
+        #[test]
+        fn masked_traversal_equals_filtered_brute_force(
+            seed in any::<u64>(),
+            n in 2usize..300,
+            eps in 0.01f32..30.0,
+            query in 0usize..300,
+        ) {
+            let query = query % n;
+            let device = Device::new(DeviceConfig::sequential());
+            let points = random_points(n, seed);
+            let bvh = build_points(&device, &points);
+            let pos = bvh.leaf_pos_of(query as u32);
+            let mut got = Vec::new();
+            bvh.for_each_in_radius(&points[query], eps, pos + 1, |_, payload| {
+                got.push(payload);
+                ControlFlow::Continue(())
+            });
+            got.sort_unstable();
+            let mut expected: Vec<u32> = brute_force(&points, &points[query], eps)
+                .into_iter()
+                .filter(|&other| bvh.leaf_pos_of(other) > pos)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

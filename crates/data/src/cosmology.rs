@@ -1,0 +1,165 @@
+//! HACC-like 3-D cosmology snapshot generator (paper §5.2).
+//!
+//! The paper clusters one MPI rank of a 1024³-particle HACC simulation:
+//! ~36 M particles in a sub-volume, "vastly more sparse, and more evenly
+//! distributed" than the 2-D trajectory data, with clusters (halos)
+//! clearly formed at the final simulation step.
+//!
+//! The generator reproduces that structure at configurable scale:
+//!
+//! * a fraction of particles sits in **halos** — isotropic clumps with a
+//!   power-law mass function and compact cores,
+//! * the rest is a diffuse background filling the box,
+//!
+//! tuned so the dense-cell membership under the paper's parameters
+//! behaves like §5.2 reports: a modest fraction of points in dense cells
+//! at `eps = 0.042, minpts = 5`, none for large `minpts`, and the vast
+//! majority at `eps = 1.0`.
+
+use fdbscan_geom::Point3;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::gaussian;
+
+/// Generates an HACC-like particle snapshot in a `box_size`³ volume.
+///
+/// `halo_fraction` is the fraction of particles bound in halos (the rest
+/// is diffuse background). The paper's rank volume is 64 Mpc/h per side;
+/// use `box_size = 64.0` to make its `eps` values (0.042 … 1.0)
+/// meaningful.
+pub fn cosmology_like(n: usize, box_size: f32, halo_fraction: f64, seed: u64) -> Vec<Point3> {
+    assert!(box_size > 0.0);
+    assert!((0.0..=1.0).contains(&halo_fraction));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4841_4343);
+
+    // Halo catalog: a power-law mass function (many small halos, few
+    // large), radii growing with mass like r ~ m^(1/3).
+    let halo_particles = (n as f64 * halo_fraction) as usize;
+    let num_halos = (halo_particles / 60).max(1);
+    struct Halo {
+        center: [f32; 3],
+        radius: f32,
+        weight: f64,
+    }
+    let mut halos = Vec::with_capacity(num_halos);
+    let mut total_weight = 0.0f64;
+    for _ in 0..num_halos {
+        // Pareto-ish mass: m = (1 - u)^(-2/3), truncated.
+        let u: f64 = rng.gen_range(0.0..0.97);
+        let mass = (1.0 - u).powf(-2.0 / 3.0);
+        let radius = 0.15 * (mass as f32).powf(1.0 / 3.0) * box_size / 64.0;
+        total_weight += mass;
+        halos.push(Halo {
+            center: [
+                rng.gen_range(0.0..box_size),
+                rng.gen_range(0.0..box_size),
+                rng.gen_range(0.0..box_size),
+            ],
+            radius,
+            weight: mass,
+        });
+    }
+    // Cumulative weights for halo selection.
+    let mut cumulative = Vec::with_capacity(num_halos);
+    let mut acc = 0.0f64;
+    for h in &halos {
+        acc += h.weight / total_weight;
+        cumulative.push(acc);
+    }
+
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..halo_particles {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = cumulative.partition_point(|&c| c < u).min(num_halos - 1);
+        let halo = &halos[idx];
+        // Isothermal-ish profile: radius ~ r_h * u^2 concentrates mass at
+        // the core, with a small far tail.
+        let r = halo.radius * rng.gen_range(0.0f32..1.0).powi(2) * 3.0;
+        let (x, y, z) = (gaussian(&mut rng), gaussian(&mut rng), gaussian(&mut rng));
+        let norm = (x * x + y * y + z * z).sqrt().max(1e-6);
+        points.push(Point3::new([
+            (halo.center[0] + x / norm * r).rem_euclid(box_size),
+            (halo.center[1] + y / norm * r).rem_euclid(box_size),
+            (halo.center[2] + z / norm * r).rem_euclid(box_size),
+        ]));
+    }
+    while points.len() < n {
+        points.push(Point3::new([
+            rng.gen_range(0.0..box_size),
+            rng.gen_range(0.0..box_size),
+            rng.gen_range(0.0..box_size),
+        ]));
+    }
+    points.truncate(n);
+    points
+}
+
+/// The paper's default snapshot parameters at a laptop-friendly scale:
+/// 64 Mpc/h box, ~20 % of particles in halos.
+pub fn default_snapshot(n: usize, seed: u64) -> Vec<Point3> {
+    cosmology_like(n, 64.0, 0.2, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_count_in_box() {
+        let pts = cosmology_like(10_000, 64.0, 0.2, 1);
+        assert_eq!(pts.len(), 10_000);
+        assert!(pts
+            .iter()
+            .all(|p| (0..3).all(|d| (0.0..=64.0).contains(&p[d]))));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(cosmology_like(500, 64.0, 0.2, 9), cosmology_like(500, 64.0, 0.2, 9));
+        assert_ne!(cosmology_like(500, 64.0, 0.2, 9), cosmology_like(500, 64.0, 0.2, 10));
+    }
+
+    #[test]
+    fn halo_fraction_zero_is_uniform() {
+        let pts = cosmology_like(5000, 64.0, 0.0, 3);
+        // Mean nearest-octant occupancy should be near uniform: crude
+        // check via the mean coordinate.
+        let mean: f32 = pts.iter().map(|p| p[0]).sum::<f32>() / pts.len() as f32;
+        assert!((mean - 32.0).abs() < 2.0, "mean x = {mean}");
+    }
+
+    #[test]
+    fn halos_create_local_density() {
+        let clustered = cosmology_like(20_000, 64.0, 0.5, 4);
+        let uniform = cosmology_like(20_000, 64.0, 0.0, 4);
+        let count_close = |pts: &[Point3]| {
+            pts.iter()
+                .step_by(97)
+                .filter(|p| {
+                    pts.iter().step_by(3).filter(|q| q.dist_sq(p) <= 0.042 * 0.042).count() >= 2
+                })
+                .count()
+        };
+        assert!(
+            count_close(&clustered) > 4 * count_close(&uniform).max(1),
+            "halos must create close pairs ({} vs {})",
+            count_close(&clustered),
+            count_close(&uniform)
+        );
+    }
+
+    #[test]
+    fn default_snapshot_is_sparse_overall() {
+        // "Vastly more sparse" than the 2-D data: most points should NOT
+        // have 5 neighbors within eps = 0.042 at this sampling density.
+        let pts = default_snapshot(30_000, 5);
+        let eps_sq = 0.042f32 * 0.042;
+        let sampled: Vec<&Point3> = pts.iter().step_by(101).collect();
+        let dense = sampled
+            .iter()
+            .filter(|p| pts.iter().filter(|q| q.dist_sq(p) <= eps_sq).count() >= 5)
+            .count();
+        let frac = dense as f64 / sampled.len() as f64;
+        assert!(frac < 0.5, "dense-neighborhood fraction {frac} too high");
+    }
+}

@@ -1,0 +1,57 @@
+//! Random subsampling (the paper's studies draw random subsamples of the
+//! datasets to accommodate the memory appetite of some baselines, §5.1).
+
+use fdbscan_geom::Point;
+use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+/// Draws `k` points uniformly without replacement (seeded, stable).
+///
+/// If `k >= points.len()`, returns a copy of the input (order shuffled).
+pub fn subsample<const D: usize>(points: &[Point<D>], k: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5341_4d50);
+    let mut indices: Vec<usize> = (0..points.len()).collect();
+    indices.shuffle(&mut rng);
+    indices.truncate(k.min(points.len()));
+    indices.into_iter().map(|i| points[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_geom::Point2;
+
+    fn pts(n: usize) -> Vec<Point2> {
+        (0..n).map(|i| Point2::new([i as f32, 0.0])).collect()
+    }
+
+    #[test]
+    fn draws_exactly_k_distinct_points() {
+        let points = pts(100);
+        let sample = subsample(&points, 30, 7);
+        assert_eq!(sample.len(), 30);
+        let mut xs: Vec<i64> = sample.iter().map(|p| p[0] as i64).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        assert_eq!(xs.len(), 30, "sample must be without replacement");
+    }
+
+    #[test]
+    fn oversized_k_returns_everything() {
+        let points = pts(10);
+        let sample = subsample(&points, 50, 1);
+        assert_eq!(sample.len(), 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let points = pts(1000);
+        assert_eq!(subsample(&points, 100, 5), subsample(&points, 100, 5));
+        assert_ne!(subsample(&points, 100, 5), subsample(&points, 100, 6));
+    }
+
+    #[test]
+    fn empty_input() {
+        let points: Vec<Point2> = vec![];
+        assert!(subsample(&points, 10, 1).is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! 2-D geospatial stand-ins for the paper's datasets (all in the unit
+//! square, so the paper's `eps` values carry over).
+
+use fdbscan_geom::Point2;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::gaussian;
+
+/// The three 2-D dataset families of the paper's §5.1 evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset2 {
+    /// NGSIM-like: highway corridors with extreme stacking.
+    Ngsim,
+    /// PortoTaxi-like: radial street network, center-heavy.
+    PortoTaxi,
+    /// 3D-Road-like: sparse road polylines.
+    RoadNetwork,
+}
+
+impl Dataset2 {
+    /// Generates `n` points of this family.
+    pub fn generate(self, n: usize, seed: u64) -> Vec<Point2> {
+        match self {
+            Dataset2::Ngsim => ngsim_like(n, seed),
+            Dataset2::PortoTaxi => porto_taxi_like(n, seed),
+            Dataset2::RoadNetwork => road_network_like(n, seed),
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset2::Ngsim => "ngsim",
+            Dataset2::PortoTaxi => "porto-taxi",
+            Dataset2::RoadNetwork => "3d-road",
+        }
+    }
+
+    /// All three families, in the paper's order.
+    pub const ALL: [Dataset2; 3] = [Dataset2::Ngsim, Dataset2::PortoTaxi, Dataset2::RoadNetwork];
+}
+
+/// NGSIM-like vehicle trajectories.
+///
+/// The real dataset transcribes camera footage at three highway
+/// locations: points pile up along a handful of lanes within small
+/// viewports, making the data "overly dense even for small values of
+/// eps" (§5.1). We emulate three corridors, each a bundle of parallel
+/// lanes; trajectory samples advance along a lane with tiny lateral
+/// jitter and frequent stop-and-go stacking.
+pub fn ngsim_like(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4e47_5349);
+    // Three viewports (like the three studied locations).
+    let corridors: [([f32; 2], [f32; 2]); 3] = [
+        ([0.10, 0.15], [0.25, 0.35]), // start -> end
+        ([0.50, 0.60], [0.62, 0.40]),
+        ([0.75, 0.80], [0.90, 0.92]),
+    ];
+    let lanes_per_corridor = 5;
+    let lane_offset = 0.0008; // lanes are ~a meter apart at city scale
+    let mut points = Vec::with_capacity(n);
+    while points.len() < n {
+        let (a, b) = corridors[rng.gen_range(0..corridors.len())];
+        let lane = rng.gen_range(0..lanes_per_corridor) as f32;
+        // Perpendicular lane offset.
+        let dx = b[0] - a[0];
+        let dy = b[1] - a[1];
+        let len = (dx * dx + dy * dy).sqrt();
+        let (nx, ny) = (-dy / len, dx / len);
+        // A car trajectory: a run of consecutive samples along the lane.
+        let mut t = rng.gen_range(0.0f32..0.8);
+        let run = rng.gen_range(5..40).min(n - points.len());
+        // Stop-and-go: cars near intersections produce long stationary
+        // runs, stacking samples at nearly identical coordinates.
+        let stalled = rng.gen_bool(0.4);
+        for _ in 0..run {
+            let jitter = gaussian(&mut rng) * 0.0002;
+            let x = a[0] + dx * t + nx * (lane * lane_offset) + jitter;
+            let y = a[1] + dy * t + ny * (lane * lane_offset) + jitter;
+            points.push(Point2::new([x.clamp(0.0, 1.0), y.clamp(0.0, 1.0)]));
+            t += if stalled { 0.000_05 } else { rng.gen_range(0.001..0.01) };
+            if t > 1.0 {
+                break;
+            }
+        }
+    }
+    points.truncate(n);
+    points
+}
+
+/// PortoTaxi-like trajectories.
+///
+/// Taxis wander a radial street grid around the city center: street
+/// segments alternate axis-aligned moves, trip density decays with the
+/// distance from the center, and GPS samples drop every few dozen
+/// meters. The resulting density profile is center-heavy with long
+/// sparse tails — like the real Porto data.
+pub fn porto_taxi_like(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x504f_5254);
+    let center = [0.5f32, 0.5];
+    let mut points = Vec::with_capacity(n);
+    while points.len() < n {
+        // Trip start: radius follows an exponential-ish decay.
+        let radius = -(0.12 * rng.gen_range(f32::EPSILON..1.0f32).ln());
+        let angle = rng.gen_range(0.0..std::f32::consts::TAU);
+        let mut x = (center[0] + radius * angle.cos()).clamp(0.0, 1.0);
+        let mut y = (center[1] + radius * angle.sin()).clamp(0.0, 1.0);
+        // Snap to a street grid of ~200 blocks per unit.
+        let snap = |v: f32| (v * 200.0).round() / 200.0;
+        let trip_len = rng.gen_range(10..60).min(n - points.len());
+        let mut horizontal = rng.gen_bool(0.5);
+        for _ in 0..trip_len {
+            // GPS keeps sampling while the taxi idles at stands and
+            // traffic lights: stacked samples at one snapped location.
+            // This is what makes real taxi data overwhelmingly "dense
+            // cell" material in the paper's §5.1 measurements.
+            if rng.gen_bool(0.25) {
+                let idle = rng.gen_range(5..40).min(n.saturating_sub(points.len()));
+                let ix = snap(x);
+                let iy = snap(y);
+                for _ in 0..idle {
+                    points.push(Point2::new([
+                        (ix + gaussian(&mut rng) * 0.0001).clamp(0.0, 1.0),
+                        (iy + gaussian(&mut rng) * 0.0001).clamp(0.0, 1.0),
+                    ]));
+                }
+                if points.len() >= n {
+                    break;
+                }
+            }
+            points.push(Point2::new([
+                (snap(x) + gaussian(&mut rng) * 0.0004).clamp(0.0, 1.0),
+                (snap(y) + gaussian(&mut rng) * 0.0004).clamp(0.0, 1.0),
+            ]));
+            // Drive one GPS-sample step along the current street; turn
+            // at intersections with some probability.
+            let step = rng.gen_range(0.002..0.006);
+            // Drift gently back toward the center so trips stay urban.
+            let toward_center = rng.gen_bool(0.55);
+            if horizontal {
+                let dir = if toward_center == (x > center[0]) { -1.0 } else { 1.0 };
+                x = (x + dir * step).clamp(0.0, 1.0);
+            } else {
+                let dir = if toward_center == (y > center[1]) { -1.0 } else { 1.0 };
+                y = (y + dir * step).clamp(0.0, 1.0);
+            }
+            if rng.gen_bool(0.25) {
+                horizontal = !horizontal;
+            }
+        }
+    }
+    points.truncate(n);
+    points
+}
+
+/// 3D-Road-like sparse road network.
+///
+/// The real dataset samples the road network of a whole Danish province:
+/// points lie along polylines that branch recursively, with much lower
+/// overall density than the trajectory datasets. We grow a random
+/// recursive tree of road segments and sample points along each segment
+/// at road-survey spacing.
+pub fn road_network_like(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x524f_4144);
+    // Grow the network: segments spawn child segments at random points
+    // with a deflected heading, like roads branching off.
+    struct Segment {
+        start: [f32; 2],
+        heading: f32,
+        length: f32,
+        depth: u32,
+    }
+    let mut segments = vec![Segment {
+        start: [0.05, rng.gen_range(0.2..0.8)],
+        heading: rng.gen_range(-0.3..0.3),
+        length: 0.9,
+        depth: 0,
+    }];
+    let mut all: Vec<([f32; 2], [f32; 2])> = Vec::new();
+    while let Some(seg) = segments.pop() {
+        let end = [
+            (seg.start[0] + seg.length * seg.heading.cos()).clamp(0.0, 1.0),
+            (seg.start[1] + seg.length * seg.heading.sin()).clamp(0.0, 1.0),
+        ];
+        all.push((seg.start, end));
+        if seg.depth < 6 && all.len() < 300 {
+            let children = rng.gen_range(1..4);
+            for _ in 0..children {
+                let t = rng.gen_range(0.1..0.9f32);
+                let branch_start = [
+                    seg.start[0] + (end[0] - seg.start[0]) * t,
+                    seg.start[1] + (end[1] - seg.start[1]) * t,
+                ];
+                segments.push(Segment {
+                    start: branch_start,
+                    heading: seg.heading + rng.gen_range(0.5..1.2) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+                    length: seg.length * rng.gen_range(0.35..0.6),
+                    depth: seg.depth + 1,
+                });
+            }
+        }
+    }
+    // Sample points along the segments, weighted by length.
+    let total_len: f32 = all.iter().map(|(a, b)| dist2(a, b)).sum();
+    let mut points = Vec::with_capacity(n);
+    for (a, b) in &all {
+        let share =
+            ((dist2(a, b) / total_len) * n as f32).round() as usize;
+        for _ in 0..share {
+            let t = rng.gen_range(0.0..1.0f32);
+            points.push(Point2::new([
+                (a[0] + (b[0] - a[0]) * t + gaussian(&mut rng) * 0.0015).clamp(0.0, 1.0),
+                (a[1] + (b[1] - a[1]) * t + gaussian(&mut rng) * 0.0015).clamp(0.0, 1.0),
+            ]));
+        }
+        if points.len() >= n {
+            break;
+        }
+    }
+    // Round-off slack: fill with extra samples on random segments.
+    while points.len() < n {
+        let (a, b) = all[rng.gen_range(0..all.len())];
+        let t = rng.gen_range(0.0..1.0f32);
+        points.push(Point2::new([
+            (a[0] + (b[0] - a[0]) * t + gaussian(&mut rng) * 0.0015).clamp(0.0, 1.0),
+            (a[1] + (b[1] - a[1]) * t + gaussian(&mut rng) * 0.0015).clamp(0.0, 1.0),
+        ]));
+    }
+    points.truncate(n);
+    points
+}
+
+fn dist2(a: &[f32; 2], b: &[f32; 2]) -> f32 {
+    let dx = a[0] - b[0];
+    let dy = a[1] - b[1];
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_unit_square(points: &[Point2]) -> bool {
+        points.iter().all(|p| (0.0..=1.0).contains(&p[0]) && (0.0..=1.0).contains(&p[1]))
+    }
+
+    /// Fraction of points whose 0.01-neighborhood (checked against a
+    /// sample) holds at least `k` of `sample_size` sampled points.
+    fn dense_fraction(points: &[Point2], eps: f32, k: usize) -> f64 {
+        let sample: Vec<&Point2> = points.iter().step_by(7).collect();
+        let checked: Vec<&Point2> = points.iter().step_by(13).take(200).collect();
+        let eps_sq = eps * eps;
+        let dense = checked
+            .iter()
+            .filter(|p| sample.iter().filter(|q| q.dist_sq(p) <= eps_sq).count() >= k)
+            .count();
+        dense as f64 / checked.len() as f64
+    }
+
+    #[test]
+    fn all_families_generate_requested_count_in_bounds() {
+        for kind in Dataset2::ALL {
+            let pts = kind.generate(5000, 42);
+            assert_eq!(pts.len(), 5000, "{}", kind.name());
+            assert!(in_unit_square(&pts), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in Dataset2::ALL {
+            assert_eq!(kind.generate(1000, 3), kind.generate(1000, 3), "{}", kind.name());
+            assert_ne!(kind.generate(1000, 3), kind.generate(1000, 4), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn ngsim_is_extremely_dense() {
+        // Most NGSIM points must have many close neighbors even at a
+        // small radius (the paper: "overly dense even for small eps").
+        let pts = ngsim_like(8000, 1);
+        let frac = dense_fraction(&pts, 0.005, 10);
+        assert!(frac > 0.9, "ngsim dense fraction {frac}");
+    }
+
+    #[test]
+    fn road_network_is_sparser_than_ngsim() {
+        let road = road_network_like(8000, 1);
+        let ngsim = ngsim_like(8000, 1);
+        let road_frac = dense_fraction(&road, 0.003, 10);
+        let ngsim_frac = dense_fraction(&ngsim, 0.003, 10);
+        assert!(
+            road_frac < ngsim_frac,
+            "road ({road_frac}) must be sparser than ngsim ({ngsim_frac})"
+        );
+    }
+
+    #[test]
+    fn porto_is_center_heavy() {
+        let pts = porto_taxi_like(8000, 2);
+        let center = Point2::new([0.5, 0.5]);
+        let near = pts.iter().filter(|p| p.dist(&center) < 0.2).count();
+        let far = pts.iter().filter(|p| p.dist(&center) >= 0.35).count();
+        assert!(near > 3 * far, "porto must concentrate near the center ({near} vs {far})");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Dataset2::Ngsim.name(), "ngsim");
+        assert_eq!(Dataset2::PortoTaxi.name(), "porto-taxi");
+        assert_eq!(Dataset2::RoadNetwork.name(), "3d-road");
+    }
+}

@@ -1,0 +1,394 @@
+//! CUDA-DClust: parallel chain expansion with a collision matrix.
+//!
+//! Reimplementation of Böhm et al. (paper reference \[6\]) with the two
+//! refinements the paper's §2.2 attributes to later work and to the
+//! comparison code it used:
+//!
+//! * **cores first** (Mr. Scan): core points are identified *before*
+//!   chain generation, so chains only walk core points and borders are
+//!   attached in a final pass — this sidesteps CUDA-DClust's trickiest
+//!   race (tentative chain membership of non-core points),
+//! * **directory index** (CUDA-DClust*): a uniform grid with cell edge
+//!   `eps` restricts candidate neighbors to the 3^D surrounding cells.
+//!
+//! Each round launches a batch of chains (one thread per chain seed);
+//! every chain expands a breadth-first sub-cluster of core points,
+//! claiming points with a CAS on the chain-id array. Running into a
+//! point of another chain records a *collision*; after all points are
+//! chained, the host resolves the collision matrix with a sequential
+//! union-find and relabels chains into clusters.
+//!
+//! Deviations from the 2009 original, chosen where the original's fixed
+//! buffers would affect correctness rather than speed: chain frontiers
+//! grow dynamically instead of being fixed-length with restart flags,
+//! and collisions are a concurrent list rather than a dense
+//! `chains × chains` bit matrix.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+use fdbscan_device::shared::SharedMut;
+use fdbscan_device::{Device, DeviceError};
+use fdbscan_geom::Point;
+use fdbscan_grid::DenseGrid;
+use fdbscan_unionfind::SequentialDsu;
+use parking_lot::Mutex;
+
+use crate::framework::CoreFlags;
+use crate::labels::{Clustering, PointClass, NOISE};
+use crate::stats::RunStats;
+use crate::Params;
+
+const UNSET: u32 = u32::MAX;
+
+/// Tuning knobs for [`cuda_dclust`].
+#[derive(Clone, Copy, Debug)]
+pub struct CudaDclustConfig {
+    /// Chains launched per round (the original launches a fixed grid of
+    /// chain kernels per iteration).
+    pub chains_per_round: usize,
+}
+
+impl Default for CudaDclustConfig {
+    fn default() -> Self {
+        Self { chains_per_round: 256 }
+    }
+}
+
+/// Runs CUDA-DClust with default configuration.
+pub fn cuda_dclust<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    cuda_dclust_with(device, points, params, CudaDclustConfig::default())
+}
+
+/// Runs CUDA-DClust with an explicit configuration.
+pub fn cuda_dclust_with<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    config: CudaDclustConfig,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    let n = points.len();
+    let Params { eps, minpts } = params;
+    let eps_sq = eps * eps;
+    let start = Instant::now();
+    let counters_before = device.counters().snapshot();
+    device.memory().reset_peak();
+
+    if n == 0 {
+        return Ok((
+            Clustering::from_union_find(&[], &[]),
+            RunStats { total_time: start.elapsed(), ..Default::default() },
+        ));
+    }
+
+    let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
+    let _chain_mem = device.memory().reserve_array::<u32>(n)?;
+
+    // ---- Directory index -------------------------------------------------
+    let index_start = Instant::now();
+    // Cell edge = eps: all neighbors of a point live in the surrounding
+    // 3^D cells. Dense classification is disabled (minpts = MAX).
+    let grid = DenseGrid::build_with_cell_len(device, points, eps, usize::MAX);
+    let _grid_mem = device.memory().reserve(grid.memory_bytes())?;
+    let index_time = index_start.elapsed();
+
+    // Visits every candidate in the 3^D neighborhood of `q`, calling
+    // `visit(point id, within_eps)`. Returns the number of distance
+    // computations performed; `visit` returns false to stop early.
+    let for_candidates = |q: &Point<D>, mut visit: Box<dyn FnMut(u32, bool) -> bool + '_>| -> u64 {
+        let center = grid.coords_of_point(q);
+        let mut distances = 0u64;
+        // Enumerate 3^D neighbor offsets.
+        let neighborhood = 3usize.pow(D as u32);
+        'cells: for code in 0..neighborhood {
+            let mut coords = [0u64; D];
+            let mut c = code;
+            let mut skip = false;
+            for (axis, coord) in coords.iter_mut().enumerate() {
+                let offset = (c % 3) as i64 - 1;
+                c /= 3;
+                let v = center[axis] as i64 + offset;
+                if v < 0 {
+                    skip = true;
+                    break;
+                }
+                *coord = v as u64;
+            }
+            if skip {
+                continue;
+            }
+            let Some(cell) = grid.find_cell(coords) else { continue };
+            for &m in grid.cell_members(cell) {
+                distances += 1;
+                let within = points[m as usize].dist_sq(q) <= eps_sq;
+                if !visit(m, within) {
+                    break 'cells;
+                }
+            }
+        }
+        distances
+    };
+
+    // ---- Phase 1: core identification (Mr. Scan refinement) --------------
+    let preprocess_start = Instant::now();
+    let core = CoreFlags::new(n);
+    {
+        let core_ref = &core;
+        let counters = device.counters();
+        device.launch(n, |i| {
+            let mut count = 0usize;
+            let distances = for_candidates(
+                &points[i],
+                Box::new(|_, within| {
+                    if within {
+                        count += 1; // includes the point itself
+                    }
+                    count < minpts
+                }),
+            );
+            if count >= minpts {
+                core_ref.set(i as u32);
+            }
+            counters.add_distances(distances);
+        });
+    }
+    let preprocess_time = preprocess_start.elapsed();
+
+    // ---- Phase 2: chain expansion ----------------------------------------
+    let main_start = Instant::now();
+    let chain_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+    let collisions: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+    let mut chain_count = 0u32;
+    let mut scan_cursor = 0usize;
+
+    loop {
+        // Host-side: pick the next batch of unchained core seeds.
+        let mut seeds: Vec<u32> = Vec::with_capacity(config.chains_per_round);
+        while scan_cursor < n && seeds.len() < config.chains_per_round {
+            let i = scan_cursor as u32;
+            if core.get(i) && chain_of[scan_cursor].load(Ordering::Relaxed) == UNSET {
+                let q = chain_count;
+                chain_count += 1;
+                chain_of[scan_cursor].store(q, Ordering::Relaxed);
+                seeds.push(i);
+            }
+            scan_cursor += 1;
+        }
+        if seeds.is_empty() {
+            break;
+        }
+
+        let seeds_ref = &seeds;
+        let chain_ref = &chain_of;
+        let core_ref = &core;
+        let collisions_ref = &collisions;
+        let counters = device.counters();
+        device.launch(seeds.len(), |s| {
+            let seed = seeds_ref[s];
+            let q = chain_ref[seed as usize].load(Ordering::Relaxed);
+            let mut frontier = vec![seed];
+            let mut total_distances = 0u64;
+            while let Some(u) = frontier.pop() {
+                total_distances += for_candidates(
+                    &points[u as usize],
+                    Box::new(|v, within| {
+                        if within && core_ref.get(v) {
+                            match chain_ref[v as usize].compare_exchange(
+                                UNSET,
+                                q,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => frontier.push(v),
+                                Err(other) => {
+                                    if other != q {
+                                        collisions_ref.lock().push((q, other));
+                                    }
+                                }
+                            }
+                        }
+                        true
+                    }),
+                );
+            }
+            counters.add_distances(total_distances);
+        });
+    }
+
+    // ---- Phase 3: host-side collision resolution -------------------------
+    let mut chain_dsu = SequentialDsu::new(chain_count as usize);
+    for &(a, b) in collisions.lock().iter() {
+        chain_dsu.union(a, b);
+    }
+    let mut cluster_of_chain = vec![UNSET; chain_count as usize];
+    let mut num_clusters = 0u32;
+    for q in 0..chain_count {
+        let root = chain_dsu.find(q) as usize;
+        if cluster_of_chain[root] == UNSET {
+            cluster_of_chain[root] = num_clusters;
+            num_clusters += 1;
+        }
+        cluster_of_chain[q as usize] = cluster_of_chain[root];
+    }
+    let main_time = main_start.elapsed();
+
+    // ---- Phase 4: border attachment --------------------------------------
+    let finalize_start = Instant::now();
+    let mut assignments = vec![NOISE; n];
+    let mut classes = vec![PointClass::Noise; n];
+    {
+        let assignments_view = SharedMut::new(&mut assignments);
+        let classes_view = SharedMut::new(&mut classes);
+        let chain_ref = &chain_of;
+        let core_ref = &core;
+        let cluster_of_chain_ref = &cluster_of_chain;
+        let counters = device.counters();
+        device.launch(n, |i| {
+            if core_ref.get(i as u32) {
+                let chain = chain_ref[i].load(Ordering::Relaxed);
+                debug_assert_ne!(chain, UNSET, "core point left unchained");
+                // SAFETY: one writer per index.
+                unsafe {
+                    assignments_view.write(i, cluster_of_chain_ref[chain as usize] as i64);
+                    classes_view.write(i, PointClass::Core);
+                }
+                return;
+            }
+            // Border: first core neighbor within eps decides the cluster.
+            let mut found: Option<u32> = None;
+            let distances = for_candidates(
+                &points[i],
+                Box::new(|v, within| {
+                    if within && core_ref.get(v) {
+                        found = Some(v);
+                        false
+                    } else {
+                        true
+                    }
+                }),
+            );
+            counters.add_distances(distances);
+            if let Some(v) = found {
+                let chain = chain_ref[v as usize].load(Ordering::Relaxed);
+                // SAFETY: one writer per index.
+                unsafe {
+                    assignments_view.write(i, cluster_of_chain_ref[chain as usize] as i64);
+                    classes_view.write(i, PointClass::Border);
+                }
+            }
+        });
+    }
+    let finalize_time = finalize_start.elapsed();
+
+    let stats = RunStats {
+        index_time,
+        preprocess_time,
+        main_time,
+        finalize_time,
+        total_time: start.elapsed(),
+        counters: device.counters().snapshot().since(&counters_before),
+        peak_memory_bytes: device.memory().peak(),
+        dense: None,
+    };
+    Ok((Clustering { assignments, num_clusters: num_clusters as usize, classes }, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::assert_core_equivalent;
+    use crate::seq::dbscan_classic;
+    use crate::verify::assert_valid_clustering;
+    use fdbscan_device::DeviceConfig;
+    use fdbscan_geom::Point2;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::default().with_workers(2).with_block_size(16))
+    }
+
+    fn random_points(n: usize, extent: f32, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let (c, _) = cuda_dclust::<2>(&device(), &[], Params::new(1.0, 3)).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        for (seed, eps, minpts) in [(31u64, 0.3f32, 4usize), (32, 0.5, 3), (33, 0.2, 2)] {
+            let points = random_points(300, 5.0, seed);
+            let params = Params::new(eps, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (got, _) = cuda_dclust(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &got);
+            assert_valid_clustering(&points, &got, params);
+        }
+    }
+
+    #[test]
+    fn collisions_merge_chains() {
+        // A single long snake of core points: with one chain per round it
+        // still comes out as one cluster; with many chains per round the
+        // chains must merge through collisions.
+        let points: Vec<Point2> =
+            (0..400).map(|i| Point2::new([i as f32 * 0.4, 0.0])).collect();
+        let params = Params::new(1.0, 3);
+        for chains in [1usize, 4, 64] {
+            let (c, _) = cuda_dclust_with(
+                &device(),
+                &points,
+                params,
+                CudaDclustConfig { chains_per_round: chains },
+            )
+            .unwrap();
+            assert_eq!(c.num_clusters, 1, "chains_per_round = {chains}");
+        }
+    }
+
+    #[test]
+    fn borders_and_noise_classified() {
+        let mut points = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([0.1, 0.0]),
+            Point2::new([0.0, 0.1]),
+            Point2::new([0.9, 0.0]), // border: within 0.95 of (0.1, 0) only
+        ];
+        points.push(Point2::new([10.0, 10.0])); // noise
+        let params = Params::new(0.85, 3);
+        let (c, _) = cuda_dclust(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.classes[3], PointClass::Border);
+        assert_eq!(c.classes[4], PointClass::Noise);
+        assert_valid_clustering(&points, &c, params);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn cuda_dclust_always_matches_oracle(
+            seed in any::<u64>(),
+            n in 1usize..200,
+            eps in 0.05f32..1.5,
+            minpts in 1usize..8,
+        ) {
+            let points = random_points(n, 5.0, seed);
+            let params = Params::new(eps, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (got, _) = cuda_dclust(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &got);
+            assert_valid_clustering(&points, &got, params);
+        }
+    }
+}

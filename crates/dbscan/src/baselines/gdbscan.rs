@@ -1,0 +1,301 @@
+//! G-DBSCAN: adjacency graph + level-synchronous parallel BFS.
+//!
+//! Faithful reimplementation of Andrade et al. (paper reference \[2\]):
+//!
+//! 1. **graph construction** — a vertex-parallel all-to-all pass counts
+//!    each point's neighbors, an exclusive scan turns counts into CSR
+//!    offsets, and a second all-to-all pass fills the neighbor lists.
+//!    The whole graph — `O(sum of neighborhood sizes)` — lives in device
+//!    memory, which is why this algorithm runs out of memory on dense
+//!    data (the missing data points of the paper's Fig. 4(h)).
+//! 2. **clustering** — for every not-yet-labeled core point, a BFS with
+//!    level synchronization: each level expands all frontier vertices in
+//!    one kernel, claiming unlabeled neighbors with a CAS. Non-core
+//!    neighbors are labeled (borders) but not expanded.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use fdbscan_device::shared::SharedMut;
+use fdbscan_device::{Device, DeviceError};
+use fdbscan_geom::Point;
+
+use crate::labels::{Clustering, PointClass, NOISE};
+use crate::stats::RunStats;
+use crate::Params;
+
+const UNSET: u32 = u32::MAX;
+
+/// Runs G-DBSCAN over `points`.
+///
+/// Returns [`DeviceError::OutOfMemory`] when the adjacency graph exceeds
+/// the device budget — expected behaviour at scale, per the paper.
+pub fn gdbscan<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    let n = points.len();
+    let Params { eps, minpts } = params;
+    let eps_sq = eps * eps;
+    let start = Instant::now();
+    let counters_before = device.counters().snapshot();
+    device.memory().reset_peak();
+
+    if n == 0 {
+        return Ok((
+            Clustering::from_union_find(&[], &[]),
+            RunStats { total_time: start.elapsed(), ..Default::default() },
+        ));
+    }
+
+    let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
+
+    // ---- Graph construction -------------------------------------------
+    let index_start = Instant::now();
+
+    // Degree pass (all-to-all): neighbor count excluding self; the core
+    // test adds the point itself back.
+    let mut degrees = vec![0u64; n + 1];
+    {
+        let deg_view = SharedMut::new(&mut degrees);
+        let counters = device.counters();
+        device.launch(n, |i| {
+            let q = &points[i];
+            let mut count = 0u64;
+            for (j, p) in points.iter().enumerate() {
+                if j != i && p.dist_sq(q) <= eps_sq {
+                    count += 1;
+                }
+            }
+            counters.add_distances(n as u64);
+            // SAFETY: one writer per index.
+            unsafe { deg_view.write(i, count) };
+        });
+    }
+
+    // Core flags from degrees (|N| includes self).
+    let core: Vec<bool> = (0..n).map(|i| degrees[i] as usize + 1 >= minpts).collect();
+
+    // CSR offsets; `degrees` becomes the offsets array in place.
+    let num_edges = fdbscan_psort::exclusive_scan(device, &mut degrees) as usize;
+    let offsets = degrees;
+
+    // THE reservation that makes or breaks G-DBSCAN: the edge lists.
+    let _graph_mem = device
+        .memory()
+        .reserve(num_edges * std::mem::size_of::<u32>() + (n + 1) * std::mem::size_of::<u64>())?;
+
+    // Fill pass (second all-to-all).
+    let mut adjacency = vec![0u32; num_edges];
+    {
+        let adj_view = SharedMut::new(&mut adjacency);
+        let offsets_ref = &offsets;
+        let counters = device.counters();
+        device.launch(n, |i| {
+            let q = &points[i];
+            let mut cursor = offsets_ref[i] as usize;
+            for (j, p) in points.iter().enumerate() {
+                if j != i && p.dist_sq(q) <= eps_sq {
+                    // SAFETY: vertex i owns its CSR segment.
+                    unsafe { adj_view.write(cursor, j as u32) };
+                    cursor += 1;
+                }
+            }
+            counters.add_distances(n as u64);
+            debug_assert_eq!(cursor as u64, offsets_ref[i + 1]);
+        });
+    }
+    let index_time = index_start.elapsed();
+
+    // ---- BFS clustering -------------------------------------------------
+    let main_start = Instant::now();
+    let labels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+    let mut frontier: Vec<u32> = Vec::with_capacity(n);
+    let mut next: Vec<u32> = vec![0u32; n];
+    let mut num_clusters = 0u32;
+
+    for seed in 0..n {
+        if !core[seed] || labels[seed].load(Ordering::Relaxed) != UNSET {
+            continue;
+        }
+        let cluster = num_clusters;
+        num_clusters += 1;
+        labels[seed].store(cluster, Ordering::Relaxed);
+        frontier.clear();
+        frontier.push(seed as u32);
+
+        while !frontier.is_empty() {
+            let next_len = AtomicUsize::new(0);
+            {
+                let next_view = SharedMut::new(&mut next);
+                let frontier_ref = &frontier;
+                let labels_ref = &labels;
+                let offsets_ref = &offsets;
+                let adjacency_ref = &adjacency;
+                let core_ref = &core;
+                let counters = device.counters();
+                device.launch(frontier.len(), |f| {
+                    let u = frontier_ref[f] as usize;
+                    let begin = offsets_ref[u] as usize;
+                    let end = offsets_ref[u + 1] as usize;
+                    for &v in &adjacency_ref[begin..end] {
+                        // Claim: first cluster to reach v owns it.
+                        if labels_ref[v as usize]
+                            .compare_exchange(UNSET, cluster, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                        {
+                            counters.label_cas.fetch_add(1, Ordering::Relaxed);
+                            if core_ref[v as usize] {
+                                let slot = next_len.fetch_add(1, Ordering::Relaxed);
+                                // SAFETY: `slot` is unique per claim and
+                                // claims are unique per vertex, so at most
+                                // n disjoint writes.
+                                unsafe { next_view.write(slot, v) };
+                            }
+                        }
+                    }
+                });
+            }
+            let len = next_len.load(Ordering::Relaxed);
+            frontier.clear();
+            frontier.extend_from_slice(&next[..len]);
+        }
+    }
+    let main_time = main_start.elapsed();
+
+    // ---- Relabel ---------------------------------------------------------
+    let finalize_start = Instant::now();
+    let mut assignments = vec![NOISE; n];
+    let mut classes = vec![PointClass::Noise; n];
+    for i in 0..n {
+        let label = labels[i].load(Ordering::Relaxed);
+        if core[i] {
+            debug_assert_ne!(label, UNSET, "core point left unlabeled by BFS");
+            assignments[i] = label as i64;
+            classes[i] = PointClass::Core;
+        } else if label != UNSET {
+            assignments[i] = label as i64;
+            classes[i] = PointClass::Border;
+        }
+    }
+    let finalize_time = finalize_start.elapsed();
+
+    let stats = RunStats {
+        index_time,
+        preprocess_time: std::time::Duration::ZERO,
+        main_time,
+        finalize_time,
+        total_time: start.elapsed(),
+        counters: device.counters().snapshot().since(&counters_before),
+        peak_memory_bytes: device.memory().peak(),
+        dense: None,
+    };
+    Ok((Clustering { assignments, num_clusters: num_clusters as usize, classes }, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::assert_core_equivalent;
+    use crate::seq::dbscan_classic;
+    use crate::verify::assert_valid_clustering;
+    use fdbscan_device::DeviceConfig;
+    use fdbscan_geom::Point2;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::default().with_workers(2).with_block_size(64))
+    }
+
+    fn random_points(n: usize, extent: f32, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let (c, _) = gdbscan::<2>(&device(), &[], Params::new(1.0, 3)).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        for (seed, eps, minpts) in [(21u64, 0.3f32, 4usize), (22, 0.5, 3), (23, 0.2, 2)] {
+            let points = random_points(300, 5.0, seed);
+            let params = Params::new(eps, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (got, _) = gdbscan(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &got);
+            assert_valid_clustering(&points, &got, params);
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_edges_and_ooms() {
+        // A dense blob has ~n^2 edges: a budget that comfortably holds
+        // the points must still fail on the adjacency graph.
+        let points = vec![Point2::new([0.0, 0.0]); 2000];
+        // Half a MiB: plenty for FDBSCAN's linear structures (BVH ~112 KiB
+        // at n = 2000) but nowhere near the ~16 MiB adjacency graph.
+        let budget = 1 << 19;
+        let limited = Device::new(DeviceConfig::default().with_memory_budget(budget));
+        let err = gdbscan(&limited, &points, Params::new(1.0, 5)).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+
+        // FDBSCAN under the same budget succeeds: its memory is linear.
+        let (c, _) = crate::fdbscan(&limited, &points, Params::new(1.0, 5)).unwrap();
+        assert_eq!(c.num_clusters, 1);
+    }
+
+    #[test]
+    fn peak_memory_reflects_graph_size() {
+        let d = device();
+        let sparse = random_points(500, 100.0, 1);
+        let (_, stats_sparse) = gdbscan(&d, &sparse, Params::new(0.5, 3)).unwrap();
+        let dense: Vec<Point2> = random_points(500, 1.0, 2);
+        let (_, stats_dense) = gdbscan(&d, &dense, Params::new(0.5, 3)).unwrap();
+        assert!(
+            stats_dense.peak_memory_bytes > 4 * stats_sparse.peak_memory_bytes,
+            "dense data must need far more graph memory ({} vs {})",
+            stats_dense.peak_memory_bytes,
+            stats_sparse.peak_memory_bytes
+        );
+    }
+
+    #[test]
+    fn border_claimed_by_single_cluster() {
+        // Two vertical bars with a midpoint bridge that is within eps of
+        // exactly one point of each bar: a border, and no bridging.
+        let mut points: Vec<Point2> =
+            (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
+        points.extend((0..5).map(|i| Point2::new([0.9, 0.1 * i as f32])));
+        points.push(Point2::new([0.45, 0.2]));
+        let params = Params::new(0.45, 5);
+        let (c, _) = gdbscan(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.classes[10], PointClass::Border);
+        assert_valid_clustering(&points, &c, params);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn gdbscan_always_matches_oracle(
+            seed in any::<u64>(),
+            n in 1usize..200,
+            eps in 0.05f32..1.5,
+            minpts in 1usize..8,
+        ) {
+            let points = random_points(n, 5.0, seed);
+            let params = Params::new(eps, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (got, _) = gdbscan(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &got);
+            assert_valid_clustering(&points, &got, params);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! The GPU baselines of the paper's evaluation (§5.1).
+//!
+//! * [`gdbscan()`] — G-DBSCAN (Andrade et al. 2013): builds the full
+//!   adjacency graph with an all-to-all computation, then clusters with a
+//!   level-synchronous parallel BFS. Fast for small inputs, but its
+//!   memory grows with the number of *edges* — the limitation the paper's
+//!   scaling study exposes as out-of-memory failures.
+//! * [`cuda_dclust()`] — CUDA-DClust (Böhm et al. 2009) with the Mr. Scan
+//!   refinement the paper's §2.2 mentions (core points identified before
+//!   chain generation) and the CUDA-DClust* directory index: parallel
+//!   chain expansion with a collision matrix resolved on the host.
+
+pub mod cudadclust;
+pub mod gdbscan;
+
+pub use cudadclust::{cuda_dclust, CudaDclustConfig};
+pub use gdbscan::gdbscan;

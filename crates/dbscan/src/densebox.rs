@@ -1,0 +1,462 @@
+//! FDBSCAN-DenseBox: dense-cell handling fused into the tree (paper §4.2).
+//!
+//! A grid with cell edge `eps/sqrt(d)` guarantees every cell's diameter is
+//! at most `eps`, so a cell holding `minpts`+ points (*dense cell*)
+//! consists entirely of core points of one cluster. The BVH is then built
+//! over a **mixed** primitive set — dense-cell boxes plus the points
+//! outside them — and:
+//!
+//! * preprocessing only examines points *outside* dense cells (dense
+//!   points are core by construction); when the traversal hits a box, a
+//!   linear scan over the cell's members counts matches, stopping at
+//!   `minpts`,
+//! * the main phase first unions each dense cell internally (one kernel),
+//!   then traverses from **every** point; a box hit requires finding just
+//!   *one* member within `eps` to connect the whole cell, and a point hit
+//!   resolves like FDBSCAN.
+//!
+//! No distance computations ever happen between two points of the same
+//! dense cell — the elimination the paper's §5.1 measurements attribute
+//! the (up to 16×) speedups to.
+
+use std::ops::ControlFlow;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use fdbscan_bvh::Bvh;
+use fdbscan_device::{Device, DeviceError};
+use fdbscan_geom::Point;
+use fdbscan_grid::DenseGrid;
+use fdbscan_unionfind::AtomicLabels;
+
+use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
+use crate::labels::Clustering;
+use crate::stats::{DenseStats, RunStats};
+use crate::Params;
+
+/// Options for [`fdbscan_densebox_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DenseBoxOptions {
+    /// DBSCAN* semantics (see [`crate::star`]): drop border claims.
+    pub star: bool,
+}
+
+/// Runs FDBSCAN-DenseBox over `points`.
+///
+/// Behaviour and output contract are identical to [`crate::fdbscan`];
+/// only the work distribution differs (and is reported in
+/// [`RunStats::dense`]).
+pub fn fdbscan_densebox<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    fdbscan_densebox_with(device, points, params, DenseBoxOptions::default())
+}
+
+/// [`fdbscan_densebox`] with explicit options.
+pub fn fdbscan_densebox_with<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    options: DenseBoxOptions,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    if points.is_empty() {
+        let start = Instant::now();
+        return Ok((
+            Clustering::from_union_find(&[], &[]),
+            RunStats { total_time: start.elapsed(), ..Default::default() },
+        ));
+    }
+    let grid_start = Instant::now();
+    let grid = DenseGrid::build(device, points, params.eps, params.minpts);
+    densebox_with_grid(device, points, params, options, grid, grid_start.elapsed())
+}
+
+/// FDBSCAN-DenseBox over a prebuilt grid (used by the heuristic switch
+/// in [`crate::auto`], which builds the grid to make its decision).
+///
+/// `grid_time` is folded into the index-time accounting.
+pub fn densebox_with_grid<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    options: DenseBoxOptions,
+    grid: DenseGrid<D>,
+    grid_time: std::time::Duration,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    let n = points.len();
+    let Params { eps, minpts } = params;
+    let start = Instant::now();
+    let counters_before = device.counters().snapshot();
+    device.memory().reset_peak();
+
+    if n == 0 {
+        return Ok((
+            Clustering::from_union_find(&[], &[]),
+            RunStats { total_time: start.elapsed(), ..Default::default() },
+        ));
+    }
+
+    let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
+    let _labels_mem = device.memory().reserve_array::<u32>(n)?;
+    let _flags_mem = device.memory().reserve(n.div_ceil(8))?;
+
+    // Phase 1: dense grid (prebuilt) + mixed-primitive BVH.
+    let index_start = Instant::now();
+    let _grid_mem = device.memory().reserve(grid.memory_bytes())?;
+    let mixed = grid.mixed_primitives(points);
+    let bvh = Bvh::build(device, &mixed.bounds);
+    let _bvh_mem = device.memory().reserve(bvh.memory_bytes())?;
+    let refs = &mixed.refs;
+    let index_time = index_start.elapsed() + grid_time;
+
+    let labels = AtomicLabels::with_counters(n, device.counters_arc());
+    let core = CoreFlags::new(n);
+
+    // Phase 2: preprocessing. Dense-cell points are core by construction;
+    // only outside points run the counting traversal.
+    let preprocess_start = Instant::now();
+    if minpts > 2 {
+        let bvh_ref = &bvh;
+        let grid_ref = &grid;
+        let core_ref = &core;
+        let counters = device.counters();
+        device.launch(n, |i| {
+            let i = i as u32;
+            if grid_ref.point_in_dense_cell(i) {
+                core_ref.set(i);
+                return;
+            }
+            let mut count = 0usize;
+            let mut distances = 0u64;
+            let mut box_scans = 0u64;
+            let q = &points[i as usize];
+            let eps_sq = eps * eps;
+            let stats = bvh_ref.for_each_in_radius(q, eps, 0, |_, payload| {
+                let r = refs[payload as usize];
+                if r.is_cell() {
+                    // Linear scan of the dense cell, stopping at minpts.
+                    for &m in grid_ref.cell_members(r.index()) {
+                        distances += 1;
+                        box_scans += 1;
+                        if points[m as usize].dist_sq(q) <= eps_sq {
+                            count += 1;
+                            if count >= minpts {
+                                return ControlFlow::Break(());
+                            }
+                        }
+                    }
+                } else {
+                    // Point primitive: the leaf-bounds test was already
+                    // the exact distance test (includes `i` itself).
+                    distances += 1;
+                    count += 1;
+                    if count >= minpts {
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            });
+            if count >= minpts {
+                core_ref.set(i);
+            }
+            counters.add_nodes_visited(stats.nodes_visited);
+            counters.add_distances(distances);
+            counters.dense_box_scans.fetch_add(box_scans, Ordering::Relaxed);
+        });
+    } else if minpts == 1 {
+        // Every point is trivially core. (With minpts == 1 every
+        // non-empty cell is dense, so this is also what the grid implies.)
+        let core_ref = &core;
+        device.launch(n, |i| core_ref.set(i as u32));
+    }
+    let preprocess_time = preprocess_start.elapsed();
+
+    // Phase 3a: union all points within each dense cell.
+    let main_start = Instant::now();
+    {
+        let grid_ref = &grid;
+        let labels_ref = &labels;
+        let core_ref = &core;
+        device.launch(grid.num_cells(), |c| {
+            let c = c as u32;
+            if !grid_ref.is_dense(c) {
+                return;
+            }
+            let members = grid_ref.cell_members(c);
+            let anchor = members[0];
+            core_ref.set(anchor);
+            for &m in &members[1..] {
+                core_ref.set(m);
+                labels_ref.union(anchor, m);
+            }
+        });
+    }
+
+    // Phase 3b: traversal from every point.
+    {
+        let bvh_ref = &bvh;
+        let grid_ref = &grid;
+        let labels_ref = &labels;
+        let core_ref = &core;
+        let counters = device.counters();
+        let eps_sq = eps * eps;
+        device.launch(n, |i| {
+            let i = i as u32;
+            let my_cell = grid_ref.cell_of_point(i);
+            let in_dense = grid_ref.is_dense(my_cell);
+            let q = &points[i as usize];
+            let mut distances = 0u64;
+            let mut box_scans = 0u64;
+            let stats = bvh_ref.for_each_in_radius(q, eps, 0, |_, payload| {
+                let r = refs[payload as usize];
+                if r.is_cell() {
+                    let c = r.index();
+                    if in_dense && c == my_cell {
+                        // Own cell: already unioned in phase 3a.
+                        return ControlFlow::Continue(());
+                    }
+                    let members = grid_ref.cell_members(c);
+                    // Short-circuit (the ArborX callback optimization):
+                    // all members of a dense cell share one set, so if
+                    // this point is already in it, any union found by the
+                    // scan would be a no-op — skip the distance work.
+                    if labels_ref.same_set(i, members[0]) {
+                        return ControlFlow::Continue(());
+                    }
+                    // One member within eps connects the whole cell.
+                    for &m in members.iter() {
+                        distances += 1;
+                        box_scans += 1;
+                        if points[m as usize].dist_sq(q) <= eps_sq {
+                            if minpts == 2 {
+                                core_ref.set(i); // m is already core
+                                labels_ref.union(i, m);
+                            } else if options.star {
+                                resolve_pair_star(labels_ref, core_ref, i, m);
+                            } else {
+                                resolve_pair(labels_ref, core_ref, i, m);
+                            }
+                            break;
+                        }
+                    }
+                } else {
+                    let j = r.index();
+                    if j != i {
+                        // The leaf-bounds test was the exact distance test.
+                        distances += 1;
+                        if minpts == 2 {
+                            core_ref.set(i);
+                            core_ref.set(j);
+                            labels_ref.union(i, j);
+                        } else if options.star {
+                            resolve_pair_star(labels_ref, core_ref, i, j);
+                        } else {
+                            resolve_pair(labels_ref, core_ref, i, j);
+                        }
+                    }
+                }
+                ControlFlow::Continue(())
+            });
+            counters.add_nodes_visited(stats.nodes_visited);
+            counters.add_distances(distances);
+            counters.dense_box_scans.fetch_add(box_scans, Ordering::Relaxed);
+            counters.neighbors_found.fetch_add(stats.leaf_hits, Ordering::Relaxed);
+        });
+    }
+    let main_time = main_start.elapsed();
+
+    // Phase 4: finalization.
+    let finalize_start = Instant::now();
+    let clustering = finalize(device, &labels, &core);
+    let finalize_time = finalize_start.elapsed();
+
+    let stats = RunStats {
+        index_time,
+        preprocess_time,
+        main_time,
+        finalize_time,
+        total_time: start.elapsed(),
+        counters: device.counters().snapshot().since(&counters_before),
+        peak_memory_bytes: device.memory().peak(),
+        dense: Some(DenseStats {
+            num_cells: grid.num_cells(),
+            num_dense_cells: grid.num_dense_cells(),
+            points_in_dense_cells: grid.points_in_dense_cells(),
+            dense_fraction: grid.dense_fraction(),
+        }),
+    };
+    Ok((clustering, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{assert_core_equivalent, PointClass, NOISE};
+    use crate::seq::dbscan_classic;
+    use crate::verify::assert_valid_clustering;
+    use fdbscan_device::DeviceConfig;
+    use fdbscan_geom::Point2;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::default().with_workers(2).with_block_size(64))
+    }
+
+    fn random_points(n: usize, extent: f32, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let (c, _) = fdbscan_densebox::<2>(&device(), &[], Params::new(1.0, 3)).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let points = [Point2::new([1.0, 1.0])];
+        let (c, _) = fdbscan_densebox(&device(), &points, Params::new(1.0, 2)).unwrap();
+        assert_eq!(c.assignments, vec![NOISE]);
+        let (c, _) = fdbscan_densebox(&device(), &points, Params::new(1.0, 1)).unwrap();
+        assert_eq!(c.assignments, vec![0]);
+    }
+
+    #[test]
+    fn dense_blob_is_one_cluster_with_no_internal_distances() {
+        // All points in one tiny spot: a single dense cell; the main
+        // phase must not compute any distances between its members.
+        let points = vec![Point2::new([1.0, 1.0]); 100];
+        let params = Params::new(1.0, 5);
+        let (c, stats) = fdbscan_densebox(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.num_core(), 100);
+        let dense = stats.dense.unwrap();
+        assert_eq!(dense.num_dense_cells, 1);
+        assert_eq!(dense.points_in_dense_cells, 100);
+        assert!((dense.dense_fraction - 1.0).abs() < 1e-12);
+        // One dense cell, one box primitive, no point primitives: the
+        // traversal finds only the own-cell box, which is skipped.
+        assert_eq!(stats.counters.distance_computations, 0);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        for (seed, eps, minpts) in
+            [(11u64, 0.3f32, 4usize), (12, 0.5, 3), (13, 0.2, 6), (14, 1.0, 10), (15, 0.15, 2)]
+        {
+            let points = random_points(400, 6.0, seed);
+            let params = Params::new(eps, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (got, _) = fdbscan_densebox(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &got);
+            assert_valid_clustering(&points, &got, params);
+        }
+    }
+
+    #[test]
+    fn matches_fdbscan_exactly_on_clustered_data() {
+        // Clustered data exercises the dense-cell path hard.
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut points = Vec::new();
+        for _ in 0..8 {
+            let cx: f32 = rng.gen_range(0.0..10.0);
+            let cy: f32 = rng.gen_range(0.0..10.0);
+            for _ in 0..80 {
+                points.push(Point2::new([
+                    cx + rng.gen_range(-0.2..0.2),
+                    cy + rng.gen_range(-0.2..0.2),
+                ]));
+            }
+        }
+        for _ in 0..40 {
+            points.push(Point2::new([rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]));
+        }
+        let params = Params::new(0.3, 8);
+        let (a, stats_a) = crate::fdbscan(&device(), &points, params).unwrap();
+        let (b, stats_b) = fdbscan_densebox(&device(), &points, params).unwrap();
+        assert_core_equivalent(&a, &b);
+        assert_valid_clustering(&points, &b, params);
+        // The dense-box variant must do strictly fewer distance
+        // computations on heavily clustered data.
+        assert!(
+            stats_b.counters.distance_computations < stats_a.counters.distance_computations,
+            "densebox: {} >= fdbscan: {}",
+            stats_b.counters.distance_computations,
+            stats_a.counters.distance_computations
+        );
+        assert!(stats_b.dense.unwrap().dense_fraction > 0.5);
+    }
+
+    #[test]
+    fn minpts_2_friends_of_friends() {
+        let points: Vec<Point2> = (0..40).map(|i| Point2::new([i as f32 * 0.9, 0.0])).collect();
+        let params = Params::new(1.0, 2);
+        let (c, _) = fdbscan_densebox(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 1);
+        assert_valid_clustering(&points, &c, params);
+    }
+
+    #[test]
+    fn two_dense_cells_connected_across_boundary() {
+        // Two tight groups straddling a cell boundary but within eps of
+        // each other: must merge into one cluster via the box-box path.
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(Point2::new([0.9 + 0.001 * i as f32, 0.5]));
+            points.push(Point2::new([1.1 + 0.001 * i as f32, 0.5]));
+        }
+        let params = Params::new(0.5, 5);
+        let (c, stats) = fdbscan_densebox(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 1);
+        assert!(stats.dense.unwrap().num_dense_cells >= 1);
+        assert_valid_clustering(&points, &c, params);
+    }
+
+    #[test]
+    fn border_attachment_to_dense_cluster() {
+        // A dense blob (two stacks sharing a cell) plus one point within
+        // eps of only the nearer stack: that point's degree (11) stays
+        // below minpts (12), so it is a border of the dense cluster.
+        let mut points = vec![Point2::new([0.0, 0.0]); 10];
+        points.extend(vec![Point2::new([0.15, 0.0]); 10]);
+        points.push(Point2::new([1.05, 0.0]));
+        let params = Params::new(1.0, 12);
+        let (c, _) = fdbscan_densebox(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.classes[20], PointClass::Border);
+        assert_eq!(c.assignments[20], c.assignments[0]);
+        assert_valid_clustering(&points, &c, params);
+    }
+
+    #[test]
+    fn oom_when_budget_too_small() {
+        let tiny = Device::new(DeviceConfig::default().with_memory_budget(64));
+        let points = random_points(1000, 5.0, 3);
+        let err = fdbscan_densebox(&tiny, &points, Params::new(0.3, 4)).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn densebox_always_matches_oracle(
+            seed in any::<u64>(),
+            n in 1usize..250,
+            eps in 0.05f32..1.5,
+            minpts in 1usize..10,
+        ) {
+            let points = random_points(n, 5.0, seed);
+            let params = Params::new(eps, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (got, _) = fdbscan_densebox(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &got);
+            assert_valid_clustering(&points, &got, params);
+        }
+    }
+}

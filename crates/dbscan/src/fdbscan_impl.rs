@@ -1,0 +1,406 @@
+//! FDBSCAN: fused tree traversal + union-find (paper §4.1).
+//!
+//! Phases (each a batched device kernel, no host round-trips between
+//! them):
+//!
+//! 1. **index** — build a linear BVH over the points,
+//! 2. **preprocessing** — one thread per point runs an early-terminating
+//!    radius traversal and marks the point core once `minpts` neighbors
+//!    (including itself) have been seen. Skipped for `minpts <= 2`
+//!    (Algorithm 3 line 2): with `minpts == 2` any matched pair proves
+//!    both endpoints core, and with `minpts == 1` every point is core.
+//! 3. **main** — one thread per point runs an *index-masked* traversal
+//!    (cutoff = its own sorted-leaf position + 1, Fig. 1) so each close
+//!    pair is discovered exactly once, resolving it per Algorithm 3
+//!    (union for core–core, CAS border claim otherwise),
+//! 4. **finalization** — flatten the union-find and relabel.
+
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+use fdbscan_bvh::Bvh;
+use fdbscan_device::{Device, DeviceError};
+use fdbscan_geom::{Aabb, Point};
+use fdbscan_unionfind::AtomicLabels;
+
+use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
+use crate::labels::Clustering;
+use crate::stats::RunStats;
+use crate::Params;
+
+/// Ablation switches for [`fdbscan_with`] — each disables one of the
+/// paper's traversal optimizations so its contribution can be measured
+/// (the `ablations` bench).
+#[derive(Clone, Copy, Debug)]
+pub struct FdbscanOptions {
+    /// §4.1's index-masked traversal: process each close pair once. When
+    /// disabled, the main phase runs unmasked traversals (each pair seen
+    /// from both endpoints) and relies on the idempotence of the
+    /// resolution rule.
+    pub masked_traversal: bool,
+    /// §3.2's early-terminated core counting: stop at `minpts`. When
+    /// disabled, preprocessing counts the full neighborhood (the paper
+    /// notes this is preferable only when sweeping several `minpts`
+    /// values over one dataset).
+    pub early_termination: bool,
+    /// DBSCAN* semantics (see [`crate::star`]): drop border claims, so
+    /// every non-core point is noise.
+    pub star: bool,
+}
+
+impl Default for FdbscanOptions {
+    fn default() -> Self {
+        Self { masked_traversal: true, early_termination: true, star: false }
+    }
+}
+
+/// Runs FDBSCAN over `points`.
+///
+/// Fails only if the device memory budget cannot hold the search index
+/// and label arrays (both linear in `n` — the memory guarantee of the
+/// two-phase framework, §3.2).
+pub fn fdbscan<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    fdbscan_with(device, points, params, FdbscanOptions::default())
+}
+
+/// [`fdbscan`] with explicit ablation options.
+pub fn fdbscan_with<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    options: FdbscanOptions,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    let n = points.len();
+    let Params { eps, minpts } = params;
+    let start = Instant::now();
+    let counters_before = device.counters().snapshot();
+    device.memory().reset_peak();
+
+    // Device-resident data: the points themselves + label + flag arrays.
+    let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
+    let _labels_mem = device.memory().reserve_array::<u32>(n)?;
+    let _flags_mem = device.memory().reserve(n.div_ceil(8))?;
+
+    // Phase 1: search index.
+    let index_start = Instant::now();
+    let bounds: Vec<Aabb<D>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
+    let bvh = Bvh::build(device, &bounds);
+    drop(bounds);
+    let _bvh_mem = device.memory().reserve(bvh.memory_bytes())?;
+    let index_time = index_start.elapsed();
+
+    let labels = AtomicLabels::with_counters(n, device.counters_arc());
+    let core = CoreFlags::new(n);
+
+    // Phase 2: preprocessing (core determination).
+    let preprocess_start = Instant::now();
+    match minpts {
+        0 => unreachable!("Params::new validates minpts >= 1"),
+        1 => {
+            // Every point is trivially core (its neighborhood contains
+            // itself).
+            let core_ref = &core;
+            device.launch(n, |i| core_ref.set(i as u32));
+        }
+        2 => {
+            // Skipped: the main phase marks both endpoints of any matched
+            // pair as core (Algorithm 3, line 2).
+        }
+        _ => {
+            let bvh_ref = &bvh;
+            let core_ref = &core;
+            let counters = device.counters();
+            let early = options.early_termination;
+            device.launch(n, |i| {
+                let mut count = 0usize;
+                let stats =
+                    bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
+                        count += 1;
+                        if early && count >= minpts {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    });
+                if count >= minpts {
+                    core_ref.set(i as u32);
+                }
+                counters.add_nodes_visited(stats.nodes_visited);
+                counters.add_distances(stats.leaf_hits);
+            });
+        }
+    }
+    let preprocess_time = preprocess_start.elapsed();
+
+    // Phase 3: main (masked traversal fused with union-find).
+    let main_start = Instant::now();
+    {
+        let bvh_ref = &bvh;
+        let core_ref = &core;
+        let labels_ref = &labels;
+        let counters = device.counters();
+        let masked = options.masked_traversal;
+        device.launch(n, |i| {
+            let i = i as u32;
+            let cutoff = if masked { bvh_ref.leaf_pos_of(i) + 1 } else { 0 };
+            let stats = bvh_ref.for_each_in_radius(&points[i as usize], eps, cutoff, |_, j| {
+                if !masked && j == i {
+                    return ControlFlow::Continue(());
+                }
+                if minpts == 2 {
+                    // Any matched pair proves both endpoints core.
+                    core_ref.set(i);
+                    core_ref.set(j);
+                    labels_ref.union(i, j);
+                } else if options.star {
+                    resolve_pair_star(labels_ref, core_ref, i, j);
+                } else {
+                    resolve_pair(labels_ref, core_ref, i, j);
+                }
+                ControlFlow::Continue(())
+            });
+            counters.add_nodes_visited(stats.nodes_visited);
+            counters.add_distances(stats.leaf_hits);
+            counters
+                .neighbors_found
+                .fetch_add(stats.leaf_hits, std::sync::atomic::Ordering::Relaxed);
+        });
+    }
+    let main_time = main_start.elapsed();
+
+    // Phase 4: finalization.
+    let finalize_start = Instant::now();
+    let clustering = finalize(device, &labels, &core);
+    let finalize_time = finalize_start.elapsed();
+
+    let stats = RunStats {
+        index_time,
+        preprocess_time,
+        main_time,
+        finalize_time,
+        total_time: start.elapsed(),
+        counters: device.counters().snapshot().since(&counters_before),
+        peak_memory_bytes: device.memory().peak(),
+        dense: None,
+    };
+    Ok((clustering, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::{assert_core_equivalent, PointClass, NOISE};
+    use crate::seq::dbscan_classic;
+    use crate::verify::assert_valid_clustering;
+    use fdbscan_device::DeviceConfig;
+    use fdbscan_geom::Point2;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::default().with_workers(2).with_block_size(64))
+    }
+
+    fn random_points(n: usize, extent: f32, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        let (c, _) = fdbscan::<2>(&device(), &[], Params::new(1.0, 3)).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.num_clusters, 0);
+    }
+
+    #[test]
+    fn single_point_is_noise_unless_minpts_1() {
+        let points = [Point2::new([1.0, 1.0])];
+        let (c, _) = fdbscan(&device(), &points, Params::new(1.0, 2)).unwrap();
+        assert_eq!(c.assignments, vec![NOISE]);
+        let (c, _) = fdbscan(&device(), &points, Params::new(1.0, 1)).unwrap();
+        assert_eq!(c.assignments, vec![0]);
+        assert_eq!(c.classes[0], PointClass::Core);
+    }
+
+    #[test]
+    fn two_blobs_and_outlier() {
+        let mut points = Vec::new();
+        for i in 0..12 {
+            points.push(Point2::new([0.05 * (i % 4) as f32, 0.05 * (i / 4) as f32]));
+            points.push(Point2::new([3.0 + 0.05 * (i % 4) as f32, 0.05 * (i / 4) as f32]));
+        }
+        points.push(Point2::new([50.0, 50.0]));
+        let params = Params::new(0.2, 4);
+        let (c, stats) = fdbscan(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.num_noise(), 1);
+        assert_valid_clustering(&points, &c, params);
+        assert!(stats.counters.unions > 0);
+        assert!(stats.peak_memory_bytes > 0);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_data() {
+        for (seed, eps, minpts) in
+            [(1u64, 0.3f32, 4usize), (2, 0.5, 3), (3, 0.2, 6), (4, 1.0, 10), (5, 0.15, 2)]
+        {
+            let points = random_points(400, 6.0, seed);
+            let params = Params::new(eps, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (got, _) = fdbscan(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &got);
+            assert_valid_clustering(&points, &got, params);
+        }
+    }
+
+    #[test]
+    fn minpts_2_is_connected_components() {
+        let points: Vec<Point2> = (0..30).map(|i| Point2::new([i as f32 * 0.9, 0.0])).collect();
+        let params = Params::new(1.0, 2);
+        let (c, _) = fdbscan(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 1);
+        assert!(c.classes.iter().all(|cl| *cl == PointClass::Core));
+        assert_valid_clustering(&points, &c, params);
+    }
+
+    #[test]
+    fn minpts_2_skips_preprocessing_kernels() {
+        // With minpts == 2 the preprocessing traversal must not run: the
+        // kernel count for the run is exactly index-build + main + flatten.
+        let d = device();
+        let points = random_points(200, 3.0, 9);
+        let (_, stats2) = fdbscan(&d, &points, Params::new(0.3, 2)).unwrap();
+        let (_, stats3) = fdbscan(&d, &points, Params::new(0.3, 3)).unwrap();
+        assert_eq!(
+            stats3.counters.kernel_launches,
+            stats2.counters.kernel_launches + 1,
+            "minpts=3 must launch exactly one extra (preprocessing) kernel"
+        );
+    }
+
+    #[test]
+    fn all_duplicates() {
+        let points = vec![Point2::new([2.0, 2.0]); 64];
+        let params = Params::new(0.5, 10);
+        let (c, _) = fdbscan(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 1);
+        assert_eq!(c.num_core(), 64);
+        assert_valid_clustering(&points, &c, params);
+    }
+
+    #[test]
+    fn minpts_exceeding_n_yields_all_noise() {
+        let points = random_points(20, 1.0, 7);
+        let (c, _) = fdbscan(&device(), &points, Params::new(0.5, 100)).unwrap();
+        assert_eq!(c.num_clusters, 0);
+        assert_eq!(c.num_noise(), 20);
+    }
+
+    #[test]
+    fn oom_when_budget_too_small() {
+        let tiny = Device::new(DeviceConfig::default().with_memory_budget(64));
+        let points = random_points(1000, 5.0, 3);
+        let err = fdbscan(&tiny, &points, Params::new(0.3, 4)).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn deterministic_clustering_across_runs() {
+        // Cluster *membership* must be identical across runs even though
+        // internal union order varies with thread scheduling.
+        let points = random_points(600, 5.0, 12);
+        let params = Params::new(0.25, 4);
+        let (first, _) = fdbscan(&device(), &points, params).unwrap();
+        for _ in 0..3 {
+            let (again, _) = fdbscan(&device(), &points, params).unwrap();
+            assert_core_equivalent(&first, &again);
+        }
+    }
+
+    #[test]
+    fn sequential_device_gives_same_result() {
+        let points = random_points(300, 4.0, 15);
+        let params = Params::new(0.3, 5);
+        let seq_device = Device::new(DeviceConfig::sequential());
+        let (a, _) = fdbscan(&seq_device, &points, params).unwrap();
+        let (b, _) = fdbscan(&device(), &points, params).unwrap();
+        assert_core_equivalent(&a, &b);
+    }
+
+    #[test]
+    fn ablation_variants_match_default() {
+        let points = random_points(500, 5.0, 33);
+        let params = Params::new(0.3, 6);
+        let d = device();
+        let (reference, ref_stats) = fdbscan(&d, &points, params).unwrap();
+        for (masked, early) in [(false, true), (true, false), (false, false)] {
+            let options = FdbscanOptions {
+                masked_traversal: masked,
+                early_termination: early,
+                ..Default::default()
+            };
+            let (c, stats) = fdbscan_with(&d, &points, params, options).unwrap();
+            assert_core_equivalent(&reference, &c);
+            if !masked {
+                // Unmasked traversal must do strictly more distance work.
+                assert!(
+                    stats.counters.distance_computations
+                        > ref_stats.counters.distance_computations,
+                    "mask ablation should increase work"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_reduces_preprocessing_work() {
+        // Dense data with |N| >> minpts: stopping at minpts must save a
+        // lot of distance computations.
+        let points = vec![Point2::new([0.0, 0.0]); 2000];
+        let params = Params::new(1.0, 5);
+        let d = device();
+        let (_, with_et) = fdbscan(&d, &points, params).unwrap();
+        let (_, without_et) = fdbscan_with(
+            &d,
+            &points,
+            params,
+            FdbscanOptions { masked_traversal: true, early_termination: false, ..Default::default() },
+        )
+        .unwrap();
+        // Both runs share the ~n^2/2 main-phase pair distances; the
+        // preprocessing difference (5 vs 2000 hits per point) must still
+        // dominate the total by a clear factor.
+        assert!(
+            with_et.counters.distance_computations * 2
+                < without_et.counters.distance_computations,
+            "early termination must cut preprocessing work ({} vs {})",
+            with_et.counters.distance_computations,
+            without_et.counters.distance_computations
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn fdbscan_always_matches_oracle(
+            seed in any::<u64>(),
+            n in 1usize..250,
+            eps in 0.05f32..1.5,
+            minpts in 1usize..10,
+        ) {
+            let points = random_points(n, 5.0, seed);
+            let params = Params::new(eps, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (got, _) = fdbscan(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &got);
+            assert_valid_clustering(&points, &got, params);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Shared pieces of the parallel disjoint-set framework (paper §3.2).
+//!
+//! Both tree-based algorithms — and any future instantiation of
+//! Algorithm 3 — share three ingredients: a concurrent core-point flag
+//! array, the per-pair resolution rule (union vs. atomic border claim),
+//! and the finalization step (flatten + relabel).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use fdbscan_device::Device;
+use fdbscan_unionfind::AtomicLabels;
+
+use crate::labels::Clustering;
+
+/// A concurrent bitset of core-point flags.
+///
+/// Kernels set flags with relaxed atomic OR — idempotent, so racing
+/// setters are fine — and read them with relaxed loads. Cross-phase
+/// visibility comes from the launch barrier.
+pub struct CoreFlags {
+    words: Vec<AtomicU32>,
+    len: usize,
+}
+
+impl CoreFlags {
+    /// Creates `n` cleared flags.
+    pub fn new(n: usize) -> Self {
+        Self { words: (0..n.div_ceil(32)).map(|_| AtomicU32::new(0)).collect(), len: n }
+    }
+
+    /// Number of flags.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks point `i` as a core point.
+    #[inline]
+    pub fn set(&self, i: u32) {
+        let i = i as usize;
+        debug_assert!(i < self.len);
+        self.words[i / 32].fetch_or(1 << (i % 32), Ordering::Relaxed);
+    }
+
+    /// Whether point `i` is marked core.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.len);
+        self.words[i / 32].load(Ordering::Relaxed) & (1 << (i % 32)) != 0
+    }
+
+    /// Number of set flags.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed).count_ones() as usize).sum()
+    }
+
+    /// Copies the flags into a `Vec<bool>`.
+    pub fn to_vec(&self) -> Vec<bool> {
+        (0..self.len as u32).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Resolves one discovered close pair `(x, y)` according to Algorithm 3
+/// (lines 6–12):
+///
+/// * both core → `Union(x, y)`,
+/// * one core → the non-core point is claimed for the core point's
+///   cluster by a single CAS (first cluster wins; no bridging),
+/// * neither core → nothing.
+///
+/// Symmetric and idempotent: processing `(x, y)` once, twice, or as
+/// `(y, x)` yields the same clustering.
+#[inline]
+pub fn resolve_pair(labels: &AtomicLabels, core: &CoreFlags, x: u32, y: u32) {
+    match (core.get(x), core.get(y)) {
+        (true, true) => {
+            labels.union(x, y);
+        }
+        (true, false) => {
+            let root = labels.find(x);
+            labels.try_claim(y, root);
+        }
+        (false, true) => {
+            let root = labels.find(y);
+            labels.try_claim(x, root);
+        }
+        (false, false) => {}
+    }
+}
+
+/// [`resolve_pair`] under DBSCAN* semantics (see [`crate::star`]): only
+/// core–core pairs act; there are no border claims.
+#[inline]
+pub fn resolve_pair_star(labels: &AtomicLabels, core: &CoreFlags, x: u32, y: u32) {
+    if core.get(x) && core.get(y) {
+        labels.union(x, y);
+    }
+}
+
+/// Finalization (paper §4): flatten all union-find paths with a batched
+/// kernel, then relabel into compact cluster ids.
+pub fn finalize(device: &Device, labels: &AtomicLabels, core: &CoreFlags) -> Clustering {
+    labels.flatten(device);
+    let flat = labels.snapshot();
+    let core_vec = core.to_vec();
+    Clustering::from_union_find(&flat, &core_vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::PointClass;
+
+    #[test]
+    fn core_flags_set_get() {
+        let flags = CoreFlags::new(100);
+        assert_eq!(flags.count(), 0);
+        flags.set(0);
+        flags.set(31);
+        flags.set(32);
+        flags.set(99);
+        assert!(flags.get(0) && flags.get(31) && flags.get(32) && flags.get(99));
+        assert!(!flags.get(1) && !flags.get(98));
+        assert_eq!(flags.count(), 4);
+    }
+
+    #[test]
+    fn core_flags_idempotent() {
+        let flags = CoreFlags::new(8);
+        flags.set(3);
+        flags.set(3);
+        assert_eq!(flags.count(), 1);
+    }
+
+    #[test]
+    fn core_flags_concurrent_sets() {
+        let flags = CoreFlags::new(1024);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let flags = &flags;
+                s.spawn(move || {
+                    for i in (t..1024).step_by(4) {
+                        flags.set(i as u32);
+                    }
+                });
+            }
+        });
+        assert_eq!(flags.count(), 1024);
+    }
+
+    #[test]
+    fn resolve_pair_union_of_cores() {
+        let labels = AtomicLabels::new(4);
+        let core = CoreFlags::new(4);
+        core.set(0);
+        core.set(1);
+        resolve_pair(&labels, &core, 0, 1);
+        assert!(labels.same_set(0, 1));
+    }
+
+    #[test]
+    fn resolve_pair_border_claim_is_single() {
+        let labels = AtomicLabels::new(3);
+        let core = CoreFlags::new(3);
+        core.set(0);
+        core.set(1);
+        // 2 is non-core; claimed by 0's cluster first, then 1 tries.
+        resolve_pair(&labels, &core, 0, 2);
+        resolve_pair(&labels, &core, 1, 2);
+        // 2 belongs to 0's cluster; 0 and 1 stay separate (no bridging).
+        assert_eq!(labels.find(2), labels.find(0));
+        assert!(!labels.same_set(0, 1));
+    }
+
+    #[test]
+    fn resolve_pair_neither_core_is_noop() {
+        let labels = AtomicLabels::new(2);
+        let core = CoreFlags::new(2);
+        resolve_pair(&labels, &core, 0, 1);
+        assert!(!labels.same_set(0, 1));
+        assert_eq!(labels.find(0), 0);
+        assert_eq!(labels.find(1), 1);
+    }
+
+    #[test]
+    fn resolve_pair_symmetric() {
+        let labels = AtomicLabels::new(2);
+        let core = CoreFlags::new(2);
+        core.set(1);
+        resolve_pair(&labels, &core, 0, 1); // non-core first argument
+        assert_eq!(labels.find(0), 1);
+    }
+
+    #[test]
+    fn finalize_produces_clustering() {
+        let device = Device::with_defaults();
+        let labels = AtomicLabels::new(5);
+        let core = CoreFlags::new(5);
+        core.set(0);
+        core.set(1);
+        labels.union(0, 1);
+        // 2 is a border of the cluster; 3, 4 noise.
+        labels.try_claim(2, labels.find(0));
+        let clustering = finalize(&device, &labels, &core);
+        assert_eq!(clustering.num_clusters, 1);
+        assert_eq!(clustering.assignments[0], clustering.assignments[1]);
+        assert_eq!(clustering.assignments[2], clustering.assignments[0]);
+        assert_eq!(clustering.classes[2], PointClass::Border);
+        assert_eq!(clustering.assignments[3], crate::NOISE);
+        assert_eq!(clustering.assignments[4], crate::NOISE);
+    }
+}

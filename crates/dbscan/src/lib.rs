@@ -1,0 +1,130 @@
+#![warn(missing_docs)]
+
+//! Tree-based DBSCAN for low-dimensional data on a (simulated) GPU.
+//!
+//! This crate implements the contribution of *Fast tree-based algorithms
+//! for DBSCAN on GPUs* (Prokopenko, Lebrun-Grandié, Arndt; ICPP 2023):
+//!
+//! * [`fdbscan`] — **FDBSCAN** (§4.1): fuses a bounding-volume-hierarchy
+//!   traversal with a synchronization-free union-find. The preprocessing
+//!   phase finds core points with early-terminated neighbor counting; the
+//!   main phase uses the *index-masked* traversal so each close pair is
+//!   processed exactly once.
+//! * [`fdbscan_densebox`] — **FDBSCAN-DenseBox** (§4.2): superimposes a
+//!   grid with cell edge `eps/sqrt(d)`; cells with at least `minpts`
+//!   points are *dense* — all their points are core points of one cluster
+//!   — and enter the tree as box primitives, eliminating distance
+//!   computations inside dense regions.
+//! * [`baselines`] — the two GPU baselines of the paper's evaluation
+//!   (G-DBSCAN and CUDA-DClust) plus the sequential reference algorithms
+//!   (Algorithm 1 and the disjoint-set DSDBSCAN of Algorithm 2).
+//!
+//! # Semantics
+//!
+//! * Neighborhoods are inclusive: `dist(x, y) <= eps` (Algorithm 3's
+//!   convention) and contain the point itself, so `x` is a core point iff
+//!   `|N_eps(x)| >= minpts` counting `x`.
+//! * Border points are attached to the first cluster that claims them via
+//!   an atomic compare-and-swap (no "bridging" of clusters, §3.2).
+//! * `minpts <= 2` skips the preprocessing phase (Algorithm 3, line 2):
+//!   every matched pair consists of core points.
+//! * Output labels: `assignments[i] >= 0` is a compact cluster id,
+//!   [`NOISE`] (-1) marks outliers.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fdbscan::{fdbscan, Params};
+//! use fdbscan_device::Device;
+//! use fdbscan_geom::Point2;
+//!
+//! let device = Device::with_defaults();
+//! let points = vec![
+//!     Point2::new([0.0, 0.0]),
+//!     Point2::new([0.1, 0.0]),
+//!     Point2::new([0.0, 0.1]),
+//!     Point2::new([9.0, 9.0]), // noise
+//! ];
+//! let (clustering, _stats) = fdbscan(&device, &points, Params::new(0.5, 3)).unwrap();
+//! assert_eq!(clustering.num_clusters, 1);
+//! assert_eq!(clustering.assignments[0], clustering.assignments[1]);
+//! assert_eq!(clustering.assignments[3], fdbscan::NOISE);
+//! ```
+
+pub mod auto;
+pub mod baselines;
+pub mod densebox;
+pub mod fdbscan_impl;
+pub mod framework;
+pub mod generic;
+pub mod index;
+pub mod labels;
+pub mod seq;
+pub mod star;
+pub mod stats;
+pub mod sweep;
+pub mod tuning;
+pub mod verify;
+
+pub use auto::{fdbscan_auto, AutoChoice};
+pub use densebox::{fdbscan_densebox, fdbscan_densebox_with, DenseBoxOptions};
+pub use fdbscan_impl::{fdbscan, fdbscan_with, FdbscanOptions};
+pub use generic::{fdbscan_kdtree, fdbscan_on_index};
+pub use index::{IndexStats, SpatialIndex};
+pub use star::{fdbscan_densebox_star, fdbscan_star};
+pub use sweep::MinptsSweep;
+pub use tuning::{kdist_curve, suggest_eps};
+pub use labels::{Clustering, PointClass, NOISE};
+pub use stats::{DenseStats, RunStats};
+
+/// DBSCAN parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Params {
+    /// Neighborhood radius (inclusive: `dist <= eps`).
+    pub eps: f32,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub minpts: usize,
+}
+
+impl Params {
+    /// Creates parameters, validating them.
+    ///
+    /// # Panics
+    /// Panics if `eps` is not positive and finite or `minpts == 0`.
+    pub fn new(eps: f32, minpts: usize) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
+        assert!(minpts >= 1, "minpts must be at least 1");
+        Self { eps, minpts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_construct() {
+        let p = Params::new(0.5, 5);
+        assert_eq!(p.eps, 0.5);
+        assert_eq!(p.minpts, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn params_reject_negative_eps() {
+        Params::new(-1.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn params_reject_nan_eps() {
+        Params::new(f32::NAN, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "minpts must be at least 1")]
+    fn params_reject_zero_minpts() {
+        Params::new(1.0, 0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Sequential reference algorithms.
+//!
+//! * [`dbscan_classic`] — the original DBSCAN of Ester et al. (paper
+//!   Algorithm 1): breadth-first cluster expansion. Used as the
+//!   correctness oracle for every parallel implementation.
+//! * [`dsdbscan`] — the sequential disjoint-set DBSCAN of Patwary et al.
+//!   (paper Algorithm 2), the algorithm the parallel framework of §3.2
+//!   reformulates.
+//!
+//! Both use brute-force `O(n^2)` neighborhood queries: they exist for
+//! verification and small-scale comparison, not performance.
+
+use std::collections::VecDeque;
+
+use fdbscan_geom::Point;
+use fdbscan_unionfind::SequentialDsu;
+
+use crate::labels::{Clustering, PointClass, NOISE};
+use crate::Params;
+
+const UNCLASSIFIED: i64 = -2;
+
+/// Brute-force `eps`-neighborhood (inclusive, contains `x` itself).
+fn region_query<const D: usize>(points: &[Point<D>], x: usize, eps: f32) -> Vec<usize> {
+    let eps_sq = eps * eps;
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.dist_sq(&points[x]) <= eps_sq)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Classic sequential DBSCAN (paper Algorithm 1).
+pub fn dbscan_classic<const D: usize>(points: &[Point<D>], params: Params) -> Clustering {
+    let n = points.len();
+    let Params { eps, minpts } = params;
+    let mut labels = vec![UNCLASSIFIED; n];
+    let mut degrees = vec![0usize; n];
+    let mut next_cluster = 0i64;
+
+    for x in 0..n {
+        if labels[x] != UNCLASSIFIED {
+            continue;
+        }
+        let neighborhood = region_query(points, x, eps);
+        degrees[x] = neighborhood.len();
+        if neighborhood.len() < minpts {
+            labels[x] = NOISE; // tentative: may become a border point later
+            continue;
+        }
+        let c = next_cluster;
+        next_cluster += 1;
+        // Every neighbor joins the cluster; unclassified ones are seeds.
+        let mut seeds: VecDeque<usize> = VecDeque::new();
+        for &y in &neighborhood {
+            // Only unclassified or tentative-noise points may join; a
+            // border point already owned by an earlier cluster keeps it.
+            if labels[y] == UNCLASSIFIED || labels[y] == NOISE {
+                if labels[y] == UNCLASSIFIED && y != x {
+                    seeds.push_back(y);
+                }
+                labels[y] = c;
+            }
+        }
+        while let Some(y) = seeds.pop_front() {
+            let ny = region_query(points, y, eps);
+            degrees[y] = ny.len();
+            if ny.len() >= minpts {
+                for &z in &ny {
+                    if labels[z] == UNCLASSIFIED || labels[z] == NOISE {
+                        if labels[z] == UNCLASSIFIED {
+                            seeds.push_back(z);
+                        }
+                        labels[z] = c;
+                    }
+                }
+            }
+        }
+    }
+
+    // Degrees of points never expanded (borders/noise inside clusters).
+    for x in 0..n {
+        if degrees[x] == 0 {
+            degrees[x] = region_query(points, x, eps).len();
+        }
+    }
+
+    let classes: Vec<PointClass> = (0..n)
+        .map(|i| {
+            if degrees[i] >= minpts {
+                PointClass::Core
+            } else if labels[i] >= 0 {
+                PointClass::Border
+            } else {
+                PointClass::Noise
+            }
+        })
+        .collect();
+    Clustering { assignments: labels, num_clusters: next_cluster as usize, classes }
+}
+
+/// Sequential disjoint-set DBSCAN (paper Algorithm 2, Patwary et al.).
+pub fn dsdbscan<const D: usize>(points: &[Point<D>], params: Params) -> Clustering {
+    let n = points.len();
+    let Params { eps, minpts } = params;
+    let mut dsu = SequentialDsu::new(n);
+    let mut core = vec![false; n];
+    let mut member = vec![false; n];
+
+    for x in 0..n {
+        let neighborhood = region_query(points, x, eps);
+        if neighborhood.len() < minpts {
+            continue;
+        }
+        core[x] = true;
+        member[x] = true;
+        for &y in &neighborhood {
+            if y == x {
+                continue;
+            }
+            if core[y] {
+                dsu.union(x as u32, y as u32);
+            } else if !member[y] {
+                member[y] = true;
+                dsu.union(x as u32, y as u32);
+            }
+        }
+    }
+
+    // Relabel: clusters are the sets containing at least one core point.
+    let mut assignments = vec![NOISE; n];
+    let mut classes = vec![PointClass::Noise; n];
+    let mut id_of_root = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for i in 0..n {
+        if core[i] {
+            let root = dsu.find(i as u32) as usize;
+            if id_of_root[root] == u32::MAX {
+                id_of_root[root] = next;
+                next += 1;
+            }
+            assignments[i] = id_of_root[root] as i64;
+            classes[i] = PointClass::Core;
+        }
+    }
+    for i in 0..n {
+        if !core[i] && member[i] {
+            let root = dsu.find(i as u32) as usize;
+            debug_assert_ne!(id_of_root[root], u32::MAX);
+            assignments[i] = id_of_root[root] as i64;
+            classes[i] = PointClass::Border;
+        }
+    }
+    Clustering { assignments, num_clusters: next as usize, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::assert_core_equivalent;
+    use fdbscan_geom::Point2;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn two_blobs_and_noise() -> Vec<Point2> {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(Point2::new([0.1 * (i % 4) as f32, 0.1 * (i / 4) as f32]));
+        }
+        for i in 0..10 {
+            points.push(Point2::new([5.0 + 0.1 * (i % 4) as f32, 5.0 + 0.1 * (i / 4) as f32]));
+        }
+        points.push(Point2::new([100.0, 100.0]));
+        points
+    }
+
+    #[test]
+    fn classic_finds_two_clusters() {
+        let points = two_blobs_and_noise();
+        let c = dbscan_classic(&points, Params::new(0.5, 4));
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.assignments[20], NOISE);
+        assert_eq!(c.assignments[0], c.assignments[9]);
+        assert_eq!(c.assignments[10], c.assignments[19]);
+        assert_ne!(c.assignments[0], c.assignments[10]);
+    }
+
+    #[test]
+    fn classic_empty_and_single() {
+        let c = dbscan_classic::<2>(&[], Params::new(1.0, 2));
+        assert!(c.is_empty());
+
+        let c = dbscan_classic(&[Point2::new([0.0, 0.0])], Params::new(1.0, 2));
+        assert_eq!(c.assignments, vec![NOISE]);
+
+        // With minpts = 1 a single point is its own cluster.
+        let c = dbscan_classic(&[Point2::new([0.0, 0.0])], Params::new(1.0, 1));
+        assert_eq!(c.assignments, vec![0]);
+        assert_eq!(c.num_clusters, 1);
+    }
+
+    #[test]
+    fn classic_minpts2_is_friends_of_friends() {
+        // A chain of points each within eps of the next: one component.
+        let points: Vec<Point2> = (0..10).map(|i| Point2::new([i as f32 * 0.9, 0.0])).collect();
+        let c = dbscan_classic(&points, Params::new(1.0, 2));
+        assert_eq!(c.num_clusters, 1);
+        assert!(c.classes.iter().all(|cl| *cl == PointClass::Core));
+    }
+
+    #[test]
+    fn border_point_between_two_clusters_no_bridge() {
+        // Two tight triangles, one lone point within eps of both: the
+        // lone point is a border of exactly one cluster, and the clusters
+        // must not merge through it.
+        // Two vertical bars of 5 core points each; the bridge at the
+        // midpoint is within eps of exactly one point of each bar, so its
+        // degree (3) stays below minpts (5) and it must not merge them.
+        let mut points: Vec<Point2> = (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
+        points.extend((0..5).map(|i| Point2::new([0.9, 0.1 * i as f32])));
+        points.push(Point2::new([0.45, 0.2])); // bridge
+        let c = dbscan_classic(&points, Params::new(0.45, 5));
+        assert_eq!(c.num_clusters, 2, "bridging occurred");
+        assert_eq!(c.classes[10], PointClass::Border);
+        assert!(c.assignments[10] == c.assignments[0] || c.assignments[10] == c.assignments[5]);
+    }
+
+    #[test]
+    fn noise_relabeled_as_border() {
+        // Point 0 is processed first, found non-core, marked noise; later
+        // the cluster around point 1 reaches it -> border.
+        let points = vec![
+            Point2::new([0.0, 0.0]), // degree 2 (itself + 1)
+            Point2::new([0.9, 0.0]),
+            Point2::new([1.8, 0.0]),
+            Point2::new([1.8, 0.9]),
+            Point2::new([2.7, 0.0]),
+        ];
+        let c = dbscan_classic(&points, Params::new(1.0, 3));
+        assert_eq!(c.classes[0], PointClass::Border);
+        assert!(c.assignments[0] >= 0);
+    }
+
+    #[test]
+    fn dsdbscan_matches_classic_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..10 {
+            let n = 150;
+            let points: Vec<Point2> = (0..n)
+                .map(|_| Point2::new([rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)]))
+                .collect();
+            let params = Params::new(rng.gen_range(0.1..1.0), rng.gen_range(2..8));
+            let a = dbscan_classic(&points, params);
+            let b = dsdbscan(&points, params);
+            assert_core_equivalent(&a, &b);
+            let _ = trial;
+        }
+    }
+
+    #[test]
+    fn dsdbscan_two_blobs() {
+        let points = two_blobs_and_noise();
+        let c = dsdbscan(&points, Params::new(0.5, 4));
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.num_noise(), 1);
+    }
+
+    #[test]
+    fn all_duplicates_single_cluster() {
+        let points = vec![Point2::new([1.0, 1.0]); 50];
+        for minpts in [1, 2, 10, 50] {
+            let c = dbscan_classic(&points, Params::new(0.1, minpts));
+            assert_eq!(c.num_clusters, 1, "minpts = {minpts}");
+            assert!(c.classes.iter().all(|cl| *cl == PointClass::Core));
+        }
+        // minpts larger than n: everything is noise.
+        let c = dbscan_classic(&points, Params::new(0.1, 51));
+        assert_eq!(c.num_clusters, 0);
+        assert_eq!(c.num_noise(), 50);
+    }
+}

@@ -1,0 +1,182 @@
+//! DBSCAN* — the border-free variant (Campello et al. 2013; the paper's
+//! §2.1 and §6 note the algorithms "can be easily adapted for DBSCAN*").
+//!
+//! DBSCAN* removes the notion of border points entirely: clusters are
+//! the connected components of the *core-point graph*, and every
+//! non-core point is noise. This improves consistency with the
+//! statistical interpretation of density-based clustering and underlies
+//! HDBSCAN.
+//!
+//! Adapting the parallel framework is exactly the simplification the
+//! paper predicts: the main phase keeps only the core–core `Union` and
+//! drops the border CAS, so the critical-section concern of §3.2
+//! disappears entirely.
+
+use fdbscan_device::{Device, DeviceError};
+use fdbscan_geom::Point;
+
+use crate::densebox::fdbscan_densebox_with;
+use crate::fdbscan_impl::{fdbscan_with, FdbscanOptions};
+use crate::labels::{Clustering, PointClass, NOISE};
+use crate::stats::RunStats;
+use crate::{DenseBoxOptions, Params};
+
+/// FDBSCAN adapted to DBSCAN* semantics: non-core points are noise.
+pub fn fdbscan_star<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    fdbscan_with(device, points, params, FdbscanOptions { star: true, ..Default::default() })
+}
+
+/// FDBSCAN-DenseBox adapted to DBSCAN* semantics.
+pub fn fdbscan_densebox_star<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    fdbscan_densebox_with(device, points, params, DenseBoxOptions { star: true })
+}
+
+/// Sequential DBSCAN* oracle: connected components of the core graph by
+/// brute force.
+pub fn dbscan_star_classic<const D: usize>(points: &[Point<D>], params: Params) -> Clustering {
+    let n = points.len();
+    let Params { eps, minpts } = params;
+    let eps_sq = eps * eps;
+    let degree = |i: usize| points.iter().filter(|p| p.dist_sq(&points[i]) <= eps_sq).count();
+    let core: Vec<bool> = (0..n).map(|i| degree(i) >= minpts).collect();
+
+    let mut assignments = vec![NOISE; n];
+    let mut classes = vec![PointClass::Noise; n];
+    let mut num_clusters = 0i64;
+    for seed in 0..n {
+        if !core[seed] || assignments[seed] != NOISE {
+            continue;
+        }
+        let cluster = num_clusters;
+        num_clusters += 1;
+        let mut stack = vec![seed];
+        assignments[seed] = cluster;
+        classes[seed] = PointClass::Core;
+        while let Some(u) = stack.pop() {
+            for v in 0..n {
+                if core[v]
+                    && assignments[v] == NOISE
+                    && points[u].dist_sq(&points[v]) <= eps_sq
+                {
+                    assignments[v] = cluster;
+                    classes[v] = PointClass::Core;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    Clustering { assignments, num_clusters: num_clusters as usize, classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::assert_core_equivalent;
+    use fdbscan_device::DeviceConfig;
+    use fdbscan_geom::Point2;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::default().with_workers(2).with_block_size(64))
+    }
+
+    fn random_points(n: usize, extent: f32, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    #[test]
+    fn star_has_no_border_points() {
+        // Bars-and-bridge: the bridge is a border point under DBSCAN,
+        // but noise under DBSCAN*.
+        let mut points: Vec<Point2> =
+            (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
+        points.extend((0..5).map(|i| Point2::new([0.9, 0.1 * i as f32])));
+        points.push(Point2::new([0.45, 0.2]));
+        let params = Params::new(0.45, 5);
+        let (c, _) = fdbscan_star(&device(), &points, params).unwrap();
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.num_border(), 0);
+        assert_eq!(c.classes[10], PointClass::Noise);
+        assert_eq!(c.assignments[10], NOISE);
+
+        // Plain DBSCAN on the same input keeps the border.
+        let (full, _) = crate::fdbscan(&device(), &points, params).unwrap();
+        assert_eq!(full.num_border(), 1);
+    }
+
+    #[test]
+    fn star_matches_its_oracle_on_random_data() {
+        for seed in [1u64, 2, 3, 4] {
+            let points = random_points(300, 5.0, seed);
+            let params = Params::new(0.35, 5);
+            let oracle = dbscan_star_classic(&points, params);
+            let (a, _) = fdbscan_star(&device(), &points, params).unwrap();
+            let (b, _) = fdbscan_densebox_star(&device(), &points, params).unwrap();
+            assert_core_equivalent(&oracle, &a);
+            assert_core_equivalent(&oracle, &b);
+            assert_eq!(a.num_border(), 0);
+            assert_eq!(b.num_border(), 0);
+        }
+    }
+
+    #[test]
+    fn star_core_partition_matches_full_dbscan() {
+        // The core-point partition is identical between DBSCAN and
+        // DBSCAN*; only border handling differs.
+        let points = random_points(400, 4.0, 9);
+        let params = Params::new(0.3, 6);
+        let (full, _) = crate::fdbscan(&device(), &points, params).unwrap();
+        let (star, _) = fdbscan_star(&device(), &points, params).unwrap();
+        for i in 0..points.len() {
+            let fc = full.classes[i] == PointClass::Core;
+            let sc = star.classes[i] == PointClass::Core;
+            assert_eq!(fc, sc, "core status differs at {i}");
+        }
+        // Check partition equality over cores via the bijection helper,
+        // after masking borders out of the full clustering.
+        let masked = Clustering {
+            assignments: full
+                .assignments
+                .iter()
+                .zip(&full.classes)
+                .map(|(&a, &cl)| if cl == PointClass::Core { a } else { NOISE })
+                .collect(),
+            num_clusters: full.num_clusters,
+            classes: full
+                .classes
+                .iter()
+                .map(|&cl| if cl == PointClass::Core { PointClass::Core } else { PointClass::Noise })
+                .collect(),
+        };
+        assert_core_equivalent(&masked, &star);
+    }
+
+    #[test]
+    fn star_minpts_2_equals_full_minpts_2() {
+        // With minpts = 2 there are no borders anyway, so DBSCAN and
+        // DBSCAN* coincide.
+        let points = random_points(300, 8.0, 17);
+        let params = Params::new(0.6, 2);
+        let (full, _) = crate::fdbscan(&device(), &points, params).unwrap();
+        let (star, _) = fdbscan_star(&device(), &points, params).unwrap();
+        assert_core_equivalent(&full, &star);
+        assert_eq!(full.assignments, star.assignments);
+    }
+
+    #[test]
+    fn star_empty_input() {
+        let (c, _) = fdbscan_star::<2>(&device(), &[], Params::new(1.0, 3)).unwrap();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Run statistics: phase timings, work counters, memory footprint.
+
+use std::time::Duration;
+
+use fdbscan_device::CountersSnapshot;
+
+/// Dense-grid statistics (FDBSCAN-DenseBox only), backing the paper's
+/// in-text claims about dense-cell membership fractions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DenseStats {
+    /// Non-empty grid cells.
+    pub num_cells: usize,
+    /// Cells holding at least `minpts` points.
+    pub num_dense_cells: usize,
+    /// Points living in dense cells.
+    pub points_in_dense_cells: usize,
+    /// Fraction of all points in dense cells.
+    pub dense_fraction: f64,
+}
+
+/// Timings, work counters and memory footprint of one DBSCAN run.
+///
+/// Wall times are reported per phase to mirror the paper's discussion
+/// ("most of the time in FDBSCAN is spent in the tree search, while in
+/// FDBSCAN-DenseBox it is in the dense cells processing"). Counters are
+/// the phase-inclusive delta over the run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Search-index construction (BVH build, plus grid build for
+    /// FDBSCAN-DenseBox; adjacency-graph build for G-DBSCAN).
+    pub index_time: Duration,
+    /// Core-point determination.
+    pub preprocess_time: Duration,
+    /// Main phase (neighbor traversal fused with union-find).
+    pub main_time: Duration,
+    /// Finalization (flatten + relabel).
+    pub finalize_time: Duration,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+    /// Device work counters accumulated during the run.
+    pub counters: CountersSnapshot,
+    /// Peak device memory reserved during the run, in bytes.
+    pub peak_memory_bytes: usize,
+    /// Dense-grid statistics (FDBSCAN-DenseBox only).
+    pub dense: Option<DenseStats>,
+}
+
+impl RunStats {
+    /// Milliseconds of total wall time (convenience for reports).
+    pub fn total_ms(&self) -> f64 {
+        self.total_time.as_secs_f64() * 1e3
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    /// Multi-line human-readable report (as printed by the examples).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "total {:.2} ms", self.total_ms())?;
+        writeln!(
+            f,
+            "  phases: index {:.2} ms | preprocess {:.2} ms | main {:.2} ms | finalize {:.2} ms",
+            self.index_time.as_secs_f64() * 1e3,
+            self.preprocess_time.as_secs_f64() * 1e3,
+            self.main_time.as_secs_f64() * 1e3,
+            self.finalize_time.as_secs_f64() * 1e3,
+        )?;
+        writeln!(
+            f,
+            "  work: {} distances | {} nodes | {} unions | {} finds | {} claims",
+            self.counters.distance_computations,
+            self.counters.bvh_nodes_visited,
+            self.counters.unions,
+            self.counters.finds,
+            self.counters.label_cas,
+        )?;
+        write!(f, "  memory: {} KiB peak", self.peak_memory_bytes / 1024)?;
+        if let Some(d) = &self.dense {
+            write!(
+                f,
+                " | dense cells: {} ({:.1} % of points)",
+                d.num_dense_cells,
+                100.0 * d.dense_fraction
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_ms_converts() {
+        let stats = RunStats { total_time: Duration::from_millis(1500), ..Default::default() };
+        assert!((stats.total_ms() - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let stats = RunStats::default();
+        assert_eq!(stats.peak_memory_bytes, 0);
+        assert!(stats.dense.is_none());
+        assert_eq!(stats.counters, CountersSnapshot::default());
+    }
+
+    #[test]
+    fn display_report_mentions_phases_and_dense_stats() {
+        let stats = RunStats {
+            total_time: Duration::from_millis(10),
+            peak_memory_bytes: 4096,
+            dense: Some(DenseStats {
+                num_cells: 10,
+                num_dense_cells: 3,
+                points_in_dense_cells: 70,
+                dense_fraction: 0.7,
+            }),
+            ..Default::default()
+        };
+        let report = stats.to_string();
+        assert!(report.contains("total 10.00 ms"));
+        assert!(report.contains("preprocess"));
+        assert!(report.contains("4 KiB peak"));
+        assert!(report.contains("dense cells: 3 (70.0 % of points)"));
+    }
+}

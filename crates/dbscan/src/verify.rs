@@ -1,0 +1,159 @@
+//! Semantic validation of a clustering against the DBSCAN definitions.
+//!
+//! [`assert_valid_clustering`] re-derives, by brute force, everything the
+//! DBSCAN definitions (paper §2.1) pin down about a result — independent
+//! of which algorithm produced it. Together with
+//! [`crate::labels::assert_core_equivalent`] against the sequential
+//! oracle it gives complete coverage: the oracle fixes the core
+//! partition, this check fixes the per-point classification and border
+//! attachment validity. `O(n^2)`: tests only.
+
+use fdbscan_geom::Point;
+
+use crate::labels::{Clustering, PointClass, NOISE};
+use crate::Params;
+
+/// Panics with a descriptive message if `clustering` violates any DBSCAN
+/// invariant for (`points`, `params`).
+pub fn assert_valid_clustering<const D: usize>(
+    points: &[Point<D>],
+    clustering: &Clustering,
+    params: Params,
+) {
+    let n = points.len();
+    assert_eq!(clustering.len(), n, "clustering size mismatch");
+    let Params { eps, minpts } = params;
+    let eps_sq = eps * eps;
+
+    // Brute-force degrees (inclusive of self).
+    let degree = |i: usize| points.iter().filter(|p| p.dist_sq(&points[i]) <= eps_sq).count();
+
+    for i in 0..n {
+        let deg = degree(i);
+        let is_core = deg >= minpts;
+        match clustering.classes[i] {
+            PointClass::Core => {
+                assert!(is_core, "point {i} labeled core but has degree {deg} < {minpts}");
+                assert!(
+                    clustering.assignments[i] >= 0,
+                    "core point {i} must belong to a cluster"
+                );
+            }
+            PointClass::Border => {
+                assert!(!is_core, "point {i} labeled border but is core (degree {deg})");
+                let c = clustering.assignments[i];
+                assert!(c >= 0, "border point {i} must belong to a cluster");
+                // A border point must be within eps of a core point of
+                // the cluster it was assigned to.
+                let witness = (0..n).any(|j| {
+                    j != i
+                        && clustering.classes[j] == PointClass::Core
+                        && clustering.assignments[j] == c
+                        && points[j].dist_sq(&points[i]) <= eps_sq
+                });
+                assert!(witness, "border point {i} has no adjacent core in its cluster {c}");
+            }
+            PointClass::Noise => {
+                assert!(!is_core, "point {i} labeled noise but is core (degree {deg})");
+                assert_eq!(clustering.assignments[i], NOISE, "noise point {i} has a cluster");
+                // Noise must not be density-reachable: no core within eps.
+                let reachable = (0..n).any(|j| {
+                    j != i
+                        && clustering.classes[j] == PointClass::Core
+                        && points[j].dist_sq(&points[i]) <= eps_sq
+                });
+                assert!(!reachable, "noise point {i} is within eps of a core point");
+            }
+        }
+    }
+
+    // Directly density-connected core points must share a cluster, and
+    // cluster ids must be compact.
+    for i in 0..n {
+        if clustering.classes[i] != PointClass::Core {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if clustering.classes[j] == PointClass::Core
+                && points[i].dist_sq(&points[j]) <= eps_sq
+            {
+                assert_eq!(
+                    clustering.assignments[i], clustering.assignments[j],
+                    "adjacent core points {i} and {j} are in different clusters"
+                );
+            }
+        }
+    }
+    for &a in &clustering.assignments {
+        assert!(a == NOISE || (a as usize) < clustering.num_clusters, "non-compact cluster id {a}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::dbscan_classic;
+    use fdbscan_geom::Point2;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn oracle_passes_validation() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let points: Vec<Point2> = (0..200)
+                .map(|_| Point2::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+                .collect();
+            let params = Params::new(0.3, 4);
+            let c = dbscan_classic(&points, params);
+            assert_valid_clustering(&points, &c, params);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "labeled core")]
+    fn rejects_fake_core() {
+        let points = vec![Point2::new([0.0, 0.0]), Point2::new([10.0, 0.0])];
+        let bogus = Clustering {
+            assignments: vec![0, NOISE],
+            num_clusters: 1,
+            classes: vec![PointClass::Core, PointClass::Noise],
+        };
+        assert_valid_clustering(&points, &bogus, Params::new(1.0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different clusters")]
+    fn rejects_split_adjacent_cores() {
+        let points = vec![Point2::new([0.0, 0.0]), Point2::new([0.5, 0.0])];
+        let bogus = Clustering {
+            assignments: vec![0, 1],
+            num_clusters: 2,
+            classes: vec![PointClass::Core, PointClass::Core],
+        };
+        assert_valid_clustering(&points, &bogus, Params::new(1.0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "within eps of a core point")]
+    fn rejects_mislabeled_noise() {
+        let points = vec![
+            Point2::new([0.0, 0.0]),
+            Point2::new([0.5, 0.0]),
+            Point2::new([0.1, 0.0]),
+            Point2::new([1.4, 0.0]), // true border of the cluster
+        ];
+        // Point 3 is non-core (degree 2 < 3) but within eps of core 1;
+        // labeling it noise must be rejected.
+        let bogus = Clustering {
+            assignments: vec![0, 0, 0, NOISE],
+            num_clusters: 1,
+            classes: vec![
+                PointClass::Core,
+                PointClass::Core,
+                PointClass::Core,
+                PointClass::Noise,
+            ],
+        };
+        assert_valid_clustering(&points, &bogus, Params::new(1.0, 3));
+    }
+}

@@ -1,0 +1,333 @@
+#![warn(missing_docs)]
+
+//! A simulated data-parallel device.
+//!
+//! The paper executes every phase of DBSCAN as a *batched GPU kernel*: all
+//! threads launch together over an index space, synchronize only at kernel
+//! boundaries, and communicate through device-resident atomics. Rust's GPU
+//! tooling is not yet mature enough to express the tree traversals the
+//! paper relies on, so this crate substitutes a software device with the
+//! same execution model:
+//!
+//! * [`Device::launch`] runs a kernel body for every index of an index
+//!   space on a persistent worker pool, in fixed-size blocks
+//!   (grid-stride), and returns only when the whole launch has completed —
+//!   a kernel boundary is a synchronization point, exactly as on a GPU.
+//! * [`counters::Counters`] are device-wide "hardware counters" (distance
+//!   computations, tree nodes visited, union-find operations, …). The
+//!   benchmark harness reports these alongside wall time because the
+//!   reproduction machine may have far fewer cores than a V100 has SMs;
+//!   work counts are what transfer.
+//! * [`memory::MemoryTracker`] enforces a device memory budget so the
+//!   paper's out-of-memory behaviour (G-DBSCAN's adjacency graph) can be
+//!   reproduced deterministically.
+//! * [`shared::SharedMut`] and the atomic views in [`shared`] are the
+//!   device-memory abstraction kernels use to write results: disjoint
+//!   per-thread writes or explicit atomics, never locks inside a kernel.
+//!
+//! # Memory ordering
+//!
+//! Kernels use `Relaxed` atomics internally (as the GPU originals do);
+//! cross-kernel happens-before is provided by the launch barrier: the pool
+//! joins every block before [`Device::launch`] returns, and the next
+//! launch's work distribution acquires what the previous one released.
+//!
+//! # Example
+//!
+//! ```
+//! use fdbscan_device::{Device, DeviceConfig, SharedMut};
+//!
+//! let device = Device::new(DeviceConfig::default().with_workers(2));
+//! let mut squares = vec![0u64; 1000];
+//! {
+//!     let view = SharedMut::new(&mut squares);
+//!     // One kernel: disjoint per-index writes need no atomics.
+//!     device.launch(1000, |i| unsafe { view.write(i, (i * i) as u64) });
+//! }
+//! // Next kernel sees the previous one's writes (launch barrier).
+//! let sum = device.reduce(1000, 0u64, |i| squares[i], |a, b| a + b);
+//! assert_eq!(sum, (0..1000u64).map(|i| i * i).sum());
+//! ```
+
+pub mod counters;
+pub mod memory;
+pub mod pool;
+pub mod shared;
+
+pub use counters::{Counters, CountersSnapshot};
+pub use memory::{DeviceError, MemoryReservation, MemoryTracker};
+pub use pool::WorkerPool;
+pub use shared::SharedMut;
+
+use std::sync::Arc;
+
+/// Configuration for a simulated device.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Number of pool worker threads. `0` means the launching thread runs
+    /// every block itself (fully sequential execution). The launching
+    /// thread always participates, so total parallelism is `workers + 1`.
+    pub workers: usize,
+    /// Indices per block (the work-distribution granularity, analogous to
+    /// a CUDA thread block).
+    pub block_size: usize,
+    /// Device memory budget in bytes. `None` = unlimited.
+    pub memory_budget: Option<usize>,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self {
+            // The launching thread participates, so spawn hw - 1 workers.
+            workers: hw.saturating_sub(1),
+            block_size: 256,
+            memory_budget: None,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A fully sequential device (no worker threads). Useful for
+    /// deterministic debugging and as the baseline in scaling studies.
+    pub fn sequential() -> Self {
+        Self { workers: 0, ..Self::default() }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the block size (must be nonzero).
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be nonzero");
+        self.block_size = block_size;
+        self
+    }
+
+    /// Sets the device memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+}
+
+/// A simulated data-parallel device: worker pool + counters + memory.
+///
+/// Cloning is cheap (`Arc` internally); clones share the pool, the
+/// counters and the memory tracker, like multiple streams on one GPU.
+#[derive(Clone)]
+pub struct Device {
+    pool: Arc<WorkerPool>,
+    counters: Arc<Counters>,
+    memory: Arc<MemoryTracker>,
+    block_size: usize,
+}
+
+impl Device {
+    /// Creates a device from a configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        assert!(config.block_size > 0, "block size must be nonzero");
+        Self {
+            pool: Arc::new(WorkerPool::new(config.workers)),
+            counters: Arc::new(Counters::default()),
+            memory: Arc::new(MemoryTracker::new(config.memory_budget)),
+            block_size: config.block_size,
+        }
+    }
+
+    /// A device with default configuration (all hardware threads).
+    pub fn with_defaults() -> Self {
+        Self::new(DeviceConfig::default())
+    }
+
+    /// Number of worker threads (excluding the launching thread).
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The device's work-distribution block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The device-wide counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// A shareable handle to the device counters (for structures that
+    /// outlive a borrow, e.g. a union-find label array).
+    pub fn counters_arc(&self) -> Arc<Counters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The device memory tracker.
+    pub fn memory(&self) -> &MemoryTracker {
+        &self.memory
+    }
+
+    /// Launches a kernel over the index space `0..n`.
+    ///
+    /// Every index is executed exactly once; blocks of `block_size`
+    /// consecutive indices are handed to pool workers (the launching
+    /// thread participates). The call returns once **all** indices have
+    /// executed — a kernel boundary, i.e. a device-wide barrier.
+    ///
+    /// If the kernel body panics, the launch completes distribution and
+    /// then propagates a panic on the launching thread.
+    pub fn launch<F>(&self, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.counters.kernel_launches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.pool.parallel_for(n, self.block_size, &kernel);
+    }
+
+    /// Parallel reduction over the index space `0..n`.
+    ///
+    /// `map` produces a value per index; `combine` must be associative and
+    /// commutative (block partials are combined in nondeterministic
+    /// order). `identity` is the identity of `combine`.
+    pub fn reduce<T, M, C>(&self, n: usize, identity: T, map: M, combine: C) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        self.counters.kernel_launches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.pool.parallel_reduce(n, self.block_size, identity, &map, &combine)
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("workers", &self.workers())
+            .field("block_size", &self.block_size)
+            .field("memory_budget", &self.memory.budget())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn launch_covers_every_index_exactly_once() {
+        let device = Device::new(DeviceConfig::default().with_workers(3).with_block_size(7));
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        device.launch(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn launch_zero_size_is_noop() {
+        let device = Device::with_defaults();
+        device.launch(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn sequential_device_works() {
+        let device = Device::new(DeviceConfig::sequential());
+        assert_eq!(device.workers(), 0);
+        let total = AtomicUsize::new(0);
+        device.launch(1000, |i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let device = Device::new(DeviceConfig::default().with_workers(2).with_block_size(13));
+        let sum = device.reduce(1001, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(sum, 1000 * 1001 / 2);
+    }
+
+    #[test]
+    fn reduce_empty_returns_identity() {
+        let device = Device::with_defaults();
+        assert_eq!(device.reduce(0, 42u32, |_| 0, |a, b| a + b), 42);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let values: Vec<u32> = (0..5000).map(|i| (i * 2654435761u64 % 10007) as u32).collect();
+        let expected = *values.iter().max().unwrap();
+        let got = device.reduce(values.len(), 0u32, |i| values[i], |a, b| a.max(b));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn kernel_launch_counter_increments() {
+        let device = Device::with_defaults();
+        let before = device.counters().snapshot().kernel_launches;
+        device.launch(1, |_| {});
+        device.launch(1, |_| {});
+        let after = device.counters().snapshot().kernel_launches;
+        assert_eq!(after - before, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel panicked")]
+    fn kernel_panic_propagates() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        device.launch(100, |i| {
+            if i == 57 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn device_survives_kernel_panic() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            device.launch(100, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable after a kernel panic.
+        let total = AtomicUsize::new(0);
+        device.launch(100, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn launches_provide_happens_before() {
+        // Writes from kernel 1 must be visible to kernel 2 without atomics
+        // on the data itself.
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        let n = 4096;
+        let mut data = vec![0u64; n];
+        {
+            let view = SharedMut::new(&mut data);
+            device.launch(n, |i| unsafe { view.write(i, i as u64 + 1) });
+        }
+        let sum = device.reduce(n, 0u64, |i| data[i], |a, b| a + b);
+        assert_eq!(sum, (1..=n as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let device = Device::with_defaults();
+        let clone = device.clone();
+        let before = device.counters().snapshot().kernel_launches;
+        clone.launch(1, |_| {});
+        assert_eq!(device.counters().snapshot().kernel_launches, before + 1);
+    }
+}

@@ -1,0 +1,302 @@
+//! Persistent worker pool with batched (kernel-style) work distribution.
+//!
+//! The pool mimics a GPU's execution model rather than a task scheduler:
+//! a *launch* hands every worker the same job, workers pull fixed-size
+//! blocks of the index space from a shared cursor until it is exhausted,
+//! and the launching thread both participates and blocks until the job is
+//! complete. There is no nesting and no stealing between jobs — each
+//! launch is a grid, each block a thread block.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// Type-erased kernel body operating on a block (contiguous index range).
+///
+/// The fat pointer is only dereferenced while the owning
+/// [`WorkerPool::parallel_for_blocks`] frame is alive (see the safety note
+/// there), so storing a raw pointer — which may dangle after completion —
+/// is sound.
+struct Job {
+    kernel: *const (dyn Fn(Range<usize>) + Sync),
+    n: usize,
+    block: usize,
+    cursor: AtomicUsize,
+    pending: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: the raw kernel pointer targets a `Sync` closure, and `Job` is
+// only shared between threads while the closure is alive.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Pulls blocks until the index space is exhausted, then signals.
+    fn run(&self) {
+        // SAFETY: `parallel_for_blocks` does not return until `pending`
+        // hits zero, which happens strictly after the last dereference.
+        let kernel = unsafe { &*self.kernel };
+        loop {
+            let start = self.cursor.fetch_add(self.block, Ordering::Relaxed);
+            if start >= self.n {
+                break;
+            }
+            let end = (start + self.block).min(self.n);
+            let result = catch_unwind(AssertUnwindSafe(|| kernel(start..end)));
+            if result.is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+                // Drain the rest of the index space so the launch still
+                // terminates promptly; remaining indices are skipped, the
+                // launcher will re-panic.
+                self.cursor.store(self.n, Ordering::Relaxed);
+                break;
+            }
+        }
+        // AcqRel: the last participant's decrement releases its writes to
+        // the launcher, which acquires them in `wait`.
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock();
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.done_cv.wait(&mut done);
+        }
+    }
+}
+
+enum Message {
+    Work(Arc<Job>),
+    Shutdown,
+}
+
+/// A persistent pool of worker threads executing batched launches.
+pub struct WorkerPool {
+    sender: Sender<Message>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads. `workers == 0` is allowed: all launches
+    /// then execute entirely on the calling thread.
+    pub fn new(workers: usize) -> Self {
+        let (sender, receiver): (Sender<Message>, Receiver<Message>) = unbounded();
+        let handles = (0..workers)
+            .map(|idx| {
+                let receiver = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("fdbscan-worker-{idx}"))
+                    .spawn(move || {
+                        while let Ok(message) = receiver.recv() {
+                            match message {
+                                Message::Work(job) => job.run(),
+                                Message::Shutdown => break,
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self { sender, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Executes `kernel` once per block of `block` consecutive indices
+    /// covering `0..n`. Blocks the calling thread (which participates)
+    /// until the whole index space has been executed. Panics if any kernel
+    /// invocation panicked.
+    pub fn parallel_for_blocks(
+        &self,
+        n: usize,
+        block: usize,
+        kernel: &(dyn Fn(Range<usize>) + Sync),
+    ) {
+        if n == 0 {
+            return;
+        }
+        assert!(block > 0, "block size must be nonzero");
+        // SAFETY (lifetime erasure): `job.kernel` must not be dereferenced
+        // after this function returns. Workers dereference it only inside
+        // `Job::run`, which decrements `pending` after its last use; this
+        // function returns only after `pending == 0` (via `wait`), so every
+        // dereference happens-before the return.
+        let erased: *const (dyn Fn(Range<usize>) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(Range<usize>) + Sync + '_),
+                *const (dyn Fn(Range<usize>) + Sync + 'static),
+            >(kernel as *const _)
+        };
+        let participants = self.handles.len() + 1;
+        let job = Arc::new(Job {
+            kernel: erased,
+            n,
+            block,
+            cursor: AtomicUsize::new(0),
+            pending: AtomicUsize::new(participants),
+            panicked: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        for _ in 0..self.handles.len() {
+            self.sender
+                .send(Message::Work(Arc::clone(&job)))
+                .expect("worker pool channel closed");
+        }
+        job.run(); // the launching thread participates
+        job.wait();
+        if job.panicked.load(Ordering::Relaxed) {
+            panic!("kernel panicked during launch");
+        }
+    }
+
+    /// Per-index launch (a thin wrapper over [`Self::parallel_for_blocks`]).
+    pub fn parallel_for(&self, n: usize, block: usize, kernel: &(dyn Fn(usize) + Sync)) {
+        self.parallel_for_blocks(n, block, &|range: Range<usize>| {
+            for i in range {
+                kernel(i);
+            }
+        });
+    }
+
+    /// Block-parallel reduction. `combine` must be associative and
+    /// commutative; block partials are merged in completion order, one
+    /// lock acquisition per block.
+    pub fn parallel_reduce<T, M, C>(
+        &self,
+        n: usize,
+        block: usize,
+        identity: T,
+        map: &M,
+        combine: &C,
+    ) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        if n == 0 {
+            return identity;
+        }
+        let accumulator: Mutex<T> = Mutex::new(identity.clone());
+        self.parallel_for_blocks(n, block, &|range: Range<usize>| {
+            let mut local = identity.clone();
+            for i in range {
+                local = combine(local, map(i));
+            }
+            let mut acc = accumulator.lock();
+            let current = acc.clone();
+            *acc = combine(current, local);
+        });
+        accumulator.into_inner()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for _ in &self.handles {
+            let _ = self.sender.send(Message::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_with_zero_workers_runs_on_caller() {
+        let pool = WorkerPool::new(0);
+        let caller = std::thread::current().id();
+        let ran_on = Mutex::new(Vec::new());
+        pool.parallel_for(100, 8, &|_| {
+            ran_on.lock().push(std::thread::current().id());
+        });
+        let ids = ran_on.into_inner();
+        assert_eq!(ids.len(), 100);
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn pool_distributes_to_workers() {
+        let pool = WorkerPool::new(4);
+        let seen = Mutex::new(std::collections::HashSet::new());
+        // Slow-ish kernel so workers actually pick up blocks.
+        pool.parallel_for(4096, 16, &|_| {
+            std::thread::yield_now();
+            seen.lock().insert(std::thread::current().id());
+        });
+        // At least the caller ran; with 4 workers usually more, but on a
+        // single-core machine the caller may legitimately drain everything,
+        // so only assert completion and non-emptiness.
+        assert!(!seen.into_inner().is_empty());
+    }
+
+    #[test]
+    fn back_to_back_launches() {
+        let pool = WorkerPool::new(2);
+        for round in 0..50 {
+            let count = AtomicUsize::new(0);
+            pool.parallel_for(round * 17 + 1, 4, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), round * 17 + 1);
+        }
+    }
+
+    #[test]
+    fn block_larger_than_n() {
+        let pool = WorkerPool::new(2);
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(3, 1000, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn blocks_partition_index_space() {
+        let pool = WorkerPool::new(2);
+        let covered = Mutex::new(vec![false; 1000]);
+        pool.parallel_for_blocks(1000, 37, &|range| {
+            assert!(range.len() <= 37);
+            let mut covered = covered.lock();
+            for i in range {
+                assert!(!covered[i], "index {i} executed twice");
+                covered[i] = true;
+            }
+        });
+        assert!(covered.into_inner().into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn reduce_sums_u128() {
+        let pool = WorkerPool::new(3);
+        let got = pool.parallel_reduce(10_000, 64, 0u128, &|i| i as u128, &|a, b| a + b);
+        assert_eq!(got, 9999u128 * 10_000 / 2);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = WorkerPool::new(3);
+        pool.parallel_for(10, 1, &|_| {});
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,66 @@
+//! Free-function distance helpers.
+//!
+//! These mirror the methods on [`Point`] and [`Aabb`] but read better at
+//! kernel call sites (`dist_sq(&a, &b) <= eps_sq`).
+
+use crate::{Aabb, Point};
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist_sq<const D: usize>(a: &Point<D>, b: &Point<D>) -> f32 {
+    a.dist_sq(b)
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn dist<const D: usize>(a: &Point<D>, b: &Point<D>) -> f32 {
+    a.dist(b)
+}
+
+/// Squared distance from a point to a box (zero when inside).
+#[inline]
+pub fn dist_point_aabb_sq<const D: usize>(p: &Point<D>, b: &Aabb<D>) -> f32 {
+    b.dist_sq(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point2() -> impl Strategy<Value = Point<2>> {
+        (-1000.0f32..1000.0, -1000.0f32..1000.0).prop_map(|(x, y)| Point::new([x, y]))
+    }
+
+    proptest! {
+        #[test]
+        fn triangle_inequality(a in arb_point2(), b in arb_point2(), c in arb_point2()) {
+            let lhs = dist(&a, &c);
+            let rhs = dist(&a, &b) + dist(&b, &c);
+            // Allow small floating-point slack.
+            prop_assert!(lhs <= rhs + 1e-3);
+        }
+
+        #[test]
+        fn symmetry(a in arb_point2(), b in arb_point2()) {
+            prop_assert_eq!(dist_sq(&a, &b), dist_sq(&b, &a));
+        }
+
+        #[test]
+        fn point_aabb_lower_bounds_member_distance(
+            a in arb_point2(), b in arb_point2(), q in arb_point2()
+        ) {
+            // The box distance is a lower bound on the distance to any
+            // contained point — the property the BVH pruning relies on.
+            let bx = Aabb::from_points([a, b].iter());
+            let to_box = dist_point_aabb_sq(&q, &bx);
+            prop_assert!(to_box <= dist_sq(&q, &a) + 1e-2);
+            prop_assert!(to_box <= dist_sq(&q, &b) + 1e-2);
+        }
+
+        #[test]
+        fn dist_nonnegative(a in arb_point2(), b in arb_point2()) {
+            prop_assert!(dist_sq(&a, &b) >= 0.0);
+        }
+    }
+}

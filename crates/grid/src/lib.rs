@@ -1,0 +1,662 @@
+#![warn(missing_docs)]
+
+//! Dense-cell grid for FDBSCAN-DenseBox (paper §4.2).
+//!
+//! A regular Cartesian grid with cell edge `eps / sqrt(d)` is superimposed
+//! over the data, guaranteeing each cell's diameter is at most `eps`, so
+//! any cell holding at least `minpts` points consists entirely of core
+//! points of one cluster (a *dense cell*, Fig. 2).
+//!
+//! The grid is never materialized as a dense array — the paper's 3-D
+//! problem has 3.5 **billion** cells of which only 28 million are
+//! non-empty. Instead, points are sorted by cell key and non-empty cells
+//! are the segments of the sorted order:
+//!
+//! 1. compute a 64-bit cell key per point (Morton interleave of the
+//!    integer cell coordinates),
+//! 2. radix-sort `(key, point id)`,
+//! 3. mark segment heads, scan the marks to number the non-empty cells,
+//!    and record each cell's start offset,
+//! 4. classify cells with `count >= minpts` as dense.
+//!
+//! [`DenseGrid::mixed_primitives`] then produces the primitive set of the
+//! FDBSCAN-DenseBox tree: one box per dense cell plus every point outside
+//! dense cells.
+//!
+//! # Example
+//!
+//! ```
+//! use fdbscan_device::Device;
+//! use fdbscan_geom::Point2;
+//! use fdbscan_grid::DenseGrid;
+//!
+//! let device = Device::with_defaults();
+//! // Ten stacked points and one straggler.
+//! let mut points = vec![Point2::new([1.0, 1.0]); 10];
+//! points.push(Point2::new([5.0, 5.0]));
+//!
+//! let grid = DenseGrid::build(&device, &points, 0.5, 5);
+//! assert_eq!(grid.num_cells(), 2);
+//! assert_eq!(grid.num_dense_cells(), 1);
+//! assert!(grid.point_in_dense_cell(0));
+//! assert!(!grid.point_in_dense_cell(10));
+//!
+//! let mixed = grid.mixed_primitives(&points);
+//! assert_eq!(mixed.refs.len(), 2); // one box + one isolated point
+//! ```
+
+use fdbscan_device::shared::SharedMut;
+use fdbscan_device::Device;
+use fdbscan_geom::{morton, Aabb, Point};
+
+/// High bit of a [`PrimitiveRef`] marks a dense-cell box.
+pub const CELL_FLAG: u32 = 1 << 31;
+
+/// Reference to a mixed primitive: either an isolated point (payload =
+/// point id) or a dense cell (payload = non-empty-cell index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct PrimitiveRef(pub u32);
+
+impl PrimitiveRef {
+    /// A point primitive carrying the original point id.
+    #[inline]
+    pub fn point(id: u32) -> Self {
+        debug_assert!(id & CELL_FLAG == 0);
+        Self(id)
+    }
+
+    /// A dense-cell primitive carrying the non-empty-cell index.
+    #[inline]
+    pub fn cell(index: u32) -> Self {
+        debug_assert!(index & CELL_FLAG == 0);
+        Self(index | CELL_FLAG)
+    }
+
+    /// Whether this is a dense-cell box.
+    #[inline]
+    pub fn is_cell(self) -> bool {
+        self.0 & CELL_FLAG != 0
+    }
+
+    /// The payload (point id or cell index).
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0 & !CELL_FLAG
+    }
+}
+
+/// The mixed primitive set FDBSCAN-DenseBox builds its BVH from.
+#[derive(Clone, Debug)]
+pub struct MixedPrimitives<const D: usize> {
+    /// Bounding volume of each primitive.
+    pub bounds: Vec<Aabb<D>>,
+    /// What each primitive is.
+    pub refs: Vec<PrimitiveRef>,
+}
+
+/// A sparse dense-cell grid over a point set.
+#[derive(Clone, Debug)]
+pub struct DenseGrid<const D: usize> {
+    /// Cell edge length (`eps / sqrt(D)`).
+    cell_len: f32,
+    /// Grid origin (scene minimum corner).
+    origin: Point<D>,
+    /// Point ids grouped by cell (cell segments are contiguous).
+    sorted_ids: Vec<u32>,
+    /// Segment start of non-empty cell `c` in `sorted_ids`
+    /// (`len = num_cells + 1`; the last entry is `n`).
+    cell_starts: Vec<u32>,
+    /// Sorted cell key of each non-empty cell.
+    cell_keys: Vec<u64>,
+    /// Non-empty-cell index of every point (indexed by point id).
+    point_cell: Vec<u32>,
+    /// Whether each non-empty cell is dense (`count >= minpts`).
+    dense: Vec<bool>,
+    /// Number of dense cells.
+    num_dense: usize,
+    /// Number of points living in dense cells.
+    points_in_dense: usize,
+    /// The minpts threshold the grid was classified with.
+    minpts: usize,
+}
+
+impl<const D: usize> DenseGrid<D> {
+    /// Builds the grid with the paper's cell edge `eps / sqrt(D)` (so each
+    /// cell's diameter is at most `eps`). `eps` must be positive and
+    /// finite; `minpts >= 1`.
+    pub fn build(device: &Device, points: &[Point<D>], eps: f32, minpts: usize) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
+        Self::build_with_cell_len(device, points, eps / (D as f32).sqrt(), minpts)
+    }
+
+    /// Builds the grid with an explicit cell edge length. Used by
+    /// CUDA-DClust's directory index, which wants `cell_len == eps` so a
+    /// point's neighbors all live in the 3^D surrounding cells. Note that
+    /// dense classification (`is_dense`) is only meaningful when the cell
+    /// diameter is at most `eps` — directory users should pass a `minpts`
+    /// that disables it (e.g. `usize::MAX`).
+    pub fn build_with_cell_len(
+        device: &Device,
+        points: &[Point<D>],
+        cell_len: f32,
+        minpts: usize,
+    ) -> Self {
+        assert!(cell_len > 0.0 && cell_len.is_finite(), "eps must be positive and finite");
+        assert!(minpts >= 1, "minpts must be at least 1");
+        let n = points.len();
+
+        if n == 0 {
+            return Self {
+                cell_len,
+                origin: Point::origin(),
+                sorted_ids: Vec::new(),
+                cell_starts: vec![0],
+                cell_keys: Vec::new(),
+                point_cell: Vec::new(),
+                dense: Vec::new(),
+                num_dense: 0,
+                points_in_dense: 0,
+                minpts,
+            };
+        }
+
+        // Scene bounds (reduction) fix the grid origin.
+        let scene = device.reduce(
+            n,
+            Aabb::empty(),
+            |i| Aabb::from_point(points[i]),
+            |a, b| a.merged(&b),
+        );
+        let origin = scene.min;
+
+        // Grid resolution sanity: Morton keys give `bits_per_axis(D)` bits
+        // per axis. With f32 coordinates the extent/cell ratio cannot
+        // meaningfully exceed 2^24, so this only rejects degenerate
+        // configurations (eps smaller than coordinate ulps).
+        let bits = morton::bits_per_axis(D);
+        for axis in 0..D {
+            let extent = scene.max[axis] - scene.min[axis];
+            let cells = (extent / cell_len).ceil() as u64 + 1;
+            assert!(
+                cells < (1u64 << bits),
+                "grid axis {axis} needs {cells} cells, exceeding the {bits}-bit key range; \
+                 eps is too small relative to the data extent"
+            );
+        }
+
+        // 1. Cell key per point.
+        let mut keys = vec![0u64; n];
+        {
+            let keys_view = SharedMut::new(&mut keys);
+            let origin_ref = &origin;
+            device.launch(n, |i| {
+                let key = cell_key::<D>(&points[i], origin_ref, cell_len);
+                // SAFETY: one writer per index.
+                unsafe { keys_view.write(i, key) };
+            });
+        }
+
+        // 2. Sort (key, id).
+        let mut sorted_ids: Vec<u32> = (0..n as u32).collect();
+        let mut sorted_keys = keys;
+        fdbscan_psort::sort_pairs(device, &mut sorted_keys, &mut sorted_ids);
+
+        // 3. Segment the sorted order into cells: head flags -> scan ->
+        //    per-cell offsets.
+        let mut head = vec![0u64; n];
+        {
+            let head_view = SharedMut::new(&mut head);
+            let keys_ref = &sorted_keys;
+            device.launch(n, |i| {
+                let is_head = i == 0 || keys_ref[i] != keys_ref[i - 1];
+                // SAFETY: one writer per index.
+                unsafe { head_view.write(i, is_head as u64) };
+            });
+        }
+        let num_cells = fdbscan_psort::exclusive_scan(device, &mut head) as usize;
+        // `head` now holds, at each head position, the cell's index.
+        let mut cell_starts = vec![0u32; num_cells + 1];
+        let mut cell_keys = vec![0u64; num_cells];
+        let mut point_cell = vec![0u32; n];
+        {
+            let starts_view = SharedMut::new(&mut cell_starts);
+            let keys_out_view = SharedMut::new(&mut cell_keys);
+            let point_cell_view = SharedMut::new(&mut point_cell);
+            let keys_ref = &sorted_keys;
+            let ids_ref = &sorted_ids;
+            let head_ref = &head;
+            device.launch(n, |i| {
+                // After the exclusive scan, position i holds the number of
+                // heads strictly before i: for a head that is its own cell
+                // index; for an interior position it also counts the
+                // segment's own head, hence the -1.
+                let is_head = i == 0 || keys_ref[i] != keys_ref[i - 1];
+                let cell = if is_head { head_ref[i] } else { head_ref[i] - 1 } as u32;
+                // SAFETY: heads write disjoint cells; every i owns
+                // point_cell[ids[i]] because ids is a permutation.
+                unsafe {
+                    if is_head {
+                        starts_view.write(cell as usize, i as u32);
+                        keys_out_view.write(cell as usize, keys_ref[i]);
+                    }
+                    point_cell_view.write(ids_ref[i] as usize, cell);
+                }
+            });
+        }
+        cell_starts[num_cells] = n as u32;
+
+        // 4. Dense classification.
+        let mut dense = vec![false; num_cells];
+        {
+            let dense_view = SharedMut::new(&mut dense);
+            let starts_ref = &cell_starts;
+            device.launch(num_cells, |c| {
+                let count = (starts_ref[c + 1] - starts_ref[c]) as usize;
+                // SAFETY: one writer per cell.
+                unsafe { dense_view.write(c, count >= minpts) };
+            });
+        }
+        let (num_dense, points_in_dense) = {
+            let starts_ref = &cell_starts;
+            let dense_ref = &dense;
+            device.reduce(
+                num_cells,
+                (0usize, 0usize),
+                |c| {
+                    if dense_ref[c] {
+                        (1, (starts_ref[c + 1] - starts_ref[c]) as usize)
+                    } else {
+                        (0, 0)
+                    }
+                },
+                |a, b| (a.0 + b.0, a.1 + b.1),
+            )
+        };
+
+        Self {
+            cell_len,
+            origin,
+            sorted_ids,
+            cell_starts,
+            cell_keys,
+            point_cell,
+            dense,
+            num_dense,
+            points_in_dense,
+            minpts,
+        }
+    }
+
+    /// Cell edge length.
+    pub fn cell_len(&self) -> f32 {
+        self.cell_len
+    }
+
+    /// The grid origin (scene minimum corner).
+    pub fn origin(&self) -> Point<D> {
+        self.origin
+    }
+
+    /// Integer cell coordinates of a point.
+    pub fn coords_of_point(&self, p: &Point<D>) -> [u64; D] {
+        let mut coords = [0u64; D];
+        for axis in 0..D {
+            let offset = (p[axis] - self.origin[axis]).max(0.0);
+            coords[axis] = (offset / self.cell_len) as u64;
+        }
+        coords
+    }
+
+    /// Looks up the non-empty-cell index at integer coordinates, if that
+    /// cell holds any points (binary search over sorted cell keys).
+    pub fn find_cell(&self, coords: [u64; D]) -> Option<u32> {
+        let key = morton::interleave(coords);
+        self.cell_keys.binary_search(&key).ok().map(|i| i as u32)
+    }
+
+    /// The minpts threshold used for dense classification.
+    pub fn minpts(&self) -> usize {
+        self.minpts
+    }
+
+    /// Number of non-empty cells.
+    pub fn num_cells(&self) -> usize {
+        self.cell_keys.len()
+    }
+
+    /// Number of dense cells.
+    pub fn num_dense_cells(&self) -> usize {
+        self.num_dense
+    }
+
+    /// Number of points living in dense cells.
+    pub fn points_in_dense_cells(&self) -> usize {
+        self.points_in_dense
+    }
+
+    /// Fraction of all points living in dense cells (0 for empty input).
+    pub fn dense_fraction(&self) -> f64 {
+        if self.sorted_ids.is_empty() {
+            0.0
+        } else {
+            self.points_in_dense as f64 / self.sorted_ids.len() as f64
+        }
+    }
+
+    /// Non-empty-cell index containing point `id`.
+    #[inline]
+    pub fn cell_of_point(&self, id: u32) -> u32 {
+        self.point_cell[id as usize]
+    }
+
+    /// Whether non-empty cell `c` is dense.
+    #[inline]
+    pub fn is_dense(&self, c: u32) -> bool {
+        self.dense[c as usize]
+    }
+
+    /// Whether point `id` lives in a dense cell.
+    #[inline]
+    pub fn point_in_dense_cell(&self, id: u32) -> bool {
+        self.dense[self.point_cell[id as usize] as usize]
+    }
+
+    /// The point ids of non-empty cell `c` (a contiguous slice).
+    #[inline]
+    pub fn cell_members(&self, c: u32) -> &[u32] {
+        let c = c as usize;
+        let start = self.cell_starts[c] as usize;
+        let end = self.cell_starts[c + 1] as usize;
+        &self.sorted_ids[start..end]
+    }
+
+    /// The geometric box of non-empty cell `c`.
+    ///
+    /// Recovered from the cell key, so it is the exact grid-aligned cell,
+    /// independent of which points it holds.
+    pub fn cell_aabb(&self, c: u32) -> Aabb<D> {
+        let key = self.cell_keys[c as usize];
+        let coords = deinterleave::<D>(key);
+        let mut min = [0.0f32; D];
+        let mut max = [0.0f32; D];
+        for axis in 0..D {
+            min[axis] = self.origin[axis] + coords[axis] as f32 * self.cell_len;
+            max[axis] = min[axis] + self.cell_len;
+        }
+        Aabb::from_corners(Point::new(min), Point::new(max))
+    }
+
+    /// Builds the mixed primitive set for the FDBSCAN-DenseBox tree: one
+    /// box per dense cell, plus one point primitive per point outside any
+    /// dense cell (paper Fig. 2, right).
+    ///
+    /// Dense cells are bounded by the *tight* bounding box of their
+    /// members rather than the full grid cell: semantically identical
+    /// (still diameter <= eps) but it prunes queries that would only
+    /// graze an empty corner of the cell, sparing the linear member scan.
+    pub fn mixed_primitives(&self, points: &[Point<D>]) -> MixedPrimitives<D> {
+        let mut bounds = Vec::new();
+        let mut refs = Vec::new();
+        for c in 0..self.num_cells() as u32 {
+            if self.is_dense(c) {
+                let tight = Aabb::from_points(
+                    self.cell_members(c).iter().map(|&id| &points[id as usize]),
+                );
+                bounds.push(tight);
+                refs.push(PrimitiveRef::cell(c));
+            } else {
+                for &id in self.cell_members(c) {
+                    bounds.push(Aabb::from_point(points[id as usize]));
+                    refs.push(PrimitiveRef::point(id));
+                }
+            }
+        }
+        MixedPrimitives { bounds, refs }
+    }
+
+    /// Approximate device-memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.sorted_ids.len() * 4
+            + self.cell_starts.len() * 4
+            + self.cell_keys.len() * 8
+            + self.point_cell.len() * 4
+            + self.dense.len()
+    }
+}
+
+/// Morton cell key of a point.
+#[inline]
+fn cell_key<const D: usize>(p: &Point<D>, origin: &Point<D>, cell_len: f32) -> u64 {
+    let mut coords = [0u64; D];
+    for axis in 0..D {
+        // Points on the max boundary land in the last cell; offsets are
+        // nonnegative by construction (origin = scene min).
+        let offset = (p[axis] - origin[axis]).max(0.0);
+        coords[axis] = (offset / cell_len) as u64;
+    }
+    morton::interleave(coords)
+}
+
+/// Inverse of [`fdbscan_geom::morton::interleave`] (per-axis extraction).
+fn deinterleave<const D: usize>(key: u64) -> [u64; D] {
+    let bits = morton::bits_per_axis(D);
+    let mut coords = [0u64; D];
+    for b in 0..bits {
+        for (axis, coord) in coords.iter_mut().enumerate() {
+            let bit = (key >> (b as usize * D + axis)) & 1;
+            *coord |= bit << b;
+        }
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_device::DeviceConfig;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::default().with_workers(2))
+    }
+
+    #[test]
+    fn primitive_ref_round_trip() {
+        let p = PrimitiveRef::point(42);
+        assert!(!p.is_cell());
+        assert_eq!(p.index(), 42);
+        let c = PrimitiveRef::cell(7);
+        assert!(c.is_cell());
+        assert_eq!(c.index(), 7);
+    }
+
+    #[test]
+    fn deinterleave_inverts_interleave() {
+        for coords in [[0u64, 0], [1, 0], [0, 1], [123, 456], [100_000, 99_999]] {
+            let key = morton::interleave(coords);
+            assert_eq!(deinterleave::<2>(key), coords);
+        }
+        for coords in [[0u64, 0, 0], [1, 2, 3], [1000, 2000, 3000]] {
+            let key = morton::interleave(coords);
+            assert_eq!(deinterleave::<3>(key), coords);
+        }
+    }
+
+    #[test]
+    fn empty_grid() {
+        let grid = DenseGrid::<2>::build(&device(), &[], 1.0, 5);
+        assert_eq!(grid.num_cells(), 0);
+        assert_eq!(grid.num_dense_cells(), 0);
+        assert_eq!(grid.dense_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_point() {
+        let points = [Point::new([3.0, 4.0])];
+        let grid = DenseGrid::build(&device(), &points, 1.0, 1);
+        assert_eq!(grid.num_cells(), 1);
+        // minpts = 1: the lone point makes its cell dense.
+        assert_eq!(grid.num_dense_cells(), 1);
+        assert_eq!(grid.points_in_dense_cells(), 1);
+        assert_eq!(grid.cell_members(0), &[0]);
+    }
+
+    #[test]
+    fn cell_diameter_at_most_eps() {
+        let eps = 0.7;
+        let grid = DenseGrid::<3>::build(&device(), &[Point::new([0.0, 0.0, 0.0])], eps, 2);
+        let diag = grid.cell_aabb(0).diagonal();
+        assert!(diag <= eps * 1.0001, "cell diagonal {diag} exceeds eps {eps}");
+    }
+
+    #[test]
+    fn clustered_points_share_cell_and_become_dense() {
+        // 10 points tightly packed plus 1 far away, minpts = 5.
+        let mut points: Vec<Point<2>> =
+            (0..10).map(|i| Point::new([0.01 * i as f32, 0.0])).collect();
+        points.push(Point::new([100.0, 100.0]));
+        let grid = DenseGrid::build(&device(), &points, 1.0, 5);
+        assert!(grid.num_cells() >= 2);
+        assert_eq!(grid.num_dense_cells(), 1);
+        assert_eq!(grid.points_in_dense_cells(), 10);
+        assert!(grid.point_in_dense_cell(0));
+        assert!(!grid.point_in_dense_cell(10));
+    }
+
+    #[test]
+    fn cell_members_partition_points() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let points: Vec<Point<2>> = (0..2000)
+            .map(|_| Point::new([rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]))
+            .collect();
+        let grid = DenseGrid::build(&device(), &points, 0.5, 4);
+        let mut seen = vec![false; points.len()];
+        for c in 0..grid.num_cells() as u32 {
+            for &id in grid.cell_members(c) {
+                assert!(!seen[id as usize], "point {id} in two cells");
+                seen[id as usize] = true;
+                assert_eq!(grid.cell_of_point(id), c);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn members_lie_inside_cell_box() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let points: Vec<Point<2>> = (0..500)
+            .map(|_| Point::new([rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]))
+            .collect();
+        let grid = DenseGrid::build(&device(), &points, 0.8, 3);
+        for c in 0..grid.num_cells() as u32 {
+            let cell_box = grid.cell_aabb(c);
+            for &id in grid.cell_members(c) {
+                let p = points[id as usize];
+                // Allow boundary slack of one ulp-ish epsilon.
+                assert!(
+                    cell_box.dist_sq(&p) < 1e-8,
+                    "point {p:?} outside its cell box {cell_box:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_classification_matches_counts() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let points: Vec<Point<2>> = (0..1000)
+            .map(|_| Point::new([rng.gen_range(0.0..4.0), rng.gen_range(0.0..4.0)]))
+            .collect();
+        let minpts = 6;
+        let grid = DenseGrid::build(&device(), &points, 1.0, minpts);
+        let mut dense_points = 0;
+        let mut dense_cells = 0;
+        for c in 0..grid.num_cells() as u32 {
+            let count = grid.cell_members(c).len();
+            assert_eq!(grid.is_dense(c), count >= minpts);
+            if count >= minpts {
+                dense_cells += 1;
+                dense_points += count;
+            }
+        }
+        assert_eq!(grid.num_dense_cells(), dense_cells);
+        assert_eq!(grid.points_in_dense_cells(), dense_points);
+    }
+
+    #[test]
+    fn mixed_primitives_cover_everything_once() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let points: Vec<Point<2>> = (0..800)
+            .map(|_| Point::new([rng.gen_range(0.0..3.0), rng.gen_range(0.0..3.0)]))
+            .collect();
+        let grid = DenseGrid::build(&device(), &points, 0.9, 10);
+        let mixed = grid.mixed_primitives(&points);
+        assert_eq!(mixed.bounds.len(), mixed.refs.len());
+
+        let mut covered = vec![false; points.len()];
+        for r in &mixed.refs {
+            if r.is_cell() {
+                assert!(grid.is_dense(r.index()));
+                for &id in grid.cell_members(r.index()) {
+                    assert!(!covered[id as usize]);
+                    covered[id as usize] = true;
+                }
+            } else {
+                let id = r.index() as usize;
+                assert!(!covered[id]);
+                assert!(!grid.point_in_dense_cell(r.index()));
+                covered[id] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn zero_eps_rejected() {
+        DenseGrid::<2>::build(&device(), &[Point::new([0.0, 0.0])], 0.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "minpts must be at least 1")]
+    fn zero_minpts_rejected() {
+        DenseGrid::<2>::build(&device(), &[Point::new([0.0, 0.0])], 1.0, 0);
+    }
+
+    #[test]
+    fn boundary_point_lands_in_last_cell() {
+        // Points exactly on the max corner must not index out of range.
+        let points = [Point::new([0.0, 0.0]), Point::new([10.0, 10.0])];
+        let grid = DenseGrid::build(&device(), &points, 1.0, 1);
+        assert_eq!(grid.num_cells(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn same_cell_points_are_within_eps(
+            seed in any::<u64>(),
+            n in 1usize..300,
+            eps in 0.05f32..3.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points: Vec<Point<2>> = (0..n)
+                .map(|_| Point::new([rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]))
+                .collect();
+            let grid = DenseGrid::build(&device(), &points, eps, 2);
+            // The defining property of the grid: any two points sharing a
+            // cell are within eps of each other.
+            for c in 0..grid.num_cells() as u32 {
+                let members = grid.cell_members(c);
+                for (k, &a) in members.iter().enumerate() {
+                    for &b in &members[k + 1..] {
+                        let d = points[a as usize].dist(&points[b as usize]);
+                        prop_assert!(d <= eps * 1.0001, "cellmates at distance {d} > eps {eps}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Parallel LSD radix sort for `(u64 key, u32 payload)` pairs.
+//!
+//! Classic GPU formulation (one kernel trio per 8-bit digit):
+//!
+//! 1. **histogram** — each block counts digit occurrences in its segment,
+//! 2. **scan** — a digit-major exclusive scan over the `256 × blocks`
+//!    count matrix turns counts into global scatter bases,
+//! 3. **scatter** — each block re-reads its segment in order and places
+//!    every element at its digit's next slot.
+//!
+//! Per-block sequential placement keeps the sort *stable*, which the BVH
+//! relies on to break Morton-code ties by original index.
+//!
+//! Passes whose digit is constant over all keys are skipped (detected via
+//! the maximum key), so sorting keys that occupy few bytes costs few
+//! passes.
+
+use fdbscan_device::{Device, SharedMut};
+
+use crate::scan::sequential_exclusive_scan;
+
+const RADIX_BITS: u32 = 8;
+const BUCKETS: usize = 1 << RADIX_BITS;
+/// Elements per sorting block. Larger than the device block size: the
+/// histogram/scatter kernels are launched over *sort blocks*, and each
+/// index of the launch handles one contiguous segment.
+const SORT_BLOCK: usize = 1 << 12;
+/// Below this size, a sequential comparison sort wins.
+const SEQUENTIAL_THRESHOLD: usize = 1 << 10;
+
+/// Stable sort of `keys` with `values` permuted alongside.
+///
+/// # Panics
+/// Panics if `keys.len() != values.len()`.
+pub fn sort_pairs(device: &Device, keys: &mut Vec<u64>, values: &mut Vec<u32>) {
+    assert_eq!(keys.len(), values.len(), "keys and values must pair up");
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    if n < SEQUENTIAL_THRESHOLD {
+        // Stable comparison sort of index pairs.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| keys[i as usize]);
+        let sorted_keys: Vec<u64> = perm.iter().map(|&i| keys[i as usize]).collect();
+        let sorted_values: Vec<u32> = perm.iter().map(|&i| values[i as usize]).collect();
+        keys.copy_from_slice(&sorted_keys);
+        values.copy_from_slice(&sorted_values);
+        return;
+    }
+
+    let max_key = device.reduce(n, 0u64, |i| keys[i], |a, b| a.max(b));
+    let significant_bits = 64 - max_key.leading_zeros();
+    let passes = (significant_bits.div_ceil(RADIX_BITS)).max(1);
+
+    let mut keys_out = vec![0u64; n];
+    let mut values_out = vec![0u32; n];
+    let num_blocks = n.div_ceil(SORT_BLOCK);
+
+    for pass in 0..passes {
+        let shift = pass * RADIX_BITS;
+        radix_pass(device, keys, values, &mut keys_out, &mut values_out, shift, num_blocks);
+        std::mem::swap(keys, &mut keys_out);
+        std::mem::swap(values, &mut values_out);
+    }
+}
+
+fn radix_pass(
+    device: &Device,
+    keys_in: &[u64],
+    values_in: &[u32],
+    keys_out: &mut [u64],
+    values_out: &mut [u32],
+    shift: u32,
+    num_blocks: usize,
+) {
+    let n = keys_in.len();
+
+    // 1. Per-block digit histograms, laid out digit-major
+    //    (counts[digit * num_blocks + block]) so the scan directly yields
+    //    global scatter bases.
+    let mut counts = vec![0u64; BUCKETS * num_blocks];
+    {
+        let counts_view = SharedMut::new(&mut counts);
+        device.launch(num_blocks, |b| {
+            let start = b * SORT_BLOCK;
+            let end = (start + SORT_BLOCK).min(n);
+            let mut local = [0u32; BUCKETS];
+            for &key in &keys_in[start..end] {
+                let digit = ((key >> shift) as usize) & (BUCKETS - 1);
+                local[digit] += 1;
+            }
+            for (digit, &count) in local.iter().enumerate() {
+                // SAFETY: slot (digit, b) is owned by this block.
+                unsafe { counts_view.write(digit * num_blocks + b, count as u64) };
+            }
+        });
+    }
+
+    // 2. Exclusive scan over the digit-major matrix. 256 * blocks entries:
+    //    small relative to n, so a sequential scan is fine and exact.
+    sequential_exclusive_scan(&mut counts);
+
+    // 3. Scatter. Each block walks its segment in order (stability) and
+    //    bumps its private cursor per digit.
+    {
+        let keys_view = SharedMut::new(keys_out);
+        let values_view = SharedMut::new(values_out);
+        let counts = &counts;
+        device.launch(num_blocks, |b| {
+            let start = b * SORT_BLOCK;
+            let end = (start + SORT_BLOCK).min(n);
+            let mut cursors = [0u64; BUCKETS];
+            for (digit, cursor) in cursors.iter_mut().enumerate() {
+                *cursor = counts[digit * num_blocks + b];
+            }
+            for i in start..end {
+                let key = keys_in[i];
+                let digit = ((key >> shift) as usize) & (BUCKETS - 1);
+                let dest = cursors[digit] as usize;
+                cursors[digit] += 1;
+                // SAFETY: scatter destinations are globally unique — the
+                // scanned bases partition the output index space by
+                // (digit, block), and cursors stay within each partition.
+                unsafe {
+                    keys_view.write(dest, key);
+                    values_view.write(dest, values_in[i]);
+                }
+            }
+        });
+    }
+}
+
+/// Returns the permutation that stably sorts `keys`, along with the sorted
+/// keys themselves.
+///
+/// `perm[rank] = original_index`, i.e. `sorted_keys[rank] ==
+/// keys[perm[rank]]`.
+pub fn argsort(device: &Device, keys: &[u64]) -> (Vec<u64>, Vec<u32>) {
+    assert!(keys.len() <= u32::MAX as usize, "argsort payload is u32");
+    let mut sorted_keys = keys.to_vec();
+    let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+    sort_pairs(device, &mut sorted_keys, &mut perm);
+    (sorted_keys, perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_device::DeviceConfig;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn check_sorted_pairs(keys: &[u64], values: &[u32], original: &[(u64, u32)]) {
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+        // Same multiset of pairs.
+        let mut got: Vec<(u64, u32)> = keys.iter().copied().zip(values.iter().copied()).collect();
+        let mut expected = original.to_vec();
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let device = Device::with_defaults();
+        let mut keys: Vec<u64> = vec![];
+        let mut values: Vec<u32> = vec![];
+        sort_pairs(&device, &mut keys, &mut values);
+        assert!(keys.is_empty());
+
+        let mut keys = vec![9u64];
+        let mut values = vec![3u32];
+        sort_pairs(&device, &mut keys, &mut values);
+        assert_eq!(keys, vec![9]);
+        assert_eq!(values, vec![3]);
+    }
+
+    #[test]
+    fn small_input_sequential_path() {
+        let device = Device::with_defaults();
+        let mut keys = vec![5u64, 3, 8, 3, 1];
+        let mut values = vec![0u32, 1, 2, 3, 4];
+        sort_pairs(&device, &mut keys, &mut values);
+        assert_eq!(keys, vec![1, 3, 3, 5, 8]);
+        // Stability: the two 3-keys keep original order (values 1 then 3).
+        assert_eq!(values, vec![4, 1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn large_random_matches_std_sort() {
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let original: Vec<(u64, u32)> =
+            (0..n).map(|i| (rng.gen::<u64>(), i as u32)).collect();
+        let mut keys: Vec<u64> = original.iter().map(|p| p.0).collect();
+        let mut values: Vec<u32> = original.iter().map(|p| p.1).collect();
+        sort_pairs(&device, &mut keys, &mut values);
+        check_sorted_pairs(&keys, &values, &original);
+    }
+
+    #[test]
+    fn stability_on_large_input() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        // Few distinct keys => many ties.
+        let mut keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..16)).collect();
+        let mut values: Vec<u32> = (0..n as u32).collect();
+        let original = keys.clone();
+        sort_pairs(&device, &mut keys, &mut values);
+        // Within each tie group, payload (original index) must increase.
+        for w in keys.iter().zip(&values).collect::<Vec<_>>().windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+        // And every payload must map back to its key.
+        for (k, &v) in keys.iter().zip(&values) {
+            assert_eq!(*k, original[v as usize]);
+        }
+    }
+
+    #[test]
+    fn small_keys_skip_passes() {
+        // Keys below 256 need exactly one pass; verify correctness (the
+        // pass-skipping itself is observable through kernel counters).
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let before = device.counters().snapshot().kernel_launches;
+        let n = 20_000;
+        let mut keys: Vec<u64> = (0..n).map(|i| (i * 37 % 251) as u64).collect();
+        let mut values: Vec<u32> = (0..n as u32).collect();
+        let original: Vec<(u64, u32)> =
+            keys.iter().copied().zip(values.iter().copied()).collect();
+        sort_pairs(&device, &mut keys, &mut values);
+        check_sorted_pairs(&keys, &values, &original);
+        let launches = device.counters().snapshot().kernel_launches - before;
+        // 1 reduce + 2 kernels per pass * 1 pass = 3.
+        assert_eq!(launches, 3);
+    }
+
+    #[test]
+    fn full_width_keys_use_eight_passes() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let before = device.counters().snapshot().kernel_launches;
+        let n = 20_000;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut keys: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() | (1 << 63)).collect();
+        let mut values: Vec<u32> = (0..n as u32).collect();
+        sort_pairs(&device, &mut keys, &mut values);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let launches = device.counters().snapshot().kernel_launches - before;
+        assert_eq!(launches, 1 + 2 * 8);
+    }
+
+    #[test]
+    fn argsort_returns_permutation() {
+        let device = Device::with_defaults();
+        let keys = vec![30u64, 10, 20];
+        let (sorted, perm) = argsort(&device, &keys);
+        assert_eq!(sorted, vec![10, 20, 30]);
+        assert_eq!(perm, vec![1, 2, 0]);
+        for (rank, &orig) in perm.iter().enumerate() {
+            assert_eq!(sorted[rank], keys[orig as usize]);
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let n = 30_000u64;
+        for input in [
+            (0..n).collect::<Vec<u64>>(),
+            (0..n).rev().collect::<Vec<u64>>(),
+            vec![7u64; n as usize],
+        ] {
+            let mut keys = input.clone();
+            let mut values: Vec<u32> = (0..n as u32).collect();
+            sort_pairs(&device, &mut keys, &mut values);
+            let mut expected = input.clone();
+            expected.sort_unstable();
+            assert_eq!(keys, expected);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn argsort_is_a_sorting_permutation(
+            seed in any::<u64>(),
+            n in 0usize..3000,
+        ) {
+            let device = Device::new(DeviceConfig::default().with_workers(2));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1000)).collect();
+            let (sorted, perm) = argsort(&device, &keys);
+            // perm is a permutation of 0..n.
+            let mut check = perm.clone();
+            check.sort_unstable();
+            prop_assert!(check.iter().enumerate().all(|(i, &p)| p == i as u32));
+            // sorted agrees with std.
+            let mut expected = keys.clone();
+            expected.sort_unstable();
+            prop_assert_eq!(&sorted, &expected);
+            // perm indexes the original keys.
+            for (rank, &orig) in perm.iter().enumerate() {
+                prop_assert_eq!(sorted[rank], keys[orig as usize]);
+            }
+        }
+
+        #[test]
+        fn radix_matches_std_sort(
+            seed in any::<u64>(),
+            n in 1usize..5000,
+            bits in 1u32..64
+        ) {
+            let device = Device::new(DeviceConfig::default().with_workers(2));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let original: Vec<(u64, u32)> =
+                (0..n).map(|i| (rng.gen::<u64>() & mask, i as u32)).collect();
+            let mut keys: Vec<u64> = original.iter().map(|p| p.0).collect();
+            let mut values: Vec<u32> = original.iter().map(|p| p.1).collect();
+            sort_pairs(&device, &mut keys, &mut values);
+            check_sorted_pairs(&keys, &values, &original);
+        }
+    }
+}

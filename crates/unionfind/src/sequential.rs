@@ -1,0 +1,117 @@
+//! Sequential disjoint-set (union by rank + full path compression).
+//!
+//! Used as the correctness oracle for [`crate::AtomicLabels`] and by the
+//! host-side collision-matrix resolution of the CUDA-DClust baseline.
+
+/// A classic sequential disjoint-set union structure.
+#[derive(Clone, Debug)]
+pub struct SequentialDsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl SequentialDsu {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `i` with full path compression.
+    pub fn find(&mut self, i: u32) -> u32 {
+        let mut root = i;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Second pass: point everything at the root.
+        let mut walk = i;
+        while walk != root {
+            let next = self.parent[walk as usize];
+            self.parent[walk as usize] = root;
+            walk = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b` (union by rank). Returns `true` if
+    /// two distinct sets were merged.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] < self.rank[rb as usize] {
+            (rb, ra)
+        } else {
+            (ra, rb)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of distinct sets.
+    pub fn count_sets(&mut self) -> usize {
+        (0..self.parent.len() as u32).filter(|&i| self.find(i) == i).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_dsu_is_all_singletons() {
+        let mut dsu = SequentialDsu::new(4);
+        assert_eq!(dsu.count_sets(), 4);
+        assert!(!dsu.same_set(0, 1));
+    }
+
+    #[test]
+    fn union_and_transitivity() {
+        let mut dsu = SequentialDsu::new(5);
+        assert!(dsu.union(0, 1));
+        assert!(dsu.union(1, 2));
+        assert!(!dsu.union(0, 2));
+        assert!(dsu.same_set(0, 2));
+        assert!(!dsu.same_set(0, 3));
+        assert_eq!(dsu.count_sets(), 3);
+    }
+
+    #[test]
+    fn path_compression_flattens() {
+        let mut dsu = SequentialDsu::new(100);
+        for i in 0..99 {
+            dsu.union(i, i + 1);
+        }
+        let root = dsu.find(99);
+        // After find, the chain should point directly at the root.
+        assert_eq!(dsu.parent[99], root);
+        assert_eq!(dsu.count_sets(), 1);
+    }
+
+    #[test]
+    fn empty_dsu() {
+        let mut dsu = SequentialDsu::new(0);
+        assert!(dsu.is_empty());
+        assert_eq!(dsu.count_sets(), 0);
+    }
+}

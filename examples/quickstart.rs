@@ -1,0 +1,52 @@
+//! Quickstart: cluster a small synthetic point set with FDBSCAN.
+//!
+//! ```sh
+//! cargo run --release -p fdbscan --example quickstart
+//! ```
+
+use fdbscan::{fdbscan, Params, NOISE};
+use fdbscan_data::blobs;
+use fdbscan_device::Device;
+
+fn main() {
+    // A simulated data-parallel device (uses all hardware threads).
+    let device = Device::with_defaults();
+
+    // 10,000 points: three Gaussian blobs plus 10 % uniform noise.
+    let points = blobs::<2>(10_000, 3, 0.02, 1.0, 0.10, /* seed */ 42);
+
+    // eps = 0.03, minpts = 10 (neighborhood sizes include the point).
+    let params = Params::new(0.03, 10);
+    let (clustering, stats) = fdbscan(&device, &points, params).expect("device out of memory");
+
+    println!("FDBSCAN over {} points (eps = {}, minpts = {})", points.len(), params.eps, params.minpts);
+    println!("  clusters : {}", clustering.num_clusters);
+    println!("  core     : {}", clustering.num_core());
+    println!("  border   : {}", clustering.num_border());
+    println!("  noise    : {}", clustering.num_noise());
+    let mut sizes = clustering.cluster_sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("  largest clusters: {:?}", &sizes[..sizes.len().min(5)]);
+
+    println!("timing:");
+    println!("  index      : {:?}", stats.index_time);
+    println!("  preprocess : {:?}", stats.preprocess_time);
+    println!("  main       : {:?}", stats.main_time);
+    println!("  finalize   : {:?}", stats.finalize_time);
+    println!("  total      : {:?}", stats.total_time);
+    println!("work counters:");
+    println!("  distance computations : {}", stats.counters.distance_computations);
+    println!("  BVH nodes visited     : {}", stats.counters.bvh_nodes_visited);
+    println!("  union operations      : {}", stats.counters.unions);
+    println!("  peak device memory    : {} KiB", stats.peak_memory_bytes / 1024);
+
+    // Look up a few individual points.
+    for i in [0usize, 1, 2] {
+        let label = clustering.assignments[i];
+        if label == NOISE {
+            println!("point {i} at {:?} is noise", points[i]);
+        } else {
+            println!("point {i} at {:?} is in cluster {label} ({:?})", points[i], clustering.classes[i]);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Parameter tuning with the k-distance heuristic (Ester et al. 1996):
+//! compute the sorted k-dist curve on the same BVH the clustering uses,
+//! locate the knee, and cluster with the suggested eps.
+//!
+//! ```sh
+//! cargo run --release -p fdbscan --example tune_eps [n] [minpts]
+//! ```
+
+use fdbscan::{fdbscan_auto, kdist_curve, suggest_eps, Params};
+use fdbscan_data::blobs;
+use fdbscan_device::Device;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let minpts: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    // Unknown-to-the-user structure: 6 blobs + 20 % noise.
+    let points = blobs::<2>(n, 6, 0.015, 1.0, 0.2, 99);
+    let device = Device::with_defaults();
+
+    println!("k-dist curve (k = minpts = {minpts}) over {n} points:");
+    let curve = kdist_curve(&device, &points, minpts, 64).unwrap();
+    let maxd = curve.first().copied().unwrap_or(0.0);
+    for (i, &d) in curve.iter().enumerate().step_by(curve.len().div_ceil(16).max(1)) {
+        let bar = "#".repeat(((d / maxd) * 50.0) as usize);
+        println!("{i:>5}  {d:>8.4}  {bar}");
+    }
+
+    let eps = suggest_eps(&device, &points, minpts)
+        .unwrap()
+        .expect("curve has a knee");
+    println!("\nsuggested eps = {eps:.4} (knee of the k-dist curve)");
+
+    let (clustering, stats, choice) =
+        fdbscan_auto(&device, &points, Params::new(eps, minpts)).unwrap();
+    println!(
+        "clustered with {choice:?}: {} clusters, {} noise, {:.1} ms",
+        clustering.num_clusters,
+        clustering.num_noise(),
+        stats.total_ms()
+    );
+    let mut sizes = clustering.cluster_sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    println!("largest clusters: {:?}", &sizes[..sizes.len().min(8)]);
+    println!("(the generator planted 6 blobs in 20% uniform noise)");
+}

@@ -1,0 +1,154 @@
+//! Cross-algorithm equivalence on adversarial inputs: every parallel
+//! implementation must match the sequential oracle (Algorithm 1) on
+//! geometry designed to stress ties, duplicates and boundaries.
+
+use fdbscan::baselines::{cuda_dclust, gdbscan};
+use fdbscan::labels::assert_core_equivalent;
+use fdbscan::seq::{dbscan_classic, dsdbscan};
+use fdbscan::verify::assert_valid_clustering;
+use fdbscan::{fdbscan, fdbscan_densebox, Params};
+use fdbscan_device::{Device, DeviceConfig};
+use fdbscan_geom::Point2;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn device() -> Device {
+    Device::new(DeviceConfig::default().with_workers(3).with_block_size(32))
+}
+
+/// Runs every implementation and checks them all against the oracle.
+fn check_all(points: &[Point2], params: Params) {
+    let device = device();
+    let oracle = dbscan_classic(points, params);
+    assert_valid_clustering(points, &oracle, params);
+
+    let ds = dsdbscan(points, params);
+    assert_core_equivalent(&oracle, &ds);
+
+    let (a, _) = fdbscan(&device, points, params).unwrap();
+    assert_core_equivalent(&oracle, &a);
+    assert_valid_clustering(points, &a, params);
+
+    let (b, _) = fdbscan_densebox(&device, points, params).unwrap();
+    assert_core_equivalent(&oracle, &b);
+    assert_valid_clustering(points, &b, params);
+
+    let (c, _) = gdbscan(&device, points, params).unwrap();
+    assert_core_equivalent(&oracle, &c);
+    assert_valid_clustering(points, &c, params);
+
+    let (d, _) = cuda_dclust(&device, points, params).unwrap();
+    assert_core_equivalent(&oracle, &d);
+    assert_valid_clustering(points, &d, params);
+}
+
+#[test]
+fn grid_aligned_points_with_boundary_distances() {
+    // Exact integer grid: many pairs at exactly eps (inclusive boundary).
+    let points: Vec<Point2> = (0..15)
+        .flat_map(|x| (0..15).map(move |y| Point2::new([x as f32, y as f32])))
+        .collect();
+    check_all(&points, Params::new(1.0, 5));
+    check_all(&points, Params::new(1.5, 5));
+}
+
+#[test]
+fn heavy_duplicates() {
+    let mut points = vec![Point2::new([1.0, 1.0]); 70];
+    points.extend(vec![Point2::new([1.05, 1.0]); 30]);
+    points.extend(vec![Point2::new([9.0, 9.0]); 3]);
+    points.push(Point2::new([5.0, 5.0]));
+    check_all(&points, Params::new(0.1, 10));
+    check_all(&points, Params::new(0.1, 4));
+    check_all(&points, Params::new(0.1, 2));
+}
+
+#[test]
+fn collinear_chain_with_gaps() {
+    let mut points: Vec<Point2> = (0..50).map(|i| Point2::new([i as f32 * 0.5, 0.0])).collect();
+    points.extend((0..50).map(|i| Point2::new([40.0 + i as f32 * 0.5, 0.0])));
+    check_all(&points, Params::new(0.5, 3));
+    check_all(&points, Params::new(0.6, 2));
+}
+
+#[test]
+fn clusters_of_wildly_different_scales() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    let mut points = Vec::new();
+    // Tight micro-cluster.
+    for _ in 0..100 {
+        points.push(Point2::new([
+            1.0 + rng.gen_range(-0.001..0.001),
+            1.0 + rng.gen_range(-0.001..0.001),
+        ]));
+    }
+    // Loose macro-cluster.
+    for _ in 0..100 {
+        points.push(Point2::new([
+            50.0 + rng.gen_range(-3.0..3.0),
+            50.0 + rng.gen_range(-3.0..3.0),
+        ]));
+    }
+    // Scattered noise.
+    for _ in 0..30 {
+        points.push(Point2::new([rng.gen_range(0.0..100.0), rng.gen_range(10.0..40.0)]));
+    }
+    check_all(&points, Params::new(1.5, 5));
+}
+
+#[test]
+fn random_workloads_across_density_regimes() {
+    for (seed, extent, eps, minpts) in [
+        (1u64, 1.0f32, 0.05f32, 4usize), // dense regime
+        (2, 10.0, 0.3, 3),               // medium
+        (3, 100.0, 1.0, 2),              // sparse, FoF
+        (4, 5.0, 0.8, 12),               // large neighborhoods
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Point2> = (0..350)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect();
+        check_all(&points, Params::new(eps, minpts));
+    }
+}
+
+#[test]
+fn single_cluster_spanning_many_grid_cells() {
+    // A dense annulus: connected through many dense cells; stresses the
+    // box-to-box connectivity path of FDBSCAN-DenseBox.
+    let mut rng = StdRng::seed_from_u64(55);
+    let points: Vec<Point2> = (0..600)
+        .map(|i| {
+            let angle = i as f32 / 600.0 * std::f32::consts::TAU;
+            let r = 5.0 + rng.gen_range(-0.1..0.1);
+            Point2::new([10.0 + r * angle.cos(), 10.0 + r * angle.sin()])
+        })
+        .collect();
+    let device = device();
+    let params = Params::new(0.3, 5);
+    let oracle = dbscan_classic(&points, params);
+    assert_eq!(oracle.num_clusters, 1, "annulus must be one connected cluster");
+    let (a, _) = fdbscan(&device, &points, params).unwrap();
+    let (b, _) = fdbscan_densebox(&device, &points, params).unwrap();
+    assert_core_equivalent(&oracle, &a);
+    assert_core_equivalent(&oracle, &b);
+}
+
+#[test]
+fn empty_and_tiny_inputs_all_algorithms() {
+    let device = device();
+    for n in [0usize, 1, 2, 3] {
+        let points: Vec<Point2> = (0..n).map(|i| Point2::new([i as f32, 0.0])).collect();
+        for minpts in [1usize, 2, 3] {
+            let params = Params::new(1.5, minpts);
+            let oracle = dbscan_classic(&points, params);
+            let (a, _) = fdbscan(&device, &points, params).unwrap();
+            let (b, _) = fdbscan_densebox(&device, &points, params).unwrap();
+            let (c, _) = gdbscan(&device, &points, params).unwrap();
+            let (d, _) = cuda_dclust(&device, &points, params).unwrap();
+            assert_core_equivalent(&oracle, &a);
+            assert_core_equivalent(&oracle, &b);
+            assert_core_equivalent(&oracle, &c);
+            assert_core_equivalent(&oracle, &d);
+        }
+    }
+}

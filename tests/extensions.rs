@@ -1,0 +1,115 @@
+//! Integration tests for the extension features (DBSCAN*, the heuristic
+//! switch, multi-minpts sweeps, the k-d tree index) on realistic
+//! dataset-scale workloads.
+
+use fdbscan::labels::{assert_core_equivalent, PointClass};
+use fdbscan::{
+    fdbscan, fdbscan_auto, fdbscan_densebox_star, fdbscan_kdtree, fdbscan_star, AutoChoice,
+    MinptsSweep, Params,
+};
+use fdbscan_data::cosmology::default_snapshot;
+use fdbscan_data::Dataset2;
+use fdbscan_device::{Device, DeviceConfig};
+
+fn device() -> Device {
+    Device::new(DeviceConfig::default().with_workers(2))
+}
+
+#[test]
+fn star_agrees_across_algorithms_on_every_family() {
+    let device = device();
+    for kind in Dataset2::ALL {
+        let points = kind.generate(1500, 31);
+        let params = Params::new(0.02, 10);
+        let (a, _) = fdbscan_star(&device, &points, params).unwrap();
+        let (b, _) = fdbscan_densebox_star(&device, &points, params).unwrap();
+        assert_core_equivalent(&a, &b);
+        assert_eq!(a.num_border(), 0, "{}", kind.name());
+        assert_eq!(b.num_border(), 0, "{}", kind.name());
+        // DBSCAN* noise is a superset of DBSCAN noise (borders demoted).
+        let (full, _) = fdbscan(&device, &points, params).unwrap();
+        assert!(a.num_noise() >= full.num_noise());
+        assert_eq!(a.num_noise(), full.num_noise() + full.num_border());
+    }
+}
+
+#[test]
+fn sweep_reproduces_direct_runs_over_figure_grid() {
+    // The Fig. 4(a)-style sweep through MinptsSweep must equal direct
+    // runs at every grid point.
+    let device = device();
+    let points = Dataset2::PortoTaxi.generate(2000, 33);
+    let eps = 0.01;
+    let sweep = MinptsSweep::new(&device, &points, eps).unwrap();
+    for minpts in [2usize, 5, 10, 50, 100] {
+        let (s, _) = sweep.run(minpts).unwrap();
+        let (d, _) = fdbscan(&device, &points, Params::new(eps, minpts)).unwrap();
+        assert_core_equivalent(&d, &s);
+    }
+}
+
+#[test]
+fn sweep_counts_give_degree_statistics() {
+    let device = device();
+    let points = Dataset2::Ngsim.generate(2000, 35);
+    let sweep = MinptsSweep::new(&device, &points, 0.005).unwrap();
+    let counts = sweep.neighbor_counts();
+    assert_eq!(counts.len(), points.len());
+    // Every count includes the point itself.
+    assert!(counts.iter().all(|&c| c >= 1));
+    // NGSIM-like data is heavily stacked: the median degree is large.
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    assert!(sorted[counts.len() / 2] > 10, "median degree {}", sorted[counts.len() / 2]);
+}
+
+#[test]
+fn kdtree_framework_agrees_on_all_families() {
+    let device = device();
+    for kind in Dataset2::ALL {
+        let points = kind.generate(1500, 37);
+        let params = Params::new(0.02, 8);
+        let (bvh, _) = fdbscan(&device, &points, params).unwrap();
+        let (kd, _) = fdbscan_kdtree(&device, &points, params).unwrap();
+        assert_core_equivalent(&bvh, &kd);
+    }
+}
+
+#[test]
+fn auto_switch_picks_the_right_regime_per_workload() {
+    let device = device();
+    // Trajectory data at practical parameters: dense regime.
+    let dense_points = Dataset2::RoadNetwork.generate(4000, 39);
+    let (_, _, choice) = fdbscan_auto(&device, &dense_points, Params::new(0.08, 20)).unwrap();
+    assert_eq!(choice, AutoChoice::DenseBox);
+
+    // Cosmology at physics eps: sparse regime (paper Fig. 6's message).
+    let sparse_points = default_snapshot(10_000, 41);
+    let eps = 0.042 * (36.9e6f64 / 10_000.0).cbrt() as f32;
+    let (_, _, choice) = fdbscan_auto(&device, &sparse_points, Params::new(eps, 50)).unwrap();
+    assert_eq!(choice, AutoChoice::Fdbscan);
+}
+
+#[test]
+fn auto_always_matches_manual_choice() {
+    let device = device();
+    for kind in Dataset2::ALL {
+        let points = kind.generate(1200, 43);
+        let params = Params::new(0.03, 12);
+        let (auto_c, _, _) = fdbscan_auto(&device, &points, params).unwrap();
+        let (manual, _) = fdbscan(&device, &points, params).unwrap();
+        assert_core_equivalent(&manual, &auto_c);
+    }
+}
+
+#[test]
+fn star_on_cosmology_fof_equals_full() {
+    // minpts = 2 has no borders, so * and full coincide on halo finding.
+    let device = device();
+    let points = default_snapshot(5000, 47);
+    let params = Params::new(0.5, 2);
+    let (full, _) = fdbscan(&device, &points, params).unwrap();
+    let (star, _) = fdbscan_star(&device, &points, params).unwrap();
+    assert_eq!(full.assignments, star.assignments);
+    assert!(full.classes.iter().all(|c| *c != PointClass::Border));
+}

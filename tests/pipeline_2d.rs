@@ -1,0 +1,129 @@
+//! End-to-end pipelines over the three 2-D synthetic dataset families:
+//! all four GPU algorithms agree with each other and satisfy the DBSCAN
+//! definitions.
+
+use fdbscan::baselines::{cuda_dclust, gdbscan};
+use fdbscan::labels::assert_core_equivalent;
+use fdbscan::verify::assert_valid_clustering;
+use fdbscan::{fdbscan, fdbscan_densebox, Params};
+use fdbscan_data::Dataset2;
+use fdbscan_device::{Device, DeviceConfig};
+
+fn device() -> Device {
+    Device::new(DeviceConfig::default().with_workers(2))
+}
+
+/// The paper's per-dataset parameter choices (Fig. 4(a)(b)(c)), scaled to
+/// the synthetic stand-ins.
+fn params_for(kind: Dataset2) -> Params {
+    match kind {
+        Dataset2::Ngsim => Params::new(0.005, 20),
+        Dataset2::PortoTaxi => Params::new(0.01, 20),
+        Dataset2::RoadNetwork => Params::new(0.08, 20),
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_every_2d_family() {
+    let device = device();
+    for kind in Dataset2::ALL {
+        let points = kind.generate(1500, 42);
+        let params = params_for(kind);
+        let (a, _) = fdbscan(&device, &points, params).unwrap();
+        let (b, _) = fdbscan_densebox(&device, &points, params).unwrap();
+        let (c, _) = gdbscan(&device, &points, params).unwrap();
+        let (d, _) = cuda_dclust(&device, &points, params).unwrap();
+        assert_core_equivalent(&a, &b);
+        assert_core_equivalent(&a, &c);
+        assert_core_equivalent(&a, &d);
+        assert_valid_clustering(&points, &a, params);
+        assert_valid_clustering(&points, &b, params);
+        assert_valid_clustering(&points, &c, params);
+        assert_valid_clustering(&points, &d, params);
+    }
+}
+
+#[test]
+fn clustering_is_meaningful_on_ngsim_like_data() {
+    // The corridor structure must come out as a handful of elongated
+    // clusters, not one blob and not pure noise.
+    let device = device();
+    let points = Dataset2::Ngsim.generate(4000, 7);
+    let (c, _) = fdbscan(&device, &points, Params::new(0.005, 10)).unwrap();
+    assert!(c.num_clusters >= 2, "expected corridor clusters, got {}", c.num_clusters);
+    assert!(c.num_clusters <= 100, "over-fragmented: {}", c.num_clusters);
+    let clustered: usize = c.cluster_sizes().iter().sum();
+    assert!(
+        clustered as f64 > 0.8 * points.len() as f64,
+        "most trajectory points are on corridors; only {clustered} clustered"
+    );
+}
+
+#[test]
+fn densebox_dominates_dense_data_in_distance_work() {
+    // The headline effect of §5.1: on road/trajectory data most points
+    // sit in dense cells, so FDBSCAN-DenseBox eliminates the bulk of the
+    // distance computations FDBSCAN performs.
+    let device = device();
+    for kind in Dataset2::ALL {
+        let points = kind.generate(4000, 11);
+        let params = params_for(kind);
+        let (_, plain) = fdbscan(&device, &points, params).unwrap();
+        let (_, dense) = fdbscan_densebox(&device, &points, params).unwrap();
+        let dense_stats = dense.dense.unwrap();
+        assert!(
+            dense_stats.dense_fraction > 0.5,
+            "{}: dense fraction {} too low for the claim",
+            kind.name(),
+            dense_stats.dense_fraction
+        );
+        assert!(
+            dense.counters.distance_computations < plain.counters.distance_computations,
+            "{}: densebox {} >= fdbscan {}",
+            kind.name(),
+            dense.counters.distance_computations,
+            plain.counters.distance_computations
+        );
+    }
+}
+
+#[test]
+fn minpts_sweep_preserves_agreement() {
+    // Fig. 4(a)(b)(c) sweeps minpts; the implementations must agree at
+    // every point of the sweep.
+    let device = device();
+    let points = Dataset2::PortoTaxi.generate(1200, 3);
+    for minpts in [2usize, 5, 20, 100, 500] {
+        let params = Params::new(0.01, minpts);
+        let (a, _) = fdbscan(&device, &points, params).unwrap();
+        let (b, _) = fdbscan_densebox(&device, &points, params).unwrap();
+        assert_core_equivalent(&a, &b);
+    }
+}
+
+#[test]
+fn eps_sweep_preserves_agreement() {
+    // Fig. 4(d)(e)(f) sweeps eps.
+    let device = device();
+    let points = Dataset2::RoadNetwork.generate(1200, 5);
+    for eps in [0.01f32, 0.04, 0.08, 0.16] {
+        let params = Params::new(eps, 10);
+        let (a, _) = fdbscan(&device, &points, params).unwrap();
+        let (b, _) = fdbscan_densebox(&device, &points, params).unwrap();
+        assert_core_equivalent(&a, &b);
+    }
+}
+
+#[test]
+fn growing_eps_shrinks_noise() {
+    // Monotonic effect the paper leans on: larger eps grows
+    // neighborhoods, so noise can only shrink.
+    let device = device();
+    let points = Dataset2::RoadNetwork.generate(3000, 9);
+    let mut last_noise = usize::MAX;
+    for eps in [0.005f32, 0.02, 0.08, 0.3] {
+        let (c, _) = fdbscan(&device, &points, Params::new(eps, 5)).unwrap();
+        assert!(c.num_noise() <= last_noise, "noise grew as eps grew");
+        last_noise = c.num_noise();
+    }
+}

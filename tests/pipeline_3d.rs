@@ -1,0 +1,128 @@
+//! End-to-end pipeline over the 3-D cosmology stand-in (paper §5.2).
+
+use fdbscan::baselines::{cuda_dclust, gdbscan};
+use fdbscan::labels::assert_core_equivalent;
+use fdbscan::{fdbscan, fdbscan_densebox, Params};
+use fdbscan_data::cosmology::default_snapshot;
+use fdbscan_device::{Device, DeviceConfig};
+
+fn device() -> Device {
+    Device::new(DeviceConfig::default().with_workers(2))
+}
+
+#[test]
+fn fof_halo_finding_minpts_2() {
+    // The cosmology standard: minpts = 2 (friends-of-friends). Both
+    // algorithms must agree and find a meaningful halo population.
+    let device = device();
+    let points = default_snapshot(8000, 1);
+    let params = Params::new(0.2, 2);
+    let (a, _) = fdbscan(&device, &points, params).unwrap();
+    let (b, _) = fdbscan_densebox(&device, &points, params).unwrap();
+    assert_core_equivalent(&a, &b);
+    assert!(a.num_clusters > 10, "expected many halos, got {}", a.num_clusters);
+    assert!(a.num_noise() > 0, "the diffuse background must contain singleton noise");
+    // minpts = 2 has no border points by definition.
+    assert_eq!(a.num_border(), 0);
+}
+
+#[test]
+fn agreement_across_minpts_sweep() {
+    // Fig. 6 sweeps minpts at fixed eps.
+    let device = device();
+    let points = default_snapshot(4000, 2);
+    for minpts in [2usize, 5, 10, 50] {
+        let params = Params::new(0.3, minpts);
+        let (a, _) = fdbscan(&device, &points, params).unwrap();
+        let (b, _) = fdbscan_densebox(&device, &points, params).unwrap();
+        assert_core_equivalent(&a, &b);
+    }
+}
+
+#[test]
+fn agreement_across_eps_sweep() {
+    // Fig. 7 sweeps eps at fixed minpts = 5.
+    let device = device();
+    let points = default_snapshot(4000, 3);
+    for eps in [0.1f32, 0.3, 1.0, 3.0] {
+        let params = Params::new(eps, 5);
+        let (a, _) = fdbscan(&device, &points, params).unwrap();
+        let (b, _) = fdbscan_densebox(&device, &points, params).unwrap();
+        assert_core_equivalent(&a, &b);
+    }
+}
+
+#[test]
+fn baselines_agree_in_3d() {
+    // G-DBSCAN and CUDA-DClust are dimension-generic; CUDA-DClust's 3^D
+    // directory neighborhood (27 cells in 3-D) gets exercised here.
+    let device = device();
+    let points = default_snapshot(2000, 8);
+    let params = Params::new(1.0, 4);
+    let (a, _) = fdbscan(&device, &points, params).unwrap();
+    let (b, _) = gdbscan(&device, &points, params).unwrap();
+    let (c, _) = cuda_dclust(&device, &points, params).unwrap();
+    assert_core_equivalent(&a, &b);
+    assert_core_equivalent(&a, &c);
+}
+
+#[test]
+fn dense_fraction_falls_with_minpts() {
+    // §5.2's structural claim: ~13 % of particles in dense cells at
+    // minpts = 5, < 2 % at 50, none for minpts > 100 (at the paper's
+    // sampling density). Directionally: the fraction must fall to zero.
+    let device = device();
+    let points = default_snapshot(20_000, 4);
+    let eps = 0.35; // scaled to the snapshot's sampling density
+    let mut last = f64::INFINITY;
+    let mut fractions = Vec::new();
+    for minpts in [5usize, 50, 500] {
+        let (_, stats) = fdbscan_densebox(&device, &points, Params::new(eps, minpts)).unwrap();
+        let frac = stats.dense.unwrap().dense_fraction;
+        assert!(frac <= last, "dense fraction must fall with minpts");
+        last = frac;
+        fractions.push(frac);
+    }
+    assert!(fractions[0] > 0.01, "some particles must sit in dense cells at minpts=5");
+    assert_eq!(*fractions.last().unwrap(), 0.0, "no dense cells at huge minpts");
+}
+
+#[test]
+fn dense_fraction_rises_with_eps() {
+    // §5.2: at eps = 1.0 roughly 91 % of points live in dense cells.
+    // Directionally: the fraction must rise monotonically with eps and
+    // approach 1 at large radii.
+    let device = device();
+    let points = default_snapshot(20_000, 5);
+    let mut last = -1.0f64;
+    let mut final_frac = 0.0;
+    for eps in [0.1f32, 0.5, 2.0, 8.0] {
+        let (_, stats) = fdbscan_densebox(&device, &points, Params::new(eps, 5)).unwrap();
+        let frac = stats.dense.unwrap().dense_fraction;
+        assert!(frac >= last, "dense fraction must rise with eps");
+        last = frac;
+        final_frac = frac;
+    }
+    assert!(final_frac > 0.85, "large eps should capture most points ({final_frac})");
+}
+
+#[test]
+fn densebox_wins_at_large_eps_in_distance_work() {
+    // Fig. 7's 16x gap at eps = 1.0 comes from eliminated distance
+    // computations; verify the work-count gap at large eps.
+    let device = device();
+    let points = default_snapshot(30_000, 6);
+    // eps ~ 3x the mean interparticle spacing: the right end of Fig. 7,
+    // where dense cells are well populated and nearly all points live in
+    // them.
+    let params = Params::new(8.0, 5);
+    let (_, plain) = fdbscan(&device, &points, params).unwrap();
+    let (_, dense) = fdbscan_densebox(&device, &points, params).unwrap();
+    assert!(dense.dense.unwrap().dense_fraction > 0.8, "regime sanity");
+    assert!(
+        dense.counters.distance_computations * 2 < plain.counters.distance_computations,
+        "densebox {} vs fdbscan {}",
+        dense.counters.distance_computations,
+        plain.counters.distance_computations
+    );
+}
