@@ -1,0 +1,276 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — benchmark
+//! groups, `bench_with_input` / `bench_function`, `Bencher::iter`,
+//! throughput annotation, `criterion_group!` / `criterion_main!` — with
+//! a simple mean-of-samples timer instead of criterion's statistical
+//! machinery. Results print one line per benchmark:
+//!
+//! ```text
+//! fig4-scaling/roads/fdbscan/4096  time: 1.234 ms  (10 samples)  thrpt: 3.3 Melem/s
+//! ```
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.to_string(), self.sample_size, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (separator line in the output).
+    pub fn finish(self) {
+        eprintln!();
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` once as warm-up, then `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        eprintln!("{label}  (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let thrpt = throughput
+        .map(|t| format!("  thrpt: {}", t.rate(mean)))
+        .unwrap_or_default();
+    eprintln!("{label}  time: {mean:?}  ({} samples){thrpt}", bencher.samples.len());
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { function: None, parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { function: Some(name.to_owned()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { function: Some(name), parameter: None }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Work-per-iteration annotation for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn rate(&self, mean: Duration) -> String {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match self {
+            Throughput::Elements(n) => format!("{:.3} Melem/s", *n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!("{:.3} MiB/s", *n as f64 / secs / (1 << 20) as f64),
+        }
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("algo", 42).to_string(), "algo/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3).throughput(Throughput::Elements(10));
+            group.bench_with_input(BenchmarkId::new("f", 1), &5u64, |b, &x| {
+                b.iter(|| {
+                    runs += 1;
+                    x * 2
+                })
+            });
+            group.finish();
+        }
+        // 1 warm-up + 3 timed samples.
+        assert_eq!(runs, 4);
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn criterion_group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}
