@@ -86,6 +86,26 @@ fn header(title: &str) {
     println!("\n## {title}\n");
 }
 
+/// Unwraps a run's stats, or prints the failure and returns `None` so
+/// the report continues with the next configuration instead of
+/// aborting the whole binary.
+fn stats_or_report(
+    name: &str,
+    result: Result<(fdbscan::Clustering, fdbscan::RunStats), fdbscan_device::DeviceError>,
+) -> Option<fdbscan::RunStats> {
+    match result {
+        Ok((_, stats)) => Some(stats),
+        Err(err) => {
+            let kind = match err {
+                fdbscan_device::DeviceError::OutOfMemory { .. } => "OOM",
+                _ => "ERR",
+            };
+            println!("{name}: {kind} ({err})");
+            None
+        }
+    }
+}
+
 fn algo_columns() -> String {
     Algo::ALL.iter().map(|a| format!("{:>18}", a.name())).collect()
 }
@@ -230,8 +250,12 @@ fn claims(options: &Options) {
         let (eps, minpts_values) = fig4_minpts_config(kind);
         let points = kind.generate(options.n, options.seed);
         for &minpts in &[minpts_values[0], *minpts_values.last().unwrap()] {
-            let (_, stats) =
-                fdbscan_densebox(&device, &points, Params::new(eps, minpts)).unwrap();
+            let Some(stats) = stats_or_report(
+                kind.name(),
+                fdbscan_densebox(&device, &points, Params::new(eps, minpts)),
+            ) else {
+                continue;
+            };
             let d = stats.dense.unwrap();
             println!(
                 "{:>12}{eps:>8}{minpts:>8}{:>14}{:>11.1}%",
@@ -248,24 +272,30 @@ fn claims(options: &Options) {
     let points = default_snapshot(n, options.seed);
     println!("{:>8}{:>14}{:>12}", "minpts", "dense cells", "dense %");
     for minpts in [5usize, 50, 100, 300] {
-        let (_, stats) = fdbscan_densebox(&device, &points, Params::new(eps, minpts)).unwrap();
+        let Some(stats) = stats_or_report(
+            "cosmology",
+            fdbscan_densebox(&device, &points, Params::new(eps, minpts)),
+        ) else {
+            continue;
+        };
         let d = stats.dense.unwrap();
         println!("{minpts:>8}{:>14}{:>11.1}%", d.num_dense_cells, 100.0 * d.dense_fraction);
     }
 
     header("Claim: ~91% of points in dense cells at eps = 1.0 (scaled: 24x physics eps)");
     let big_eps = scaled_cosmo_eps(n) * 24.0;
-    let (_, stats) = fdbscan_densebox(&device, &points, Params::new(big_eps, 5)).unwrap();
-    let d = stats.dense.unwrap();
-    println!("eps = {big_eps:.3}: dense % = {:.1}%", 100.0 * d.dense_fraction);
+    if let Some(stats) =
+        stats_or_report("cosmology", fdbscan_densebox(&device, &points, Params::new(big_eps, 5)))
+    {
+        let d = stats.dense.unwrap();
+        println!("eps = {big_eps:.3}: dense % = {:.1}%", 100.0 * d.dense_fraction);
+    }
 }
 
 /// Peak device memory per algorithm (the G-DBSCAN blowup, §2.2/§5.1).
 fn memory(options: &Options) {
     let device = Device::with_defaults();
-    header(&format!(
-        "Memory | porto-taxi | eps = 0.05, minpts = 1000, n swept | peak device KiB"
-    ));
+    header("Memory | porto-taxi | eps = 0.05, minpts = 1000, n swept | peak device KiB");
     println!("{:>8}{}", "n", algo_columns());
     let full = Dataset2::PortoTaxi.generate(options.max_scaling_n, options.seed);
     let mut n = 1024usize;
@@ -291,44 +321,55 @@ fn ablations(options: &Options) {
     header("Ablation: index-masked traversal (Fig. 1) on 3d-road");
     let points = Dataset2::RoadNetwork.generate(options.n, options.seed);
     let params = Params::new(0.08, 100);
-    let (_, masked) = fdbscan(&device, &points, params).unwrap();
-    let (_, unmasked) = fdbscan_with(
-        &device,
-        &points,
-        params,
-        FdbscanOptions { masked_traversal: false, early_termination: true, star: false },
-    )
-    .unwrap();
-    println!("{:<12}{:>12}{:>16}{:>16}{:>12}", "variant", "time ms", "distances", "nodes", "unions");
-    for (name, s) in [("masked", &masked), ("unmasked", &unmasked)] {
+    let masked = stats_or_report("masked", fdbscan(&device, &points, params));
+    let unmasked = stats_or_report(
+        "unmasked",
+        fdbscan_with(
+            &device,
+            &points,
+            params,
+            FdbscanOptions { masked_traversal: false, early_termination: true, star: false },
+        ),
+    );
+    if let (Some(masked), Some(unmasked)) = (masked, unmasked) {
         println!(
-            "{name:<12}{:>12.1}{:>16}{:>16}{:>12}",
-            s.total_ms(),
-            s.counters.distance_computations,
-            s.counters.bvh_nodes_visited,
-            s.counters.unions
+            "{:<12}{:>12}{:>16}{:>16}{:>12}",
+            "variant", "time ms", "distances", "nodes", "unions"
         );
+        for (name, s) in [("masked", &masked), ("unmasked", &unmasked)] {
+            println!(
+                "{name:<12}{:>12.1}{:>16}{:>16}{:>12}",
+                s.total_ms(),
+                s.counters.distance_computations,
+                s.counters.bvh_nodes_visited,
+                s.counters.unions
+            );
+        }
     }
 
     header("Ablation: early-terminated core counting (§3.2) on porto-taxi");
     let points = Dataset2::PortoTaxi.generate(options.n, options.seed);
     let params = Params::new(0.01, 50);
-    let (_, early) = fdbscan(&device, &points, params).unwrap();
-    let (_, full) = fdbscan_with(
-        &device,
-        &points,
-        params,
-        FdbscanOptions { masked_traversal: true, early_termination: false, star: false },
-    )
-    .unwrap();
-    println!("{:<12}{:>12}{:>16}{:>16}", "variant", "time ms", "distances", "nodes");
-    for (name, s) in [("early-term", &early), ("full-count", &full)] {
-        println!(
-            "{name:<12}{:>12.1}{:>16}{:>16}",
-            s.total_ms(),
-            s.counters.distance_computations,
-            s.counters.bvh_nodes_visited
-        );
+    let early = stats_or_report("early-term", fdbscan(&device, &points, params));
+    let full = stats_or_report(
+        "full-count",
+        fdbscan_with(
+            &device,
+            &points,
+            params,
+            FdbscanOptions { masked_traversal: true, early_termination: false, star: false },
+        ),
+    );
+    if let (Some(early), Some(full)) = (early, full) {
+        println!("{:<12}{:>12}{:>16}{:>16}", "variant", "time ms", "distances", "nodes");
+        for (name, s) in [("early-term", &early), ("full-count", &full)] {
+            println!(
+                "{name:<12}{:>12.1}{:>16}{:>16}",
+                s.total_ms(),
+                s.counters.distance_computations,
+                s.counters.bvh_nodes_visited
+            );
+        }
     }
 
     header("Ablation: dense-box handling across density regimes (blob spread sweep)");
@@ -339,8 +380,14 @@ fn ablations(options: &Options) {
     for spread in [0.002f32, 0.01, 0.05, 0.2] {
         let points = blobs::<2>(options.n, 10, spread, 1.0, 0.05, options.seed);
         let params = Params::new(0.02, 20);
-        let (_, plain) = fdbscan(&device, &points, params).unwrap();
-        let (_, dense) = fdbscan_densebox(&device, &points, params).unwrap();
+        let Some(plain) = stats_or_report("fdbscan", fdbscan(&device, &points, params)) else {
+            continue;
+        };
+        let Some(dense) =
+            stats_or_report("densebox", fdbscan_densebox(&device, &points, params))
+        else {
+            continue;
+        };
         println!(
             "{spread:>10}{:>11.1}%{:>16.1}{:>12.1}{:>14}{:>14}",
             100.0 * dense.dense.unwrap().dense_fraction,
@@ -363,8 +410,13 @@ fn ablations(options: &Options) {
             Dataset2::PortoTaxi => Params::new(0.01, 50),
             Dataset2::RoadNetwork => Params::new(0.08, 100),
         };
-        let (_, bvh_stats) = fdbscan(&device, &points, params).unwrap();
-        let (_, kd_stats) = fdbscan_kdtree(&device, &points, params).unwrap();
+        let Some(bvh_stats) = stats_or_report("bvh", fdbscan(&device, &points, params)) else {
+            continue;
+        };
+        let Some(kd_stats) = stats_or_report("kdtree", fdbscan_kdtree(&device, &points, params))
+        else {
+            continue;
+        };
         println!(
             "{:>12}{:>14.1}{:>14.1}{:>16}{:>16}",
             kind.name(),
@@ -390,7 +442,13 @@ fn ablations(options: &Options) {
         ),
     ];
     for (name, points, params) in &workloads {
-        let (_, stats, choice) = fdbscan_auto(&device, points, *params).unwrap();
+        let (stats, choice) = match fdbscan_auto(&device, points, *params) {
+            Ok((_, stats, choice)) => (stats, choice),
+            Err(err) => {
+                println!("{name:>12}: skipped ({err})");
+                continue;
+            }
+        };
         let dense_pct = stats.dense.map(|d| 100.0 * d.dense_fraction).unwrap_or(0.0);
         println!(
             "{name:>12}{dense_pct:>9.1}%{:>12}{:>12.1}",

@@ -137,11 +137,15 @@ pub fn fig7_eps_values(n: usize) -> Vec<f32> {
 /// sizes.
 pub const SCALING_MEMORY_BUDGET: usize = 256 << 20;
 
-/// Formats a run result cell: time in ms, or the failure kind.
+/// Formats a run result cell: time in ms, or the failure kind. Faults
+/// other than OOM ("ERR") keep the table generation alive — the series
+/// continues with the next configuration, like the paper's missing
+/// Fig. 4(h) data points.
 pub fn cell(result: &Result<(Clustering, RunStats), DeviceError>) -> String {
     match result {
         Ok((_, stats)) => format!("{:.1}", stats.total_ms()),
         Err(DeviceError::OutOfMemory { .. }) => "OOM".to_string(),
+        Err(_) => "ERR".to_string(),
     }
 }
 
@@ -184,5 +188,16 @@ mod tests {
         let err: Result<(Clustering, RunStats), DeviceError> =
             Err(DeviceError::OutOfMemory { requested: 1, in_use: 0, budget: 0 });
         assert_eq!(cell(&err), "OOM");
+    }
+
+    #[test]
+    fn cell_formats_other_faults_as_err() {
+        let panicked: Result<(Clustering, RunStats), DeviceError> =
+            Err(DeviceError::KernelPanicked { launch: 3, payload: "boom".into() });
+        assert_eq!(cell(&panicked), "ERR");
+        let timeout: Result<(Clustering, RunStats), DeviceError> = Err(
+            DeviceError::KernelTimeout { launch: 1, elapsed: std::time::Duration::from_secs(1) },
+        );
+        assert_eq!(cell(&timeout), "ERR");
     }
 }

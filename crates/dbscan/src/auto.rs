@@ -60,7 +60,21 @@ pub fn fdbscan_auto<const D: usize>(
     let grid = DenseGrid::build(device, points, params.eps, params.minpts);
     let grid_time = grid_start.elapsed();
 
-    if grid.dense_fraction() >= DENSE_FRACTION_THRESHOLD {
+    // Memory pre-flight: on a budgeted device, never pick an algorithm
+    // predicted to bust the budget when the other one fits.
+    let mut prefer_dense = grid.dense_fraction() >= DENSE_FRACTION_THRESHOLD;
+    if let Some(budget) = device.memory().budget() {
+        let available = budget.saturating_sub(device.memory().in_use());
+        let dense_fits = crate::resilient::estimate_densebox_bytes::<D>(points.len()) <= available;
+        let sparse_fits = crate::resilient::estimate_fdbscan_bytes::<D>(points.len()) <= available;
+        if prefer_dense && !dense_fits && sparse_fits {
+            prefer_dense = false;
+        } else if !prefer_dense && !sparse_fits && dense_fits {
+            prefer_dense = true;
+        }
+    }
+
+    if prefer_dense {
         let (c, s) = densebox_with_grid(
             device,
             points,

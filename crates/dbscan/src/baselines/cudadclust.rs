@@ -71,6 +71,7 @@ pub fn cuda_dclust_with<const D: usize>(
     params: Params,
     config: CudaDclustConfig,
 ) -> Result<(Clustering, RunStats), DeviceError> {
+    crate::validate_finite(points)?;
     let n = points.len();
     let Params { eps, minpts } = params;
     let eps_sq = eps * eps;
@@ -139,7 +140,7 @@ pub fn cuda_dclust_with<const D: usize>(
     {
         let core_ref = &core;
         let counters = device.counters();
-        device.launch(n, |i| {
+        device.try_launch(n, |i| {
             let mut count = 0usize;
             let distances = for_candidates(
                 &points[i],
@@ -154,7 +155,7 @@ pub fn cuda_dclust_with<const D: usize>(
                 core_ref.set(i as u32);
             }
             counters.add_distances(distances);
-        });
+        })?;
     }
     let preprocess_time = preprocess_start.elapsed();
 
@@ -187,7 +188,7 @@ pub fn cuda_dclust_with<const D: usize>(
         let core_ref = &core;
         let collisions_ref = &collisions;
         let counters = device.counters();
-        device.launch(seeds.len(), |s| {
+        device.try_launch(seeds.len(), |s| {
             let seed = seeds_ref[s];
             let q = chain_ref[seed as usize].load(Ordering::Relaxed);
             let mut frontier = vec![seed];
@@ -216,7 +217,7 @@ pub fn cuda_dclust_with<const D: usize>(
                 );
             }
             counters.add_distances(total_distances);
-        });
+        })?;
     }
 
     // ---- Phase 3: host-side collision resolution -------------------------
@@ -247,7 +248,7 @@ pub fn cuda_dclust_with<const D: usize>(
         let core_ref = &core;
         let cluster_of_chain_ref = &cluster_of_chain;
         let counters = device.counters();
-        device.launch(n, |i| {
+        device.try_launch(n, |i| {
             if core_ref.get(i as u32) {
                 let chain = chain_ref[i].load(Ordering::Relaxed);
                 debug_assert_ne!(chain, UNSET, "core point left unchained");
@@ -280,7 +281,7 @@ pub fn cuda_dclust_with<const D: usize>(
                     classes_view.write(i, PointClass::Border);
                 }
             }
-        });
+        })?;
     }
     let finalize_time = finalize_start.elapsed();
 

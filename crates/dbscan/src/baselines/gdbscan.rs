@@ -35,6 +35,7 @@ pub fn gdbscan<const D: usize>(
     points: &[Point<D>],
     params: Params,
 ) -> Result<(Clustering, RunStats), DeviceError> {
+    crate::validate_finite(points)?;
     let n = points.len();
     let Params { eps, minpts } = params;
     let eps_sq = eps * eps;
@@ -60,7 +61,7 @@ pub fn gdbscan<const D: usize>(
     {
         let deg_view = SharedMut::new(&mut degrees);
         let counters = device.counters();
-        device.launch(n, |i| {
+        device.try_launch(n, |i| {
             let q = &points[i];
             let mut count = 0u64;
             for (j, p) in points.iter().enumerate() {
@@ -71,7 +72,7 @@ pub fn gdbscan<const D: usize>(
             counters.add_distances(n as u64);
             // SAFETY: one writer per index.
             unsafe { deg_view.write(i, count) };
-        });
+        })?;
     }
 
     // Core flags from degrees (|N| includes self).
@@ -92,7 +93,7 @@ pub fn gdbscan<const D: usize>(
         let adj_view = SharedMut::new(&mut adjacency);
         let offsets_ref = &offsets;
         let counters = device.counters();
-        device.launch(n, |i| {
+        device.try_launch(n, |i| {
             let q = &points[i];
             let mut cursor = offsets_ref[i] as usize;
             for (j, p) in points.iter().enumerate() {
@@ -104,7 +105,7 @@ pub fn gdbscan<const D: usize>(
             }
             counters.add_distances(n as u64);
             debug_assert_eq!(cursor as u64, offsets_ref[i + 1]);
-        });
+        })?;
     }
     let index_time = index_start.elapsed();
 
@@ -135,7 +136,7 @@ pub fn gdbscan<const D: usize>(
                 let adjacency_ref = &adjacency;
                 let core_ref = &core;
                 let counters = device.counters();
-                device.launch(frontier.len(), |f| {
+                device.try_launch(frontier.len(), |f| {
                     let u = frontier_ref[f] as usize;
                     let begin = offsets_ref[u] as usize;
                     let end = offsets_ref[u + 1] as usize;
@@ -155,7 +156,7 @@ pub fn gdbscan<const D: usize>(
                             }
                         }
                     }
-                });
+                })?;
             }
             let len = next_len.load(Ordering::Relaxed);
             frontier.clear();

@@ -85,6 +85,7 @@ pub fn densebox_with_grid<const D: usize>(
     grid: DenseGrid<D>,
     grid_time: std::time::Duration,
 ) -> Result<(Clustering, RunStats), DeviceError> {
+    crate::validate_finite(points)?;
     let n = points.len();
     let Params { eps, minpts } = params;
     let start = Instant::now();
@@ -122,7 +123,7 @@ pub fn densebox_with_grid<const D: usize>(
         let grid_ref = &grid;
         let core_ref = &core;
         let counters = device.counters();
-        device.launch(n, |i| {
+        device.try_launch(n, |i| {
             let i = i as u32;
             if grid_ref.point_in_dense_cell(i) {
                 core_ref.set(i);
@@ -164,12 +165,12 @@ pub fn densebox_with_grid<const D: usize>(
             counters.add_nodes_visited(stats.nodes_visited);
             counters.add_distances(distances);
             counters.dense_box_scans.fetch_add(box_scans, Ordering::Relaxed);
-        });
+        })?;
     } else if minpts == 1 {
         // Every point is trivially core. (With minpts == 1 every
         // non-empty cell is dense, so this is also what the grid implies.)
         let core_ref = &core;
-        device.launch(n, |i| core_ref.set(i as u32));
+        device.try_launch(n, |i| core_ref.set(i as u32))?;
     }
     let preprocess_time = preprocess_start.elapsed();
 
@@ -179,7 +180,7 @@ pub fn densebox_with_grid<const D: usize>(
         let grid_ref = &grid;
         let labels_ref = &labels;
         let core_ref = &core;
-        device.launch(grid.num_cells(), |c| {
+        device.try_launch(grid.num_cells(), |c| {
             let c = c as u32;
             if !grid_ref.is_dense(c) {
                 return;
@@ -191,7 +192,7 @@ pub fn densebox_with_grid<const D: usize>(
                 core_ref.set(m);
                 labels_ref.union(anchor, m);
             }
-        });
+        })?;
     }
 
     // Phase 3b: traversal from every point.
@@ -202,7 +203,7 @@ pub fn densebox_with_grid<const D: usize>(
         let core_ref = &core;
         let counters = device.counters();
         let eps_sq = eps * eps;
-        device.launch(n, |i| {
+        device.try_launch(n, |i| {
             let i = i as u32;
             let my_cell = grid_ref.cell_of_point(i);
             let in_dense = grid_ref.is_dense(my_cell);
@@ -263,7 +264,7 @@ pub fn densebox_with_grid<const D: usize>(
             counters.add_distances(distances);
             counters.dense_box_scans.fetch_add(box_scans, Ordering::Relaxed);
             counters.neighbors_found.fetch_add(stats.leaf_hits, Ordering::Relaxed);
-        });
+        })?;
     }
     let main_time = main_start.elapsed();
 

@@ -74,6 +74,7 @@ pub fn fdbscan_with<const D: usize>(
     params: Params,
     options: FdbscanOptions,
 ) -> Result<(Clustering, RunStats), DeviceError> {
+    crate::validate_finite(points)?;
     let n = points.len();
     let Params { eps, minpts } = params;
     let start = Instant::now();
@@ -104,7 +105,7 @@ pub fn fdbscan_with<const D: usize>(
             // Every point is trivially core (its neighborhood contains
             // itself).
             let core_ref = &core;
-            device.launch(n, |i| core_ref.set(i as u32));
+            device.try_launch(n, |i| core_ref.set(i as u32))?;
         }
         2 => {
             // Skipped: the main phase marks both endpoints of any matched
@@ -115,7 +116,7 @@ pub fn fdbscan_with<const D: usize>(
             let core_ref = &core;
             let counters = device.counters();
             let early = options.early_termination;
-            device.launch(n, |i| {
+            device.try_launch(n, |i| {
                 let mut count = 0usize;
                 let stats =
                     bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
@@ -131,7 +132,7 @@ pub fn fdbscan_with<const D: usize>(
                 }
                 counters.add_nodes_visited(stats.nodes_visited);
                 counters.add_distances(stats.leaf_hits);
-            });
+            })?;
         }
     }
     let preprocess_time = preprocess_start.elapsed();
@@ -144,7 +145,7 @@ pub fn fdbscan_with<const D: usize>(
         let labels_ref = &labels;
         let counters = device.counters();
         let masked = options.masked_traversal;
-        device.launch(n, |i| {
+        device.try_launch(n, |i| {
             let i = i as u32;
             let cutoff = if masked { bvh_ref.leaf_pos_of(i) + 1 } else { 0 };
             let stats = bvh_ref.for_each_in_radius(&points[i as usize], eps, cutoff, |_, j| {
@@ -168,7 +169,7 @@ pub fn fdbscan_with<const D: usize>(
             counters
                 .neighbors_found
                 .fetch_add(stats.leaf_hits, std::sync::atomic::Ordering::Relaxed);
-        });
+        })?;
     }
     let main_time = main_start.elapsed();
 

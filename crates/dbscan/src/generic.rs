@@ -33,6 +33,7 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
     options: FdbscanOptions,
     index_time: Duration,
 ) -> Result<(Clustering, RunStats), DeviceError> {
+    crate::validate_finite(points)?;
     let n = points.len();
     assert_eq!(index.size(), n, "index does not cover the point set");
     let Params { eps, minpts } = params;
@@ -54,14 +55,14 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
         0 => unreachable!("Params::new validates minpts >= 1"),
         1 => {
             let core_ref = &core;
-            device.launch(n, |i| core_ref.set(i as u32));
+            device.try_launch(n, |i| core_ref.set(i as u32))?;
         }
         2 => {}
         _ => {
             let core_ref = &core;
             let counters = device.counters();
             let early = options.early_termination;
-            device.launch(n, |i| {
+            device.try_launch(n, |i| {
                 let mut count = 0usize;
                 let stats = index.query_radius(&points[i], eps, 0, &mut |_, _| {
                     count += 1;
@@ -76,14 +77,14 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
                 }
                 counters.add_nodes_visited(stats.nodes_visited);
                 counters.add_distances(stats.distance_tests);
-            });
+            })?;
         }
     }
     let preprocess_time = preprocess_start.elapsed();
 
     // Main phase.
     let main_start = Instant::now();
-    main_phase(device, points, index, params, options, &labels, &core);
+    main_phase(device, points, index, params, options, &labels, &core)?;
     let main_time = main_start.elapsed();
 
     // Finalization.
@@ -120,12 +121,12 @@ pub fn main_phase<const D: usize, I: SpatialIndex<D>>(
     options: FdbscanOptions,
     labels: &AtomicLabels,
     core: &CoreFlags,
-) {
+) -> Result<(), DeviceError> {
     let n = points.len();
     let Params { eps, minpts } = params;
     let counters = device.counters();
     let masked = options.masked_traversal;
-    device.launch(n, |i| {
+    device.try_launch(n, |i| {
         let i = i as u32;
         let cutoff = if masked { index.position_of(i) + 1 } else { 0 };
         let stats = index.query_radius(&points[i as usize], eps, cutoff, &mut |_, j| {
@@ -145,7 +146,7 @@ pub fn main_phase<const D: usize, I: SpatialIndex<D>>(
         });
         counters.add_nodes_visited(stats.nodes_visited);
         counters.add_distances(stats.distance_tests);
-    });
+    })
 }
 
 /// FDBSCAN over a k-d tree index.

@@ -68,7 +68,7 @@ impl<const D: usize> SpatialIndex<D> for Bvh<D> {
         cutoff: u32,
         callback: &mut dyn FnMut(u32, u32) -> ControlFlow<()>,
     ) -> IndexStats {
-        let stats = self.for_each_in_radius(center, eps, cutoff, |pos, id| callback(pos, id));
+        let stats = self.for_each_in_radius(center, eps, cutoff, callback);
         IndexStats { nodes_visited: stats.nodes_visited, distance_tests: stats.leaf_hits }
     }
 
@@ -93,7 +93,7 @@ impl<const D: usize> SpatialIndex<D> for KdTree<D> {
         cutoff: u32,
         callback: &mut dyn FnMut(u32, u32) -> ControlFlow<()>,
     ) -> IndexStats {
-        let stats = self.for_each_in_radius(center, eps, cutoff, |pos, id| callback(pos, id));
+        let stats = self.for_each_in_radius(center, eps, cutoff, callback);
         IndexStats { nodes_visited: stats.nodes_visited, distance_tests: stats.points_tested }
     }
 

@@ -59,6 +59,7 @@ pub mod framework;
 pub mod generic;
 pub mod index;
 pub mod labels;
+pub mod resilient;
 pub mod seq;
 pub mod star;
 pub mod stats;
@@ -71,11 +72,37 @@ pub use densebox::{fdbscan_densebox, fdbscan_densebox_with, DenseBoxOptions};
 pub use fdbscan_impl::{fdbscan, fdbscan_with, FdbscanOptions};
 pub use generic::{fdbscan_kdtree, fdbscan_on_index};
 pub use index::{IndexStats, SpatialIndex};
+pub use resilient::{
+    run_resilient, Attempt, AttemptOutcome, LadderLevel, ResiliencePolicy, ResilienceReport,
+};
 pub use star::{fdbscan_densebox_star, fdbscan_star};
 pub use sweep::MinptsSweep;
 pub use tuning::{kdist_curve, suggest_eps};
 pub use labels::{Clustering, PointClass, NOISE};
 pub use stats::{DenseStats, RunStats};
+
+use fdbscan_device::DeviceError;
+use fdbscan_geom::Point;
+
+/// Validates that every coordinate of every point is finite.
+///
+/// All public clustering entry points call this before reserving device
+/// memory: NaN coordinates would otherwise poison distance comparisons
+/// (`NaN <= eps` is false, but BVH bounds become NaN and traversals
+/// silently drop points). Returns [`DeviceError::InvalidInput`] naming
+/// the first offending point.
+pub fn validate_finite<const D: usize>(points: &[Point<D>]) -> Result<(), DeviceError> {
+    for (i, p) in points.iter().enumerate() {
+        for (axis, c) in p.coords.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(DeviceError::InvalidInput {
+                    reason: format!("point {i} has non-finite coordinate {c} on axis {axis}"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// DBSCAN parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]

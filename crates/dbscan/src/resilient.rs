@@ -1,0 +1,465 @@
+//! Graceful degradation under device faults.
+//!
+//! The paper's scaling study (Fig. 4(h)) shows G-DBSCAN dropping out of
+//! the comparison at scale: its edge-list memory is quadratic in dense
+//! regions and the allocation simply fails. A production pipeline cannot
+//! stop there — it steps down to an algorithm with a smaller footprint
+//! and keeps going. [`run_resilient`] encodes that ladder:
+//!
+//! ```text
+//! G-DBSCAN  ──OOM──▶  FDBSCAN-DenseBox  ──OOM──▶  FDBSCAN  ──OOM──▶  sequential
+//! (O(edges))          (linear, grid+tree)         (linear, tree)     (host, O(1) device)
+//! ```
+//!
+//! * **Out-of-memory** steps down immediately: the footprint is a
+//!   property of the algorithm, so retrying the same level cannot help.
+//! * **Transient faults** (kernel panic, watchdog timeout, injected
+//!   faults) retry the same level up to
+//!   [`ResiliencePolicy::max_transient_retries`] times before stepping
+//!   down — a fault plan that fires at one launch ordinal will not fire
+//!   again, so the retry usually lands.
+//! * **Invalid input** aborts the ladder: no algorithm can cluster NaN.
+//! * The sequential oracle never touches the device and cannot fail, so
+//!   a valid input always produces a clustering.
+//!
+//! When the device has a memory budget, a **pre-flight estimate** skips
+//! levels whose predicted footprint already exceeds the available
+//! budget (recorded as [`AttemptOutcome::Skipped`]) — avoiding the cost
+//! of building an index only to fail at the edge-list reservation.
+//! Every attempt, skip, and failure is recorded in the returned
+//! [`ResilienceReport`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use fdbscan_device::{Device, DeviceError};
+use fdbscan_geom::Point;
+
+use crate::baselines::gdbscan;
+use crate::labels::Clustering;
+use crate::seq::dbscan_classic;
+use crate::stats::RunStats;
+use crate::Params;
+
+/// One rung of the degradation ladder, ordered fastest/most-fragile
+/// first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LadderLevel {
+    /// G-DBSCAN: `O(edges)` device memory, the paper's OOM case.
+    GDbscan,
+    /// FDBSCAN-DenseBox: linear memory (grid + mixed-primitive tree).
+    DenseBox,
+    /// FDBSCAN: linear memory (point tree only), the smallest footprint
+    /// of the parallel algorithms.
+    Fdbscan,
+    /// Sequential host oracle: no device memory at all, cannot fail.
+    Sequential,
+}
+
+impl LadderLevel {
+    /// The next (smaller-footprint) rung, or `None` below the oracle.
+    pub fn next(self) -> Option<LadderLevel> {
+        match self {
+            LadderLevel::GDbscan => Some(LadderLevel::DenseBox),
+            LadderLevel::DenseBox => Some(LadderLevel::Fdbscan),
+            LadderLevel::Fdbscan => Some(LadderLevel::Sequential),
+            LadderLevel::Sequential => None,
+        }
+    }
+}
+
+impl std::fmt::Display for LadderLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LadderLevel::GDbscan => "G-DBSCAN",
+            LadderLevel::DenseBox => "FDBSCAN-DenseBox",
+            LadderLevel::Fdbscan => "FDBSCAN",
+            LadderLevel::Sequential => "sequential",
+        })
+    }
+}
+
+/// Retry/degradation policy for [`run_resilient`].
+#[derive(Clone, Copy, Debug)]
+pub struct ResiliencePolicy {
+    /// The rung to start from. Defaults to the top ([`LadderLevel::GDbscan`]).
+    pub start: LadderLevel,
+    /// How many times a *transient* failure (panic, timeout, injected
+    /// fault) retries the same level before stepping down. OOM never
+    /// retries. Default 2.
+    pub max_transient_retries: usize,
+    /// Skip levels whose pre-flight memory estimate exceeds the
+    /// available budget. Default true; a no-op on unbudgeted devices.
+    pub preflight: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self { start: LadderLevel::GDbscan, max_transient_retries: 2, preflight: true }
+    }
+}
+
+/// What happened to one attempt at one ladder level.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttemptOutcome {
+    /// The level produced a clustering.
+    Succeeded,
+    /// The level ran and failed with this error.
+    Failed(DeviceError),
+    /// The level never ran: its pre-flight estimate exceeded the
+    /// available budget.
+    Skipped {
+        /// Predicted footprint of the level, in bytes.
+        estimated_bytes: usize,
+        /// Device bytes that were actually available.
+        available_bytes: usize,
+    },
+}
+
+/// One recorded attempt (or pre-flight skip) of a ladder level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attempt {
+    /// The level attempted.
+    pub level: LadderLevel,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+}
+
+/// Full history of a [`run_resilient`] call.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Every attempt and skip, in order.
+    pub attempts: Vec<Attempt>,
+    /// The level that finally produced the clustering, if any.
+    pub completed: Option<LadderLevel>,
+}
+
+impl ResilienceReport {
+    /// Number of attempts that actually executed (skips excluded).
+    pub fn runs(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| !matches!(a.outcome, AttemptOutcome::Skipped { .. }))
+            .count()
+    }
+
+    /// True if the clustering came from a lower rung than the first one
+    /// tried (i.e. the ladder actually degraded).
+    pub fn degraded(&self) -> bool {
+        match (self.attempts.first(), self.completed) {
+            (Some(first), Some(done)) => first.level != done,
+            _ => false,
+        }
+    }
+}
+
+/// Predicted device footprint of FDBSCAN in bytes: points, labels, core
+/// flags, and a linear BVH (`n` leaves + `n-1` internal nodes).
+pub fn estimate_fdbscan_bytes<const D: usize>(n: usize) -> usize {
+    let point = std::mem::size_of::<Point<D>>();
+    let aabb = 2 * point;
+    let leaves = n * (aabb + 4 + 4); // leaf bounds + payload + position
+    let internals = n.saturating_sub(1) * (aabb + 16 + 8); // bounds + children + range
+    n * point + n * 4 + n.div_ceil(8) + leaves + internals
+}
+
+/// Predicted device footprint of FDBSCAN-DenseBox in bytes: FDBSCAN's
+/// structures plus the dense grid (sorted ids, cell table, point→cell
+/// map). The mixed-primitive tree is never larger than the point tree.
+pub fn estimate_densebox_bytes<const D: usize>(n: usize) -> usize {
+    estimate_fdbscan_bytes::<D>(n) + n * 16
+}
+
+/// Predicted device footprint of G-DBSCAN in bytes: points, CSR
+/// offsets, and the edge lists, with the edge count extrapolated from
+/// the average degree of at most 128 evenly-strided sample points
+/// (brute force, `O(samples * n)` — cheap next to the graph build it
+/// guards).
+pub fn estimate_gdbscan_bytes<const D: usize>(points: &[Point<D>], eps: f32) -> usize {
+    let n = points.len();
+    if n == 0 {
+        return 0;
+    }
+    let samples = n.min(128);
+    let stride = n / samples;
+    let eps_sq = eps * eps;
+    let mut neighbors = 0u64;
+    for s in 0..samples {
+        let q = &points[s * stride];
+        neighbors +=
+            points.iter().filter(|p| p.dist_sq(q) <= eps_sq).count().saturating_sub(1) as u64;
+    }
+    let est_edges = (neighbors as f64 / samples as f64 * n as f64) as usize;
+    std::mem::size_of_val(points) + (n + 1) * 8 + est_edges * 4
+}
+
+/// Runs DBSCAN with graceful degradation (see the module docs).
+///
+/// Returns the clustering and stats of the first level that succeeded,
+/// plus the full [`ResilienceReport`]. Fails only on invalid input —
+/// for anything else the sequential oracle is the backstop.
+///
+/// ```
+/// use fdbscan::{run_resilient, Params, ResiliencePolicy};
+/// use fdbscan_device::{Device, DeviceConfig};
+/// use fdbscan_geom::Point2;
+///
+/// // A budget that G-DBSCAN's dense adjacency graph busts.
+/// let device = Device::new(DeviceConfig::default().with_memory_budget(1 << 19));
+/// let points = vec![Point2::new([0.0, 0.0]); 2000];
+/// let (clustering, _stats, report) =
+///     run_resilient(&device, &points, Params::new(1.0, 5), ResiliencePolicy::default())
+///         .unwrap();
+/// assert_eq!(clustering.num_clusters, 1);
+/// assert!(report.degraded());
+/// ```
+pub fn run_resilient<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    policy: ResiliencePolicy,
+) -> Result<(Clustering, RunStats, ResilienceReport), DeviceError> {
+    crate::validate_finite(points)?;
+    let mut report = ResilienceReport::default();
+    let mut level = Some(policy.start);
+    let mut last_err = None;
+
+    while let Some(l) = level {
+        // Pre-flight: skip levels that cannot fit. The oracle uses no
+        // device memory and is never skipped.
+        if policy.preflight && l != LadderLevel::Sequential {
+            if let Some(budget) = device.memory().budget() {
+                let available = budget.saturating_sub(device.memory().in_use());
+                let estimated = match l {
+                    LadderLevel::GDbscan => estimate_gdbscan_bytes(points, params.eps),
+                    LadderLevel::DenseBox => estimate_densebox_bytes::<D>(points.len()),
+                    LadderLevel::Fdbscan => estimate_fdbscan_bytes::<D>(points.len()),
+                    LadderLevel::Sequential => unreachable!(),
+                };
+                if estimated > available {
+                    report.attempts.push(Attempt {
+                        level: l,
+                        outcome: AttemptOutcome::Skipped {
+                            estimated_bytes: estimated,
+                            available_bytes: available,
+                        },
+                    });
+                    level = l.next();
+                    continue;
+                }
+            }
+        }
+
+        let mut retries = 0;
+        loop {
+            match run_level(device, points, params, l) {
+                Ok((clustering, stats)) => {
+                    report
+                        .attempts
+                        .push(Attempt { level: l, outcome: AttemptOutcome::Succeeded });
+                    report.completed = Some(l);
+                    return Ok((clustering, stats, report));
+                }
+                Err(err) => {
+                    let transient = matches!(
+                        err,
+                        DeviceError::KernelPanicked { .. }
+                            | DeviceError::KernelTimeout { .. }
+                            | DeviceError::FaultInjected { .. }
+                    );
+                    let invalid = matches!(err, DeviceError::InvalidInput { .. });
+                    report
+                        .attempts
+                        .push(Attempt { level: l, outcome: AttemptOutcome::Failed(err.clone()) });
+                    if invalid {
+                        return Err(err);
+                    }
+                    if transient && retries < policy.max_transient_retries {
+                        retries += 1;
+                        continue;
+                    }
+                    last_err = Some(err);
+                    break;
+                }
+            }
+        }
+        level = l.next();
+    }
+
+    Err(last_err.expect("ladder exhausted without running a level"))
+}
+
+/// Runs one ladder level, converting panics that escape the algorithm
+/// (e.g. from infrastructure kernels still on the infallible API) into
+/// [`DeviceError::KernelPanicked`].
+fn run_level<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    level: LadderLevel,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    let run = || match level {
+        LadderLevel::GDbscan => gdbscan(device, points, params),
+        LadderLevel::DenseBox => crate::fdbscan_densebox(device, points, params),
+        LadderLevel::Fdbscan => crate::fdbscan(device, points, params),
+        LadderLevel::Sequential => {
+            let start = Instant::now();
+            let clustering = dbscan_classic(points, params);
+            let stats = RunStats { total_time: start.elapsed(), ..Default::default() };
+            Ok((clustering, stats))
+        }
+    };
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let payload = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(DeviceError::KernelPanicked {
+                launch: device.launches_started().saturating_sub(1),
+                payload,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::assert_core_equivalent;
+    use crate::verify::assert_valid_clustering;
+    use fdbscan_device::{DeviceConfig, FaultPlan};
+    use fdbscan_geom::Point2;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, extent: f32, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    #[test]
+    fn healthy_device_stays_on_first_level() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let points = random_points(300, 5.0, 41);
+        let params = Params::new(0.3, 4);
+        let (c, _, report) =
+            run_resilient(&device, &points, params, ResiliencePolicy::default()).unwrap();
+        assert_eq!(report.completed, Some(LadderLevel::GDbscan));
+        assert!(!report.degraded());
+        assert_eq!(report.runs(), 1);
+        assert_valid_clustering(&points, &c, params);
+    }
+
+    #[test]
+    fn gdbscan_oom_degrades_to_linear_algorithm() {
+        // Dense blob: quadratic edges bust the budget, linear algorithms
+        // fit comfortably.
+        let points = vec![Point2::new([0.0, 0.0]); 2000];
+        let params = Params::new(1.0, 5);
+        let device = Device::new(DeviceConfig::default().with_memory_budget(1 << 19));
+        let (c, _, report) =
+            run_resilient(&device, &points, params, ResiliencePolicy::default()).unwrap();
+        assert!(report.degraded());
+        assert_ne!(report.completed, Some(LadderLevel::GDbscan));
+        assert_eq!(c.num_clusters, 1);
+        let oracle = dbscan_classic(&points, params);
+        assert_core_equivalent(&oracle, &c);
+    }
+
+    #[test]
+    fn preflight_skips_gdbscan_without_running_it() {
+        let points = vec![Point2::new([0.0, 0.0]); 2000];
+        let device = Device::new(DeviceConfig::default().with_memory_budget(1 << 19));
+        let (_, _, report) = run_resilient(
+            &device,
+            &points,
+            Params::new(1.0, 5),
+            ResiliencePolicy::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            report.attempts[0],
+            Attempt { level: LadderLevel::GDbscan, outcome: AttemptOutcome::Skipped { .. } }
+        ));
+        // The skip avoided the graph build: no failed G-DBSCAN run.
+        assert_eq!(report.runs(), 1);
+    }
+
+    #[test]
+    fn transient_panic_retries_same_level() {
+        let points = random_points(300, 5.0, 42);
+        let params = Params::new(0.3, 4);
+        // Panic once at an early launch; the ordinal fires exactly once,
+        // so the retry succeeds at the same level.
+        let plan = FaultPlan::new(7).with_kernel_panic_at(0, 0);
+        let device = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let (c, _, report) =
+            run_resilient(&device, &points, params, ResiliencePolicy::default()).unwrap();
+        assert_eq!(report.completed, Some(LadderLevel::GDbscan));
+        assert!(!report.degraded());
+        assert_eq!(report.runs(), 2, "one failure + one successful retry");
+        assert!(matches!(
+            report.attempts[0].outcome,
+            AttemptOutcome::Failed(DeviceError::KernelPanicked { .. })
+        ));
+        let oracle = dbscan_classic(&points, params);
+        assert_core_equivalent(&oracle, &c);
+    }
+
+    #[test]
+    fn persistent_oom_falls_through_to_sequential() {
+        // Any reservation over 1 byte fails: every device algorithm
+        // ooms (or is skipped), only the host oracle survives.
+        let points = random_points(200, 3.0, 43);
+        let params = Params::new(0.4, 3);
+        let plan = FaultPlan::new(8).with_oom_above_bytes(1);
+        let device = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let (c, _, report) =
+            run_resilient(&device, &points, params, ResiliencePolicy::default()).unwrap();
+        assert_eq!(report.completed, Some(LadderLevel::Sequential));
+        assert!(report.degraded());
+        let oracle = dbscan_classic(&points, params);
+        assert_core_equivalent(&oracle, &c);
+        // The device remains usable: all reservations were released.
+        assert_eq!(device.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn invalid_input_aborts_ladder() {
+        let points = vec![Point2::new([0.0, f32::NAN])];
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let err = run_resilient(&device, &points, Params::new(0.5, 2), ResiliencePolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn custom_start_level() {
+        let points = random_points(200, 4.0, 44);
+        let params = Params::new(0.4, 4);
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let policy = ResiliencePolicy { start: LadderLevel::Fdbscan, ..Default::default() };
+        let (_, _, report) = run_resilient(&device, &points, params, policy).unwrap();
+        assert_eq!(report.completed, Some(LadderLevel::Fdbscan));
+    }
+
+    #[test]
+    fn estimates_are_sane() {
+        // FDBSCAN's estimate is linear and close to the measured peak.
+        let n = 2000;
+        let est = estimate_fdbscan_bytes::<2>(n);
+        assert!(est > n * 8, "estimate {est} implausibly small");
+        assert!(est < n * 200, "estimate {est} implausibly large");
+        // The G-DBSCAN estimate on a dense blob is quadratic-ish: far
+        // larger than the linear estimate.
+        let points = vec![Point2::new([0.0, 0.0]); 2000];
+        let g_est = estimate_gdbscan_bytes(&points, 1.0);
+        assert!(g_est > 4 * est, "dense-blob graph estimate {g_est} should dwarf {est}");
+    }
+}

@@ -80,9 +80,9 @@ pub fn dbscan_classic<const D: usize>(points: &[Point<D>], params: Params) -> Cl
     }
 
     // Degrees of points never expanded (borders/noise inside clusters).
-    for x in 0..n {
-        if degrees[x] == 0 {
-            degrees[x] = region_query(points, x, eps).len();
+    for (x, deg) in degrees.iter_mut().enumerate() {
+        if *deg == 0 {
+            *deg = region_query(points, x, eps).len();
         }
     }
 

@@ -47,6 +47,7 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
         eps: f32,
     ) -> Result<Self, DeviceError> {
         assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
+        crate::validate_finite(points)?;
         let start = Instant::now();
         let n = points.len();
         let mut memory = Vec::new();
@@ -61,7 +62,7 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
             let counts_view = SharedMut::new(&mut counts);
             let bvh_ref = &bvh;
             let counters = device.counters();
-            device.launch(n, |i| {
+            device.try_launch(n, |i| {
                 let mut count = 0u32;
                 let stats = bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
                     count += 1;
@@ -71,7 +72,7 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
                 unsafe { counts_view.write(i, count) };
                 counters.add_nodes_visited(stats.nodes_visited);
                 counters.add_distances(stats.leaf_hits);
-            });
+            })?;
         }
         Ok(Self { device, points, eps, bvh, counts, setup_time: start.elapsed(), _memory: memory })
     }
@@ -122,11 +123,11 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
         {
             let counts_ref = &self.counts;
             let core_ref = &core;
-            self.device.launch(n, |i| {
+            self.device.try_launch(n, |i| {
                 if counts_ref[i] as usize >= minpts {
                     core_ref.set(i as u32);
                 }
-            });
+            })?;
         }
         let preprocess_time = preprocess_start.elapsed();
 
@@ -136,7 +137,7 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
         // so even minpts <= 2 must use resolve_pair (hence max(3) in the
         // params passed to the kernel — it only selects the branch; the
         // actual minpts semantics live in the core flags).
-        main_phase(self.device, self.points, &self.bvh, params, options, &labels, &core);
+        main_phase(self.device, self.points, &self.bvh, params, options, &labels, &core)?;
         let main_time = main_start.elapsed();
 
         let finalize_start = Instant::now();

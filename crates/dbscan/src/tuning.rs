@@ -27,6 +27,7 @@ pub fn kdist_curve<const D: usize>(
     max_samples: usize,
 ) -> Result<Vec<f32>, DeviceError> {
     assert!(k >= 1, "k must be at least 1");
+    crate::validate_finite(points)?;
     let n = points.len();
     if n == 0 || max_samples == 0 {
         return Ok(Vec::new());
@@ -41,15 +42,17 @@ pub fn kdist_curve<const D: usize>(
     {
         let dists_view = SharedMut::new(&mut dists);
         let bvh_ref = &bvh;
-        device.launch(sample_count, |s| {
+        device.try_launch(sample_count, |s| {
             let i = s * stride;
             let best = bvh_ref.k_nearest(&points[i], k);
             let kth = best.last().map(|e| e.0.sqrt()).unwrap_or(0.0);
             // SAFETY: one writer per index.
             unsafe { dists_view.write(s, kth) };
-        });
+        })?;
     }
-    dists.sort_unstable_by(|a, b| b.partial_cmp(a).unwrap());
+    // total_cmp: inputs are validated finite, but a total order keeps
+    // this panic-free by construction.
+    dists.sort_unstable_by(|a, b| b.total_cmp(a));
     Ok(dists)
 }
 

@@ -33,6 +33,19 @@ pub struct Counters {
     pub neighbors_found: AtomicU64,
     /// Points scanned inside dense boxes (FDBSCAN-DenseBox linear scans).
     pub dense_box_scans: AtomicU64,
+    /// Memory reservations requested (successful or not).
+    pub reservations: AtomicU64,
+    /// Kernel launches that returned an error (panic, timeout, or
+    /// injected fault) through the fallible launch API.
+    pub failed_launches: AtomicU64,
+    /// Out-of-memory errors injected by a fault plan.
+    pub injected_oom: AtomicU64,
+    /// Kernel panics injected by a fault plan.
+    pub injected_panics: AtomicU64,
+    /// Worker stalls injected by a fault plan.
+    pub injected_stalls: AtomicU64,
+    /// Distributed-rank failures injected by a fault plan.
+    pub injected_rank_faults: AtomicU64,
 }
 
 impl Counters {
@@ -46,6 +59,12 @@ impl Counters {
         self.label_cas.store(0, Ordering::Relaxed);
         self.neighbors_found.store(0, Ordering::Relaxed);
         self.dense_box_scans.store(0, Ordering::Relaxed);
+        self.reservations.store(0, Ordering::Relaxed);
+        self.failed_launches.store(0, Ordering::Relaxed);
+        self.injected_oom.store(0, Ordering::Relaxed);
+        self.injected_panics.store(0, Ordering::Relaxed);
+        self.injected_stalls.store(0, Ordering::Relaxed);
+        self.injected_rank_faults.store(0, Ordering::Relaxed);
     }
 
     /// Adds `n` to the distance-computation counter.
@@ -75,6 +94,12 @@ impl Counters {
             label_cas: self.label_cas.load(Ordering::Relaxed),
             neighbors_found: self.neighbors_found.load(Ordering::Relaxed),
             dense_box_scans: self.dense_box_scans.load(Ordering::Relaxed),
+            reservations: self.reservations.load(Ordering::Relaxed),
+            failed_launches: self.failed_launches.load(Ordering::Relaxed),
+            injected_oom: self.injected_oom.load(Ordering::Relaxed),
+            injected_panics: self.injected_panics.load(Ordering::Relaxed),
+            injected_stalls: self.injected_stalls.load(Ordering::Relaxed),
+            injected_rank_faults: self.injected_rank_faults.load(Ordering::Relaxed),
         }
     }
 }
@@ -98,6 +123,18 @@ pub struct CountersSnapshot {
     pub neighbors_found: u64,
     /// Points scanned inside dense boxes.
     pub dense_box_scans: u64,
+    /// Memory reservations requested (successful or not).
+    pub reservations: u64,
+    /// Kernel launches that returned an error through the fallible API.
+    pub failed_launches: u64,
+    /// Out-of-memory errors injected by a fault plan.
+    pub injected_oom: u64,
+    /// Kernel panics injected by a fault plan.
+    pub injected_panics: u64,
+    /// Worker stalls injected by a fault plan.
+    pub injected_stalls: u64,
+    /// Distributed-rank failures injected by a fault plan.
+    pub injected_rank_faults: u64,
 }
 
 impl CountersSnapshot {
@@ -115,6 +152,14 @@ impl CountersSnapshot {
             label_cas: self.label_cas.saturating_sub(earlier.label_cas),
             neighbors_found: self.neighbors_found.saturating_sub(earlier.neighbors_found),
             dense_box_scans: self.dense_box_scans.saturating_sub(earlier.dense_box_scans),
+            reservations: self.reservations.saturating_sub(earlier.reservations),
+            failed_launches: self.failed_launches.saturating_sub(earlier.failed_launches),
+            injected_oom: self.injected_oom.saturating_sub(earlier.injected_oom),
+            injected_panics: self.injected_panics.saturating_sub(earlier.injected_panics),
+            injected_stalls: self.injected_stalls.saturating_sub(earlier.injected_stalls),
+            injected_rank_faults: self
+                .injected_rank_faults
+                .saturating_sub(earlier.injected_rank_faults),
         }
     }
 }

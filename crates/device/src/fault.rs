@@ -1,0 +1,298 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Real GPU deployments fail in ways unit tests rarely exercise: an
+//! allocation fails mid-pipeline, a kernel faults, a kernel never
+//! terminates, a rank of a distributed run dies. A [`FaultPlan`] lets
+//! tests and chaos harnesses schedule exactly those failures at exact
+//! points of a run — the N-th memory reservation, block `i` of kernel
+//! launch `K`, the first `A` attempts of distributed rank `r` — so every
+//! recovery path in the workspace can be driven deterministically.
+//!
+//! # Determinism
+//!
+//! Injection sites are addressed by *ordinals*, not wall time:
+//!
+//! * reservations are numbered by [`crate::MemoryTracker`] in request
+//!   order (`0, 1, 2, …` over the tracker's lifetime),
+//! * launches are numbered by `Device` in launch order,
+//! * rank attempts are numbered per rank by the distributed driver.
+//!
+//! An ordinal-addressed fault therefore fires **exactly once** — a retry
+//! of the failed operation gets a fresh ordinal and succeeds, which is
+//! what makes bounded-retry recovery testable. The byte-threshold OOM
+//! ([`FaultPlan::with_oom_above_bytes`]) is the exception: it models a
+//! persistently broken allocator and fires on *every* matching
+//! reservation, so only stepping down to a smaller algorithm helps.
+//!
+//! The `seed` does not perturb anything by itself; it labels the
+//! scenario and drives [`FaultPlan::derive_ordinal`], which maps
+//! `(seed, salt)` to a pseudo-random but fully reproducible ordinal —
+//! the way fuzz harnesses pick "a random reservation" without giving up
+//! replayability.
+//!
+//! Every injection is counted in [`crate::Counters`]
+//! (`injected_oom` / `injected_panics` / `injected_stalls` /
+//! `injected_rank_faults`), so a test can assert that the fault it
+//! configured actually fired.
+
+use std::fmt;
+
+/// Where an injected fault fired. Carried by
+/// [`crate::DeviceError::FaultInjected`] and in panic payloads so
+/// callers can attribute a failure to its injection site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// An injected out-of-memory on a reservation.
+    Reservation {
+        /// The reservation ordinal the fault fired at.
+        ordinal: u64,
+        /// Bytes the reservation asked for.
+        bytes: usize,
+    },
+    /// An injected kernel panic inside a launch.
+    KernelPanic {
+        /// The launch ordinal.
+        launch: u64,
+        /// The block index within the launch.
+        block: usize,
+    },
+    /// An injected worker stall inside a launch.
+    WorkerStall {
+        /// The launch ordinal.
+        launch: u64,
+        /// The block index within the launch.
+        block: usize,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+    /// An injected distributed-rank failure.
+    Rank {
+        /// The failed rank.
+        rank: usize,
+        /// The per-rank attempt ordinal that failed.
+        attempt: usize,
+    },
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSite::Reservation { ordinal, bytes } => {
+                write!(f, "reservation #{ordinal} ({bytes} B)")
+            }
+            FaultSite::KernelPanic { launch, block } => {
+                write!(f, "kernel panic at launch {launch} block {block}")
+            }
+            FaultSite::WorkerStall { launch, block, millis } => {
+                write!(f, "worker stall of {millis} ms at launch {launch} block {block}")
+            }
+            FaultSite::Rank { rank, attempt } => {
+                write!(f, "rank {rank} failure at attempt {attempt}")
+            }
+        }
+    }
+}
+
+/// A deterministic schedule of faults to inject into a device.
+///
+/// Built once, attached to a device via
+/// [`crate::DeviceConfig::with_fault_plan`], and consulted by the memory
+/// tracker, the launch path, and the distributed driver. See the module
+/// docs for the determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use fdbscan_device::fault::FaultPlan;
+/// use fdbscan_device::{Device, DeviceConfig, DeviceError};
+///
+/// // Fail the very first reservation; every later one succeeds.
+/// let plan = FaultPlan::new(42).with_oom_at_reservation(0);
+/// let device = Device::new(DeviceConfig::default().with_fault_plan(plan));
+/// assert!(matches!(
+///     device.memory().reserve(64),
+///     Err(DeviceError::OutOfMemory { .. })
+/// ));
+/// // The retry draws ordinal 1 and succeeds.
+/// assert!(device.memory().reserve(64).is_ok());
+/// assert_eq!(device.counters().snapshot().injected_oom, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    oom_at_reservation: Option<u64>,
+    oom_above_bytes: Option<usize>,
+    panic_at: Option<(u64, usize)>,
+    stall_at: Option<(u64, usize, u64)>,
+    rank_failures: Vec<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults) labelled with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, ..Self::default() }
+    }
+
+    /// The scenario seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Injects `OutOfMemory` on the reservation with ordinal `n`
+    /// (0-based, counted over the memory tracker's lifetime). Fires
+    /// exactly once.
+    pub fn with_oom_at_reservation(mut self, n: u64) -> Self {
+        self.oom_at_reservation = Some(n);
+        self
+    }
+
+    /// Injects `OutOfMemory` on **every** reservation of at least
+    /// `bytes` bytes — a persistently failing allocator, not a one-shot
+    /// fault.
+    pub fn with_oom_above_bytes(mut self, bytes: usize) -> Self {
+        self.oom_above_bytes = Some(bytes);
+        self
+    }
+
+    /// Injects a kernel panic in block `block` of launch ordinal
+    /// `launch` (0-based). Fires exactly once; if the launch has fewer
+    /// blocks, the fault never fires.
+    pub fn with_kernel_panic_at(mut self, launch: u64, block: usize) -> Self {
+        self.panic_at = Some((launch, block));
+        self
+    }
+
+    /// Stalls the worker executing block `block` of launch `launch` for
+    /// `millis` milliseconds — the probe for the watchdog
+    /// ([`crate::DeviceConfig::with_kernel_timeout`]). Fires exactly
+    /// once.
+    pub fn with_worker_stall(mut self, launch: u64, block: usize, millis: u64) -> Self {
+        self.stall_at = Some((launch, block, millis));
+        self
+    }
+
+    /// Fails the first `attempts` attempts of distributed rank `rank`
+    /// (consulted by `fdbscan-dist`; a plain device run never reads
+    /// this).
+    pub fn with_rank_failure(mut self, rank: usize, attempts: usize) -> Self {
+        self.rank_failures.push((rank, attempts));
+        self
+    }
+
+    /// Whether the reservation with `ordinal` asking for `bytes` must
+    /// fail.
+    pub fn oom_fires(&self, ordinal: u64, bytes: usize) -> bool {
+        self.oom_at_reservation == Some(ordinal)
+            || self.oom_above_bytes.is_some_and(|limit| bytes >= limit)
+    }
+
+    /// The stall duration for `(launch, block)`, if one is scheduled.
+    pub fn stall_millis(&self, launch: u64, block: usize) -> Option<u64> {
+        match self.stall_at {
+            Some((l, b, ms)) if l == launch && b == block => Some(ms),
+            _ => None,
+        }
+    }
+
+    /// Whether `(launch, block)` must panic.
+    pub fn panic_fires(&self, launch: u64, block: usize) -> bool {
+        self.panic_at == Some((launch, block))
+    }
+
+    /// Whether the `attempt`-th attempt (0-based) of `rank` must fail.
+    pub fn rank_fails(&self, rank: usize, attempt: usize) -> bool {
+        self.rank_failures.iter().any(|&(r, a)| r == rank && attempt < a)
+    }
+
+    /// Whether the plan schedules any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.oom_at_reservation.is_none()
+            && self.oom_above_bytes.is_none()
+            && self.panic_at.is_none()
+            && self.stall_at.is_none()
+            && self.rank_failures.is_empty()
+    }
+
+    /// Deterministically derives an ordinal in `0..bound` from the plan
+    /// seed and a caller-chosen `salt` (SplitMix64). Lets a fuzzing
+    /// harness target "a random reservation of run #salt" while staying
+    /// replayable from `(seed, salt)` alone.
+    pub fn derive_ordinal(&self, salt: u64, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be nonzero");
+        let mut z = self.seed ^ salt.wrapping_mul(0x9e3779b97f4a7c15);
+        z = z.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_fires_nothing() {
+        let plan = FaultPlan::new(7);
+        assert!(plan.is_empty());
+        assert!(!plan.oom_fires(0, usize::MAX));
+        assert!(!plan.panic_fires(0, 0));
+        assert!(plan.stall_millis(0, 0).is_none());
+        assert!(!plan.rank_fails(0, 0));
+    }
+
+    #[test]
+    fn oom_ordinal_fires_exactly_there() {
+        let plan = FaultPlan::new(1).with_oom_at_reservation(3);
+        assert!(!plan.oom_fires(2, 100));
+        assert!(plan.oom_fires(3, 100));
+        assert!(!plan.oom_fires(4, 100));
+    }
+
+    #[test]
+    fn oom_threshold_fires_repeatedly() {
+        let plan = FaultPlan::new(1).with_oom_above_bytes(1024);
+        assert!(plan.oom_fires(0, 1024));
+        assert!(plan.oom_fires(99, 4096));
+        assert!(!plan.oom_fires(0, 1023));
+    }
+
+    #[test]
+    fn panic_and_stall_address_launch_and_block() {
+        let plan = FaultPlan::new(1).with_kernel_panic_at(5, 2).with_worker_stall(6, 0, 50);
+        assert!(plan.panic_fires(5, 2));
+        assert!(!plan.panic_fires(5, 3));
+        assert!(!plan.panic_fires(4, 2));
+        assert_eq!(plan.stall_millis(6, 0), Some(50));
+        assert_eq!(plan.stall_millis(6, 1), None);
+    }
+
+    #[test]
+    fn rank_failures_cover_first_attempts() {
+        let plan = FaultPlan::new(1).with_rank_failure(2, 2);
+        assert!(plan.rank_fails(2, 0));
+        assert!(plan.rank_fails(2, 1));
+        assert!(!plan.rank_fails(2, 2));
+        assert!(!plan.rank_fails(1, 0));
+    }
+
+    #[test]
+    fn derived_ordinals_are_reproducible_and_bounded() {
+        let plan = FaultPlan::new(99);
+        let a = plan.derive_ordinal(0, 17);
+        assert_eq!(a, plan.derive_ordinal(0, 17), "same inputs, same ordinal");
+        assert!(a < 17);
+        // Different salts should (generically) land elsewhere.
+        let spread: std::collections::HashSet<u64> =
+            (0..32).map(|salt| plan.derive_ordinal(salt, 1_000_000)).collect();
+        assert!(spread.len() > 16, "derivation must actually spread");
+    }
+
+    #[test]
+    fn site_display_names_the_site() {
+        let s = FaultSite::Reservation { ordinal: 4, bytes: 128 }.to_string();
+        assert!(s.contains("#4") && s.contains("128"));
+        let s = FaultSite::Rank { rank: 1, attempt: 0 }.to_string();
+        assert!(s.contains("rank 1"));
+    }
+}

@@ -50,16 +50,25 @@
 //! ```
 
 pub mod counters;
+pub mod fault;
 pub mod memory;
 pub mod pool;
 pub mod shared;
 
 pub use counters::{Counters, CountersSnapshot};
+pub use fault::{FaultPlan, FaultSite};
 pub use memory::{DeviceError, MemoryReservation, MemoryTracker};
 pub use pool::WorkerPool;
 pub use shared::SharedMut;
 
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use pool::LaunchFailure;
 
 /// Configuration for a simulated device.
 #[derive(Clone, Debug)]
@@ -73,6 +82,12 @@ pub struct DeviceConfig {
     pub block_size: usize,
     /// Device memory budget in bytes. `None` = unlimited.
     pub memory_budget: Option<usize>,
+    /// Deterministic fault-injection schedule. `None` = no injection.
+    pub fault_plan: Option<FaultPlan>,
+    /// Cooperative kernel watchdog: a launch running longer than this is
+    /// cancelled at the next block boundary and fails with
+    /// [`DeviceError::KernelTimeout`]. `None` = no watchdog.
+    pub kernel_timeout: Option<Duration>,
 }
 
 impl Default for DeviceConfig {
@@ -83,6 +98,8 @@ impl Default for DeviceConfig {
             workers: hw.saturating_sub(1),
             block_size: 256,
             memory_budget: None,
+            fault_plan: None,
+            kernel_timeout: None,
         }
     }
 }
@@ -112,6 +129,23 @@ impl DeviceConfig {
         self.memory_budget = Some(bytes);
         self
     }
+
+    /// Attaches a deterministic fault-injection schedule (see
+    /// [`fault::FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the cooperative kernel watchdog. Launches exceeding
+    /// `timeout` are cancelled at the next block boundary; a kernel that
+    /// never yields within a single block cannot be cancelled (same
+    /// limitation as a hardware watchdog that only resets between work
+    /// units).
+    pub fn with_kernel_timeout(mut self, timeout: Duration) -> Self {
+        self.kernel_timeout = Some(timeout);
+        self
+    }
 }
 
 /// A simulated data-parallel device: worker pool + counters + memory.
@@ -124,17 +158,32 @@ pub struct Device {
     counters: Arc<Counters>,
     memory: Arc<MemoryTracker>,
     block_size: usize,
+    /// Device-wide launch ordinal. Like the reservation ordinal, kept
+    /// outside [`Counters`] so counter resets cannot re-arm
+    /// ordinal-addressed fault injections.
+    launch_ordinal: Arc<AtomicU64>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    kernel_timeout: Option<Duration>,
 }
 
 impl Device {
     /// Creates a device from a configuration.
     pub fn new(config: DeviceConfig) -> Self {
         assert!(config.block_size > 0, "block size must be nonzero");
+        let counters = Arc::new(Counters::default());
+        let fault_plan = config.fault_plan.map(Arc::new);
         Self {
             pool: Arc::new(WorkerPool::new(config.workers)),
-            counters: Arc::new(Counters::default()),
-            memory: Arc::new(MemoryTracker::new(config.memory_budget)),
+            memory: Arc::new(MemoryTracker::with_instrumentation(
+                config.memory_budget,
+                Arc::clone(&counters),
+                fault_plan.clone(),
+            )),
+            counters,
             block_size: config.block_size,
+            launch_ordinal: Arc::new(AtomicU64::new(0)),
+            fault_plan,
+            kernel_timeout: config.kernel_timeout,
         }
     }
 
@@ -169,6 +218,119 @@ impl Device {
         &self.memory
     }
 
+    /// The fault plan attached at construction, if any. Read by
+    /// `fdbscan-dist` to schedule rank failures.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_deref()
+    }
+
+    /// The configured kernel watchdog timeout, if any.
+    pub fn kernel_timeout(&self) -> Option<Duration> {
+        self.kernel_timeout
+    }
+
+    /// Number of launches started over this device's lifetime (both
+    /// fallible and panicking APIs). Unlike counters, never reset — this
+    /// is the ordinal space [`FaultPlan`] launch faults are addressed in.
+    pub fn launches_started(&self) -> u64 {
+        self.launch_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Core fallible launch: assigns the launch ordinal, arms the
+    /// watchdog deadline, weaves injected stalls/panics into the block
+    /// kernel, and maps pool failures to [`DeviceError`].
+    fn run_fallible(
+        &self,
+        n: usize,
+        body: &(dyn Fn(Range<usize>) + Sync),
+    ) -> Result<(), DeviceError> {
+        let launch = self.launch_ordinal.fetch_add(1, Ordering::Relaxed);
+        self.counters.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        let deadline = self.kernel_timeout.map(|t| Instant::now() + t);
+        let result = match self.fault_plan.as_deref() {
+            // Fast path: no plan, no wrapping.
+            None => self.pool.try_parallel_for_blocks(n, self.block_size, deadline, body),
+            Some(plan) => {
+                let wrapped = |range: Range<usize>| {
+                    // Blocks are aligned to `block_size`, so the block
+                    // index is recoverable from the range start.
+                    let block = range.start / self.block_size;
+                    if let Some(millis) = plan.stall_millis(launch, block) {
+                        self.counters.injected_stalls.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                    if plan.panic_fires(launch, block) {
+                        self.counters.injected_panics.fetch_add(1, Ordering::Relaxed);
+                        panic!(
+                            "{}",
+                            FaultSite::KernelPanic { launch, block }
+                        );
+                    }
+                    body(range);
+                };
+                self.pool.try_parallel_for_blocks(n, self.block_size, deadline, &wrapped)
+            }
+        };
+        result.map_err(|failure| {
+            self.counters.failed_launches.fetch_add(1, Ordering::Relaxed);
+            match failure {
+                LaunchFailure::Panicked { payload } => {
+                    DeviceError::KernelPanicked { launch, payload }
+                }
+                LaunchFailure::TimedOut { elapsed } => {
+                    DeviceError::KernelTimeout { launch, elapsed }
+                }
+            }
+        })
+    }
+
+    /// Fallible kernel launch over the index space `0..n`.
+    ///
+    /// Same execution model as [`Device::launch`], but a panicking kernel
+    /// body (organic or injected) yields
+    /// [`DeviceError::KernelPanicked`] carrying the first panic payload,
+    /// and a launch exceeding the configured watchdog timeout yields
+    /// [`DeviceError::KernelTimeout`] — in both cases the device (pool,
+    /// counters, memory tracker) remains fully usable.
+    pub fn try_launch<F>(&self, n: usize, kernel: F) -> Result<(), DeviceError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_fallible(n, &|range: Range<usize>| {
+            for i in range {
+                kernel(i);
+            }
+        })
+    }
+
+    /// Fallible parallel reduction over the index space `0..n` (see
+    /// [`Device::reduce`] for the `combine` contract). On failure the
+    /// partial accumulator is discarded.
+    pub fn try_reduce<T, M, C>(
+        &self,
+        n: usize,
+        identity: T,
+        map: M,
+        combine: C,
+    ) -> Result<T, DeviceError>
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        let accumulator: Mutex<T> = Mutex::new(identity.clone());
+        self.run_fallible(n, &|range: Range<usize>| {
+            let mut local = identity.clone();
+            for i in range {
+                local = combine(local, map(i));
+            }
+            let mut acc = accumulator.lock();
+            let current = acc.clone();
+            *acc = combine(current, local);
+        })?;
+        Ok(accumulator.into_inner())
+    }
+
     /// Launches a kernel over the index space `0..n`.
     ///
     /// Every index is executed exactly once; blocks of `block_size`
@@ -176,29 +338,44 @@ impl Device {
     /// thread participates). The call returns once **all** indices have
     /// executed — a kernel boundary, i.e. a device-wide barrier.
     ///
-    /// If the kernel body panics, the launch completes distribution and
-    /// then propagates a panic on the launching thread.
+    /// If the kernel body panics (or the watchdog cancels the launch),
+    /// the launch completes distribution and then propagates a panic on
+    /// the launching thread. Recoverable callers should prefer
+    /// [`Device::try_launch`].
     pub fn launch<F>(&self, n: usize, kernel: F)
     where
         F: Fn(usize) + Sync,
     {
-        self.counters.kernel_launches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.pool.parallel_for(n, self.block_size, &kernel);
+        if let Err(error) = self.try_launch(n, kernel) {
+            match error {
+                DeviceError::KernelPanicked { payload, .. } => {
+                    panic!("kernel panicked during launch: {payload}")
+                }
+                other => panic!("{other}"),
+            }
+        }
     }
 
     /// Parallel reduction over the index space `0..n`.
     ///
     /// `map` produces a value per index; `combine` must be associative and
     /// commutative (block partials are combined in nondeterministic
-    /// order). `identity` is the identity of `combine`.
+    /// order). `identity` is the identity of `combine`. Panics on kernel
+    /// panic or watchdog timeout; recoverable callers should prefer
+    /// [`Device::try_reduce`].
     pub fn reduce<T, M, C>(&self, n: usize, identity: T, map: M, combine: C) -> T
     where
         T: Send + Sync + Clone,
         M: Fn(usize) -> T + Sync,
         C: Fn(T, T) -> T + Sync + Send,
     {
-        self.counters.kernel_launches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.pool.parallel_reduce(n, self.block_size, identity, &map, &combine)
+        match self.try_reduce(n, identity, map, combine) {
+            Ok(value) => value,
+            Err(DeviceError::KernelPanicked { payload, .. }) => {
+                panic!("kernel panicked during launch: {payload}")
+            }
+            Err(other) => panic!("{other}"),
+        }
     }
 }
 
@@ -329,5 +506,102 @@ mod tests {
         let before = device.counters().snapshot().kernel_launches;
         clone.launch(1, |_| {});
         assert_eq!(device.counters().snapshot().kernel_launches, before + 1);
+    }
+
+    #[test]
+    fn try_launch_reports_panic_with_payload_and_ordinal() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        device.launch(10, |_| {}); // launch 0
+        let err = device
+            .try_launch(100, |i| {
+                if i == 57 {
+                    panic!("organic fault {i}");
+                }
+            })
+            .unwrap_err();
+        match err {
+            DeviceError::KernelPanicked { launch, payload } => {
+                assert_eq!(launch, 1);
+                assert_eq!(payload, "organic fault 57");
+            }
+            other => panic!("expected KernelPanicked, got {other:?}"),
+        }
+        assert_eq!(device.counters().snapshot().failed_launches, 1);
+        // Device fully usable afterwards.
+        let sum = device.try_reduce(100, 0u64, |i| i as u64, |a, b| a + b).unwrap();
+        assert_eq!(sum, 99 * 100 / 2);
+        assert_eq!(device.launches_started(), 3);
+    }
+
+    #[test]
+    fn injected_panic_is_deterministic_and_counted() {
+        for _ in 0..3 {
+            let plan = FaultPlan::new(11).with_kernel_panic_at(1, 2);
+            let device = Device::new(
+                DeviceConfig::default().with_workers(2).with_block_size(8).with_fault_plan(plan),
+            );
+            device.try_launch(64, |_| {}).unwrap(); // launch 0: clean
+            let err = device.try_launch(64, |_| {}).unwrap_err(); // launch 1
+            match err {
+                DeviceError::KernelPanicked { launch, payload } => {
+                    assert_eq!(launch, 1);
+                    assert!(payload.contains("launch 1 block 2"), "payload: {payload}");
+                }
+                other => panic!("expected KernelPanicked, got {other:?}"),
+            }
+            assert_eq!(device.counters().snapshot().injected_panics, 1);
+            // Ordinal-addressed: the retry (launch 2) succeeds.
+            device.try_launch(64, |_| {}).unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_stall_trips_watchdog() {
+        let plan = FaultPlan::new(5).with_worker_stall(0, 0, 50);
+        let device = Device::new(
+            DeviceConfig::sequential()
+                .with_block_size(4)
+                .with_fault_plan(plan)
+                .with_kernel_timeout(Duration::from_millis(10)),
+        );
+        let err = device.try_launch(64, |_| {}).unwrap_err();
+        match err {
+            DeviceError::KernelTimeout { launch, elapsed } => {
+                assert_eq!(launch, 0);
+                assert!(elapsed >= Duration::from_millis(10));
+            }
+            other => panic!("expected KernelTimeout, got {other:?}"),
+        }
+        let snap = device.counters().snapshot();
+        assert_eq!(snap.injected_stalls, 1);
+        assert_eq!(snap.failed_launches, 1);
+        // Later launches are unaffected (watchdog deadline is per launch).
+        device.try_launch(64, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn no_timeout_without_watchdog() {
+        // A stall without a configured timeout just runs slowly.
+        let plan = FaultPlan::new(5).with_worker_stall(0, 0, 20);
+        let device =
+            Device::new(DeviceConfig::sequential().with_block_size(4).with_fault_plan(plan));
+        device.try_launch(8, |_| {}).unwrap();
+        assert_eq!(device.counters().snapshot().injected_stalls, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel panicked during launch")]
+    fn infallible_launch_panics_on_injected_fault() {
+        let plan = FaultPlan::new(3).with_kernel_panic_at(0, 0);
+        let device = Device::new(DeviceConfig::sequential().with_fault_plan(plan));
+        device.launch(10, |_| {});
+    }
+
+    #[test]
+    fn device_reservations_are_counted() {
+        let device = Device::with_defaults();
+        let _r = device.memory().reserve(128).unwrap();
+        assert_eq!(device.counters().snapshot().reservations, 1);
+        assert_eq!(device.memory().reservations_made(), 1);
     }
 }

@@ -15,11 +15,15 @@
 //! footprint.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+use crate::fault::{FaultPlan, FaultSite};
+use crate::Counters;
 
 /// Errors produced by the simulated device.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DeviceError {
     /// A reservation would exceed the configured memory budget.
     OutOfMemory {
@@ -29,6 +33,38 @@ pub enum DeviceError {
         in_use: usize,
         /// The configured budget.
         budget: usize,
+    },
+    /// A kernel panicked during a fallible launch. The first panic
+    /// payload observed is captured (worker threads may race; later
+    /// payloads are dropped).
+    KernelPanicked {
+        /// Device-wide launch ordinal of the failed launch.
+        launch: u64,
+        /// The panic payload, stringified.
+        payload: String,
+    },
+    /// A launch exceeded the device's configured kernel timeout and was
+    /// cancelled at a block boundary by the cooperative watchdog.
+    KernelTimeout {
+        /// Device-wide launch ordinal of the cancelled launch.
+        launch: u64,
+        /// Time the launch had been running when cancellation was
+        /// observed.
+        elapsed: Duration,
+    },
+    /// A fault scheduled by a [`FaultPlan`] fired at `site`. Used for
+    /// injections that have no organic error to masquerade as (e.g.
+    /// distributed-rank failures); injected OOMs surface as
+    /// [`DeviceError::OutOfMemory`] and injected panics as
+    /// [`DeviceError::KernelPanicked`].
+    FaultInjected {
+        /// The injection site that fired.
+        site: FaultSite,
+    },
+    /// Caller-provided input failed validation (e.g. NaN coordinates).
+    InvalidInput {
+        /// Human-readable description of the rejected input.
+        reason: String,
     },
 }
 
@@ -40,6 +76,14 @@ impl fmt::Display for DeviceError {
                 "device out of memory: requested {requested} B with {in_use} B in use \
                  (budget {budget} B)"
             ),
+            DeviceError::KernelPanicked { launch, payload } => {
+                write!(f, "kernel panicked during launch {launch}: {payload}")
+            }
+            DeviceError::KernelTimeout { launch, elapsed } => {
+                write!(f, "kernel launch {launch} timed out after {elapsed:?}")
+            }
+            DeviceError::FaultInjected { site } => write!(f, "injected fault: {site}"),
+            DeviceError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
         }
     }
 }
@@ -57,13 +101,49 @@ struct TrackerState {
 pub struct MemoryTracker {
     budget: Option<usize>,
     state: Arc<TrackerState>,
+    /// Lifetime reservation ordinal. Deliberately *outside*
+    /// [`Counters`]: counters can be reset mid-run, but fault-injection
+    /// ordinals must keep advancing so an ordinal-addressed OOM fires
+    /// exactly once per tracker lifetime.
+    ordinal: Arc<AtomicU64>,
+    counters: Option<Arc<Counters>>,
+    plan: Option<Arc<FaultPlan>>,
 }
 
 impl MemoryTracker {
     /// Creates a tracker. `budget = None` disables the limit (usage and
     /// peak are still recorded).
     pub fn new(budget: Option<usize>) -> Self {
-        Self { budget, state: Arc::new(TrackerState::default()) }
+        Self {
+            budget,
+            state: Arc::new(TrackerState::default()),
+            ordinal: Arc::new(AtomicU64::new(0)),
+            counters: None,
+            plan: None,
+        }
+    }
+
+    /// Creates a tracker wired to device counters and an optional fault
+    /// plan. Used by `Device`; standalone trackers use
+    /// [`MemoryTracker::new`].
+    pub(crate) fn with_instrumentation(
+        budget: Option<usize>,
+        counters: Arc<Counters>,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Self {
+        Self {
+            budget,
+            state: Arc::new(TrackerState::default()),
+            ordinal: Arc::new(AtomicU64::new(0)),
+            counters: Some(counters),
+            plan,
+        }
+    }
+
+    /// Number of reservations requested over this tracker's lifetime
+    /// (successful or not). Unlike counters, never reset.
+    pub fn reservations_made(&self) -> u64 {
+        self.ordinal.load(Ordering::Relaxed)
     }
 
     /// The configured budget, if any.
@@ -92,6 +172,24 @@ impl MemoryTracker {
     /// On success, returns an RAII guard that releases the bytes on drop.
     /// Fails only when a budget is configured and would be exceeded.
     pub fn reserve(&self, bytes: usize) -> Result<MemoryReservation, DeviceError> {
+        let ordinal = self.ordinal.fetch_add(1, Ordering::Relaxed);
+        if let Some(counters) = &self.counters {
+            counters.reservations.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(plan) = &self.plan {
+            if plan.oom_fires(ordinal, bytes) {
+                if let Some(counters) = &self.counters {
+                    counters.injected_oom.fetch_add(1, Ordering::Relaxed);
+                }
+                // Surface as a real OutOfMemory so recovery paths treat
+                // injected and organic allocation failures identically.
+                return Err(DeviceError::OutOfMemory {
+                    requested: bytes,
+                    in_use: self.in_use(),
+                    budget: self.budget.unwrap_or(0),
+                });
+            }
+        }
         // CAS loop: budget enforcement must be exact even under
         // concurrent reservations.
         let mut current = self.state.in_use.load(Ordering::Relaxed);
@@ -171,6 +269,7 @@ mod tests {
                 assert_eq!(in_use, 600);
                 assert_eq!(budget, 1000);
             }
+            other => panic!("expected OutOfMemory, got {other:?}"),
         }
         // Exactly filling the budget is allowed.
         let _b = tracker.reserve(400).unwrap();
@@ -222,6 +321,36 @@ mod tests {
         assert!(text.contains("out of memory"));
         assert!(text.contains("20"));
         assert!(text.contains("10"));
+    }
+
+    #[test]
+    fn injected_oom_fires_once_and_is_counted() {
+        let counters = Arc::new(Counters::default());
+        let plan = Arc::new(FaultPlan::new(3).with_oom_at_reservation(1));
+        let tracker =
+            MemoryTracker::with_instrumentation(None, Arc::clone(&counters), Some(plan));
+        let _a = tracker.reserve(10).unwrap(); // ordinal 0
+        let err = tracker.reserve(10).unwrap_err(); // ordinal 1: injected
+        assert!(matches!(err, DeviceError::OutOfMemory { requested: 10, .. }));
+        let _b = tracker.reserve(10).unwrap(); // ordinal 2: retry succeeds
+        assert_eq!(tracker.reservations_made(), 3);
+        let snap = counters.snapshot();
+        assert_eq!(snap.reservations, 3);
+        assert_eq!(snap.injected_oom, 1);
+        // The failed reservation must not leak accounting.
+        assert_eq!(tracker.in_use(), 20);
+    }
+
+    #[test]
+    fn threshold_oom_fires_every_time() {
+        let counters = Arc::new(Counters::default());
+        let plan = Arc::new(FaultPlan::new(3).with_oom_above_bytes(100));
+        let tracker =
+            MemoryTracker::with_instrumentation(None, Arc::clone(&counters), Some(plan));
+        assert!(tracker.reserve(100).is_err());
+        assert!(tracker.reserve(100).is_err());
+        assert!(tracker.reserve(99).is_ok());
+        assert_eq!(counters.snapshot().injected_oom, 2);
     }
 
     #[test]

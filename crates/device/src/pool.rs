@@ -11,23 +11,64 @@ use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
+/// Why a fallible launch failed. Mapped to `DeviceError` by `Device`;
+/// kept separate so the pool stays ignorant of launch ordinals.
+#[derive(Debug)]
+pub(crate) enum LaunchFailure {
+    /// At least one kernel invocation panicked; `payload` is the first
+    /// panic payload observed (stringified).
+    Panicked {
+        /// First panic payload, stringified.
+        payload: String,
+    },
+    /// The launch deadline passed; remaining blocks were cancelled
+    /// cooperatively at a block boundary.
+    TimedOut {
+        /// Time since launch start when the timeout was reported.
+        elapsed: Duration,
+    },
+}
+
+/// Stringifies a panic payload: `&str` and `String` payloads (the
+/// overwhelmingly common cases) are preserved verbatim; anything else is
+/// reported by type only.
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Type-erased kernel body operating on a block (contiguous index range).
 ///
 /// The fat pointer is only dereferenced while the owning
-/// [`WorkerPool::parallel_for_blocks`] frame is alive (see the safety note
-/// there), so storing a raw pointer — which may dangle after completion —
-/// is sound.
+/// [`WorkerPool::try_parallel_for_blocks`] frame is alive (see the safety
+/// note there), so storing a raw pointer — which may dangle after
+/// completion — is sound.
 struct Job {
     kernel: *const (dyn Fn(Range<usize>) + Sync),
     n: usize,
     block: usize,
+    /// Cooperative watchdog deadline: checked before each block pull.
+    /// A kernel that blocks forever inside a single block defeats it —
+    /// same contract as a real GPU watchdog, which can only reset
+    /// between scheduled work units.
+    deadline: Option<Instant>,
     cursor: AtomicUsize,
     pending: AtomicUsize,
     panicked: AtomicBool,
+    timed_out: AtomicBool,
+    /// First panic payload observed (workers race; later ones are
+    /// dropped).
+    payload: Mutex<Option<String>>,
     done: Mutex<bool>,
     done_cv: Condvar,
 }
@@ -40,21 +81,36 @@ unsafe impl Sync for Job {}
 impl Job {
     /// Pulls blocks until the index space is exhausted, then signals.
     fn run(&self) {
-        // SAFETY: `parallel_for_blocks` does not return until `pending`
-        // hits zero, which happens strictly after the last dereference.
+        // SAFETY: `try_parallel_for_blocks` does not return until
+        // `pending` hits zero, which happens strictly after the last
+        // dereference.
         let kernel = unsafe { &*self.kernel };
         loop {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() >= deadline {
+                    self.timed_out.store(true, Ordering::Relaxed);
+                    // Cancel remaining blocks; in-flight blocks on other
+                    // workers finish their current block first.
+                    self.cursor.store(self.n, Ordering::Relaxed);
+                    break;
+                }
+            }
             let start = self.cursor.fetch_add(self.block, Ordering::Relaxed);
             if start >= self.n {
                 break;
             }
             let end = (start + self.block).min(self.n);
             let result = catch_unwind(AssertUnwindSafe(|| kernel(start..end)));
-            if result.is_err() {
+            if let Err(panic) = result {
+                let mut slot = self.payload.lock();
+                if slot.is_none() {
+                    *slot = Some(payload_to_string(panic.as_ref()));
+                }
+                drop(slot);
                 self.panicked.store(true, Ordering::Relaxed);
                 // Drain the rest of the index space so the launch still
                 // terminates promptly; remaining indices are skipped, the
-                // launcher will re-panic.
+                // launcher will surface the failure.
                 self.cursor.store(self.n, Ordering::Relaxed);
                 break;
             }
@@ -116,20 +172,24 @@ impl WorkerPool {
         self.handles.len()
     }
 
-    /// Executes `kernel` once per block of `block` consecutive indices
-    /// covering `0..n`. Blocks the calling thread (which participates)
-    /// until the whole index space has been executed. Panics if any kernel
-    /// invocation panicked.
-    pub fn parallel_for_blocks(
+    /// Fallible block launch: executes `kernel` once per block of `block`
+    /// consecutive indices covering `0..n`, blocking the calling thread
+    /// (which participates) until the index space is exhausted, a kernel
+    /// panics, or `deadline` passes. The pool and its workers remain
+    /// usable after a failure — panics are contained per block and the
+    /// cursor drain guarantees prompt termination.
+    pub(crate) fn try_parallel_for_blocks(
         &self,
         n: usize,
         block: usize,
+        deadline: Option<Instant>,
         kernel: &(dyn Fn(Range<usize>) + Sync),
-    ) {
+    ) -> Result<(), LaunchFailure> {
         if n == 0 {
-            return;
+            return Ok(());
         }
         assert!(block > 0, "block size must be nonzero");
+        let started = Instant::now();
         // SAFETY (lifetime erasure): `job.kernel` must not be dereferenced
         // after this function returns. Workers dereference it only inside
         // `Job::run`, which decrements `pending` after its last use; this
@@ -146,9 +206,12 @@ impl WorkerPool {
             kernel: erased,
             n,
             block,
+            deadline,
             cursor: AtomicUsize::new(0),
             pending: AtomicUsize::new(participants),
             panicked: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            payload: Mutex::new(None),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
@@ -159,8 +222,41 @@ impl WorkerPool {
         }
         job.run(); // the launching thread participates
         job.wait();
+        // A panic is the more specific diagnosis when both fired.
         if job.panicked.load(Ordering::Relaxed) {
-            panic!("kernel panicked during launch");
+            let payload = job
+                .payload
+                .lock()
+                .take()
+                .unwrap_or_else(|| "unknown panic payload".to_string());
+            return Err(LaunchFailure::Panicked { payload });
+        }
+        if job.timed_out.load(Ordering::Relaxed) {
+            return Err(LaunchFailure::TimedOut { elapsed: started.elapsed() });
+        }
+        Ok(())
+    }
+
+    /// Executes `kernel` once per block of `block` consecutive indices
+    /// covering `0..n`. Blocks the calling thread (which participates)
+    /// until the whole index space has been executed. Panics if any kernel
+    /// invocation panicked.
+    pub fn parallel_for_blocks(
+        &self,
+        n: usize,
+        block: usize,
+        kernel: &(dyn Fn(Range<usize>) + Sync),
+    ) {
+        match self.try_parallel_for_blocks(n, block, None, kernel) {
+            Ok(()) => {}
+            Err(LaunchFailure::Panicked { payload }) => {
+                panic!("kernel panicked during launch: {payload}")
+            }
+            // Unreachable with `deadline: None`, but keep a defined
+            // behavior rather than an unreachable!().
+            Err(LaunchFailure::TimedOut { elapsed }) => {
+                panic!("kernel launch timed out after {elapsed:?}")
+            }
         }
     }
 
@@ -171,6 +267,39 @@ impl WorkerPool {
                 kernel(i);
             }
         });
+    }
+
+    /// Fallible block-parallel reduction (see [`Self::parallel_reduce`]
+    /// for the combine contract). On failure the partial accumulator is
+    /// discarded.
+    pub(crate) fn try_parallel_reduce<T, M, C>(
+        &self,
+        n: usize,
+        block: usize,
+        deadline: Option<Instant>,
+        identity: T,
+        map: &M,
+        combine: &C,
+    ) -> Result<T, LaunchFailure>
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        if n == 0 {
+            return Ok(identity);
+        }
+        let accumulator: Mutex<T> = Mutex::new(identity.clone());
+        self.try_parallel_for_blocks(n, block, deadline, &|range: Range<usize>| {
+            let mut local = identity.clone();
+            for i in range {
+                local = combine(local, map(i));
+            }
+            let mut acc = accumulator.lock();
+            let current = acc.clone();
+            *acc = combine(current, local);
+        })?;
+        Ok(accumulator.into_inner())
     }
 
     /// Block-parallel reduction. `combine` must be associative and
@@ -189,20 +318,15 @@ impl WorkerPool {
         M: Fn(usize) -> T + Sync,
         C: Fn(T, T) -> T + Sync + Send,
     {
-        if n == 0 {
-            return identity;
-        }
-        let accumulator: Mutex<T> = Mutex::new(identity.clone());
-        self.parallel_for_blocks(n, block, &|range: Range<usize>| {
-            let mut local = identity.clone();
-            for i in range {
-                local = combine(local, map(i));
+        match self.try_parallel_reduce(n, block, None, identity, map, combine) {
+            Ok(value) => value,
+            Err(LaunchFailure::Panicked { payload }) => {
+                panic!("kernel panicked during launch: {payload}")
             }
-            let mut acc = accumulator.lock();
-            let current = acc.clone();
-            *acc = combine(current, local);
-        });
-        accumulator.into_inner()
+            Err(LaunchFailure::TimedOut { elapsed }) => {
+                panic!("kernel launch timed out after {elapsed:?}")
+            }
+        }
     }
 }
 
@@ -298,5 +422,101 @@ mod tests {
         let pool = WorkerPool::new(3);
         pool.parallel_for(10, 1, &|_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn try_launch_captures_first_panic_payload() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_parallel_for_blocks(100, 4, None, &|range| {
+                if range.contains(&42) {
+                    panic!("boom at {}", range.start);
+                }
+            })
+            .unwrap_err();
+        match err {
+            LaunchFailure::Panicked { payload } => assert!(payload.starts_with("boom at")),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The pool must stay usable after the failed launch.
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(50, 4, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_remaining_blocks() {
+        let pool = WorkerPool::new(0);
+        let executed = AtomicUsize::new(0);
+        let err = pool
+            .try_parallel_for_blocks(
+                1000,
+                1,
+                // Already expired: the very first deadline check fires.
+                Some(Instant::now() - Duration::from_millis(1)),
+                &|_| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, LaunchFailure::TimedOut { .. }));
+        assert_eq!(executed.load(Ordering::Relaxed), 0, "no block may run past cancel");
+        // And the pool still works.
+        pool.parallel_for(10, 1, &|_| {});
+    }
+
+    #[test]
+    fn slow_kernel_trips_mid_launch_deadline() {
+        let pool = WorkerPool::new(0);
+        let executed = AtomicUsize::new(0);
+        let err = pool
+            .try_parallel_for_blocks(
+                100,
+                1,
+                Some(Instant::now() + Duration::from_millis(20)),
+                &|_| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(5));
+                },
+            )
+            .unwrap_err();
+        match err {
+            LaunchFailure::TimedOut { elapsed } => {
+                assert!(elapsed >= Duration::from_millis(20));
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran > 0 && ran < 100, "should cancel partway, ran {ran}");
+    }
+
+    #[test]
+    fn try_reduce_propagates_failure() {
+        let pool = WorkerPool::new(1);
+        let err = pool
+            .try_parallel_reduce(100, 4, None, 0u64, &|i| {
+                if i == 7 {
+                    panic!("reduce kernel fault");
+                }
+                i as u64
+            }, &|a, b| a + b)
+            .unwrap_err();
+        assert!(matches!(err, LaunchFailure::Panicked { .. }));
+        // Reduce still works afterwards.
+        let got = pool.parallel_reduce(100, 4, 0u64, &|i| i as u64, &|a, b| a + b);
+        assert_eq!(got, 99 * 100 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel panicked during launch: original message")]
+    fn infallible_launch_reraises_with_payload() {
+        let pool = WorkerPool::new(0);
+        pool.parallel_for(10, 1, &|i| {
+            if i == 3 {
+                panic!("original message");
+            }
+        });
     }
 }

@@ -48,6 +48,8 @@
 //! assert_eq!(stats.ranks.len(), 4);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use fdbscan::framework::CoreFlags;
@@ -55,11 +57,17 @@ use fdbscan::generic::main_phase;
 use fdbscan::index::build_bvh_index;
 use fdbscan::labels::Clustering;
 use fdbscan::{FdbscanOptions, Params};
-use fdbscan_device::{Device, DeviceError};
+use fdbscan_device::{Counters, Device, DeviceError, FaultPlan, FaultSite};
 use fdbscan_geom::Point;
 use fdbscan_unionfind::AtomicLabels;
 
 use std::ops::ControlFlow;
+
+/// How many times a failed rank phase is re-executed before the whole
+/// distributed run gives up. A [`FaultPlan::with_rank_failure`] that
+/// fails more than `MAX_RANK_RETRIES` consecutive attempts of one phase
+/// is therefore fatal.
+pub const MAX_RANK_RETRIES: usize = 3;
 
 /// Per-rank decomposition summary.
 #[derive(Clone, Debug, Default)]
@@ -68,6 +76,10 @@ pub struct RankStats {
     pub owned: usize,
     /// Ghost points replicated from neighbors.
     pub ghosts: usize,
+    /// Phase executions on this rank, including retries after injected
+    /// or real failures. A fault-free run makes exactly 2 attempts per
+    /// rank: one core pass and one main phase.
+    pub attempts: usize,
 }
 
 /// Statistics of a distributed run.
@@ -79,6 +91,62 @@ pub struct DistStats {
     pub axis: usize,
     /// End-to-end wall time.
     pub total_time: std::time::Duration,
+}
+
+fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one phase of one rank, with fault injection and bounded
+/// retries.
+///
+/// Every execution (injected failure or not) consumes one attempt from
+/// the rank's lifetime counter; [`FaultPlan::rank_fails`] is consulted
+/// against that ordinal, so `with_rank_failure(r, k)` fails the first
+/// `k` attempts of rank `r` and the `k+1`-th retry succeeds. Panics
+/// escaping the phase (e.g. a kernel panic in an index build) are
+/// converted to [`DeviceError::KernelPanicked`] and retried the same
+/// way. After [`MAX_RANK_RETRIES`] retries the last error is returned.
+fn run_rank_phase<T>(
+    rank: usize,
+    plan: Option<&FaultPlan>,
+    root_counters: &Counters,
+    attempts: &AtomicUsize,
+    rank_device: &Device,
+    work: impl Fn() -> Result<T, DeviceError>,
+) -> Result<T, DeviceError> {
+    let mut tries = 0;
+    loop {
+        let attempt = attempts.fetch_add(1, Ordering::Relaxed);
+        let outcome = match plan {
+            Some(p) if p.rank_fails(rank, attempt) => {
+                root_counters.injected_rank_faults.fetch_add(1, Ordering::Relaxed);
+                Err(DeviceError::FaultInjected { site: FaultSite::Rank { rank, attempt } })
+            }
+            _ => match catch_unwind(AssertUnwindSafe(&work)) {
+                Ok(result) => result,
+                Err(payload) => Err(DeviceError::KernelPanicked {
+                    launch: rank_device.launches_started().saturating_sub(1),
+                    payload: panic_payload(&*payload),
+                }),
+            },
+        };
+        match outcome {
+            Ok(value) => return Ok(value),
+            Err(err) => {
+                if tries >= MAX_RANK_RETRIES {
+                    return Err(err);
+                }
+                tries += 1;
+            }
+        }
+    }
 }
 
 /// Runs FDBSCAN over `ranks` simulated distributed ranks on one device.
@@ -107,7 +175,12 @@ pub fn distributed_fdbscan_multi<const D: usize>(
 ) -> Result<(Clustering, DistStats), DeviceError> {
     assert!(!devices.is_empty(), "need at least one device");
     assert!(ranks >= 1, "need at least one rank");
+    fdbscan::validate_finite(points)?;
     let device = &devices[0];
+    // Rank faults are driven by the root device's plan (the "launcher"
+    // in a real distributed job); injections are counted there too.
+    let plan = device.fault_plan();
+    let root_counters = device.counters();
     let n = points.len();
     let Params { eps, minpts } = params;
     let start = Instant::now();
@@ -178,83 +251,122 @@ pub fn distributed_fdbscan_multi<const D: usize>(
                 to_global.push(id);
             }
         }
-        rank_stats.push(RankStats { owned: owned_count, ghosts: to_global.len() - owned_count });
+        rank_stats.push(RankStats {
+            owned: owned_count,
+            ghosts: to_global.len() - owned_count,
+            attempts: 0,
+        });
         local_results.push(LocalResult { to_global, labels: Vec::new(), core: Vec::new() });
     }
+
+    // Lifetime attempt counters, shared by the core pass and the main
+    // phase so [`FaultPlan::rank_fails`] sees one monotone sequence per
+    // rank (a fault-free run makes attempts 0 and 1).
+    let attempt_counters: Vec<AtomicUsize> = (0..ranks).map(|_| AtomicUsize::new(0)).collect();
 
     // --- 2. core status of owned points, all ranks concurrently ----------
     // Each rank runs on its own device; the scope join is the inter-rank
     // barrier the next phase needs (it reads ghosts' core flags).
-    std::thread::scope(|scope| {
-        for (rank, result) in local_results.iter().enumerate() {
-            let rank_device = &devices[rank % devices.len()];
-            let global_core = &global_core;
-            let owned_count = rank_stats[rank].owned;
-            scope.spawn(move || {
-                let to_global = &result.to_global;
-                let local_points: Vec<Point<D>> =
-                    to_global.iter().map(|&id| points[id as usize]).collect();
-                let bvh = build_bvh_index(rank_device, &local_points);
-                let bvh_ref = &bvh;
-                let local_points_ref = &local_points;
-                rank_device.launch(owned_count, |li| {
-                    let mut count = 0usize;
-                    bvh_ref.for_each_in_radius(&local_points_ref[li], eps, 0, |_, _| {
-                        count += 1;
-                        if count >= minpts {
-                            ControlFlow::Break(())
-                        } else {
-                            ControlFlow::Continue(())
-                        }
-                    });
-                    if count >= minpts {
-                        global_core.set(to_global[li]);
-                    }
-                });
-            });
-        }
+    let core_outcomes: Vec<Result<(), DeviceError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = local_results
+            .iter()
+            .enumerate()
+            .map(|(rank, result)| {
+                let rank_device = &devices[rank % devices.len()];
+                let global_core = &global_core;
+                let owned_count = rank_stats[rank].owned;
+                let attempts = &attempt_counters[rank];
+                scope.spawn(move || {
+                    let to_global = &result.to_global;
+                    run_rank_phase(rank, plan, root_counters, attempts, rank_device, || {
+                        let local_points: Vec<Point<D>> =
+                            to_global.iter().map(|&id| points[id as usize]).collect();
+                        let bvh = build_bvh_index(rank_device, &local_points);
+                        let bvh_ref = &bvh;
+                        let local_points_ref = &local_points;
+                        rank_device.try_launch(owned_count, |li| {
+                            let mut count = 0usize;
+                            bvh_ref.for_each_in_radius(&local_points_ref[li], eps, 0, |_, _| {
+                                count += 1;
+                                if count >= minpts {
+                                    ControlFlow::Break(())
+                                } else {
+                                    ControlFlow::Continue(())
+                                }
+                            });
+                            if count >= minpts {
+                                global_core.set(to_global[li]);
+                            }
+                        })
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
     });
+    for outcome in core_outcomes {
+        outcome?;
+    }
 
     // --- 3. local main phases (global core flags are now complete) -------
-    std::thread::scope(|scope| {
-        for (rank, result) in local_results.iter_mut().enumerate() {
-            let rank_device = &devices[rank % devices.len()];
-            let global_core = &global_core;
-            scope.spawn(move || {
-                let to_global = &result.to_global;
-                let local_points: Vec<Point<D>> =
-                    to_global.iter().map(|&id| points[id as usize]).collect();
-                let local_n = local_points.len();
-                let bvh = build_bvh_index(rank_device, &local_points);
+    let main_outcomes: Vec<Result<(), DeviceError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = local_results
+            .iter_mut()
+            .enumerate()
+            .map(|(rank, result)| {
+                let rank_device = &devices[rank % devices.len()];
+                let global_core = &global_core;
+                let attempts = &attempt_counters[rank];
+                scope.spawn(move || {
+                    let LocalResult { to_global, labels, core } = result;
+                    let to_global = &*to_global;
+                    let (rank_labels, rank_core) =
+                        run_rank_phase(rank, plan, root_counters, attempts, rank_device, || {
+                            let local_points: Vec<Point<D>> =
+                                to_global.iter().map(|&id| points[id as usize]).collect();
+                            let local_n = local_points.len();
+                            let bvh = build_bvh_index(rank_device, &local_points);
 
-                // Local copies of the relevant global core flags.
-                let local_core = CoreFlags::new(local_n);
-                for (li, &gid) in to_global.iter().enumerate() {
-                    if global_core.get(gid) {
-                        local_core.set(li as u32);
-                    }
-                }
-                let local_labels = AtomicLabels::new(local_n);
-                // minpts <= 2 would trigger lazy core marking in
-                // `main_phase`, which is wrong here (cores were computed
-                // globally); force the flag-driven path. The minpts value
-                // inside the main phase only selects that branch.
-                let branch_params = Params::new(eps, minpts.max(3));
-                main_phase(
-                    rank_device,
-                    &local_points,
-                    &bvh,
-                    branch_params,
-                    FdbscanOptions::default(),
-                    &local_labels,
-                    &local_core,
-                );
-                local_labels.flatten(rank_device);
-                result.labels = local_labels.snapshot();
-                result.core = local_core.to_vec();
-            });
-        }
+                            // Local copies of the relevant global core flags.
+                            let local_core = CoreFlags::new(local_n);
+                            for (li, &gid) in to_global.iter().enumerate() {
+                                if global_core.get(gid) {
+                                    local_core.set(li as u32);
+                                }
+                            }
+                            let local_labels = AtomicLabels::new(local_n);
+                            // minpts <= 2 would trigger lazy core marking in
+                            // `main_phase`, which is wrong here (cores were
+                            // computed globally); force the flag-driven path.
+                            // The minpts value inside the main phase only
+                            // selects that branch.
+                            let branch_params = Params::new(eps, minpts.max(3));
+                            main_phase(
+                                rank_device,
+                                &local_points,
+                                &bvh,
+                                branch_params,
+                                FdbscanOptions::default(),
+                                &local_labels,
+                                &local_core,
+                            )?;
+                            local_labels.flatten(rank_device);
+                            Ok((local_labels.snapshot(), local_core.to_vec()))
+                        })?;
+                    *labels = rank_labels;
+                    *core = rank_core;
+                    Ok(())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
     });
+    for outcome in main_outcomes {
+        outcome?;
+    }
+    for (stat, attempts) in rank_stats.iter_mut().zip(&attempt_counters) {
+        stat.attempts = attempts.load(Ordering::Relaxed);
+    }
 
     // --- 4a. merge: core unions ------------------------------------------
     for result in &local_results {
@@ -262,12 +374,12 @@ pub fn distributed_fdbscan_multi<const D: usize>(
         let labels = &result.labels;
         let core = &result.core;
         let global_labels_ref = &global_labels;
-        device.launch(labels.len(), |li| {
+        device.try_launch(labels.len(), |li| {
             if core[li] {
                 let root = labels[li] as usize;
                 global_labels_ref.union(to_global[li], to_global[root]);
             }
-        });
+        })?;
     }
     // --- 4b. merge: border claims ------------------------------------------
     for result in &local_results {
@@ -275,13 +387,13 @@ pub fn distributed_fdbscan_multi<const D: usize>(
         let labels = &result.labels;
         let core = &result.core;
         let global_labels_ref = &global_labels;
-        device.launch(labels.len(), |li| {
+        device.try_launch(labels.len(), |li| {
             if !core[li] && labels[li] != li as u32 {
                 let root = to_global[labels[li] as usize];
                 let target = global_labels_ref.find(root);
                 global_labels_ref.try_claim(to_global[li], target);
             }
-        });
+        })?;
     }
 
     // --- 5. finalize --------------------------------------------------------
@@ -299,7 +411,7 @@ mod tests {
     use fdbscan::seq::dbscan_classic;
     use fdbscan::verify::assert_valid_clustering;
     use fdbscan_data::Dataset2;
-    use fdbscan_device::DeviceConfig;
+    use fdbscan_device::{DeviceConfig, FaultPlan, FaultSite};
     use fdbscan_geom::Point2;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -462,6 +574,60 @@ mod tests {
             let (dist, _) = distributed_fdbscan(&d, &points, params, ranks).unwrap();
             assert_core_equivalent(&oracle, &dist);
         }
+    }
+
+    #[test]
+    fn fault_free_run_makes_two_attempts_per_rank() {
+        let d = device();
+        let points = random_points(400, 4.0, 30);
+        let (_, stats) = distributed_fdbscan(&d, &points, Params::new(0.3, 4), 4).unwrap();
+        for (rank, r) in stats.ranks.iter().enumerate() {
+            assert_eq!(r.attempts, 2, "rank {rank}: core pass + main phase");
+        }
+    }
+
+    #[test]
+    fn injected_rank_failures_recover_identically() {
+        let points = random_points(600, 4.0, 31);
+        let params = Params::new(0.25, 5);
+        let (reference, _) = distributed_fdbscan(&device(), &points, params, 4).unwrap();
+
+        for failures in [1usize, 2] {
+            let plan = FaultPlan::new(9).with_rank_failure(2, failures);
+            let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+            let (got, stats) = distributed_fdbscan(&d, &points, params, 4).unwrap();
+            assert_core_equivalent(&reference, &got);
+            assert_eq!(stats.ranks[2].attempts, 2 + failures, "retries surface in DistStats");
+            assert_eq!(stats.ranks[0].attempts, 2, "healthy ranks are untouched");
+            assert_eq!(d.counters().snapshot().injected_rank_faults, failures as u64);
+        }
+    }
+
+    #[test]
+    fn unrecoverable_rank_failure_surfaces_cleanly() {
+        let points = random_points(300, 4.0, 32);
+        // One more failure than MAX_RANK_RETRIES allows attempts: fatal.
+        let plan = FaultPlan::new(10).with_rank_failure(1, MAX_RANK_RETRIES + 1);
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let err = distributed_fdbscan(&d, &points, Params::new(0.3, 4), 3).unwrap_err();
+        assert!(
+            matches!(err, DeviceError::FaultInjected { site: FaultSite::Rank { rank: 1, .. } }),
+            "got {err:?}"
+        );
+        // Attempt ordinals are per run, so a re-run fails the same way:
+        // deterministic, and the device itself stays usable (no leaked
+        // reservations, workers alive).
+        let again = distributed_fdbscan(&d, &points, Params::new(0.3, 4), 3).unwrap_err();
+        assert_eq!(err, again);
+        assert_eq!(d.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn non_finite_points_rejected() {
+        let d = device();
+        let points = vec![Point2::new([f32::INFINITY, 0.0])];
+        let err = distributed_fdbscan(&d, &points, Params::new(1.0, 2), 2).unwrap_err();
+        assert!(matches!(err, DeviceError::InvalidInput { .. }));
     }
 
     #[test]

@@ -84,8 +84,8 @@ impl<const D: usize> Aabb<D> {
     #[inline]
     pub fn center(&self) -> Point<D> {
         let mut coords = [0.0f32; D];
-        for d in 0..D {
-            coords[d] = 0.5 * (self.min[d] + self.max[d]);
+        for (d, c) in coords.iter_mut().enumerate() {
+            *c = 0.5 * (self.min[d] + self.max[d]);
         }
         Point::new(coords)
     }
@@ -94,8 +94,8 @@ impl<const D: usize> Aabb<D> {
     #[inline]
     pub fn extents(&self) -> [f32; D] {
         let mut e = [0.0f32; D];
-        for d in 0..D {
-            e[d] = self.max[d] - self.min[d];
+        for (d, ext) in e.iter_mut().enumerate() {
+            *ext = self.max[d] - self.min[d];
         }
         e
     }

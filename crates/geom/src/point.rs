@@ -66,8 +66,8 @@ impl<const D: usize> Point<D> {
     #[inline]
     pub fn min(&self, other: &Self) -> Self {
         let mut coords = [0.0f32; D];
-        for d in 0..D {
-            coords[d] = self.coords[d].min(other.coords[d]);
+        for (d, c) in coords.iter_mut().enumerate() {
+            *c = self.coords[d].min(other.coords[d]);
         }
         Self { coords }
     }
@@ -76,8 +76,8 @@ impl<const D: usize> Point<D> {
     #[inline]
     pub fn max(&self, other: &Self) -> Self {
         let mut coords = [0.0f32; D];
-        for d in 0..D {
-            coords[d] = self.coords[d].max(other.coords[d]);
+        for (d, c) in coords.iter_mut().enumerate() {
+            *c = self.coords[d].max(other.coords[d]);
         }
         Self { coords }
     }

@@ -143,10 +143,10 @@ impl<const D: usize> KdTree<D> {
                     let begin = (*begin).max(cutoff);
                     for pos in begin..*end {
                         stats.points_tested += 1;
-                        if self.points[pos as usize].dist_sq(center) <= eps_sq {
-                            if callback(pos, self.payload[pos as usize]).is_break() {
-                                return stats;
-                            }
+                        if self.points[pos as usize].dist_sq(center) <= eps_sq
+                            && callback(pos, self.payload[pos as usize]).is_break()
+                        {
+                            return stats;
                         }
                     }
                 }
