@@ -20,7 +20,11 @@ fn bench_mask(c: &mut Criterion) {
                     &device,
                     &points,
                     params,
-                    FdbscanOptions { masked_traversal: masked, early_termination: true, star: false },
+                    FdbscanOptions {
+                        masked_traversal: masked,
+                        early_termination: true,
+                        star: false,
+                    },
                 )
                 .map(|(c, _)| c.num_clusters)
             })
@@ -42,7 +46,11 @@ fn bench_early_termination(c: &mut Criterion) {
                     &device,
                     &points,
                     params,
-                    FdbscanOptions { masked_traversal: true, early_termination: early, star: false },
+                    FdbscanOptions {
+                        masked_traversal: true,
+                        early_termination: early,
+                        star: false,
+                    },
                 )
                 .map(|(c, _)| c.num_clusters)
             })

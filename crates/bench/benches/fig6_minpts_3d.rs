@@ -16,16 +16,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for minpts in fig6_minpts_values() {
         for algo in Algo::TREE {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), minpts),
-                &minpts,
-                |b, &minpts| {
-                    b.iter(|| {
-                        algo.run3(&device, &points, Params::new(eps, minpts))
-                            .map(|(c, _)| c.num_clusters)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.name(), minpts), &minpts, |b, &minpts| {
+                b.iter(|| {
+                    algo.run3(&device, &points, Params::new(eps, minpts))
+                        .map(|(c, _)| c.num_clusters)
+                })
+            });
         }
     }
     group.finish();

@@ -96,11 +96,5 @@ fn bench_union_find(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_bvh_build,
-    bench_bvh_query,
-    bench_radix_sort,
-    bench_union_find
-);
+criterion_group!(benches, bench_bvh_build, bench_bvh_query, bench_radix_sort, bench_union_find);
 criterion_main!(benches);

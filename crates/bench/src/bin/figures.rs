@@ -16,7 +16,7 @@ use fdbscan::{
 };
 use fdbscan_bench::{
     cell, fig4_eps_config, fig4_minpts_config, fig4_scaling_config, fig6_minpts_values,
-    fig7_eps_values, scaled_cosmo_eps, Algo, SCALING_MEMORY_BUDGET,
+    fig7_eps_values, scaled_cosmo_eps, Algo, BenchReport, SCALING_MEMORY_BUDGET,
 };
 use fdbscan_data::cosmology::default_snapshot;
 use fdbscan_data::{blobs, Dataset2};
@@ -27,11 +27,12 @@ struct Options {
     cosmo_n: usize,
     max_scaling_n: usize,
     seed: u64,
+    json: Option<std::path::PathBuf>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Self { n: 16_384, cosmo_n: 200_000, max_scaling_n: 32_768, seed: 42 }
+        Self { n: 16_384, cosmo_n: 200_000, max_scaling_n: 32_768, seed: 42, json: None }
     }
 }
 
@@ -41,6 +42,10 @@ fn main() {
     let mut options = Options::default();
     let mut it = args.iter().skip(1);
     while let Some(flag) = it.next() {
+        if flag == "--json" {
+            options.json = Some(it.next().expect("--json requires a path").into());
+            continue;
+        }
         let mut value = || it.next().and_then(|v| v.parse::<usize>().ok());
         match flag.as_str() {
             "--n" => options.n = value().expect("--n requires a number"),
@@ -56,29 +61,38 @@ fn main() {
         }
     }
 
+    let mut report = BenchReport::new();
     match mode.as_str() {
-        "fig4-minpts" => fig4_minpts(&options),
-        "fig4-eps" => fig4_eps(&options),
-        "fig4-scaling" => fig4_scaling(&options),
-        "fig6" => fig6(&options),
-        "fig7" => fig7(&options),
+        "fig4-minpts" => fig4_minpts(&options, &mut report),
+        "fig4-eps" => fig4_eps(&options, &mut report),
+        "fig4-scaling" => fig4_scaling(&options, &mut report),
+        "fig6" => fig6(&options, &mut report),
+        "fig7" => fig7(&options, &mut report),
         "claims" => claims(&options),
-        "memory" => memory(&options),
+        "memory" => memory(&options, &mut report),
         "ablations" => ablations(&options),
         "all" => {
-            fig4_minpts(&options);
-            fig4_eps(&options);
-            fig4_scaling(&options);
-            fig6(&options);
-            fig7(&options);
+            fig4_minpts(&options, &mut report);
+            fig4_eps(&options, &mut report);
+            fig4_scaling(&options, &mut report);
+            fig6(&options, &mut report);
+            fig7(&options, &mut report);
             claims(&options);
-            memory(&options);
+            memory(&options, &mut report);
             ablations(&options);
         }
         other => {
             eprintln!("unknown mode {other}");
             std::process::exit(2);
         }
+    }
+
+    if let Some(path) = &options.json {
+        if let Err(err) = report.write(path) {
+            eprintln!("failed to write {}: {err}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} runs to {}", report.len(), path.display());
     }
 }
 
@@ -111,7 +125,7 @@ fn algo_columns() -> String {
 }
 
 /// Fig. 4(a)(b)(c): time vs minpts, all four algorithms, three datasets.
-fn fig4_minpts(options: &Options) {
+fn fig4_minpts(options: &Options, report: &mut BenchReport) {
     let device = Device::with_defaults();
     for kind in Dataset2::ALL {
         let (eps, minpts_values) = fig4_minpts_config(kind);
@@ -126,7 +140,18 @@ fn fig4_minpts(options: &Options) {
             let params = Params::new(eps, minpts);
             let row: String = Algo::ALL
                 .iter()
-                .map(|a| format!("{:>18}", cell(&a.run2(&device, &points, params))))
+                .map(|a| {
+                    let result = a.run2(&device, &points, params);
+                    report.record(
+                        "fig4-minpts",
+                        kind.name(),
+                        a.name(),
+                        points.len(),
+                        params,
+                        &result,
+                    );
+                    format!("{:>18}", cell(&result))
+                })
                 .collect();
             println!("{minpts:>8}{row}");
         }
@@ -134,7 +159,7 @@ fn fig4_minpts(options: &Options) {
 }
 
 /// Fig. 4(d)(e)(f): time vs eps.
-fn fig4_eps(options: &Options) {
+fn fig4_eps(options: &Options, report: &mut BenchReport) {
     let device = Device::with_defaults();
     for kind in Dataset2::ALL {
         let (minpts, eps_values) = fig4_eps_config(kind);
@@ -149,7 +174,11 @@ fn fig4_eps(options: &Options) {
             let params = Params::new(eps, minpts);
             let row: String = Algo::ALL
                 .iter()
-                .map(|a| format!("{:>18}", cell(&a.run2(&device, &points, params))))
+                .map(|a| {
+                    let result = a.run2(&device, &points, params);
+                    report.record("fig4-eps", kind.name(), a.name(), points.len(), params, &result);
+                    format!("{:>18}", cell(&result))
+                })
                 .collect();
             println!("{eps:>8}{row}");
         }
@@ -158,9 +187,8 @@ fn fig4_eps(options: &Options) {
 
 /// Fig. 4(g)(h)(i): time vs n (log scale), with the device memory budget
 /// that reproduces G-DBSCAN's OOM points.
-fn fig4_scaling(options: &Options) {
-    let device =
-        Device::new(DeviceConfig::default().with_memory_budget(SCALING_MEMORY_BUDGET));
+fn fig4_scaling(options: &Options, report: &mut BenchReport) {
+    let device = Device::new(DeviceConfig::default().with_memory_budget(SCALING_MEMORY_BUDGET));
     for kind in Dataset2::ALL {
         let (minpts, eps) = fig4_scaling_config(kind);
         header(&format!(
@@ -176,7 +204,18 @@ fn fig4_scaling(options: &Options) {
             let params = Params::new(eps, minpts);
             let row: String = Algo::ALL
                 .iter()
-                .map(|a| format!("{:>18}", cell(&a.run2(&device, &points, params))))
+                .map(|a| {
+                    let result = a.run2(&device, &points, params);
+                    report.record(
+                        "fig4-scaling",
+                        kind.name(),
+                        a.name(),
+                        points.len(),
+                        params,
+                        &result,
+                    );
+                    format!("{:>18}", cell(&result))
+                })
                 .collect();
             println!("{n:>8}{row}");
             n *= 2;
@@ -185,7 +224,7 @@ fn fig4_scaling(options: &Options) {
 }
 
 /// Fig. 6: 3-D cosmology, time vs minpts at the (scaled) physics eps.
-fn fig6(options: &Options) {
+fn fig6(options: &Options, report: &mut BenchReport) {
     let device = Device::with_defaults();
     let n = options.cosmo_n;
     let eps = scaled_cosmo_eps(n);
@@ -193,14 +232,13 @@ fn fig6(options: &Options) {
         "Fig 6 | cosmology | n = {n}, eps = {eps:.4} (paper: 0.042 at 36.9M) | time in ms"
     ));
     let points = default_snapshot(n, options.seed);
-    println!(
-        "{:>8}{:>18}{:>18}{:>12}",
-        "minpts", "fdbscan", "fdbscan-densebox", "dense %"
-    );
+    println!("{:>8}{:>18}{:>18}{:>12}", "minpts", "fdbscan", "fdbscan-densebox", "dense %");
     for minpts in fig6_minpts_values() {
         let params = Params::new(eps, minpts);
         let a = fdbscan(&device, &points, params);
         let b = fdbscan_densebox(&device, &points, params);
+        report.record("fig6", "cosmology", "fdbscan", n, params, &a);
+        report.record("fig6", "cosmology", "fdbscan-densebox", n, params, &b);
         let dense_pct = b
             .as_ref()
             .ok()
@@ -211,7 +249,7 @@ fn fig6(options: &Options) {
 }
 
 /// Fig. 7: 3-D cosmology, time vs eps at minpts = 5.
-fn fig7(options: &Options) {
+fn fig7(options: &Options, report: &mut BenchReport) {
     let device = Device::with_defaults();
     let n = options.cosmo_n;
     header(&format!("Fig 7 | cosmology | n = {n}, minpts = 5 | time in ms"));
@@ -224,6 +262,8 @@ fn fig7(options: &Options) {
         let params = Params::new(eps, 5);
         let a = fdbscan(&device, &points, params);
         let b = fdbscan_densebox(&device, &points, params);
+        report.record("fig7", "cosmology", "fdbscan", n, params, &a);
+        report.record("fig7", "cosmology", "fdbscan-densebox", n, params, &b);
         let dense_pct = b
             .as_ref()
             .ok()
@@ -233,11 +273,7 @@ fn fig7(options: &Options) {
             (Ok((_, sa)), Ok((_, sb))) => sa.total_ms() / sb.total_ms(),
             _ => f64::NAN,
         };
-        println!(
-            "{eps:>10.4}{:>18}{:>18}{dense_pct:>11.1}%{speedup:>9.1}x",
-            cell(&a),
-            cell(&b)
-        );
+        println!("{eps:>10.4}{:>18}{:>18}{dense_pct:>11.1}%{speedup:>9.1}x", cell(&a), cell(&b));
     }
 }
 
@@ -293,7 +329,7 @@ fn claims(options: &Options) {
 }
 
 /// Peak device memory per algorithm (the G-DBSCAN blowup, §2.2/§5.1).
-fn memory(options: &Options) {
+fn memory(options: &Options, report: &mut BenchReport) {
     let device = Device::with_defaults();
     header("Memory | porto-taxi | eps = 0.05, minpts = 1000, n swept | peak device KiB");
     println!("{:>8}{}", "n", algo_columns());
@@ -304,9 +340,13 @@ fn memory(options: &Options) {
         let params = Params::new(0.05, 1000);
         let row: String = Algo::ALL
             .iter()
-            .map(|a| match a.run2(&device, &points, params) {
-                Ok((_, stats)) => format!("{:>18}", stats.peak_memory_bytes / 1024),
-                Err(_) => format!("{:>18}", "OOM"),
+            .map(|a| {
+                let result = a.run2(&device, &points, params);
+                report.record("memory", "porto-taxi", a.name(), points.len(), params, &result);
+                match result {
+                    Ok((_, stats)) => format!("{:>18}", stats.peak_memory_bytes / 1024),
+                    Err(_) => format!("{:>18}", "OOM"),
+                }
             })
             .collect();
         println!("{n:>8}{row}");
@@ -383,8 +423,7 @@ fn ablations(options: &Options) {
         let Some(plain) = stats_or_report("fdbscan", fdbscan(&device, &points, params)) else {
             continue;
         };
-        let Some(dense) =
-            stats_or_report("densebox", fdbscan_densebox(&device, &points, params))
+        let Some(dense) = stats_or_report("densebox", fdbscan_densebox(&device, &points, params))
         else {
             continue;
         };

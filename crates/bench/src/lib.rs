@@ -14,9 +14,13 @@
 //! §5.2, with sizes scaled by `--scale`), the algorithm dispatch, and the
 //! cosmology `eps` rescaling rule.
 
+use std::io::Write;
+use std::path::Path;
+
 use fdbscan::baselines::{cuda_dclust, gdbscan};
-use fdbscan::{fdbscan, fdbscan_densebox, Clustering, Params, RunStats};
+use fdbscan::{fdbscan, fdbscan_densebox, Clustering, Params, RunReport, RunStats};
 use fdbscan_data::Dataset2;
+use fdbscan_device::json::Json;
 use fdbscan_device::{Device, DeviceError};
 use fdbscan_geom::{Point2, Point3};
 
@@ -149,6 +153,68 @@ pub fn cell(result: &Result<(Clustering, RunStats), DeviceError>) -> String {
     }
 }
 
+/// Schema tag of the JSON document [`BenchReport::write`] produces.
+pub const BENCH_REPORT_SCHEMA: &str = "fdbscan.bench_figures.v1";
+
+/// Collects one [`RunReport`] per benchmark run for the `--json` output
+/// of the `figures` binary. Failures are recorded with explicit `"oom"`
+/// / `"error"` status fields instead of being dropped, mirroring the
+/// text tables' OOM/ERR cells.
+#[derive(Default)]
+pub struct BenchReport {
+    runs: Vec<RunReport>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one run of `algorithm` over `n` points of `dataset` in the
+    /// series of `figure`.
+    pub fn record(
+        &mut self,
+        figure: &str,
+        dataset: &str,
+        algorithm: &str,
+        n: usize,
+        params: Params,
+        result: &Result<(Clustering, RunStats), DeviceError>,
+    ) {
+        let report = match result {
+            Ok((_, stats)) => RunReport::success(algorithm, dataset, n, params, stats.clone()),
+            Err(err) => RunReport::failure(algorithm, dataset, n, params, err),
+        };
+        self.runs.push(report.with_figure(figure));
+    }
+
+    /// Number of recorded runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Serializes the full report as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(BENCH_REPORT_SCHEMA)),
+            ("runs", Json::Arr(self.runs.iter().map(|r| r.to_json()).collect())),
+        ])
+    }
+
+    /// Writes the report as pretty-printed JSON to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().to_pretty(2).as_bytes())?;
+        file.write_all(b"\n")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,13 +257,36 @@ mod tests {
     }
 
     #[test]
+    fn bench_report_records_status_explicitly() {
+        let mut report = BenchReport::new();
+        let ok: Result<(Clustering, RunStats), DeviceError> =
+            Ok((Clustering::from_union_find(&[], &[]), RunStats::default()));
+        let oom: Result<(Clustering, RunStats), DeviceError> =
+            Err(DeviceError::OutOfMemory { requested: 8, in_use: 0, budget: 4 });
+        let params = Params::new(0.1, 5);
+        report.record("fig4-minpts", "ngsim", "fdbscan", 100, params, &ok);
+        report.record("fig4-scaling", "porto-taxi", "g-dbscan", 4096, params, &oom);
+        assert_eq!(report.len(), 2);
+        let text = report.to_json().to_pretty(2);
+        let parsed = fdbscan_device::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(BENCH_REPORT_SCHEMA));
+        let runs = parsed.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs[0].get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(runs[1].get("status").unwrap().as_str(), Some("oom"));
+        assert_eq!(runs[1].get("figure").unwrap().as_str(), Some("fig4-scaling"));
+        assert!(runs[1].get("stats").is_none(), "failed runs carry no stats");
+    }
+
+    #[test]
     fn cell_formats_other_faults_as_err() {
         let panicked: Result<(Clustering, RunStats), DeviceError> =
             Err(DeviceError::KernelPanicked { launch: 3, payload: "boom".into() });
         assert_eq!(cell(&panicked), "ERR");
-        let timeout: Result<(Clustering, RunStats), DeviceError> = Err(
-            DeviceError::KernelTimeout { launch: 1, elapsed: std::time::Duration::from_secs(1) },
-        );
+        let timeout: Result<(Clustering, RunStats), DeviceError> =
+            Err(DeviceError::KernelTimeout {
+                launch: 1,
+                elapsed: std::time::Duration::from_secs(1),
+            });
         assert_eq!(cell(&timeout), "ERR");
     }
 }

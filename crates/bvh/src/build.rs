@@ -42,14 +42,20 @@ impl<const D: usize> Bvh<D> {
         assert!(n < (1usize << 31), "primitive count exceeds NodeRef range");
 
         // 1. Scene bounds (parallel merge reduction).
-        let scene = device.reduce(n, Aabb::empty(), |i| bounds[i], |a, b| a.merged(&b));
+        let scene = device.reduce_named(
+            "bvh.scene_bounds",
+            n,
+            Aabb::empty(),
+            |i| bounds[i],
+            |a, b| a.merged(&b),
+        );
 
         // 2. Morton code of every box center.
         let mut codes = vec![0u64; n];
         {
             let codes_view = SharedMut::new(&mut codes);
             let scene_ref = &scene;
-            device.launch(n, |i| {
+            device.launch_named("bvh.morton", n, |i| {
                 let code = morton_code(&bounds[i].center(), scene_ref);
                 // SAFETY: one writer per index.
                 unsafe { codes_view.write(i, code) };
@@ -67,7 +73,7 @@ impl<const D: usize> Bvh<D> {
             let positions_view = SharedMut::new(&mut positions);
             let leaf_view = SharedMut::new(&mut leaf_bounds);
             let payload_ref = &payload;
-            device.launch(n, |pos| {
+            device.launch_named("bvh.permute", n, |pos| {
                 let id = payload_ref[pos] as usize;
                 // SAFETY: `payload` is a permutation, so `positions[id]`
                 // has exactly one writer; `leaf_bounds[pos]` trivially so.
@@ -102,7 +108,7 @@ impl<const D: usize> Bvh<D> {
             let iparent_view = SharedMut::new(&mut internal_parent);
             let lparent_view = SharedMut::new(&mut leaf_parent);
             let codes_ref = &codes;
-            device.launch(internal_count, |i| {
+            device.launch_named("bvh.hierarchy", internal_count, |i| {
                 let (left, right, first, last) = karras_node(codes_ref, i as i64);
                 // SAFETY: node `i` writes only its own slots; each child
                 // (leaf or internal) has exactly one parent, so the
@@ -132,7 +138,7 @@ impl<const D: usize> Bvh<D> {
             let lparent_ref = &leaf_parent;
             let leaf_bounds_ref = &leaf_bounds;
             let flags_ref = &flags;
-            device.launch(n, |leaf| {
+            device.launch_named("bvh.refit", n, |leaf| {
                 let mut node = lparent_ref[leaf] as usize;
                 loop {
                     // The first thread to arrive stops; the second (whose
@@ -245,11 +251,8 @@ fn karras_node(codes: &[u64], i: i64) -> (NodeRef, NodeRef, u32, u32) {
 
     let first = i.min(j);
     let last = i.max(j);
-    let left = if first == split {
-        NodeRef::leaf(split as u32)
-    } else {
-        NodeRef::internal(split as u32)
-    };
+    let left =
+        if first == split { NodeRef::leaf(split as u32) } else { NodeRef::internal(split as u32) };
     let right = if last == split + 1 {
         NodeRef::leaf((split + 1) as u32)
     } else {
@@ -271,7 +274,9 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n).map(|_| Point::new([rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)])).collect()
+        (0..n)
+            .map(|_| Point::new([rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0)]))
+            .collect()
     }
 
     /// Walks the tree and checks every structural invariant.
@@ -351,10 +356,8 @@ mod tests {
     #[test]
     fn two_leaves() {
         let device = Device::with_defaults();
-        let bvh = Bvh::build(
-            &device,
-            &point_boxes(&[Point::new([0.0, 0.0]), Point::new([5.0, 5.0])]),
-        );
+        let bvh =
+            Bvh::build(&device, &point_boxes(&[Point::new([0.0, 0.0]), Point::new([5.0, 5.0])]));
         assert_eq!(bvh.len(), 2);
         validate(&bvh);
         // Root bounds must equal the scene.
@@ -396,8 +399,7 @@ mod tests {
     #[test]
     fn collinear_points() {
         let device = Device::with_defaults();
-        let points: Vec<Point<2>> =
-            (0..500).map(|i| Point::new([i as f32, 0.0])).collect();
+        let points: Vec<Point<2>> = (0..500).map(|i| Point::new([i as f32, 0.0])).collect();
         let bvh = Bvh::build(&device, &point_boxes(&points));
         validate(&bvh);
     }

@@ -168,11 +168,8 @@ mod tests {
     }
 
     fn brute_knn(points: &[Point2], center: &Point2, k: usize) -> Vec<(f32, u32)> {
-        let mut all: Vec<(f32, u32)> = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.dist_sq(center), i as u32))
-            .collect();
+        let mut all: Vec<(f32, u32)> =
+            points.iter().enumerate().map(|(i, p)| (p.dist_sq(center), i as u32)).collect();
         all.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         all.truncate(k);
         all
@@ -180,9 +177,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Point2> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| Point2::new([rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)]))
-            .collect()
+        (0..n).map(|_| Point2::new([rng.gen_range(0.0..50.0), rng.gen_range(0.0..50.0)])).collect()
     }
 
     #[test]

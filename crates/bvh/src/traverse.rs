@@ -155,9 +155,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]))
-            .collect()
+        (0..n).map(|_| Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])).collect()
     }
 
     #[test]
@@ -191,8 +189,7 @@ mod tests {
         let bvh = build_points(&device, &points);
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..50 {
-            let center =
-                Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
+            let center = Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)]);
             let eps = rng.gen_range(0.1..20.0);
             let mut got = bvh.collect_in_radius(&center, eps);
             got.sort_unstable();
@@ -279,10 +276,9 @@ mod tests {
         let device = Device::with_defaults();
         let points = random_points(1000, 4);
         let bvh = build_points(&device, &points);
-        let stats =
-            bvh.for_each_in_radius(&Point::new([50.0, 50.0]), 5.0, 0, |_, _| {
-                ControlFlow::Continue(())
-            });
+        let stats = bvh.for_each_in_radius(&Point::new([50.0, 50.0]), 5.0, 0, |_, _| {
+            ControlFlow::Continue(())
+        });
         assert!(stats.nodes_visited >= 1);
         // A masked query from the same center visits no more nodes.
         let masked = bvh.for_each_in_radius(&Point::new([50.0, 50.0]), 5.0, 500, |_, _| {

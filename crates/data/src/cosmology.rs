@@ -108,9 +108,7 @@ mod tests {
     fn generates_count_in_box() {
         let pts = cosmology_like(10_000, 64.0, 0.2, 1);
         assert_eq!(pts.len(), 10_000);
-        assert!(pts
-            .iter()
-            .all(|p| (0..3).all(|d| (0.0..=64.0).contains(&p[d]))));
+        assert!(pts.iter().all(|p| (0..3).all(|d| (0.0..=64.0).contains(&p[d]))));
     }
 
     #[test]

@@ -140,9 +140,7 @@ mod tests {
             .iter()
             .enumerate()
             .take(200)
-            .filter(|(i, p)| {
-                pts.iter().enumerate().any(|(j, q)| j != *i && p.dist(q) < 0.05)
-            })
+            .filter(|(i, p)| pts.iter().enumerate().any(|(j, q)| j != *i && p.dist(q) < 0.05))
             .count();
         assert!(close > 190, "blob points must be locally dense, got {close}/200");
     }
@@ -155,9 +153,7 @@ mod tests {
             .iter()
             .enumerate()
             .take(300)
-            .filter(|(i, p)| {
-                !pts.iter().enumerate().any(|(j, q)| j != *i && p.dist(q) < 0.01)
-            })
+            .filter(|(i, p)| !pts.iter().enumerate().any(|(j, q)| j != *i && p.dist(q) < 0.01))
             .count();
         assert!(isolated > 50, "expected a noise floor, got {isolated}/300 isolated");
     }

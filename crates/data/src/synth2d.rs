@@ -193,7 +193,8 @@ pub fn road_network_like(n: usize, seed: u64) -> Vec<Point2> {
                 ];
                 segments.push(Segment {
                     start: branch_start,
-                    heading: seg.heading + rng.gen_range(0.5..1.2) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
+                    heading: seg.heading
+                        + rng.gen_range(0.5..1.2) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 },
                     length: seg.length * rng.gen_range(0.35..0.6),
                     depth: seg.depth + 1,
                 });
@@ -204,8 +205,7 @@ pub fn road_network_like(n: usize, seed: u64) -> Vec<Point2> {
     let total_len: f32 = all.iter().map(|(a, b)| dist2(a, b)).sum();
     let mut points = Vec::with_capacity(n);
     for (a, b) in &all {
-        let share =
-            ((dist2(a, b) / total_len) * n as f32).round() as usize;
+        let share = ((dist2(a, b) / total_len) * n as f32).round() as usize;
         for _ in 0..share {
             let t = rng.gen_range(0.0..1.0f32);
             points.push(Point2::new([

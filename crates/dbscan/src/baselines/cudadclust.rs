@@ -36,7 +36,7 @@ use parking_lot::Mutex;
 
 use crate::framework::CoreFlags;
 use crate::labels::{Clustering, PointClass, NOISE};
-use crate::stats::RunStats;
+use crate::stats::{PhaseCounters, RunStats};
 use crate::Params;
 
 const UNSET: u32 = u32::MAX;
@@ -86,16 +86,22 @@ pub fn cuda_dclust_with<const D: usize>(
         ));
     }
 
+    let tracer = device.tracer();
+    let _run_span = tracer.phase("cuda-dclust");
+
     let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
     let _chain_mem = device.memory().reserve_array::<u32>(n)?;
 
     // ---- Directory index -------------------------------------------------
+    let index_span = tracer.phase("index");
     let index_start = Instant::now();
     // Cell edge = eps: all neighbors of a point live in the surrounding
     // 3^D cells. Dense classification is disabled (minpts = MAX).
     let grid = DenseGrid::build_with_cell_len(device, points, eps, usize::MAX);
     let _grid_mem = device.memory().reserve(grid.memory_bytes())?;
     let index_time = index_start.elapsed();
+    drop(index_span);
+    let after_index = device.counters().snapshot();
 
     // Visits every candidate in the 3^D neighborhood of `q`, calling
     // `visit(point id, within_eps)`. Returns the number of distance
@@ -135,12 +141,13 @@ pub fn cuda_dclust_with<const D: usize>(
     };
 
     // ---- Phase 1: core identification (Mr. Scan refinement) --------------
+    let preprocess_span = tracer.phase("preprocess");
     let preprocess_start = Instant::now();
     let core = CoreFlags::new(n);
     {
         let core_ref = &core;
         let counters = device.counters();
-        device.try_launch(n, |i| {
+        device.try_launch_named("cudadclust.core_count", n, |i| {
             let mut count = 0usize;
             let distances = for_candidates(
                 &points[i],
@@ -158,8 +165,11 @@ pub fn cuda_dclust_with<const D: usize>(
         })?;
     }
     let preprocess_time = preprocess_start.elapsed();
+    drop(preprocess_span);
+    let after_preprocess = device.counters().snapshot();
 
     // ---- Phase 2: chain expansion ----------------------------------------
+    let main_span = tracer.phase("main");
     let main_start = Instant::now();
     let chain_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
     let collisions: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
@@ -188,7 +198,7 @@ pub fn cuda_dclust_with<const D: usize>(
         let core_ref = &core;
         let collisions_ref = &collisions;
         let counters = device.counters();
-        device.try_launch(seeds.len(), |s| {
+        device.try_launch_named("cudadclust.chain_expand", seeds.len(), |s| {
             let seed = seeds_ref[s];
             let q = chain_ref[seed as usize].load(Ordering::Relaxed);
             let mut frontier = vec![seed];
@@ -236,8 +246,11 @@ pub fn cuda_dclust_with<const D: usize>(
         cluster_of_chain[q as usize] = cluster_of_chain[root];
     }
     let main_time = main_start.elapsed();
+    drop(main_span);
+    let after_main = device.counters().snapshot();
 
     // ---- Phase 4: border attachment --------------------------------------
+    let finalize_span = tracer.phase("finalize");
     let finalize_start = Instant::now();
     let mut assignments = vec![NOISE; n];
     let mut classes = vec![PointClass::Noise; n];
@@ -248,7 +261,7 @@ pub fn cuda_dclust_with<const D: usize>(
         let core_ref = &core;
         let cluster_of_chain_ref = &cluster_of_chain;
         let counters = device.counters();
-        device.try_launch(n, |i| {
+        device.try_launch_named("cudadclust.border_attach", n, |i| {
             if core_ref.get(i as u32) {
                 let chain = chain_ref[i].load(Ordering::Relaxed);
                 debug_assert_ne!(chain, UNSET, "core point left unchained");
@@ -284,6 +297,8 @@ pub fn cuda_dclust_with<const D: usize>(
         })?;
     }
     let finalize_time = finalize_start.elapsed();
+    drop(finalize_span);
+    let after_finalize = device.counters().snapshot();
 
     let stats = RunStats {
         index_time,
@@ -291,7 +306,13 @@ pub fn cuda_dclust_with<const D: usize>(
         main_time,
         finalize_time,
         total_time: start.elapsed(),
-        counters: device.counters().snapshot().since(&counters_before),
+        counters: after_finalize.since(&counters_before),
+        phase_counters: PhaseCounters {
+            index: after_index.since(&counters_before),
+            preprocess: after_preprocess.since(&after_index),
+            main: after_main.since(&after_preprocess),
+            finalize: after_finalize.since(&after_main),
+        },
         peak_memory_bytes: device.memory().peak(),
         dense: None,
     };
@@ -343,8 +364,7 @@ mod tests {
         // A single long snake of core points: with one chain per round it
         // still comes out as one cluster; with many chains per round the
         // chains must merge through collisions.
-        let points: Vec<Point2> =
-            (0..400).map(|i| Point2::new([i as f32 * 0.4, 0.0])).collect();
+        let points: Vec<Point2> = (0..400).map(|i| Point2::new([i as f32 * 0.4, 0.0])).collect();
         let params = Params::new(1.0, 3);
         for chains in [1usize, 4, 64] {
             let (c, _) = cuda_dclust_with(

@@ -17,11 +17,11 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use fdbscan_device::shared::SharedMut;
-use fdbscan_device::{Device, DeviceError};
+use fdbscan_device::{CountersSnapshot, Device, DeviceError};
 use fdbscan_geom::Point;
 
 use crate::labels::{Clustering, PointClass, NOISE};
-use crate::stats::RunStats;
+use crate::stats::{PhaseCounters, RunStats};
 use crate::Params;
 
 const UNSET: u32 = u32::MAX;
@@ -50,9 +50,13 @@ pub fn gdbscan<const D: usize>(
         ));
     }
 
+    let tracer = device.tracer();
+    let _run_span = tracer.phase("g-dbscan");
+
     let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
 
     // ---- Graph construction -------------------------------------------
+    let index_span = tracer.phase("index");
     let index_start = Instant::now();
 
     // Degree pass (all-to-all): neighbor count excluding self; the core
@@ -61,7 +65,7 @@ pub fn gdbscan<const D: usize>(
     {
         let deg_view = SharedMut::new(&mut degrees);
         let counters = device.counters();
-        device.try_launch(n, |i| {
+        device.try_launch_named("gdbscan.degree", n, |i| {
             let q = &points[i];
             let mut count = 0u64;
             for (j, p) in points.iter().enumerate() {
@@ -93,7 +97,7 @@ pub fn gdbscan<const D: usize>(
         let adj_view = SharedMut::new(&mut adjacency);
         let offsets_ref = &offsets;
         let counters = device.counters();
-        device.try_launch(n, |i| {
+        device.try_launch_named("gdbscan.fill", n, |i| {
             let q = &points[i];
             let mut cursor = offsets_ref[i] as usize;
             for (j, p) in points.iter().enumerate() {
@@ -108,8 +112,11 @@ pub fn gdbscan<const D: usize>(
         })?;
     }
     let index_time = index_start.elapsed();
+    drop(index_span);
+    let after_index = device.counters().snapshot();
 
     // ---- BFS clustering -------------------------------------------------
+    let main_span = tracer.phase("main");
     let main_start = Instant::now();
     let labels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
     let mut frontier: Vec<u32> = Vec::with_capacity(n);
@@ -136,7 +143,7 @@ pub fn gdbscan<const D: usize>(
                 let adjacency_ref = &adjacency;
                 let core_ref = &core;
                 let counters = device.counters();
-                device.try_launch(frontier.len(), |f| {
+                device.try_launch_named("gdbscan.bfs_level", frontier.len(), |f| {
                     let u = frontier_ref[f] as usize;
                     let begin = offsets_ref[u] as usize;
                     let end = offsets_ref[u + 1] as usize;
@@ -164,8 +171,11 @@ pub fn gdbscan<const D: usize>(
         }
     }
     let main_time = main_start.elapsed();
+    drop(main_span);
+    let after_main = device.counters().snapshot();
 
     // ---- Relabel ---------------------------------------------------------
+    let finalize_span = tracer.phase("finalize");
     let finalize_start = Instant::now();
     let mut assignments = vec![NOISE; n];
     let mut classes = vec![PointClass::Noise; n];
@@ -181,6 +191,8 @@ pub fn gdbscan<const D: usize>(
         }
     }
     let finalize_time = finalize_start.elapsed();
+    drop(finalize_span);
+    let after_finalize = device.counters().snapshot();
 
     let stats = RunStats {
         index_time,
@@ -188,7 +200,13 @@ pub fn gdbscan<const D: usize>(
         main_time,
         finalize_time,
         total_time: start.elapsed(),
-        counters: device.counters().snapshot().since(&counters_before),
+        counters: after_finalize.since(&counters_before),
+        phase_counters: PhaseCounters {
+            index: after_index.since(&counters_before),
+            preprocess: CountersSnapshot::default(),
+            main: after_main.since(&after_index),
+            finalize: after_finalize.since(&after_main),
+        },
         peak_memory_bytes: device.memory().peak(),
         dense: None,
     };
@@ -271,8 +289,7 @@ mod tests {
     fn border_claimed_by_single_cluster() {
         // Two vertical bars with a midpoint bridge that is within eps of
         // exactly one point of each bar: a border, and no bridging.
-        let mut points: Vec<Point2> =
-            (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
+        let mut points: Vec<Point2> = (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
         points.extend((0..5).map(|i| Point2::new([0.9, 0.1 * i as f32])));
         points.push(Point2::new([0.45, 0.2]));
         let params = Params::new(0.45, 5);

@@ -31,7 +31,7 @@ use fdbscan_unionfind::AtomicLabels;
 
 use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
 use crate::labels::Clustering;
-use crate::stats::{DenseStats, RunStats};
+use crate::stats::{DenseStats, PhaseCounters, RunStats};
 use crate::Params;
 
 /// Options for [`fdbscan_densebox_with`].
@@ -99,11 +99,15 @@ pub fn densebox_with_grid<const D: usize>(
         ));
     }
 
+    let tracer = device.tracer();
+    let _run_span = tracer.phase("fdbscan-densebox");
+
     let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
     let _labels_mem = device.memory().reserve_array::<u32>(n)?;
     let _flags_mem = device.memory().reserve(n.div_ceil(8))?;
 
     // Phase 1: dense grid (prebuilt) + mixed-primitive BVH.
+    let index_span = tracer.phase("index");
     let index_start = Instant::now();
     let _grid_mem = device.memory().reserve(grid.memory_bytes())?;
     let mixed = grid.mixed_primitives(points);
@@ -111,19 +115,22 @@ pub fn densebox_with_grid<const D: usize>(
     let _bvh_mem = device.memory().reserve(bvh.memory_bytes())?;
     let refs = &mixed.refs;
     let index_time = index_start.elapsed() + grid_time;
+    drop(index_span);
+    let after_index = device.counters().snapshot();
 
     let labels = AtomicLabels::with_counters(n, device.counters_arc());
     let core = CoreFlags::new(n);
 
     // Phase 2: preprocessing. Dense-cell points are core by construction;
     // only outside points run the counting traversal.
+    let preprocess_span = tracer.phase("preprocess");
     let preprocess_start = Instant::now();
     if minpts > 2 {
         let bvh_ref = &bvh;
         let grid_ref = &grid;
         let core_ref = &core;
         let counters = device.counters();
-        device.try_launch(n, |i| {
+        device.try_launch_named("densebox.core_count", n, |i| {
             let i = i as u32;
             if grid_ref.point_in_dense_cell(i) {
                 core_ref.set(i);
@@ -170,17 +177,20 @@ pub fn densebox_with_grid<const D: usize>(
         // Every point is trivially core. (With minpts == 1 every
         // non-empty cell is dense, so this is also what the grid implies.)
         let core_ref = &core;
-        device.try_launch(n, |i| core_ref.set(i as u32))?;
+        device.try_launch_named("densebox.mark_all_core", n, |i| core_ref.set(i as u32))?;
     }
     let preprocess_time = preprocess_start.elapsed();
+    drop(preprocess_span);
+    let after_preprocess = device.counters().snapshot();
 
     // Phase 3a: union all points within each dense cell.
+    let main_span = tracer.phase("main");
     let main_start = Instant::now();
     {
         let grid_ref = &grid;
         let labels_ref = &labels;
         let core_ref = &core;
-        device.try_launch(grid.num_cells(), |c| {
+        device.try_launch_named("densebox.cell_union", grid.num_cells(), |c| {
             let c = c as u32;
             if !grid_ref.is_dense(c) {
                 return;
@@ -203,7 +213,7 @@ pub fn densebox_with_grid<const D: usize>(
         let core_ref = &core;
         let counters = device.counters();
         let eps_sq = eps * eps;
-        device.try_launch(n, |i| {
+        device.try_launch_named("densebox.pair_resolution", n, |i| {
             let i = i as u32;
             let my_cell = grid_ref.cell_of_point(i);
             let in_dense = grid_ref.is_dense(my_cell);
@@ -267,11 +277,16 @@ pub fn densebox_with_grid<const D: usize>(
         })?;
     }
     let main_time = main_start.elapsed();
+    drop(main_span);
+    let after_main = device.counters().snapshot();
 
     // Phase 4: finalization.
+    let finalize_span = tracer.phase("finalize");
     let finalize_start = Instant::now();
     let clustering = finalize(device, &labels, &core);
     let finalize_time = finalize_start.elapsed();
+    drop(finalize_span);
+    let after_finalize = device.counters().snapshot();
 
     let stats = RunStats {
         index_time,
@@ -279,7 +294,13 @@ pub fn densebox_with_grid<const D: usize>(
         main_time,
         finalize_time,
         total_time: start.elapsed(),
-        counters: device.counters().snapshot().since(&counters_before),
+        counters: after_finalize.since(&counters_before),
+        phase_counters: PhaseCounters {
+            index: after_index.since(&counters_before),
+            preprocess: after_preprocess.since(&after_index),
+            main: after_main.since(&after_preprocess),
+            finalize: after_finalize.since(&after_main),
+        },
         peak_memory_bytes: device.memory().peak(),
         dense: Some(DenseStats {
             num_cells: grid.num_cells(),

@@ -25,7 +25,7 @@ use fdbscan_unionfind::AtomicLabels;
 
 use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
 use crate::labels::Clustering;
-use crate::stats::RunStats;
+use crate::stats::{PhaseCounters, RunStats};
 use crate::Params;
 
 /// Ablation switches for [`fdbscan_with`] — each disables one of the
@@ -80,6 +80,8 @@ pub fn fdbscan_with<const D: usize>(
     let start = Instant::now();
     let counters_before = device.counters().snapshot();
     device.memory().reset_peak();
+    let tracer = device.tracer();
+    let _run_span = tracer.phase("fdbscan");
 
     // Device-resident data: the points themselves + label + flag arrays.
     let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
@@ -88,24 +90,28 @@ pub fn fdbscan_with<const D: usize>(
 
     // Phase 1: search index.
     let index_start = Instant::now();
+    let index_span = tracer.phase("index");
     let bounds: Vec<Aabb<D>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
     let bvh = Bvh::build(device, &bounds);
     drop(bounds);
     let _bvh_mem = device.memory().reserve(bvh.memory_bytes())?;
+    drop(index_span);
     let index_time = index_start.elapsed();
+    let after_index = device.counters().snapshot();
 
     let labels = AtomicLabels::with_counters(n, device.counters_arc());
     let core = CoreFlags::new(n);
 
     // Phase 2: preprocessing (core determination).
     let preprocess_start = Instant::now();
+    let preprocess_span = tracer.phase("preprocess");
     match minpts {
         0 => unreachable!("Params::new validates minpts >= 1"),
         1 => {
             // Every point is trivially core (its neighborhood contains
             // itself).
             let core_ref = &core;
-            device.try_launch(n, |i| core_ref.set(i as u32))?;
+            device.try_launch_named("fdbscan.mark_all_core", n, |i| core_ref.set(i as u32))?;
         }
         2 => {
             // Skipped: the main phase marks both endpoints of any matched
@@ -116,17 +122,16 @@ pub fn fdbscan_with<const D: usize>(
             let core_ref = &core;
             let counters = device.counters();
             let early = options.early_termination;
-            device.try_launch(n, |i| {
+            device.try_launch_named("fdbscan.core_count", n, |i| {
                 let mut count = 0usize;
-                let stats =
-                    bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
-                        count += 1;
-                        if early && count >= minpts {
-                            ControlFlow::Break(())
-                        } else {
-                            ControlFlow::Continue(())
-                        }
-                    });
+                let stats = bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
+                    count += 1;
+                    if early && count >= minpts {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
                 if count >= minpts {
                     core_ref.set(i as u32);
                 }
@@ -135,17 +140,20 @@ pub fn fdbscan_with<const D: usize>(
             })?;
         }
     }
+    drop(preprocess_span);
     let preprocess_time = preprocess_start.elapsed();
+    let after_preprocess = device.counters().snapshot();
 
     // Phase 3: main (masked traversal fused with union-find).
     let main_start = Instant::now();
+    let main_span = tracer.phase("main");
     {
         let bvh_ref = &bvh;
         let core_ref = &core;
         let labels_ref = &labels;
         let counters = device.counters();
         let masked = options.masked_traversal;
-        device.try_launch(n, |i| {
+        device.try_launch_named("fdbscan.pair_resolution", n, |i| {
             let i = i as u32;
             let cutoff = if masked { bvh_ref.leaf_pos_of(i) + 1 } else { 0 };
             let stats = bvh_ref.for_each_in_radius(&points[i as usize], eps, cutoff, |_, j| {
@@ -171,12 +179,17 @@ pub fn fdbscan_with<const D: usize>(
                 .fetch_add(stats.leaf_hits, std::sync::atomic::Ordering::Relaxed);
         })?;
     }
+    drop(main_span);
     let main_time = main_start.elapsed();
+    let after_main = device.counters().snapshot();
 
     // Phase 4: finalization.
     let finalize_start = Instant::now();
+    let finalize_span = tracer.phase("finalize");
     let clustering = finalize(device, &labels, &core);
+    drop(finalize_span);
     let finalize_time = finalize_start.elapsed();
+    let after_finalize = device.counters().snapshot();
 
     let stats = RunStats {
         index_time,
@@ -184,7 +197,13 @@ pub fn fdbscan_with<const D: usize>(
         main_time,
         finalize_time,
         total_time: start.elapsed(),
-        counters: device.counters().snapshot().since(&counters_before),
+        counters: after_finalize.since(&counters_before),
+        phase_counters: PhaseCounters {
+            index: after_index.since(&counters_before),
+            preprocess: after_preprocess.since(&after_index),
+            main: after_main.since(&after_preprocess),
+            finalize: after_finalize.since(&after_main),
+        },
         peak_memory_bytes: device.memory().peak(),
         dense: None,
     };
@@ -287,6 +306,35 @@ mod tests {
     }
 
     #[test]
+    fn phase_counters_partition_run_counters() {
+        let points = random_points(400, 5.0, 21);
+        let (_, stats) = fdbscan(&device(), &points, Params::new(0.3, 5)).unwrap();
+        let pc = &stats.phase_counters;
+        // Phase deltas must sum to the run-inclusive delta.
+        assert_eq!(
+            pc.index.kernel_launches
+                + pc.preprocess.kernel_launches
+                + pc.main.kernel_launches
+                + pc.finalize.kernel_launches,
+            stats.counters.kernel_launches
+        );
+        assert_eq!(
+            pc.index.distance_computations
+                + pc.preprocess.distance_computations
+                + pc.main.distance_computations
+                + pc.finalize.distance_computations,
+            stats.counters.distance_computations
+        );
+        // And land where the algorithm does the work.
+        assert!(pc.index.kernel_launches > 0, "BVH build launches kernels");
+        assert_eq!(pc.index.distance_computations, 0, "index phase computes no distances");
+        assert!(pc.preprocess.distance_computations > 0, "core counting measures distances");
+        assert!(pc.main.unions > 0, "unions happen in the main phase");
+        assert_eq!(pc.main.unions, stats.counters.unions);
+        assert!(pc.finalize.kernel_launches > 0, "finalize launches the flatten kernel");
+    }
+
+    #[test]
     fn all_duplicates() {
         let points = vec![Point2::new([2.0, 2.0]); 64];
         let params = Params::new(0.5, 10);
@@ -352,8 +400,7 @@ mod tests {
             if !masked {
                 // Unmasked traversal must do strictly more distance work.
                 assert!(
-                    stats.counters.distance_computations
-                        > ref_stats.counters.distance_computations,
+                    stats.counters.distance_computations > ref_stats.counters.distance_computations,
                     "mask ablation should increase work"
                 );
             }
@@ -372,15 +419,18 @@ mod tests {
             &d,
             &points,
             params,
-            FdbscanOptions { masked_traversal: true, early_termination: false, ..Default::default() },
+            FdbscanOptions {
+                masked_traversal: true,
+                early_termination: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Both runs share the ~n^2/2 main-phase pair distances; the
         // preprocessing difference (5 vs 2000 hits per point) must still
         // dominate the total by a clear factor.
         assert!(
-            with_et.counters.distance_computations * 2
-                < without_et.counters.distance_computations,
+            with_et.counters.distance_computations * 2 < without_et.counters.distance_computations,
             "early termination must cut preprocessing work ({} vs {})",
             with_et.counters.distance_computations,
             without_et.counters.distance_computations

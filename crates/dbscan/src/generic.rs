@@ -18,7 +18,7 @@ use fdbscan_unionfind::AtomicLabels;
 use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
 use crate::index::SpatialIndex;
 use crate::labels::Clustering;
-use crate::stats::RunStats;
+use crate::stats::{PhaseCounters, RunStats};
 use crate::{FdbscanOptions, Params};
 
 /// Runs the FDBSCAN phases over a prebuilt index.
@@ -41,28 +41,33 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
     let counters_before = device.counters().snapshot();
     device.memory().reset_peak();
 
+    let tracer = device.tracer();
+    let _run_span = tracer.phase("fdbscan-generic");
+
     let _points_mem = device.memory().reserve_array::<Point<D>>(n)?;
     let _labels_mem = device.memory().reserve_array::<u32>(n)?;
     let _flags_mem = device.memory().reserve(n.div_ceil(8))?;
     let _index_mem = device.memory().reserve(index.memory_bytes())?;
+    let after_index = device.counters().snapshot();
 
     let labels = AtomicLabels::with_counters(n, device.counters_arc());
     let core = CoreFlags::new(n);
 
     // Preprocessing.
+    let preprocess_span = tracer.phase("preprocess");
     let preprocess_start = Instant::now();
     match minpts {
         0 => unreachable!("Params::new validates minpts >= 1"),
         1 => {
             let core_ref = &core;
-            device.try_launch(n, |i| core_ref.set(i as u32))?;
+            device.try_launch_named("generic.mark_all_core", n, |i| core_ref.set(i as u32))?;
         }
         2 => {}
         _ => {
             let core_ref = &core;
             let counters = device.counters();
             let early = options.early_termination;
-            device.try_launch(n, |i| {
+            device.try_launch_named("generic.core_count", n, |i| {
                 let mut count = 0usize;
                 let stats = index.query_radius(&points[i], eps, 0, &mut |_, _| {
                     count += 1;
@@ -81,16 +86,24 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
         }
     }
     let preprocess_time = preprocess_start.elapsed();
+    drop(preprocess_span);
+    let after_preprocess = device.counters().snapshot();
 
     // Main phase.
+    let main_span = tracer.phase("main");
     let main_start = Instant::now();
     main_phase(device, points, index, params, options, &labels, &core)?;
     let main_time = main_start.elapsed();
+    drop(main_span);
+    let after_main = device.counters().snapshot();
 
     // Finalization.
+    let finalize_span = tracer.phase("finalize");
     let finalize_start = Instant::now();
     let clustering = finalize(device, &labels, &core);
     let finalize_time = finalize_start.elapsed();
+    drop(finalize_span);
+    let after_finalize = device.counters().snapshot();
 
     let stats = RunStats {
         index_time,
@@ -98,7 +111,13 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
         main_time,
         finalize_time,
         total_time: start.elapsed() + index_time,
-        counters: device.counters().snapshot().since(&counters_before),
+        counters: after_finalize.since(&counters_before),
+        phase_counters: PhaseCounters {
+            index: after_index.since(&counters_before),
+            preprocess: after_preprocess.since(&after_index),
+            main: after_main.since(&after_preprocess),
+            finalize: after_finalize.since(&after_main),
+        },
         peak_memory_bytes: device.memory().peak(),
         dense: None,
     };
@@ -126,7 +145,7 @@ pub fn main_phase<const D: usize, I: SpatialIndex<D>>(
     let Params { eps, minpts } = params;
     let counters = device.counters();
     let masked = options.masked_traversal;
-    device.try_launch(n, |i| {
+    device.try_launch_named("generic.pair_resolution", n, |i| {
         let i = i as u32;
         let cutoff = if masked { index.position_of(i) + 1 } else { 0 };
         let stats = index.query_radius(&points[i as usize], eps, cutoff, &mut |_, j| {
@@ -207,15 +226,9 @@ mod tests {
         let d = device();
         let (specialized, _) = crate::fdbscan(&d, &points, params).unwrap();
         let bvh = build_bvh_index(&d, &points);
-        let (generic, _) = fdbscan_on_index(
-            &d,
-            &points,
-            &bvh,
-            params,
-            FdbscanOptions::default(),
-            Duration::ZERO,
-        )
-        .unwrap();
+        let (generic, _) =
+            fdbscan_on_index(&d, &points, &bvh, params, FdbscanOptions::default(), Duration::ZERO)
+                .unwrap();
         assert_core_equivalent(&specialized, &generic);
     }
 
@@ -234,8 +247,7 @@ mod tests {
         let d = device();
         let (c, _) = fdbscan_kdtree::<2>(&d, &[], Params::new(1.0, 2)).unwrap();
         assert!(c.is_empty());
-        let (c, _) =
-            fdbscan_kdtree(&d, &[Point2::new([0.0, 0.0])], Params::new(1.0, 1)).unwrap();
+        let (c, _) = fdbscan_kdtree(&d, &[Point2::new([0.0, 0.0])], Params::new(1.0, 1)).unwrap();
         assert_eq!(c.num_clusters, 1);
     }
 

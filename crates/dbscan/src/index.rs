@@ -120,9 +120,7 @@ mod tests {
 
     fn random_points(n: usize, seed: u64) -> Vec<Point2> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| Point2::new([rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]))
-            .collect()
+        (0..n).map(|_| Point2::new([rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)])).collect()
     }
 
     fn collect<I: SpatialIndex<2>>(index: &I, center: &Point2, eps: f32, cutoff: u32) -> Vec<u32> {

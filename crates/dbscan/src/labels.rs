@@ -162,10 +162,7 @@ pub fn assert_core_equivalent(a: &Clustering, b: &Clustering) {
             assert_eq!(b_to_a[cb], i64::MIN, "two clusters of A map into one cluster of B");
             b_to_a[cb] = ca as i64;
         } else {
-            assert_eq!(
-                a_to_b[ca], cb as i64,
-                "core point {i} breaks the cluster bijection"
-            );
+            assert_eq!(a_to_b[ca], cb as i64, "core point {i} breaks the cluster bijection");
         }
     }
 }
@@ -317,11 +314,7 @@ mod tests {
                         // Roots must be self-labeled (they are the
                         // representatives of their own sets).
                         for &r in &roots {
-                            if labels
-                                .iter()
-                                .enumerate()
-                                .any(|(j, &l)| l == r && j as u32 != r)
-                            {
+                            if labels.iter().enumerate().any(|(j, &l)| l == r && j as u32 != r) {
                                 labels[r as usize] = r;
                                 core[r as usize] = true;
                             }
@@ -386,16 +379,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "core status disagrees")]
     fn equivalence_rejects_core_mismatch() {
-        let a = Clustering {
-            assignments: vec![0],
-            num_clusters: 1,
-            classes: vec![PointClass::Core],
-        };
-        let b = Clustering {
-            assignments: vec![0],
-            num_clusters: 1,
-            classes: vec![PointClass::Border],
-        };
+        let a =
+            Clustering { assignments: vec![0], num_clusters: 1, classes: vec![PointClass::Core] };
+        let b =
+            Clustering { assignments: vec![0], num_clusters: 1, classes: vec![PointClass::Border] };
         assert_core_equivalent(&a, &b);
     }
 }

@@ -59,6 +59,7 @@ pub mod framework;
 pub mod generic;
 pub mod index;
 pub mod labels;
+pub mod report;
 pub mod resilient;
 pub mod seq;
 pub mod star;
@@ -72,14 +73,15 @@ pub use densebox::{fdbscan_densebox, fdbscan_densebox_with, DenseBoxOptions};
 pub use fdbscan_impl::{fdbscan, fdbscan_with, FdbscanOptions};
 pub use generic::{fdbscan_kdtree, fdbscan_on_index};
 pub use index::{IndexStats, SpatialIndex};
+pub use labels::{Clustering, PointClass, NOISE};
+pub use report::{RunReport, RunStatus, RUN_REPORT_SCHEMA};
 pub use resilient::{
     run_resilient, Attempt, AttemptOutcome, LadderLevel, ResiliencePolicy, ResilienceReport,
 };
 pub use star::{fdbscan_densebox_star, fdbscan_star};
+pub use stats::{DenseStats, PhaseCounters, RunStats};
 pub use sweep::MinptsSweep;
 pub use tuning::{kdist_curve, suggest_eps};
-pub use labels::{Clustering, PointClass, NOISE};
-pub use stats::{DenseStats, RunStats};
 
 use fdbscan_device::DeviceError;
 use fdbscan_geom::Point;

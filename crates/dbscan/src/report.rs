@@ -1,0 +1,280 @@
+//! Machine-readable run reports.
+//!
+//! [`RunReport`] packages everything one clustering run produced —
+//! parameters, dataset identity, [`RunStats`] (timings, counters,
+//! per-phase work), and the tracer's per-kernel duration histograms —
+//! into a single serializable record. The JSON writer is the hand-rolled
+//! [`fdbscan_device::json`] module (the workspace is offline; no serde),
+//! and every report carries a `schema` tag so downstream tooling can
+//! detect format drift.
+
+use std::time::Duration;
+
+use fdbscan_device::json::Json;
+use fdbscan_device::{CountersSnapshot, DeviceError, HistogramSummary};
+
+use crate::stats::RunStats;
+use crate::Params;
+
+/// Schema tag embedded in every serialized report.
+pub const RUN_REPORT_SCHEMA: &str = "fdbscan.run_report.v1";
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunStatus {
+    /// The run produced a clustering.
+    Ok,
+    /// The run failed reserving device memory (expected at scale for
+    /// G-DBSCAN, per the paper's Fig. 4(h)).
+    OutOfMemory,
+    /// The run failed for any other reason.
+    Error(String),
+}
+
+impl RunStatus {
+    /// Classifies a device error.
+    pub fn from_error(err: &DeviceError) -> Self {
+        match err {
+            DeviceError::OutOfMemory { .. } => RunStatus::OutOfMemory,
+            other => RunStatus::Error(other.to_string()),
+        }
+    }
+
+    /// Short status string used in JSON (`"ok"`, `"oom"`, `"error"`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::OutOfMemory => "oom",
+            RunStatus::Error(_) => "error",
+        }
+    }
+}
+
+/// One run of one algorithm over one dataset, serializable to JSON.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Algorithm name (e.g. `"fdbscan"`, `"fdbscan-densebox"`).
+    pub algorithm: String,
+    /// Dataset name (e.g. `"uniform"`, `"ngsimlocation3"`).
+    pub dataset: String,
+    /// Figure or experiment this run belongs to, if any.
+    pub figure: Option<String>,
+    /// Number of points clustered.
+    pub n: usize,
+    /// DBSCAN parameters of the run.
+    pub params: Params,
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Stats of a successful run (`None` on failure).
+    pub stats: Option<RunStats>,
+    /// Per-label duration histogram summaries from the device tracer
+    /// (empty when tracing is disabled).
+    pub histograms: Vec<HistogramSummary>,
+}
+
+fn duration_json(d: Duration) -> Json {
+    Json::F64(d.as_secs_f64() * 1e3)
+}
+
+fn counters_json(c: &CountersSnapshot) -> Json {
+    Json::obj([
+        ("kernel_launches", Json::U64(c.kernel_launches)),
+        ("distance_computations", Json::U64(c.distance_computations)),
+        ("bvh_nodes_visited", Json::U64(c.bvh_nodes_visited)),
+        ("unions", Json::U64(c.unions)),
+        ("finds", Json::U64(c.finds)),
+        ("label_cas", Json::U64(c.label_cas)),
+        ("neighbors_found", Json::U64(c.neighbors_found)),
+        ("dense_box_scans", Json::U64(c.dense_box_scans)),
+        ("failed_launches", Json::U64(c.failed_launches)),
+    ])
+}
+
+fn stats_json(stats: &RunStats) -> Json {
+    let mut obj = vec![
+        ("total_ms", duration_json(stats.total_time)),
+        ("index_ms", duration_json(stats.index_time)),
+        ("preprocess_ms", duration_json(stats.preprocess_time)),
+        ("main_ms", duration_json(stats.main_time)),
+        ("finalize_ms", duration_json(stats.finalize_time)),
+        ("counters", counters_json(&stats.counters)),
+        (
+            "phase_counters",
+            Json::obj([
+                ("index", counters_json(&stats.phase_counters.index)),
+                ("preprocess", counters_json(&stats.phase_counters.preprocess)),
+                ("main", counters_json(&stats.phase_counters.main)),
+                ("finalize", counters_json(&stats.phase_counters.finalize)),
+            ]),
+        ),
+        ("peak_memory_bytes", Json::U64(stats.peak_memory_bytes as u64)),
+    ];
+    if let Some(d) = &stats.dense {
+        obj.push((
+            "dense",
+            Json::obj([
+                ("num_cells", Json::U64(d.num_cells as u64)),
+                ("num_dense_cells", Json::U64(d.num_dense_cells as u64)),
+                ("points_in_dense_cells", Json::U64(d.points_in_dense_cells as u64)),
+                ("dense_fraction", Json::F64(d.dense_fraction)),
+            ]),
+        ));
+    }
+    Json::obj(obj)
+}
+
+impl RunReport {
+    /// Builds a report for a successful run.
+    pub fn success(
+        algorithm: impl Into<String>,
+        dataset: impl Into<String>,
+        n: usize,
+        params: Params,
+        stats: RunStats,
+    ) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            dataset: dataset.into(),
+            figure: None,
+            n,
+            params,
+            status: RunStatus::Ok,
+            stats: Some(stats),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Builds a report for a failed run.
+    pub fn failure(
+        algorithm: impl Into<String>,
+        dataset: impl Into<String>,
+        n: usize,
+        params: Params,
+        err: &DeviceError,
+    ) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            dataset: dataset.into(),
+            figure: None,
+            n,
+            params,
+            status: RunStatus::from_error(err),
+            stats: None,
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Tags the report with the figure/experiment it belongs to.
+    pub fn with_figure(mut self, figure: impl Into<String>) -> Self {
+        self.figure = Some(figure.into());
+        self
+    }
+
+    /// Attaches the tracer's per-label histogram summaries.
+    pub fn with_histograms(mut self, histograms: Vec<HistogramSummary>) -> Self {
+        self.histograms = histograms;
+        self
+    }
+
+    /// Serializes the report as a JSON object (schema
+    /// [`RUN_REPORT_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("schema", Json::str(RUN_REPORT_SCHEMA)),
+            ("algorithm", Json::str(self.algorithm.clone())),
+            ("dataset", Json::str(self.dataset.clone())),
+            ("n", Json::U64(self.n as u64)),
+            ("eps", Json::F64(self.params.eps as f64)),
+            ("minpts", Json::U64(self.params.minpts as u64)),
+            ("status", Json::str(self.status.code())),
+        ];
+        if let Some(figure) = &self.figure {
+            obj.push(("figure", Json::str(figure.clone())));
+        }
+        if let RunStatus::Error(message) = &self.status {
+            obj.push(("error", Json::str(message.clone())));
+        }
+        if let Some(stats) = &self.stats {
+            obj.push(("stats", stats_json(stats)));
+        }
+        if !self.histograms.is_empty() {
+            obj.push((
+                "histograms",
+                Json::Arr(self.histograms.iter().map(|h| h.to_json()).collect()),
+            ));
+        }
+        Json::obj(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_device::json;
+
+    fn sample_stats() -> RunStats {
+        RunStats {
+            total_time: Duration::from_millis(12),
+            main_time: Duration::from_millis(7),
+            counters: CountersSnapshot { distance_computations: 42, ..Default::default() },
+            peak_memory_bytes: 2048,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn success_report_round_trips() {
+        let report =
+            RunReport::success("fdbscan", "uniform", 4096, Params::new(0.3, 5), sample_stats())
+                .with_figure("fig4");
+        let text = report.to_json().to_pretty(2);
+        let parsed = json::parse(&text).unwrap();
+        assert_eq!(parsed.get("schema").unwrap().as_str(), Some(RUN_REPORT_SCHEMA));
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(parsed.get("figure").unwrap().as_str(), Some("fig4"));
+        let stats = parsed.get("stats").unwrap();
+        assert_eq!(stats.get("peak_memory_bytes").unwrap().as_f64(), Some(2048.0));
+        assert_eq!(
+            stats.get("counters").unwrap().get("distance_computations").unwrap().as_f64(),
+            Some(42.0)
+        );
+    }
+
+    #[test]
+    fn oom_report_has_no_stats() {
+        let err = DeviceError::OutOfMemory { requested: 100, budget: 10, in_use: 5 };
+        let report = RunReport::failure("gdbscan", "dense", 1000, Params::new(1.0, 5), &err);
+        assert_eq!(report.status, RunStatus::OutOfMemory);
+        let parsed = json::parse(&report.to_json().to_compact()).unwrap();
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("oom"));
+        assert!(parsed.get("stats").is_none());
+    }
+
+    #[test]
+    fn error_report_carries_message() {
+        let err = DeviceError::KernelPanicked { launch: 3, payload: "boom".into() };
+        let report = RunReport::failure("fdbscan", "uniform", 10, Params::new(0.5, 3), &err);
+        let parsed = json::parse(&report.to_json().to_compact()).unwrap();
+        assert_eq!(parsed.get("status").unwrap().as_str(), Some("error"));
+        let message = parsed.get("error").unwrap().as_str().unwrap().to_string();
+        assert!(message.contains("boom"), "error message lost: {message}");
+    }
+
+    #[test]
+    fn histograms_serialize_as_array() {
+        let report =
+            RunReport::success("fdbscan", "uniform", 10, Params::new(0.5, 3), sample_stats())
+                .with_histograms(vec![HistogramSummary {
+                    label: "fdbscan.pair_resolution".into(),
+                    count: 3,
+                    p50_ns: 100,
+                    p95_ns: 200,
+                    max_ns: 250,
+                    total_ns: 400,
+                }]);
+        let parsed = json::parse(&report.to_json().to_compact()).unwrap();
+        let hists = parsed.get("histograms").unwrap().as_arr().unwrap();
+        assert_eq!(hists.len(), 1);
+        assert_eq!(hists[0].get("label").unwrap().as_str(), Some("fdbscan.pair_resolution"));
+    }
+}

@@ -220,6 +220,8 @@ pub fn run_resilient<const D: usize>(
     policy: ResiliencePolicy,
 ) -> Result<(Clustering, RunStats, ResilienceReport), DeviceError> {
     crate::validate_finite(points)?;
+    let tracer = device.tracer();
+    let _ladder_span = tracer.phase("resilient");
     let mut report = ResilienceReport::default();
     let mut level = Some(policy.start);
     let mut last_err = None;
@@ -237,6 +239,9 @@ pub fn run_resilient<const D: usize>(
                     LadderLevel::Sequential => unreachable!(),
                 };
                 if estimated > available {
+                    tracer.instant(format!(
+                        "resilient.skip {l}: estimated {estimated} B > available {available} B"
+                    ));
                     report.attempts.push(Attempt {
                         level: l,
                         outcome: AttemptOutcome::Skipped {
@@ -254,9 +259,8 @@ pub fn run_resilient<const D: usize>(
         loop {
             match run_level(device, points, params, l) {
                 Ok((clustering, stats)) => {
-                    report
-                        .attempts
-                        .push(Attempt { level: l, outcome: AttemptOutcome::Succeeded });
+                    tracer.instant(format!("resilient.complete {l}"));
+                    report.attempts.push(Attempt { level: l, outcome: AttemptOutcome::Succeeded });
                     report.completed = Some(l);
                     return Ok((clustering, stats, report));
                 }
@@ -276,6 +280,7 @@ pub fn run_resilient<const D: usize>(
                     }
                     if transient && retries < policy.max_transient_retries {
                         retries += 1;
+                        tracer.instant(format!("resilient.retry {l}: attempt {}", retries + 1));
                         continue;
                     }
                     last_err = Some(err);
@@ -284,6 +289,9 @@ pub fn run_resilient<const D: usize>(
             }
         }
         level = l.next();
+        if let Some(next) = level {
+            tracer.instant(format!("resilient.degrade {l} -> {next}"));
+        }
     }
 
     Err(last_err.expect("ladder exhausted without running a level"))
@@ -376,13 +384,9 @@ mod tests {
     fn preflight_skips_gdbscan_without_running_it() {
         let points = vec![Point2::new([0.0, 0.0]); 2000];
         let device = Device::new(DeviceConfig::default().with_memory_budget(1 << 19));
-        let (_, _, report) = run_resilient(
-            &device,
-            &points,
-            Params::new(1.0, 5),
-            ResiliencePolicy::default(),
-        )
-        .unwrap();
+        let (_, _, report) =
+            run_resilient(&device, &points, Params::new(1.0, 5), ResiliencePolicy::default())
+                .unwrap();
         assert!(matches!(
             report.attempts[0],
             Attempt { level: LadderLevel::GDbscan, outcome: AttemptOutcome::Skipped { .. } }

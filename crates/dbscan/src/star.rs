@@ -62,10 +62,7 @@ pub fn dbscan_star_classic<const D: usize>(points: &[Point<D>], params: Params) 
         classes[seed] = PointClass::Core;
         while let Some(u) = stack.pop() {
             for v in 0..n {
-                if core[v]
-                    && assignments[v] == NOISE
-                    && points[u].dist_sq(&points[v]) <= eps_sq
-                {
+                if core[v] && assignments[v] == NOISE && points[u].dist_sq(&points[v]) <= eps_sq {
                     assignments[v] = cluster;
                     classes[v] = PointClass::Core;
                     stack.push(v);
@@ -99,8 +96,7 @@ mod tests {
     fn star_has_no_border_points() {
         // Bars-and-bridge: the bridge is a border point under DBSCAN,
         // but noise under DBSCAN*.
-        let mut points: Vec<Point2> =
-            (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
+        let mut points: Vec<Point2> = (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
         points.extend((0..5).map(|i| Point2::new([0.9, 0.1 * i as f32])));
         points.push(Point2::new([0.45, 0.2]));
         let params = Params::new(0.45, 5);
@@ -156,7 +152,9 @@ mod tests {
             classes: full
                 .classes
                 .iter()
-                .map(|&cl| if cl == PointClass::Core { PointClass::Core } else { PointClass::Noise })
+                .map(
+                    |&cl| if cl == PointClass::Core { PointClass::Core } else { PointClass::Noise },
+                )
                 .collect(),
         };
         assert_core_equivalent(&masked, &star);

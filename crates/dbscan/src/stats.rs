@@ -18,12 +18,29 @@ pub struct DenseStats {
     pub dense_fraction: f64,
 }
 
+/// Per-phase deltas of the device work counters, taken with
+/// [`CountersSnapshot::since`] at each phase boundary. Lets reports
+/// attribute work (distances, node visits, union-find traffic) to the
+/// phase that performed it instead of the run as a whole.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCounters {
+    /// Work done building the search index (BVH/grid/adjacency graph).
+    pub index: CountersSnapshot,
+    /// Work done determining core points.
+    pub preprocess: CountersSnapshot,
+    /// Work done in the main (traversal/expansion) phase.
+    pub main: CountersSnapshot,
+    /// Work done in finalization (flatten + relabel).
+    pub finalize: CountersSnapshot,
+}
+
 /// Timings, work counters and memory footprint of one DBSCAN run.
 ///
 /// Wall times are reported per phase to mirror the paper's discussion
 /// ("most of the time in FDBSCAN is spent in the tree search, while in
-/// FDBSCAN-DenseBox it is in the dense cells processing"). Counters are
-/// the phase-inclusive delta over the run.
+/// FDBSCAN-DenseBox it is in the dense cells processing"). `counters` is
+/// the run-inclusive delta; `phase_counters` attributes the same work to
+/// individual phases.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Search-index construction (BVH build, plus grid build for
@@ -39,6 +56,8 @@ pub struct RunStats {
     pub total_time: Duration,
     /// Device work counters accumulated during the run.
     pub counters: CountersSnapshot,
+    /// The same counters, attributed to individual phases.
+    pub phase_counters: PhaseCounters,
     /// Peak device memory reserved during the run, in bytes.
     pub peak_memory_bytes: usize,
     /// Dense-grid statistics (FDBSCAN-DenseBox only).
@@ -73,6 +92,22 @@ impl std::fmt::Display for RunStats {
             self.counters.finds,
             self.counters.label_cas,
         )?;
+        for (name, phase) in [
+            ("index", &self.phase_counters.index),
+            ("preprocess", &self.phase_counters.preprocess),
+            ("main", &self.phase_counters.main),
+            ("finalize", &self.phase_counters.finalize),
+        ] {
+            writeln!(
+                f,
+                "    {name:<10} {} launches | {} distances | {} nodes | {} unions | {} finds",
+                phase.kernel_launches,
+                phase.distance_computations,
+                phase.bvh_nodes_visited,
+                phase.unions,
+                phase.finds,
+            )?;
+        }
         write!(f, "  memory: {} KiB peak", self.peak_memory_bytes / 1024)?;
         if let Some(d) = &self.dense {
             write!(
@@ -122,5 +157,29 @@ mod tests {
         assert!(report.contains("preprocess"));
         assert!(report.contains("4 KiB peak"));
         assert!(report.contains("dense cells: 3 (70.0 % of points)"));
+    }
+
+    #[test]
+    fn display_reports_per_phase_work() {
+        let stats = RunStats {
+            phase_counters: PhaseCounters {
+                main: CountersSnapshot { distance_computations: 123, ..Default::default() },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = stats.to_string();
+        assert!(report.contains("main       0 launches | 123 distances"), "report:\n{report}");
+        assert!(report.contains("finalize"));
+    }
+
+    #[test]
+    fn phase_counters_from_since() {
+        let a = CountersSnapshot { kernel_launches: 2, ..Default::default() };
+        let b = CountersSnapshot { kernel_launches: 7, distance_computations: 5, ..a };
+        let pc = PhaseCounters { index: b.since(&a), ..Default::default() };
+        assert_eq!(pc.index.kernel_launches, 5);
+        assert_eq!(pc.index.distance_computations, 5);
+        assert_eq!(pc.preprocess, CountersSnapshot::default());
     }
 }

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 use fdbscan_bvh::Bvh;
 use fdbscan_device::shared::SharedMut;
-use fdbscan_device::{Device, DeviceError, MemoryReservation};
+use fdbscan_device::{CountersSnapshot, Device, DeviceError, MemoryReservation};
 use fdbscan_geom::Point;
 use fdbscan_unionfind::AtomicLabels;
 
@@ -24,7 +24,7 @@ use crate::framework::{finalize, CoreFlags};
 use crate::generic::main_phase;
 use crate::index::build_bvh_index;
 use crate::labels::Clustering;
-use crate::stats::RunStats;
+use crate::stats::{PhaseCounters, RunStats};
 use crate::{FdbscanOptions, Params};
 
 /// Precomputed state for sweeping `minpts` at a fixed `eps`.
@@ -41,11 +41,7 @@ pub struct MinptsSweep<'a, const D: usize> {
 impl<'a, const D: usize> MinptsSweep<'a, D> {
     /// Builds the index and the full neighbor counts (one unmasked,
     /// non-terminating traversal per point).
-    pub fn new(
-        device: &'a Device,
-        points: &'a [Point<D>],
-        eps: f32,
-    ) -> Result<Self, DeviceError> {
+    pub fn new(device: &'a Device, points: &'a [Point<D>], eps: f32) -> Result<Self, DeviceError> {
         assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
         crate::validate_finite(points)?;
         let start = Instant::now();
@@ -62,7 +58,7 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
             let counts_view = SharedMut::new(&mut counts);
             let bvh_ref = &bvh;
             let counters = device.counters();
-            device.try_launch(n, |i| {
+            device.try_launch_named("sweep.full_count", n, |i| {
                 let mut count = 0u32;
                 let stats = bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
                     count += 1;
@@ -119,18 +115,24 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
         // amortized replacement for the preprocessing traversal. (Also
         // covers minpts <= 2: counts are exact, so lazy marking is not
         // needed.)
+        let tracer = self.device.tracer();
+        let run_span = tracer.phase("fdbscan-sweep");
+        let preprocess_span = tracer.phase("preprocess");
         let preprocess_start = Instant::now();
         {
             let counts_ref = &self.counts;
             let core_ref = &core;
-            self.device.try_launch(n, |i| {
+            self.device.try_launch_named("sweep.core_flags", n, |i| {
                 if counts_ref[i] as usize >= minpts {
                     core_ref.set(i as u32);
                 }
             })?;
         }
         let preprocess_time = preprocess_start.elapsed();
+        drop(preprocess_span);
+        let after_preprocess = self.device.counters().snapshot();
 
+        let main_span = tracer.phase("main");
         let main_start = Instant::now();
         let params = Params::new(self.eps, minpts.max(3));
         // Force the non-lazy resolution path: core flags are exact here,
@@ -139,10 +141,16 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
         // actual minpts semantics live in the core flags).
         main_phase(self.device, self.points, &self.bvh, params, options, &labels, &core)?;
         let main_time = main_start.elapsed();
+        drop(main_span);
+        let after_main = self.device.counters().snapshot();
 
+        let finalize_span = tracer.phase("finalize");
         let finalize_start = Instant::now();
         let clustering = finalize(self.device, &labels, &core);
         let finalize_time = finalize_start.elapsed();
+        drop(finalize_span);
+        let after_finalize = self.device.counters().snapshot();
+        drop(run_span);
 
         Ok((
             clustering,
@@ -152,7 +160,13 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
                 main_time,
                 finalize_time,
                 total_time: start.elapsed(),
-                counters: self.device.counters().snapshot().since(&counters_before),
+                counters: after_finalize.since(&counters_before),
+                phase_counters: PhaseCounters {
+                    index: CountersSnapshot::default(),
+                    preprocess: after_preprocess.since(&counters_before),
+                    main: after_main.since(&after_preprocess),
+                    finalize: after_finalize.since(&after_main),
+                },
                 peak_memory_bytes: self.device.memory().peak(),
                 dense: None,
             },
@@ -214,8 +228,7 @@ mod tests {
         let sweep = MinptsSweep::new(&d, &points, eps).unwrap();
         let eps_sq = eps * eps;
         for (i, &count) in sweep.neighbor_counts().iter().enumerate() {
-            let expected =
-                points.iter().filter(|p| p.dist_sq(&points[i]) <= eps_sq).count() as u32;
+            let expected = points.iter().filter(|p| p.dist_sq(&points[i]) <= eps_sq).count() as u32;
             assert_eq!(count, expected, "count mismatch at point {i}");
         }
     }

@@ -34,10 +34,7 @@ pub fn assert_valid_clustering<const D: usize>(
         match clustering.classes[i] {
             PointClass::Core => {
                 assert!(is_core, "point {i} labeled core but has degree {deg} < {minpts}");
-                assert!(
-                    clustering.assignments[i] >= 0,
-                    "core point {i} must belong to a cluster"
-                );
+                assert!(clustering.assignments[i] >= 0, "core point {i} must belong to a cluster");
             }
             PointClass::Border => {
                 assert!(!is_core, "point {i} labeled border but is core (degree {deg})");
@@ -74,8 +71,7 @@ pub fn assert_valid_clustering<const D: usize>(
             continue;
         }
         for j in (i + 1)..n {
-            if clustering.classes[j] == PointClass::Core
-                && points[i].dist_sq(&points[j]) <= eps_sq
+            if clustering.classes[j] == PointClass::Core && points[i].dist_sq(&points[j]) <= eps_sq
             {
                 assert_eq!(
                     clustering.assignments[i], clustering.assignments[j],
@@ -147,12 +143,7 @@ mod tests {
         let bogus = Clustering {
             assignments: vec![0, 0, 0, NOISE],
             num_clusters: 1,
-            classes: vec![
-                PointClass::Core,
-                PointClass::Core,
-                PointClass::Core,
-                PointClass::Noise,
-            ],
+            classes: vec![PointClass::Core, PointClass::Core, PointClass::Core, PointClass::Noise],
         };
         assert_valid_clustering(&points, &bogus, Params::new(1.0, 3));
     }

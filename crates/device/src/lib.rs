@@ -51,15 +51,20 @@
 
 pub mod counters;
 pub mod fault;
+pub mod json;
 pub mod memory;
 pub mod pool;
 pub mod shared;
+pub mod trace;
 
 pub use counters::{Counters, CountersSnapshot};
 pub use fault::{FaultPlan, FaultSite};
 pub use memory::{DeviceError, MemoryReservation, MemoryTracker};
-pub use pool::WorkerPool;
+pub use pool::{LaunchProfile, WorkerPool};
 pub use shared::SharedMut;
+pub use trace::{
+    Histogram, HistogramSummary, KernelMeta, PhaseSpan, SpanKind, SpanRecord, TraceFormat, Tracer,
+};
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -88,6 +93,10 @@ pub struct DeviceConfig {
     /// cancelled at the next block boundary and fails with
     /// [`DeviceError::KernelTimeout`]. `None` = no watchdog.
     pub kernel_timeout: Option<Duration>,
+    /// Force-enables tracing regardless of the environment. When `false`
+    /// (the default), tracing is enabled iff `FDBSCAN_TRACE` is set (see
+    /// [`trace::Tracer::from_env`]).
+    pub tracing: bool,
 }
 
 impl Default for DeviceConfig {
@@ -100,6 +109,7 @@ impl Default for DeviceConfig {
             memory_budget: None,
             fault_plan: None,
             kernel_timeout: None,
+            tracing: false,
         }
     }
 }
@@ -146,6 +156,15 @@ impl DeviceConfig {
         self.kernel_timeout = Some(timeout);
         self
     }
+
+    /// Enables span recording (see [`trace::Tracer`]) without requiring
+    /// the `FDBSCAN_TRACE` environment variable. Traces enabled this way
+    /// are read back programmatically via [`Device::tracer`]; they are
+    /// only auto-exported on drop when `FDBSCAN_TRACE` names a path.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
 }
 
 /// A simulated data-parallel device: worker pool + counters + memory.
@@ -164,6 +183,7 @@ pub struct Device {
     launch_ordinal: Arc<AtomicU64>,
     fault_plan: Option<Arc<FaultPlan>>,
     kernel_timeout: Option<Duration>,
+    tracer: Arc<Tracer>,
 }
 
 impl Device {
@@ -184,6 +204,13 @@ impl Device {
             launch_ordinal: Arc::new(AtomicU64::new(0)),
             fault_plan,
             kernel_timeout: config.kernel_timeout,
+            tracer: Arc::new({
+                let tracer = Tracer::from_env();
+                if config.tracing {
+                    tracer.set_enabled(true);
+                }
+                tracer
+            }),
         }
     }
 
@@ -229,6 +256,18 @@ impl Device {
         self.kernel_timeout
     }
 
+    /// The device's trace sink. Shared by all clones; a no-op unless
+    /// tracing was enabled (via [`DeviceConfig::with_tracing`] or the
+    /// `FDBSCAN_TRACE` environment variable).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// A shareable handle to the trace sink.
+    pub fn tracer_arc(&self) -> Arc<Tracer> {
+        Arc::clone(&self.tracer)
+    }
+
     /// Number of launches started over this device's lifetime (both
     /// fallible and panicking APIs). Unlike counters, never reset — this
     /// is the ordinal space [`FaultPlan`] launch faults are addressed in.
@@ -238,18 +277,23 @@ impl Device {
 
     /// Core fallible launch: assigns the launch ordinal, arms the
     /// watchdog deadline, weaves injected stalls/panics into the block
-    /// kernel, and maps pool failures to [`DeviceError`].
+    /// kernel, maps pool failures to [`DeviceError`], and — when tracing
+    /// is enabled (one relaxed atomic load otherwise) — records a named
+    /// kernel span with the launch's execution profile.
     fn run_fallible(
         &self,
         n: usize,
+        label: &'static str,
         body: &(dyn Fn(Range<usize>) + Sync),
     ) -> Result<(), DeviceError> {
         let launch = self.launch_ordinal.fetch_add(1, Ordering::Relaxed);
         self.counters.kernel_launches.fetch_add(1, Ordering::Relaxed);
         let deadline = self.kernel_timeout.map(|t| Instant::now() + t);
+        let measure = self.tracer.enabled();
+        let started = measure.then(Instant::now);
         let result = match self.fault_plan.as_deref() {
             // Fast path: no plan, no wrapping.
-            None => self.pool.try_parallel_for_blocks(n, self.block_size, deadline, body),
+            None => self.pool.try_parallel_for_blocks(n, self.block_size, deadline, measure, body),
             Some(plan) => {
                 let wrapped = |range: Range<usize>| {
                     // Blocks are aligned to `block_size`, so the block
@@ -261,27 +305,44 @@ impl Device {
                     }
                     if plan.panic_fires(launch, block) {
                         self.counters.injected_panics.fetch_add(1, Ordering::Relaxed);
-                        panic!(
-                            "{}",
-                            FaultSite::KernelPanic { launch, block }
-                        );
+                        panic!("{}", FaultSite::KernelPanic { launch, block });
                     }
                     body(range);
                 };
-                self.pool.try_parallel_for_blocks(n, self.block_size, deadline, &wrapped)
+                self.pool.try_parallel_for_blocks(n, self.block_size, deadline, measure, &wrapped)
             }
         };
-        result.map_err(|failure| {
-            self.counters.failed_launches.fetch_add(1, Ordering::Relaxed);
-            match failure {
-                LaunchFailure::Panicked { payload } => {
-                    DeviceError::KernelPanicked { launch, payload }
+        match result {
+            Ok(profile) => {
+                if let (Some(started), Some(profile)) = (started, profile) {
+                    self.tracer.record_kernel(
+                        label,
+                        started,
+                        Instant::now(),
+                        KernelMeta {
+                            index_space: n,
+                            block_size: self.block_size,
+                            blocks: profile.blocks(),
+                            passes: profile.passes(),
+                            participants: profile.participants(),
+                            imbalance: profile.imbalance(),
+                        },
+                    );
                 }
-                LaunchFailure::TimedOut { elapsed } => {
-                    DeviceError::KernelTimeout { launch, elapsed }
-                }
+                Ok(())
             }
-        })
+            Err(failure) => {
+                self.counters.failed_launches.fetch_add(1, Ordering::Relaxed);
+                Err(match failure {
+                    LaunchFailure::Panicked { payload } => {
+                        DeviceError::KernelPanicked { launch, payload }
+                    }
+                    LaunchFailure::TimedOut { elapsed } => {
+                        DeviceError::KernelTimeout { launch, elapsed }
+                    }
+                })
+            }
+        }
     }
 
     /// Fallible kernel launch over the index space `0..n`.
@@ -296,7 +357,21 @@ impl Device {
     where
         F: Fn(usize) + Sync,
     {
-        self.run_fallible(n, &|range: Range<usize>| {
+        self.try_launch_named("unnamed", n, kernel)
+    }
+
+    /// [`Device::try_launch`] with a kernel label: the launch appears
+    /// under `label` in traces, histograms, and panic messages.
+    pub fn try_launch_named<F>(
+        &self,
+        label: &'static str,
+        n: usize,
+        kernel: F,
+    ) -> Result<(), DeviceError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_fallible(n, label, &|range: Range<usize>| {
             for i in range {
                 kernel(i);
             }
@@ -318,8 +393,25 @@ impl Device {
         M: Fn(usize) -> T + Sync,
         C: Fn(T, T) -> T + Sync + Send,
     {
+        self.try_reduce_named("unnamed", n, identity, map, combine)
+    }
+
+    /// [`Device::try_reduce`] with a kernel label.
+    pub fn try_reduce_named<T, M, C>(
+        &self,
+        label: &'static str,
+        n: usize,
+        identity: T,
+        map: M,
+        combine: C,
+    ) -> Result<T, DeviceError>
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
         let accumulator: Mutex<T> = Mutex::new(identity.clone());
-        self.run_fallible(n, &|range: Range<usize>| {
+        self.run_fallible(n, label, &|range: Range<usize>| {
             let mut local = identity.clone();
             for i in range {
                 local = combine(local, map(i));
@@ -346,12 +438,22 @@ impl Device {
     where
         F: Fn(usize) + Sync,
     {
-        if let Err(error) = self.try_launch(n, kernel) {
+        self.launch_named("unnamed", n, kernel)
+    }
+
+    /// [`Device::launch`] with a kernel label: the launch appears under
+    /// `label` in traces and histograms, and a kernel panic or watchdog
+    /// timeout propagates a panic naming the kernel.
+    pub fn launch_named<F>(&self, label: &'static str, n: usize, kernel: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if let Err(error) = self.try_launch_named(label, n, kernel) {
             match error {
                 DeviceError::KernelPanicked { payload, .. } => {
-                    panic!("kernel panicked during launch: {payload}")
+                    panic!("kernel '{label}' panicked during launch: {payload}")
                 }
-                other => panic!("{other}"),
+                other => panic!("kernel '{label}': {other}"),
             }
         }
     }
@@ -369,12 +471,30 @@ impl Device {
         M: Fn(usize) -> T + Sync,
         C: Fn(T, T) -> T + Sync + Send,
     {
-        match self.try_reduce(n, identity, map, combine) {
+        self.reduce_named("unnamed", n, identity, map, combine)
+    }
+
+    /// [`Device::reduce`] with a kernel label (see
+    /// [`Device::launch_named`] for the label's uses).
+    pub fn reduce_named<T, M, C>(
+        &self,
+        label: &'static str,
+        n: usize,
+        identity: T,
+        map: M,
+        combine: C,
+    ) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync + Send,
+    {
+        match self.try_reduce_named(label, n, identity, map, combine) {
             Ok(value) => value,
             Err(DeviceError::KernelPanicked { payload, .. }) => {
-                panic!("kernel panicked during launch: {payload}")
+                panic!("kernel '{label}' panicked during launch: {payload}")
             }
-            Err(other) => panic!("{other}"),
+            Err(other) => panic!("kernel '{label}': {other}"),
         }
     }
 }
@@ -455,7 +575,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "kernel panicked")]
+    #[should_panic(expected = "panicked during launch")]
     fn kernel_panic_propagates() {
         let device = Device::new(DeviceConfig::default().with_workers(2));
         device.launch(100, |i| {
@@ -590,11 +710,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "kernel panicked during launch")]
+    #[should_panic(expected = "panicked during launch")]
     fn infallible_launch_panics_on_injected_fault() {
         let plan = FaultPlan::new(3).with_kernel_panic_at(0, 0);
         let device = Device::new(DeviceConfig::sequential().with_fault_plan(plan));
         device.launch(10, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel 'named.kernel' panicked during launch: boom")]
+    fn named_launch_panic_carries_label() {
+        let device = Device::new(DeviceConfig::sequential());
+        device.launch_named("named.kernel", 10, |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn traced_launch_records_kernel_span() {
+        let device = Device::new(DeviceConfig::default().with_workers(2).with_tracing());
+        assert!(device.tracer().enabled());
+        device.launch_named("square", 1000, |_| {});
+        let sum = device.reduce_named("sum", 1000, 0u64, |i| i as u64, |a, b| a + b);
+        assert_eq!(sum, 999 * 1000 / 2);
+        let events = device.tracer().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].label, "square");
+        assert_eq!(events[0].kind, SpanKind::Kernel);
+        let meta = events[0].kernel.expect("kernel span has metadata");
+        assert_eq!(meta.index_space, 1000);
+        assert_eq!(meta.blocks, 4, "1000 indices / 256 block size");
+        assert_eq!(meta.participants, 3);
+        assert!(meta.imbalance >= 1.0);
+        assert_eq!(events[1].label, "sum");
+        // Histograms were fed too.
+        let labels: Vec<_> =
+            device.tracer().histogram_summaries().into_iter().map(|h| h.label).collect();
+        assert_eq!(labels, ["square", "sum"]);
+    }
+
+    #[test]
+    fn untraced_device_records_nothing() {
+        let device = Device::new(DeviceConfig::default().with_workers(1));
+        device.launch_named("square", 1000, |_| {});
+        device.launch(1000, |_| {});
+        assert!(!device.tracer().enabled());
+        assert_eq!(device.tracer().event_count(), 0);
+        assert!(device.tracer().histogram_summaries().is_empty());
+    }
+
+    #[test]
+    fn clones_share_tracer() {
+        let device = Device::new(DeviceConfig::sequential().with_tracing());
+        let clone = device.clone();
+        clone.launch_named("k", 10, |_| {});
+        assert_eq!(device.tracer().event_count(), 1);
+    }
+
+    #[test]
+    fn zero_size_launch_records_no_span() {
+        let device = Device::new(DeviceConfig::sequential().with_tracing());
+        device.launch_named("empty", 0, |_| {});
+        assert_eq!(device.tracer().event_count(), 0);
     }
 
     #[test]

@@ -327,8 +327,7 @@ mod tests {
     fn injected_oom_fires_once_and_is_counted() {
         let counters = Arc::new(Counters::default());
         let plan = Arc::new(FaultPlan::new(3).with_oom_at_reservation(1));
-        let tracker =
-            MemoryTracker::with_instrumentation(None, Arc::clone(&counters), Some(plan));
+        let tracker = MemoryTracker::with_instrumentation(None, Arc::clone(&counters), Some(plan));
         let _a = tracker.reserve(10).unwrap(); // ordinal 0
         let err = tracker.reserve(10).unwrap_err(); // ordinal 1: injected
         assert!(matches!(err, DeviceError::OutOfMemory { requested: 10, .. }));
@@ -345,8 +344,7 @@ mod tests {
     fn threshold_oom_fires_every_time() {
         let counters = Arc::new(Counters::default());
         let plan = Arc::new(FaultPlan::new(3).with_oom_above_bytes(100));
-        let tracker =
-            MemoryTracker::with_instrumentation(None, Arc::clone(&counters), Some(plan));
+        let tracker = MemoryTracker::with_instrumentation(None, Arc::clone(&counters), Some(plan));
         assert!(tracker.reserve(100).is_err());
         assert!(tracker.reserve(100).is_err());
         assert!(tracker.reserve(99).is_ok());

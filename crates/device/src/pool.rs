@@ -34,6 +34,60 @@ pub(crate) enum LaunchFailure {
     },
 }
 
+/// Per-participant execution profile of one *measured* launch (tracing
+/// enabled). Index `i` of the vectors is one pool participant; the
+/// launching thread is included, and so are participants that pulled no
+/// blocks — idle threads count toward load imbalance, exactly as idle
+/// SMs count against GPU occupancy.
+#[derive(Clone, Debug)]
+pub struct LaunchProfile {
+    /// Time each participant spent executing kernel blocks.
+    pub busy: Vec<Duration>,
+    /// Blocks each participant pulled from the shared cursor.
+    pub blocks_pulled: Vec<u64>,
+}
+
+impl LaunchProfile {
+    /// Number of participants (workers + the launching thread).
+    pub fn participants(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Total blocks executed.
+    pub fn blocks(&self) -> u64 {
+        self.blocks_pulled.iter().sum()
+    }
+
+    /// Grid-stride passes: the most blocks any one participant pulled.
+    pub fn passes(&self) -> u64 {
+        self.blocks_pulled.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Longest per-participant busy time.
+    pub fn max_busy(&self) -> Duration {
+        self.busy.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean per-participant busy time (idle participants included).
+    pub fn mean_busy(&self) -> Duration {
+        if self.busy.is_empty() {
+            return Duration::ZERO;
+        }
+        self.busy.iter().sum::<Duration>() / self.busy.len() as u32
+    }
+
+    /// Load imbalance: `max_busy / mean_busy`, ≥ 1.0. A perfectly
+    /// balanced launch scores 1.0; `participants()` means one thread did
+    /// all the work. 1.0 when nothing was measured.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_busy().as_secs_f64();
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        (self.max_busy().as_secs_f64() / mean).max(1.0)
+    }
+}
+
 /// Stringifies a panic payload: `&str` and `String` payloads (the
 /// overwhelmingly common cases) are preserved verbatim; anything else is
 /// reported by type only.
@@ -69,6 +123,11 @@ struct Job {
     /// First panic payload observed (workers race; later ones are
     /// dropped).
     payload: Mutex<Option<String>>,
+    /// Whether participants measure per-block busy time (tracing).
+    measure: bool,
+    /// Per-participant (busy, blocks pulled), pushed once per participant
+    /// before its `pending` decrement. Empty unless `measure`.
+    stats: Mutex<Vec<(Duration, u64)>>,
     done: Mutex<bool>,
     done_cv: Condvar,
 }
@@ -85,6 +144,8 @@ impl Job {
         // `pending` hits zero, which happens strictly after the last
         // dereference.
         let kernel = unsafe { &*self.kernel };
+        let mut busy = Duration::ZERO;
+        let mut pulled = 0u64;
         loop {
             if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
@@ -100,7 +161,14 @@ impl Job {
                 break;
             }
             let end = (start + self.block).min(self.n);
+            // Clock reads are gated on `measure`: an untraced launch pays
+            // zero timing overhead per block.
+            let block_start = if self.measure { Some(Instant::now()) } else { None };
             let result = catch_unwind(AssertUnwindSafe(|| kernel(start..end)));
+            if let Some(block_start) = block_start {
+                busy += block_start.elapsed();
+                pulled += 1;
+            }
             if let Err(panic) = result {
                 let mut slot = self.payload.lock();
                 if slot.is_none() {
@@ -114,6 +182,11 @@ impl Job {
                 self.cursor.store(self.n, Ordering::Relaxed);
                 break;
             }
+        }
+        if self.measure {
+            // Push before the decrement below so the launcher (which waits
+            // for `pending == 0`) observes every participant's entry.
+            self.stats.lock().push((busy, pulled));
         }
         // AcqRel: the last participant's decrement releases its writes to
         // the launcher, which acquires them in `wait`.
@@ -178,15 +251,20 @@ impl WorkerPool {
     /// panics, or `deadline` passes. The pool and its workers remain
     /// usable after a failure — panics are contained per block and the
     /// cursor drain guarantees prompt termination.
+    ///
+    /// With `measure` set, every participant times its kernel blocks and
+    /// a successful launch returns a [`LaunchProfile`] (the tracing path);
+    /// otherwise no clocks are read and `Ok(None)` is returned.
     pub(crate) fn try_parallel_for_blocks(
         &self,
         n: usize,
         block: usize,
         deadline: Option<Instant>,
+        measure: bool,
         kernel: &(dyn Fn(Range<usize>) + Sync),
-    ) -> Result<(), LaunchFailure> {
+    ) -> Result<Option<LaunchProfile>, LaunchFailure> {
         if n == 0 {
-            return Ok(());
+            return Ok(None);
         }
         assert!(block > 0, "block size must be nonzero");
         let started = Instant::now();
@@ -212,57 +290,67 @@ impl WorkerPool {
             panicked: AtomicBool::new(false),
             timed_out: AtomicBool::new(false),
             payload: Mutex::new(None),
+            measure,
+            stats: Mutex::new(Vec::with_capacity(if measure { participants } else { 0 })),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
         for _ in 0..self.handles.len() {
-            self.sender
-                .send(Message::Work(Arc::clone(&job)))
-                .expect("worker pool channel closed");
+            self.sender.send(Message::Work(Arc::clone(&job))).expect("worker pool channel closed");
         }
         job.run(); // the launching thread participates
         job.wait();
         // A panic is the more specific diagnosis when both fired.
         if job.panicked.load(Ordering::Relaxed) {
-            let payload = job
-                .payload
-                .lock()
-                .take()
-                .unwrap_or_else(|| "unknown panic payload".to_string());
+            let payload =
+                job.payload.lock().take().unwrap_or_else(|| "unknown panic payload".to_string());
             return Err(LaunchFailure::Panicked { payload });
         }
         if job.timed_out.load(Ordering::Relaxed) {
             return Err(LaunchFailure::TimedOut { elapsed: started.elapsed() });
         }
-        Ok(())
+        if !measure {
+            return Ok(None);
+        }
+        let stats = std::mem::take(&mut *job.stats.lock());
+        let (busy, blocks_pulled) = stats.into_iter().unzip();
+        Ok(Some(LaunchProfile { busy, blocks_pulled }))
     }
 
     /// Executes `kernel` once per block of `block` consecutive indices
     /// covering `0..n`. Blocks the calling thread (which participates)
     /// until the whole index space has been executed. Panics if any kernel
-    /// invocation panicked.
+    /// invocation panicked; the panic message names the kernel via
+    /// `label`.
     pub fn parallel_for_blocks(
         &self,
+        label: &str,
         n: usize,
         block: usize,
         kernel: &(dyn Fn(Range<usize>) + Sync),
     ) {
-        match self.try_parallel_for_blocks(n, block, None, kernel) {
-            Ok(()) => {}
+        match self.try_parallel_for_blocks(n, block, None, false, kernel) {
+            Ok(_) => {}
             Err(LaunchFailure::Panicked { payload }) => {
-                panic!("kernel panicked during launch: {payload}")
+                panic!("kernel '{label}' panicked during launch: {payload}")
             }
             // Unreachable with `deadline: None`, but keep a defined
             // behavior rather than an unreachable!().
             Err(LaunchFailure::TimedOut { elapsed }) => {
-                panic!("kernel launch timed out after {elapsed:?}")
+                panic!("kernel '{label}' launch timed out after {elapsed:?}")
             }
         }
     }
 
     /// Per-index launch (a thin wrapper over [`Self::parallel_for_blocks`]).
-    pub fn parallel_for(&self, n: usize, block: usize, kernel: &(dyn Fn(usize) + Sync)) {
-        self.parallel_for_blocks(n, block, &|range: Range<usize>| {
+    pub fn parallel_for(
+        &self,
+        label: &str,
+        n: usize,
+        block: usize,
+        kernel: &(dyn Fn(usize) + Sync),
+    ) {
+        self.parallel_for_blocks(label, n, block, &|range: Range<usize>| {
             for i in range {
                 kernel(i);
             }
@@ -290,7 +378,7 @@ impl WorkerPool {
             return Ok(identity);
         }
         let accumulator: Mutex<T> = Mutex::new(identity.clone());
-        self.try_parallel_for_blocks(n, block, deadline, &|range: Range<usize>| {
+        self.try_parallel_for_blocks(n, block, deadline, false, &|range: Range<usize>| {
             let mut local = identity.clone();
             for i in range {
                 local = combine(local, map(i));
@@ -304,9 +392,11 @@ impl WorkerPool {
 
     /// Block-parallel reduction. `combine` must be associative and
     /// commutative; block partials are merged in completion order, one
-    /// lock acquisition per block.
+    /// lock acquisition per block. Panics (naming `label`) on kernel
+    /// panic.
     pub fn parallel_reduce<T, M, C>(
         &self,
+        label: &str,
         n: usize,
         block: usize,
         identity: T,
@@ -321,10 +411,10 @@ impl WorkerPool {
         match self.try_parallel_reduce(n, block, None, identity, map, combine) {
             Ok(value) => value,
             Err(LaunchFailure::Panicked { payload }) => {
-                panic!("kernel panicked during launch: {payload}")
+                panic!("kernel '{label}' panicked during launch: {payload}")
             }
             Err(LaunchFailure::TimedOut { elapsed }) => {
-                panic!("kernel launch timed out after {elapsed:?}")
+                panic!("kernel '{label}' launch timed out after {elapsed:?}")
             }
         }
     }
@@ -350,7 +440,7 @@ mod tests {
         let pool = WorkerPool::new(0);
         let caller = std::thread::current().id();
         let ran_on = Mutex::new(Vec::new());
-        pool.parallel_for(100, 8, &|_| {
+        pool.parallel_for("test", 100, 8, &|_| {
             ran_on.lock().push(std::thread::current().id());
         });
         let ids = ran_on.into_inner();
@@ -363,7 +453,7 @@ mod tests {
         let pool = WorkerPool::new(4);
         let seen = Mutex::new(std::collections::HashSet::new());
         // Slow-ish kernel so workers actually pick up blocks.
-        pool.parallel_for(4096, 16, &|_| {
+        pool.parallel_for("test", 4096, 16, &|_| {
             std::thread::yield_now();
             seen.lock().insert(std::thread::current().id());
         });
@@ -378,7 +468,7 @@ mod tests {
         let pool = WorkerPool::new(2);
         for round in 0..50 {
             let count = AtomicUsize::new(0);
-            pool.parallel_for(round * 17 + 1, 4, &|_| {
+            pool.parallel_for("test", round * 17 + 1, 4, &|_| {
                 count.fetch_add(1, Ordering::Relaxed);
             });
             assert_eq!(count.load(Ordering::Relaxed), round * 17 + 1);
@@ -389,7 +479,7 @@ mod tests {
     fn block_larger_than_n() {
         let pool = WorkerPool::new(2);
         let count = AtomicUsize::new(0);
-        pool.parallel_for(3, 1000, &|_| {
+        pool.parallel_for("test", 3, 1000, &|_| {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 3);
@@ -399,7 +489,7 @@ mod tests {
     fn blocks_partition_index_space() {
         let pool = WorkerPool::new(2);
         let covered = Mutex::new(vec![false; 1000]);
-        pool.parallel_for_blocks(1000, 37, &|range| {
+        pool.parallel_for_blocks("test", 1000, 37, &|range| {
             assert!(range.len() <= 37);
             let mut covered = covered.lock();
             for i in range {
@@ -413,14 +503,14 @@ mod tests {
     #[test]
     fn reduce_sums_u128() {
         let pool = WorkerPool::new(3);
-        let got = pool.parallel_reduce(10_000, 64, 0u128, &|i| i as u128, &|a, b| a + b);
+        let got = pool.parallel_reduce("sum", 10_000, 64, 0u128, &|i| i as u128, &|a, b| a + b);
         assert_eq!(got, 9999u128 * 10_000 / 2);
     }
 
     #[test]
     fn drop_joins_workers() {
         let pool = WorkerPool::new(3);
-        pool.parallel_for(10, 1, &|_| {});
+        pool.parallel_for("test", 10, 1, &|_| {});
         drop(pool); // must not hang
     }
 
@@ -428,7 +518,7 @@ mod tests {
     fn try_launch_captures_first_panic_payload() {
         let pool = WorkerPool::new(2);
         let err = pool
-            .try_parallel_for_blocks(100, 4, None, &|range| {
+            .try_parallel_for_blocks(100, 4, None, false, &|range| {
                 if range.contains(&42) {
                     panic!("boom at {}", range.start);
                 }
@@ -440,7 +530,7 @@ mod tests {
         }
         // The pool must stay usable after the failed launch.
         let count = AtomicUsize::new(0);
-        pool.parallel_for(50, 4, &|_| {
+        pool.parallel_for("test", 50, 4, &|_| {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 50);
@@ -456,6 +546,7 @@ mod tests {
                 1,
                 // Already expired: the very first deadline check fires.
                 Some(Instant::now() - Duration::from_millis(1)),
+                false,
                 &|_| {
                     executed.fetch_add(1, Ordering::Relaxed);
                 },
@@ -464,7 +555,7 @@ mod tests {
         assert!(matches!(err, LaunchFailure::TimedOut { .. }));
         assert_eq!(executed.load(Ordering::Relaxed), 0, "no block may run past cancel");
         // And the pool still works.
-        pool.parallel_for(10, 1, &|_| {});
+        pool.parallel_for("test", 10, 1, &|_| {});
     }
 
     #[test]
@@ -476,6 +567,7 @@ mod tests {
                 100,
                 1,
                 Some(Instant::now() + Duration::from_millis(20)),
+                false,
                 &|_| {
                     executed.fetch_add(1, Ordering::Relaxed);
                     std::thread::sleep(Duration::from_millis(5));
@@ -496,27 +588,64 @@ mod tests {
     fn try_reduce_propagates_failure() {
         let pool = WorkerPool::new(1);
         let err = pool
-            .try_parallel_reduce(100, 4, None, 0u64, &|i| {
-                if i == 7 {
-                    panic!("reduce kernel fault");
-                }
-                i as u64
-            }, &|a, b| a + b)
+            .try_parallel_reduce(
+                100,
+                4,
+                None,
+                0u64,
+                &|i| {
+                    if i == 7 {
+                        panic!("reduce kernel fault");
+                    }
+                    i as u64
+                },
+                &|a, b| a + b,
+            )
             .unwrap_err();
         assert!(matches!(err, LaunchFailure::Panicked { .. }));
         // Reduce still works afterwards.
-        let got = pool.parallel_reduce(100, 4, 0u64, &|i| i as u64, &|a, b| a + b);
+        let got = pool.parallel_reduce("sum", 100, 4, 0u64, &|i| i as u64, &|a, b| a + b);
         assert_eq!(got, 99 * 100 / 2);
     }
 
     #[test]
-    #[should_panic(expected = "kernel panicked during launch: original message")]
-    fn infallible_launch_reraises_with_payload() {
+    #[should_panic(expected = "kernel 'faulty' panicked during launch: original message")]
+    fn infallible_launch_reraises_with_label_and_payload() {
         let pool = WorkerPool::new(0);
-        pool.parallel_for(10, 1, &|i| {
+        pool.parallel_for("faulty", 10, 1, &|i| {
             if i == 3 {
                 panic!("original message");
             }
         });
+    }
+
+    #[test]
+    fn measured_launch_returns_profile() {
+        let pool = WorkerPool::new(2);
+        let profile = pool
+            .try_parallel_for_blocks(1000, 8, None, true, &|_range| {
+                std::thread::yield_now();
+            })
+            .unwrap()
+            .expect("measured launch must profile");
+        assert_eq!(profile.participants(), 3, "2 workers + launcher");
+        assert_eq!(profile.blocks(), 125);
+        assert!(profile.passes() >= 1 && profile.passes() <= 125);
+        assert!(profile.imbalance() >= 1.0);
+        assert!(profile.max_busy() >= profile.mean_busy());
+    }
+
+    #[test]
+    fn unmeasured_launch_returns_no_profile() {
+        let pool = WorkerPool::new(1);
+        let profile = pool.try_parallel_for_blocks(100, 8, None, false, &|_| {}).unwrap();
+        assert!(profile.is_none());
+    }
+
+    #[test]
+    fn imbalance_of_idle_profile_is_one() {
+        let profile = LaunchProfile { busy: vec![Duration::ZERO; 4], blocks_pulled: vec![0; 4] };
+        assert_eq!(profile.imbalance(), 1.0);
+        assert_eq!(profile.passes(), 0);
     }
 }

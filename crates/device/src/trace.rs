@@ -1,0 +1,723 @@
+//! Tracing and profiling: phase spans, named kernel spans, occupancy.
+//!
+//! The paper's evaluation rests on *where time goes* ("most of the time
+//! in FDBSCAN is spent in the tree search, while in FDBSCAN-DenseBox it
+//! is in the dense cells processing"), so the device records a timeline
+//! of every named kernel launch nested inside algorithm phase spans:
+//!
+//! * **Phase spans** — RAII guards opened by algorithm code
+//!   ([`Tracer::phase`]); they nest (`fdbscan` ▸ `main` ▸ …) and the
+//!   nesting path is attached to every event recorded inside them.
+//! * **Kernel spans** — recorded by `Device` for each launch, carrying
+//!   the index-space size, block size/count, grid-stride passes, and a
+//!   load-imbalance metric (max-participant-busy ÷ mean-participant-busy,
+//!   ≥ 1.0; 1.0 = perfectly balanced) measured by the worker pool.
+//! * **Instant events** — point-in-time markers (e.g. the resilience
+//!   ladder's degradation decisions).
+//! * **Histograms** — per-label duration histograms with log2 buckets;
+//!   recording is a handful of relaxed atomic ops, no allocation.
+//!
+//! # Cost when disabled
+//!
+//! A disabled tracer is a no-op sink: the hot path (one check per kernel
+//! *launch*, not per index) is a single relaxed atomic load, the pool
+//! skips all per-block clock reads, and nothing is recorded. Timestamps
+//! are offsets from the tracer's construction epoch, so traces from one
+//! process line up on one timeline.
+//!
+//! # Export
+//!
+//! [`Tracer::export_chrome`] emits Chrome `trace_event` JSON loadable in
+//! Perfetto / `chrome://tracing`; [`Tracer::export_text`] a compact
+//! indented timeline. Setting `FDBSCAN_TRACE=<path>` when constructing a
+//! [`crate::Device`] enables tracing and writes the trace to `<path>`
+//! when the last clone of the device is dropped; `FDBSCAN_TRACE_FORMAT`
+//! selects `chrome` (default) or `text`.
+//!
+//! Phase guards are meant for the single control thread that drives the
+//! algorithm (kernel launches block the caller, so algorithm control flow
+//! is sequential); events may be recorded from any thread.
+
+use std::borrow::Cow;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+
+/// Environment variable naming the trace output file (enables tracing).
+pub const TRACE_ENV: &str = "FDBSCAN_TRACE";
+/// Environment variable selecting the trace format (`chrome` | `text`).
+pub const TRACE_FORMAT_ENV: &str = "FDBSCAN_TRACE_FORMAT";
+
+/// Trace export format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Chrome `trace_event` JSON (Perfetto / `chrome://tracing`).
+    Chrome,
+    /// Compact indented text timeline.
+    Text,
+}
+
+/// What a [`SpanRecord`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// An algorithm phase opened via [`Tracer::phase`].
+    Phase,
+    /// One kernel launch (including reductions).
+    Kernel,
+    /// A point-in-time marker (zero duration).
+    Instant,
+}
+
+/// Per-launch execution metadata attached to kernel spans.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelMeta {
+    /// Index-space size (`n` of the launch).
+    pub index_space: usize,
+    /// Indices per block.
+    pub block_size: usize,
+    /// Blocks executed (`ceil(n / block_size)`).
+    pub blocks: u64,
+    /// Grid-stride passes: the most blocks any one participant pulled.
+    pub passes: u64,
+    /// Pool participants (workers + the launching thread).
+    pub participants: usize,
+    /// Load imbalance: max participant busy time ÷ mean participant busy
+    /// time, over all participants (idle ones included). 1.0 = perfectly
+    /// balanced; `participants as f64` = one participant did everything.
+    pub imbalance: f64,
+}
+
+impl KernelMeta {
+    /// Occupancy: mean ÷ max busy time, in (0, 1]; the reciprocal of
+    /// [`KernelMeta::imbalance`]. 1.0 = every participant equally busy.
+    pub fn occupancy(&self) -> f64 {
+        if self.imbalance > 0.0 {
+            1.0 / self.imbalance
+        } else {
+            1.0
+        }
+    }
+}
+
+/// One recorded event: a phase span, kernel span, or instant marker.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Event label (kernel or phase name).
+    pub label: Cow<'static, str>,
+    /// Slash-joined path of enclosing phases at record time (for a phase
+    /// span: the path *excluding* the span itself). Empty at top level.
+    pub path: String,
+    /// Event kind.
+    pub kind: SpanKind,
+    /// Start offset from the tracer epoch, nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the tracer epoch, nanoseconds (== `start_ns` for
+    /// instants).
+    pub end_ns: u64,
+    /// Launch metadata (kernel spans only).
+    pub kernel: Option<KernelMeta>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Full path including the span's own label.
+    pub fn full_path(&self) -> String {
+        if self.path.is_empty() {
+            self.label.to_string()
+        } else {
+            format!("{}/{}", self.path, self.label)
+        }
+    }
+}
+
+const BUCKETS: usize = 64;
+
+/// A duration histogram with log2 (power-of-two) buckets.
+///
+/// Bucket `b` counts durations `d` (ns) with `floor(log2(max(d, 1))) == b`,
+/// i.e. bucket 0 holds `0..=1`, bucket `b > 0` holds `2^b ..= 2^(b+1)-1`.
+/// Recording is 4 relaxed atomic RMWs — no locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index a duration of `ns` nanoseconds falls into.
+    pub fn bucket_index(ns: u64) -> usize {
+        (63 - ns.max(1).leading_zeros()) as usize
+    }
+
+    /// Inclusive `(lower, upper)` value bounds of bucket `index`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS);
+        let lower = if index == 0 { 0 } else { 1u64 << index };
+        let upper = if index >= 63 { u64::MAX } else { (1u64 << (index + 1)) - 1 };
+        (lower, upper)
+    }
+
+    /// Records one duration (nanoseconds).
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Plain-value copy of the bucket counts.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`) of recorded values — a conservative percentile
+    /// estimate with log2 resolution. Returns 0 if nothing was recorded.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_range(index).1.min(self.max_ns.load(Ordering::Relaxed));
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Summarizes the histogram under the given label.
+    pub fn summarize(&self, label: &str) -> HistogramSummary {
+        HistogramSummary {
+            label: label.to_string(),
+            count: self.count(),
+            p50_ns: self.quantile_upper_bound(0.50),
+            p95_ns: self.quantile_upper_bound(0.95),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            total_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value summary of one label's duration histogram.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Kernel or phase label.
+    pub label: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// p50 duration (log2-bucket upper bound), nanoseconds.
+    pub p50_ns: u64,
+    /// p95 duration (log2-bucket upper bound), nanoseconds.
+    pub p95_ns: u64,
+    /// Exact maximum duration, nanoseconds.
+    pub max_ns: u64,
+    /// Sum of all recorded durations, nanoseconds.
+    pub total_ns: u64,
+}
+
+impl HistogramSummary {
+    /// Serializes the summary as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(self.label.clone())),
+            ("count", Json::U64(self.count)),
+            ("p50_ns", Json::U64(self.p50_ns)),
+            ("p95_ns", Json::U64(self.p95_ns)),
+            ("max_ns", Json::U64(self.max_ns)),
+            ("total_ns", Json::U64(self.total_ns)),
+        ])
+    }
+}
+
+/// Where an enabled tracer writes its trace when dropped.
+#[derive(Clone, Debug)]
+struct AutoExport {
+    path: PathBuf,
+    format: TraceFormat,
+}
+
+/// The trace sink: collects spans, instants, and histograms.
+///
+/// Cheap to share (`Device` holds it in an `Arc`). Disabled tracers
+/// reject every record after a single relaxed atomic load.
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: Instant,
+    events: Mutex<Vec<SpanRecord>>,
+    /// Stack of open phase labels on the control thread.
+    phase_stack: Mutex<Vec<&'static str>>,
+    /// Per-label duration histograms. The map lock is taken once per
+    /// *launch/phase end* (cold relative to kernel bodies); recording into
+    /// an individual histogram is lock-free.
+    histograms: Mutex<Vec<(Cow<'static, str>, Arc<Histogram>)>>,
+    auto_export: Mutex<Option<AutoExport>>,
+}
+
+impl Tracer {
+    /// Creates a tracer; `enabled = false` makes every record a no-op.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled: AtomicBool::new(enabled),
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+            phase_stack: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+            auto_export: Mutex::new(None),
+        }
+    }
+
+    /// Creates a tracer configured from the environment: enabled iff
+    /// `FDBSCAN_TRACE` is set, auto-exporting to that path on drop in
+    /// the `FDBSCAN_TRACE_FORMAT` format (`chrome` unless `text`).
+    pub fn from_env() -> Self {
+        match std::env::var_os(TRACE_ENV) {
+            Some(path) if !path.is_empty() => {
+                let format = match std::env::var(TRACE_FORMAT_ENV).as_deref() {
+                    Ok("text") => TraceFormat::Text,
+                    _ => TraceFormat::Chrome,
+                };
+                let tracer = Self::new(true);
+                *tracer.auto_export.lock() = Some(AutoExport { path: PathBuf::from(path), format });
+                tracer
+            }
+            _ => Self::new(false),
+        }
+    }
+
+    /// Whether the tracer records anything. This is the hot-path check:
+    /// one relaxed atomic load.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables recording at runtime.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds since the tracer epoch.
+    fn since_epoch(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Current slash-joined phase path (empty outside any phase).
+    pub fn current_path(&self) -> String {
+        self.phase_stack.lock().join("/")
+    }
+
+    /// Opens a phase span; the returned guard records the span (and its
+    /// duration histogram) when dropped. No-op when disabled.
+    pub fn phase<'t>(&'t self, label: &'static str) -> PhaseSpan<'t> {
+        if !self.enabled() {
+            return PhaseSpan { tracer: None, label, start: None };
+        }
+        self.phase_stack.lock().push(label);
+        PhaseSpan { tracer: Some(self), label, start: Some(Instant::now()) }
+    }
+
+    fn end_phase(&self, label: &'static str, start: Instant) {
+        let end = Instant::now();
+        let path = {
+            let mut stack = self.phase_stack.lock();
+            // Pop up to and including this label (defensive against a
+            // guard outliving an inner guard that leaked).
+            while let Some(top) = stack.pop() {
+                if top == label {
+                    break;
+                }
+            }
+            stack.join("/")
+        };
+        let record = SpanRecord {
+            label: Cow::Borrowed(label),
+            path,
+            kind: SpanKind::Phase,
+            start_ns: self.since_epoch(start),
+            end_ns: self.since_epoch(end),
+            kernel: None,
+        };
+        self.histogram(Cow::Borrowed(label)).record(record.duration_ns());
+        self.events.lock().push(record);
+    }
+
+    /// Records one kernel launch span. No-op when disabled.
+    pub fn record_kernel(
+        &self,
+        label: &'static str,
+        start: Instant,
+        end: Instant,
+        meta: KernelMeta,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let record = SpanRecord {
+            label: Cow::Borrowed(label),
+            path: self.current_path(),
+            kind: SpanKind::Kernel,
+            start_ns: self.since_epoch(start),
+            end_ns: self.since_epoch(end),
+            kernel: Some(meta),
+        };
+        self.histogram(Cow::Borrowed(label)).record(record.duration_ns());
+        self.events.lock().push(record);
+    }
+
+    /// Records a point-in-time marker (e.g. a resilience-ladder
+    /// decision). No-op when disabled.
+    pub fn instant(&self, label: impl Into<Cow<'static, str>>) {
+        if !self.enabled() {
+            return;
+        }
+        let now = self.since_epoch(Instant::now());
+        let record = SpanRecord {
+            label: label.into(),
+            path: self.current_path(),
+            kind: SpanKind::Instant,
+            start_ns: now,
+            end_ns: now,
+            kernel: None,
+        };
+        self.events.lock().push(record);
+    }
+
+    /// The histogram registered under `label` (created on first use).
+    pub fn histogram(&self, label: Cow<'static, str>) -> Arc<Histogram> {
+        let mut registry = self.histograms.lock();
+        if let Some((_, histogram)) = registry.iter().find(|(l, _)| *l == label) {
+            return Arc::clone(histogram);
+        }
+        let histogram = Arc::new(Histogram::default());
+        registry.push((label, Arc::clone(&histogram)));
+        histogram
+    }
+
+    /// Copies out all recorded events, in recording order.
+    pub fn events(&self) -> Vec<SpanRecord> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Summaries of every per-label histogram, in registration order.
+    pub fn histogram_summaries(&self) -> Vec<HistogramSummary> {
+        self.histograms.lock().iter().map(|(label, h)| h.summarize(label)).collect()
+    }
+
+    /// Discards all recorded events and histograms (the epoch and the
+    /// enabled flag are kept).
+    pub fn clear(&self) {
+        self.events.lock().clear();
+        self.histograms.lock().clear();
+    }
+
+    /// Exports the trace as a Chrome `trace_event` JSON document
+    /// (Perfetto / `chrome://tracing` loadable).
+    pub fn export_chrome(&self) -> String {
+        let events = self.events.lock();
+        let mut trace_events = Vec::with_capacity(events.len() + 1);
+        trace_events.push(Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::U64(1)),
+            ("tid", Json::U64(1)),
+            ("args", Json::obj([("name", Json::str("fdbscan simulated device"))])),
+        ]));
+        for event in events.iter() {
+            let mut args = vec![("path", Json::str(event.path.clone()))];
+            if let Some(meta) = &event.kernel {
+                args.extend([
+                    ("index_space", Json::U64(meta.index_space as u64)),
+                    ("block_size", Json::U64(meta.block_size as u64)),
+                    ("blocks", Json::U64(meta.blocks)),
+                    ("passes", Json::U64(meta.passes)),
+                    ("participants", Json::U64(meta.participants as u64)),
+                    ("imbalance", Json::F64(meta.imbalance)),
+                    ("occupancy", Json::F64(meta.occupancy())),
+                ]);
+            }
+            let ts = event.start_ns as f64 / 1e3; // trace_event uses µs
+            let common = [
+                ("name", Json::str(event.label.to_string())),
+                ("ts", Json::F64(ts)),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(1)),
+                ("args", Json::obj(args)),
+            ];
+            let specific = match event.kind {
+                SpanKind::Instant => {
+                    vec![("ph", Json::str("i")), ("s", Json::str("t"))]
+                }
+                kind => vec![
+                    ("ph", Json::str("X")),
+                    ("dur", Json::F64(event.duration_ns() as f64 / 1e3)),
+                    ("cat", Json::str(if kind == SpanKind::Phase { "phase" } else { "kernel" })),
+                ],
+            };
+            trace_events.push(Json::obj(common.into_iter().chain(specific)));
+        }
+        Json::obj([("traceEvents", Json::Arr(trace_events)), ("displayTimeUnit", Json::str("ms"))])
+            .to_compact()
+    }
+
+    /// Exports the trace as a compact indented text timeline, ordered by
+    /// start time, indented by phase depth.
+    pub fn export_text(&self) -> String {
+        let mut events = self.events();
+        events.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.end_ns)));
+        let mut out = String::new();
+        for event in &events {
+            let depth = if event.path.is_empty() { 0 } else { event.path.split('/').count() };
+            let indent = "  ".repeat(depth);
+            let start_ms = event.start_ns as f64 / 1e6;
+            let dur_ms = event.duration_ns() as f64 / 1e6;
+            match event.kind {
+                SpanKind::Instant => {
+                    out.push_str(&format!("{indent}@{start_ms:9.3} ms  ! {}\n", event.label));
+                }
+                SpanKind::Phase => {
+                    out.push_str(&format!(
+                        "{indent}@{start_ms:9.3} ms  {:<28} {dur_ms:9.3} ms\n",
+                        event.label
+                    ));
+                }
+                SpanKind::Kernel => {
+                    let meta = event.kernel.as_ref().expect("kernel span has meta");
+                    out.push_str(&format!(
+                        "{indent}@{start_ms:9.3} ms  {:<28} {dur_ms:9.3} ms  n={} blocks={} \
+                         passes={} occ={:.2}\n",
+                        event.label,
+                        meta.index_space,
+                        meta.blocks,
+                        meta.passes,
+                        meta.occupancy(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the trace in the given format.
+    pub fn export(&self, format: TraceFormat) -> String {
+        match format {
+            TraceFormat::Chrome => self.export_chrome(),
+            TraceFormat::Text => self.export_text(),
+        }
+    }
+
+    /// Writes the trace to `path` in the given format.
+    pub fn export_to_file(
+        &self,
+        path: &std::path::Path,
+        format: TraceFormat,
+    ) -> std::io::Result<()> {
+        std::fs::write(path, self.export(format))
+    }
+}
+
+impl Drop for Tracer {
+    fn drop(&mut self) {
+        let Some(auto) = self.auto_export.lock().take() else { return };
+        if self.events.get_mut().is_empty() {
+            return;
+        }
+        if let Err(error) = self.export_to_file(&auto.path, auto.format) {
+            eprintln!("fdbscan: failed to write trace to {}: {error}", auto.path.display());
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .field("events", &self.events.lock().len())
+            .finish()
+    }
+}
+
+/// RAII guard for a phase span; records the span when dropped.
+#[must_use = "the phase span ends when this guard is dropped"]
+pub struct PhaseSpan<'t> {
+    /// `None` when the tracer was disabled at open time.
+    tracer: Option<&'t Tracer>,
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for PhaseSpan<'_> {
+    fn drop(&mut self) {
+        if let (Some(tracer), Some(start)) = (self.tracer, self.start) {
+            tracer.end_phase(self.label, start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn meta(n: usize) -> KernelMeta {
+        KernelMeta {
+            index_space: n,
+            block_size: 256,
+            blocks: n.div_ceil(256) as u64,
+            passes: 2,
+            participants: 4,
+            imbalance: 1.25,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::new(false);
+        {
+            let _phase = tracer.phase("index");
+            tracer.record_kernel("k", Instant::now(), Instant::now(), meta(100));
+            tracer.instant("marker");
+        }
+        assert_eq!(tracer.event_count(), 0);
+        assert!(tracer.histogram_summaries().is_empty());
+    }
+
+    #[test]
+    fn phase_spans_nest_and_balance() {
+        let tracer = Tracer::new(true);
+        {
+            let _outer = tracer.phase("fdbscan");
+            {
+                let _inner = tracer.phase("main");
+                tracer.record_kernel("traverse", Instant::now(), Instant::now(), meta(64));
+            }
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 3);
+        // Recording order: innermost closes first.
+        assert_eq!(events[0].label, "traverse");
+        assert_eq!(events[0].path, "fdbscan/main");
+        assert_eq!(events[1].label, "main");
+        assert_eq!(events[1].path, "fdbscan");
+        assert_eq!(events[2].label, "fdbscan");
+        assert_eq!(events[2].path, "");
+        // Inner spans lie within the outer span.
+        assert!(events[1].start_ns >= events[2].start_ns);
+        assert!(events[1].end_ns <= events[2].end_ns);
+        assert!(tracer.current_path().is_empty(), "stack must balance");
+    }
+
+    #[test]
+    fn kernel_meta_survives_export() {
+        let tracer = Tracer::new(true);
+        let start = Instant::now();
+        tracer.record_kernel("bvh.build", start, start + Duration::from_micros(10), meta(1000));
+        let chrome = tracer.export_chrome();
+        let parsed = crate::json::parse(&chrome).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let kernel = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("bvh.build"))
+            .expect("kernel event present");
+        assert_eq!(kernel.get("ph").unwrap().as_str(), Some("X"));
+        let args = kernel.get("args").unwrap();
+        assert_eq!(args.get("index_space").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(args.get("imbalance").unwrap().as_f64(), Some(1.25));
+        assert_eq!(args.get("occupancy").unwrap().as_f64(), Some(0.8));
+    }
+
+    #[test]
+    fn instant_events_have_zero_duration() {
+        let tracer = Tracer::new(true);
+        tracer.instant("fallback: g-dbscan -> densebox");
+        let events = tracer.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, SpanKind::Instant);
+        assert_eq!(events[0].duration_ns(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_value() {
+        let histogram = Histogram::default();
+        for ns in [0u64, 1, 2, 3, 255, 256, 1023, 1 << 40, u64::MAX] {
+            let index = Histogram::bucket_index(ns);
+            let (lower, upper) = Histogram::bucket_range(index);
+            assert!((lower..=upper).contains(&ns), "ns={ns} index={index} range=({lower},{upper})");
+            histogram.record(ns);
+        }
+        assert_eq!(histogram.count(), 9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_upper_bounds() {
+        let histogram = Histogram::default();
+        for ns in 1..=100u64 {
+            histogram.record(ns * 10);
+        }
+        let p50 = histogram.quantile_upper_bound(0.50);
+        let p95 = histogram.quantile_upper_bound(0.95);
+        // Values run 10..=1000; p50 true value 500 → bucket [512,1023]
+        // upper bound clamped to observed max.
+        assert!(p50 >= 500, "p50 {p50}");
+        assert!(p95 >= 950, "p95 {p95}");
+        assert!(p95 <= 1000, "p95 {p95} clamped to max");
+        assert_eq!(histogram.summarize("x").max_ns, 1000);
+    }
+
+    #[test]
+    fn export_text_mentions_spans() {
+        let tracer = Tracer::new(true);
+        {
+            let _phase = tracer.phase("index");
+            let start = Instant::now();
+            tracer.record_kernel("grid.build", start, start + Duration::from_micros(5), meta(10));
+        }
+        let text = tracer.export_text();
+        assert!(text.contains("index"));
+        assert!(text.contains("grid.build"));
+        assert!(text.contains("occ="));
+    }
+
+    #[test]
+    fn clear_discards_events() {
+        let tracer = Tracer::new(true);
+        tracer.instant("x");
+        tracer.clear();
+        assert_eq!(tracer.event_count(), 0);
+    }
+}

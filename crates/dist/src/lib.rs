@@ -207,9 +207,8 @@ pub fn distributed_fdbscan_multi<const D: usize>(
 
     // Equal-count slabs: sort ids by the cut coordinate and chunk.
     let mut by_coord: Vec<u32> = (0..n as u32).collect();
-    by_coord.sort_unstable_by(|&a, &b| {
-        points[a as usize][axis].total_cmp(&points[b as usize][axis])
-    });
+    by_coord
+        .sort_unstable_by(|&a, &b| points[a as usize][axis].total_cmp(&points[b as usize][axis]));
     let ranks = ranks.min(n); // no empty ranks
     let chunk = n.div_ceil(ranks);
     let owned_of_rank: Vec<&[u32]> = by_coord.chunks(chunk).collect();
@@ -398,8 +397,7 @@ pub fn distributed_fdbscan_multi<const D: usize>(
 
     // --- 5. finalize --------------------------------------------------------
     global_labels.flatten(device);
-    let clustering =
-        Clustering::from_union_find(&global_labels.snapshot(), &global_core.to_vec());
+    let clustering = Clustering::from_union_find(&global_labels.snapshot(), &global_core.to_vec());
 
     Ok((clustering, DistStats { ranks: rank_stats, axis, total_time: start.elapsed() }))
 }
@@ -458,8 +456,7 @@ mod tests {
     fn cluster_spanning_every_rank_boundary() {
         // A dense line along the cut axis: one cluster crossing every
         // slab boundary; the merge must reassemble it.
-        let points: Vec<Point2> =
-            (0..1000).map(|i| Point2::new([i as f32 * 0.1, 0.0])).collect();
+        let points: Vec<Point2> = (0..1000).map(|i| Point2::new([i as f32 * 0.1, 0.0])).collect();
         let d = device();
         let params = Params::new(0.15, 3);
         let (dist, _) = distributed_fdbscan(&d, &points, params, 7).unwrap();
@@ -470,8 +467,7 @@ mod tests {
     fn border_on_rank_boundary_claimed_once() {
         // Two bars and a bridge, decomposed such that the bridge sits in
         // a ghost zone of both ranks: it must be claimed exactly once.
-        let mut points: Vec<Point2> =
-            (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
+        let mut points: Vec<Point2> = (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
         points.extend((0..5).map(|i| Point2::new([0.9, 0.1 * i as f32])));
         points.push(Point2::new([0.45, 0.2]));
         let params = Params::new(0.45, 5);

@@ -20,10 +20,7 @@ impl<const D: usize> Aabb<D> {
     /// The empty box: the identity element for [`Aabb::merged`].
     #[inline]
     pub const fn empty() -> Self {
-        Self {
-            min: Point::new([f32::INFINITY; D]),
-            max: Point::new([f32::NEG_INFINITY; D]),
-        }
+        Self { min: Point::new([f32::INFINITY; D]), max: Point::new([f32::NEG_INFINITY; D]) }
     }
 
     /// A degenerate box containing exactly one point.
@@ -68,10 +65,7 @@ impl<const D: usize> Aabb<D> {
     /// The smallest box containing both `self` and `other`.
     #[inline]
     pub fn merged(&self, other: &Self) -> Self {
-        Self {
-            min: self.min.min(&other.min),
-            max: self.max.max(&other.max),
-        }
+        Self { min: self.min.min(&other.min), max: self.max.max(&other.max) }
     }
 
     /// Returns `true` if `p` lies inside the box (inclusive bounds).
@@ -176,11 +170,7 @@ mod tests {
 
     #[test]
     fn from_points_bounds_all() {
-        let pts = [
-            Point::new([0.0, 0.0]),
-            Point::new([1.0, -1.0]),
-            Point::new([0.5, 2.0]),
-        ];
+        let pts = [Point::new([0.0, 0.0]), Point::new([1.0, -1.0]), Point::new([0.5, 2.0])];
         let b = Aabb::from_points(pts.iter());
         for p in &pts {
             assert!(b.contains(p));
@@ -238,15 +228,9 @@ mod tests {
         use proptest::prelude::*;
 
         fn arb_box() -> impl Strategy<Value = Aabb<2>> {
-            (
-                -100.0f32..100.0,
-                -100.0f32..100.0,
-                0.0f32..50.0,
-                0.0f32..50.0,
+            (-100.0f32..100.0, -100.0f32..100.0, 0.0f32..50.0, 0.0f32..50.0).prop_map(
+                |(x, y, w, h)| Aabb::from_corners(Point::new([x, y]), Point::new([x + w, y + h])),
             )
-                .prop_map(|(x, y, w, h)| {
-                    Aabb::from_corners(Point::new([x, y]), Point::new([x + w, y + h]))
-                })
         }
 
         fn arb_point() -> impl Strategy<Value = Point<2>> {

@@ -183,14 +183,8 @@ mod tests {
     #[test]
     fn point_is_transparent_over_coords() {
         // The BVH relies on points being plain coordinate arrays.
-        assert_eq!(
-            core::mem::size_of::<Point<3>>(),
-            3 * core::mem::size_of::<f32>()
-        );
-        assert_eq!(
-            core::mem::align_of::<Point<3>>(),
-            core::mem::align_of::<f32>()
-        );
+        assert_eq!(core::mem::size_of::<Point<3>>(), 3 * core::mem::size_of::<f32>());
+        assert_eq!(core::mem::align_of::<Point<3>>(), core::mem::align_of::<f32>());
     }
 
     #[test]

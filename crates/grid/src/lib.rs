@@ -162,7 +162,8 @@ impl<const D: usize> DenseGrid<D> {
         }
 
         // Scene bounds (reduction) fix the grid origin.
-        let scene = device.reduce(
+        let scene = device.reduce_named(
+            "grid.scene_bounds",
             n,
             Aabb::empty(),
             |i| Aabb::from_point(points[i]),
@@ -190,7 +191,7 @@ impl<const D: usize> DenseGrid<D> {
         {
             let keys_view = SharedMut::new(&mut keys);
             let origin_ref = &origin;
-            device.launch(n, |i| {
+            device.launch_named("grid.cell_keys", n, |i| {
                 let key = cell_key::<D>(&points[i], origin_ref, cell_len);
                 // SAFETY: one writer per index.
                 unsafe { keys_view.write(i, key) };
@@ -208,7 +209,7 @@ impl<const D: usize> DenseGrid<D> {
         {
             let head_view = SharedMut::new(&mut head);
             let keys_ref = &sorted_keys;
-            device.launch(n, |i| {
+            device.launch_named("grid.head_flags", n, |i| {
                 let is_head = i == 0 || keys_ref[i] != keys_ref[i - 1];
                 // SAFETY: one writer per index.
                 unsafe { head_view.write(i, is_head as u64) };
@@ -226,7 +227,7 @@ impl<const D: usize> DenseGrid<D> {
             let keys_ref = &sorted_keys;
             let ids_ref = &sorted_ids;
             let head_ref = &head;
-            device.launch(n, |i| {
+            device.launch_named("grid.segment", n, |i| {
                 // After the exclusive scan, position i holds the number of
                 // heads strictly before i: for a head that is its own cell
                 // index; for an interior position it also counts the
@@ -251,7 +252,7 @@ impl<const D: usize> DenseGrid<D> {
         {
             let dense_view = SharedMut::new(&mut dense);
             let starts_ref = &cell_starts;
-            device.launch(num_cells, |c| {
+            device.launch_named("grid.dense_flags", num_cells, |c| {
                 let count = (starts_ref[c + 1] - starts_ref[c]) as usize;
                 // SAFETY: one writer per cell.
                 unsafe { dense_view.write(c, count >= minpts) };
@@ -260,7 +261,8 @@ impl<const D: usize> DenseGrid<D> {
         let (num_dense, points_in_dense) = {
             let starts_ref = &cell_starts;
             let dense_ref = &dense;
-            device.reduce(
+            device.reduce_named(
+                "grid.dense_census",
                 num_cells,
                 (0usize, 0usize),
                 |c| {
@@ -400,9 +402,8 @@ impl<const D: usize> DenseGrid<D> {
         let mut refs = Vec::new();
         for c in 0..self.num_cells() as u32 {
             if self.is_dense(c) {
-                let tight = Aabb::from_points(
-                    self.cell_members(c).iter().map(|&id| &points[id as usize]),
-                );
+                let tight =
+                    Aabb::from_points(self.cell_members(c).iter().map(|&id| &points[id as usize]));
                 bounds.push(tight);
                 refs.push(PrimitiveRef::cell(c));
             } else {

@@ -75,11 +75,7 @@ impl<const D: usize> KdTree<D> {
         let n = input.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
         let mut nodes = Vec::new();
-        let root = if n == 0 {
-            0
-        } else {
-            build_recursive(input, &mut order, 0, &mut nodes)
-        };
+        let root = if n == 0 { 0 } else { build_recursive(input, &mut order, 0, &mut nodes) };
         let points: Vec<Point<D>> = order.iter().map(|&i| input[i as usize]).collect();
         let mut positions = vec![0u32; n];
         for (pos, &id) in order.iter().enumerate() {
@@ -214,13 +210,7 @@ fn build_recursive<const D: usize>(
     let (left_half, right_half) = order.split_at_mut(mid);
     let left = build_recursive(input, left_half, offset, nodes);
     let right = build_recursive(input, right_half, offset + mid as u32, nodes);
-    nodes.push(Node::Internal {
-        axis: axis as u8,
-        split,
-        left,
-        right,
-        end: offset + n as u32,
-    });
+    nodes.push(Node::Internal { axis: axis as u8, split, left, right, end: offset + n as u32 });
     (nodes.len() - 1) as u32
 }
 

@@ -49,7 +49,7 @@ pub fn sort_pairs(device: &Device, keys: &mut Vec<u64>, values: &mut Vec<u32>) {
         return;
     }
 
-    let max_key = device.reduce(n, 0u64, |i| keys[i], |a, b| a.max(b));
+    let max_key = device.reduce_named("sort.max_key", n, 0u64, |i| keys[i], |a, b| a.max(b));
     let significant_bits = 64 - max_key.leading_zeros();
     let passes = (significant_bits.div_ceil(RADIX_BITS)).max(1);
 
@@ -82,7 +82,7 @@ fn radix_pass(
     let mut counts = vec![0u64; BUCKETS * num_blocks];
     {
         let counts_view = SharedMut::new(&mut counts);
-        device.launch(num_blocks, |b| {
+        device.launch_named("sort.histogram", num_blocks, |b| {
             let start = b * SORT_BLOCK;
             let end = (start + SORT_BLOCK).min(n);
             let mut local = [0u32; BUCKETS];
@@ -107,7 +107,7 @@ fn radix_pass(
         let keys_view = SharedMut::new(keys_out);
         let values_view = SharedMut::new(values_out);
         let counts = &counts;
-        device.launch(num_blocks, |b| {
+        device.launch_named("sort.scatter", num_blocks, |b| {
             let start = b * SORT_BLOCK;
             let end = (start + SORT_BLOCK).min(n);
             let mut cursors = [0u64; BUCKETS];
@@ -192,8 +192,7 @@ mod tests {
         let device = Device::new(DeviceConfig::default().with_workers(3));
         let mut rng = StdRng::seed_from_u64(7);
         let n = 100_000;
-        let original: Vec<(u64, u32)> =
-            (0..n).map(|i| (rng.gen::<u64>(), i as u32)).collect();
+        let original: Vec<(u64, u32)> = (0..n).map(|i| (rng.gen::<u64>(), i as u32)).collect();
         let mut keys: Vec<u64> = original.iter().map(|p| p.0).collect();
         let mut values: Vec<u32> = original.iter().map(|p| p.1).collect();
         sort_pairs(&device, &mut keys, &mut values);
@@ -231,8 +230,7 @@ mod tests {
         let n = 20_000;
         let mut keys: Vec<u64> = (0..n).map(|i| (i * 37 % 251) as u64).collect();
         let mut values: Vec<u32> = (0..n as u32).collect();
-        let original: Vec<(u64, u32)> =
-            keys.iter().copied().zip(values.iter().copied()).collect();
+        let original: Vec<(u64, u32)> = keys.iter().copied().zip(values.iter().copied()).collect();
         sort_pairs(&device, &mut keys, &mut values);
         check_sorted_pairs(&keys, &values, &original);
         let launches = device.counters().snapshot().kernel_launches - before;

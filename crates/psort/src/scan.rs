@@ -27,7 +27,7 @@ pub fn exclusive_scan(device: &Device, data: &mut [u64]) -> u64 {
     {
         let data_view = SharedMut::new(&mut *data);
         let sums_view = SharedMut::new(&mut block_sums);
-        device.launch(num_blocks, |b| {
+        device.launch_named("scan.block_sums", num_blocks, |b| {
             let start = b * block;
             let end = (start + block).min(n);
             let mut acc = 0u64;
@@ -51,7 +51,7 @@ pub fn exclusive_scan(device: &Device, data: &mut [u64]) -> u64 {
     {
         let data_view = SharedMut::new(&mut *data);
         let sums = &block_sums;
-        device.launch(num_blocks, |b| {
+        device.launch_named("scan.downsweep", num_blocks, |b| {
             let offset = sums[b];
             if offset == 0 {
                 return;

@@ -212,7 +212,7 @@ impl AtomicLabels {
     /// main phase; the launch boundary provides the ordering).
     pub fn flatten(&self, device: &Device) {
         let labels = &self.labels;
-        device.launch(labels.len(), |i| {
+        device.launch_named("uf.flatten", labels.len(), |i| {
             // Read-only walk to the root: the tree is static during
             // finalization except for idempotent compression writes.
             let mut root = labels[i].load(Ordering::Relaxed);
@@ -354,9 +354,8 @@ mod tests {
         let device = Device::new(DeviceConfig::default().with_workers(4).with_block_size(32));
         let n = 5_000u32;
         let mut rng = StdRng::seed_from_u64(42);
-        let edges: Vec<(u32, u32)> = (0..20_000)
-            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            (0..20_000).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
 
         let uf = AtomicLabels::new(n as usize);
         let edges_ref = &edges;

@@ -51,11 +51,8 @@ impl SequentialDsu {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra as usize] < self.rank[rb as usize] {
-            (rb, ra)
-        } else {
-            (ra, rb)
-        };
+        let (hi, lo) =
+            if self.rank[ra as usize] < self.rank[rb as usize] { (rb, ra) } else { (ra, rb) };
         self.parent[lo as usize] = hi;
         if self.rank[hi as usize] == self.rank[lo as usize] {
             self.rank[hi as usize] += 1;

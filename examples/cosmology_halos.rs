@@ -29,14 +29,20 @@ fn main() {
     // Halo mass function: count halos by particle count.
     let sizes = halos.cluster_sizes();
     let halos_ge = |k: usize| sizes.iter().filter(|&&s| s >= k).count();
-    println!("\nhalo catalog ({} groups, {} unbound particles):", halos.num_clusters, halos.num_noise());
+    println!(
+        "\nhalo catalog ({} groups, {} unbound particles):",
+        halos.num_clusters,
+        halos.num_noise()
+    );
     for k in [2usize, 5, 10, 50, 100, 1000] {
         println!("  halos with >= {k:5} particles: {}", halos_ge(k));
     }
     let largest = sizes.iter().max().copied().unwrap_or(0);
     println!("  largest halo: {largest} particles");
-    println!("\nclustered in {:?} ({} unions, {} distance computations)",
-        stats.total_time, stats.counters.unions, stats.counters.distance_computations);
+    println!(
+        "\nclustered in {:?} ({} unions, {} distance computations)",
+        stats.total_time, stats.counters.unions, stats.counters.distance_computations
+    );
 
     // Compare the two tree algorithms across minpts, like Fig. 6.
     println!("\nminpts sweep at eps = {eps:.4} (Fig. 6 shape):");

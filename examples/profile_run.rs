@@ -1,0 +1,45 @@
+//! Profile a clustering run with the device tracer.
+//!
+//! ```sh
+//! # Print the text timeline and the run report to stdout:
+//! cargo run --release -p fdbscan --example profile_run
+//!
+//! # Or capture a Perfetto-loadable Chrome trace (open at ui.perfetto.dev):
+//! FDBSCAN_TRACE=trace.json cargo run --release -p fdbscan --example profile_run
+//! ```
+
+use fdbscan::{fdbscan, Params, RunReport};
+use fdbscan_data::blobs;
+use fdbscan_device::{Device, DeviceConfig, TraceFormat};
+
+fn main() {
+    // `with_tracing()` force-enables the tracer; without it the tracer
+    // follows the FDBSCAN_TRACE environment variable (and exports there
+    // automatically when the device is dropped).
+    let device = Device::new(DeviceConfig::default().with_tracing());
+
+    let points = blobs::<2>(20_000, 4, 0.02, 1.0, 0.10, 42);
+    let params = Params::new(0.03, 10);
+    let (clustering, stats) = fdbscan(&device, &points, params).expect("run failed");
+    println!("{} clusters over {} points\n", clustering.num_clusters, points.len());
+
+    // Per-phase / per-kernel timeline, indented by span nesting.
+    println!("=== timeline ===");
+    print!("{}", device.tracer().export(TraceFormat::Text));
+
+    // Per-kernel duration histograms (p50/p95 with log2 resolution).
+    println!("\n=== kernel histograms ===");
+    for h in device.tracer().histogram_summaries() {
+        println!(
+            "{:<24} count {:>4}  p50 {:>9} ns  p95 {:>9} ns  max {:>9} ns",
+            h.label, h.count, h.p50_ns, h.p95_ns, h.max_ns
+        );
+    }
+
+    // Machine-readable report: params, stats, per-phase counters,
+    // histogram summaries — one JSON object.
+    let report = RunReport::success("fdbscan", "blobs", points.len(), params, stats)
+        .with_histograms(device.tracer().histogram_summaries());
+    println!("\n=== run report ===");
+    println!("{}", report.to_json().to_pretty(2));
+}

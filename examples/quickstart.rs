@@ -19,7 +19,12 @@ fn main() {
     let params = Params::new(0.03, 10);
     let (clustering, stats) = fdbscan(&device, &points, params).expect("device out of memory");
 
-    println!("FDBSCAN over {} points (eps = {}, minpts = {})", points.len(), params.eps, params.minpts);
+    println!(
+        "FDBSCAN over {} points (eps = {}, minpts = {})",
+        points.len(),
+        params.eps,
+        params.minpts
+    );
     println!("  clusters : {}", clustering.num_clusters);
     println!("  core     : {}", clustering.num_core());
     println!("  border   : {}", clustering.num_border());
@@ -46,7 +51,10 @@ fn main() {
         if label == NOISE {
             println!("point {i} at {:?} is noise", points[i]);
         } else {
-            println!("point {i} at {:?} is in cluster {label} ({:?})", points[i], clustering.classes[i]);
+            println!(
+                "point {i} at {:?} is in cluster {label} ({:?})",
+                points[i], clustering.classes[i]
+            );
         }
     }
 }

@@ -27,9 +27,7 @@ fn main() {
         println!("{i:>5}  {d:>8.4}  {bar}");
     }
 
-    let eps = suggest_eps(&device, &points, minpts)
-        .unwrap()
-        .expect("curve has a knee");
+    let eps = suggest_eps(&device, &points, minpts).unwrap().expect("curve has a knee");
     println!("\nsuggested eps = {eps:.4} (knee of the k-dist curve)");
 
     let (clustering, stats, choice) =

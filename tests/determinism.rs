@@ -14,12 +14,8 @@ fn membership_fingerprint(c: &Clustering) -> Vec<(i64, usize)> {
     // deterministic (first-appearance order over point indices), so the
     // full assignment vector is comparable directly. We still return a
     // compact summary for nicer failure output.
-    let mut sizes: Vec<(i64, usize)> = c
-        .cluster_sizes()
-        .iter()
-        .enumerate()
-        .map(|(id, &s)| (id as i64, s))
-        .collect();
+    let mut sizes: Vec<(i64, usize)> =
+        c.cluster_sizes().iter().enumerate().map(|(id, &s)| (id as i64, s)).collect();
     sizes.push((-1, c.num_noise()));
     sizes
 }

@@ -44,9 +44,8 @@ fn check_all(points: &[Point2], params: Params) {
 #[test]
 fn grid_aligned_points_with_boundary_distances() {
     // Exact integer grid: many pairs at exactly eps (inclusive boundary).
-    let points: Vec<Point2> = (0..15)
-        .flat_map(|x| (0..15).map(move |y| Point2::new([x as f32, y as f32])))
-        .collect();
+    let points: Vec<Point2> =
+        (0..15).flat_map(|x| (0..15).map(move |y| Point2::new([x as f32, y as f32]))).collect();
     check_all(&points, Params::new(1.0, 5));
     check_all(&points, Params::new(1.5, 5));
 }
@@ -83,10 +82,8 @@ fn clusters_of_wildly_different_scales() {
     }
     // Loose macro-cluster.
     for _ in 0..100 {
-        points.push(Point2::new([
-            50.0 + rng.gen_range(-3.0..3.0),
-            50.0 + rng.gen_range(-3.0..3.0),
-        ]));
+        points
+            .push(Point2::new([50.0 + rng.gen_range(-3.0..3.0), 50.0 + rng.gen_range(-3.0..3.0)]));
     }
     // Scattered noise.
     for _ in 0..30 {

@@ -9,9 +9,7 @@ use std::time::Duration;
 use fdbscan::labels::assert_core_equivalent;
 use fdbscan::seq::dbscan_classic;
 use fdbscan::verify::assert_valid_clustering;
-use fdbscan::{
-    fdbscan, fdbscan_densebox, run_resilient, LadderLevel, Params, ResiliencePolicy,
-};
+use fdbscan::{fdbscan, fdbscan_densebox, run_resilient, LadderLevel, Params, ResiliencePolicy};
 use fdbscan_data::Dataset2;
 use fdbscan_device::{Device, DeviceConfig, DeviceError, FaultPlan};
 use fdbscan_geom::Point2;
@@ -20,9 +18,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn random_points(n: usize, extent: f32, seed: u64) -> Vec<Point2> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
-        .collect()
+    (0..n).map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)])).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -128,11 +124,7 @@ fn injected_faults_into_densebox_are_deterministic_across_10_repeats() {
     let scenarios: Vec<(&str, FaultPlan, Option<Duration>)> = vec![
         ("oom", FaultPlan::new(1).with_oom_at_reservation(1), None),
         ("panic", FaultPlan::new(2).with_kernel_panic_at(2, 0), None),
-        (
-            "stall",
-            FaultPlan::new(3).with_worker_stall(3, 0, 80),
-            Some(Duration::from_millis(15)),
-        ),
+        ("stall", FaultPlan::new(3).with_worker_stall(3, 0, 80), Some(Duration::from_millis(15))),
     ];
     for (name, plan, timeout) in scenarios {
         let first = densebox_outcome_with_plan(plan.clone(), timeout);
@@ -199,19 +191,14 @@ fn ladder_recovers_oracle_clustering_on_gdbscan_oom_config() {
     // (~0.5 MiB) but not G-DBSCAN's ~17 MiB adjacency graph.
     let points = Dataset2::PortoTaxi.generate(4096, 42);
     let params = Params::new(0.05, 1000);
-    let device = Device::new(
-        DeviceConfig::default().with_workers(2).with_memory_budget(4 << 20),
-    );
+    let device = Device::new(DeviceConfig::default().with_workers(2).with_memory_budget(4 << 20));
 
     let (clustering, _, report) =
         run_resilient(&device, &points, params, ResiliencePolicy::default()).unwrap();
 
     assert!(report.degraded(), "G-DBSCAN must not have produced the result");
     assert_ne!(report.completed, Some(LadderLevel::GDbscan));
-    assert!(matches!(
-        report.attempts[0].level,
-        LadderLevel::GDbscan
-    ));
+    assert!(matches!(report.attempts[0].level, LadderLevel::GDbscan));
 
     let oracle = dbscan_classic(&points, params);
     assert_core_equivalent(&oracle, &clustering);

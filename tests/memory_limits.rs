@@ -43,10 +43,7 @@ fn tree_algorithm_memory_scales_linearly() {
     let (_, stats_small) = fdbscan(&device, &small, params).unwrap();
     let (_, stats_large) = fdbscan(&device, &large, params).unwrap();
     let ratio = stats_large.peak_memory_bytes as f64 / stats_small.peak_memory_bytes as f64;
-    assert!(
-        (3.0..6.0).contains(&ratio),
-        "4x points should mean ~4x memory, got {ratio:.2}x"
-    );
+    assert!((3.0..6.0).contains(&ratio), "4x points should mean ~4x memory, got {ratio:.2}x");
 }
 
 #[test]
@@ -67,10 +64,7 @@ fn gdbscan_memory_scales_with_neighborhood_size() {
     let (_, f_small) = fdbscan(&device, &points, Params::new(0.005, 10)).unwrap();
     let (_, f_large) = fdbscan(&device, &points, Params::new(0.08, 10)).unwrap();
     let ratio = f_large.peak_memory_bytes as f64 / f_small.peak_memory_bytes.max(1) as f64;
-    assert!(
-        ratio < 1.2,
-        "tree-algorithm memory must be insensitive to eps, got {ratio:.2}x"
-    );
+    assert!(ratio < 1.2, "tree-algorithm memory must be insensitive to eps, got {ratio:.2}x");
 }
 
 #[test]

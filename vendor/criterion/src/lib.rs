@@ -139,9 +139,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
     }
     let total: Duration = bencher.samples.iter().sum();
     let mean = total / bencher.samples.len() as u32;
-    let thrpt = throughput
-        .map(|t| format!("  thrpt: {}", t.rate(mean)))
-        .unwrap_or_default();
+    let thrpt = throughput.map(|t| format!("  thrpt: {}", t.rate(mean))).unwrap_or_default();
     eprintln!("{label}  time: {mean:?}  ({} samples){thrpt}", bencher.samples.len());
 }
 

@@ -121,11 +121,7 @@ pub mod channel {
                 if state.senders == 0 {
                     return Err(RecvError);
                 }
-                state = self
-                    .shared
-                    .ready
-                    .wait(state)
-                    .unwrap_or_else(|e| e.into_inner());
+                state = self.shared.ready.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         }
     }
@@ -189,10 +185,7 @@ mod tests {
             tx.send(i).unwrap();
         }
         drop(tx);
-        let mut all: Vec<u32> = consumers
-            .into_iter()
-            .flat_map(|h| h.join().unwrap())
-            .collect();
+        let mut all: Vec<u32> = consumers.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..1000).collect::<Vec<_>>());
     }

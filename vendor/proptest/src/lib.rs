@@ -421,9 +421,8 @@ mod tests {
     #[test]
     fn map_flat_map_and_vec_compose() {
         let mut rng = TestRng::for_test("compose");
-        let strat = (2usize..6).prop_flat_map(|n| {
-            collection::vec(0u32..100, n).prop_map(move |v| (n, v))
-        });
+        let strat =
+            (2usize..6).prop_flat_map(|n| collection::vec(0u32..100, n).prop_map(move |v| (n, v)));
         for _ in 0..200 {
             let (n, v) = strat.sample(&mut rng);
             assert_eq!(v.len(), n);

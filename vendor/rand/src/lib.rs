@@ -32,8 +32,7 @@ pub trait SeedableRng: Sized {
 /// Types that can be drawn uniformly from a range.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Uniform draw from `[lo, hi)` (`inclusive` widens to `[lo, hi]`).
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -192,10 +191,7 @@ pub mod rngs {
 
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
-            let result = self.s[0]
-                .wrapping_add(self.s[3])
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
