@@ -60,6 +60,7 @@
 pub mod build;
 pub mod knn;
 pub mod node;
+pub mod snapshot;
 pub mod traverse;
 
 pub use node::{NodeRef, LEAF_FLAG};

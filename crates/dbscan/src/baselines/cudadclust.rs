@@ -28,18 +28,24 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
 use fdbscan_device::shared::SharedMut;
-use fdbscan_device::{Device, DeviceError};
+use fdbscan_device::{Device, DeviceError, PipelineCheckpoint};
 use fdbscan_geom::Point;
 use fdbscan_grid::DenseGrid;
 use fdbscan_unionfind::SequentialDsu;
 use parking_lot::Mutex;
 
+use crate::checkpoint::{
+    self, ChainState, CoreSnapshot, PHASE_FINALIZE, PHASE_INDEX, PHASE_MAIN, PHASE_PREPROCESS,
+};
 use crate::framework::CoreFlags;
 use crate::labels::{Clustering, PointClass, NOISE};
 use crate::stats::{PhaseCounters, RunStats};
 use crate::Params;
 
 const UNSET: u32 = u32::MAX;
+
+/// Checkpoint algorithm tag of [`cuda_dclust`] runs.
+pub const CUDA_DCLUST_ALGORITHM: &str = "cuda-dclust";
 
 /// Tuning knobs for [`cuda_dclust`].
 #[derive(Clone, Copy, Debug)]
@@ -71,6 +77,32 @@ pub fn cuda_dclust_with<const D: usize>(
     params: Params,
     config: CudaDclustConfig,
 ) -> Result<(Clustering, RunStats), DeviceError> {
+    cuda_dclust_core(device, points, params, config, None)
+}
+
+/// [`cuda_dclust_with`], resuming from (and recording into) a
+/// checkpoint. The main-phase artifact is the resolved chain state
+/// (chain ids, chain → cluster map, cluster count), so a resumed run
+/// skips both the chain expansion rounds and the host-side collision
+/// resolution. See [`crate::fdbscan_run_from`] for the resume contract.
+pub fn cuda_dclust_run_from<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    config: CudaDclustConfig,
+    ckpt: &mut PipelineCheckpoint,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    checkpoint::prepare(ckpt, CUDA_DCLUST_ALGORITHM, points, params);
+    cuda_dclust_core(device, points, params, config, Some(ckpt))
+}
+
+fn cuda_dclust_core<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    config: CudaDclustConfig,
+    mut ckpt: Option<&mut PipelineCheckpoint>,
+) -> Result<(Clustering, RunStats), DeviceError> {
     crate::validate_finite(points)?;
     let n = points.len();
     let Params { eps, minpts } = params;
@@ -95,9 +127,23 @@ pub fn cuda_dclust_with<const D: usize>(
     // ---- Directory index -------------------------------------------------
     let index_span = tracer.phase("index");
     let index_start = Instant::now();
-    // Cell edge = eps: all neighbors of a point live in the surrounding
-    // 3^D cells. Dense classification is disabled (minpts = MAX).
-    let grid = DenseGrid::build_with_cell_len(device, points, eps, usize::MAX);
+    let grid = match ckpt.as_deref().and_then(|c| c.restore::<DenseGrid<D>>(PHASE_INDEX)) {
+        Some(grid) => {
+            tracer.instant("checkpoint.restore: index");
+            grid
+        }
+        None => {
+            // Cell edge = eps: all neighbors of a point live in the
+            // surrounding 3^D cells. Dense classification is disabled
+            // (minpts = MAX).
+            let grid = DenseGrid::build_with_cell_len(device, points, eps, usize::MAX);
+            if let Some(c) = ckpt.as_deref_mut() {
+                c.record(PHASE_INDEX, &grid);
+                checkpoint::persist(c, device);
+            }
+            grid
+        }
+    };
     let _grid_mem = device.memory().reserve(grid.memory_bytes())?;
     let index_time = index_start.elapsed();
     drop(index_span);
@@ -143,27 +189,40 @@ pub fn cuda_dclust_with<const D: usize>(
     // ---- Phase 1: core identification (Mr. Scan refinement) --------------
     let preprocess_span = tracer.phase("preprocess");
     let preprocess_start = Instant::now();
-    let core = CoreFlags::new(n);
-    {
-        let core_ref = &core;
-        let counters = device.counters();
-        device.try_launch_named("cudadclust.core_count", n, |i| {
-            let mut count = 0usize;
-            let distances = for_candidates(
-                &points[i],
-                Box::new(|_, within| {
-                    if within {
-                        count += 1; // includes the point itself
+    let core = match ckpt.as_deref().and_then(|c| c.restore::<CoreSnapshot>(PHASE_PREPROCESS)) {
+        Some(flags) => {
+            tracer.instant("checkpoint.restore: preprocess");
+            CoreFlags::from_flags(&flags.0)
+        }
+        None => {
+            let core = CoreFlags::new(n);
+            {
+                let core_ref = &core;
+                let counters = device.counters();
+                device.try_launch_named("cudadclust.core_count", n, |i| {
+                    let mut count = 0usize;
+                    let distances = for_candidates(
+                        &points[i],
+                        Box::new(|_, within| {
+                            if within {
+                                count += 1; // includes the point itself
+                            }
+                            count < minpts
+                        }),
+                    );
+                    if count >= minpts {
+                        core_ref.set(i as u32);
                     }
-                    count < minpts
-                }),
-            );
-            if count >= minpts {
-                core_ref.set(i as u32);
+                    counters.add_distances(distances);
+                })?;
             }
-            counters.add_distances(distances);
-        })?;
-    }
+            if let Some(c) = ckpt.as_deref_mut() {
+                c.record(PHASE_PREPROCESS, &CoreSnapshot(core.to_vec()));
+                checkpoint::persist(c, device);
+            }
+            core
+        }
+    };
     let preprocess_time = preprocess_start.elapsed();
     drop(preprocess_span);
     let after_preprocess = device.counters().snapshot();
@@ -171,80 +230,103 @@ pub fn cuda_dclust_with<const D: usize>(
     // ---- Phase 2: chain expansion ----------------------------------------
     let main_span = tracer.phase("main");
     let main_start = Instant::now();
-    let chain_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
-    let collisions: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
-    let mut chain_count = 0u32;
-    let mut scan_cursor = 0usize;
-
-    loop {
-        // Host-side: pick the next batch of unchained core seeds.
-        let mut seeds: Vec<u32> = Vec::with_capacity(config.chains_per_round);
-        while scan_cursor < n && seeds.len() < config.chains_per_round {
-            let i = scan_cursor as u32;
-            if core.get(i) && chain_of[scan_cursor].load(Ordering::Relaxed) == UNSET {
-                let q = chain_count;
-                chain_count += 1;
-                chain_of[scan_cursor].store(q, Ordering::Relaxed);
-                seeds.push(i);
+    let (chain_of, cluster_of_chain, num_clusters) =
+        match ckpt.as_deref().and_then(|c| c.restore::<ChainState>(PHASE_MAIN)) {
+            Some(state) => {
+                tracer.instant("checkpoint.restore: main");
+                let chain_of: Vec<AtomicU32> =
+                    state.chain_of.into_iter().map(AtomicU32::new).collect();
+                (chain_of, state.cluster_of_chain, state.num_clusters)
             }
-            scan_cursor += 1;
-        }
-        if seeds.is_empty() {
-            break;
-        }
+            None => {
+                let chain_of: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+                let collisions: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+                let mut chain_count = 0u32;
+                let mut scan_cursor = 0usize;
 
-        let seeds_ref = &seeds;
-        let chain_ref = &chain_of;
-        let core_ref = &core;
-        let collisions_ref = &collisions;
-        let counters = device.counters();
-        device.try_launch_named("cudadclust.chain_expand", seeds.len(), |s| {
-            let seed = seeds_ref[s];
-            let q = chain_ref[seed as usize].load(Ordering::Relaxed);
-            let mut frontier = vec![seed];
-            let mut total_distances = 0u64;
-            while let Some(u) = frontier.pop() {
-                total_distances += for_candidates(
-                    &points[u as usize],
-                    Box::new(|v, within| {
-                        if within && core_ref.get(v) {
-                            match chain_ref[v as usize].compare_exchange(
-                                UNSET,
-                                q,
-                                Ordering::Relaxed,
-                                Ordering::Relaxed,
-                            ) {
-                                Ok(_) => frontier.push(v),
-                                Err(other) => {
-                                    if other != q {
-                                        collisions_ref.lock().push((q, other));
-                                    }
-                                }
-                            }
+                loop {
+                    // Host-side: pick the next batch of unchained core seeds.
+                    let mut seeds: Vec<u32> = Vec::with_capacity(config.chains_per_round);
+                    while scan_cursor < n && seeds.len() < config.chains_per_round {
+                        let i = scan_cursor as u32;
+                        if core.get(i) && chain_of[scan_cursor].load(Ordering::Relaxed) == UNSET {
+                            let q = chain_count;
+                            chain_count += 1;
+                            chain_of[scan_cursor].store(q, Ordering::Relaxed);
+                            seeds.push(i);
                         }
-                        true
-                    }),
-                );
-            }
-            counters.add_distances(total_distances);
-        })?;
-    }
+                        scan_cursor += 1;
+                    }
+                    if seeds.is_empty() {
+                        break;
+                    }
 
-    // ---- Phase 3: host-side collision resolution -------------------------
-    let mut chain_dsu = SequentialDsu::new(chain_count as usize);
-    for &(a, b) in collisions.lock().iter() {
-        chain_dsu.union(a, b);
-    }
-    let mut cluster_of_chain = vec![UNSET; chain_count as usize];
-    let mut num_clusters = 0u32;
-    for q in 0..chain_count {
-        let root = chain_dsu.find(q) as usize;
-        if cluster_of_chain[root] == UNSET {
-            cluster_of_chain[root] = num_clusters;
-            num_clusters += 1;
-        }
-        cluster_of_chain[q as usize] = cluster_of_chain[root];
-    }
+                    let seeds_ref = &seeds;
+                    let chain_ref = &chain_of;
+                    let core_ref = &core;
+                    let collisions_ref = &collisions;
+                    let counters = device.counters();
+                    device.try_launch_named("cudadclust.chain_expand", seeds.len(), |s| {
+                        let seed = seeds_ref[s];
+                        let q = chain_ref[seed as usize].load(Ordering::Relaxed);
+                        let mut frontier = vec![seed];
+                        let mut total_distances = 0u64;
+                        while let Some(u) = frontier.pop() {
+                            total_distances += for_candidates(
+                                &points[u as usize],
+                                Box::new(|v, within| {
+                                    if within && core_ref.get(v) {
+                                        match chain_ref[v as usize].compare_exchange(
+                                            UNSET,
+                                            q,
+                                            Ordering::Relaxed,
+                                            Ordering::Relaxed,
+                                        ) {
+                                            Ok(_) => frontier.push(v),
+                                            Err(other) => {
+                                                if other != q {
+                                                    collisions_ref.lock().push((q, other));
+                                                }
+                                            }
+                                        }
+                                    }
+                                    true
+                                }),
+                            );
+                        }
+                        counters.add_distances(total_distances);
+                    })?;
+                }
+
+                // Host-side collision resolution.
+                let mut chain_dsu = SequentialDsu::new(chain_count as usize);
+                for &(a, b) in collisions.lock().iter() {
+                    chain_dsu.union(a, b);
+                }
+                let mut cluster_of_chain = vec![UNSET; chain_count as usize];
+                let mut num_clusters = 0u32;
+                for q in 0..chain_count {
+                    let root = chain_dsu.find(q) as usize;
+                    if cluster_of_chain[root] == UNSET {
+                        cluster_of_chain[root] = num_clusters;
+                        num_clusters += 1;
+                    }
+                    cluster_of_chain[q as usize] = cluster_of_chain[root];
+                }
+                if let Some(c) = ckpt.as_deref_mut() {
+                    c.record(
+                        PHASE_MAIN,
+                        &ChainState {
+                            chain_of: chain_of.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                            cluster_of_chain: cluster_of_chain.clone(),
+                            num_clusters,
+                        },
+                    );
+                    checkpoint::persist(c, device);
+                }
+                (chain_of, cluster_of_chain, num_clusters)
+            }
+        };
     let main_time = main_start.elapsed();
     drop(main_span);
     let after_main = device.counters().snapshot();
@@ -252,50 +334,62 @@ pub fn cuda_dclust_with<const D: usize>(
     // ---- Phase 4: border attachment --------------------------------------
     let finalize_span = tracer.phase("finalize");
     let finalize_start = Instant::now();
-    let mut assignments = vec![NOISE; n];
-    let mut classes = vec![PointClass::Noise; n];
-    {
-        let assignments_view = SharedMut::new(&mut assignments);
-        let classes_view = SharedMut::new(&mut classes);
-        let chain_ref = &chain_of;
-        let core_ref = &core;
-        let cluster_of_chain_ref = &cluster_of_chain;
-        let counters = device.counters();
-        device.try_launch_named("cudadclust.border_attach", n, |i| {
-            if core_ref.get(i as u32) {
-                let chain = chain_ref[i].load(Ordering::Relaxed);
-                debug_assert_ne!(chain, UNSET, "core point left unchained");
-                // SAFETY: one writer per index.
-                unsafe {
-                    assignments_view.write(i, cluster_of_chain_ref[chain as usize] as i64);
-                    classes_view.write(i, PointClass::Core);
-                }
-                return;
-            }
-            // Border: first core neighbor within eps decides the cluster.
-            let mut found: Option<u32> = None;
-            let distances = for_candidates(
-                &points[i],
-                Box::new(|v, within| {
-                    if within && core_ref.get(v) {
-                        found = Some(v);
-                        false
-                    } else {
-                        true
+    let restored_final = ckpt.as_deref().and_then(|c| c.restore::<Clustering>(PHASE_FINALIZE));
+    let clustering = if let Some(clustering) = restored_final {
+        tracer.instant("checkpoint.restore: finalize");
+        clustering
+    } else {
+        let mut assignments = vec![NOISE; n];
+        let mut classes = vec![PointClass::Noise; n];
+        {
+            let assignments_view = SharedMut::new(&mut assignments);
+            let classes_view = SharedMut::new(&mut classes);
+            let chain_ref = &chain_of;
+            let core_ref = &core;
+            let cluster_of_chain_ref = &cluster_of_chain;
+            let counters = device.counters();
+            device.try_launch_named("cudadclust.border_attach", n, |i| {
+                if core_ref.get(i as u32) {
+                    let chain = chain_ref[i].load(Ordering::Relaxed);
+                    debug_assert_ne!(chain, UNSET, "core point left unchained");
+                    // SAFETY: one writer per index.
+                    unsafe {
+                        assignments_view.write(i, cluster_of_chain_ref[chain as usize] as i64);
+                        classes_view.write(i, PointClass::Core);
                     }
-                }),
-            );
-            counters.add_distances(distances);
-            if let Some(v) = found {
-                let chain = chain_ref[v as usize].load(Ordering::Relaxed);
-                // SAFETY: one writer per index.
-                unsafe {
-                    assignments_view.write(i, cluster_of_chain_ref[chain as usize] as i64);
-                    classes_view.write(i, PointClass::Border);
+                    return;
                 }
-            }
-        })?;
-    }
+                // Border: first core neighbor within eps decides the cluster.
+                let mut found: Option<u32> = None;
+                let distances = for_candidates(
+                    &points[i],
+                    Box::new(|v, within| {
+                        if within && core_ref.get(v) {
+                            found = Some(v);
+                            false
+                        } else {
+                            true
+                        }
+                    }),
+                );
+                counters.add_distances(distances);
+                if let Some(v) = found {
+                    let chain = chain_ref[v as usize].load(Ordering::Relaxed);
+                    // SAFETY: one writer per index.
+                    unsafe {
+                        assignments_view.write(i, cluster_of_chain_ref[chain as usize] as i64);
+                        classes_view.write(i, PointClass::Border);
+                    }
+                }
+            })?;
+        }
+        let clustering = Clustering { assignments, num_clusters: num_clusters as usize, classes };
+        if let Some(c) = ckpt {
+            c.record(PHASE_FINALIZE, &clustering);
+            checkpoint::persist(c, device);
+        }
+        clustering
+    };
     let finalize_time = finalize_start.elapsed();
     drop(finalize_span);
     let after_finalize = device.counters().snapshot();
@@ -316,7 +410,7 @@ pub fn cuda_dclust_with<const D: usize>(
         peak_memory_bytes: device.memory().peak(),
         dense: None,
     };
-    Ok((Clustering { assignments, num_clusters: num_clusters as usize, classes }, stats))
+    Ok((clustering, stats))
 }
 
 #[cfg(test)]

@@ -17,14 +17,21 @@ use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use fdbscan_device::shared::SharedMut;
-use fdbscan_device::{CountersSnapshot, Device, DeviceError};
+use fdbscan_device::{CountersSnapshot, Device, DeviceError, PipelineCheckpoint};
 use fdbscan_geom::Point;
 
+use crate::checkpoint::{
+    self, BfsLabels, CoreSnapshot, CsrGraph, PHASE_CORE_FLAGS, PHASE_FINALIZE, PHASE_INDEX,
+    PHASE_MAIN,
+};
 use crate::labels::{Clustering, PointClass, NOISE};
 use crate::stats::{PhaseCounters, RunStats};
 use crate::Params;
 
 const UNSET: u32 = u32::MAX;
+
+/// Checkpoint algorithm tag of [`gdbscan`] runs.
+pub const GDBSCAN_ALGORITHM: &str = "g-dbscan";
 
 /// Runs G-DBSCAN over `points`.
 ///
@@ -34,6 +41,34 @@ pub fn gdbscan<const D: usize>(
     device: &Device,
     points: &[Point<D>],
     params: Params,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    gdbscan_core(device, points, params, None)
+}
+
+/// [`gdbscan`], resuming from (and recording into) a checkpoint.
+///
+/// Besides the usual phase artifacts, the degree pass records the core
+/// flags under [`PHASE_CORE_FLAGS`] *before* the adjacency-graph
+/// reservation — G-DBSCAN's canonical failure point. When the graph
+/// OOMs, the checkpoint still carries the flags, and the resilient
+/// ladder hands them to the next (tree-based) rung so that run skips
+/// its preprocessing distance work. See [`crate::fdbscan_run_from`] for
+/// the resume contract.
+pub fn gdbscan_run_from<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    ckpt: &mut PipelineCheckpoint,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    checkpoint::prepare(ckpt, GDBSCAN_ALGORITHM, points, params);
+    gdbscan_core(device, points, params, Some(ckpt))
+}
+
+fn gdbscan_core<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    mut ckpt: Option<&mut PipelineCheckpoint>,
 ) -> Result<(Clustering, RunStats), DeviceError> {
     crate::validate_finite(points)?;
     let n = points.len();
@@ -58,59 +93,92 @@ pub fn gdbscan<const D: usize>(
     // ---- Graph construction -------------------------------------------
     let index_span = tracer.phase("index");
     let index_start = Instant::now();
-
-    // Degree pass (all-to-all): neighbor count excluding self; the core
-    // test adds the point itself back.
-    let mut degrees = vec![0u64; n + 1];
-    {
-        let deg_view = SharedMut::new(&mut degrees);
-        let counters = device.counters();
-        device.try_launch_named("gdbscan.degree", n, |i| {
-            let q = &points[i];
-            let mut count = 0u64;
-            for (j, p) in points.iter().enumerate() {
-                if j != i && p.dist_sq(q) <= eps_sq {
-                    count += 1;
-                }
+    let (offsets, adjacency, core) =
+        match ckpt.as_deref().and_then(|c| c.restore::<CsrGraph>(PHASE_INDEX)) {
+            Some(graph) => {
+                tracer.instant("checkpoint.restore: index");
+                // The restored graph occupies the same device memory the
+                // original reservation did.
+                let num_edges = graph.adjacency.len();
+                let _graph_mem = device.memory().reserve(
+                    num_edges * std::mem::size_of::<u32>() + (n + 1) * std::mem::size_of::<u64>(),
+                )?;
+                (graph.offsets, graph.adjacency, graph.core)
             }
-            counters.add_distances(n as u64);
-            // SAFETY: one writer per index.
-            unsafe { deg_view.write(i, count) };
-        })?;
-    }
-
-    // Core flags from degrees (|N| includes self).
-    let core: Vec<bool> = (0..n).map(|i| degrees[i] as usize + 1 >= minpts).collect();
-
-    // CSR offsets; `degrees` becomes the offsets array in place.
-    let num_edges = fdbscan_psort::exclusive_scan(device, &mut degrees) as usize;
-    let offsets = degrees;
-
-    // THE reservation that makes or breaks G-DBSCAN: the edge lists.
-    let _graph_mem = device
-        .memory()
-        .reserve(num_edges * std::mem::size_of::<u32>() + (n + 1) * std::mem::size_of::<u64>())?;
-
-    // Fill pass (second all-to-all).
-    let mut adjacency = vec![0u32; num_edges];
-    {
-        let adj_view = SharedMut::new(&mut adjacency);
-        let offsets_ref = &offsets;
-        let counters = device.counters();
-        device.try_launch_named("gdbscan.fill", n, |i| {
-            let q = &points[i];
-            let mut cursor = offsets_ref[i] as usize;
-            for (j, p) in points.iter().enumerate() {
-                if j != i && p.dist_sq(q) <= eps_sq {
-                    // SAFETY: vertex i owns its CSR segment.
-                    unsafe { adj_view.write(cursor, j as u32) };
-                    cursor += 1;
+            None => {
+                // Degree pass (all-to-all): neighbor count excluding self;
+                // the core test adds the point itself back.
+                let mut degrees = vec![0u64; n + 1];
+                {
+                    let deg_view = SharedMut::new(&mut degrees);
+                    let counters = device.counters();
+                    device.try_launch_named("gdbscan.degree", n, |i| {
+                        let q = &points[i];
+                        let mut count = 0u64;
+                        for (j, p) in points.iter().enumerate() {
+                            if j != i && p.dist_sq(q) <= eps_sq {
+                                count += 1;
+                            }
+                        }
+                        counters.add_distances(n as u64);
+                        // SAFETY: one writer per index.
+                        unsafe { deg_view.write(i, count) };
+                    })?;
                 }
+
+                // Core flags from degrees (|N| includes self). Recorded
+                // *before* the graph reservation: when the edge lists OOM,
+                // the flags survive for cross-algorithm handoff.
+                let core: Vec<bool> = (0..n).map(|i| degrees[i] as usize + 1 >= minpts).collect();
+                if let Some(c) = ckpt.as_deref_mut() {
+                    c.record(PHASE_CORE_FLAGS, &CoreSnapshot(core.clone()));
+                    checkpoint::persist(c, device);
+                }
+
+                // CSR offsets; `degrees` becomes the offsets array in place.
+                let num_edges = fdbscan_psort::exclusive_scan(device, &mut degrees) as usize;
+                let offsets = degrees;
+
+                // THE reservation that makes or breaks G-DBSCAN: the edge
+                // lists.
+                let _graph_mem = device.memory().reserve(
+                    num_edges * std::mem::size_of::<u32>() + (n + 1) * std::mem::size_of::<u64>(),
+                )?;
+
+                // Fill pass (second all-to-all).
+                let mut adjacency = vec![0u32; num_edges];
+                {
+                    let adj_view = SharedMut::new(&mut adjacency);
+                    let offsets_ref = &offsets;
+                    let counters = device.counters();
+                    device.try_launch_named("gdbscan.fill", n, |i| {
+                        let q = &points[i];
+                        let mut cursor = offsets_ref[i] as usize;
+                        for (j, p) in points.iter().enumerate() {
+                            if j != i && p.dist_sq(q) <= eps_sq {
+                                // SAFETY: vertex i owns its CSR segment.
+                                unsafe { adj_view.write(cursor, j as u32) };
+                                cursor += 1;
+                            }
+                        }
+                        counters.add_distances(n as u64);
+                        debug_assert_eq!(cursor as u64, offsets_ref[i + 1]);
+                    })?;
+                }
+                if let Some(c) = ckpt.as_deref_mut() {
+                    c.record(
+                        PHASE_INDEX,
+                        &CsrGraph {
+                            offsets: offsets.clone(),
+                            adjacency: adjacency.clone(),
+                            core: core.clone(),
+                        },
+                    );
+                    checkpoint::persist(c, device);
+                }
+                (offsets, adjacency, core)
             }
-            counters.add_distances(n as u64);
-            debug_assert_eq!(cursor as u64, offsets_ref[i + 1]);
-        })?;
-    }
+        };
     let index_time = index_start.elapsed();
     drop(index_span);
     let after_index = device.counters().snapshot();
@@ -118,58 +186,84 @@ pub fn gdbscan<const D: usize>(
     // ---- BFS clustering -------------------------------------------------
     let main_span = tracer.phase("main");
     let main_start = Instant::now();
-    let labels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
-    let mut frontier: Vec<u32> = Vec::with_capacity(n);
-    let mut next: Vec<u32> = vec![0u32; n];
-    let mut num_clusters = 0u32;
-
-    for seed in 0..n {
-        if !core[seed] || labels[seed].load(Ordering::Relaxed) != UNSET {
-            continue;
-        }
-        let cluster = num_clusters;
-        num_clusters += 1;
-        labels[seed].store(cluster, Ordering::Relaxed);
-        frontier.clear();
-        frontier.push(seed as u32);
-
-        while !frontier.is_empty() {
-            let next_len = AtomicUsize::new(0);
-            {
-                let next_view = SharedMut::new(&mut next);
-                let frontier_ref = &frontier;
-                let labels_ref = &labels;
-                let offsets_ref = &offsets;
-                let adjacency_ref = &adjacency;
-                let core_ref = &core;
-                let counters = device.counters();
-                device.try_launch_named("gdbscan.bfs_level", frontier.len(), |f| {
-                    let u = frontier_ref[f] as usize;
-                    let begin = offsets_ref[u] as usize;
-                    let end = offsets_ref[u + 1] as usize;
-                    for &v in &adjacency_ref[begin..end] {
-                        // Claim: first cluster to reach v owns it.
-                        if labels_ref[v as usize]
-                            .compare_exchange(UNSET, cluster, Ordering::Relaxed, Ordering::Relaxed)
-                            .is_ok()
-                        {
-                            counters.label_cas.fetch_add(1, Ordering::Relaxed);
-                            if core_ref[v as usize] {
-                                let slot = next_len.fetch_add(1, Ordering::Relaxed);
-                                // SAFETY: `slot` is unique per claim and
-                                // claims are unique per vertex, so at most
-                                // n disjoint writes.
-                                unsafe { next_view.write(slot, v) };
-                            }
-                        }
-                    }
-                })?;
+    let (labels, num_clusters) =
+        match ckpt.as_deref().and_then(|c| c.restore::<BfsLabels>(PHASE_MAIN)) {
+            Some(state) => {
+                tracer.instant("checkpoint.restore: main");
+                let labels: Vec<AtomicU32> = state.labels.into_iter().map(AtomicU32::new).collect();
+                (labels, state.num_clusters)
             }
-            let len = next_len.load(Ordering::Relaxed);
-            frontier.clear();
-            frontier.extend_from_slice(&next[..len]);
-        }
-    }
+            None => {
+                let labels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNSET)).collect();
+                let mut frontier: Vec<u32> = Vec::with_capacity(n);
+                let mut next: Vec<u32> = vec![0u32; n];
+                let mut num_clusters = 0u32;
+
+                for seed in 0..n {
+                    if !core[seed] || labels[seed].load(Ordering::Relaxed) != UNSET {
+                        continue;
+                    }
+                    let cluster = num_clusters;
+                    num_clusters += 1;
+                    labels[seed].store(cluster, Ordering::Relaxed);
+                    frontier.clear();
+                    frontier.push(seed as u32);
+
+                    while !frontier.is_empty() {
+                        let next_len = AtomicUsize::new(0);
+                        {
+                            let next_view = SharedMut::new(&mut next);
+                            let frontier_ref = &frontier;
+                            let labels_ref = &labels;
+                            let offsets_ref = &offsets;
+                            let adjacency_ref = &adjacency;
+                            let core_ref = &core;
+                            let counters = device.counters();
+                            device.try_launch_named("gdbscan.bfs_level", frontier.len(), |f| {
+                                let u = frontier_ref[f] as usize;
+                                let begin = offsets_ref[u] as usize;
+                                let end = offsets_ref[u + 1] as usize;
+                                for &v in &adjacency_ref[begin..end] {
+                                    // Claim: first cluster to reach v owns it.
+                                    if labels_ref[v as usize]
+                                        .compare_exchange(
+                                            UNSET,
+                                            cluster,
+                                            Ordering::Relaxed,
+                                            Ordering::Relaxed,
+                                        )
+                                        .is_ok()
+                                    {
+                                        counters.label_cas.fetch_add(1, Ordering::Relaxed);
+                                        if core_ref[v as usize] {
+                                            let slot = next_len.fetch_add(1, Ordering::Relaxed);
+                                            // SAFETY: `slot` is unique per claim and
+                                            // claims are unique per vertex, so at most
+                                            // n disjoint writes.
+                                            unsafe { next_view.write(slot, v) };
+                                        }
+                                    }
+                                }
+                            })?;
+                        }
+                        let len = next_len.load(Ordering::Relaxed);
+                        frontier.clear();
+                        frontier.extend_from_slice(&next[..len]);
+                    }
+                }
+                if let Some(c) = ckpt.as_deref_mut() {
+                    c.record(
+                        PHASE_MAIN,
+                        &BfsLabels {
+                            labels: labels.iter().map(|l| l.load(Ordering::Relaxed)).collect(),
+                            num_clusters,
+                        },
+                    );
+                    checkpoint::persist(c, device);
+                }
+                (labels, num_clusters)
+            }
+        };
     let main_time = main_start.elapsed();
     drop(main_span);
     let after_main = device.counters().snapshot();
@@ -177,19 +271,34 @@ pub fn gdbscan<const D: usize>(
     // ---- Relabel ---------------------------------------------------------
     let finalize_span = tracer.phase("finalize");
     let finalize_start = Instant::now();
-    let mut assignments = vec![NOISE; n];
-    let mut classes = vec![PointClass::Noise; n];
-    for i in 0..n {
-        let label = labels[i].load(Ordering::Relaxed);
-        if core[i] {
-            debug_assert_ne!(label, UNSET, "core point left unlabeled by BFS");
-            assignments[i] = label as i64;
-            classes[i] = PointClass::Core;
-        } else if label != UNSET {
-            assignments[i] = label as i64;
-            classes[i] = PointClass::Border;
+    let clustering = match ckpt.as_deref().and_then(|c| c.restore::<Clustering>(PHASE_FINALIZE)) {
+        Some(clustering) => {
+            tracer.instant("checkpoint.restore: finalize");
+            clustering
         }
-    }
+        None => {
+            let mut assignments = vec![NOISE; n];
+            let mut classes = vec![PointClass::Noise; n];
+            for i in 0..n {
+                let label = labels[i].load(Ordering::Relaxed);
+                if core[i] {
+                    debug_assert_ne!(label, UNSET, "core point left unlabeled by BFS");
+                    assignments[i] = label as i64;
+                    classes[i] = PointClass::Core;
+                } else if label != UNSET {
+                    assignments[i] = label as i64;
+                    classes[i] = PointClass::Border;
+                }
+            }
+            let clustering =
+                Clustering { assignments, num_clusters: num_clusters as usize, classes };
+            if let Some(c) = ckpt {
+                c.record(PHASE_FINALIZE, &clustering);
+                checkpoint::persist(c, device);
+            }
+            clustering
+        }
+    };
     let finalize_time = finalize_start.elapsed();
     drop(finalize_span);
     let after_finalize = device.counters().snapshot();
@@ -210,7 +319,7 @@ pub fn gdbscan<const D: usize>(
         peak_memory_bytes: device.memory().peak(),
         dense: None,
     };
-    Ok((Clustering { assignments, num_clusters: num_clusters as usize, classes }, stats))
+    Ok((clustering, stats))
 }
 
 #[cfg(test)]

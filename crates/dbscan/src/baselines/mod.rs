@@ -13,5 +13,5 @@
 pub mod cudadclust;
 pub mod gdbscan;
 
-pub use cudadclust::{cuda_dclust, CudaDclustConfig};
-pub use gdbscan::gdbscan;
+pub use cudadclust::{cuda_dclust, cuda_dclust_run_from, CudaDclustConfig};
+pub use gdbscan::{gdbscan, gdbscan_run_from};

@@ -21,18 +21,26 @@
 
 use std::ops::ControlFlow;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fdbscan_bvh::Bvh;
-use fdbscan_device::{Device, DeviceError};
+use fdbscan_device::json::Json;
+use fdbscan_device::{Checkpointable, Device, DeviceError, PipelineCheckpoint};
 use fdbscan_geom::Point;
 use fdbscan_grid::DenseGrid;
 use fdbscan_unionfind::AtomicLabels;
 
+use crate::checkpoint::{
+    self, CoreSnapshot, DenseIndex, LabelState, PHASE_FINALIZE, PHASE_INDEX, PHASE_MAIN,
+    PHASE_PREPROCESS,
+};
 use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
 use crate::labels::Clustering;
 use crate::stats::{DenseStats, PhaseCounters, RunStats};
 use crate::Params;
+
+/// Checkpoint algorithm tag of [`fdbscan_densebox`] runs.
+pub const DENSEBOX_ALGORITHM: &str = "fdbscan-densebox";
 
 /// Options for [`fdbscan_densebox_with`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -61,16 +69,23 @@ pub fn fdbscan_densebox_with<const D: usize>(
     params: Params,
     options: DenseBoxOptions,
 ) -> Result<(Clustering, RunStats), DeviceError> {
-    if points.is_empty() {
-        let start = Instant::now();
-        return Ok((
-            Clustering::from_union_find(&[], &[]),
-            RunStats { total_time: start.elapsed(), ..Default::default() },
-        ));
-    }
-    let grid_start = Instant::now();
-    let grid = DenseGrid::build(device, points, params.eps, params.minpts);
-    densebox_with_grid(device, points, params, options, grid, grid_start.elapsed())
+    densebox_core(device, points, params, options, None, None)
+}
+
+/// [`fdbscan_densebox_with`], resuming from (and recording into) a
+/// checkpoint. The index-phase artifact is the grid + mixed-primitive
+/// BVH pair ([`DenseIndex`]); the mixed primitive references are a
+/// deterministic host-side function of the grid and are recomputed on
+/// restore. See [`crate::fdbscan_run_from`] for the resume contract.
+pub fn fdbscan_densebox_run_from<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    options: DenseBoxOptions,
+    ckpt: &mut PipelineCheckpoint,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    checkpoint::prepare(ckpt, DENSEBOX_ALGORITHM, points, params);
+    densebox_core(device, points, params, options, None, Some(ckpt))
 }
 
 /// FDBSCAN-DenseBox over a prebuilt grid (used by the heuristic switch
@@ -83,7 +98,18 @@ pub fn densebox_with_grid<const D: usize>(
     params: Params,
     options: DenseBoxOptions,
     grid: DenseGrid<D>,
-    grid_time: std::time::Duration,
+    grid_time: Duration,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    densebox_core(device, points, params, options, Some((grid, grid_time)), None)
+}
+
+fn densebox_core<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    options: DenseBoxOptions,
+    prebuilt: Option<(DenseGrid<D>, Duration)>,
+    mut ckpt: Option<&mut PipelineCheckpoint>,
 ) -> Result<(Clustering, RunStats), DeviceError> {
     crate::validate_finite(points)?;
     let n = points.len();
@@ -106,29 +132,167 @@ pub fn densebox_with_grid<const D: usize>(
     let _labels_mem = device.memory().reserve_array::<u32>(n)?;
     let _flags_mem = device.memory().reserve(n.div_ceil(8))?;
 
-    // Phase 1: dense grid (prebuilt) + mixed-primitive BVH.
+    // Phase 1: dense grid + mixed-primitive BVH. The mixed primitive
+    // references are recomputed in every path — they are a cheap
+    // deterministic function of (grid, points), so the checkpoint only
+    // needs to carry the grid and the tree.
     let index_span = tracer.phase("index");
     let index_start = Instant::now();
+    let mut grid_time = Duration::ZERO;
+    let (grid, restored_bvh) =
+        match ckpt.as_deref().and_then(|c| c.restore::<DenseIndex<D>>(PHASE_INDEX)) {
+            Some(index) => {
+                tracer.instant("checkpoint.restore: index");
+                (index.grid, Some(index.bvh))
+            }
+            None => {
+                let grid = match prebuilt {
+                    Some((grid, prebuilt_time)) => {
+                        grid_time = prebuilt_time;
+                        grid
+                    }
+                    None => DenseGrid::build(device, points, eps, minpts),
+                };
+                (grid, None)
+            }
+        };
     let _grid_mem = device.memory().reserve(grid.memory_bytes())?;
     let mixed = grid.mixed_primitives(points);
-    let bvh = Bvh::build(device, &mixed.bounds);
+    let bvh = match restored_bvh {
+        Some(bvh) => bvh,
+        None => {
+            let bvh = Bvh::build(device, &mixed.bounds);
+            if let Some(c) = ckpt.as_deref_mut() {
+                c.record_raw(
+                    PHASE_INDEX,
+                    DenseIndex::<D>::KIND,
+                    Json::obj([("grid", grid.to_snapshot()), ("bvh", bvh.to_snapshot())]),
+                );
+                checkpoint::persist(c, device);
+            }
+            bvh
+        }
+    };
     let _bvh_mem = device.memory().reserve(bvh.memory_bytes())?;
     let refs = &mixed.refs;
     let index_time = index_start.elapsed() + grid_time;
     drop(index_span);
     let after_index = device.counters().snapshot();
 
-    let labels = AtomicLabels::with_counters(n, device.counters_arc());
-    let core = CoreFlags::new(n);
+    // A completed main phase supersedes preprocessing: its label state
+    // carries the (cell-union extended) core flags as well.
+    let restored_main = ckpt.as_deref().and_then(|c| c.restore::<LabelState>(PHASE_MAIN));
 
     // Phase 2: preprocessing. Dense-cell points are core by construction;
     // only outside points run the counting traversal.
     let preprocess_span = tracer.phase("preprocess");
     let preprocess_start = Instant::now();
+    let restored_core = if let Some(state) = &restored_main {
+        Some(CoreFlags::from_flags(&state.core))
+    } else {
+        ckpt.as_deref().and_then(|c| c.restore::<CoreSnapshot>(PHASE_PREPROCESS)).map(|flags| {
+            tracer.instant("checkpoint.restore: preprocess");
+            CoreFlags::from_flags(&flags.0)
+        })
+    };
+    let core = match restored_core {
+        Some(core) => core,
+        None => {
+            let core = CoreFlags::new(n);
+            run_preprocess(device, points, params, &grid, &bvh, refs, &core)?;
+            if let Some(c) = ckpt.as_deref_mut() {
+                c.record(PHASE_PREPROCESS, &CoreSnapshot(core.to_vec()));
+                checkpoint::persist(c, device);
+            }
+            core
+        }
+    };
+    let preprocess_time = preprocess_start.elapsed();
+    drop(preprocess_span);
+    let after_preprocess = device.counters().snapshot();
+
+    // Phase 3: main. 3a unions each dense cell internally; 3b traverses
+    // from every point.
+    let main_span = tracer.phase("main");
+    let main_start = Instant::now();
+    let labels = if let Some(state) = restored_main {
+        tracer.instant("checkpoint.restore: main");
+        let mut labels = AtomicLabels::from_labels(state.labels);
+        labels.attach_counters(device.counters_arc());
+        labels
+    } else {
+        let labels = AtomicLabels::with_counters(n, device.counters_arc());
+        run_main(device, points, params, options, &grid, &bvh, refs, &labels, &core)?;
+        if let Some(c) = ckpt.as_deref_mut() {
+            c.record(PHASE_MAIN, &LabelState { labels: labels.snapshot(), core: core.to_vec() });
+            checkpoint::persist(c, device);
+        }
+        labels
+    };
+    let main_time = main_start.elapsed();
+    drop(main_span);
+    let after_main = device.counters().snapshot();
+
+    // Phase 4: finalization.
+    let finalize_span = tracer.phase("finalize");
+    let finalize_start = Instant::now();
+    let clustering = match ckpt.as_deref().and_then(|c| c.restore::<Clustering>(PHASE_FINALIZE)) {
+        Some(clustering) => {
+            tracer.instant("checkpoint.restore: finalize");
+            clustering
+        }
+        None => {
+            let clustering = finalize(device, &labels, &core);
+            if let Some(c) = ckpt {
+                c.record(PHASE_FINALIZE, &clustering);
+                checkpoint::persist(c, device);
+            }
+            clustering
+        }
+    };
+    let finalize_time = finalize_start.elapsed();
+    drop(finalize_span);
+    let after_finalize = device.counters().snapshot();
+
+    let stats = RunStats {
+        index_time,
+        preprocess_time,
+        main_time,
+        finalize_time,
+        total_time: start.elapsed(),
+        counters: after_finalize.since(&counters_before),
+        phase_counters: PhaseCounters {
+            index: after_index.since(&counters_before),
+            preprocess: after_preprocess.since(&after_index),
+            main: after_main.since(&after_preprocess),
+            finalize: after_finalize.since(&after_main),
+        },
+        peak_memory_bytes: device.memory().peak(),
+        dense: Some(DenseStats {
+            num_cells: grid.num_cells(),
+            num_dense_cells: grid.num_dense_cells(),
+            points_in_dense_cells: grid.points_in_dense_cells(),
+            dense_fraction: grid.dense_fraction(),
+        }),
+    };
+    Ok((clustering, stats))
+}
+
+fn run_preprocess<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    grid: &DenseGrid<D>,
+    bvh: &Bvh<D>,
+    refs: &[fdbscan_grid::PrimitiveRef],
+    core: &CoreFlags,
+) -> Result<(), DeviceError> {
+    let n = points.len();
+    let Params { eps, minpts } = params;
     if minpts > 2 {
-        let bvh_ref = &bvh;
-        let grid_ref = &grid;
-        let core_ref = &core;
+        let bvh_ref = bvh;
+        let grid_ref = grid;
+        let core_ref = core;
         let counters = device.counters();
         device.try_launch_named("densebox.core_count", n, |i| {
             let i = i as u32;
@@ -176,20 +340,32 @@ pub fn densebox_with_grid<const D: usize>(
     } else if minpts == 1 {
         // Every point is trivially core. (With minpts == 1 every
         // non-empty cell is dense, so this is also what the grid implies.)
-        let core_ref = &core;
+        let core_ref = core;
         device.try_launch_named("densebox.mark_all_core", n, |i| core_ref.set(i as u32))?;
     }
-    let preprocess_time = preprocess_start.elapsed();
-    drop(preprocess_span);
-    let after_preprocess = device.counters().snapshot();
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_main<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    options: DenseBoxOptions,
+    grid: &DenseGrid<D>,
+    bvh: &Bvh<D>,
+    refs: &[fdbscan_grid::PrimitiveRef],
+    labels: &AtomicLabels,
+    core: &CoreFlags,
+) -> Result<(), DeviceError> {
+    let n = points.len();
+    let Params { eps, minpts } = params;
 
     // Phase 3a: union all points within each dense cell.
-    let main_span = tracer.phase("main");
-    let main_start = Instant::now();
     {
-        let grid_ref = &grid;
-        let labels_ref = &labels;
-        let core_ref = &core;
+        let grid_ref = grid;
+        let labels_ref = labels;
+        let core_ref = core;
         device.try_launch_named("densebox.cell_union", grid.num_cells(), |c| {
             let c = c as u32;
             if !grid_ref.is_dense(c) {
@@ -207,10 +383,10 @@ pub fn densebox_with_grid<const D: usize>(
 
     // Phase 3b: traversal from every point.
     {
-        let bvh_ref = &bvh;
-        let grid_ref = &grid;
-        let labels_ref = &labels;
-        let core_ref = &core;
+        let bvh_ref = bvh;
+        let grid_ref = grid;
+        let labels_ref = labels;
+        let core_ref = core;
         let counters = device.counters();
         let eps_sq = eps * eps;
         device.try_launch_named("densebox.pair_resolution", n, |i| {
@@ -276,40 +452,7 @@ pub fn densebox_with_grid<const D: usize>(
             counters.neighbors_found.fetch_add(stats.leaf_hits, Ordering::Relaxed);
         })?;
     }
-    let main_time = main_start.elapsed();
-    drop(main_span);
-    let after_main = device.counters().snapshot();
-
-    // Phase 4: finalization.
-    let finalize_span = tracer.phase("finalize");
-    let finalize_start = Instant::now();
-    let clustering = finalize(device, &labels, &core);
-    let finalize_time = finalize_start.elapsed();
-    drop(finalize_span);
-    let after_finalize = device.counters().snapshot();
-
-    let stats = RunStats {
-        index_time,
-        preprocess_time,
-        main_time,
-        finalize_time,
-        total_time: start.elapsed(),
-        counters: after_finalize.since(&counters_before),
-        phase_counters: PhaseCounters {
-            index: after_index.since(&counters_before),
-            preprocess: after_preprocess.since(&after_index),
-            main: after_main.since(&after_preprocess),
-            finalize: after_finalize.since(&after_main),
-        },
-        peak_memory_bytes: device.memory().peak(),
-        dense: Some(DenseStats {
-            num_cells: grid.num_cells(),
-            num_dense_cells: grid.num_dense_cells(),
-            points_in_dense_cells: grid.points_in_dense_cells(),
-            dense_fraction: grid.dense_fraction(),
-        }),
-    };
-    Ok((clustering, stats))
+    Ok(())
 }
 
 #[cfg(test)]

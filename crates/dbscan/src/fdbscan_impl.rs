@@ -19,14 +19,20 @@ use std::ops::ControlFlow;
 use std::time::Instant;
 
 use fdbscan_bvh::Bvh;
-use fdbscan_device::{Device, DeviceError};
+use fdbscan_device::{Device, DeviceError, PipelineCheckpoint};
 use fdbscan_geom::{Aabb, Point};
 use fdbscan_unionfind::AtomicLabels;
 
+use crate::checkpoint::{
+    self, CoreSnapshot, LabelState, PHASE_FINALIZE, PHASE_INDEX, PHASE_MAIN, PHASE_PREPROCESS,
+};
 use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
 use crate::labels::Clustering;
 use crate::stats::{PhaseCounters, RunStats};
 use crate::Params;
+
+/// Checkpoint algorithm tag of [`fdbscan`] runs.
+pub const FDBSCAN_ALGORITHM: &str = "fdbscan";
 
 /// Ablation switches for [`fdbscan_with`] — each disables one of the
 /// paper's traversal optimizations so its contribution can be measured
@@ -74,6 +80,35 @@ pub fn fdbscan_with<const D: usize>(
     params: Params,
     options: FdbscanOptions,
 ) -> Result<(Clustering, RunStats), DeviceError> {
+    fdbscan_core(device, points, params, options, None)
+}
+
+/// [`fdbscan_with`], resuming from (and recording into) a checkpoint.
+///
+/// Phases already recorded in `ckpt` are restored instead of
+/// re-executed; each phase that does run records its output into `ckpt`
+/// the moment it completes, so on a kernel fault the caller's
+/// checkpoint retains every phase finished before the fault. A
+/// checkpoint whose algorithm or input fingerprint does not match this
+/// run is reset to empty first (see [`crate::checkpoint::prepare`]).
+pub fn fdbscan_run_from<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    options: FdbscanOptions,
+    ckpt: &mut PipelineCheckpoint,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    checkpoint::prepare(ckpt, FDBSCAN_ALGORITHM, points, params);
+    fdbscan_core(device, points, params, options, Some(ckpt))
+}
+
+fn fdbscan_core<const D: usize>(
+    device: &Device,
+    points: &[Point<D>],
+    params: Params,
+    options: FdbscanOptions,
+    mut ckpt: Option<&mut PipelineCheckpoint>,
+) -> Result<(Clustering, RunStats), DeviceError> {
     crate::validate_finite(points)?;
     let n = points.len();
     let Params { eps, minpts } = params;
@@ -91,55 +126,83 @@ pub fn fdbscan_with<const D: usize>(
     // Phase 1: search index.
     let index_start = Instant::now();
     let index_span = tracer.phase("index");
-    let bounds: Vec<Aabb<D>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
-    let bvh = Bvh::build(device, &bounds);
-    drop(bounds);
+    let bvh = match ckpt.as_deref().and_then(|c| c.restore::<Bvh<D>>(PHASE_INDEX)) {
+        Some(bvh) => {
+            tracer.instant("checkpoint.restore: index");
+            bvh
+        }
+        None => {
+            let bounds: Vec<Aabb<D>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
+            let bvh = Bvh::build(device, &bounds);
+            if let Some(c) = ckpt.as_deref_mut() {
+                c.record(PHASE_INDEX, &bvh);
+                checkpoint::persist(c, device);
+            }
+            bvh
+        }
+    };
     let _bvh_mem = device.memory().reserve(bvh.memory_bytes())?;
     drop(index_span);
     let index_time = index_start.elapsed();
     let after_index = device.counters().snapshot();
 
-    let labels = AtomicLabels::with_counters(n, device.counters_arc());
-    let core = CoreFlags::new(n);
+    // A completed main phase supersedes preprocessing: its label state
+    // carries the (possibly lazily extended) core flags as well.
+    let restored_main = ckpt.as_deref().and_then(|c| c.restore::<LabelState>(PHASE_MAIN));
 
     // Phase 2: preprocessing (core determination).
     let preprocess_start = Instant::now();
     let preprocess_span = tracer.phase("preprocess");
-    match minpts {
-        0 => unreachable!("Params::new validates minpts >= 1"),
-        1 => {
-            // Every point is trivially core (its neighborhood contains
-            // itself).
-            let core_ref = &core;
-            device.try_launch_named("fdbscan.mark_all_core", n, |i| core_ref.set(i as u32))?;
-        }
-        2 => {
-            // Skipped: the main phase marks both endpoints of any matched
-            // pair as core (Algorithm 3, line 2).
-        }
-        _ => {
-            let bvh_ref = &bvh;
-            let core_ref = &core;
-            let counters = device.counters();
-            let early = options.early_termination;
-            device.try_launch_named("fdbscan.core_count", n, |i| {
-                let mut count = 0usize;
-                let stats = bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
-                    count += 1;
-                    if early && count >= minpts {
-                        ControlFlow::Break(())
-                    } else {
-                        ControlFlow::Continue(())
+    let core = if let Some(state) = &restored_main {
+        CoreFlags::from_flags(&state.core)
+    } else if let Some(flags) =
+        ckpt.as_deref().and_then(|c| c.restore::<CoreSnapshot>(PHASE_PREPROCESS))
+    {
+        tracer.instant("checkpoint.restore: preprocess");
+        CoreFlags::from_flags(&flags.0)
+    } else {
+        let core = CoreFlags::new(n);
+        match minpts {
+            0 => unreachable!("Params::new validates minpts >= 1"),
+            1 => {
+                // Every point is trivially core (its neighborhood contains
+                // itself).
+                let core_ref = &core;
+                device.try_launch_named("fdbscan.mark_all_core", n, |i| core_ref.set(i as u32))?;
+            }
+            2 => {
+                // Skipped: the main phase marks both endpoints of any matched
+                // pair as core (Algorithm 3, line 2).
+            }
+            _ => {
+                let bvh_ref = &bvh;
+                let core_ref = &core;
+                let counters = device.counters();
+                let early = options.early_termination;
+                device.try_launch_named("fdbscan.core_count", n, |i| {
+                    let mut count = 0usize;
+                    let stats = bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
+                        count += 1;
+                        if early && count >= minpts {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    });
+                    if count >= minpts {
+                        core_ref.set(i as u32);
                     }
-                });
-                if count >= minpts {
-                    core_ref.set(i as u32);
-                }
-                counters.add_nodes_visited(stats.nodes_visited);
-                counters.add_distances(stats.leaf_hits);
-            })?;
+                    counters.add_nodes_visited(stats.nodes_visited);
+                    counters.add_distances(stats.leaf_hits);
+                })?;
+            }
         }
-    }
+        if let Some(c) = ckpt.as_deref_mut() {
+            c.record(PHASE_PREPROCESS, &CoreSnapshot(core.to_vec()));
+            checkpoint::persist(c, device);
+        }
+        core
+    };
     drop(preprocess_span);
     let preprocess_time = preprocess_start.elapsed();
     let after_preprocess = device.counters().snapshot();
@@ -147,38 +210,51 @@ pub fn fdbscan_with<const D: usize>(
     // Phase 3: main (masked traversal fused with union-find).
     let main_start = Instant::now();
     let main_span = tracer.phase("main");
-    {
-        let bvh_ref = &bvh;
-        let core_ref = &core;
-        let labels_ref = &labels;
-        let counters = device.counters();
-        let masked = options.masked_traversal;
-        device.try_launch_named("fdbscan.pair_resolution", n, |i| {
-            let i = i as u32;
-            let cutoff = if masked { bvh_ref.leaf_pos_of(i) + 1 } else { 0 };
-            let stats = bvh_ref.for_each_in_radius(&points[i as usize], eps, cutoff, |_, j| {
-                if !masked && j == i {
-                    return ControlFlow::Continue(());
-                }
-                if minpts == 2 {
-                    // Any matched pair proves both endpoints core.
-                    core_ref.set(i);
-                    core_ref.set(j);
-                    labels_ref.union(i, j);
-                } else if options.star {
-                    resolve_pair_star(labels_ref, core_ref, i, j);
-                } else {
-                    resolve_pair(labels_ref, core_ref, i, j);
-                }
-                ControlFlow::Continue(())
-            });
-            counters.add_nodes_visited(stats.nodes_visited);
-            counters.add_distances(stats.leaf_hits);
-            counters
-                .neighbors_found
-                .fetch_add(stats.leaf_hits, std::sync::atomic::Ordering::Relaxed);
-        })?;
-    }
+    let labels = if let Some(state) = restored_main {
+        tracer.instant("checkpoint.restore: main");
+        let mut labels = AtomicLabels::from_labels(state.labels);
+        labels.attach_counters(device.counters_arc());
+        labels
+    } else {
+        let labels = AtomicLabels::with_counters(n, device.counters_arc());
+        {
+            let bvh_ref = &bvh;
+            let core_ref = &core;
+            let labels_ref = &labels;
+            let counters = device.counters();
+            let masked = options.masked_traversal;
+            device.try_launch_named("fdbscan.pair_resolution", n, |i| {
+                let i = i as u32;
+                let cutoff = if masked { bvh_ref.leaf_pos_of(i) + 1 } else { 0 };
+                let stats = bvh_ref.for_each_in_radius(&points[i as usize], eps, cutoff, |_, j| {
+                    if !masked && j == i {
+                        return ControlFlow::Continue(());
+                    }
+                    if minpts == 2 {
+                        // Any matched pair proves both endpoints core.
+                        core_ref.set(i);
+                        core_ref.set(j);
+                        labels_ref.union(i, j);
+                    } else if options.star {
+                        resolve_pair_star(labels_ref, core_ref, i, j);
+                    } else {
+                        resolve_pair(labels_ref, core_ref, i, j);
+                    }
+                    ControlFlow::Continue(())
+                });
+                counters.add_nodes_visited(stats.nodes_visited);
+                counters.add_distances(stats.leaf_hits);
+                counters
+                    .neighbors_found
+                    .fetch_add(stats.leaf_hits, std::sync::atomic::Ordering::Relaxed);
+            })?;
+        }
+        if let Some(c) = ckpt.as_deref_mut() {
+            c.record(PHASE_MAIN, &LabelState { labels: labels.snapshot(), core: core.to_vec() });
+            checkpoint::persist(c, device);
+        }
+        labels
+    };
     drop(main_span);
     let main_time = main_start.elapsed();
     let after_main = device.counters().snapshot();
@@ -186,7 +262,20 @@ pub fn fdbscan_with<const D: usize>(
     // Phase 4: finalization.
     let finalize_start = Instant::now();
     let finalize_span = tracer.phase("finalize");
-    let clustering = finalize(device, &labels, &core);
+    let clustering = match ckpt.as_deref().and_then(|c| c.restore::<Clustering>(PHASE_FINALIZE)) {
+        Some(clustering) => {
+            tracer.instant("checkpoint.restore: finalize");
+            clustering
+        }
+        None => {
+            let clustering = finalize(device, &labels, &core);
+            if let Some(c) = ckpt {
+                c.record(PHASE_FINALIZE, &clustering);
+                checkpoint::persist(c, device);
+            }
+            clustering
+        }
+    };
     drop(finalize_span);
     let finalize_time = finalize_start.elapsed();
     let after_finalize = device.counters().snapshot();

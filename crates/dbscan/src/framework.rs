@@ -28,6 +28,18 @@ impl CoreFlags {
         Self { words: (0..n.div_ceil(32)).map(|_| AtomicU32::new(0)).collect(), len: n }
     }
 
+    /// Rebuilds a flag set from a restored snapshot (see
+    /// [`crate::checkpoint::CoreSnapshot`]).
+    pub fn from_flags(flags: &[bool]) -> Self {
+        let set = Self::new(flags.len());
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                set.set(i as u32);
+            }
+        }
+        set
+    }
+
     /// Number of flags.
     pub fn len(&self) -> usize {
         self.len

@@ -10,16 +10,22 @@
 use std::ops::ControlFlow;
 use std::time::{Duration, Instant};
 
-use fdbscan_device::{Device, DeviceError};
+use fdbscan_device::{Device, DeviceError, PipelineCheckpoint};
 use fdbscan_geom::Point;
 use fdbscan_kdtree::KdTree;
 use fdbscan_unionfind::AtomicLabels;
 
+use crate::checkpoint::{
+    self, CoreSnapshot, LabelState, PHASE_FINALIZE, PHASE_MAIN, PHASE_PREPROCESS,
+};
 use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
 use crate::index::SpatialIndex;
 use crate::labels::Clustering;
 use crate::stats::{PhaseCounters, RunStats};
 use crate::{FdbscanOptions, Params};
+
+/// Checkpoint algorithm tag of [`fdbscan_on_index`] runs.
+pub const GENERIC_ALGORITHM: &str = "fdbscan-generic";
 
 /// Runs the FDBSCAN phases over a prebuilt index.
 ///
@@ -32,6 +38,36 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
     params: Params,
     options: FdbscanOptions,
     index_time: Duration,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    on_index_core(device, points, index, params, options, index_time, None)
+}
+
+/// [`fdbscan_on_index`], resuming from (and recording into) a
+/// checkpoint. The index itself is caller-provided, so the resumable
+/// boundaries are preprocess, main and finalize; the caller is
+/// responsible for rebuilding (or separately caching) its index.
+pub fn fdbscan_on_index_from<const D: usize, I: SpatialIndex<D>>(
+    device: &Device,
+    points: &[Point<D>],
+    index: &I,
+    params: Params,
+    options: FdbscanOptions,
+    index_time: Duration,
+    ckpt: &mut PipelineCheckpoint,
+) -> Result<(Clustering, RunStats), DeviceError> {
+    checkpoint::prepare(ckpt, GENERIC_ALGORITHM, points, params);
+    on_index_core(device, points, index, params, options, index_time, Some(ckpt))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_index_core<const D: usize, I: SpatialIndex<D>>(
+    device: &Device,
+    points: &[Point<D>],
+    index: &I,
+    params: Params,
+    options: FdbscanOptions,
+    index_time: Duration,
+    mut ckpt: Option<&mut PipelineCheckpoint>,
 ) -> Result<(Clustering, RunStats), DeviceError> {
     crate::validate_finite(points)?;
     let n = points.len();
@@ -50,41 +86,57 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
     let _index_mem = device.memory().reserve(index.memory_bytes())?;
     let after_index = device.counters().snapshot();
 
-    let labels = AtomicLabels::with_counters(n, device.counters_arc());
-    let core = CoreFlags::new(n);
+    // A completed main phase supersedes preprocessing: its label state
+    // carries the (possibly lazily extended) core flags as well.
+    let restored_main = ckpt.as_deref().and_then(|c| c.restore::<LabelState>(PHASE_MAIN));
 
     // Preprocessing.
     let preprocess_span = tracer.phase("preprocess");
     let preprocess_start = Instant::now();
-    match minpts {
-        0 => unreachable!("Params::new validates minpts >= 1"),
-        1 => {
-            let core_ref = &core;
-            device.try_launch_named("generic.mark_all_core", n, |i| core_ref.set(i as u32))?;
-        }
-        2 => {}
-        _ => {
-            let core_ref = &core;
-            let counters = device.counters();
-            let early = options.early_termination;
-            device.try_launch_named("generic.core_count", n, |i| {
-                let mut count = 0usize;
-                let stats = index.query_radius(&points[i], eps, 0, &mut |_, _| {
-                    count += 1;
-                    if early && count >= minpts {
-                        ControlFlow::Break(())
-                    } else {
-                        ControlFlow::Continue(())
+    let core = if let Some(state) = &restored_main {
+        CoreFlags::from_flags(&state.core)
+    } else if let Some(flags) =
+        ckpt.as_deref().and_then(|c| c.restore::<CoreSnapshot>(PHASE_PREPROCESS))
+    {
+        tracer.instant("checkpoint.restore: preprocess");
+        CoreFlags::from_flags(&flags.0)
+    } else {
+        let core = CoreFlags::new(n);
+        match minpts {
+            0 => unreachable!("Params::new validates minpts >= 1"),
+            1 => {
+                let core_ref = &core;
+                device.try_launch_named("generic.mark_all_core", n, |i| core_ref.set(i as u32))?;
+            }
+            2 => {}
+            _ => {
+                let core_ref = &core;
+                let counters = device.counters();
+                let early = options.early_termination;
+                device.try_launch_named("generic.core_count", n, |i| {
+                    let mut count = 0usize;
+                    let stats = index.query_radius(&points[i], eps, 0, &mut |_, _| {
+                        count += 1;
+                        if early && count >= minpts {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    });
+                    if count >= minpts {
+                        core_ref.set(i as u32);
                     }
-                });
-                if count >= minpts {
-                    core_ref.set(i as u32);
-                }
-                counters.add_nodes_visited(stats.nodes_visited);
-                counters.add_distances(stats.distance_tests);
-            })?;
+                    counters.add_nodes_visited(stats.nodes_visited);
+                    counters.add_distances(stats.distance_tests);
+                })?;
+            }
         }
-    }
+        if let Some(c) = ckpt.as_deref_mut() {
+            c.record(PHASE_PREPROCESS, &CoreSnapshot(core.to_vec()));
+            checkpoint::persist(c, device);
+        }
+        core
+    };
     let preprocess_time = preprocess_start.elapsed();
     drop(preprocess_span);
     let after_preprocess = device.counters().snapshot();
@@ -92,7 +144,20 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
     // Main phase.
     let main_span = tracer.phase("main");
     let main_start = Instant::now();
-    main_phase(device, points, index, params, options, &labels, &core)?;
+    let labels = if let Some(state) = restored_main {
+        tracer.instant("checkpoint.restore: main");
+        let mut labels = AtomicLabels::from_labels(state.labels);
+        labels.attach_counters(device.counters_arc());
+        labels
+    } else {
+        let labels = AtomicLabels::with_counters(n, device.counters_arc());
+        main_phase(device, points, index, params, options, &labels, &core)?;
+        if let Some(c) = ckpt.as_deref_mut() {
+            c.record(PHASE_MAIN, &LabelState { labels: labels.snapshot(), core: core.to_vec() });
+            checkpoint::persist(c, device);
+        }
+        labels
+    };
     let main_time = main_start.elapsed();
     drop(main_span);
     let after_main = device.counters().snapshot();
@@ -100,7 +165,20 @@ pub fn fdbscan_on_index<const D: usize, I: SpatialIndex<D>>(
     // Finalization.
     let finalize_span = tracer.phase("finalize");
     let finalize_start = Instant::now();
-    let clustering = finalize(device, &labels, &core);
+    let clustering = match ckpt.as_deref().and_then(|c| c.restore::<Clustering>(PHASE_FINALIZE)) {
+        Some(clustering) => {
+            tracer.instant("checkpoint.restore: finalize");
+            clustering
+        }
+        None => {
+            let clustering = finalize(device, &labels, &core);
+            if let Some(c) = ckpt {
+                c.record(PHASE_FINALIZE, &clustering);
+                checkpoint::persist(c, device);
+            }
+            clustering
+        }
+    };
     let finalize_time = finalize_start.elapsed();
     drop(finalize_span);
     let after_finalize = device.counters().snapshot();

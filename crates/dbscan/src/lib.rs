@@ -53,6 +53,7 @@
 
 pub mod auto;
 pub mod baselines;
+pub mod checkpoint;
 pub mod densebox;
 pub mod fdbscan_impl;
 pub mod framework;
@@ -69,9 +70,16 @@ pub mod tuning;
 pub mod verify;
 
 pub use auto::{fdbscan_auto, AutoChoice};
-pub use densebox::{fdbscan_densebox, fdbscan_densebox_with, DenseBoxOptions};
-pub use fdbscan_impl::{fdbscan, fdbscan_with, FdbscanOptions};
-pub use generic::{fdbscan_kdtree, fdbscan_on_index};
+pub use checkpoint::{
+    build_manifest, checkpoint_for, run_fingerprint, BfsLabels, ChainState, CoreSnapshot, CsrGraph,
+    DenseIndex, LabelState, PHASE_CORE_FLAGS, PHASE_FINALIZE, PHASE_INDEX, PHASE_MAIN,
+    PHASE_PREPROCESS,
+};
+pub use densebox::{
+    fdbscan_densebox, fdbscan_densebox_run_from, fdbscan_densebox_with, DenseBoxOptions,
+};
+pub use fdbscan_impl::{fdbscan, fdbscan_run_from, fdbscan_with, FdbscanOptions};
+pub use generic::{fdbscan_kdtree, fdbscan_on_index, fdbscan_on_index_from};
 pub use index::{IndexStats, SpatialIndex};
 pub use labels::{Clustering, PointClass, NOISE};
 pub use report::{RunReport, RunStatus, RUN_REPORT_SCHEMA};

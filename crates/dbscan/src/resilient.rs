@@ -28,14 +28,32 @@
 //! of building an index only to fail at the edge-list reservation.
 //! Every attempt, skip, and failure is recorded in the returned
 //! [`ResilienceReport`].
+//!
+//! # Checkpointed retries
+//!
+//! Each device rung runs with a [`PipelineCheckpoint`]: completed phase
+//! outputs (index, core flags, labels) survive a mid-run fault in the
+//! caller-side checkpoint, so a transient retry *resumes from the last
+//! completed phase* instead of recomputing the whole rung. On a
+//! step-down (e.g. G-DBSCAN's edge list ooms after its degree pass),
+//! reusable artifacts are handed to the next rung: the core flags of
+//! the failed level seed the next level's preprocessing phase, since
+//! core-point status depends only on `(points, eps, minpts)`, not on
+//! the algorithm. The handoff applies only for `minpts > 2` — below
+//! that the algorithms skip preprocessing entirely (Algorithm 3,
+//! line 2).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use fdbscan_device::snapshot::PipelineCheckpoint;
 use fdbscan_device::{Device, DeviceError};
 use fdbscan_geom::Point;
 
-use crate::baselines::gdbscan;
+use crate::baselines::gdbscan::{gdbscan, gdbscan_run_from, GDBSCAN_ALGORITHM};
+use crate::checkpoint::{checkpoint_for, CoreSnapshot, PHASE_CORE_FLAGS, PHASE_PREPROCESS};
+use crate::densebox::DENSEBOX_ALGORITHM;
+use crate::fdbscan_impl::FDBSCAN_ALGORITHM;
 use crate::labels::Clustering;
 use crate::seq::dbscan_classic;
 use crate::stats::RunStats;
@@ -63,6 +81,17 @@ impl LadderLevel {
             LadderLevel::GDbscan => Some(LadderLevel::DenseBox),
             LadderLevel::DenseBox => Some(LadderLevel::Fdbscan),
             LadderLevel::Fdbscan => Some(LadderLevel::Sequential),
+            LadderLevel::Sequential => None,
+        }
+    }
+
+    /// The checkpoint algorithm tag of this rung, or `None` for the
+    /// host oracle (which has no phases to checkpoint).
+    pub fn algorithm(self) -> Option<&'static str> {
+        match self {
+            LadderLevel::GDbscan => Some(GDBSCAN_ALGORITHM),
+            LadderLevel::DenseBox => Some(DENSEBOX_ALGORITHM),
+            LadderLevel::Fdbscan => Some(FDBSCAN_ALGORITHM),
             LadderLevel::Sequential => None,
         }
     }
@@ -225,6 +254,10 @@ pub fn run_resilient<const D: usize>(
     let mut report = ResilienceReport::default();
     let mut level = Some(policy.start);
     let mut last_err = None;
+    // Core flags salvaged from a failed rung, handed down to seed the
+    // next rung's preprocessing phase (minpts > 2 only — see module
+    // docs).
+    let mut handoff: Option<CoreSnapshot> = None;
 
     while let Some(l) = level {
         // Pre-flight: skip levels that cannot fit. The oracle uses no
@@ -255,9 +288,22 @@ pub fn run_resilient<const D: usize>(
             }
         }
 
+        // Each device rung gets a checkpoint; phases completed before a
+        // fault survive in it, so retries resume rather than recompute.
+        let mut ckpt = l.algorithm().map(|alg| {
+            let mut c = checkpoint_for(alg, points, params);
+            if params.minpts > 2 {
+                if let Some(flags) = handoff.take() {
+                    tracer.instant(format!("resilient.handoff {l}: seeded core flags"));
+                    c.record(PHASE_PREPROCESS, &flags);
+                }
+            }
+            c
+        });
+
         let mut retries = 0;
         loop {
-            match run_level(device, points, params, l) {
+            match run_level(device, points, params, l, ckpt.as_mut()) {
                 Ok((clustering, stats)) => {
                     tracer.instant(format!("resilient.complete {l}"));
                     report.attempts.push(Attempt { level: l, outcome: AttemptOutcome::Succeeded });
@@ -280,12 +326,26 @@ pub fn run_resilient<const D: usize>(
                     }
                     if transient && retries < policy.max_transient_retries {
                         retries += 1;
-                        tracer.instant(format!("resilient.retry {l}: attempt {}", retries + 1));
+                        let done = ckpt.as_ref().map_or(0, PipelineCheckpoint::len);
+                        tracer.instant(format!(
+                            "resilient.retry {l}: attempt {} ({done} phase(s) checkpointed)",
+                            retries + 1
+                        ));
                         continue;
                     }
                     last_err = Some(err);
                     break;
                 }
+            }
+        }
+        // Stepping down: salvage the failed rung's core flags (recorded
+        // either as a completed preprocessing phase or, for G-DBSCAN,
+        // before its OOM-prone edge-list reservation) for the next rung.
+        if params.minpts > 2 {
+            if let Some(c) = &ckpt {
+                handoff = c
+                    .restore::<CoreSnapshot>(PHASE_PREPROCESS)
+                    .or_else(|| c.restore::<CoreSnapshot>(PHASE_CORE_FLAGS));
             }
         }
         level = l.next();
@@ -305,12 +365,20 @@ fn run_level<const D: usize>(
     points: &[Point<D>],
     params: Params,
     level: LadderLevel,
+    ckpt: Option<&mut PipelineCheckpoint>,
 ) -> Result<(Clustering, RunStats), DeviceError> {
-    let run = || match level {
-        LadderLevel::GDbscan => gdbscan(device, points, params),
-        LadderLevel::DenseBox => crate::fdbscan_densebox(device, points, params),
-        LadderLevel::Fdbscan => crate::fdbscan(device, points, params),
-        LadderLevel::Sequential => {
+    let run = move || match (level, ckpt) {
+        (LadderLevel::GDbscan, Some(c)) => gdbscan_run_from(device, points, params, c),
+        (LadderLevel::GDbscan, None) => gdbscan(device, points, params),
+        (LadderLevel::DenseBox, Some(c)) => {
+            crate::fdbscan_densebox_run_from(device, points, params, Default::default(), c)
+        }
+        (LadderLevel::DenseBox, None) => crate::fdbscan_densebox(device, points, params),
+        (LadderLevel::Fdbscan, Some(c)) => {
+            crate::fdbscan_run_from(device, points, params, Default::default(), c)
+        }
+        (LadderLevel::Fdbscan, None) => crate::fdbscan(device, points, params),
+        (LadderLevel::Sequential, _) => {
             let start = Instant::now();
             let clustering = dbscan_classic(points, params);
             let stats = RunStats { total_time: start.elapsed(), ..Default::default() };
@@ -451,6 +519,73 @@ mod tests {
         let policy = ResiliencePolicy { start: LadderLevel::Fdbscan, ..Default::default() };
         let (_, _, report) = run_resilient(&device, &points, params, policy).unwrap();
         assert_eq!(report.completed, Some(LadderLevel::Fdbscan));
+    }
+
+    #[test]
+    fn transient_retry_resumes_from_last_completed_phase() {
+        let points = random_points(300, 5.0, 45);
+        let params = Params::new(0.3, 4);
+        // Probe an uninterrupted run for its launch/distance totals.
+        let probe = Device::new(DeviceConfig::sequential());
+        crate::fdbscan(&probe, &points, params).unwrap();
+        let full = probe.counters().snapshot();
+        // Panic at the very last launch (finalize's flatten kernel): by
+        // then index, preprocess, and main are all checkpointed, so the
+        // retry replays no distance computation at all.
+        let plan = FaultPlan::new(9).with_kernel_panic_at(full.kernel_launches - 1, 0);
+        let device = Device::new(DeviceConfig::sequential().with_fault_plan(plan));
+        let policy = ResiliencePolicy { start: LadderLevel::Fdbscan, ..Default::default() };
+        let (c, _, report) = run_resilient(&device, &points, params, policy).unwrap();
+        assert_eq!(report.completed, Some(LadderLevel::Fdbscan));
+        assert!(!report.degraded());
+        assert_eq!(report.runs(), 2, "one failure + one successful retry");
+        let total = device.counters().snapshot();
+        assert_eq!(
+            total.distance_computations, full.distance_computations,
+            "checkpointed retry must not recompute any distances"
+        );
+        assert!(
+            total.kernel_launches < 2 * full.kernel_launches,
+            "retry replayed the whole pipeline: {} launches vs {} for one run",
+            total.kernel_launches,
+            full.kernel_launches
+        );
+        let oracle = dbscan_classic(&points, params);
+        assert_core_equivalent(&oracle, &c);
+    }
+
+    #[test]
+    fn oom_step_down_hands_core_flags_to_next_rung() {
+        // A dense blob makes G-DBSCAN's edge list quadratic (ooms under
+        // the budget) while the scattered tail keeps FDBSCAN-DenseBox's
+        // preprocessing phase non-trivial on a fresh run.
+        let mut points = vec![Point2::new([0.0, 0.0]); 1200];
+        points.extend(random_points(300, 5.0, 46));
+        let params = Params::new(0.3, 5);
+        // Control: from scratch, DenseBox preprocessing computes
+        // distances for the sparse tail.
+        let control = Device::new(DeviceConfig::sequential());
+        let (_, control_stats) = crate::fdbscan_densebox(&control, &points, params).unwrap();
+        assert!(control_stats.phase_counters.preprocess.distance_computations > 0);
+        // Disable pre-flight so G-DBSCAN actually runs its degree pass
+        // (recording core flags) before the edge reservation ooms.
+        let device = Device::new(DeviceConfig::sequential().with_memory_budget(1 << 19));
+        let policy = ResiliencePolicy { preflight: false, ..Default::default() };
+        let (c, stats, report) = run_resilient(&device, &points, params, policy).unwrap();
+        assert!(matches!(
+            report.attempts[0].outcome,
+            AttemptOutcome::Failed(DeviceError::OutOfMemory { .. })
+        ));
+        assert_eq!(report.completed, Some(LadderLevel::DenseBox));
+        assert!(report.degraded());
+        // The salvaged flags seeded DenseBox's preprocessing phase: the
+        // winning rung recomputed no core-point distances.
+        assert_eq!(
+            stats.phase_counters.preprocess.distance_computations, 0,
+            "handed-off core flags should skip core-point recomputation"
+        );
+        let oracle = dbscan_classic(&points, params);
+        assert_core_equivalent(&oracle, &c);
     }
 
     #[test]

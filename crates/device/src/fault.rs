@@ -37,6 +37,8 @@
 
 use std::fmt;
 
+use crate::json::Json;
+
 /// Where an injected fault fired. Carried by
 /// [`crate::DeviceError::FaultInjected`] and in panic payloads so
 /// callers can attribute a failure to its injection site.
@@ -117,7 +119,7 @@ impl fmt::Display for FaultSite {
 /// assert!(device.memory().reserve(64).is_ok());
 /// assert_eq!(device.counters().snapshot().injected_oom, 1);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     seed: u64,
     oom_at_reservation: Option<u64>,
@@ -213,6 +215,80 @@ impl FaultPlan {
             && self.rank_failures.is_empty()
     }
 
+    /// Serializes the plan as a JSON tree — recorded in a
+    /// [`crate::snapshot::RunManifest`] so a failed run can be replayed
+    /// with the exact faults that killed it.
+    pub fn to_json(&self) -> Json {
+        let pair = |a: u64, b: usize| Json::Arr(vec![Json::U64(a), Json::U64(b as u64)]);
+        Json::obj([
+            ("seed", Json::U64(self.seed)),
+            ("oom_at_reservation", self.oom_at_reservation.map_or(Json::Null, Json::U64)),
+            ("oom_above_bytes", self.oom_above_bytes.map_or(Json::Null, |b| Json::U64(b as u64))),
+            ("panic_at", self.panic_at.map_or(Json::Null, |(l, b)| pair(l, b))),
+            (
+                "stall_at",
+                self.stall_at.map_or(Json::Null, |(l, b, ms)| {
+                    Json::Arr(vec![Json::U64(l), Json::U64(b as u64), Json::U64(ms)])
+                }),
+            ),
+            (
+                "rank_failures",
+                Json::Arr(self.rank_failures.iter().map(|&(r, a)| pair(r as u64, a)).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a plan from [`FaultPlan::to_json`] output.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        fn u64_at(items: &[Json], i: usize) -> Result<u64, String> {
+            match items.get(i) {
+                Some(Json::U64(v)) => Ok(*v),
+                _ => Err(format!("fault plan: expected u64 at index {i}")),
+            }
+        }
+        fn opt_u64(value: &Json, key: &str) -> Result<Option<u64>, String> {
+            match value.get(key) {
+                Some(Json::Null) | None => Ok(None),
+                Some(Json::U64(v)) => Ok(Some(*v)),
+                _ => Err(format!("fault plan: field '{key}' is not a u64")),
+            }
+        }
+        fn opt_tuple(value: &Json, key: &str, arity: usize) -> Result<Option<Vec<u64>>, String> {
+            match value.get(key) {
+                Some(Json::Null) | None => Ok(None),
+                Some(Json::Arr(items)) if items.len() == arity => {
+                    Ok(Some((0..arity).map(|i| u64_at(items, i)).collect::<Result<_, _>>()?))
+                }
+                _ => Err(format!("fault plan: field '{key}' is not a {arity}-tuple")),
+            }
+        }
+        let seed = match value.get("seed") {
+            Some(Json::U64(v)) => *v,
+            _ => return Err("fault plan: missing seed".to_string()),
+        };
+        let rank_failures = match value.get("rank_failures") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|item| match item.as_arr() {
+                    Some(pair) if pair.len() == 2 => {
+                        Ok((u64_at(pair, 0)? as usize, u64_at(pair, 1)? as usize))
+                    }
+                    _ => Err("fault plan: bad rank failure entry".to_string()),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(Json::Null) | None => Vec::new(),
+            _ => return Err("fault plan: 'rank_failures' is not an array".to_string()),
+        };
+        Ok(Self {
+            seed,
+            oom_at_reservation: opt_u64(value, "oom_at_reservation")?,
+            oom_above_bytes: opt_u64(value, "oom_above_bytes")?.map(|b| b as usize),
+            panic_at: opt_tuple(value, "panic_at", 2)?.map(|t| (t[0], t[1] as usize)),
+            stall_at: opt_tuple(value, "stall_at", 3)?.map(|t| (t[0], t[1] as usize, t[2])),
+            rank_failures,
+        })
+    }
+
     /// Deterministically derives an ordinal in `0..bound` from the plan
     /// seed and a caller-chosen `salt` (SplitMix64). Lets a fuzzing
     /// harness target "a random reservation of run #salt" while staying
@@ -286,6 +362,21 @@ mod tests {
         let spread: std::collections::HashSet<u64> =
             (0..32).map(|salt| plan.derive_ordinal(salt, 1_000_000)).collect();
         assert!(spread.len() > 16, "derivation must actually spread");
+    }
+
+    #[test]
+    fn json_round_trips_every_field() {
+        let plan = FaultPlan::new(42)
+            .with_oom_at_reservation(3)
+            .with_oom_above_bytes(1 << 20)
+            .with_kernel_panic_at(5, 2)
+            .with_worker_stall(6, 0, 50)
+            .with_rank_failure(2, 2)
+            .with_rank_failure(0, 1);
+        assert_eq!(FaultPlan::from_json(&plan.to_json()), Ok(plan));
+        let empty = FaultPlan::new(7);
+        assert_eq!(FaultPlan::from_json(&empty.to_json()), Ok(empty));
+        assert!(FaultPlan::from_json(&Json::Null).is_err());
     }
 
     #[test]

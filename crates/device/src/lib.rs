@@ -55,6 +55,7 @@ pub mod json;
 pub mod memory;
 pub mod pool;
 pub mod shared;
+pub mod snapshot;
 pub mod trace;
 
 pub use counters::{Counters, CountersSnapshot};
@@ -62,6 +63,7 @@ pub use fault::{FaultPlan, FaultSite};
 pub use memory::{DeviceError, MemoryReservation, MemoryTracker};
 pub use pool::{LaunchProfile, WorkerPool};
 pub use shared::SharedMut;
+pub use snapshot::{Checkpointable, PipelineCheckpoint, RunManifest, SnapshotError};
 pub use trace::{
     Histogram, HistogramSummary, KernelMeta, PhaseSpan, SpanKind, SpanRecord, TraceFormat, Tracer,
 };

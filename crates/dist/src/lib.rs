@@ -69,6 +69,19 @@ use std::ops::ControlFlow;
 /// is therefore fatal.
 pub const MAX_RANK_RETRIES: usize = 3;
 
+/// Upper bound on the per-retry backoff, in milliseconds. Retry `k`
+/// sleeps `min(2^(k-1), RETRY_BACKOFF_CAP_MS)` ms — deterministic
+/// (no wall-clock randomness, so replayed runs back off identically)
+/// and capped so a worst-case rank recovery stays bounded.
+pub const RETRY_BACKOFF_CAP_MS: u64 = 8;
+
+/// The deterministic backoff before retry `k` (1-based): exponential,
+/// capped at [`RETRY_BACKOFF_CAP_MS`].
+pub fn retry_backoff(retry: usize) -> std::time::Duration {
+    let ms = (1u64 << (retry.saturating_sub(1)).min(63)).min(RETRY_BACKOFF_CAP_MS);
+    std::time::Duration::from_millis(ms)
+}
+
 /// Per-rank decomposition summary.
 #[derive(Clone, Debug, Default)]
 pub struct RankStats {
@@ -80,6 +93,10 @@ pub struct RankStats {
     /// or real failures. A fault-free run makes exactly 2 attempts per
     /// rank: one core pass and one main phase.
     pub attempts: usize,
+    /// Executions of the core pass alone (1 when fault-free).
+    pub core_attempts: usize,
+    /// Executions of the main phase alone (1 when fault-free).
+    pub main_attempts: usize,
 }
 
 /// Statistics of a distributed run.
@@ -112,18 +129,24 @@ fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
 /// `k` attempts of rank `r` and the `k+1`-th retry succeeds. Panics
 /// escaping the phase (e.g. a kernel panic in an index build) are
 /// converted to [`DeviceError::KernelPanicked`] and retried the same
-/// way. After [`MAX_RANK_RETRIES`] retries the last error is returned.
+/// way. Each retry backs off deterministically (see [`retry_backoff`])
+/// and leaves a tracer instant on the rank's device. After
+/// [`MAX_RANK_RETRIES`] retries the last error is returned.
+#[allow(clippy::too_many_arguments)]
 fn run_rank_phase<T>(
     rank: usize,
+    phase: &'static str,
     plan: Option<&FaultPlan>,
     root_counters: &Counters,
     attempts: &AtomicUsize,
+    phase_attempts: &AtomicUsize,
     rank_device: &Device,
     work: impl Fn() -> Result<T, DeviceError>,
 ) -> Result<T, DeviceError> {
     let mut tries = 0;
     loop {
         let attempt = attempts.fetch_add(1, Ordering::Relaxed);
+        phase_attempts.fetch_add(1, Ordering::Relaxed);
         let outcome = match plan {
             Some(p) if p.rank_fails(rank, attempt) => {
                 root_counters.injected_rank_faults.fetch_add(1, Ordering::Relaxed);
@@ -144,6 +167,13 @@ fn run_rank_phase<T>(
                     return Err(err);
                 }
                 tries += 1;
+                let backoff = retry_backoff(tries);
+                rank_device.tracer().instant(format!(
+                    "dist.retry rank {rank} {phase}: attempt {} after {} ms ({err})",
+                    tries + 1,
+                    backoff.as_millis(),
+                ));
+                std::thread::sleep(backoff);
             }
         }
     }
@@ -201,9 +231,10 @@ pub fn distributed_fdbscan_multi<const D: usize>(
             max[d] = max[d].max(p[d]);
         }
     }
-    let axis = (0..D)
-        .max_by(|&a, &b| (max[a] - min[a]).partial_cmp(&(max[b] - min[b])).unwrap())
-        .unwrap_or(0);
+    // `total_cmp`: even though inputs are validated, subtracting two
+    // infinities (possible on future unvalidated paths) yields NaN, and
+    // `partial_cmp(...).unwrap()` would panic mid-decomposition.
+    let axis = (0..D).max_by(|&a, &b| (max[a] - min[a]).total_cmp(&(max[b] - min[b]))).unwrap_or(0);
 
     // Equal-count slabs: sort ids by the cut coordinate and chunk.
     let mut by_coord: Vec<u32> = (0..n as u32).collect();
@@ -253,15 +284,18 @@ pub fn distributed_fdbscan_multi<const D: usize>(
         rank_stats.push(RankStats {
             owned: owned_count,
             ghosts: to_global.len() - owned_count,
-            attempts: 0,
+            ..Default::default()
         });
         local_results.push(LocalResult { to_global, labels: Vec::new(), core: Vec::new() });
     }
 
     // Lifetime attempt counters, shared by the core pass and the main
     // phase so [`FaultPlan::rank_fails`] sees one monotone sequence per
-    // rank (a fault-free run makes attempts 0 and 1).
+    // rank (a fault-free run makes attempts 0 and 1). Per-phase
+    // counters keep the attempt history attributable after the run.
     let attempt_counters: Vec<AtomicUsize> = (0..ranks).map(|_| AtomicUsize::new(0)).collect();
+    let core_attempt_counters: Vec<AtomicUsize> = (0..ranks).map(|_| AtomicUsize::new(0)).collect();
+    let main_attempt_counters: Vec<AtomicUsize> = (0..ranks).map(|_| AtomicUsize::new(0)).collect();
 
     // --- 2. core status of owned points, all ranks concurrently ----------
     // Each rank runs on its own device; the scope join is the inter-rank
@@ -275,29 +309,48 @@ pub fn distributed_fdbscan_multi<const D: usize>(
                 let global_core = &global_core;
                 let owned_count = rank_stats[rank].owned;
                 let attempts = &attempt_counters[rank];
+                let core_attempts = &core_attempt_counters[rank];
                 scope.spawn(move || {
                     let to_global = &result.to_global;
-                    run_rank_phase(rank, plan, root_counters, attempts, rank_device, || {
-                        let local_points: Vec<Point<D>> =
-                            to_global.iter().map(|&id| points[id as usize]).collect();
-                        let bvh = build_bvh_index(rank_device, &local_points);
-                        let bvh_ref = &bvh;
-                        let local_points_ref = &local_points;
-                        rank_device.try_launch(owned_count, |li| {
-                            let mut count = 0usize;
-                            bvh_ref.for_each_in_radius(&local_points_ref[li], eps, 0, |_, _| {
-                                count += 1;
+                    run_rank_phase(
+                        rank,
+                        "core",
+                        plan,
+                        root_counters,
+                        attempts,
+                        core_attempts,
+                        rank_device,
+                        || {
+                            let local_points: Vec<Point<D>> =
+                                to_global.iter().map(|&id| points[id as usize]).collect();
+                            // Ghost exchange is this rank's input boundary:
+                            // a NaN smuggled in by a (future) deserializing
+                            // transport must fail here, not poison the BVH.
+                            fdbscan::validate_finite(&local_points)?;
+                            let bvh = build_bvh_index(rank_device, &local_points);
+                            let bvh_ref = &bvh;
+                            let local_points_ref = &local_points;
+                            rank_device.try_launch(owned_count, |li| {
+                                let mut count = 0usize;
+                                bvh_ref.for_each_in_radius(
+                                    &local_points_ref[li],
+                                    eps,
+                                    0,
+                                    |_, _| {
+                                        count += 1;
+                                        if count >= minpts {
+                                            ControlFlow::Break(())
+                                        } else {
+                                            ControlFlow::Continue(())
+                                        }
+                                    },
+                                );
                                 if count >= minpts {
-                                    ControlFlow::Break(())
-                                } else {
-                                    ControlFlow::Continue(())
+                                    global_core.set(to_global[li]);
                                 }
-                            });
-                            if count >= minpts {
-                                global_core.set(to_global[li]);
-                            }
-                        })
-                    })
+                            })
+                        },
+                    )
                 })
             })
             .collect();
@@ -316,13 +369,22 @@ pub fn distributed_fdbscan_multi<const D: usize>(
                 let rank_device = &devices[rank % devices.len()];
                 let global_core = &global_core;
                 let attempts = &attempt_counters[rank];
+                let main_attempts = &main_attempt_counters[rank];
                 scope.spawn(move || {
                     let LocalResult { to_global, labels, core } = result;
                     let to_global = &*to_global;
-                    let (rank_labels, rank_core) =
-                        run_rank_phase(rank, plan, root_counters, attempts, rank_device, || {
+                    let (rank_labels, rank_core) = run_rank_phase(
+                        rank,
+                        "main",
+                        plan,
+                        root_counters,
+                        attempts,
+                        main_attempts,
+                        rank_device,
+                        || {
                             let local_points: Vec<Point<D>> =
                                 to_global.iter().map(|&id| points[id as usize]).collect();
+                            fdbscan::validate_finite(&local_points)?;
                             let local_n = local_points.len();
                             let bvh = build_bvh_index(rank_device, &local_points);
 
@@ -351,7 +413,8 @@ pub fn distributed_fdbscan_multi<const D: usize>(
                             )?;
                             local_labels.flatten(rank_device);
                             Ok((local_labels.snapshot(), local_core.to_vec()))
-                        })?;
+                        },
+                    )?;
                     *labels = rank_labels;
                     *core = rank_core;
                     Ok(())
@@ -363,8 +426,10 @@ pub fn distributed_fdbscan_multi<const D: usize>(
     for outcome in main_outcomes {
         outcome?;
     }
-    for (stat, attempts) in rank_stats.iter_mut().zip(&attempt_counters) {
-        stat.attempts = attempts.load(Ordering::Relaxed);
+    for (rank, stat) in rank_stats.iter_mut().enumerate() {
+        stat.attempts = attempt_counters[rank].load(Ordering::Relaxed);
+        stat.core_attempts = core_attempt_counters[rank].load(Ordering::Relaxed);
+        stat.main_attempts = main_attempt_counters[rank].load(Ordering::Relaxed);
     }
 
     // --- 4a. merge: core unions ------------------------------------------
@@ -579,7 +644,42 @@ mod tests {
         let (_, stats) = distributed_fdbscan(&d, &points, Params::new(0.3, 4), 4).unwrap();
         for (rank, r) in stats.ranks.iter().enumerate() {
             assert_eq!(r.attempts, 2, "rank {rank}: core pass + main phase");
+            assert_eq!(r.core_attempts, 1, "rank {rank}: one core pass");
+            assert_eq!(r.main_attempts, 1, "rank {rank}: one main phase");
         }
+    }
+
+    #[test]
+    fn retries_are_attributed_to_the_failing_phase() {
+        let points = random_points(400, 4.0, 33);
+        let params = Params::new(0.3, 4);
+        // Attempt ordinal 0 of rank 1 is its core pass: the failure and
+        // both resulting executions must land in `core_attempts`.
+        let plan = FaultPlan::new(11).with_rank_failure(1, 1);
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let (_, stats) = distributed_fdbscan(&d, &points, params, 3).unwrap();
+        assert_eq!(stats.ranks[1].core_attempts, 2, "failed once, retried once");
+        assert_eq!(stats.ranks[1].main_attempts, 1);
+        assert_eq!(stats.ranks[1].attempts, 3);
+        assert_eq!(
+            stats.ranks[1].attempts,
+            stats.ranks[1].core_attempts + stats.ranks[1].main_attempts,
+            "per-phase counts must partition the total"
+        );
+        assert_eq!(stats.ranks[0].core_attempts, 1);
+        assert_eq!(stats.ranks[0].main_attempts, 1);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        use std::time::Duration;
+        assert_eq!(retry_backoff(1), Duration::from_millis(1));
+        assert_eq!(retry_backoff(2), Duration::from_millis(2));
+        assert_eq!(retry_backoff(3), Duration::from_millis(4));
+        assert_eq!(retry_backoff(4), Duration::from_millis(RETRY_BACKOFF_CAP_MS));
+        assert_eq!(retry_backoff(100), Duration::from_millis(RETRY_BACKOFF_CAP_MS));
+        // Identical inputs, identical schedule: no wall-clock randomness.
+        assert_eq!(retry_backoff(3), retry_backoff(3));
     }
 
     #[test]
