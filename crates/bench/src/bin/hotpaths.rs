@@ -1,0 +1,27 @@
+//! Regenerates the hot-path work-counter baseline.
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin hotpaths -- BENCH_hotpaths.json
+//! ```
+//!
+//! With no argument the report is printed to stdout. The counters are
+//! collected on a sequential device so the file is bit-stable across
+//! machines; commit the regenerated file together with the change that
+//! legitimately moved the numbers (see `tests/bench_regression.rs`).
+
+use fdbscan_bench::hotpaths::collect_hotpaths;
+
+fn main() {
+    let report = collect_hotpaths();
+    match std::env::args().nth(1) {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            if let Err(err) = report.write(&path) {
+                eprintln!("failed to write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} cases to {}", report.records.len(), path.display());
+        }
+        None => println!("{}", report.to_json().to_pretty(2)),
+    }
+}

@@ -14,6 +14,8 @@
 //! §5.2, with sizes scaled by `--scale`), the algorithm dispatch, and the
 //! cosmology `eps` rescaling rule.
 
+pub mod hotpaths;
+
 use std::io::Write;
 use std::path::Path;
 

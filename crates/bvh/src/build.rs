@@ -16,7 +16,7 @@
 
 use fdbscan_device::shared::SharedMut;
 use fdbscan_device::Device;
-use fdbscan_geom::{morton::morton_code, Aabb};
+use fdbscan_geom::{morton::morton_code, Aabb, SoaPoints};
 
 use crate::node::NodeRef;
 use crate::Bvh;
@@ -36,6 +36,10 @@ impl<const D: usize> Bvh<D> {
                 leaf_bounds: Vec::new(),
                 leaf_payload: Vec::new(),
                 positions: Vec::new(),
+                internal_skip: Vec::new(),
+                leaf_skip: Vec::new(),
+                leaf_lo: SoaPoints::new(),
+                leaf_hi: SoaPoints::new(),
                 scene: Aabb::empty(),
             };
         }
@@ -85,6 +89,8 @@ impl<const D: usize> Bvh<D> {
         }
 
         if n == 1 {
+            let leaf_lo = SoaPoints::from_points(&[leaf_bounds[0].min]);
+            let leaf_hi = SoaPoints::from_points(&[leaf_bounds[0].max]);
             return Self {
                 internal_bounds: Vec::new(),
                 children: Vec::new(),
@@ -92,6 +98,10 @@ impl<const D: usize> Bvh<D> {
                 leaf_bounds,
                 leaf_payload: payload,
                 positions,
+                internal_skip: Vec::new(),
+                leaf_skip: vec![NodeRef::NONE],
+                leaf_lo,
+                leaf_hi,
                 scene,
             };
         }
@@ -163,6 +173,44 @@ impl<const D: usize> Bvh<D> {
             });
         }
 
+        // 6. Ropes (stackless-traversal skip links) and dimension-major
+        //    leaf corners — one thread per node, no synchronization.
+        let mut internal_skip = vec![NodeRef::NONE; internal_count];
+        let mut leaf_skip = vec![NodeRef::NONE; n];
+        let mut lo_flat = vec![0.0f32; D * n];
+        let mut hi_flat = vec![0.0f32; D * n];
+        {
+            let iskip_view = SharedMut::new(&mut internal_skip);
+            let lskip_view = SharedMut::new(&mut leaf_skip);
+            let lo_view = SharedMut::new(&mut lo_flat);
+            let hi_view = SharedMut::new(&mut hi_flat);
+            let children_ref = &children;
+            let iparent_ref = &internal_parent;
+            let lparent_ref = &leaf_parent;
+            let leaf_bounds_ref = &leaf_bounds;
+            device.launch_named("bvh.ropes", 2 * n - 1, |k| {
+                // SAFETY: each node writes only its own rope slot, each
+                // leaf only its own SoA lane entries.
+                if k < internal_count {
+                    let node = NodeRef::internal(k as u32);
+                    let rope = skip_link(children_ref, iparent_ref, lparent_ref, node);
+                    unsafe { iskip_view.write(k, rope) };
+                } else {
+                    let pos = k - internal_count;
+                    let node = NodeRef::leaf(pos as u32);
+                    let rope = skip_link(children_ref, iparent_ref, lparent_ref, node);
+                    let b = &leaf_bounds_ref[pos];
+                    unsafe {
+                        lskip_view.write(pos, rope);
+                        for d in 0..D {
+                            lo_view.write(d * n + pos, b.min[d]);
+                            hi_view.write(d * n + pos, b.max[d]);
+                        }
+                    }
+                }
+            });
+        }
+
         Self {
             internal_bounds,
             children,
@@ -170,8 +218,88 @@ impl<const D: usize> Bvh<D> {
             leaf_bounds,
             leaf_payload: payload,
             positions,
+            internal_skip,
+            leaf_skip,
+            leaf_lo: SoaPoints::from_dim_major(lo_flat, n),
+            leaf_hi: SoaPoints::from_dim_major(hi_flat, n),
             scene,
         }
+    }
+
+    /// Recomputes the derived traversal structures — rope skip links and
+    /// the dimension-major leaf corners — from the core arrays.
+    ///
+    /// [`Bvh::build`] fills the same data with the `bvh.ropes` kernel;
+    /// this host-side twin serves snapshot restore, where no device is in
+    /// scope. Parent links are not serialized (they are build scaffolding)
+    /// and are rederived from `children` here.
+    pub(crate) fn derive_traversal(&mut self) {
+        let n = self.len();
+        let mins: Vec<_> = self.leaf_bounds.iter().map(|b| b.min).collect();
+        let maxs: Vec<_> = self.leaf_bounds.iter().map(|b| b.max).collect();
+        self.leaf_lo = SoaPoints::from_points(&mins);
+        self.leaf_hi = SoaPoints::from_points(&maxs);
+        if n < 2 {
+            self.internal_skip = Vec::new();
+            self.leaf_skip = vec![NodeRef::NONE; n];
+            return;
+        }
+        let mut internal_parent = vec![0u32; n - 1];
+        let mut leaf_parent = vec![0u32; n];
+        for (i, pair) in self.children.iter().enumerate() {
+            for child in pair {
+                if child.is_leaf() {
+                    leaf_parent[child.index() as usize] = i as u32;
+                } else {
+                    internal_parent[child.index() as usize] = i as u32;
+                }
+            }
+        }
+        self.internal_skip = (0..n - 1)
+            .map(|i| {
+                skip_link(
+                    &self.children,
+                    &internal_parent,
+                    &leaf_parent,
+                    NodeRef::internal(i as u32),
+                )
+            })
+            .collect();
+        self.leaf_skip = (0..n)
+            .map(|pos| {
+                skip_link(&self.children, &internal_parent, &leaf_parent, NodeRef::leaf(pos as u32))
+            })
+            .collect();
+    }
+}
+
+/// The rope of `node`: the next node in preorder after `node`'s subtree,
+/// or [`NodeRef::NONE`] when the subtree is the tail of the preorder.
+///
+/// Walks up while `node` is a right child; the first ancestor that is a
+/// left child yields its right sibling. Every step strictly decreases the
+/// subtree depth, so the walk is bounded by the tree depth.
+fn skip_link(
+    children: &[[NodeRef; 2]],
+    internal_parent: &[u32],
+    leaf_parent: &[u32],
+    node: NodeRef,
+) -> NodeRef {
+    let mut cur = node;
+    loop {
+        if !cur.is_leaf() && cur.index() == 0 {
+            return NodeRef::NONE; // root: nothing follows its subtree
+        }
+        let parent = if cur.is_leaf() {
+            leaf_parent[cur.index() as usize]
+        } else {
+            internal_parent[cur.index() as usize]
+        };
+        let [left, right] = children[parent as usize];
+        if cur == left {
+            return right;
+        }
+        cur = NodeRef::internal(parent);
     }
 }
 
@@ -332,6 +460,61 @@ mod tests {
         assert!(payload_sorted.iter().enumerate().all(|(i, &p)| p == i as u32));
         for id in 0..n as u32 {
             assert_eq!(bvh.leaf_payload(bvh.leaf_pos_of(id)), id);
+        }
+
+        // Ropes: a full descent that always takes the left child and
+        // follows leaf ropes must enumerate the exact preorder sequence.
+        let mut preorder = Vec::new();
+        let mut stack = vec![NodeRef::internal(0)];
+        while let Some(node) = stack.pop() {
+            preorder.push(node);
+            if !node.is_leaf() {
+                let [l, r] = bvh.children[node.index() as usize];
+                stack.push(r);
+                stack.push(l);
+            }
+        }
+        let mut via_ropes = Vec::new();
+        let mut node = NodeRef::internal(0);
+        while node != NodeRef::NONE {
+            via_ropes.push(node);
+            node = if node.is_leaf() {
+                bvh.leaf_skip[node.index() as usize]
+            } else {
+                bvh.children[node.index() as usize][0]
+            };
+        }
+        assert_eq!(via_ropes, preorder, "rope walk diverges from preorder");
+
+        // Every rope must land on the subtree starting right after the
+        // node's covered leaf range (NONE only for range suffixes).
+        let first_of = |r: NodeRef| {
+            if r.is_leaf() {
+                r.index()
+            } else {
+                bvh.ranges[r.index() as usize][0]
+            }
+        };
+        for i in 0..(n - 1) {
+            let last = bvh.ranges[i][1];
+            match bvh.internal_skip[i] {
+                NodeRef::NONE => assert_eq!(last as usize, n - 1),
+                skip => assert_eq!(first_of(skip), last + 1),
+            }
+        }
+        for pos in 0..n as u32 {
+            match bvh.leaf_skip[pos as usize] {
+                NodeRef::NONE => assert_eq!(pos as usize, n - 1),
+                skip => assert_eq!(first_of(skip), pos + 1),
+            }
+        }
+
+        // SoA leaf corners must mirror the AoS leaf bounds exactly.
+        for (pos, b) in bvh.leaf_bounds.iter().enumerate() {
+            for d in 0..D {
+                assert_eq!(bvh.leaf_lo.coord(d, pos), b.min[d]);
+                assert_eq!(bvh.leaf_hi.coord(d, pos), b.max[d]);
+            }
         }
     }
 

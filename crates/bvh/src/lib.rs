@@ -66,7 +66,7 @@ pub mod traverse;
 pub use node::{NodeRef, LEAF_FLAG};
 pub use traverse::QueryStats;
 
-use fdbscan_geom::Aabb;
+use fdbscan_geom::{Aabb, SoaPoints};
 
 /// A linear bounding volume hierarchy over `n` boxed primitives.
 #[derive(Debug, Clone)]
@@ -83,6 +83,18 @@ pub struct Bvh<const D: usize> {
     pub(crate) leaf_payload: Vec<u32>,
     /// Inverse of `leaf_payload`: sorted position of primitive id.
     pub(crate) positions: Vec<u32>,
+    /// Rope of internal node `i`: the next node in preorder *after* `i`'s
+    /// subtree ([`NodeRef::NONE`] past the end). Following the rope is
+    /// "skip this subtree"; the stackless traversal replaces every stack
+    /// pop with one rope load.
+    pub(crate) internal_skip: Vec<NodeRef>,
+    /// Rope of sorted leaf `pos` (a leaf's subtree is itself).
+    pub(crate) leaf_skip: Vec<NodeRef>,
+    /// Lower leaf corners, dimension-major (`dim(d)[pos]`): the
+    /// coalescing-friendly layout the per-leaf distance test strides.
+    pub(crate) leaf_lo: SoaPoints<D>,
+    /// Upper leaf corners, dimension-major.
+    pub(crate) leaf_hi: SoaPoints<D>,
     /// Bounds of the whole scene.
     pub(crate) scene: Aabb<D>,
 }
@@ -130,5 +142,9 @@ impl<const D: usize> Bvh<D> {
             + self.leaf_bounds.len() * std::mem::size_of::<Aabb<D>>()
             + self.leaf_payload.len() * std::mem::size_of::<u32>()
             + self.positions.len() * std::mem::size_of::<u32>()
+            + self.internal_skip.len() * std::mem::size_of::<NodeRef>()
+            + self.leaf_skip.len() * std::mem::size_of::<NodeRef>()
+            + self.leaf_lo.memory_bytes()
+            + self.leaf_hi.memory_bytes()
     }
 }

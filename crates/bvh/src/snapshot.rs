@@ -91,7 +91,7 @@ impl<const D: usize> Checkpointable for Bvh<D> {
                 "bvh snapshot arrays have inconsistent lengths".to_string(),
             ));
         }
-        Ok(Bvh {
+        let mut bvh = Bvh {
             internal_bounds,
             children: children_flat
                 .chunks_exact(2)
@@ -101,8 +101,16 @@ impl<const D: usize> Checkpointable for Bvh<D> {
             leaf_bounds,
             leaf_payload,
             positions,
+            internal_skip: Vec::new(),
+            leaf_skip: Vec::new(),
+            leaf_lo: fdbscan_geom::SoaPoints::new(),
+            leaf_hi: fdbscan_geom::SoaPoints::new(),
             scene: scene[0],
-        })
+        };
+        // Ropes and SoA corners are derived data: not serialized (the
+        // snapshot format predates them), rebuilt on restore instead.
+        bvh.derive_traversal();
+        Ok(bvh)
     }
 }
 

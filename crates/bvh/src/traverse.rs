@@ -1,4 +1,21 @@
 //! Batched radius queries with callbacks, early termination and masking.
+//!
+//! The production traversal is *stackless*: every node carries a
+//! precomputed rope (skip link) to the next node in preorder after its
+//! subtree, so "descend" is one child load and "skip" is one rope load —
+//! no per-query stack, no pops, no divergent frontier bookkeeping. Two
+//! work-saving tests run per internal node:
+//!
+//! * **rejection** — `dist_sq(center, box) > eps²` skips the subtree,
+//! * **containment** — `max_dist_sq(center, box) <= eps²` accepts the
+//!   whole subtree: its leaves are enumerated directly from the node's
+//!   sorted-leaf range with *no* per-leaf distance tests (counted in
+//!   [`QueryStats::contained_hits`]).
+//!
+//! Per-leaf distance tests stride the dimension-major SoA corner arrays
+//! and exit early once the partial sum exceeds `eps²`; accepted values
+//! are bit-identical to the array-of-structures [`fdbscan_geom::Aabb`]
+//! test, so results match the stack-based reference exactly.
 
 use std::ops::ControlFlow;
 
@@ -7,25 +24,30 @@ use fdbscan_geom::Point;
 use crate::node::NodeRef;
 use crate::Bvh;
 
-/// Maximum traversal stack depth.
-///
-/// Each descent in a Karras tree strictly increases the common-prefix
-/// length of the covered range, and prefixes of the augmented codes
-/// (64 code bits + 32 index bits) are at most 96 bits long, so the tree
-/// depth is bounded by 97 regardless of the input distribution.
-const STACK_DEPTH: usize = 128;
-
 /// Per-query traversal statistics, for the device work counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueryStats {
-    /// Nodes (internal or leaf) whose bounds were tested.
+    /// Nodes (internal or leaf) whose bounds were tested. Leaves inside a
+    /// contained subtree are enumerated, not tested, so they don't count.
     pub nodes_visited: u64,
-    /// Leaves whose bounds passed the test (callback invocations). For
-    /// point primitives the bounds test *is* the exact distance test, so
-    /// this doubles as a distance-computation count.
+    /// Callback invocations: leaves whose bounds passed the test plus
+    /// leaves accepted wholesale by the containment fast path.
     pub leaf_hits: u64,
+    /// Leaves accepted by the containment fast path without a distance
+    /// test (a subset of `leaf_hits`).
+    pub contained_hits: u64,
     /// Whether the callback terminated the traversal early.
     pub terminated_early: bool,
+}
+
+impl QueryStats {
+    /// Distance tests actually evaluated: for point primitives each
+    /// non-contained leaf hit is one exact distance test, so this is the
+    /// distance-computation count to charge to the device counters.
+    #[inline]
+    pub fn distance_tests(&self) -> u64 {
+        self.leaf_hits - self.contained_hits
+    }
 }
 
 impl<const D: usize> Bvh<D> {
@@ -51,6 +73,175 @@ impl<const D: usize> Bvh<D> {
     where
         F: FnMut(u32, u32) -> ControlFlow<()>,
     {
+        self.for_each_in_radius_flagged(center, eps, cutoff, |pos, payload, _| {
+            callback(pos, payload)
+        })
+    }
+
+    /// [`Self::for_each_in_radius`] with a `contained` flag: `true` when
+    /// the leaf was accepted wholesale by the containment fast path
+    /// (every point of its bounds — for a box leaf, every member — is
+    /// within `eps` of `center`, so the callback can skip its own
+    /// distance work).
+    pub fn for_each_in_radius_flagged<F>(
+        &self,
+        center: &Point<D>,
+        eps: f32,
+        cutoff: u32,
+        mut callback: F,
+    ) -> QueryStats
+    where
+        F: FnMut(u32, u32, bool) -> ControlFlow<()>,
+    {
+        let mut stats = QueryStats::default();
+        let n = self.len();
+        if n == 0 {
+            return stats;
+        }
+        let eps_sq = eps * eps;
+
+        if n == 1 {
+            stats.nodes_visited = 1;
+            if cutoff == 0 && self.leaf_bounds[0].dist_sq(center) <= eps_sq {
+                stats.leaf_hits = 1;
+                if callback(0, self.leaf_payload[0], false).is_break() {
+                    stats.terminated_early = true;
+                }
+            }
+            return stats;
+        }
+
+        // Root pre-check: a fully-masked or out-of-range query costs
+        // exactly one node visit, as in the stack-based reference.
+        stats.nodes_visited = 1;
+        let root = &self.internal_bounds[0];
+        if self.ranges[0][1] < cutoff || root.dist_sq(center) > eps_sq {
+            return stats;
+        }
+        if root.max_dist_sq(center) <= eps_sq {
+            self.emit_range(0, self.ranges[0][1], cutoff, &mut stats, &mut callback);
+            return stats;
+        }
+
+        let mut node = self.children[0][0];
+        while node != NodeRef::NONE {
+            if node.is_leaf() {
+                let pos = node.index();
+                // Index mask: skipped leaves are not visits.
+                if pos >= cutoff {
+                    stats.nodes_visited += 1;
+                    if self.leaf_within(pos, center, eps_sq) {
+                        stats.leaf_hits += 1;
+                        if callback(pos, self.leaf_payload[pos as usize], false).is_break() {
+                            stats.terminated_early = true;
+                            return stats;
+                        }
+                    }
+                }
+                node = self.leaf_skip[pos as usize];
+            } else {
+                let i = node.index() as usize;
+                // Index mask: subtrees entirely below the cutoff are
+                // skipped without counting a visit.
+                if self.ranges[i][1] < cutoff {
+                    node = self.internal_skip[i];
+                    continue;
+                }
+                stats.nodes_visited += 1;
+                let b = &self.internal_bounds[i];
+                if b.dist_sq(center) > eps_sq {
+                    node = self.internal_skip[i]; // subtree rejected
+                } else if b.max_dist_sq(center) <= eps_sq {
+                    // Subtree contained: accept every (unmasked) leaf in
+                    // its range without visiting or testing it.
+                    if self.emit_range(
+                        self.ranges[i][0],
+                        self.ranges[i][1],
+                        cutoff,
+                        &mut stats,
+                        &mut callback,
+                    ) {
+                        return stats;
+                    }
+                    node = self.internal_skip[i];
+                } else {
+                    node = self.children[i][0]; // descend
+                }
+            }
+        }
+        stats
+    }
+
+    /// Containment fast path: fires the callback for every leaf in the
+    /// sorted range `[first, last]` at or above `cutoff`. Returns `true`
+    /// if the callback broke out.
+    fn emit_range<F>(
+        &self,
+        first: u32,
+        last: u32,
+        cutoff: u32,
+        stats: &mut QueryStats,
+        callback: &mut F,
+    ) -> bool
+    where
+        F: FnMut(u32, u32, bool) -> ControlFlow<()>,
+    {
+        for pos in first.max(cutoff)..=last {
+            stats.leaf_hits += 1;
+            stats.contained_hits += 1;
+            if callback(pos, self.leaf_payload[pos as usize], true).is_break() {
+                stats.terminated_early = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Exact leaf bounds test against the SoA corner lanes, with
+    /// per-dimension early exit. The accumulation order matches
+    /// [`fdbscan_geom::Aabb::dist_sq`] exactly (and `f32` addition of
+    /// non-negatives is monotone), so the accept/reject decision is
+    /// bit-identical to the array-of-structures test.
+    #[inline]
+    fn leaf_within(&self, pos: u32, center: &Point<D>, eps_sq: f32) -> bool {
+        let i = pos as usize;
+        let mut acc = 0.0f32;
+        for d in 0..D {
+            let c = center[d];
+            let lo = self.leaf_lo.dim(d)[i];
+            let hi = self.leaf_hi.dim(d)[i];
+            let delta = if c < lo {
+                lo - c
+            } else if c > hi {
+                c - hi
+            } else {
+                0.0
+            };
+            acc += delta * delta;
+            if acc > eps_sq {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The pre-rope stack-based traversal, kept as the differential
+    /// reference for the stackless implementation (tests only).
+    #[cfg(test)]
+    pub(crate) fn for_each_in_radius_stack<F>(
+        &self,
+        center: &Point<D>,
+        eps: f32,
+        cutoff: u32,
+        mut callback: F,
+    ) -> QueryStats
+    where
+        F: FnMut(u32, u32) -> ControlFlow<()>,
+    {
+        // Depth bound: each descent strictly increases the common-prefix
+        // length of the covered range, and prefixes of the augmented
+        // codes (64 code bits + 32 index bits) are at most 96 bits long.
+        const STACK_DEPTH: usize = 128;
         let mut stats = QueryStats::default();
         let n = self.len();
         if n == 0 {
@@ -69,7 +260,6 @@ impl<const D: usize> Bvh<D> {
             return stats;
         }
 
-        // Root pre-check.
         stats.nodes_visited = 1;
         if self.ranges[0][1] < cutoff || self.internal_bounds[0].dist_sq(center) > eps_sq {
             return stats;
@@ -82,7 +272,6 @@ impl<const D: usize> Bvh<D> {
             let node = stack[top];
             let i = node.index() as usize;
             for child in self.children[i] {
-                // Index mask: skip subtrees entirely below the cutoff.
                 if child.is_leaf() {
                     if child.index() < cutoff {
                         continue;
@@ -318,8 +507,137 @@ mod tests {
         assert_eq!(hits, vec![0, 2]);
     }
 
+    /// Runs the same query through the stackless traversal and the
+    /// stack-based reference and checks:
+    /// * identical hit sets (position and payload),
+    /// * identical callback counts,
+    /// * the rope walk never visits more nodes than the stack walk.
+    fn assert_matches_stack_reference(bvh: &Bvh<2>, center: &Point<2>, eps: f32, cutoff: u32) {
+        let mut rope_hits = Vec::new();
+        let rope = bvh.for_each_in_radius(center, eps, cutoff, |pos, payload| {
+            rope_hits.push((pos, payload));
+            ControlFlow::Continue(())
+        });
+        let mut stack_hits = Vec::new();
+        let stack = bvh.for_each_in_radius_stack(center, eps, cutoff, |pos, payload| {
+            stack_hits.push((pos, payload));
+            ControlFlow::Continue(())
+        });
+        rope_hits.sort_unstable();
+        stack_hits.sort_unstable();
+        assert_eq!(rope_hits, stack_hits, "hit sets diverge (eps {eps}, cutoff {cutoff})");
+        assert_eq!(rope.leaf_hits, stack.leaf_hits, "callback counts diverge");
+        assert!(
+            rope.nodes_visited <= stack.nodes_visited,
+            "rope walk visited {} nodes, stack reference only {}",
+            rope.nodes_visited,
+            stack.nodes_visited
+        );
+        assert_eq!(rope.distance_tests() + rope.contained_hits, rope.leaf_hits);
+    }
+
+    #[test]
+    fn stackless_matches_stack_on_single_point_tree() {
+        let device = Device::with_defaults();
+        let bvh = build_points(&device, &[Point::new([2.0, 3.0])]);
+        for center in [[2.0, 3.5], [50.0, 50.0]] {
+            for cutoff in [0u32, 1] {
+                assert_matches_stack_reference(&bvh, &Point::new(center), 1.0, cutoff);
+            }
+        }
+    }
+
+    #[test]
+    fn stackless_matches_stack_all_points_identical() {
+        let device = Device::with_defaults();
+        let points = vec![Point::new([5.0, 5.0]); 256];
+        let bvh = build_points(&device, &points);
+        for eps in [1e-6f32, 0.5, 100.0] {
+            for cutoff in [0u32, 1, 100, 256] {
+                assert_matches_stack_reference(&bvh, &Point::new([5.0, 5.0]), eps, cutoff);
+            }
+        }
+        // The identical-point blob is fully contained for any eps: all
+        // hits must come from the containment fast path, free of
+        // per-leaf distance tests.
+        let stats = bvh
+            .for_each_in_radius(&Point::new([5.0, 5.0]), 0.5, 0, |_, _| ControlFlow::Continue(()));
+        assert_eq!(stats.leaf_hits, 256);
+        assert_eq!(stats.contained_hits, 256);
+        assert_eq!(stats.distance_tests(), 0);
+    }
+
+    #[test]
+    fn stackless_matches_stack_eps_larger_than_domain() {
+        let device = Device::with_defaults();
+        let points = random_points(500, 11);
+        let bvh = build_points(&device, &points);
+        // The domain is 100 x 100; a radius of 10^4 contains everything.
+        let center = Point::new([50.0, 50.0]);
+        for cutoff in [0u32, 250] {
+            assert_matches_stack_reference(&bvh, &center, 1e4, cutoff);
+        }
+        let stats = bvh.for_each_in_radius(&center, 1e4, 0, |_, _| ControlFlow::Continue(()));
+        assert_eq!(stats.leaf_hits, 500);
+        assert_eq!(stats.contained_hits, 500, "whole-domain query must be containment-only");
+        assert_eq!(stats.nodes_visited, 1, "root containment needs no descent");
+    }
+
+    #[test]
+    fn stackless_matches_stack_empty_results() {
+        let device = Device::with_defaults();
+        let points = random_points(300, 13);
+        let bvh = build_points(&device, &points);
+        let far = Point::new([5000.0, -5000.0]);
+        for cutoff in [0u32, 150] {
+            assert_matches_stack_reference(&bvh, &far, 1.0, cutoff);
+        }
+        let stats = bvh.for_each_in_radius(&far, 1.0, 0, |_, _| ControlFlow::Continue(()));
+        assert_eq!(stats.leaf_hits, 0);
+        assert_eq!(stats.nodes_visited, 1, "root rejection must end the walk");
+    }
+
+    #[test]
+    fn containment_reduces_distance_tests_on_dense_blob() {
+        let device = Device::with_defaults();
+        // A tight blob plus scattered points: querying from inside the
+        // blob with a generous radius must accept whole subtrees.
+        let mut points = vec![];
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..400 {
+            points.push(Point::new([
+                50.0 + rng.gen_range(-1.0..1.0),
+                50.0 + rng.gen_range(-1.0..1.0),
+            ]));
+        }
+        points.extend(random_points(100, 22));
+        let bvh = build_points(&device, &points);
+        let stats = bvh.for_each_in_radius(&Point::new([50.0, 50.0]), 10.0, 0, |_, _| {
+            ControlFlow::Continue(())
+        });
+        assert!(stats.contained_hits > 0, "expected containment hits");
+        assert!(stats.distance_tests() < stats.leaf_hits);
+        assert_matches_stack_reference(&bvh, &Point::new([50.0, 50.0]), 10.0, 0);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn stackless_matches_stack_reference(
+            seed in any::<u64>(),
+            n in 1usize..500,
+            eps in 0.01f32..150.0,
+            cutoff_frac in 0.0f64..1.2,
+            cx in -20.0f32..120.0,
+            cy in -20.0f32..120.0,
+        ) {
+            let device = Device::new(DeviceConfig::sequential());
+            let points = random_points(n, seed);
+            let bvh = build_points(&device, &points);
+            let cutoff = ((n as f64) * cutoff_frac) as u32;
+            assert_matches_stack_reference(&bvh, &Point::new([cx, cy]), eps, cutoff);
+        }
+
         #[test]
         fn traversal_equals_brute_force(
             seed in any::<u64>(),

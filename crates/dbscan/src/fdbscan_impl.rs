@@ -4,16 +4,24 @@
 //! them):
 //!
 //! 1. **index** — build a linear BVH over the points,
-//! 2. **preprocessing** — one thread per point runs an early-terminating
-//!    radius traversal and marks the point core once `minpts` neighbors
-//!    (including itself) have been seen. Skipped for `minpts <= 2`
-//!    (Algorithm 3 line 2): with `minpts == 2` any matched pair proves
-//!    both endpoints core, and with `minpts == 1` every point is core.
-//! 3. **main** — one thread per point runs an *index-masked* traversal
-//!    (cutoff = its own sorted-leaf position + 1, Fig. 1) so each close
-//!    pair is discovered exactly once, resolving it per Algorithm 3
-//!    (union for core–core, CAS border claim otherwise),
-//! 4. **finalization** — flatten the union-find and relabel.
+//! 2. **main** — one kernel fusing core determination with pair
+//!    resolution. Each thread first decides its own point's core status
+//!    via [`LazyCore`] (an early-terminating counting traversal, run
+//!    exactly once per point no matter how many pairs touch it), then
+//!    runs the *index-masked* traversal (cutoff = its own sorted-leaf
+//!    position + 1, Fig. 1) so each close pair is discovered exactly
+//!    once, resolving it per Algorithm 3 (union for core–core, CAS
+//!    border claim otherwise) after lazily deciding the partner's core
+//!    status. `minpts <= 2` needs no counting at all (Algorithm 3 line
+//!    2): with `minpts == 2` any matched pair proves both endpoints
+//!    core, and with `minpts == 1` every point is core.
+//! 3. **finalization** — flatten the union-find and relabel.
+//!
+//! The separate preprocessing kernel of the unfused formulation is gone —
+//! one traversal launch instead of two — but the `preprocess` phase span
+//! is still emitted (empty) so traces and phase counters keep their
+//! shape; its counters are zero and the counting work is attributed to
+//! the main phase where it now happens.
 
 use std::ops::ControlFlow;
 use std::time::Instant;
@@ -26,7 +34,7 @@ use fdbscan_unionfind::AtomicLabels;
 use crate::checkpoint::{
     self, CoreSnapshot, LabelState, PHASE_FINALIZE, PHASE_INDEX, PHASE_MAIN, PHASE_PREPROCESS,
 };
-use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags};
+use crate::framework::{finalize, resolve_pair, resolve_pair_star, CoreFlags, LazyCore};
 use crate::labels::Clustering;
 use crate::stats::{PhaseCounters, RunStats};
 use crate::Params;
@@ -150,64 +158,29 @@ fn fdbscan_core<const D: usize>(
     // carries the (possibly lazily extended) core flags as well.
     let restored_main = ckpt.as_deref().and_then(|c| c.restore::<LabelState>(PHASE_MAIN));
 
-    // Phase 2: preprocessing (core determination).
+    // Phase 2: preprocessing. Core counting is fused into the main
+    // kernel, so nothing launches here; the phase only seeds the fused
+    // kernel's lazy core state from restored checkpoints (a salvaged
+    // core-flag snapshot from the resilient ladder, or a completed main
+    // phase) and keeps the trace/phase-counter shape stable.
     let preprocess_start = Instant::now();
     let preprocess_span = tracer.phase("preprocess");
-    let core = if let Some(state) = &restored_main {
-        CoreFlags::from_flags(&state.core)
+    let (core, lazy) = if let Some(state) = &restored_main {
+        (CoreFlags::from_flags(&state.core), LazyCore::from_decided(&state.core))
     } else if let Some(flags) =
         ckpt.as_deref().and_then(|c| c.restore::<CoreSnapshot>(PHASE_PREPROCESS))
     {
         tracer.instant("checkpoint.restore: preprocess");
-        CoreFlags::from_flags(&flags.0)
+        (CoreFlags::from_flags(&flags.0), LazyCore::from_decided(&flags.0))
     } else {
-        let core = CoreFlags::new(n);
-        match minpts {
-            0 => unreachable!("Params::new validates minpts >= 1"),
-            1 => {
-                // Every point is trivially core (its neighborhood contains
-                // itself).
-                let core_ref = &core;
-                device.try_launch_named("fdbscan.mark_all_core", n, |i| core_ref.set(i as u32))?;
-            }
-            2 => {
-                // Skipped: the main phase marks both endpoints of any matched
-                // pair as core (Algorithm 3, line 2).
-            }
-            _ => {
-                let bvh_ref = &bvh;
-                let core_ref = &core;
-                let counters = device.counters();
-                let early = options.early_termination;
-                device.try_launch_named("fdbscan.core_count", n, |i| {
-                    let mut count = 0usize;
-                    let stats = bvh_ref.for_each_in_radius(&points[i], eps, 0, |_, _| {
-                        count += 1;
-                        if early && count >= minpts {
-                            ControlFlow::Break(())
-                        } else {
-                            ControlFlow::Continue(())
-                        }
-                    });
-                    if count >= minpts {
-                        core_ref.set(i as u32);
-                    }
-                    counters.add_nodes_visited(stats.nodes_visited);
-                    counters.add_distances(stats.leaf_hits);
-                })?;
-            }
-        }
-        if let Some(c) = ckpt.as_deref_mut() {
-            c.record(PHASE_PREPROCESS, &CoreSnapshot(core.to_vec()));
-            checkpoint::persist(c, device);
-        }
-        core
+        (CoreFlags::new(n), LazyCore::new(n))
     };
     drop(preprocess_span);
     let preprocess_time = preprocess_start.elapsed();
     let after_preprocess = device.counters().snapshot();
 
-    // Phase 3: main (masked traversal fused with union-find).
+    // Phase 3: main (core counting + masked traversal fused with
+    // union-find, one launch).
     let main_start = Instant::now();
     let main_span = tracer.phase("main");
     let labels = if let Some(state) = restored_main {
@@ -220,11 +193,42 @@ fn fdbscan_core<const D: usize>(
         {
             let bvh_ref = &bvh;
             let core_ref = &core;
+            let lazy_ref = &lazy;
             let labels_ref = &labels;
             let counters = device.counters();
             let masked = options.masked_traversal;
-            device.try_launch_named("fdbscan.pair_resolution", n, |i| {
+            let early = options.early_termination;
+            // Decides a point's core status on first demand (exactly once
+            // per point, whichever thread asks first).
+            let ensure_core = |p: u32| -> bool {
+                lazy_ref.ensure(core_ref, p, || match minpts {
+                    0 => unreachable!("Params::new validates minpts >= 1"),
+                    // Every point is trivially core (its neighborhood
+                    // contains itself).
+                    1 => true,
+                    2 => unreachable!("minpts == 2 marks cores inline, never lazily"),
+                    _ => {
+                        let mut count = 0usize;
+                        let stats =
+                            bvh_ref.for_each_in_radius(&points[p as usize], eps, 0, |_, _| {
+                                count += 1;
+                                if early && count >= minpts {
+                                    ControlFlow::Break(())
+                                } else {
+                                    ControlFlow::Continue(())
+                                }
+                            });
+                        counters.add_nodes_visited(stats.nodes_visited);
+                        counters.add_distances(stats.distance_tests());
+                        count >= minpts
+                    }
+                })
+            };
+            device.try_launch_named("fdbscan.main_fused", n, |i| {
                 let i = i as u32;
+                if minpts != 2 {
+                    ensure_core(i);
+                }
                 let cutoff = if masked { bvh_ref.leaf_pos_of(i) + 1 } else { 0 };
                 let stats = bvh_ref.for_each_in_radius(&points[i as usize], eps, cutoff, |_, j| {
                     if !masked && j == i {
@@ -235,15 +239,18 @@ fn fdbscan_core<const D: usize>(
                         core_ref.set(i);
                         core_ref.set(j);
                         labels_ref.union(i, j);
-                    } else if options.star {
-                        resolve_pair_star(labels_ref, core_ref, i, j);
                     } else {
-                        resolve_pair(labels_ref, core_ref, i, j);
+                        ensure_core(j);
+                        if options.star {
+                            resolve_pair_star(labels_ref, core_ref, i, j);
+                        } else {
+                            resolve_pair(labels_ref, core_ref, i, j);
+                        }
                     }
                     ControlFlow::Continue(())
                 });
                 counters.add_nodes_visited(stats.nodes_visited);
-                counters.add_distances(stats.leaf_hits);
+                counters.add_distances(stats.distance_tests());
                 counters
                     .neighbors_found
                     .fetch_add(stats.leaf_hits, std::sync::atomic::Ordering::Relaxed);
@@ -380,17 +387,23 @@ mod tests {
     }
 
     #[test]
-    fn minpts_2_skips_preprocessing_kernels() {
-        // With minpts == 2 the preprocessing traversal must not run: the
-        // kernel count for the run is exactly index-build + main + flatten.
+    fn fused_main_adds_no_preprocessing_launches() {
+        // Core counting rides inside the main kernel, so every minpts
+        // value launches the same kernels: index-build + main + flatten.
         let d = device();
         let points = random_points(200, 3.0, 9);
+        let (_, stats1) = fdbscan(&d, &points, Params::new(0.3, 1)).unwrap();
         let (_, stats2) = fdbscan(&d, &points, Params::new(0.3, 2)).unwrap();
         let (_, stats3) = fdbscan(&d, &points, Params::new(0.3, 3)).unwrap();
+        assert_eq!(stats3.counters.kernel_launches, stats2.counters.kernel_launches);
+        assert_eq!(stats3.counters.kernel_launches, stats1.counters.kernel_launches);
         assert_eq!(
-            stats3.counters.kernel_launches,
-            stats2.counters.kernel_launches + 1,
-            "minpts=3 must launch exactly one extra (preprocessing) kernel"
+            stats3.phase_counters.preprocess.kernel_launches, 0,
+            "preprocess phase must launch nothing"
+        );
+        assert!(
+            stats3.phase_counters.main.distance_computations > 0,
+            "fused core counting charges the main phase"
         );
     }
 
@@ -417,7 +430,9 @@ mod tests {
         // And land where the algorithm does the work.
         assert!(pc.index.kernel_launches > 0, "BVH build launches kernels");
         assert_eq!(pc.index.distance_computations, 0, "index phase computes no distances");
-        assert!(pc.preprocess.distance_computations > 0, "core counting measures distances");
+        assert_eq!(pc.preprocess.kernel_launches, 0, "preprocessing is fused into main");
+        assert_eq!(pc.preprocess.distance_computations, 0, "preprocessing is fused into main");
+        assert!(pc.main.distance_computations > 0, "fused core counting measures distances");
         assert!(pc.main.unions > 0, "unions happen in the main phase");
         assert_eq!(pc.main.unions, stats.counters.unions);
         assert!(pc.finalize.kernel_launches > 0, "finalize launches the flatten kernel");
@@ -497,11 +512,14 @@ mod tests {
     }
 
     #[test]
-    fn early_termination_reduces_preprocessing_work() {
-        // Dense data with |N| >> minpts: stopping at minpts must save a
-        // lot of distance computations.
-        let points = vec![Point2::new([0.0, 0.0]); 2000];
-        let params = Params::new(1.0, 5);
+    fn early_termination_reduces_core_counting_work() {
+        // Dense data with |N| >> minpts: the counting traversal stopping
+        // at minpts must save a lot of node visits and distance tests.
+        // (Spread-out random points rather than pure duplicates: the
+        // containment fast path answers a duplicate pile with zero
+        // distance tests in both variants, which would hide the effect.)
+        let points = random_points(2000, 4.0, 31);
+        let params = Params::new(1.0, 4);
         let d = device();
         let (_, with_et) = fdbscan(&d, &points, params).unwrap();
         let (_, without_et) = fdbscan_with(
@@ -515,14 +533,16 @@ mod tests {
             },
         )
         .unwrap();
-        // Both runs share the ~n^2/2 main-phase pair distances; the
-        // preprocessing difference (5 vs 2000 hits per point) must still
-        // dominate the total by a clear factor.
+        // Both runs share the index build and the masked pair traversal;
+        // the counting difference (stop after 4 hits vs. enumerate the
+        // full ~390-point neighborhood) must still show clearly in the
+        // totals.
+        let work = |s: &RunStats| s.counters.bvh_nodes_visited + s.counters.distance_computations;
         assert!(
-            with_et.counters.distance_computations * 2 < without_et.counters.distance_computations,
-            "early termination must cut preprocessing work ({} vs {})",
-            with_et.counters.distance_computations,
-            without_et.counters.distance_computations
+            work(&with_et) * 5 < work(&without_et) * 4,
+            "early termination must cut core-counting work ({} vs {})",
+            work(&with_et),
+            work(&without_et)
         );
     }
 

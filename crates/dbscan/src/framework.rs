@@ -5,7 +5,7 @@
 //! array, the per-pair resolution rule (union vs. atomic border claim),
 //! and the finalization step (flatten + relabel).
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 
 use fdbscan_device::Device;
 use fdbscan_unionfind::AtomicLabels;
@@ -74,6 +74,97 @@ impl CoreFlags {
     /// Copies the flags into a `Vec<bool>`.
     pub fn to_vec(&self) -> Vec<bool> {
         (0..self.len as u32).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Lazy, exactly-once core-point determination for the fused
+/// neighbor-count + pair-resolution kernel.
+///
+/// The fused main phase no longer has a completed preprocessing phase to
+/// read definitive core flags from, and racing half-written flags would
+/// be incorrect: [`resolve_pair`] drops a pair when *neither* endpoint
+/// looks core yet. Instead every point carries a tri-state — unknown,
+/// claimed, decided — and [`LazyCore::ensure`] resolves it on first
+/// demand:
+///
+/// * the CAS winner runs the (early-terminated) neighbor count exactly
+///   once, publishes the [`CoreFlags`] bit, then the decision,
+/// * losers spin until the decision lands — the claimant is an active
+///   worker inside the same launch, and on a sequential device a claim
+///   is always decided within the same kernel item, so the wait is
+///   bounded,
+/// * later calls are a single atomic load.
+///
+/// Exactly-once evaluation keeps the work counters deterministic: each
+/// point's counting traversal contributes once, regardless of how many
+/// pairs touch the point or which thread gets there first.
+pub struct LazyCore {
+    state: Vec<AtomicU8>,
+}
+
+const CORE_UNKNOWN: u8 = 0;
+const CORE_CLAIMED: u8 = 1;
+const CORE_DECIDED_NO: u8 = 2;
+const CORE_DECIDED_YES: u8 = 3;
+
+impl LazyCore {
+    /// `n` undecided points.
+    pub fn new(n: usize) -> Self {
+        Self { state: (0..n).map(|_| AtomicU8::new(CORE_UNKNOWN)).collect() }
+    }
+
+    /// All points pre-decided from restored flags (checkpoint resume or
+    /// the resilient ladder's salvaged-core-flag handoff): `ensure` then
+    /// never runs a counting traversal.
+    pub fn from_decided(flags: &[bool]) -> Self {
+        Self {
+            state: flags
+                .iter()
+                .map(|&f| AtomicU8::new(if f { CORE_DECIDED_YES } else { CORE_DECIDED_NO }))
+                .collect(),
+        }
+    }
+
+    /// Returns whether point `i` is core, computing it via `count` (which
+    /// must return the definitive core decision for `i`) if no thread has
+    /// yet. Publishes positive decisions to `core` *before* the decision
+    /// state, so any thread that observes "decided" also observes the
+    /// flag [`resolve_pair`] reads.
+    #[inline]
+    pub fn ensure<F>(&self, core: &CoreFlags, i: u32, count: F) -> bool
+    where
+        F: FnOnce() -> bool,
+    {
+        let slot = &self.state[i as usize];
+        let s = slot.load(Ordering::Acquire);
+        if s >= CORE_DECIDED_NO {
+            return s == CORE_DECIDED_YES;
+        }
+        match slot.compare_exchange(
+            CORE_UNKNOWN,
+            CORE_CLAIMED,
+            Ordering::Acquire,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                let is_core = count();
+                if is_core {
+                    core.set(i);
+                }
+                slot.store(
+                    if is_core { CORE_DECIDED_YES } else { CORE_DECIDED_NO },
+                    Ordering::Release,
+                );
+                is_core
+            }
+            Err(_) => loop {
+                let s = slot.load(Ordering::Acquire);
+                if s >= CORE_DECIDED_NO {
+                    return s == CORE_DECIDED_YES;
+                }
+                std::hint::spin_loop();
+            },
+        }
     }
 }
 
@@ -163,6 +254,54 @@ mod tests {
             }
         });
         assert_eq!(flags.count(), 1024);
+    }
+
+    #[test]
+    fn lazy_core_counts_exactly_once_and_publishes_flag() {
+        let lazy = LazyCore::new(4);
+        let core = CoreFlags::new(4);
+        let mut calls = 0;
+        assert!(lazy.ensure(&core, 2, || {
+            calls += 1;
+            true
+        }));
+        // Second ask must reuse the decision, not recount.
+        assert!(lazy.ensure(&core, 2, || {
+            calls += 1;
+            false
+        }));
+        assert_eq!(calls, 1);
+        assert!(core.get(2));
+        assert!(!lazy.ensure(&core, 0, || false));
+        assert!(!core.get(0));
+    }
+
+    #[test]
+    fn lazy_core_from_decided_never_counts() {
+        let lazy = LazyCore::from_decided(&[true, false]);
+        let core = CoreFlags::from_flags(&[true, false]);
+        assert!(lazy.ensure(&core, 0, || unreachable!("pre-decided point recounted")));
+        assert!(!lazy.ensure(&core, 1, || unreachable!("pre-decided point recounted")));
+    }
+
+    #[test]
+    fn lazy_core_concurrent_single_winner() {
+        use std::sync::atomic::AtomicUsize;
+        let lazy = LazyCore::new(1);
+        let core = CoreFlags::new(1);
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    assert!(lazy.ensure(&core, 0, || {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        true
+                    }));
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(core.get(0));
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl<const D: usize> SpatialIndex<D> for Bvh<D> {
         callback: &mut dyn FnMut(u32, u32) -> ControlFlow<()>,
     ) -> IndexStats {
         let stats = self.for_each_in_radius(center, eps, cutoff, callback);
-        IndexStats { nodes_visited: stats.nodes_visited, distance_tests: stats.leaf_hits }
+        IndexStats { nodes_visited: stats.nodes_visited, distance_tests: stats.distance_tests() }
     }
 
     fn memory_bytes(&self) -> usize {

@@ -558,15 +558,15 @@ mod tests {
     fn oom_step_down_hands_core_flags_to_next_rung() {
         // A dense blob makes G-DBSCAN's edge list quadratic (ooms under
         // the budget) while the scattered tail keeps FDBSCAN-DenseBox's
-        // preprocessing phase non-trivial on a fresh run.
+        // core counting non-trivial on a fresh run.
         let mut points = vec![Point2::new([0.0, 0.0]); 1200];
         points.extend(random_points(300, 5.0, 46));
         let params = Params::new(0.3, 5);
-        // Control: from scratch, DenseBox preprocessing computes
-        // distances for the sparse tail.
+        // Control: from scratch, DenseBox's fused main kernel computes
+        // core-counting distances for the sparse tail.
         let control = Device::new(DeviceConfig::sequential());
         let (_, control_stats) = crate::fdbscan_densebox(&control, &points, params).unwrap();
-        assert!(control_stats.phase_counters.preprocess.distance_computations > 0);
+        assert!(control_stats.phase_counters.main.distance_computations > 0);
         // Disable pre-flight so G-DBSCAN actually runs its degree pass
         // (recording core flags) before the edge reservation ooms.
         let device = Device::new(DeviceConfig::sequential().with_memory_budget(1 << 19));
@@ -578,11 +578,15 @@ mod tests {
         ));
         assert_eq!(report.completed, Some(LadderLevel::DenseBox));
         assert!(report.degraded());
-        // The salvaged flags seeded DenseBox's preprocessing phase: the
-        // winning rung recomputed no core-point distances.
-        assert_eq!(
-            stats.phase_counters.preprocess.distance_computations, 0,
-            "handed-off core flags should skip core-point recomputation"
+        // The salvaged flags pre-decided every point for DenseBox's fused
+        // main kernel: the winning rung ran no counting traversals, so it
+        // computed strictly fewer main-phase distances than the control.
+        assert!(
+            stats.phase_counters.main.distance_computations
+                < control_stats.phase_counters.main.distance_computations,
+            "handed-off core flags should skip core-counting recomputation ({} vs control {})",
+            stats.phase_counters.main.distance_computations,
+            control_stats.phase_counters.main.distance_computations
         );
         let oracle = dbscan_classic(&points, params);
         assert_core_equivalent(&oracle, &c);

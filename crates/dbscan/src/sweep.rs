@@ -67,7 +67,7 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
                 // SAFETY: one writer per index.
                 unsafe { counts_view.write(i, count) };
                 counters.add_nodes_visited(stats.nodes_visited);
-                counters.add_distances(stats.leaf_hits);
+                counters.add_distances(stats.distance_tests());
             })?;
         }
         Ok(Self { device, points, eps, bvh, counts, setup_time: start.elapsed(), _memory: memory })

@@ -129,6 +129,31 @@ impl<const D: usize> Aabb<D> {
     pub fn intersects_ball(&self, center: &Point<D>, radius: f32) -> bool {
         self.dist_sq(center) <= radius * radius
     }
+
+    /// Squared distance from `p` to the *farthest* corner of the box.
+    ///
+    /// This is the node containment test of the stackless radius query:
+    /// when `max_dist_sq(p, node_box) <= eps^2` every point inside the box
+    /// is within `eps` of `p`, so the whole subtree can be accepted
+    /// without any per-leaf distance test. The per-dimension farthest
+    /// offset is `max(|p - lo|, |p - hi|)`; because rounding in `f32`
+    /// subtraction is monotone, each computed offset upper-bounds the
+    /// computed offset of any contained coordinate, and squaring plus the
+    /// in-order summation preserve that bound — so the computed member
+    /// distance in [`Aabb::dist_sq`]-order never exceeds this value and no
+    /// epsilon slack is needed.
+    #[inline]
+    pub fn max_dist_sq(&self, p: &Point<D>) -> f32 {
+        let mut acc = 0.0f32;
+        for d in 0..D {
+            let c = p[d];
+            let to_lo = (c - self.min[d]).abs();
+            let to_hi = (self.max[d] - c).abs();
+            let delta = to_lo.max(to_hi);
+            acc += delta * delta;
+        }
+        acc
+    }
 }
 
 impl<const D: usize> Default for Aabb<D> {
@@ -270,6 +295,21 @@ mod tests {
             #[test]
             fn dist_sq_zero_iff_contained(b in arb_box(), p in arb_point()) {
                 prop_assert_eq!(b.dist_sq(&p) == 0.0, b.contains(&p));
+            }
+
+            #[test]
+            fn max_dist_sq_bounds_members_exactly(
+                a in arb_point(), b in arb_point(), q in arb_point()
+            ) {
+                // The farthest-corner distance must upper-bound the
+                // *computed* distance to every contained point with no
+                // slack — the containment fast path relies on exact f32
+                // dominance, not a mathematical approximation.
+                let bx = Aabb::from_points([a, b].iter());
+                let far = bx.max_dist_sq(&q);
+                prop_assert!(q.dist_sq(&a) <= far);
+                prop_assert!(q.dist_sq(&b) <= far);
+                prop_assert!(bx.dist_sq(&q) <= far);
             }
         }
     }

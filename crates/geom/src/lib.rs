@@ -12,7 +12,11 @@
 //!   linear BVH and of the dense cells,
 //! * [`morton`] — Morton (Z-order) codes used to linearize points for the
 //!   Karras BVH construction and for dense-grid cell keys,
-//! * distance helpers (point–point and point–box) used by radius queries.
+//! * [`SoaPoints`] — structure-of-arrays point storage with one
+//!   contiguous slice per dimension, the coalescing-friendly layout the
+//!   distance kernels stride through,
+//! * distance helpers (point–point and point–box) used by radius queries,
+//!   including the early-exit [`dist_sq_within`] specialised for 2-D/3-D.
 //!
 //! Everything here is `no_std`-style plain data: flat arrays of `f32`,
 //! no heap indirection, no trait objects — matching how the data lives in
@@ -22,10 +26,12 @@ pub mod aabb;
 pub mod metric;
 pub mod morton;
 pub mod point;
+pub mod soa;
 
 pub use aabb::Aabb;
-pub use metric::{dist, dist_point_aabb_sq, dist_sq};
+pub use metric::{dist, dist_point_aabb_sq, dist_sq, dist_sq_within};
 pub use point::Point;
+pub use soa::SoaPoints;
 
 /// Convenience alias for 2-D points (the paper's geospatial datasets).
 pub type Point2 = Point<2>;

@@ -23,6 +23,65 @@ pub fn dist_point_aabb_sq<const D: usize>(p: &Point<D>, b: &Aabb<D>) -> f32 {
     b.dist_sq(p)
 }
 
+/// Early-exit squared distance: `Some(dist_sq)` iff `dist_sq <= limit`.
+///
+/// Accumulates per dimension and bails out as soon as the partial sum
+/// exceeds `limit`, so far-apart pairs are rejected after the first
+/// dimension. The 2-D and 3-D cases — the paper's entire evaluation — are
+/// fully unrolled (the `match` on the const generic folds at
+/// monomorphization time, so there is no runtime dispatch). When the
+/// result is `Some`, the value is bit-identical to [`dist_sq`]: the same
+/// products are added in the same order.
+#[inline]
+pub fn dist_sq_within<const D: usize>(a: &Point<D>, b: &Point<D>, limit: f32) -> Option<f32> {
+    match D {
+        2 => {
+            let dx = a[0] - b[0];
+            let acc = dx * dx;
+            if acc > limit {
+                return None;
+            }
+            let dy = a[1] - b[1];
+            let acc = acc + dy * dy;
+            if acc <= limit {
+                Some(acc)
+            } else {
+                None
+            }
+        }
+        3 => {
+            let dx = a[0] - b[0];
+            let acc = dx * dx;
+            if acc > limit {
+                return None;
+            }
+            let dy = a[1] - b[1];
+            let acc = acc + dy * dy;
+            if acc > limit {
+                return None;
+            }
+            let dz = a[2] - b[2];
+            let acc = acc + dz * dz;
+            if acc <= limit {
+                Some(acc)
+            } else {
+                None
+            }
+        }
+        _ => {
+            let mut acc = 0.0f32;
+            for d in 0..D {
+                let delta = a[d] - b[d];
+                acc += delta * delta;
+                if acc > limit {
+                    return None;
+                }
+            }
+            Some(acc)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,6 +120,33 @@ mod tests {
         #[test]
         fn dist_nonnegative(a in arb_point2(), b in arb_point2()) {
             prop_assert!(dist_sq(&a, &b) >= 0.0);
+        }
+
+        #[test]
+        fn within_agrees_with_full_distance_2d(
+            a in arb_point2(), b in arb_point2(), limit in 0.0f32..5_000_000.0
+        ) {
+            let full = dist_sq(&a, &b);
+            match dist_sq_within(&a, &b, limit) {
+                // Accepted values must be bit-identical to the full path.
+                Some(d) => prop_assert!(full <= limit && d == full),
+                None => prop_assert!(full > limit),
+            }
+        }
+
+        #[test]
+        fn within_agrees_with_full_distance_3d(
+            ax in -100.0f32..100.0, ay in -100.0f32..100.0, az in -100.0f32..100.0,
+            bx in -100.0f32..100.0, by in -100.0f32..100.0, bz in -100.0f32..100.0,
+            limit in 0.0f32..120_000.0
+        ) {
+            let a = Point::new([ax, ay, az]);
+            let b = Point::new([bx, by, bz]);
+            let full = dist_sq(&a, &b);
+            match dist_sq_within(&a, &b, limit) {
+                Some(d) => prop_assert!(full <= limit && d == full),
+                None => prop_assert!(full > limit),
+            }
         }
     }
 }

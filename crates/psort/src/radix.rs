@@ -1,15 +1,20 @@
 //! Parallel LSD radix sort for `(u64 key, u32 payload)` pairs.
 //!
-//! Classic GPU formulation (one kernel trio per 8-bit digit):
+//! Classic GPU formulation (one kernel pair per 16-bit digit):
 //!
 //! 1. **histogram** — each block counts digit occurrences in its segment,
-//! 2. **scan** — a digit-major exclusive scan over the `256 × blocks`
+//! 2. **scan** — a digit-major exclusive scan over the `65536 × blocks`
 //!    count matrix turns counts into global scatter bases,
 //! 3. **scatter** — each block re-reads its segment in order and places
 //!    every element at its digit's next slot.
 //!
 //! Per-block sequential placement keeps the sort *stable*, which the BVH
 //! relies on to break Morton-code ties by original index.
+//!
+//! The digit is 16 bits wide: full 64-bit keys sort in 4 passes instead
+//! of the 8 an 8-bit digit needs, halving the kernel launches on the BVH
+//! construction hot path at the cost of a larger (but still
+//! `O(buckets x blocks)`, i.e. n-independent per block) count matrix.
 //!
 //! Passes whose digit is constant over all keys are skipped (detected via
 //! the maximum key), so sorting keys that occupy few bytes costs few
@@ -19,12 +24,13 @@ use fdbscan_device::{Device, SharedMut};
 
 use crate::scan::sequential_exclusive_scan;
 
-const RADIX_BITS: u32 = 8;
+const RADIX_BITS: u32 = 16;
 const BUCKETS: usize = 1 << RADIX_BITS;
 /// Elements per sorting block. Larger than the device block size: the
 /// histogram/scatter kernels are launched over *sort blocks*, and each
-/// index of the launch handles one contiguous segment.
-const SORT_BLOCK: usize = 1 << 12;
+/// index of the launch handles one contiguous segment. Sized so the
+/// per-block bucket table stays small relative to the segment it counts.
+const SORT_BLOCK: usize = 1 << 14;
 /// Below this size, a sequential comparison sort wins.
 const SEQUENTIAL_THRESHOLD: usize = 1 << 10;
 
@@ -85,7 +91,9 @@ fn radix_pass(
         device.launch_named("sort.histogram", num_blocks, |b| {
             let start = b * SORT_BLOCK;
             let end = (start + SORT_BLOCK).min(n);
-            let mut local = [0u32; BUCKETS];
+            // Heap-allocated: a 2^16-entry table would blow the worker
+            // stack (the GPU analogue holds it in shared memory).
+            let mut local = vec![0u32; BUCKETS];
             for &key in &keys_in[start..end] {
                 let digit = ((key >> shift) as usize) & (BUCKETS - 1);
                 local[digit] += 1;
@@ -97,8 +105,9 @@ fn radix_pass(
         });
     }
 
-    // 2. Exclusive scan over the digit-major matrix. 256 * blocks entries:
-    //    small relative to n, so a sequential scan is fine and exact.
+    // 2. Exclusive scan over the digit-major matrix. 65536 * blocks
+    //    entries: independent of n per block, so a sequential scan is
+    //    fine and exact.
     sequential_exclusive_scan(&mut counts);
 
     // 3. Scatter. Each block walks its segment in order (stability) and
@@ -110,7 +119,7 @@ fn radix_pass(
         device.launch_named("sort.scatter", num_blocks, |b| {
             let start = b * SORT_BLOCK;
             let end = (start + SORT_BLOCK).min(n);
-            let mut cursors = [0u64; BUCKETS];
+            let mut cursors = vec![0u64; BUCKETS];
             for (digit, cursor) in cursors.iter_mut().enumerate() {
                 *cursor = counts[digit * num_blocks + b];
             }
@@ -223,7 +232,7 @@ mod tests {
 
     #[test]
     fn small_keys_skip_passes() {
-        // Keys below 256 need exactly one pass; verify correctness (the
+        // Keys below 2^16 need exactly one pass; verify correctness (the
         // pass-skipping itself is observable through kernel counters).
         let device = Device::new(DeviceConfig::default().with_workers(2));
         let before = device.counters().snapshot().kernel_launches;
@@ -239,7 +248,7 @@ mod tests {
     }
 
     #[test]
-    fn full_width_keys_use_eight_passes() {
+    fn full_width_keys_use_four_passes() {
         let device = Device::new(DeviceConfig::default().with_workers(2));
         let before = device.counters().snapshot().kernel_launches;
         let n = 20_000;
@@ -249,7 +258,8 @@ mod tests {
         sort_pairs(&device, &mut keys, &mut values);
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
         let launches = device.counters().snapshot().kernel_launches - before;
-        assert_eq!(launches, 1 + 2 * 8);
+        // 1 reduce + 2 kernels per 16-bit pass * 4 passes.
+        assert_eq!(launches, 1 + 2 * 4);
     }
 
     #[test]

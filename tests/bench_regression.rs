@@ -1,0 +1,94 @@
+//! Bench-regression gate: the hot-path work counters (kernel launches,
+//! distance computations, BVH node visits) must not regress more than
+//! 5% against the checked-in `BENCH_hotpaths.json` baseline.
+//!
+//! The matrix re-runs here on a **sequential** device, so the fresh
+//! counters are exactly reproducible and the 5% headroom is purely for
+//! intentional drift (e.g. a dataset generator tweak), not scheduling
+//! noise. Wall times are recorded in the baseline but never compared.
+//!
+//! On a legitimate change (an optimization that lowers work, or an
+//! accepted cost increase), regenerate and commit the baseline:
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin hotpaths -- BENCH_hotpaths.json
+//! ```
+
+use std::path::PathBuf;
+
+use fdbscan_bench::hotpaths::{collect_hotpaths, HotpathsBaseline, GUARDED_COUNTERS};
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json")
+}
+
+const REGEN: &str =
+    "regenerate with: cargo run --release -p fdbscan-bench --bin hotpaths -- BENCH_hotpaths.json";
+
+#[test]
+fn work_counters_do_not_regress_beyond_5_percent() {
+    let path = baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing baseline {}: {e}\n{REGEN}", path.display()));
+    let baseline = HotpathsBaseline::parse(&text)
+        .unwrap_or_else(|e| panic!("unreadable baseline {}: {e}\n{REGEN}", path.display()));
+
+    let fresh = collect_hotpaths();
+    let mut failures = Vec::new();
+    for record in &fresh.records {
+        let id = record.case.id();
+        let Some(base) = baseline.case(&id) else {
+            failures.push(format!("{id}: not in baseline (matrix grew?)"));
+            continue;
+        };
+        for (&(name, current), (base_name, base_value)) in record.work.iter().zip(base) {
+            assert_eq!(name, base_name, "{id}: counter order drifted");
+            // Integer form of current > 1.05 * base, exact in u64.
+            if current * 100 > base_value * 105 {
+                failures.push(format!(
+                    "{id}: {name} regressed {base_value} -> {current} \
+                     (+{:.1}%, gate is 5%)",
+                    100.0 * (current as f64 / *base_value as f64 - 1.0)
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "hot-path work regressed past the 5% gate:\n  {}\nIf intentional, {REGEN}",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn baseline_covers_the_current_matrix() {
+    // A stale baseline (fewer or renamed cases) must fail loudly rather
+    // than silently guarding nothing.
+    let text = std::fs::read_to_string(baseline_path()).expect(REGEN);
+    let baseline = HotpathsBaseline::parse(&text).expect(REGEN);
+    let matrix = fdbscan_bench::hotpaths::hotpath_matrix();
+    for case in &matrix {
+        assert!(
+            baseline.case(&case.id()).is_some(),
+            "baseline missing case {}; {REGEN}",
+            case.id()
+        );
+    }
+    assert_eq!(
+        baseline.cases.len(),
+        matrix.len(),
+        "baseline carries cases the matrix no longer runs; {REGEN}"
+    );
+    for (id, counters) in &baseline.cases {
+        for ((name, value), expected) in counters.iter().zip(GUARDED_COUNTERS) {
+            assert_eq!(name, expected);
+            // Every algorithm launches kernels and computes distances;
+            // only the tree-based ones traverse a BVH.
+            let must_be_nonzero = name != "bvh_nodes_visited" || id.starts_with("fdbscan");
+            assert!(
+                !must_be_nonzero || *value > 0,
+                "{id}: guarded counter {name} is zero — it guards nothing"
+            );
+        }
+    }
+}

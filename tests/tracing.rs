@@ -81,9 +81,7 @@ fn densebox_and_gdbscan_record_their_own_phase_trees() {
             "missing run span '{root}'"
         );
     }
-    assert!(events
-        .iter()
-        .any(|e| e.kind == SpanKind::Kernel && e.label == "densebox.pair_resolution"));
+    assert!(events.iter().any(|e| e.kind == SpanKind::Kernel && e.label == "densebox.main_fused"));
     assert!(events.iter().any(|e| e.kind == SpanKind::Kernel && e.label == "gdbscan.bfs_level"));
 }
 
