@@ -1,0 +1,70 @@
+//! Index-pipeline micro-benchmarks: the fused sort and single-pass BVH
+//! build, each measured with a cold arena (pools trimmed before every
+//! iteration, so all scratch is freshly reserved) and a warm arena
+//! (pools retained, so scratch is recycled). The warm/cold gap is the
+//! allocation cost the buffer arena removes from steady-state runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fdbscan_bvh::Bvh;
+use fdbscan_data::Dataset2;
+use fdbscan_device::Device;
+use fdbscan_geom::Aabb;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn bench_sort_pairs(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let mut group = c.benchmark_group("pipeline/sort-pairs");
+    group.sample_size(10);
+    for n in [16_384usize, 65_536] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("cold", n), &keys, |b, keys| {
+            b.iter(|| {
+                device.arena().trim();
+                let mut k = keys.clone();
+                let mut v: Vec<u32> = (0..n as u32).collect();
+                fdbscan_psort::sort_pairs(&device, &mut k, &mut v);
+                k[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &keys, |b, keys| {
+            // Prime the pools once so every timed iteration recycles.
+            let mut k = keys.clone();
+            let mut v: Vec<u32> = (0..n as u32).collect();
+            fdbscan_psort::sort_pairs(&device, &mut k, &mut v);
+            b.iter(|| {
+                let mut k = keys.clone();
+                let mut v: Vec<u32> = (0..n as u32).collect();
+                fdbscan_psort::sort_pairs(&device, &mut k, &mut v);
+                k[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bvh_build(c: &mut Criterion) {
+    let device = Device::with_defaults();
+    let mut group = c.benchmark_group("pipeline/bvh-build");
+    group.sample_size(10);
+    for n in [4096usize, 16_384] {
+        let points = Dataset2::PortoTaxi.generate(n, 1);
+        let bounds: Vec<Aabb<2>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("cold", n), &bounds, |b, bounds| {
+            b.iter(|| {
+                device.arena().trim();
+                Bvh::build(&device, bounds).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm", n), &bounds, |b, bounds| {
+            Bvh::build(&device, bounds);
+            b.iter(|| Bvh::build(&device, bounds).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort_pairs, bench_bvh_build);
+criterion_main!(benches);

@@ -42,6 +42,9 @@ pub const HOTPATHS_SEED: u64 = 42;
 pub const GUARDED_COUNTERS: [&str; 3] =
     ["kernel_launches", "distance_computations", "bvh_nodes_visited"];
 
+/// Phase keys of the per-phase launch breakdown, in serialization order.
+pub const PHASE_KEYS: [&str; 4] = ["index", "preprocess", "main", "finalize"];
+
 /// One cell of the hot-path matrix.
 #[derive(Clone, Debug)]
 pub struct HotpathCase {
@@ -140,16 +143,13 @@ impl HotpathRecord {
             ("algorithm", Json::str(self.case.algo.name())),
             ("dataset", Json::str(self.case.dataset)),
             ("n", Json::U64(self.case.n as u64)),
-            ("eps", Json::F64(self.case.params.eps as f64)),
+            ("eps", Json::f32(self.case.params.eps)),
             ("minpts", Json::U64(self.case.params.minpts as u64)),
             ("work", Json::obj(self.work.iter().map(|&(k, v)| (k, Json::U64(v))))),
             (
                 "phase_launches",
                 Json::obj(
-                    ["index", "preprocess", "main", "finalize"]
-                        .iter()
-                        .zip(self.phase_launches)
-                        .map(|(&k, v)| (k, Json::U64(v))),
+                    PHASE_KEYS.iter().zip(self.phase_launches).map(|(&k, v)| (k, Json::U64(v))),
                 ),
             ),
             (
@@ -212,12 +212,16 @@ impl HotpathsReport {
     }
 }
 
-/// A parsed baseline: guarded counters per case id, straight from a
-/// checked-in `BENCH_hotpaths.json`.
+/// A parsed baseline: guarded counters and the per-phase launch
+/// breakdown per case id, straight from a checked-in
+/// `BENCH_hotpaths.json`.
 #[derive(Clone, Debug)]
 pub struct HotpathsBaseline {
     /// `(case id, [(counter name, value); 3])` in file order.
     pub cases: Vec<(String, Vec<(String, u64)>)>,
+    /// `(case id, [(phase name, launches); 4])` in file order, keyed
+    /// like [`PHASE_KEYS`].
+    pub phase_launches: Vec<(String, Vec<(String, u64)>)>,
 }
 
 impl HotpathsBaseline {
@@ -228,33 +232,48 @@ impl HotpathsBaseline {
         if schema != Some(HOTPATHS_SCHEMA) {
             return Err(format!("schema mismatch: expected {HOTPATHS_SCHEMA}, got {schema:?}"));
         }
-        let cases = doc
-            .get("cases")
-            .and_then(|c| c.as_arr())
-            .ok_or("missing 'cases' array")?
-            .iter()
-            .map(|case| {
-                let id =
-                    case.get("id").and_then(|v| v.as_str()).ok_or("case without 'id'")?.to_string();
-                let work = case.get("work").ok_or("case without 'work'")?;
-                let counters = GUARDED_COUNTERS
-                    .iter()
-                    .map(|&name| {
-                        work.get(name)
-                            .and_then(|v| v.as_f64())
-                            .map(|v| (name.to_string(), v as u64))
-                            .ok_or_else(|| format!("case {id} missing counter {name}"))
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                Ok((id, counters))
-            })
-            .collect::<Result<Vec<_>, String>>()?;
-        Ok(Self { cases })
+        let mut cases = Vec::new();
+        let mut phase_launches = Vec::new();
+        for case in doc.get("cases").and_then(|c| c.as_arr()).ok_or("missing 'cases' array")? {
+            let id =
+                case.get("id").and_then(|v| v.as_str()).ok_or("case without 'id'")?.to_string();
+            let work = case.get("work").ok_or_else(|| format!("case {id} without 'work'"))?;
+            let counters = GUARDED_COUNTERS
+                .iter()
+                .map(|&name| {
+                    work.get(name)
+                        .and_then(|v| v.as_f64())
+                        .map(|v| (name.to_string(), v as u64))
+                        .ok_or_else(|| format!("case {id} missing counter {name}"))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let phases = case
+                .get("phase_launches")
+                .ok_or_else(|| format!("case {id} without 'phase_launches'"))?;
+            let launches = PHASE_KEYS
+                .iter()
+                .map(|&name| {
+                    phases
+                        .get(name)
+                        .and_then(|v| v.as_f64())
+                        .map(|v| (name.to_string(), v as u64))
+                        .ok_or_else(|| format!("case {id} missing phase {name}"))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            cases.push((id.clone(), counters));
+            phase_launches.push((id, launches));
+        }
+        Ok(Self { cases, phase_launches })
     }
 
     /// Guarded counters for one case id, if present.
     pub fn case(&self, id: &str) -> Option<&[(String, u64)]> {
         self.cases.iter().find(|(cid, _)| cid == id).map(|(_, c)| c.as_slice())
+    }
+
+    /// Per-phase launch counts for one case id, if present.
+    pub fn phases(&self, id: &str) -> Option<&[(String, u64)]> {
+        self.phase_launches.iter().find(|(cid, _)| cid == id).map(|(_, p)| p.as_slice())
     }
 }
 
@@ -284,6 +303,12 @@ mod tests {
         for ((name, value), expected) in counters.iter().zip(GUARDED_COUNTERS) {
             assert_eq!(name, expected);
             assert_eq!(*value, 0, "default stats carry zero counters");
+        }
+        let phases = baseline.phases(&id).expect("phase launches survive the round trip");
+        assert_eq!(phases.len(), PHASE_KEYS.len());
+        for ((name, value), expected) in phases.iter().zip(PHASE_KEYS) {
+            assert_eq!(name, expected);
+            assert_eq!(*value, 0, "default stats carry zero launches");
         }
     }
 

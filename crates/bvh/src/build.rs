@@ -1,22 +1,56 @@
-//! Fully parallel LBVH construction (Karras 2012).
+//! Fully parallel LBVH construction (Karras 2012 topology, built
+//! bottom-up in a single pass after Apetrei 2014).
 //!
-//! Construction runs as a fixed sequence of batched kernels, mirroring
-//! the GPU pipeline:
+//! Construction runs as three device submissions, mirroring a fused GPU
+//! pipeline:
 //!
-//! 1. reduce the scene bounds,
-//! 2. compute a Morton code per primitive (box center),
-//! 3. radix-sort primitives by code,
-//! 4. emit the internal-node topology — one thread per internal node,
-//!    no synchronization (Karras' key contribution),
-//! 5. refit internal bounds bottom-up with per-node arrival counters.
+//! 1. **`bvh.morton_bounds`** — reduce the scene bounds (the only input
+//!    the Morton keygen needs; codes themselves are never materialised
+//!    unsorted),
+//! 2. **`sort.pipeline`** — one batched radix-sort launch over virtual
+//!    `(morton_code(i), i)` pairs. The final scatter's fused epilogue
+//!    writes the sorted codes, the permuted leaf bounds, the payload and
+//!    the inverse permutation directly — the old `bvh.morton` and
+//!    `bvh.permute` kernels are folded away,
+//! 3. **`bvh.build_bottom_up`** — one kernel, one thread per leaf, that
+//!    emits the internal topology, merges AABBs, *and* derives the rope
+//!    skip links in the same climb. Threads start at their leaf and walk
+//!    toward the root; at each completed node the thread deposits its
+//!    subtree at the merge boundary and dies unless it is the second to
+//!    arrive (per-boundary arrival counters), in which case it creates
+//!    the parent and keeps climbing. Exactly one thread reaches the root.
+//!
+//! The parent of a completed range `[F, L]` merges toward the outer
+//! neighbor with the longer common prefix (Apetrei's observation); with
+//! the `code ## index` augmentation all codes are distinct, which makes
+//! the choice strict and the resulting tree exactly the Karras radix
+//! tree — node indices are computed closed-form from the range ends, so
+//! `children`/`ranges` keep their Karras layout (root at internal 0).
+//!
+//! Ropes fall out of the same pass: when a parent with children `(l, r)`
+//! is created, every node on the right spine of `l`'s subtree (including
+//! `l`) has its subtree end at the new split, so its rope is exactly
+//! `r`; the creating thread walks that spine and assigns it. The root's
+//! creator terminates the root's right spine with [`NodeRef::NONE`].
+//! Every node lies on exactly one such spine, so each rope is written
+//! once and the aggregate walk cost is `O(n)`.
 //!
 //! Ties between equal Morton codes are broken with the primitive index
 //! (the standard `code ## index` augmentation), so duplicate positions —
 //! common in clustering data — still produce a balanced tree.
+//!
+//! Scratch (sorted codes, arrival flags, rendezvous slots) comes from a
+//! [`BufferArena`], so repeated builds on one device reuse their
+//! allocations instead of re-reserving.
 
-use fdbscan_device::shared::SharedMut;
-use fdbscan_device::Device;
-use fdbscan_geom::{morton::morton_code, Aabb, SoaPoints};
+use std::sync::atomic::Ordering;
+
+use fdbscan_device::shared::{as_atomic_u32, SharedMut};
+use fdbscan_device::{BufferArena, Device, DeviceError};
+use fdbscan_geom::{
+    morton::{bits_per_axis, morton_code},
+    Aabb, SoaPoints,
+};
 
 use crate::node::NodeRef;
 use crate::Bvh;
@@ -25,11 +59,38 @@ impl<const D: usize> Bvh<D> {
     /// Builds a hierarchy over `bounds`; the payload of leaf `k` is the
     /// caller index `k` (recoverable with [`Bvh::leaf_payload`]).
     ///
-    /// Runs entirely as device kernels. `bounds` may be empty.
+    /// Convenience wrapper over [`Bvh::build_in`] using the device's own
+    /// arena.
+    ///
+    /// # Panics
+    /// Panics if scratch allocation exceeds the device memory budget or
+    /// a kernel fails; budgeted or fault-injected callers should use
+    /// [`Bvh::build_in`] and handle the error.
     pub fn build(device: &Device, bounds: &[Aabb<D>]) -> Self {
+        match Self::build_in(device, device.arena(), bounds) {
+            Ok(bvh) => bvh,
+            Err(error) => panic!("BVH build failed: {error}"),
+        }
+    }
+
+    /// Builds a hierarchy over `bounds` with construction scratch checked
+    /// out of `arena`.
+    ///
+    /// Runs entirely as device kernels — a scene-bounds reduction, one
+    /// batched sort launch, and one bottom-up build kernel. `bounds` may
+    /// be empty.
+    ///
+    /// # Errors
+    /// Propagates [`DeviceError`] from scratch allocation (budget
+    /// exhaustion or injected faults) and from the device launches.
+    pub fn build_in(
+        device: &Device,
+        arena: &BufferArena,
+        bounds: &[Aabb<D>],
+    ) -> Result<Self, DeviceError> {
         let n = bounds.len();
         if n == 0 {
-            return Self {
+            return Ok(Self {
                 internal_bounds: Vec::new(),
                 children: Vec::new(),
                 ranges: Vec::new(),
@@ -41,57 +102,60 @@ impl<const D: usize> Bvh<D> {
                 leaf_lo: SoaPoints::new(),
                 leaf_hi: SoaPoints::new(),
                 scene: Aabb::empty(),
-            };
+            });
         }
         assert!(n < (1usize << 31), "primitive count exceeds NodeRef range");
 
-        // 1. Scene bounds (parallel merge reduction).
-        let scene = device.reduce_named(
-            "bvh.scene_bounds",
+        // 1. Scene bounds (parallel merge reduction) — the only
+        //    precomputation the Morton keygen needs.
+        let scene = device.try_reduce_named(
+            "bvh.morton_bounds",
             n,
             Aabb::empty(),
             |i| bounds[i],
             |a, b| a.merged(&b),
-        );
+        )?;
 
-        // 2. Morton code of every box center.
-        let mut codes = vec![0u64; n];
-        {
-            let codes_view = SharedMut::new(&mut codes);
-            let scene_ref = &scene;
-            device.launch_named("bvh.morton", n, |i| {
-                let code = morton_code(&bounds[i].center(), scene_ref);
-                // SAFETY: one writer per index.
-                unsafe { codes_view.write(i, code) };
-            });
-        }
-
-        // 3. Sort primitives by code (stable: ties keep index order).
-        let mut payload: Vec<u32> = (0..n as u32).collect();
-        fdbscan_psort::sort_pairs(device, &mut codes, &mut payload);
-
-        // Inverse permutation and permuted leaf bounds.
+        // 2. Sort primitives by code (stable: ties keep index order).
+        //    Codes are generated on the fly inside the sort; its fused
+        //    scatter epilogue writes every per-leaf array in sorted
+        //    order, replacing the old morton + permute kernels. The key
+        //    width is known analytically, so no max-key reduction runs.
+        let mut codes = arena.take::<u64>(n)?;
+        let mut payload = vec![0u32; n];
         let mut positions = vec![0u32; n];
         let mut leaf_bounds = vec![Aabb::<D>::empty(); n];
         {
+            let codes_view = SharedMut::new(&mut codes[..]);
+            let payload_view = SharedMut::new(&mut payload);
             let positions_view = SharedMut::new(&mut positions);
             let leaf_view = SharedMut::new(&mut leaf_bounds);
-            let payload_ref = &payload;
-            device.launch_named("bvh.permute", n, |pos| {
-                let id = payload_ref[pos] as usize;
-                // SAFETY: `payload` is a permutation, so `positions[id]`
-                // has exactly one writer; `leaf_bounds[pos]` trivially so.
-                unsafe {
-                    positions_view.write(id, pos as u32);
-                    leaf_view.write(pos, bounds[id]);
-                }
-            });
+            let scene_ref = &scene;
+            let key_bits = (bits_per_axis(D) * D as u32).max(1);
+            fdbscan_psort::sort_by_key_fused(
+                device,
+                arena,
+                n,
+                key_bits,
+                |i| morton_code(&bounds[i].center(), scene_ref),
+                |pos, code, id| {
+                    // SAFETY: sorted positions are unique (emit contract)
+                    // and `id` is a permutation, so every slot has
+                    // exactly one writer.
+                    unsafe {
+                        codes_view.write(pos, code);
+                        payload_view.write(pos, id);
+                        positions_view.write(id as usize, pos as u32);
+                        leaf_view.write(pos, bounds[id as usize]);
+                    }
+                },
+            )?;
         }
 
         if n == 1 {
             let leaf_lo = SoaPoints::from_points(&[leaf_bounds[0].min]);
             let leaf_hi = SoaPoints::from_points(&[leaf_bounds[0].max]);
-            return Self {
+            return Ok(Self {
                 internal_bounds: Vec::new(),
                 children: Vec::new(),
                 ranges: Vec::new(),
@@ -103,115 +167,156 @@ impl<const D: usize> Bvh<D> {
                 leaf_lo,
                 leaf_hi,
                 scene,
-            };
+            });
         }
 
-        // 4. Internal topology: one thread per internal node.
+        // 3. Single bottom-up pass: topology + bounds + ropes + SoA leaf
+        //    corners, one thread per leaf.
         let internal_count = n - 1;
         let mut children = vec![[NodeRef::internal(0); 2]; internal_count];
         let mut ranges = vec![[0u32; 2]; internal_count];
-        let mut internal_parent = vec![0u32; internal_count];
-        let mut leaf_parent = vec![0u32; n];
-        {
-            let children_view = SharedMut::new(&mut children);
-            let ranges_view = SharedMut::new(&mut ranges);
-            let iparent_view = SharedMut::new(&mut internal_parent);
-            let lparent_view = SharedMut::new(&mut leaf_parent);
-            let codes_ref = &codes;
-            device.launch_named("bvh.hierarchy", internal_count, |i| {
-                let (left, right, first, last) = karras_node(codes_ref, i as i64);
-                // SAFETY: node `i` writes only its own slots; each child
-                // (leaf or internal) has exactly one parent, so the
-                // parent writes are unique too.
-                unsafe {
-                    children_view.write(i, [left, right]);
-                    ranges_view.write(i, [first, last]);
-                    for child in [left, right] {
-                        if child.is_leaf() {
-                            lparent_view.write(child.index() as usize, i as u32);
-                        } else {
-                            iparent_view.write(child.index() as usize, i as u32);
-                        }
-                    }
-                }
-            });
-        }
-
-        // 5. Bottom-up refit with arrival counters.
         let mut internal_bounds = vec![Aabb::<D>::empty(); internal_count];
-        {
-            use std::sync::atomic::{AtomicU32, Ordering};
-            let flags: Vec<AtomicU32> = (0..internal_count).map(|_| AtomicU32::new(0)).collect();
-            let bounds_view = SharedMut::new(&mut internal_bounds);
-            let children_ref = &children;
-            let iparent_ref = &internal_parent;
-            let lparent_ref = &leaf_parent;
-            let leaf_bounds_ref = &leaf_bounds;
-            let flags_ref = &flags;
-            device.launch_named("bvh.refit", n, |leaf| {
-                let mut node = lparent_ref[leaf] as usize;
-                loop {
-                    // The first thread to arrive stops; the second (whose
-                    // sibling subtree is complete) computes the bounds.
-                    // AcqRel pairs the children's bound writes (released
-                    // by the earlier arrival) with this thread's reads.
-                    if flags_ref[node].fetch_add(1, Ordering::AcqRel) == 0 {
-                        return;
-                    }
-                    let [l, r] = children_ref[node];
-                    // SAFETY: only the second-arriving thread writes this
-                    // node, and both children are finalized (their own
-                    // second arrival happened-before our fetch_add).
-                    let lb = unsafe { child_bounds(&bounds_view, leaf_bounds_ref, l) };
-                    let rb = unsafe { child_bounds(&bounds_view, leaf_bounds_ref, r) };
-                    unsafe { bounds_view.write(node, lb.merged(&rb)) };
-                    if node == 0 {
-                        return; // root refitted
-                    }
-                    node = iparent_ref[node] as usize;
-                }
-            });
-        }
-
-        // 6. Ropes (stackless-traversal skip links) and dimension-major
-        //    leaf corners — one thread per node, no synchronization.
         let mut internal_skip = vec![NodeRef::NONE; internal_count];
         let mut leaf_skip = vec![NodeRef::NONE; n];
         let mut lo_flat = vec![0.0f32; D * n];
         let mut hi_flat = vec![0.0f32; D * n];
+
+        // Rendezvous state, one slot pair per leaf boundary b (between
+        // sorted leaves b and b+1): the completed subtree ending at b
+        // deposits in slot 2b, the one starting at b+1 in slot 2b+1.
+        // `take` hands the flags back zeroed.
+        let mut flags_buf = arena.take::<u32>(internal_count)?;
+        let mut pend_node = arena.take::<u32>(2 * internal_count)?;
+        let mut pend_far = arena.take::<u32>(2 * internal_count)?;
+        let mut pend_bounds = arena.take::<Aabb<D>>(2 * internal_count)?;
         {
+            let flags = as_atomic_u32(&mut flags_buf[..]);
+            let children_view = SharedMut::new(&mut children);
+            let ranges_view = SharedMut::new(&mut ranges);
+            let bounds_view = SharedMut::new(&mut internal_bounds);
             let iskip_view = SharedMut::new(&mut internal_skip);
             let lskip_view = SharedMut::new(&mut leaf_skip);
             let lo_view = SharedMut::new(&mut lo_flat);
             let hi_view = SharedMut::new(&mut hi_flat);
-            let children_ref = &children;
-            let iparent_ref = &internal_parent;
-            let lparent_ref = &leaf_parent;
+            let pnode_view = SharedMut::new(&mut pend_node[..]);
+            let pfar_view = SharedMut::new(&mut pend_far[..]);
+            let pbounds_view = SharedMut::new(&mut pend_bounds[..]);
+            let codes_ref: &[u64] = &codes;
             let leaf_bounds_ref = &leaf_bounds;
-            device.launch_named("bvh.ropes", 2 * n - 1, |k| {
-                // SAFETY: each node writes only its own rope slot, each
-                // leaf only its own SoA lane entries.
-                if k < internal_count {
-                    let node = NodeRef::internal(k as u32);
-                    let rope = skip_link(children_ref, iparent_ref, lparent_ref, node);
-                    unsafe { iskip_view.write(k, rope) };
-                } else {
-                    let pos = k - internal_count;
-                    let node = NodeRef::leaf(pos as u32);
-                    let rope = skip_link(children_ref, iparent_ref, lparent_ref, node);
-                    let b = &leaf_bounds_ref[pos];
+
+            // Assigns `rope` to `from` and the whole right spine of its
+            // subtree: each of those nodes' subtrees ends where `from`'s
+            // does, so they share the rope. Reads of descendants'
+            // children are ordered by the arrival-flag acquire chain.
+            let assign_spine = |from: NodeRef, rope: NodeRef| {
+                let mut x = from;
+                loop {
+                    // SAFETY: every node lies on exactly one assigned
+                    // spine, so its rope slot has a single writer.
+                    if x.is_leaf() {
+                        unsafe { lskip_view.write(x.index() as usize, rope) };
+                        return;
+                    }
                     unsafe {
-                        lskip_view.write(pos, rope);
-                        for d in 0..D {
-                            lo_view.write(d * n + pos, b.min[d]);
-                            hi_view.write(d * n + pos, b.max[d]);
-                        }
+                        iskip_view.write(x.index() as usize, rope);
+                        x = children_view.read(x.index() as usize)[1];
                     }
                 }
-            });
+            };
+
+            device.try_launch_named("bvh.build_bottom_up", n, |leaf| {
+                // Dimension-major leaf corners (SoA traversal lanes).
+                let lb = leaf_bounds_ref[leaf];
+                // SAFETY: each leaf owns its own SoA lane entries.
+                unsafe {
+                    for d in 0..D {
+                        lo_view.write(d * n + leaf, lb.min[d]);
+                        hi_view.write(d * n + leaf, lb.max[d]);
+                    }
+                }
+
+                // Climb: `node` covers sorted leaves [first, last] and
+                // `nb` is its merged bounds.
+                let mut node = NodeRef::leaf(leaf as u32);
+                let mut first = leaf;
+                let mut last = leaf;
+                let mut nb = lb;
+                loop {
+                    if first == 0 && last == n - 1 {
+                        // `node` is the root: nothing follows its
+                        // subtree, so its right spine ropes to NONE.
+                        assign_spine(node, NodeRef::NONE);
+                        return;
+                    }
+                    // Merge toward the outer neighbor with the longer
+                    // common prefix. Augmented codes are distinct, so
+                    // the comparison is strict except at the root
+                    // (handled above); `first == 0` forces the left
+                    // branch, so `first - 1` cannot underflow.
+                    let dl = delta(codes_ref, first as i64, first as i64 - 1);
+                    let dr = delta(codes_ref, last as i64, last as i64 + 1);
+                    let (boundary, is_left) =
+                        if dr > dl { (last, true) } else { (first - 1, false) };
+                    // SAFETY: exactly one subtree ends at this boundary
+                    // and one starts right after it; each owns its slot.
+                    unsafe {
+                        let slot = 2 * boundary + usize::from(!is_left);
+                        pnode_view.write(slot, node.0);
+                        pfar_view.write(slot, if is_left { first as u32 } else { last as u32 });
+                        pbounds_view.write(slot, nb);
+                    }
+                    // AcqRel: releases our slot writes to the later
+                    // arrival and acquires the earlier one's (plus,
+                    // transitively, its whole subtree).
+                    if flags[boundary].fetch_add(1, Ordering::AcqRel) == 0 {
+                        return; // first arrival: the sibling builds the parent
+                    }
+                    // SAFETY: the sibling's deposit happened-before our
+                    // fetch_add observed its arrival.
+                    let (sib_node, sib_far, sib_bounds) = unsafe {
+                        let slot = 2 * boundary + usize::from(is_left);
+                        (
+                            NodeRef(pnode_view.read(slot)),
+                            pfar_view.read(slot) as usize,
+                            pbounds_view.read(slot),
+                        )
+                    };
+                    let (nf, nl, lchild, rchild) = if is_left {
+                        (first, sib_far, node, sib_node)
+                    } else {
+                        (sib_far, last, sib_node, node)
+                    };
+                    let merged = nb.merged(&sib_bounds);
+                    // Karras index of [nf, nl]: the endpoint whose outer
+                    // neighbor is less similar; the root is node 0.
+                    let parent = if nf == 0 && nl == n - 1 {
+                        0
+                    } else if delta(codes_ref, nl as i64, nl as i64 + 1)
+                        < delta(codes_ref, nf as i64, nf as i64 - 1)
+                    {
+                        nf
+                    } else {
+                        nl
+                    };
+                    // SAFETY: each internal node is created by exactly
+                    // one thread (the second boundary arrival).
+                    unsafe {
+                        children_view.write(parent, [lchild, rchild]);
+                        ranges_view.write(parent, [nf as u32, nl as u32]);
+                        bounds_view.write(parent, merged);
+                    }
+                    // The left child's right spine ends at the new
+                    // split, so it ropes to the right child.
+                    assign_spine(lchild, rchild);
+                    node = NodeRef::internal(parent as u32);
+                    first = nf;
+                    last = nl;
+                    nb = merged;
+                }
+            })?;
         }
 
-        Self {
+        Ok(Self {
             internal_bounds,
             children,
             ranges,
@@ -223,16 +328,17 @@ impl<const D: usize> Bvh<D> {
             leaf_lo: SoaPoints::from_dim_major(lo_flat, n),
             leaf_hi: SoaPoints::from_dim_major(hi_flat, n),
             scene,
-        }
+        })
     }
 
     /// Recomputes the derived traversal structures — rope skip links and
     /// the dimension-major leaf corners — from the core arrays.
     ///
-    /// [`Bvh::build`] fills the same data with the `bvh.ropes` kernel;
-    /// this host-side twin serves snapshot restore, where no device is in
-    /// scope. Parent links are not serialized (they are build scaffolding)
-    /// and are rederived from `children` here.
+    /// [`Bvh::build_in`] fills the same data inside the
+    /// `bvh.build_bottom_up` kernel; this host-side twin serves snapshot
+    /// restore, where no device is in scope. Parent links are not
+    /// serialized (they are build scaffolding) and are rederived from
+    /// `children` here.
     pub(crate) fn derive_traversal(&mut self) {
         let n = self.len();
         let mins: Vec<_> = self.leaf_bounds.iter().map(|b| b.min).collect();
@@ -303,24 +409,6 @@ fn skip_link(
     }
 }
 
-/// Reads a child's (already finalized) bounds.
-///
-/// # Safety
-/// The child's bounds must have been completely written before the caller
-/// observed its arrival flag (see refit kernel).
-#[inline]
-unsafe fn child_bounds<const D: usize>(
-    internal: &SharedMut<'_, Aabb<D>>,
-    leaves: &[Aabb<D>],
-    child: NodeRef,
-) -> Aabb<D> {
-    if child.is_leaf() {
-        leaves[child.index() as usize]
-    } else {
-        internal.read(child.index() as usize)
-    }
-}
-
 /// Longest-common-prefix metric over augmented codes `code ## index`.
 /// Out-of-range `j` yields -1 (strictly smaller than any real prefix).
 #[inline]
@@ -335,58 +423,6 @@ fn delta(codes: &[u64], i: i64, j: i64) -> i64 {
     } else {
         64 + ((i as u64) ^ (j as u64)).leading_zeros() as i64
     }
-}
-
-/// Computes children and covered sorted-leaf range of internal node `i`
-/// (Karras 2012, Algorithm "determine range" + "find split").
-fn karras_node(codes: &[u64], i: i64) -> (NodeRef, NodeRef, u32, u32) {
-    // Direction of the node's range: toward the neighbor with the longer
-    // common prefix.
-    let d: i64 = if delta(codes, i, i + 1) > delta(codes, i, i - 1) { 1 } else { -1 };
-    let delta_min = delta(codes, i, i - d);
-
-    // Exponential probe for an upper bound on the range length.
-    let mut l_max: i64 = 2;
-    while delta(codes, i, i + l_max * d) > delta_min {
-        l_max *= 2;
-    }
-    // Binary search the exact other end.
-    let mut l: i64 = 0;
-    let mut t = l_max / 2;
-    while t >= 1 {
-        if delta(codes, i, i + (l + t) * d) > delta_min {
-            l += t;
-        }
-        t /= 2;
-    }
-    let j = i + l * d;
-    let delta_node = delta(codes, i, j);
-
-    // Binary search the split position: the highest index in the range
-    // sharing more than `delta_node` prefix bits with `i`.
-    let mut s: i64 = 0;
-    let mut t = (l + 1) / 2; // ceil(l / 2); l is nonnegative
-    loop {
-        if delta(codes, i, i + (s + t) * d) > delta_node {
-            s += t;
-        }
-        if t <= 1 {
-            break;
-        }
-        t = (t + 1) / 2;
-    }
-    let split = i + s * d + d.min(0);
-
-    let first = i.min(j);
-    let last = i.max(j);
-    let left =
-        if first == split { NodeRef::leaf(split as u32) } else { NodeRef::internal(split as u32) };
-    let right = if last == split + 1 {
-        NodeRef::leaf((split + 1) as u32)
-    } else {
-        NodeRef::internal((split + 1) as u32)
-    };
-    (left, right, first as u32, last as u32)
 }
 
 #[cfg(test)]
@@ -616,6 +652,51 @@ mod tests {
         let root = bvh.internal_bounds[0];
         for b in &bounds {
             assert_eq!(root.merged(b), root);
+        }
+    }
+
+    #[test]
+    fn build_is_three_launches() {
+        // Fused pipeline: morton_bounds reduce + batched sort +
+        // bottom-up build, regardless of worker count.
+        for workers in [1usize, 3] {
+            let device = Device::new(DeviceConfig::default().with_workers(workers));
+            let before = device.counters().snapshot().kernel_launches;
+            let bvh = Bvh::build(&device, &point_boxes(&random_points(4096, 8)));
+            validate(&bvh);
+            let launches = device.counters().snapshot().kernel_launches - before;
+            assert_eq!(launches, 3, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn repeated_builds_reuse_arena_scratch() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let bounds = point_boxes(&random_points(3000, 4));
+        for round in 0..3 {
+            let fresh_before = device.memory().reservations_made();
+            let bvh = Bvh::build_in(&device, device.arena(), &bounds).unwrap();
+            validate(&bvh);
+            let fresh = device.memory().reservations_made() - fresh_before;
+            if round == 0 {
+                assert!(fresh > 0, "first build must allocate scratch");
+            } else {
+                assert_eq!(fresh, 0, "round {round} must recycle all scratch");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_host_derived_traversal() {
+        // The in-kernel ropes and SoA corners must agree exactly with
+        // the host-side twin used by snapshot restore.
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        for n in [2usize, 3, 255, 2048] {
+            let bvh = Bvh::build(&device, &point_boxes(&random_points(n, 77 + n as u64)));
+            let mut rederived = bvh.clone();
+            rederived.derive_traversal();
+            assert_eq!(bvh.internal_skip, rederived.internal_skip, "n = {n}");
+            assert_eq!(bvh.leaf_skip, rederived.leaf_skip, "n = {n}");
         }
     }
 

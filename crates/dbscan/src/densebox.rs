@@ -156,7 +156,7 @@ fn densebox_core<const D: usize>(
                         grid_time = prebuilt_time;
                         grid
                     }
-                    None => DenseGrid::build(device, points, eps, minpts),
+                    None => DenseGrid::build_in(device, device.arena(), points, eps, minpts)?,
                 };
                 (grid, None)
             }
@@ -166,7 +166,7 @@ fn densebox_core<const D: usize>(
     let bvh = match restored_bvh {
         Some(bvh) => bvh,
         None => {
-            let bvh = Bvh::build(device, &mixed.bounds);
+            let bvh = Bvh::build_in(device, device.arena(), &mixed.bounds)?;
             if let Some(c) = ckpt.as_deref_mut() {
                 c.record_raw(
                     PHASE_INDEX,

@@ -141,7 +141,7 @@ fn fdbscan_core<const D: usize>(
         }
         None => {
             let bounds: Vec<Aabb<D>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
-            let bvh = Bvh::build(device, &bounds);
+            let bvh = Bvh::build_in(device, device.arena(), &bounds)?;
             if let Some(c) = ckpt.as_deref_mut() {
                 c.record(PHASE_INDEX, &bvh);
                 checkpoint::persist(c, device);
@@ -326,6 +326,34 @@ mod tests {
         (0..n)
             .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
             .collect()
+    }
+
+    #[test]
+    fn repeated_runs_recycle_index_scratch() {
+        // After the first run has populated the arena pools, further
+        // runs on the same device reserve only the per-run buffers the
+        // algorithm hands back to the caller or frees on exit (points,
+        // labels, core flags, BVH nodes); all index-phase scratch —
+        // morton codes, sort passes, build atomics — is recycled.
+        let device = device();
+        let points = random_points(3000, 5.0, 77);
+        let params = Params::new(0.2, 4);
+        let mut fresh_per_run = Vec::new();
+        for _ in 0..3 {
+            let before = device.memory().reservations_made();
+            fdbscan(&device, &points, params).unwrap();
+            fresh_per_run.push(device.memory().reservations_made() - before);
+        }
+        assert!(
+            fresh_per_run[0] > fresh_per_run[1],
+            "first run should pay for arena scratch the rest reuse: {fresh_per_run:?}"
+        );
+        assert_eq!(fresh_per_run[1], fresh_per_run[2], "warm runs must be steady-state");
+        assert!(
+            fresh_per_run[1] <= 4,
+            "warm run reserved {} buffers; index scratch is leaking from the arena",
+            fresh_per_run[1]
+        );
     }
 
     #[test]

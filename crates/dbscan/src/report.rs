@@ -184,7 +184,7 @@ impl RunReport {
             ("algorithm", Json::str(self.algorithm.clone())),
             ("dataset", Json::str(self.dataset.clone())),
             ("n", Json::U64(self.n as u64)),
-            ("eps", Json::F64(self.params.eps as f64)),
+            ("eps", Json::f32(self.params.eps)),
             ("minpts", Json::U64(self.params.minpts as u64)),
             ("status", Json::str(self.status.code())),
         ];

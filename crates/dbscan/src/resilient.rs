@@ -264,13 +264,21 @@ pub fn run_resilient<const D: usize>(
         // device memory and is never skipped.
         if policy.preflight && l != LadderLevel::Sequential {
             if let Some(budget) = device.memory().budget() {
-                let available = budget.saturating_sub(device.memory().in_use());
+                // Arena-held scratch is charged against the budget but
+                // reclaimable on demand, so it counts as available; if the
+                // rung actually needs those bytes, release them now.
+                let unpooled = budget.saturating_sub(device.memory().in_use());
+                let available = unpooled + device.arena().held_bytes();
                 let estimated = match l {
                     LadderLevel::GDbscan => estimate_gdbscan_bytes(points, params.eps),
                     LadderLevel::DenseBox => estimate_densebox_bytes::<D>(points.len()),
                     LadderLevel::Fdbscan => estimate_fdbscan_bytes::<D>(points.len()),
                     LadderLevel::Sequential => unreachable!(),
                 };
+                if estimated <= available && estimated > unpooled {
+                    let freed = device.arena().trim();
+                    tracer.instant(format!("resilient.trim_arena {l}: freed {freed} B"));
+                }
                 if estimated > available {
                     tracer.instant(format!(
                         "resilient.skip {l}: estimated {estimated} B > available {available} B"
@@ -332,6 +340,12 @@ pub fn run_resilient<const D: usize>(
                             retries + 1
                         ));
                         continue;
+                    }
+                    if matches!(err, DeviceError::OutOfMemory { .. }) {
+                        // A real driver releases its scratch pools when an
+                        // allocation fails: hand the arena-held bytes to
+                        // the next rung.
+                        device.arena().trim();
                     }
                     last_err = Some(err);
                     break;
@@ -461,6 +475,38 @@ mod tests {
         ));
         // The skip avoided the graph build: no failed G-DBSCAN run.
         assert_eq!(report.runs(), 1);
+    }
+
+    #[test]
+    fn preflight_counts_arena_held_bytes_as_available() {
+        // Arena-pooled scratch is charged against the budget but
+        // reclaimable on demand. A rung whose estimate exceeds the
+        // unpooled headroom must still run (after a trim) when the
+        // pooled bytes cover the gap — not be skipped.
+        let points = random_points(2000, 5.0, 43);
+        let params = Params::new(0.5, 4);
+
+        // Measure the warm arena footprint on an unbudgeted device.
+        let probe = Device::with_defaults();
+        crate::fdbscan(&probe, &points, params).unwrap();
+        let held = probe.arena().held_bytes();
+        assert!(held > 0, "fdbscan leaves no pooled scratch to test with");
+
+        // Budget that fits G-DBSCAN only if the pooled bytes count:
+        // estimated <= budget, but estimated > budget - held.
+        let estimated = estimate_gdbscan_bytes(&points, params.eps);
+        let budget = estimated + held - 1;
+        let device = Device::new(DeviceConfig::default().with_memory_budget(budget));
+        crate::fdbscan(&device, &points, params).unwrap();
+        assert_eq!(device.arena().held_bytes(), held, "warm-up not reproducible");
+        assert!(estimated > budget - held, "arena bytes would not matter");
+
+        let (c, _, report) =
+            run_resilient(&device, &points, params, ResiliencePolicy::default()).unwrap();
+        assert_eq!(report.completed, Some(LadderLevel::GDbscan));
+        assert!(!report.degraded(), "rung was skipped despite reclaimable arena bytes");
+        let oracle = dbscan_classic(&points, params);
+        assert_core_equivalent(&oracle, &c);
     }
 
     #[test]

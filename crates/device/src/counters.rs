@@ -35,6 +35,11 @@ pub struct Counters {
     pub dense_box_scans: AtomicU64,
     /// Memory reservations requested (successful or not).
     pub reservations: AtomicU64,
+    /// Stages executed inside batched launch submissions
+    /// (`Device::try_batch_named`). A batch counts once in
+    /// `kernel_launches` regardless of how many stages it runs; this
+    /// counter preserves the stage-level work accounting.
+    pub batched_stages: AtomicU64,
     /// Kernel launches that returned an error (panic, timeout, or
     /// injected fault) through the fallible launch API.
     pub failed_launches: AtomicU64,
@@ -60,6 +65,7 @@ impl Counters {
         self.neighbors_found.store(0, Ordering::Relaxed);
         self.dense_box_scans.store(0, Ordering::Relaxed);
         self.reservations.store(0, Ordering::Relaxed);
+        self.batched_stages.store(0, Ordering::Relaxed);
         self.failed_launches.store(0, Ordering::Relaxed);
         self.injected_oom.store(0, Ordering::Relaxed);
         self.injected_panics.store(0, Ordering::Relaxed);
@@ -95,6 +101,7 @@ impl Counters {
             neighbors_found: self.neighbors_found.load(Ordering::Relaxed),
             dense_box_scans: self.dense_box_scans.load(Ordering::Relaxed),
             reservations: self.reservations.load(Ordering::Relaxed),
+            batched_stages: self.batched_stages.load(Ordering::Relaxed),
             failed_launches: self.failed_launches.load(Ordering::Relaxed),
             injected_oom: self.injected_oom.load(Ordering::Relaxed),
             injected_panics: self.injected_panics.load(Ordering::Relaxed),
@@ -125,6 +132,8 @@ pub struct CountersSnapshot {
     pub dense_box_scans: u64,
     /// Memory reservations requested (successful or not).
     pub reservations: u64,
+    /// Stages executed inside batched launch submissions.
+    pub batched_stages: u64,
     /// Kernel launches that returned an error through the fallible API.
     pub failed_launches: u64,
     /// Out-of-memory errors injected by a fault plan.
@@ -153,6 +162,7 @@ impl CountersSnapshot {
             neighbors_found: self.neighbors_found.saturating_sub(earlier.neighbors_found),
             dense_box_scans: self.dense_box_scans.saturating_sub(earlier.dense_box_scans),
             reservations: self.reservations.saturating_sub(earlier.reservations),
+            batched_stages: self.batched_stages.saturating_sub(earlier.batched_stages),
             failed_launches: self.failed_launches.saturating_sub(earlier.failed_launches),
             injected_oom: self.injected_oom.saturating_sub(earlier.injected_oom),
             injected_panics: self.injected_panics.saturating_sub(earlier.injected_panics),

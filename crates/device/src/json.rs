@@ -44,6 +44,19 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// Convenience: an `f32` as a JSON number via its shortest decimal
+    /// round-trip, so `0.005f32` serializes as `0.005` rather than the
+    /// raw f64 widening `0.004999999888241291`. The printed decimal
+    /// parses back to the identical f32. Non-finite values widen
+    /// directly and serialize as `null`.
+    pub fn f32(v: f32) -> Json {
+        if v.is_finite() {
+            Json::F64(format!("{v}").parse().unwrap_or(v as f64))
+        } else {
+            Json::F64(v as f64)
+        }
+    }
+
     /// Looks up a key of an object (`None` on non-objects).
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {

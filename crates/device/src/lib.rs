@@ -49,6 +49,7 @@
 //! assert_eq!(sum, (0..1000u64).map(|i| i * i).sum());
 //! ```
 
+pub mod arena;
 pub mod counters;
 pub mod fault;
 pub mod json;
@@ -58,6 +59,7 @@ pub mod shared;
 pub mod snapshot;
 pub mod trace;
 
+pub use arena::{ArenaBuf, BufferArena};
 pub use counters::{Counters, CountersSnapshot};
 pub use fault::{FaultPlan, FaultSite};
 pub use memory::{DeviceError, MemoryReservation, MemoryTracker};
@@ -169,6 +171,29 @@ impl DeviceConfig {
     }
 }
 
+/// One stage of a batched launch submission (see
+/// [`Device::try_batch_named`]): a labelled kernel over its own index
+/// space, enqueued together with the other stages of its batch.
+pub struct BatchStage<'a> {
+    label: &'static str,
+    n: usize,
+    kernel: Box<dyn Fn(usize) + Sync + 'a>,
+}
+
+impl<'a> BatchStage<'a> {
+    /// A stage running `kernel` over the index space `0..n`, appearing
+    /// as `label` in traces and histograms.
+    pub fn new<F: Fn(usize) + Sync + 'a>(label: &'static str, n: usize, kernel: F) -> Self {
+        Self { label, n, kernel: Box::new(kernel) }
+    }
+}
+
+impl std::fmt::Debug for BatchStage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchStage").field("label", &self.label).field("n", &self.n).finish()
+    }
+}
+
 /// A simulated data-parallel device: worker pool + counters + memory.
 ///
 /// Cloning is cheap (`Arc` internally); clones share the pool, the
@@ -178,6 +203,7 @@ pub struct Device {
     pool: Arc<WorkerPool>,
     counters: Arc<Counters>,
     memory: Arc<MemoryTracker>,
+    arena: BufferArena,
     block_size: usize,
     /// Device-wide launch ordinal. Like the reservation ordinal, kept
     /// outside [`Counters`] so counter resets cannot re-arm
@@ -194,13 +220,15 @@ impl Device {
         assert!(config.block_size > 0, "block size must be nonzero");
         let counters = Arc::new(Counters::default());
         let fault_plan = config.fault_plan.map(Arc::new);
+        let memory = Arc::new(MemoryTracker::with_instrumentation(
+            config.memory_budget,
+            Arc::clone(&counters),
+            fault_plan.clone(),
+        ));
         Self {
             pool: Arc::new(WorkerPool::new(config.workers)),
-            memory: Arc::new(MemoryTracker::with_instrumentation(
-                config.memory_budget,
-                Arc::clone(&counters),
-                fault_plan.clone(),
-            )),
+            arena: BufferArena::new(Arc::clone(&memory)),
+            memory,
             counters,
             block_size: config.block_size,
             launch_ordinal: Arc::new(AtomicU64::new(0)),
@@ -247,6 +275,13 @@ impl Device {
         &self.memory
     }
 
+    /// The device's scratch-buffer arena. Shared by all clones; buffers
+    /// checked out here are charged against this device's memory
+    /// tracker and recycled across kernels, phases, and runs.
+    pub fn arena(&self) -> &BufferArena {
+        &self.arena
+    }
+
     /// The fault plan attached at construction, if any. Read by
     /// `fdbscan-dist` to schedule rank failures.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
@@ -278,10 +313,8 @@ impl Device {
     }
 
     /// Core fallible launch: assigns the launch ordinal, arms the
-    /// watchdog deadline, weaves injected stalls/panics into the block
-    /// kernel, maps pool failures to [`DeviceError`], and — when tracing
-    /// is enabled (one relaxed atomic load otherwise) — records a named
-    /// kernel span with the launch's execution profile.
+    /// watchdog deadline, and dispatches one stage (see
+    /// [`Device::run_stage`]).
     fn run_fallible(
         &self,
         n: usize,
@@ -291,6 +324,27 @@ impl Device {
         let launch = self.launch_ordinal.fetch_add(1, Ordering::Relaxed);
         self.counters.kernel_launches.fetch_add(1, Ordering::Relaxed);
         let deadline = self.kernel_timeout.map(|t| Instant::now() + t);
+        let result = self.run_stage(launch, n, label, deadline, body);
+        if result.is_err() {
+            self.counters.failed_launches.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// One dispatched stage of a launch (a whole single launch, or one
+    /// stage of a batched submission): weaves injected stalls/panics
+    /// into the block kernel, maps pool failures to [`DeviceError`]
+    /// against the owning `launch` ordinal, and — when tracing is
+    /// enabled (one relaxed atomic load otherwise) — records a named
+    /// kernel span with the stage's execution profile.
+    fn run_stage(
+        &self,
+        launch: u64,
+        n: usize,
+        label: &'static str,
+        deadline: Option<Instant>,
+        body: &(dyn Fn(Range<usize>) + Sync),
+    ) -> Result<(), DeviceError> {
         let measure = self.tracer.enabled();
         let started = measure.then(Instant::now);
         let result = match self.fault_plan.as_deref() {
@@ -333,18 +387,58 @@ impl Device {
                 }
                 Ok(())
             }
-            Err(failure) => {
+            Err(failure) => Err(match failure {
+                LaunchFailure::Panicked { payload } => {
+                    DeviceError::KernelPanicked { launch, payload }
+                }
+                LaunchFailure::TimedOut { elapsed } => {
+                    DeviceError::KernelTimeout { launch, elapsed }
+                }
+            }),
+        }
+    }
+
+    /// Submits a fixed sequence of kernel stages as **one** batched
+    /// launch: one launch ordinal, one `kernel_launches` increment, and
+    /// one watchdog deadline cover the whole batch, amortizing the
+    /// per-launch barrier exactly as enqueueing a kernel graph on a
+    /// stream does. Stages still execute strictly in order with a full
+    /// device barrier between them (stage `k+1` sees all of stage `k`'s
+    /// writes), each stage records its own kernel span under the
+    /// batch's phase when tracing, and each executed stage counts in
+    /// [`Counters::batched_stages`].
+    ///
+    /// Fault injection addresses the batch's single launch ordinal:
+    /// an injected panic or stall scheduled there fires in whichever
+    /// stage first executes the targeted block. A failing stage aborts
+    /// the remaining stages and fails the whole batch. Zero-length
+    /// stages are skipped (as zero-length launches are no-ops).
+    pub fn try_batch_named(
+        &self,
+        label: &'static str,
+        stages: Vec<BatchStage<'_>>,
+    ) -> Result<(), DeviceError> {
+        let launch = self.launch_ordinal.fetch_add(1, Ordering::Relaxed);
+        self.counters.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        let deadline = self.kernel_timeout.map(|t| Instant::now() + t);
+        let _batch_span = self.tracer.phase(label);
+        for stage in &stages {
+            if stage.n == 0 {
+                continue;
+            }
+            self.counters.batched_stages.fetch_add(1, Ordering::Relaxed);
+            let kernel = &stage.kernel;
+            let body = |range: Range<usize>| {
+                for i in range {
+                    kernel(i);
+                }
+            };
+            if let Err(error) = self.run_stage(launch, stage.n, stage.label, deadline, &body) {
                 self.counters.failed_launches.fetch_add(1, Ordering::Relaxed);
-                Err(match failure {
-                    LaunchFailure::Panicked { payload } => {
-                        DeviceError::KernelPanicked { launch, payload }
-                    }
-                    LaunchFailure::TimedOut { elapsed } => {
-                        DeviceError::KernelTimeout { launch, elapsed }
-                    }
-                })
+                return Err(error);
             }
         }
+        Ok(())
     }
 
     /// Fallible kernel launch over the index space `0..n`.
@@ -783,6 +877,92 @@ mod tests {
         let device = Device::with_defaults();
         let _r = device.memory().reserve(128).unwrap();
         assert_eq!(device.counters().snapshot().reservations, 1);
+        assert_eq!(device.memory().reservations_made(), 1);
+    }
+
+    #[test]
+    fn batch_counts_one_launch_and_orders_stages() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let n = 4096;
+        let mut data = vec![0u64; n];
+        let before = device.counters().snapshot();
+        {
+            let view = SharedMut::new(&mut data);
+            device
+                .try_batch_named(
+                    "batch.test",
+                    vec![
+                        BatchStage::new("stage.write", n, |i| unsafe { view.write(i, i as u64) }),
+                        // Stage barrier: every stage-1 write is visible.
+                        BatchStage::new("stage.double", n, |i| unsafe {
+                            view.write(i, view.read(i) * 2)
+                        }),
+                        BatchStage::new("stage.empty", 0, |_| {
+                            panic!("zero-size stage must not run")
+                        }),
+                    ],
+                )
+                .unwrap();
+        }
+        assert!(data.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+        let delta = device.counters().snapshot().since(&before);
+        assert_eq!(delta.kernel_launches, 1, "a batch is one launch");
+        assert_eq!(delta.batched_stages, 2, "zero-size stages are skipped");
+        assert_eq!(device.launches_started(), 1);
+    }
+
+    #[test]
+    fn injected_panic_addresses_the_batch_ordinal() {
+        let plan = FaultPlan::new(13).with_kernel_panic_at(1, 0);
+        let device =
+            Device::new(DeviceConfig::sequential().with_block_size(8).with_fault_plan(plan));
+        device.try_launch(16, |_| {}).unwrap(); // launch 0: clean
+        let err = device
+            .try_batch_named(
+                "batch.faulty",
+                vec![BatchStage::new("a", 16, |_| {}), BatchStage::new("b", 16, |_| {})],
+            )
+            .unwrap_err(); // launch 1: the batch
+        match err {
+            DeviceError::KernelPanicked { launch, payload } => {
+                assert_eq!(launch, 1);
+                assert!(payload.contains("launch 1 block 0"), "payload: {payload}");
+            }
+            other => panic!("expected KernelPanicked, got {other:?}"),
+        }
+        let snap = device.counters().snapshot();
+        assert_eq!(snap.failed_launches, 1);
+        // The first stage took the fault; the batch stopped there.
+        assert_eq!(snap.batched_stages, 1);
+        // The device stays usable and the ordinal fired exactly once.
+        device.try_batch_named("batch.retry", vec![BatchStage::new("a", 16, |_| {})]).unwrap();
+    }
+
+    #[test]
+    fn traced_batch_records_stage_spans_under_batch_phase() {
+        let device = Device::new(DeviceConfig::sequential().with_tracing());
+        device
+            .try_batch_named(
+                "batch.traced",
+                vec![BatchStage::new("s1", 10, |_| {}), BatchStage::new("s2", 10, |_| {})],
+            )
+            .unwrap();
+        let events = device.tracer().events();
+        let labels: Vec<_> = events.iter().map(|e| e.label.as_ref()).collect();
+        assert!(labels.contains(&"s1") && labels.contains(&"s2"), "labels: {labels:?}");
+        assert!(labels.contains(&"batch.traced"), "labels: {labels:?}");
+        let s1 = events.iter().find(|e| e.label == "s1").unwrap();
+        assert_eq!(s1.kind, SpanKind::Kernel);
+        assert!(s1.path.contains("batch.traced"), "path: {}", s1.path);
+    }
+
+    #[test]
+    fn device_arena_is_shared_by_clones() {
+        let device = Device::with_defaults();
+        let clone = device.clone();
+        drop(device.arena().take::<u32>(32).unwrap());
+        let _buf = clone.arena().take::<u32>(32).unwrap();
+        assert_eq!(device.arena().recycled_takes(), 1);
         assert_eq!(device.memory().reservations_made(), 1);
     }
 }

@@ -232,6 +232,7 @@ impl Checkpointable for crate::CountersSnapshot {
             ("neighbors_found", Json::U64(self.neighbors_found)),
             ("dense_box_scans", Json::U64(self.dense_box_scans)),
             ("reservations", Json::U64(self.reservations)),
+            ("batched_stages", Json::U64(self.batched_stages)),
             ("failed_launches", Json::U64(self.failed_launches)),
             ("injected_oom", Json::U64(self.injected_oom)),
             ("injected_panics", Json::U64(self.injected_panics)),
@@ -251,6 +252,7 @@ impl Checkpointable for crate::CountersSnapshot {
             neighbors_found: req_u64(snapshot, "neighbors_found")?,
             dense_box_scans: req_u64(snapshot, "dense_box_scans")?,
             reservations: req_u64(snapshot, "reservations")?,
+            batched_stages: req_u64(snapshot, "batched_stages")?,
             failed_launches: req_u64(snapshot, "failed_launches")?,
             injected_oom: req_u64(snapshot, "injected_oom")?,
             injected_panics: req_u64(snapshot, "injected_panics")?,
@@ -614,7 +616,7 @@ impl RunManifest {
             ("dims", Json::U64(self.dims)),
             ("n", Json::U64(self.n)),
             ("eps_bits", Json::U64(self.eps_bits as u64)),
-            ("eps", Json::F64(self.eps() as f64)),
+            ("eps", Json::f32(self.eps())),
             ("minpts", Json::U64(self.minpts)),
             ("data_seed", Json::U64(self.data_seed)),
             ("fingerprint", Json::U64(self.fingerprint)),

@@ -715,6 +715,9 @@ mod tests {
         // reservations, workers alive).
         let again = distributed_fdbscan(&d, &points, Params::new(0.3, 4), 3).unwrap_err();
         assert_eq!(err, again);
+        // No leaked reservations: only arena-pooled scratch stays charged.
+        assert_eq!(d.memory().in_use(), d.arena().held_bytes());
+        d.arena().trim();
         assert_eq!(d.memory().in_use(), 0);
     }
 

@@ -12,12 +12,16 @@
 //! non-empty. Instead, points are sorted by cell key and non-empty cells
 //! are the segments of the sorted order:
 //!
-//! 1. compute a 64-bit cell key per point (Morton interleave of the
-//!    integer cell coordinates),
-//! 2. radix-sort `(key, point id)`,
-//! 3. mark segment heads, scan the marks to number the non-empty cells,
-//!    and record each cell's start offset,
-//! 4. classify cells with `count >= minpts` as dense.
+//! 1. radix-sort `(cell key, point id)` — the 64-bit Morton cell keys
+//!    are generated on the fly inside the sort's first pass, and the
+//!    fused scatter epilogue writes the sorted directory arrays directly,
+//! 2. derive the directory in one batched launch: mark segment heads,
+//!    scan the marks to number the non-empty cells, record each cell's
+//!    start offset, and classify cells with `count >= minpts` as dense.
+//!
+//! Together with the scene-bounds and dense-census reductions the whole
+//! build is four kernel launches, and its scratch is checked out of the
+//! device's [`fdbscan_device::BufferArena`] so repeated builds reuse it.
 //!
 //! [`DenseGrid::mixed_primitives`] then produces the primitive set of the
 //! FDBSCAN-DenseBox tree: one box per dense cell plus every point outside
@@ -47,8 +51,9 @@
 
 use fdbscan_device::json::Json;
 use fdbscan_device::shared::SharedMut;
-use fdbscan_device::Device;
+use fdbscan_device::{BatchStage, BufferArena, Device, DeviceError};
 use fdbscan_geom::{morton, Aabb, Point};
+use fdbscan_psort::sort_by_key_fused;
 
 /// High bit of a [`PrimitiveRef`] marks a dense-cell box.
 pub const CELL_FLAG: u32 = 1 << 31;
@@ -131,6 +136,19 @@ impl<const D: usize> DenseGrid<D> {
         Self::build_with_cell_len(device, points, eps / (D as f32).sqrt(), minpts)
     }
 
+    /// [`DenseGrid::build`] with scratch checked out of an explicit
+    /// [`BufferArena`] and device errors propagated instead of panicking.
+    pub fn build_in(
+        device: &Device,
+        arena: &BufferArena,
+        points: &[Point<D>],
+        eps: f32,
+        minpts: usize,
+    ) -> Result<Self, DeviceError> {
+        assert!(eps > 0.0 && eps.is_finite(), "eps must be positive and finite");
+        Self::build_with_cell_len_in(device, arena, points, eps / (D as f32).sqrt(), minpts)
+    }
+
     /// Builds the grid with an explicit cell edge length. Used by
     /// CUDA-DClust's directory index, which wants `cell_len == eps` so a
     /// point's neighbors all live in the 3^D surrounding cells. Note that
@@ -143,12 +161,41 @@ impl<const D: usize> DenseGrid<D> {
         cell_len: f32,
         minpts: usize,
     ) -> Self {
+        match Self::build_with_cell_len_in(device, device.arena(), points, cell_len, minpts) {
+            Ok(grid) => grid,
+            Err(error) => panic!("grid build failed: {error}"),
+        }
+    }
+
+    /// [`DenseGrid::build_with_cell_len`] with scratch checked out of an
+    /// explicit [`BufferArena`] and device errors propagated.
+    ///
+    /// The whole directory is produced in four launches:
+    /// 1. `grid.scene_bounds` — reduction fixing the origin,
+    /// 2. one fused sort batch — cell keys are generated on the fly
+    ///    inside the first radix pass and the fused scatter epilogue
+    ///    writes the sorted `(key, id)` arrays directly (no standalone
+    ///    key kernel, no post-sort permute),
+    /// 3. `grid.directory` — head flags, cell scan, segment offsets and
+    ///    dense classification as stages of one batched launch,
+    /// 4. `grid.dense_census` — reduction counting dense cells/points.
+    ///
+    /// # Errors
+    /// Propagates [`DeviceError`] from scratch allocation (budget
+    /// exhaustion or injected faults) and from the device launches.
+    pub fn build_with_cell_len_in(
+        device: &Device,
+        arena: &BufferArena,
+        points: &[Point<D>],
+        cell_len: f32,
+        minpts: usize,
+    ) -> Result<Self, DeviceError> {
         assert!(cell_len > 0.0 && cell_len.is_finite(), "eps must be positive and finite");
         assert!(minpts >= 1, "minpts must be at least 1");
         let n = points.len();
 
         if n == 0 {
-            return Self {
+            return Ok(Self {
                 cell_len,
                 origin: Point::origin(),
                 sorted_ids: Vec::new(),
@@ -159,24 +206,27 @@ impl<const D: usize> DenseGrid<D> {
                 num_dense: 0,
                 points_in_dense: 0,
                 minpts,
-            };
+            });
         }
 
         // Scene bounds (reduction) fix the grid origin.
-        let scene = device.reduce_named(
+        let scene = device.try_reduce_named(
             "grid.scene_bounds",
             n,
             Aabb::empty(),
             |i| Aabb::from_point(points[i]),
             |a, b| a.merged(&b),
-        );
+        )?;
         let origin = scene.min;
 
         // Grid resolution sanity: Morton keys give `bits_per_axis(D)` bits
         // per axis. With f32 coordinates the extent/cell ratio cannot
         // meaningfully exceed 2^24, so this only rejects degenerate
-        // configurations (eps smaller than coordinate ulps).
+        // configurations (eps smaller than coordinate ulps). The per-axis
+        // cell counts also bound the interleaved key width, which caps the
+        // radix passes the fused sort runs.
         let bits = morton::bits_per_axis(D);
+        let mut axis_bits = 1u32;
         for axis in 0..D {
             let extent = scene.max[axis] - scene.min[axis];
             let cells = (extent / cell_len).ceil() as u64 + 1;
@@ -185,84 +235,128 @@ impl<const D: usize> DenseGrid<D> {
                 "grid axis {axis} needs {cells} cells, exceeding the {bits}-bit key range; \
                  eps is too small relative to the data extent"
             );
+            axis_bits = axis_bits.max(64 - (cells - 1).leading_zeros());
         }
+        let key_bits = (axis_bits * D as u32).min(64);
 
-        // 1. Cell key per point.
-        let mut keys = vec![0u64; n];
+        // 1. Sort point ids by cell key. Keys are generated inside the
+        //    sort itself; its fused epilogue delivers the sorted order
+        //    straight into the directory arrays.
+        let mut sorted_ids = vec![0u32; n];
+        let mut sorted_keys = arena.take::<u64>(n)?;
         {
-            let keys_view = SharedMut::new(&mut keys);
+            let ids_view = SharedMut::new(&mut sorted_ids);
+            let keys_view = SharedMut::new(&mut sorted_keys[..]);
             let origin_ref = &origin;
-            device.launch_named("grid.cell_keys", n, |i| {
-                let key = cell_key::<D>(&points[i], origin_ref, cell_len);
-                // SAFETY: one writer per index.
-                unsafe { keys_view.write(i, key) };
-            });
+            sort_by_key_fused(
+                device,
+                arena,
+                n,
+                key_bits,
+                |i| cell_key::<D>(&points[i], origin_ref, cell_len),
+                // SAFETY: the sort emits each destination rank exactly once.
+                |pos, key, id| unsafe {
+                    keys_view.write(pos, key);
+                    ids_view.write(pos, id);
+                },
+            )?;
         }
 
-        // 2. Sort (key, id).
-        let mut sorted_ids: Vec<u32> = (0..n as u32).collect();
-        let mut sorted_keys = keys;
-        fdbscan_psort::sort_pairs(device, &mut sorted_keys, &mut sorted_ids);
-
-        // 3. Segment the sorted order into cells: head flags -> scan ->
-        //    per-cell offsets.
-        let mut head = vec![0u64; n];
-        {
-            let head_view = SharedMut::new(&mut head);
-            let keys_ref = &sorted_keys;
-            device.launch_named("grid.head_flags", n, |i| {
-                let is_head = i == 0 || keys_ref[i] != keys_ref[i - 1];
-                // SAFETY: one writer per index.
-                unsafe { head_view.write(i, is_head as u64) };
-            });
-        }
-        let num_cells = fdbscan_psort::exclusive_scan(device, &mut head) as usize;
-        // `head` now holds, at each head position, the cell's index.
-        let mut cell_starts = vec![0u32; num_cells + 1];
-        let mut cell_keys = vec![0u64; num_cells];
+        // 2. Derive the directory from the sorted order in one batched
+        //    launch: head flags -> cell scan -> segment offsets -> dense
+        //    classification. The number of non-empty cells is only known
+        //    after the in-batch scan, so cell-indexed arrays are sized at
+        //    the worst case (n cells) and truncated afterwards.
+        let mut head = arena.take::<u64>(n)?;
+        let mut total_slot = arena.take::<u64>(1)?;
+        let mut cell_starts = vec![0u32; n + 1];
+        let mut cell_keys = vec![0u64; n];
         let mut point_cell = vec![0u32; n];
+        let mut dense = vec![false; n];
         {
+            let head_view = SharedMut::new(&mut head[..]);
+            let total_view = SharedMut::new(&mut total_slot[..]);
             let starts_view = SharedMut::new(&mut cell_starts);
             let keys_out_view = SharedMut::new(&mut cell_keys);
             let point_cell_view = SharedMut::new(&mut point_cell);
-            let keys_ref = &sorted_keys;
-            let ids_ref = &sorted_ids;
-            let head_ref = &head;
-            device.launch_named("grid.segment", n, |i| {
-                // After the exclusive scan, position i holds the number of
-                // heads strictly before i: for a head that is its own cell
-                // index; for an interior position it also counts the
-                // segment's own head, hence the -1.
-                let is_head = i == 0 || keys_ref[i] != keys_ref[i - 1];
-                let cell = if is_head { head_ref[i] } else { head_ref[i] - 1 } as u32;
-                // SAFETY: heads write disjoint cells; every i owns
-                // point_cell[ids[i]] because ids is a permutation.
-                unsafe {
-                    if is_head {
-                        starts_view.write(cell as usize, i as u32);
-                        keys_out_view.write(cell as usize, keys_ref[i]);
-                    }
-                    point_cell_view.write(ids_ref[i] as usize, cell);
-                }
-            });
-        }
-        cell_starts[num_cells] = n as u32;
-
-        // 4. Dense classification.
-        let mut dense = vec![false; num_cells];
-        {
             let dense_view = SharedMut::new(&mut dense);
-            let starts_ref = &cell_starts;
-            device.launch_named("grid.dense_flags", num_cells, |c| {
-                let count = (starts_ref[c + 1] - starts_ref[c]) as usize;
-                // SAFETY: one writer per cell.
-                unsafe { dense_view.write(c, count >= minpts) };
-            });
+            let (head_view, total_view) = (&head_view, &total_view);
+            let (starts_view, keys_out_view) = (&starts_view, &keys_out_view);
+            let (point_cell_view, dense_view) = (&point_cell_view, &dense_view);
+            let keys_ref: &[u64] = &sorted_keys;
+            let ids_ref: &[u32] = &sorted_ids;
+            device.try_batch_named(
+                "grid.directory",
+                vec![
+                    BatchStage::new("grid.head_flags", n, move |i| {
+                        let is_head = i == 0 || keys_ref[i] != keys_ref[i - 1];
+                        // SAFETY: one writer per index.
+                        unsafe { head_view.write(i, is_head as u64) };
+                    }),
+                    // Single-thread exclusive scan of the head flags (a
+                    // block-parallel scan is not worth a standalone launch
+                    // here); afterwards each head position holds its cell
+                    // index and the total is the non-empty cell count.
+                    BatchStage::new("grid.cell_scan", 1, move |_| {
+                        let mut acc = 0u64;
+                        for i in 0..n {
+                            // SAFETY: the only thread of this stage.
+                            unsafe {
+                                let flag = head_view.read(i);
+                                head_view.write(i, acc);
+                                acc += flag;
+                            }
+                        }
+                        unsafe { total_view.write(0, acc) };
+                    }),
+                    BatchStage::new("grid.segment", n, move |i| {
+                        // After the exclusive scan, position i holds the
+                        // number of heads strictly before i: for a head that
+                        // is its own cell index; for an interior position it
+                        // also counts the segment's own head, hence the -1.
+                        let is_head = i == 0 || keys_ref[i] != keys_ref[i - 1];
+                        // SAFETY: heads write disjoint cells; every i owns
+                        // point_cell[ids[i]] because ids is a permutation;
+                        // thread 0 alone writes the sentinel start.
+                        unsafe {
+                            let cell =
+                                (if is_head { head_view.read(i) } else { head_view.read(i) - 1 })
+                                    as u32;
+                            if is_head {
+                                starts_view.write(cell as usize, i as u32);
+                                keys_out_view.write(cell as usize, keys_ref[i]);
+                            }
+                            if i == 0 {
+                                starts_view.write(total_view.read(0) as usize, n as u32);
+                            }
+                            point_cell_view.write(ids_ref[i] as usize, cell);
+                        }
+                    }),
+                    // One thread per potential cell; threads past the scan
+                    // total exit immediately.
+                    BatchStage::new("grid.dense_flags", n, move |c| {
+                        // SAFETY: one writer per cell.
+                        unsafe {
+                            if c >= total_view.read(0) as usize {
+                                return;
+                            }
+                            let count = (starts_view.read(c + 1) - starts_view.read(c)) as usize;
+                            dense_view.write(c, count >= minpts);
+                        }
+                    }),
+                ],
+            )?;
         }
+        let num_cells = total_slot[0] as usize;
+        cell_starts.truncate(num_cells + 1);
+        cell_keys.truncate(num_cells);
+        dense.truncate(num_cells);
+
+        // 3. Dense census.
         let (num_dense, points_in_dense) = {
             let starts_ref = &cell_starts;
             let dense_ref = &dense;
-            device.reduce_named(
+            device.try_reduce_named(
                 "grid.dense_census",
                 num_cells,
                 (0usize, 0usize),
@@ -274,10 +368,10 @@ impl<const D: usize> DenseGrid<D> {
                     }
                 },
                 |a, b| (a.0 + b.0, a.1 + b.1),
-            )
+            )?
         };
 
-        Self {
+        Ok(Self {
             cell_len,
             origin,
             sorted_ids,
@@ -288,7 +382,7 @@ impl<const D: usize> DenseGrid<D> {
             num_dense,
             points_in_dense,
             minpts,
-        }
+        })
     }
 
     /// Cell edge length.
@@ -720,6 +814,45 @@ mod tests {
     #[should_panic(expected = "minpts must be at least 1")]
     fn zero_minpts_rejected() {
         DenseGrid::<2>::build(&device(), &[Point::new([0.0, 0.0])], 1.0, 0);
+    }
+
+    #[test]
+    fn build_is_four_launches() {
+        // Fused pipeline: scene reduce + batched sort + directory batch +
+        // dense census, regardless of worker count.
+        let mut rng = StdRng::seed_from_u64(31);
+        let points: Vec<Point<2>> = (0..4096)
+            .map(|_| Point::new([rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)]))
+            .collect();
+        for workers in [1usize, 3] {
+            let device = Device::new(DeviceConfig::default().with_workers(workers));
+            let before = device.counters().snapshot().kernel_launches;
+            let grid = DenseGrid::build(&device, &points, 0.5, 4);
+            assert!(grid.num_cells() > 0);
+            let launches = device.counters().snapshot().kernel_launches - before;
+            assert_eq!(launches, 4, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn repeated_builds_reuse_arena_scratch() {
+        let device = device();
+        let mut rng = StdRng::seed_from_u64(32);
+        let points: Vec<Point<2>> = (0..3000)
+            .map(|_| Point::new([rng.gen_range(0.0..8.0), rng.gen_range(0.0..8.0)]))
+            .collect();
+        for round in 0..3 {
+            let fresh_before = device.memory().reservations_made();
+            let grid = DenseGrid::build_in(&device, device.arena(), &points, 0.4, 5).unwrap();
+            assert!(grid.num_cells() > 1);
+            let fresh = device.memory().reservations_made() - fresh_before;
+            if round == 0 {
+                assert!(fresh > 0, "first build must reserve scratch");
+            } else {
+                assert_eq!(fresh, 0, "round {round} must recycle all sort/scan scratch");
+                assert!(device.arena().recycled_takes() > 0);
+            }
+        }
     }
 
     #[test]

@@ -8,13 +8,20 @@
 //!
 //! * [`scan::exclusive_scan`] — block-parallel exclusive prefix sum,
 //! * [`radix::sort_pairs`] — stable LSD radix sort of `u64` keys with
-//!   `u32` payloads (8-bit digits, per-block histograms, scan, scatter),
+//!   `u32` payloads (16-bit digits, per-block histograms, scan, scatter),
+//!   with all passes submitted as one batched launch,
+//! * [`radix::sort_pairs_in`] — the same sort with scratch checked out of
+//!   an explicit [`fdbscan_device::BufferArena`] and errors propagated,
+//! * [`radix::sort_by_key_fused`] — sorts virtual `(keygen(i), i)` pairs,
+//!   generating keys on the fly and delivering results through an `emit`
+//!   epilogue fused into the final scatter pass,
 //! * [`radix::argsort`] — convenience wrapper returning the sorting
 //!   permutation.
 //!
 //! The radix sort skips passes whose digit is constant across all keys
-//! (computed from the maximum key), which matters for cell keys that use
-//! only a few low bytes.
+//! (computed from the maximum key, or analytically via `key_bits` on the
+//! fused path), which matters for cell keys that use only a few low
+//! bytes.
 //!
 //! # Example
 //!
@@ -37,5 +44,5 @@
 pub mod radix;
 pub mod scan;
 
-pub use radix::{argsort, sort_pairs};
+pub use radix::{argsort, sort_by_key_fused, sort_pairs, sort_pairs_in};
 pub use scan::exclusive_scan;

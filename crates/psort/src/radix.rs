@@ -1,10 +1,16 @@
 //! Parallel LSD radix sort for `(u64 key, u32 payload)` pairs.
 //!
-//! Classic GPU formulation (one kernel pair per 16-bit digit):
+//! Classic GPU formulation (one histogram/scan/scatter triple per 16-bit
+//! digit), submitted as a *single batched launch*
+//! ([`Device::try_batch_named`]): every pass of the pipeline is enqueued
+//! up front and the host synchronises once, the way a real GPU stream
+//! replays a captured graph.
 //!
 //! 1. **histogram** — each block counts digit occurrences in its segment,
 //! 2. **scan** — a digit-major exclusive scan over the `65536 × blocks`
-//!    count matrix turns counts into global scatter bases,
+//!    count matrix turns counts into global scatter bases (a single-index
+//!    stage inside the batch — the count matrix is n-independent per
+//!    block, so a sequential scan is exact and cheap),
 //! 3. **scatter** — each block re-reads its segment in order and places
 //!    every element at its digit's next slot.
 //!
@@ -12,19 +18,20 @@
 //! relies on to break Morton-code ties by original index.
 //!
 //! The digit is 16 bits wide: full 64-bit keys sort in 4 passes instead
-//! of the 8 an 8-bit digit needs, halving the kernel launches on the BVH
-//! construction hot path at the cost of a larger (but still
-//! `O(buckets x blocks)`, i.e. n-independent per block) count matrix.
+//! of the 8 an 8-bit digit needs. Passes whose digit is constant over all
+//! keys are skipped; callers that know their key width analytically
+//! (Morton codes, grid cell keys) use [`sort_by_key_fused`], which also
+//! skips the max-key reduction and *generates keys on the fly* in the
+//! first pass — no materialised key array is ever uploaded.
 //!
-//! Passes whose digit is constant over all keys are skipped (detected via
-//! the maximum key), so sorting keys that occupy few bytes costs few
-//! passes.
+//! Scratch (the ping-pong key/payload arrays) is checked out of the
+//! device [`BufferArena`], so repeated sorts — every BVH or grid build
+//! after the first — reuse the same allocations. The count matrix is
+//! untracked scratch, the analogue of GPU shared memory.
 
-use fdbscan_device::{Device, SharedMut};
+use fdbscan_device::{BatchStage, BufferArena, Device, DeviceError, SharedMut};
 
-use crate::scan::sequential_exclusive_scan;
-
-const RADIX_BITS: u32 = 16;
+pub(crate) const RADIX_BITS: u32 = 16;
 const BUCKETS: usize = 1 << RADIX_BITS;
 /// Elements per sorting block. Larger than the device block size: the
 /// histogram/scatter kernels are launched over *sort blocks*, and each
@@ -34,15 +41,40 @@ const SORT_BLOCK: usize = 1 << 14;
 /// Below this size, a sequential comparison sort wins.
 const SEQUENTIAL_THRESHOLD: usize = 1 << 10;
 
-/// Stable sort of `keys` with `values` permuted alongside.
+/// Stable sort of `keys` with `values` permuted alongside, using the
+/// device's own buffer arena for scratch.
+///
+/// # Panics
+/// Panics if `keys.len() != values.len()`, or if scratch allocation
+/// exceeds the device memory budget. Budgeted callers should use
+/// [`sort_pairs_in`].
+pub fn sort_pairs(device: &Device, keys: &mut [u64], values: &mut [u32]) {
+    sort_pairs_in(device, device.arena(), keys, values)
+        .expect("sort scratch exceeded the device memory budget");
+}
+
+/// Stable sort of `keys` with `values` permuted alongside; scratch is
+/// checked out of `arena` and returned to it when the sort completes.
+///
+/// Costs one `sort.max_key` reduction plus one batched launch (all
+/// histogram/scan/scatter passes submitted together).
+///
+/// # Errors
+/// Propagates [`DeviceError`] from scratch allocation (budget exhaustion
+/// or injected faults) and from the batched launch itself.
 ///
 /// # Panics
 /// Panics if `keys.len() != values.len()`.
-pub fn sort_pairs(device: &Device, keys: &mut Vec<u64>, values: &mut Vec<u32>) {
+pub fn sort_pairs_in(
+    device: &Device,
+    arena: &BufferArena,
+    keys: &mut [u64],
+    values: &mut [u32],
+) -> Result<(), DeviceError> {
     assert_eq!(keys.len(), values.len(), "keys and values must pair up");
     let n = keys.len();
     if n <= 1 {
-        return;
+        return Ok(());
     }
     if n < SEQUENTIAL_THRESHOLD {
         // Stable comparison sort of index pairs.
@@ -52,79 +84,177 @@ pub fn sort_pairs(device: &Device, keys: &mut Vec<u64>, values: &mut Vec<u32>) {
         let sorted_values: Vec<u32> = perm.iter().map(|&i| values[i as usize]).collect();
         keys.copy_from_slice(&sorted_keys);
         values.copy_from_slice(&sorted_values);
-        return;
+        return Ok(());
     }
 
     let max_key = device.reduce_named("sort.max_key", n, 0u64, |i| keys[i], |a, b| a.max(b));
-    let significant_bits = 64 - max_key.leading_zeros();
-    let passes = (significant_bits.div_ceil(RADIX_BITS)).max(1);
+    let key_bits = (64 - max_key.leading_zeros()).max(1);
 
-    let mut keys_out = vec![0u64; n];
-    let mut values_out = vec![0u32; n];
-    let num_blocks = n.div_ceil(SORT_BLOCK);
-
-    for pass in 0..passes {
-        let shift = pass * RADIX_BITS;
-        radix_pass(device, keys, values, &mut keys_out, &mut values_out, shift, num_blocks);
-        std::mem::swap(keys, &mut keys_out);
-        std::mem::swap(values, &mut values_out);
+    let mut keys_sorted = arena.take::<u64>(n)?;
+    let mut values_sorted = arena.take::<u32>(n)?;
+    {
+        let keys_view = SharedMut::new(&mut keys_sorted[..]);
+        let values_view = SharedMut::new(&mut values_sorted[..]);
+        let keys_in: &[u64] = keys;
+        let values_in: &[u32] = values;
+        sort_by_key_fused(
+            device,
+            arena,
+            n,
+            key_bits,
+            |i| keys_in[i],
+            |dest, key, payload| {
+                // SAFETY: `dest` ranks are globally unique — the scatter
+                // emits each output slot exactly once.
+                unsafe {
+                    keys_view.write(dest, key);
+                    values_view.write(dest, values_in[payload as usize]);
+                }
+            },
+        )?;
     }
+    keys.copy_from_slice(&keys_sorted);
+    values.copy_from_slice(&values_sorted);
+    Ok(())
 }
 
-fn radix_pass(
+/// Stable radix sort over *virtual* pairs `(keygen(i), i)` for `i` in
+/// `0..n`, delivered through `emit` instead of materialised arrays.
+///
+/// `keygen(i)` must be pure: it is re-evaluated in the first histogram
+/// and scatter passes (on a GPU the key is recomputed in registers —
+/// cheaper than a round-trip to global memory). `key_bits` bounds the
+/// significant key width and fixes the pass count analytically, so no
+/// max-key reduction is launched.
+///
+/// When the sort completes, `emit(rank, key, i)` has been called exactly
+/// once per element: element `i` (with key `keygen(i)`) landed at sorted
+/// position `rank`. Ties preserve index order (stability). `emit` runs
+/// inside the final scatter kernel; destination ranks are unique, so
+/// writes indexed by `rank` need no synchronisation.
+///
+/// Above the sequential threshold this costs exactly **one** batched
+/// launch regardless of pass count; below it, zero launches.
+///
+/// # Errors
+/// Propagates [`DeviceError`] from arena scratch allocation and from the
+/// batched launch.
+pub fn sort_by_key_fused<K, E>(
     device: &Device,
-    keys_in: &[u64],
-    values_in: &[u32],
-    keys_out: &mut [u64],
-    values_out: &mut [u32],
-    shift: u32,
-    num_blocks: usize,
-) {
-    let n = keys_in.len();
+    arena: &BufferArena,
+    n: usize,
+    key_bits: u32,
+    keygen: K,
+    emit: E,
+) -> Result<(), DeviceError>
+where
+    K: Fn(usize) -> u64 + Sync,
+    E: Fn(usize, u64, u32) + Sync,
+{
+    if n == 0 {
+        return Ok(());
+    }
+    if n < SEQUENTIAL_THRESHOLD {
+        let keys: Vec<u64> = (0..n).map(&keygen).collect();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by_key(|&i| keys[i as usize]);
+        for (rank, &orig) in perm.iter().enumerate() {
+            emit(rank, keys[orig as usize], orig);
+        }
+        return Ok(());
+    }
 
-    // 1. Per-block digit histograms, laid out digit-major
-    //    (counts[digit * num_blocks + block]) so the scan directly yields
-    //    global scatter bases.
-    let mut counts = vec![0u64; BUCKETS * num_blocks];
-    {
-        let counts_view = SharedMut::new(&mut counts);
-        device.launch_named("sort.histogram", num_blocks, |b| {
+    let passes = (key_bits.div_ceil(RADIX_BITS)).max(1) as usize;
+    let num_blocks = n.div_ceil(SORT_BLOCK);
+
+    // Ping-pong scratch: pass 0 reads the virtual input and writes A;
+    // subsequent passes alternate A -> B -> A. Tracked against the
+    // memory budget — this is data-sized device-global scratch.
+    let mut keys_a = arena.take::<u64>(n)?;
+    let mut keys_b = arena.take::<u64>(n)?;
+    let mut vals_a = arena.take::<u32>(n)?;
+    let mut vals_b = arena.take::<u32>(n)?;
+    // Digit-major count matrix (counts[digit * num_blocks + block]).
+    // Untracked: the GPU analogue lives in shared memory / a fixed-size
+    // side table, not in the data-sized device heap.
+    let mut counts = arena.take_untracked::<u64>(BUCKETS * num_blocks);
+
+    let ka = SharedMut::new(&mut keys_a[..]);
+    let kb = SharedMut::new(&mut keys_b[..]);
+    let va = SharedMut::new(&mut vals_a[..]);
+    let vb = SharedMut::new(&mut vals_b[..]);
+    let counts_view = SharedMut::new(&mut counts[..]);
+    let counts_view = &counts_view;
+    let keygen = &keygen;
+    let emit = &emit;
+
+    let mut stages: Vec<BatchStage<'_>> = Vec::with_capacity(passes * 3);
+    for pass in 0..passes {
+        let shift = pass as u32 * RADIX_BITS;
+        let last = pass + 1 == passes;
+        // `None` = the virtual (keygen, identity) input of pass 0.
+        let src = match pass {
+            0 => None,
+            p if p % 2 == 1 => Some((&ka, &va)),
+            _ => Some((&kb, &vb)),
+        };
+        let (dst_keys, dst_vals) = if pass % 2 == 0 { (&ka, &va) } else { (&kb, &vb) };
+
+        stages.push(BatchStage::new("sort.histogram", num_blocks, move |b| {
             let start = b * SORT_BLOCK;
             let end = (start + SORT_BLOCK).min(n);
             // Heap-allocated: a 2^16-entry table would blow the worker
             // stack (the GPU analogue holds it in shared memory).
             let mut local = vec![0u32; BUCKETS];
-            for &key in &keys_in[start..end] {
+            for i in start..end {
+                let key = match src {
+                    None => keygen(i),
+                    // SAFETY: the previous scatter stage fully wrote this
+                    // buffer; the batch barrier ordered it before us.
+                    Some((kv, _)) => unsafe { kv.read(i) },
+                };
                 let digit = ((key >> shift) as usize) & (BUCKETS - 1);
                 local[digit] += 1;
             }
             for (digit, &count) in local.iter().enumerate() {
-                // SAFETY: slot (digit, b) is owned by this block.
+                // SAFETY: slot (digit, b) is owned by this block. Every
+                // slot is (re)written, so the recycled matrix needs no
+                // zeroing between passes.
                 unsafe { counts_view.write(digit * num_blocks + b, count as u64) };
             }
-        });
-    }
+        }));
 
-    // 2. Exclusive scan over the digit-major matrix. 65536 * blocks
-    //    entries: independent of n per block, so a sequential scan is
-    //    fine and exact.
-    sequential_exclusive_scan(&mut counts);
+        // Exclusive scan of the count matrix into scatter bases. A
+        // single-index stage: the matrix is n-independent per block, so
+        // one thread scanning it sequentially is exact and cheap, and
+        // keeping it inside the batch avoids a host synchronisation.
+        stages.push(BatchStage::new("sort.scan", 1, move |_| {
+            let mut acc = 0u64;
+            for slot in 0..BUCKETS * num_blocks {
+                // SAFETY: this stage is the sole toucher; the batch
+                // barrier ordered the histogram before us.
+                unsafe {
+                    let value = counts_view.read(slot);
+                    counts_view.write(slot, acc);
+                    acc += value;
+                }
+            }
+        }));
 
-    // 3. Scatter. Each block walks its segment in order (stability) and
-    //    bumps its private cursor per digit.
-    {
-        let keys_view = SharedMut::new(keys_out);
-        let values_view = SharedMut::new(values_out);
-        let counts = &counts;
-        device.launch_named("sort.scatter", num_blocks, |b| {
+        stages.push(BatchStage::new("sort.scatter", num_blocks, move |b| {
             let start = b * SORT_BLOCK;
             let end = (start + SORT_BLOCK).min(n);
             let mut cursors = vec![0u64; BUCKETS];
             for (digit, cursor) in cursors.iter_mut().enumerate() {
-                *cursor = counts[digit * num_blocks + b];
+                // SAFETY: read-only view of the scanned bases.
+                *cursor = unsafe { counts_view.read(digit * num_blocks + b) };
             }
             for i in start..end {
-                let key = keys_in[i];
+                let (key, payload) = match src {
+                    None => (keygen(i), i as u32),
+                    // SAFETY: written by the scatter two stages back.
+                    Some((kv, vv)) => unsafe { (kv.read(i), vv.read(i)) },
+                };
                 let digit = ((key >> shift) as usize) & (BUCKETS - 1);
                 let dest = cursors[digit] as usize;
                 cursors[digit] += 1;
@@ -132,12 +262,17 @@ fn radix_pass(
                 // scanned bases partition the output index space by
                 // (digit, block), and cursors stay within each partition.
                 unsafe {
-                    keys_view.write(dest, key);
-                    values_view.write(dest, values_in[i]);
+                    dst_keys.write(dest, key);
+                    dst_vals.write(dest, payload);
+                }
+                if last {
+                    emit(dest, key, payload);
                 }
             }
-        });
+        }));
     }
+
+    device.try_batch_named("sort.pipeline", stages)
 }
 
 /// Returns the permutation that stably sorts `keys`, along with the sorted
@@ -232,34 +367,118 @@ mod tests {
 
     #[test]
     fn small_keys_skip_passes() {
-        // Keys below 2^16 need exactly one pass; verify correctness (the
-        // pass-skipping itself is observable through kernel counters).
+        // Keys below 2^16 need exactly one pass; the whole pipeline is
+        // one max-key reduce plus one batched launch.
         let device = Device::new(DeviceConfig::default().with_workers(2));
-        let before = device.counters().snapshot().kernel_launches;
+        let before = device.counters().snapshot();
         let n = 20_000;
         let mut keys: Vec<u64> = (0..n).map(|i| (i * 37 % 251) as u64).collect();
         let mut values: Vec<u32> = (0..n as u32).collect();
         let original: Vec<(u64, u32)> = keys.iter().copied().zip(values.iter().copied()).collect();
         sort_pairs(&device, &mut keys, &mut values);
         check_sorted_pairs(&keys, &values, &original);
-        let launches = device.counters().snapshot().kernel_launches - before;
-        // 1 reduce + 2 kernels per pass * 1 pass = 3.
-        assert_eq!(launches, 3);
+        let delta = device.counters().snapshot().since(&before);
+        // 1 reduce + 1 batch.
+        assert_eq!(delta.kernel_launches, 2);
+        // One pass => histogram + scan + scatter stages.
+        assert_eq!(delta.batched_stages, 3);
     }
 
     #[test]
     fn full_width_keys_use_four_passes() {
         let device = Device::new(DeviceConfig::default().with_workers(2));
-        let before = device.counters().snapshot().kernel_launches;
+        let before = device.counters().snapshot();
         let n = 20_000;
         let mut rng = StdRng::seed_from_u64(3);
         let mut keys: Vec<u64> = (0..n).map(|_| rng.gen::<u64>() | (1 << 63)).collect();
         let mut values: Vec<u32> = (0..n as u32).collect();
         sort_pairs(&device, &mut keys, &mut values);
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
-        let launches = device.counters().snapshot().kernel_launches - before;
-        // 1 reduce + 2 kernels per 16-bit pass * 4 passes.
-        assert_eq!(launches, 1 + 2 * 4);
+        let delta = device.counters().snapshot().since(&before);
+        // Still 1 reduce + 1 batch; the extra passes are extra *stages*.
+        assert_eq!(delta.kernel_launches, 2);
+        // 4 passes x (histogram + scan + scatter).
+        assert_eq!(delta.batched_stages, 12);
+    }
+
+    #[test]
+    fn repeated_sorts_recycle_scratch() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let n = 20_000;
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..3 {
+            let fresh_before = device.memory().reservations_made();
+            let mut keys: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            let mut values: Vec<u32> = (0..n as u32).collect();
+            sort_pairs(&device, &mut keys, &mut values);
+            assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+            let fresh = device.memory().reservations_made() - fresh_before;
+            if round == 0 {
+                assert!(fresh > 0, "first sort must allocate scratch");
+            } else {
+                assert_eq!(fresh, 0, "round {round} should reuse pooled scratch");
+            }
+        }
+        assert!(device.arena().recycled_takes() > 0);
+    }
+
+    #[test]
+    fn fused_sort_emits_each_rank_once() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let n = 30_000usize;
+        // Deterministic pseudo-random keys generated on the fly.
+        let key_of = |i: usize| (i as u64).wrapping_mul(2654435761) % (1 << 20);
+        let mut out_keys = vec![0u64; n];
+        let mut out_src = vec![u32::MAX; n];
+        {
+            let ok = SharedMut::new(&mut out_keys[..]);
+            let os = SharedMut::new(&mut out_src[..]);
+            sort_by_key_fused(&device, device.arena(), n, 20, key_of, |rank, key, i| {
+                // SAFETY: ranks are unique per the emit contract.
+                unsafe {
+                    ok.write(rank, key);
+                    os.write(rank, i);
+                }
+            })
+            .unwrap();
+        }
+        assert!(out_keys.windows(2).all(|w| w[0] <= w[1]));
+        // Every source index appears exactly once and maps to its key.
+        let mut seen = vec![false; n];
+        for (rank, &src) in out_src.iter().enumerate() {
+            let src = src as usize;
+            assert!(!seen[src], "source {src} emitted twice");
+            seen[src] = true;
+            assert_eq!(out_keys[rank], key_of(src));
+        }
+        // Stability: equal keys keep source order.
+        for w in out_keys.iter().zip(&out_src).collect::<Vec<_>>().windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "fused sort must stay stable");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sort_sequential_path_emits() {
+        let device = Device::with_defaults();
+        let before = device.counters().snapshot().kernel_launches;
+        let n = 100usize;
+        let key_of = |i: usize| (n - i) as u64;
+        let mut out = vec![0u32; n];
+        {
+            let view = SharedMut::new(&mut out[..]);
+            sort_by_key_fused(&device, device.arena(), n, 8, key_of, |rank, _key, i| {
+                // SAFETY: unique ranks.
+                unsafe { view.write(rank, i) };
+            })
+            .unwrap();
+        }
+        // Reversed keys: rank r holds source n-1-r.
+        for (rank, &src) in out.iter().enumerate() {
+            assert_eq!(src as usize, n - 1 - rank);
+        }
+        assert_eq!(device.counters().snapshot().kernel_launches - before, 0);
     }
 
     #[test]

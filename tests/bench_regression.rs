@@ -16,7 +16,7 @@
 
 use std::path::PathBuf;
 
-use fdbscan_bench::hotpaths::{collect_hotpaths, HotpathsBaseline, GUARDED_COUNTERS};
+use fdbscan_bench::hotpaths::{collect_hotpaths, HotpathsBaseline, GUARDED_COUNTERS, PHASE_KEYS};
 
 fn baseline_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpaths.json")
@@ -52,6 +52,24 @@ fn work_counters_do_not_regress_beyond_5_percent() {
                 ));
             }
         }
+        // The launch total is guarded above; also gate each phase's
+        // share, so a fusion regression that re-inflates one phase while
+        // another shrinks cannot hide inside an unchanged total.
+        let Some(base_phases) = baseline.phases(&id) else {
+            failures.push(format!("{id}: no phase_launches in baseline"));
+            continue;
+        };
+        for ((&phase, current), (base_name, base_value)) in
+            PHASE_KEYS.iter().zip(record.phase_launches).zip(base_phases)
+        {
+            assert_eq!(phase, base_name, "{id}: phase order drifted");
+            if current * 100 > base_value * 105 {
+                failures.push(format!(
+                    "{id}: {phase}-phase launches regressed {base_value} -> {current} \
+                     (gate is 5%)"
+                ));
+            }
+        }
     }
     assert!(
         failures.is_empty(),
@@ -71,6 +89,14 @@ fn baseline_covers_the_current_matrix() {
         assert!(
             baseline.case(&case.id()).is_some(),
             "baseline missing case {}; {REGEN}",
+            case.id()
+        );
+        let phases = baseline.phases(&case.id()).unwrap_or_else(|| {
+            panic!("baseline missing phase_launches for {}; {REGEN}", case.id())
+        });
+        assert!(
+            phases.iter().find(|(name, _)| name == "index").is_some_and(|(_, v)| *v > 0),
+            "{}: index phase launches nothing — the gate guards nothing",
             case.id()
         );
     }
