@@ -1,0 +1,27 @@
+//! Regenerates the clustering-service throughput/latency baseline.
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin service -- BENCH_service.json
+//! ```
+//!
+//! With no argument the report is printed to stdout. Wall-clock numbers
+//! are machine-dependent; the regression gate guards only structure and
+//! generous floors (see `tests/bench_regression.rs`), so regenerating on
+//! a different machine is safe.
+
+use fdbscan_bench::service_bench::collect_service;
+
+fn main() {
+    let report = collect_service();
+    match std::env::args().nth(1) {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            if let Err(err) = report.write(&path) {
+                eprintln!("failed to write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} cases to {}", report.records.len(), path.display());
+        }
+        None => println!("{}", report.to_json().to_pretty(2)),
+    }
+}

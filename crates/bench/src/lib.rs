@@ -15,6 +15,7 @@
 //! cosmology `eps` rescaling rule.
 
 pub mod hotpaths;
+pub mod service_bench;
 
 use std::io::Write;
 use std::path::Path;

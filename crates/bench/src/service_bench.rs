@@ -1,0 +1,321 @@
+//! Service-level throughput/latency accounting for the bench-regression
+//! gate.
+//!
+//! The `crates/service` front-end multiplexes concurrent requests over
+//! one shared device. This module drives a fixed mixed workload (small
+//! and medium requests) through [`fdbscan_service::ClusterService`] at
+//! a few concurrency levels and records **requests per second at the
+//! p95 latency target** ([`P95_TARGET_MS`]), plus the latency
+//! distribution and the outcome counts.
+//!
+//! Wall-clock numbers are machine-dependent, so the regression gate
+//! (`tests/bench_regression.rs`) guards only machine-independent
+//! structure (every request completes, nothing is shed or fails on a
+//! healthy device) and *generous* absolute floors
+//! ([`MIN_THROUGHPUT_RPS`], the p95 target) that catch serialization
+//! bugs and hangs, not honest hardware variance.
+//!
+//! Regenerate the checked-in baseline with:
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin service -- BENCH_service.json
+//! ```
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use fdbscan::Params;
+use fdbscan_data::Dataset2;
+use fdbscan_device::json::Json;
+use fdbscan_device::{Device, DeviceConfig};
+use fdbscan_service::{ClusterRequest, ClusterService, ServiceConfig};
+
+/// Schema tag of the document [`ServiceReport::write`] produces.
+pub const SERVICE_SCHEMA: &str = "fdbscan.bench_service.v1";
+
+/// Dataset seed shared by every case.
+pub const SERVICE_SEED: u64 = 7;
+
+/// The p95 latency target throughput is quoted at. Deliberately
+/// generous (debug builds on loaded CI machines must meet it); the real
+/// measured p95 is in the report for inspection.
+pub const P95_TARGET_MS: f64 = 5000.0;
+
+/// Generous throughput floor for the regression gate: the workload is
+/// tiny, so anything below this means requests serialized or hung, not
+/// that the machine was slow.
+pub const MIN_THROUGHPUT_RPS: f64 = 5.0;
+
+/// One service benchmark scenario.
+#[derive(Clone, Debug)]
+pub struct ServiceCase {
+    /// Stable identifier (`service/<name>`), the join key against the
+    /// checked-in baseline.
+    pub id: &'static str,
+    /// Device worker threads.
+    pub workers: usize,
+    /// Admission concurrency cap.
+    pub max_concurrency: usize,
+    /// Admission queue bound (sized so this workload never sheds).
+    pub queue_depth: usize,
+    /// Requests submitted.
+    pub requests: usize,
+}
+
+/// The fixed scenario matrix: the same 24-request mixed workload at
+/// three concurrency levels on a 2-worker device — the interesting axis
+/// is how much overlap admission allows, not device size.
+pub fn service_matrix() -> Vec<ServiceCase> {
+    [("service/c1", 1), ("service/c2", 2), ("service/c4", 4)]
+        .into_iter()
+        .map(|(id, max_concurrency)| ServiceCase {
+            id,
+            workers: 2,
+            max_concurrency,
+            queue_depth: 32,
+            requests: 24,
+        })
+        .collect()
+}
+
+/// Measured outcome of one [`ServiceCase`].
+#[derive(Clone, Debug)]
+pub struct ServiceRecord {
+    /// The scenario.
+    pub case: ServiceCase,
+    /// Completed requests / wall seconds for the whole wave.
+    pub throughput_rps: f64,
+    /// Per-request end-to-end latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// Worst request latency, milliseconds.
+    pub max_ms: f64,
+    /// Mean time spent blocked in the admission queue, milliseconds.
+    pub mean_queue_wait_ms: f64,
+    /// Requests that returned a clustering.
+    pub completed: u64,
+    /// Requests shed with `Overloaded` (zero on this workload).
+    pub shed: u64,
+    /// Requests that failed any other way (zero on this workload).
+    pub failed: u64,
+    /// Whether the measured p95 met [`P95_TARGET_MS`].
+    pub met_p95_target: bool,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+/// The mixed workload: every third request is medium (1200 points), the
+/// rest small (300 points), all over the road-network distribution.
+fn workload(case: &ServiceCase) -> Vec<Vec<fdbscan_geom::Point2>> {
+    let small = Dataset2::RoadNetwork.generate(300, SERVICE_SEED);
+    let medium = Dataset2::RoadNetwork.generate(1200, SERVICE_SEED + 1);
+    (0..case.requests).map(|i| if i % 3 == 0 { medium.clone() } else { small.clone() }).collect()
+}
+
+/// Runs one scenario: submit the whole wave, wait for every handle,
+/// measure. Panics if any request fails — the workload is sized to
+/// complete on a healthy unbudgeted device.
+pub fn run_case(case: &ServiceCase) -> ServiceRecord {
+    let params = Params::new(0.08, 10);
+    let device = Device::new(DeviceConfig::default().with_workers(case.workers));
+    let service = ClusterService::new(
+        device,
+        ServiceConfig { max_concurrency: case.max_concurrency, queue_depth: case.queue_depth },
+    );
+
+    let started = Instant::now();
+    let handles: Vec<_> = workload(case)
+        .into_iter()
+        .map(|points| service.submit(ClusterRequest::new(points, params)))
+        .collect();
+    let mut latencies_ms = Vec::with_capacity(case.requests);
+    let mut queue_wait = Duration::ZERO;
+    for handle in handles {
+        let response = handle.wait().unwrap_or_else(|e| panic!("{}: request failed: {e}", case.id));
+        latencies_ms.push(response.total.as_secs_f64() * 1e3);
+        queue_wait += response.queue_wait;
+    }
+    let wall = started.elapsed();
+
+    let stats = service.stats();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let p95_ms = percentile(&latencies_ms, 95.0);
+    ServiceRecord {
+        case: case.clone(),
+        throughput_rps: stats.completed as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p95_ms,
+        max_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        mean_queue_wait_ms: queue_wait.as_secs_f64() * 1e3 / case.requests.max(1) as f64,
+        completed: stats.completed,
+        shed: stats.shed_overload,
+        failed: stats.deadline_exceeded + stats.cancelled + stats.rejected_invalid + stats.failed,
+        met_p95_target: p95_ms <= P95_TARGET_MS,
+    }
+}
+
+/// The full service report: one [`ServiceRecord`] per scenario.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceReport {
+    /// Executed records, in [`service_matrix`] order.
+    pub records: Vec<ServiceRecord>,
+}
+
+/// Runs the whole [`service_matrix`].
+pub fn collect_service() -> ServiceReport {
+    ServiceReport { records: service_matrix().iter().map(run_case).collect() }
+}
+
+impl ServiceRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::str(self.case.id)),
+            ("workers", Json::U64(self.case.workers as u64)),
+            ("max_concurrency", Json::U64(self.case.max_concurrency as u64)),
+            ("queue_depth", Json::U64(self.case.queue_depth as u64)),
+            ("requests", Json::U64(self.case.requests as u64)),
+            ("throughput_rps", Json::F64(self.throughput_rps)),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("p50", Json::F64(self.p50_ms)),
+                    ("p95", Json::F64(self.p95_ms)),
+                    ("max", Json::F64(self.max_ms)),
+                    ("mean_queue_wait", Json::F64(self.mean_queue_wait_ms)),
+                ]),
+            ),
+            ("completed", Json::U64(self.completed)),
+            ("shed", Json::U64(self.shed)),
+            ("failed", Json::U64(self.failed)),
+            ("met_p95_target", Json::Bool(self.met_p95_target)),
+        ])
+    }
+}
+
+impl ServiceReport {
+    /// Serializes the report (schema [`SERVICE_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SERVICE_SCHEMA)),
+            ("seed", Json::U64(SERVICE_SEED)),
+            ("p95_target_ms", Json::F64(P95_TARGET_MS)),
+            ("cases", Json::Arr(self.records.iter().map(|r| r.to_json()).collect())),
+        ])
+    }
+
+    /// Writes the report as pretty-printed JSON to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json().to_pretty(2)))
+    }
+}
+
+/// A parsed `BENCH_service.json` baseline.
+#[derive(Clone, Debug)]
+pub struct ServiceBaseline {
+    /// Per case: `(id, requests, completed, shed, failed, met_p95_target)`.
+    pub cases: Vec<(String, u64, u64, u64, u64, bool)>,
+}
+
+impl ServiceBaseline {
+    /// Parses a baseline document, validating the schema tag.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = fdbscan_device::json::parse(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+        let schema = doc.get("schema").and_then(|s| s.as_str());
+        if schema != Some(SERVICE_SCHEMA) {
+            return Err(format!("schema mismatch: expected {SERVICE_SCHEMA}, got {schema:?}"));
+        }
+        let mut cases = Vec::new();
+        for case in doc.get("cases").and_then(|c| c.as_arr()).ok_or("missing 'cases' array")? {
+            let id =
+                case.get("id").and_then(|v| v.as_str()).ok_or("case without 'id'")?.to_string();
+            let num = |key: &str| {
+                case.get(key)
+                    .and_then(|v| v.as_f64())
+                    .map(|v| v as u64)
+                    .ok_or_else(|| format!("case {id} missing '{key}'"))
+            };
+            let met = matches!(case.get("met_p95_target"), Some(Json::Bool(true)));
+            cases.push((
+                id.clone(),
+                num("requests")?,
+                num("completed")?,
+                num("shed")?,
+                num("failed")?,
+                met,
+            ));
+        }
+        Ok(Self { cases })
+    }
+
+    /// One case by id, if present.
+    pub fn case(&self, id: &str) -> Option<&(String, u64, u64, u64, u64, bool)> {
+        self.cases.iter().find(|(cid, ..)| cid == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_ids_are_unique_and_workload_never_sheds_by_construction() {
+        let matrix = service_matrix();
+        let mut ids: Vec<_> = matrix.iter().map(|c| c.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), matrix.len());
+        for case in &matrix {
+            assert!(
+                case.queue_depth + case.max_concurrency >= case.requests,
+                "{}: workload can overflow the queue — the gate expects zero shed",
+                case.id
+            );
+        }
+    }
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let values = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&values, 50.0), 2.0);
+        assert_eq!(percentile(&values, 95.0), 4.0);
+        assert_eq!(percentile(&[], 95.0), 0.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_baseline_parser() {
+        let case = service_matrix().remove(0);
+        let id = case.id;
+        let record = ServiceRecord {
+            case,
+            throughput_rps: 100.0,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            max_ms: 3.0,
+            mean_queue_wait_ms: 0.5,
+            completed: 24,
+            shed: 0,
+            failed: 0,
+            met_p95_target: true,
+        };
+        let report = ServiceReport { records: vec![record] };
+        let baseline = ServiceBaseline::parse(&report.to_json().to_pretty(2)).unwrap();
+        let &(_, requests, completed, shed, failed, met) =
+            baseline.case(id).expect("case survives the round trip");
+        assert_eq!((requests, completed, shed, failed, met), (24, 24, 0, 0, true));
+    }
+
+    #[test]
+    fn baseline_parser_rejects_wrong_schema() {
+        let err =
+            ServiceBaseline::parse(r#"{"schema": "something.else", "cases": []}"#).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+}

@@ -409,6 +409,7 @@ fn cuda_dclust_core<const D: usize>(
         },
         peak_memory_bytes: device.memory().peak(),
         dense: None,
+        attempts: 0,
     };
     Ok((clustering, stats))
 }

@@ -318,6 +318,7 @@ fn gdbscan_core<const D: usize>(
         },
         peak_memory_bytes: device.memory().peak(),
         dense: None,
+        attempts: 0,
     };
     Ok((clustering, stats))
 }

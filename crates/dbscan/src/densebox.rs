@@ -270,6 +270,7 @@ fn densebox_core<const D: usize>(
             points_in_dense_cells: grid.points_in_dense_cells(),
             dense_fraction: grid.dense_fraction(),
         }),
+        attempts: 0,
     };
     Ok((clustering, stats))
 }

@@ -302,6 +302,7 @@ fn fdbscan_core<const D: usize>(
         },
         peak_memory_bytes: device.memory().peak(),
         dense: None,
+        attempts: 0,
     };
     Ok((clustering, stats))
 }

@@ -198,6 +198,7 @@ fn on_index_core<const D: usize, I: SpatialIndex<D>>(
         },
         peak_memory_bytes: device.memory().peak(),
         dense: None,
+        attempts: 0,
     };
     Ok((clustering, stats))
 }

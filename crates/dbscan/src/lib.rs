@@ -94,24 +94,59 @@ pub use tuning::{kdist_curve, suggest_eps};
 use fdbscan_device::DeviceError;
 use fdbscan_geom::Point;
 
+/// Structured location of the first non-finite coordinate in an input,
+/// from [`find_non_finite`]. A service front-end rejects the request
+/// with these fields instead of parsing them back out of an error
+/// string.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NonFinite {
+    /// Index of the offending point in the input slice.
+    pub index: usize,
+    /// Axis (dimension) of the offending coordinate.
+    pub axis: usize,
+    /// The offending value (NaN or ±infinity).
+    pub value: f32,
+}
+
+impl std::fmt::Display for NonFinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "point {} has non-finite coordinate {} on axis {}",
+            self.index, self.value, self.axis
+        )
+    }
+}
+
+/// Scans `points` for the first non-finite coordinate, returning its
+/// structured location ([`NonFinite`]) or `None` when the input is
+/// clean. [`validate_finite`] wraps this into a [`DeviceError`]; the
+/// service layer uses it directly for per-request rejection
+/// diagnostics.
+pub fn find_non_finite<const D: usize>(points: &[Point<D>]) -> Option<NonFinite> {
+    for (index, p) in points.iter().enumerate() {
+        for (axis, &value) in p.coords.iter().enumerate() {
+            if !value.is_finite() {
+                return Some(NonFinite { index, axis, value });
+            }
+        }
+    }
+    None
+}
+
 /// Validates that every coordinate of every point is finite.
 ///
 /// All public clustering entry points call this before reserving device
 /// memory: NaN coordinates would otherwise poison distance comparisons
 /// (`NaN <= eps` is false, but BVH bounds become NaN and traversals
 /// silently drop points). Returns [`DeviceError::InvalidInput`] naming
-/// the first offending point.
+/// the first offending point, axis, and value (see [`find_non_finite`]
+/// for the structured form).
 pub fn validate_finite<const D: usize>(points: &[Point<D>]) -> Result<(), DeviceError> {
-    for (i, p) in points.iter().enumerate() {
-        for (axis, c) in p.coords.iter().enumerate() {
-            if !c.is_finite() {
-                return Err(DeviceError::InvalidInput {
-                    reason: format!("point {i} has non-finite coordinate {c} on axis {axis}"),
-                });
-            }
-        }
+    match find_non_finite(points) {
+        Some(bad) => Err(DeviceError::InvalidInput { reason: bad.to_string() }),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// DBSCAN parameters.
@@ -163,5 +198,38 @@ mod tests {
     #[should_panic(expected = "minpts must be at least 1")]
     fn params_reject_zero_minpts() {
         Params::new(1.0, 0);
+    }
+
+    #[test]
+    fn find_non_finite_reports_index_axis_and_value() {
+        let mut points = vec![Point::<2>::origin(); 5];
+        points[3].coords[1] = f32::NEG_INFINITY;
+        let bad = find_non_finite(&points).unwrap();
+        assert_eq!(bad, NonFinite { index: 3, axis: 1, value: f32::NEG_INFINITY });
+        // NaN compares unequal to itself, so check fields directly.
+        points[2].coords[0] = f32::NAN;
+        let first = find_non_finite(&points).unwrap();
+        assert_eq!((first.index, first.axis), (2, 0));
+        assert!(first.value.is_nan());
+        points[2].coords[0] = 0.0;
+        points[3].coords[1] = 0.0;
+        assert_eq!(find_non_finite(&points), None);
+    }
+
+    #[test]
+    fn validate_finite_error_carries_the_location() {
+        let mut points = vec![Point::<3>::new([1.0, 2.0, 3.0]); 4];
+        points[1].coords[2] = f32::INFINITY;
+        let err = validate_finite(&points).unwrap_err();
+        match err {
+            DeviceError::InvalidInput { reason } => {
+                assert!(reason.contains("point 1"), "reason: {reason}");
+                assert!(reason.contains("axis 2"), "reason: {reason}");
+                assert!(reason.contains("inf"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        points[1].coords[2] = 3.0;
+        assert!(validate_finite(&points).is_ok());
     }
 }

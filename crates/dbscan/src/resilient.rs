@@ -260,6 +260,11 @@ pub fn run_resilient<const D: usize>(
     let mut handoff: Option<CoreSnapshot> = None;
 
     while let Some(l) = level {
+        // A fired cancel token aborts the ladder before the next rung:
+        // a cancelled request must not complete on a lower rung (or the
+        // sequential oracle) just because a retry would have landed.
+        device.check_cancelled()?;
+
         // Pre-flight: skip levels that cannot fit. The oracle uses no
         // device memory and is never skipped.
         if policy.preflight && l != LadderLevel::Sequential {
@@ -312,10 +317,11 @@ pub fn run_resilient<const D: usize>(
         let mut retries = 0;
         loop {
             match run_level(device, points, params, l, ckpt.as_mut()) {
-                Ok((clustering, stats)) => {
+                Ok((clustering, mut stats)) => {
                     tracer.instant(format!("resilient.complete {l}"));
                     report.attempts.push(Attempt { level: l, outcome: AttemptOutcome::Succeeded });
                     report.completed = Some(l);
+                    stats.attempts = report.runs();
                     return Ok((clustering, stats, report));
                 }
                 Err(err) => {
@@ -325,11 +331,19 @@ pub fn run_resilient<const D: usize>(
                             | DeviceError::KernelTimeout { .. }
                             | DeviceError::FaultInjected { .. }
                     );
-                    let invalid = matches!(err, DeviceError::InvalidInput { .. });
+                    // Fatal errors abort the ladder outright: no rung
+                    // can cluster NaN, and a cancelled or out-of-time
+                    // request must stop degrading, not keep going.
+                    let fatal = matches!(
+                        err,
+                        DeviceError::InvalidInput { .. }
+                            | DeviceError::Cancelled { .. }
+                            | DeviceError::DeadlineExceeded { .. }
+                    );
                     report
                         .attempts
                         .push(Attempt { level: l, outcome: AttemptOutcome::Failed(err.clone()) });
-                    if invalid {
+                    if fatal {
                         return Err(err);
                     }
                     if transient && retries < policy.max_transient_retries {
@@ -402,6 +416,10 @@ fn run_level<const D: usize>(
     match catch_unwind(AssertUnwindSafe(run)) {
         Ok(result) => result,
         Err(payload) => {
+            // An infallible-API kernel on a cancelled device panics with
+            // the cancellation message; diagnose it as the cancellation
+            // it is, not as a (retryable) kernel panic.
+            device.check_cancelled()?;
             let payload = if let Some(s) = payload.downcast_ref::<&'static str>() {
                 (*s).to_string()
             } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -636,6 +654,59 @@ mod tests {
         );
         let oracle = dbscan_classic(&points, params);
         assert_core_equivalent(&oracle, &c);
+    }
+
+    #[test]
+    fn stats_record_attempt_counts() {
+        let points = random_points(300, 5.0, 42);
+        let params = Params::new(0.3, 4);
+        // Clean run: one attempt.
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let (_, stats, _) =
+            run_resilient(&device, &points, params, ResiliencePolicy::default()).unwrap();
+        assert_eq!(stats.attempts, 1);
+        // One injected panic + successful retry: two attempts.
+        let plan = FaultPlan::new(7).with_kernel_panic_at(0, 0);
+        let device = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let (_, stats, report) =
+            run_resilient(&device, &points, params, ResiliencePolicy::default()).unwrap();
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(stats.attempts, report.runs());
+    }
+
+    #[test]
+    fn cancelled_request_aborts_ladder_without_degrading() {
+        use fdbscan_device::CancelToken;
+        let points = random_points(300, 5.0, 47);
+        let token = CancelToken::new();
+        token.cancel();
+        let device = Device::new(DeviceConfig::default().with_workers(2)).with_cancel(token);
+        let err = run_resilient(&device, &points, Params::new(0.3, 4), ResiliencePolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::Cancelled { .. }), "got {err:?}");
+        // Nothing ran, nothing leaked; the shared device stays usable.
+        assert_eq!(device.memory().in_use(), device.arena().held_bytes());
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_ladder_not_the_device() {
+        use fdbscan_device::CancelToken;
+        use std::time::Duration;
+        let points = random_points(300, 5.0, 48);
+        let params = Params::new(0.3, 4);
+        let base = Device::new(DeviceConfig::default().with_workers(2));
+        let request =
+            base.with_cancel(CancelToken::with_deadline(Instant::now() - Duration::from_millis(1)));
+        let err =
+            run_resilient(&request, &points, params, ResiliencePolicy::default()).unwrap_err();
+        assert!(matches!(err, DeviceError::DeadlineExceeded { .. }), "got {err:?}");
+        // A mid-ladder expiry must never fall through to the sequential
+        // oracle and "succeed" after its deadline — and the base device
+        // (other requests) keeps working.
+        let (c, _, report) =
+            run_resilient(&base, &points, params, ResiliencePolicy::default()).unwrap();
+        assert_eq!(report.completed, Some(LadderLevel::GDbscan));
+        assert_valid_clustering(&points, &c, params);
     }
 
     #[test]

@@ -62,6 +62,11 @@ pub struct RunStats {
     pub peak_memory_bytes: usize,
     /// Dense-grid statistics (FDBSCAN-DenseBox only).
     pub dense: Option<DenseStats>,
+    /// Ladder attempts that executed to produce this result: set by
+    /// `run_resilient` (1 for a clean first-try run; more when a
+    /// transient fault was retried or the ladder stepped down a rung).
+    /// 0 when the run did not go through the resilient ladder.
+    pub attempts: usize,
 }
 
 impl RunStats {

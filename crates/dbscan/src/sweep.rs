@@ -169,6 +169,7 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
                 },
                 peak_memory_bytes: self.device.memory().peak(),
                 dense: None,
+                attempts: 0,
             },
         ))
     }

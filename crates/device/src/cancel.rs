@@ -1,0 +1,180 @@
+//! Cooperative request cancellation and deadlines.
+//!
+//! A shared device serves many concurrent requests; a client that hangs
+//! up (or a request that outlives its latency budget) must release the
+//! device promptly without poisoning its neighbors. GPUs cannot
+//! preempt a running kernel, so cancellation here is *cooperative*, at
+//! the same granularity a real stream supports: the launch loop checks
+//! a [`CancelToken`] **between** kernel launches (and between the
+//! stages of a batched submission), and the token's deadline also caps
+//! the per-launch watchdog so a stalled kernel is abandoned at the next
+//! block boundary.
+//!
+//! A fired token surfaces as a typed [`crate::DeviceError`]:
+//! [`crate::DeviceError::Cancelled`] for an explicit [`CancelToken::cancel`],
+//! [`crate::DeviceError::DeadlineExceeded`] for an expired deadline.
+//! Both leave the device (pool, counters, memory tracker, arena) fully
+//! usable — RAII reservations unwind with the failed run, exactly as
+//! they do for a kernel panic.
+//!
+//! Tokens are cheap (`Arc` of an atomic) and clonable; a clone observes
+//! the same flag, so a service front-end can hand one half to the
+//! client and thread the other through the device.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a [`CancelToken`] fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called (client hang-up, shed load).
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+/// A cooperative cancellation handle threaded through the device launch
+/// loop (see the module docs). The cancel *flag* is shared by every
+/// clone; the *deadline* is per-handle, so a front-end can derive a
+/// deadline-capped child ([`CancelToken::with_deadline_capped`]) for
+/// one request while keeping the client's original handle able to
+/// cancel it.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; fires only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self { cancelled: Arc::new(AtomicBool::new(false)), deadline: None }
+    }
+
+    /// A token that additionally fires once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self { cancelled: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+    }
+
+    /// A token whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A child token sharing this token's cancel flag whose deadline is
+    /// the *earlier* of this token's and `deadline`. Cancelling either
+    /// handle cancels both; the child can only be stricter about time.
+    pub fn with_deadline_capped(&self, deadline: Instant) -> CancelToken {
+        Self {
+            cancelled: Arc::clone(&self.cancelled),
+            deadline: Some(self.deadline.map_or(deadline, |d| d.min(deadline))),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called. Does not
+    /// consider the deadline; see [`CancelToken::fired`].
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The deadline, if one was set at construction.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Why the token has fired, if it has. An explicit cancel is the
+    /// more specific diagnosis when both conditions hold: the client
+    /// already hung up, so the deadline no longer matters.
+    pub fn fired(&self) -> Option<CancelCause> {
+        if self.is_cancelled() {
+            Some(CancelCause::Cancelled)
+        } else if self.deadline_expired() {
+            Some(CancelCause::DeadlineExceeded)
+        } else {
+            None
+        }
+    }
+
+    /// Time remaining until the deadline (`None` without one,
+    /// `Some(ZERO)` once expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_has_not_fired() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(!token.deadline_expired());
+        assert_eq!(token.fired(), None);
+        assert_eq!(token.remaining(), None);
+    }
+
+    #[test]
+    fn cancel_is_visible_to_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.fired(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_fires() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.deadline_expired());
+        assert_eq!(token.fired(), Some(CancelCause::DeadlineExceeded));
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire_yet() {
+        let token = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert_eq!(token.fired(), None);
+        assert!(token.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_expired_deadline() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        token.cancel();
+        assert_eq!(token.fired(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn capped_child_shares_flag_and_takes_earlier_deadline() {
+        let parent = CancelToken::new();
+        let child = parent.with_deadline_capped(Instant::now() + Duration::from_secs(3600));
+        assert!(child.deadline().is_some());
+        assert!(parent.deadline().is_none(), "capping must not mutate the parent");
+        // Cancel travels both directions — it's one shared flag.
+        child.cancel();
+        assert!(parent.is_cancelled());
+        // The earlier deadline wins.
+        let strict = CancelToken::with_deadline(Instant::now() + Duration::from_secs(1));
+        let loose = strict.with_deadline_capped(Instant::now() + Duration::from_secs(3600));
+        assert_eq!(loose.deadline(), strict.deadline());
+    }
+}

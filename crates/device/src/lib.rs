@@ -50,6 +50,7 @@
 //! ```
 
 pub mod arena;
+pub mod cancel;
 pub mod counters;
 pub mod fault;
 pub mod json;
@@ -60,6 +61,7 @@ pub mod snapshot;
 pub mod trace;
 
 pub use arena::{ArenaBuf, BufferArena};
+pub use cancel::{CancelCause, CancelToken};
 pub use counters::{Counters, CountersSnapshot};
 pub use fault::{FaultPlan, FaultSite};
 pub use memory::{DeviceError, MemoryReservation, MemoryTracker};
@@ -212,6 +214,11 @@ pub struct Device {
     fault_plan: Option<Arc<FaultPlan>>,
     kernel_timeout: Option<Duration>,
     tracer: Arc<Tracer>,
+    /// Per-request cancellation token (see [`Device::with_cancel`]).
+    /// `None` on a freshly constructed device; attached per clone, so
+    /// one request's token never cancels its neighbors on the shared
+    /// pool.
+    cancel: Option<CancelToken>,
 }
 
 impl Device {
@@ -234,6 +241,7 @@ impl Device {
             launch_ordinal: Arc::new(AtomicU64::new(0)),
             fault_plan,
             kernel_timeout: config.kernel_timeout,
+            cancel: None,
             tracer: Arc::new({
                 let tracer = Tracer::from_env();
                 if config.tracing {
@@ -293,6 +301,63 @@ impl Device {
         self.kernel_timeout
     }
 
+    /// A clone of this device with a per-request [`CancelToken`]
+    /// attached: the stream analogue. The clone shares the pool,
+    /// counters, memory tracker, and arena, but its launch loop checks
+    /// `token` **between** kernel launches (and between batched
+    /// stages), and the token's deadline caps each launch's watchdog
+    /// deadline so a stalled kernel is abandoned at the next block
+    /// boundary. A fired token surfaces as [`DeviceError::Cancelled`]
+    /// or [`DeviceError::DeadlineExceeded`]; other clones (other
+    /// requests) are unaffected.
+    pub fn with_cancel(&self, token: CancelToken) -> Device {
+        let mut clone = self.clone();
+        clone.cancel = Some(token);
+        clone
+    }
+
+    /// The cancellation token attached via [`Device::with_cancel`], if
+    /// any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Errors out if the attached [`CancelToken`] (if any) has fired.
+    /// The launch loop calls this between launches; recovery ladders
+    /// call it between retries so a cancelled request stops degrading
+    /// instead of completing on a lower rung.
+    pub fn check_cancelled(&self) -> Result<(), DeviceError> {
+        match self.cancel_error() {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+
+    /// The typed error for the token's current state, if it has fired.
+    /// `launch` is the ordinal the *next* launch would get — the one
+    /// cancellation prevented.
+    fn cancel_error(&self) -> Option<DeviceError> {
+        let launch = self.launch_ordinal.load(Ordering::Relaxed);
+        match self.cancel.as_ref()?.fired()? {
+            CancelCause::Cancelled => Some(DeviceError::Cancelled { launch }),
+            CancelCause::DeadlineExceeded => Some(DeviceError::DeadlineExceeded { launch }),
+        }
+    }
+
+    /// The pool deadline for one launch: the watchdog deadline capped
+    /// by the token deadline. The flag says the token was binding, so a
+    /// pool timeout is the request's deadline expiring (surface
+    /// [`DeviceError::DeadlineExceeded`]), not a hung kernel.
+    fn launch_deadline(&self) -> (Option<Instant>, bool) {
+        let watchdog = self.kernel_timeout.map(|t| Instant::now() + t);
+        let token = self.cancel.as_ref().and_then(|t| t.deadline());
+        match (watchdog, token) {
+            (Some(w), Some(t)) if t <= w => (Some(t), true),
+            (None, Some(t)) => (Some(t), true),
+            (w, _) => (w, false),
+        }
+    }
+
     /// The device's trace sink. Shared by all clones; a no-op unless
     /// tracing was enabled (via [`DeviceConfig::with_tracing`] or the
     /// `FDBSCAN_TRACE` environment variable).
@@ -321,10 +386,21 @@ impl Device {
         label: &'static str,
         body: &(dyn Fn(Range<usize>) + Sync),
     ) -> Result<(), DeviceError> {
+        // Cancellation point: a fired token stops the request *before*
+        // the next launch starts — nothing is counted, no fault ordinal
+        // is consumed, the launch simply never happens.
+        if let Some(error) = self.cancel_error() {
+            return Err(error);
+        }
         let launch = self.launch_ordinal.fetch_add(1, Ordering::Relaxed);
         self.counters.kernel_launches.fetch_add(1, Ordering::Relaxed);
-        let deadline = self.kernel_timeout.map(|t| Instant::now() + t);
-        let result = self.run_stage(launch, n, label, deadline, body);
+        let (deadline, token_binding) = self.launch_deadline();
+        let mut result = self.run_stage(launch, n, label, deadline, body);
+        if token_binding {
+            if let Err(DeviceError::KernelTimeout { launch, .. }) = result {
+                result = Err(DeviceError::DeadlineExceeded { launch });
+            }
+        }
         if result.is_err() {
             self.counters.failed_launches.fetch_add(1, Ordering::Relaxed);
         }
@@ -418,13 +494,24 @@ impl Device {
         label: &'static str,
         stages: Vec<BatchStage<'_>>,
     ) -> Result<(), DeviceError> {
+        // Cancellation point, as in `run_fallible`: a batch whose token
+        // fired before submission never starts and counts nothing.
+        if let Some(error) = self.cancel_error() {
+            return Err(error);
+        }
         let launch = self.launch_ordinal.fetch_add(1, Ordering::Relaxed);
         self.counters.kernel_launches.fetch_add(1, Ordering::Relaxed);
-        let deadline = self.kernel_timeout.map(|t| Instant::now() + t);
+        let (deadline, token_binding) = self.launch_deadline();
         let _batch_span = self.tracer.phase(label);
         for stage in &stages {
             if stage.n == 0 {
                 continue;
+            }
+            // Stage boundaries are cancellation points too — the batch
+            // has started, so abandoning it here fails the launch.
+            if let Some(error) = self.cancel_error() {
+                self.counters.failed_launches.fetch_add(1, Ordering::Relaxed);
+                return Err(error);
             }
             self.counters.batched_stages.fetch_add(1, Ordering::Relaxed);
             let kernel = &stage.kernel;
@@ -433,7 +520,12 @@ impl Device {
                     kernel(i);
                 }
             };
-            if let Err(error) = self.run_stage(launch, stage.n, stage.label, deadline, &body) {
+            if let Err(mut error) = self.run_stage(launch, stage.n, stage.label, deadline, &body) {
+                if token_binding {
+                    if let DeviceError::KernelTimeout { launch, .. } = error {
+                        error = DeviceError::DeadlineExceeded { launch };
+                    }
+                }
                 self.counters.failed_launches.fetch_add(1, Ordering::Relaxed);
                 return Err(error);
             }
@@ -954,6 +1046,103 @@ mod tests {
         let s1 = events.iter().find(|e| e.label == "s1").unwrap();
         assert_eq!(s1.kind, SpanKind::Kernel);
         assert!(s1.path.contains("batch.traced"), "path: {}", s1.path);
+    }
+
+    #[test]
+    fn cancelled_token_stops_next_launch_but_not_neighbors() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let token = CancelToken::new();
+        let request = device.with_cancel(token.clone());
+        request.try_launch(64, |_| {}).unwrap(); // token not fired yet
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        let err = request
+            .try_launch(64, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        match err {
+            DeviceError::Cancelled { launch } => assert_eq!(launch, 1),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "cancelled launch must not start");
+        // The cancelled launch never happened: no ordinal consumed, no
+        // counters charged, and the parent device is unaffected.
+        assert_eq!(device.launches_started(), 1);
+        assert_eq!(device.counters().snapshot().failed_launches, 0);
+        device.try_launch(64, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn expired_token_deadline_blocks_launch_at_entry() {
+        let device = Device::new(DeviceConfig::sequential());
+        let request =
+            device.with_cancel(CancelToken::with_deadline(Instant::now() - Duration::from_secs(1)));
+        let err = request.try_launch(64, |_| {}).unwrap_err();
+        assert!(matches!(err, DeviceError::DeadlineExceeded { launch: 0 }), "got {err:?}");
+        let batch_err = request
+            .try_batch_named("b", vec![BatchStage::new("s", 16, |_| panic!("must not run"))])
+            .unwrap_err();
+        assert!(matches!(batch_err, DeviceError::DeadlineExceeded { .. }), "got {batch_err:?}");
+        assert_eq!(device.launches_started(), 0);
+    }
+
+    #[test]
+    fn token_deadline_interrupts_stalled_launch_as_deadline_exceeded() {
+        // No watchdog configured: the token's deadline alone caps the
+        // pool deadline, and the mid-launch timeout is diagnosed as the
+        // request's deadline, not a hung kernel.
+        let plan = FaultPlan::new(7).with_worker_stall(0, 0, 50);
+        let device =
+            Device::new(DeviceConfig::sequential().with_block_size(4).with_fault_plan(plan));
+        let request = device.with_cancel(CancelToken::with_timeout(Duration::from_millis(10)));
+        let err = request.try_launch(64, |_| {}).unwrap_err();
+        assert!(matches!(err, DeviceError::DeadlineExceeded { launch: 0 }), "got {err:?}");
+        assert_eq!(device.counters().snapshot().failed_launches, 1);
+        // The shared pool is fine; an un-cancelled clone keeps working.
+        device.try_launch(64, |_| {}).unwrap();
+    }
+
+    #[test]
+    fn watchdog_timeout_still_reported_when_it_binds_first() {
+        // Token deadline far away, watchdog tight: the stall is a hung
+        // kernel, and must keep its KernelTimeout diagnosis.
+        let plan = FaultPlan::new(7).with_worker_stall(0, 0, 50);
+        let device = Device::new(
+            DeviceConfig::sequential()
+                .with_block_size(4)
+                .with_fault_plan(plan)
+                .with_kernel_timeout(Duration::from_millis(10)),
+        );
+        let request = device.with_cancel(CancelToken::with_timeout(Duration::from_secs(3600)));
+        let err = request.try_launch(64, |_| {}).unwrap_err();
+        assert!(matches!(err, DeviceError::KernelTimeout { launch: 0, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn cancel_between_batched_stages_fails_the_batch() {
+        let device = Device::new(DeviceConfig::sequential());
+        let token = CancelToken::new();
+        let request = device.with_cancel(token.clone());
+        let stage2_ran = AtomicUsize::new(0);
+        let err = request
+            .try_batch_named(
+                "batch.cancelled",
+                vec![
+                    BatchStage::new("s1", 16, |_| token.cancel()),
+                    BatchStage::new("s2", 16, |_| {
+                        stage2_ran.fetch_add(1, Ordering::Relaxed);
+                    }),
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::Cancelled { .. }), "got {err:?}");
+        assert_eq!(stage2_ran.load(Ordering::Relaxed), 0, "stage after cancel must not run");
+        let snap = device.counters().snapshot();
+        assert_eq!(snap.batched_stages, 1);
+        assert_eq!(snap.failed_launches, 1);
+        // Fresh batches on an un-cancelled clone are unaffected.
+        device.try_batch_named("batch.ok", vec![BatchStage::new("s", 16, |_| {})]).unwrap();
     }
 
     #[test]

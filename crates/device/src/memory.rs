@@ -66,6 +66,19 @@ pub enum DeviceError {
         /// Human-readable description of the rejected input.
         reason: String,
     },
+    /// The request's [`crate::CancelToken`] was cancelled; the launch
+    /// loop observed it between kernel launches and abandoned the run.
+    Cancelled {
+        /// Device-wide launch ordinal at which cancellation was
+        /// observed (the launch that did *not* start).
+        launch: u64,
+    },
+    /// The request's [`crate::CancelToken`] deadline passed; observed
+    /// between launches or at a block boundary mid-launch.
+    DeadlineExceeded {
+        /// Device-wide launch ordinal at which expiry was observed.
+        launch: u64,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -84,6 +97,12 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::FaultInjected { site } => write!(f, "injected fault: {site}"),
             DeviceError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            DeviceError::Cancelled { launch } => {
+                write!(f, "request cancelled before launch {launch}")
+            }
+            DeviceError::DeadlineExceeded { launch } => {
+                write!(f, "request deadline exceeded at launch {launch}")
+            }
         }
     }
 }

@@ -72,6 +72,25 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// Atomically replaces `path` with `bytes`: write a uniquely named
+/// temporary sibling, then rename over the target. The tmp name mixes
+/// the process id with a process-wide sequence number so concurrent
+/// writers (service requests checkpointing into one `FDBSCAN_CKPT_DIR`)
+/// never share a tmp file; a kill mid-write leaves at worst a stray
+/// `.tmp`, never a torn target for resume to trip over.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SnapshotError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot");
+    let tmp = path.with_file_name(format!("{file_name}.{}.{seq}.tmp", std::process::id()));
+    std::fs::write(&tmp, bytes).map_err(|e| SnapshotError::Io(e.to_string()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        SnapshotError::Io(e.to_string())
+    })
+}
+
 /// FNV-1a 64-bit hash — the integrity checksum of the byte format and
 /// the per-phase content hash of [`RunManifest`]. Small, dependency-free
 /// and stable across platforms.
@@ -504,14 +523,13 @@ impl PipelineCheckpoint {
     }
 
     /// Writes the checkpoint into `dir` (created if missing) under its
-    /// canonical file name, via a temporary file + rename so a crash
-    /// mid-write leaves either the old checkpoint or none.
+    /// canonical file name, atomically (unique temporary file + rename,
+    /// see [`write_atomic`]) so a crash mid-write leaves either the old
+    /// checkpoint or none, even with concurrent writers in one dir.
     pub fn save_to_dir(&self, dir: &Path) -> Result<PathBuf, SnapshotError> {
         std::fs::create_dir_all(dir).map_err(|e| SnapshotError::Io(e.to_string()))?;
         let path = dir.join(self.file_name());
-        let tmp = dir.join(format!("{}.tmp", self.file_name()));
-        std::fs::write(&tmp, self.to_bytes()).map_err(|e| SnapshotError::Io(e.to_string()))?;
-        std::fs::rename(&tmp, &path).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        write_atomic(&path, &self.to_bytes())?;
         Ok(path)
     }
 
@@ -688,11 +706,14 @@ impl RunManifest {
         self.to_json().to_pretty(2)
     }
 
-    /// Writes the manifest into `dir` as `<run_id>.manifest.json`.
+    /// Writes the manifest into `dir` as `<run_id>.manifest.json`,
+    /// atomically (see [`write_atomic`]) — a manifest is what makes a
+    /// failed run replayable, so it gets the same torn-write protection
+    /// as the checkpoint it accompanies.
     pub fn save_to_dir(&self, dir: &Path) -> Result<PathBuf, SnapshotError> {
         std::fs::create_dir_all(dir).map_err(|e| SnapshotError::Io(e.to_string()))?;
         let path = dir.join(format!("{}.manifest.json", self.run_id));
-        std::fs::write(&path, self.to_pretty()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        write_atomic(&path, self.to_pretty().as_bytes())?;
         Ok(path)
     }
 
@@ -861,6 +882,70 @@ mod tests {
         assert!(!path.exists(), "corrupt checkpoint must be deleted");
         // Missing file is a clean miss.
         assert_eq!(PipelineCheckpoint::load_from_dir(&dir, "fdbscan", 1).unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_never_tear_the_checkpoint() {
+        // Many threads rewriting the same checkpoint file: every load
+        // observed in between must be a complete, checksum-valid file
+        // (the unique-tmp + rename discipline at work).
+        let dir = std::env::temp_dir().join(format!("fdbscan-ckpt-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = sample();
+        ckpt.save_to_dir(&dir).unwrap();
+        let writers: Vec<_> = (0..4)
+            .map(|_| {
+                let ckpt = ckpt.clone();
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        ckpt.save_to_dir(&dir).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..100 {
+            let loaded = PipelineCheckpoint::load_from_dir(&dir, "fdbscan", 0xdead_beef).unwrap();
+            assert_eq!(loaded, Some(ckpt.clone()), "reader saw a torn or missing checkpoint");
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // No stray tmp files once all writers have renamed.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray tmp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_save_is_atomic_and_loadable() {
+        let dir =
+            std::env::temp_dir().join(format!("fdbscan-manifest-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = RunManifest {
+            run_id: "atomic-1".to_string(),
+            algorithm: "fdbscan".to_string(),
+            dims: 2,
+            n: 100,
+            eps_bits: 0.1f32.to_bits(),
+            minpts: 4,
+            data_seed: 7,
+            fingerprint: 0x1234,
+            workers: 2,
+            block_size: 64,
+            fault_plan: None,
+            phase_hashes: vec![("index".to_string(), 1)],
+        };
+        let path = manifest.save_to_dir(&dir).unwrap();
+        assert_eq!(RunManifest::load_from_dir(&dir, "atomic-1").unwrap(), manifest);
+        // Overwrite goes through the same rename path.
+        manifest.save_to_dir(&dir).unwrap();
+        assert!(path.exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

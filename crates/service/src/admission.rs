@@ -1,0 +1,234 @@
+//! Bounded admission: concurrency cap + bounded wait queue + shed.
+//!
+//! The gate is the service's first line of defense. A request either
+//! gets a [`Permit`] (at most `max_concurrency` outstanding), waits in
+//! a bounded queue (at most `queue_depth` waiters), or is shed
+//! immediately with a typed [`ServiceError::Overloaded`] — the
+//! clustering run itself never sees the overload. Queued requests honor
+//! their [`CancelToken`] while waiting: a client hang-up or an expiring
+//! deadline leaves the queue promptly instead of holding a slot for a
+//! result nobody wants.
+
+use std::time::Duration;
+
+use fdbscan_device::CancelToken;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{OverloadReason, ServiceError};
+
+/// How long a queued waiter sleeps between cancellation checks. The
+/// condvar is notified on every permit release, so this bounds only how
+/// stale a *cancellation* can go unnoticed, not queue latency.
+const QUEUE_POLL: Duration = Duration::from_millis(5);
+
+#[derive(Debug, Default)]
+struct GateState {
+    /// Permits outstanding.
+    running: usize,
+    /// Requests blocked in [`AdmissionGate::admit`].
+    queued: usize,
+}
+
+/// Concurrency-bounded admission gate with a bounded wait queue.
+#[derive(Debug)]
+pub struct AdmissionGate {
+    state: Mutex<GateState>,
+    available: Condvar,
+    max_concurrency: usize,
+    queue_depth: usize,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `max_concurrency` concurrent holders
+    /// and queueing at most `queue_depth` waiters beyond that.
+    ///
+    /// # Panics
+    /// Panics if `max_concurrency` is zero (a gate that can never admit
+    /// is a configuration error, not a load condition).
+    pub fn new(max_concurrency: usize, queue_depth: usize) -> Self {
+        assert!(max_concurrency > 0, "max_concurrency must be nonzero");
+        Self {
+            state: Mutex::new(GateState::default()),
+            available: Condvar::new(),
+            max_concurrency,
+            queue_depth,
+        }
+    }
+
+    /// The configured concurrency cap.
+    pub fn max_concurrency(&self) -> usize {
+        self.max_concurrency
+    }
+
+    /// The configured queue bound.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Permits outstanding right now (for introspection/tests).
+    pub fn running(&self) -> usize {
+        self.state.lock().running
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.state.lock().queued
+    }
+
+    /// Admits the request, blocking in the bounded queue if the
+    /// concurrency cap is reached. Sheds with
+    /// [`ServiceError::Overloaded`] when the queue is full, and honors
+    /// `token` while queued: cancellation returns
+    /// [`ServiceError::Cancelled`], an expired deadline
+    /// [`ServiceError::DeadlineExceeded`] (with zero wait attributed —
+    /// the caller tracks the real queue wait).
+    pub fn admit(&self, token: &CancelToken) -> Result<Permit<'_>, ServiceError> {
+        let mut state = self.state.lock();
+        if state.running < self.max_concurrency {
+            state.running += 1;
+            return Ok(Permit { gate: self });
+        }
+        if state.queued >= self.queue_depth {
+            return Err(ServiceError::Overloaded {
+                reason: OverloadReason::QueueFull {
+                    queued: state.queued,
+                    queue_depth: self.queue_depth,
+                },
+            });
+        }
+        state.queued += 1;
+        loop {
+            if token.is_cancelled() {
+                state.queued -= 1;
+                return Err(ServiceError::Cancelled);
+            }
+            if token.deadline_expired() {
+                state.queued -= 1;
+                return Err(ServiceError::DeadlineExceeded { waited: Duration::ZERO });
+            }
+            if state.running < self.max_concurrency {
+                state.queued -= 1;
+                state.running += 1;
+                return Ok(Permit { gate: self });
+            }
+            // Sleep until a release notifies us — but never longer than
+            // the poll slice (so cancellation is noticed) or the
+            // token's own remaining time.
+            let slice = token.remaining().map_or(QUEUE_POLL, |r| r.min(QUEUE_POLL));
+            self.available.wait_for(&mut state, slice.max(Duration::from_millis(1)));
+        }
+    }
+}
+
+/// RAII admission permit: releasing it (drop) wakes one queued waiter.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut state = self.gate.state.lock();
+        state.running -= 1;
+        drop(state);
+        self.gate.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn admits_up_to_cap_then_sheds_past_queue_depth() {
+        let gate = AdmissionGate::new(2, 0);
+        let token = CancelToken::new();
+        let a = gate.admit(&token).unwrap();
+        let _b = gate.admit(&token).unwrap();
+        assert_eq!(gate.running(), 2);
+        // Queue depth 0: the third request is shed immediately.
+        let err = gate.admit(&token).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServiceError::Overloaded {
+                    reason: OverloadReason::QueueFull { queue_depth: 0, .. }
+                }
+            ),
+            "got {err:?}"
+        );
+        drop(a);
+        let _c = gate.admit(&token).unwrap();
+    }
+
+    #[test]
+    fn queued_request_runs_when_permit_releases() {
+        let gate = Arc::new(AdmissionGate::new(1, 4));
+        let token = CancelToken::new();
+        let first = gate.admit(&token).unwrap();
+        let admitted = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let admitted = Arc::clone(&admitted);
+                std::thread::spawn(move || {
+                    let permit = gate.admit(&CancelToken::new()).unwrap();
+                    admitted.fetch_add(1, Ordering::Relaxed);
+                    drop(permit);
+                })
+            })
+            .collect();
+        // Waiters stay parked while the permit is held.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(admitted.load(Ordering::Relaxed), 0);
+        drop(first);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(admitted.load(Ordering::Relaxed), 3);
+        assert_eq!(gate.running(), 0);
+        assert_eq!(gate.queued(), 0);
+    }
+
+    #[test]
+    fn cancelled_waiter_leaves_the_queue() {
+        let gate = Arc::new(AdmissionGate::new(1, 4));
+        let blocker = gate.admit(&CancelToken::new()).unwrap();
+        let token = CancelToken::new();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            let token = token.clone();
+            std::thread::spawn(move || gate.admit(&token).map(|_| ()))
+        };
+        std::thread::sleep(Duration::from_millis(15));
+        assert_eq!(gate.queued(), 1);
+        token.cancel();
+        assert_eq!(waiter.join().unwrap(), Err(ServiceError::Cancelled));
+        assert_eq!(gate.queued(), 0);
+        drop(blocker);
+    }
+
+    #[test]
+    fn queued_deadline_expires_into_typed_error() {
+        let gate = AdmissionGate::new(1, 4);
+        let blocker = gate.admit(&CancelToken::new()).unwrap();
+        let token = CancelToken::with_timeout(Duration::from_millis(20));
+        let start = Instant::now();
+        let err = gate.admit(&token).unwrap_err();
+        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }), "got {err:?}");
+        assert!(start.elapsed() >= Duration::from_millis(15));
+        assert_eq!(gate.queued(), 0);
+        drop(blocker);
+        // The gate still works.
+        let _p = gate.admit(&CancelToken::new()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_concurrency must be nonzero")]
+    fn zero_concurrency_is_rejected() {
+        AdmissionGate::new(0, 4);
+    }
+}

@@ -1,0 +1,248 @@
+#![warn(missing_docs)]
+
+//! Clustering-as-a-service over a shared simulated device.
+//!
+//! The workspace's robustness stack so far (fault injection,
+//! `run_resilient`, checkpoints, the chaos matrix) assumes one run
+//! owning the whole device. Production DBSCAN traffic is the opposite:
+//! many concurrent small/medium requests sharing one accelerator. This
+//! crate is the front-end that makes that sharing safe:
+//!
+//! * **Admission control** ([`AdmissionGate`]) — a concurrency cap with
+//!   a bounded wait queue; past both bounds the service sheds load with
+//!   a typed [`ServiceError::Overloaded`] instead of letting requests
+//!   OOM or stall each other mid-run. At permit-grant time a memory
+//!   preflight checks the request's cheapest parallel footprint against
+//!   the budget headroom plus trimmable arena scratch.
+//! * **Deadlines and cancellation** — each request runs on a
+//!   [`fdbscan_device::CancelToken`]-scoped clone of the shared device;
+//!   the launch loop observes the token between kernel launches (and
+//!   batched stages), so a timed-out or client-cancelled request
+//!   releases its arena buffers at the next launch boundary and leaves
+//!   the worker pool usable for its neighbors.
+//! * **Per-request fault isolation** — a request that hits a (possibly
+//!   injected) kernel panic, stall, or OOM degrades via its own
+//!   [`fdbscan::run_resilient`] ladder with its own retry budget, and
+//!   its attempt count lands in its [`fdbscan::RunStats::attempts`];
+//!   neighboring requests never see the fault.
+//!
+//! ```
+//! use fdbscan::Params;
+//! use fdbscan_device::{Device, DeviceConfig};
+//! use fdbscan_geom::Point2;
+//! use fdbscan_service::{ClusterRequest, ClusterService, ServiceConfig};
+//!
+//! let device = Device::new(DeviceConfig::default().with_workers(2));
+//! let service = ClusterService::new(device, ServiceConfig::default());
+//! let points = vec![Point2::new([0.0, 0.0]); 200];
+//! let response =
+//!     service.execute(ClusterRequest::new(points, Params::new(0.5, 4))).unwrap();
+//! assert_eq!(response.clustering.num_clusters, 1);
+//! assert_eq!(response.stats.attempts, 1);
+//! ```
+
+pub mod admission;
+pub mod error;
+pub mod service;
+
+pub use admission::{AdmissionGate, Permit};
+pub use error::{OverloadReason, ServiceError};
+pub use service::{
+    ClusterRequest, ClusterResponse, ClusterService, RequestHandle, ServiceConfig, ServiceStats,
+    ServiceStatsSnapshot,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use fdbscan::{LadderLevel, Params, ResiliencePolicy};
+    use fdbscan_device::{CancelToken, Device, DeviceConfig, FaultPlan};
+    use fdbscan_geom::Point2;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, extent: f32, seed: u64) -> Vec<Point2> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point2::new([rng.gen_range(0.0..extent), rng.gen_range(0.0..extent)]))
+            .collect()
+    }
+
+    fn service(device: Device) -> ClusterService {
+        ClusterService::new(device, ServiceConfig::default())
+    }
+
+    #[test]
+    fn healthy_request_completes_with_one_attempt() {
+        let service = service(Device::new(DeviceConfig::default().with_workers(2)));
+        let points = random_points(300, 5.0, 1);
+        let response = service.execute(ClusterRequest::new(points, Params::new(0.3, 4))).unwrap();
+        assert_eq!(response.stats.attempts, 1);
+        assert!(!response.report.degraded());
+        assert!(response.total >= response.queue_wait);
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.admitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.finished(), 1);
+    }
+
+    #[test]
+    fn invalid_input_is_rejected_before_admission() {
+        let service = service(Device::new(DeviceConfig::default().with_workers(2)));
+        let mut points = random_points(50, 5.0, 2);
+        points[17] = Point2::new([f32::NAN, 0.0]);
+        let err = service.execute(ClusterRequest::new(points, Params::new(0.3, 4))).unwrap_err();
+        match err {
+            ServiceError::InvalidInput(bad) => {
+                assert_eq!((bad.index, bad.axis), (17, 0));
+                assert!(bad.value.is_nan());
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.rejected_invalid, 1);
+        assert_eq!(stats.admitted, 0, "invalid input must not consume a permit");
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_and_leaks_nothing() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let service = service(device);
+        let points = random_points(500, 5.0, 3);
+        let request =
+            ClusterRequest::new(points, Params::new(0.3, 4)).with_deadline(Duration::ZERO);
+        let err = service.execute(request).unwrap_err();
+        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }), "got {err:?}");
+        assert_eq!(service.stats().deadline_exceeded, 1);
+        assert_eq!(
+            service.device().memory().in_use(),
+            service.device().arena().held_bytes(),
+            "an out-of-time request leaked reservations"
+        );
+    }
+
+    #[test]
+    fn cancelled_submit_reports_cancelled() {
+        let service = service(Device::new(DeviceConfig::default().with_workers(2)));
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the worker even starts
+        let request =
+            ClusterRequest::new(random_points(500, 5.0, 4), Params::new(0.3, 4)).with_cancel(token);
+        let handle = service.submit(request);
+        assert_eq!(handle.wait().unwrap_err(), ServiceError::Cancelled);
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn handle_cancel_reaches_the_worker() {
+        // A pile of work on a tiny pool; cancel mid-flight. Whether the
+        // worker observes the cancel before, during, or after its run
+        // is a race — but the outcome must be either a clean result or
+        // a typed Cancelled, never a hang or a leak.
+        let service = service(Device::new(DeviceConfig::default().with_workers(1)));
+        let handle =
+            service.submit(ClusterRequest::new(random_points(4000, 2.0, 5), Params::new(0.1, 4)));
+        handle.cancel();
+        match handle.wait() {
+            Ok(_) | Err(ServiceError::Cancelled) => {}
+            Err(other) => panic!("expected success or Cancelled, got {other:?}"),
+        }
+        assert_eq!(service.device().memory().in_use(), service.device().arena().held_bytes());
+    }
+
+    #[test]
+    fn queue_overflow_sheds_with_typed_overload() {
+        // One slot, zero queue: while a slow request holds the permit,
+        // a second request must be shed, not blocked.
+        let device = Device::new(DeviceConfig::default().with_workers(1));
+        let service =
+            ClusterService::new(device, ServiceConfig { max_concurrency: 1, queue_depth: 0 });
+        let slow =
+            service.submit(ClusterRequest::new(random_points(4000, 2.0, 6), Params::new(0.1, 4)));
+        // Wait until the slow request actually holds the permit.
+        while service.gate().running() == 0 {
+            std::thread::yield_now();
+        }
+        let err = service
+            .execute(ClusterRequest::new(random_points(50, 5.0, 7), Params::new(0.3, 4)))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Overloaded { reason: OverloadReason::QueueFull { .. } }),
+            "got {err:?}"
+        );
+        assert_eq!(service.stats().shed_overload, 1);
+        slow.wait().unwrap();
+    }
+
+    #[test]
+    fn memory_pressure_sheds_instead_of_running() {
+        // Budget far below even FDBSCAN's linear footprint for the
+        // request size: the preflight sheds at admission.
+        let device = Device::new(DeviceConfig::default().with_workers(1).with_memory_budget(1024));
+        let service = service(device);
+        let err = service
+            .execute(ClusterRequest::new(random_points(10_000, 5.0, 8), Params::new(0.1, 4)))
+            .unwrap_err();
+        match err {
+            ServiceError::Overloaded {
+                reason: OverloadReason::MemoryPressure { estimated_bytes, available_bytes },
+            } => {
+                assert!(estimated_bytes > available_bytes);
+            }
+            other => panic!("expected MemoryPressure, got {other:?}"),
+        }
+        assert_eq!(service.stats().shed_overload, 1);
+        // The permit was released on the shed path.
+        assert_eq!(service.gate().running(), 0);
+    }
+
+    #[test]
+    fn injected_fault_degrades_one_request_alone() {
+        // Persistent OOM above a threshold: the faulty request degrades
+        // down its ladder (isolated), while its own stats record the
+        // attempts. The device stays clean for the next request.
+        let plan = FaultPlan::new(21).with_oom_above_bytes(1);
+        let device = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let service = service(device);
+        let points = random_points(200, 3.0, 9);
+        let policy = ResiliencePolicy { preflight: false, ..Default::default() };
+        let response = service
+            .execute(ClusterRequest::new(points, Params::new(0.4, 3)).with_policy(policy))
+            .unwrap();
+        assert_eq!(response.report.completed, Some(LadderLevel::Sequential));
+        assert!(response.report.degraded());
+        assert!(response.stats.attempts > 1);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(service.device().memory().in_use(), 0);
+    }
+
+    #[test]
+    fn concurrent_requests_share_the_device_cleanly() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let service =
+            ClusterService::new(device, ServiceConfig { max_concurrency: 4, queue_depth: 16 });
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                service.submit(ClusterRequest::new(
+                    random_points(400, 5.0, 100 + i),
+                    Params::new(0.3, 4),
+                ))
+            })
+            .collect();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.finished(), 8);
+        assert_eq!(service.gate().running(), 0);
+        assert_eq!(service.gate().queued(), 0);
+        assert_eq!(service.device().memory().in_use(), service.device().arena().held_bytes());
+        service.device().arena().trim();
+        assert_eq!(service.device().memory().in_use(), 0, "leaked reservations");
+    }
+}

@@ -118,3 +118,68 @@ fn baseline_covers_the_current_matrix() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Service gate: BENCH_service.json. Wall-clock values are machine-
+// dependent, so the gate guards structure (every request completes,
+// nothing sheds or fails on a healthy device, the baseline covers the
+// matrix) plus generous absolute floors that catch serialization bugs
+// and hangs rather than hardware variance.
+// ---------------------------------------------------------------------------
+
+use fdbscan_bench::service_bench::{
+    collect_service, service_matrix, ServiceBaseline, MIN_THROUGHPUT_RPS, P95_TARGET_MS,
+};
+
+fn service_baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_service.json")
+}
+
+const SERVICE_REGEN: &str =
+    "regenerate with: cargo run --release -p fdbscan-bench --bin service -- BENCH_service.json";
+
+#[test]
+fn service_baseline_covers_the_matrix_and_is_clean() {
+    let path = service_baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing baseline {}: {e}\n{SERVICE_REGEN}", path.display()));
+    let baseline = ServiceBaseline::parse(&text)
+        .unwrap_or_else(|e| panic!("unreadable baseline {}: {e}\n{SERVICE_REGEN}", path.display()));
+    let matrix = service_matrix();
+    for case in &matrix {
+        let &(_, requests, completed, shed, failed, met) = baseline
+            .case(case.id)
+            .unwrap_or_else(|| panic!("baseline missing case {}; {SERVICE_REGEN}", case.id));
+        assert_eq!(requests, case.requests as u64, "{}: request count drifted", case.id);
+        assert_eq!(completed, requests, "{}: baseline recorded incomplete requests", case.id);
+        assert_eq!(shed, 0, "{}: baseline recorded shed requests on a clean workload", case.id);
+        assert_eq!(failed, 0, "{}: baseline recorded failed requests", case.id);
+        assert!(met, "{}: baseline missed the p95 target; {SERVICE_REGEN}", case.id);
+    }
+    assert_eq!(
+        baseline.cases.len(),
+        matrix.len(),
+        "baseline carries cases the matrix no longer runs; {SERVICE_REGEN}"
+    );
+}
+
+#[test]
+fn service_throughput_holds_generous_floors() {
+    for record in collect_service().records {
+        let id = record.case.id;
+        assert_eq!(record.completed, record.case.requests as u64, "{id}: requests went missing");
+        assert_eq!(record.shed, 0, "{id}: healthy workload was shed");
+        assert_eq!(record.failed, 0, "{id}: healthy workload failed");
+        assert!(
+            record.p95_ms <= P95_TARGET_MS,
+            "{id}: p95 latency {:.1} ms blew the {P95_TARGET_MS:.0} ms target",
+            record.p95_ms
+        );
+        assert!(
+            record.throughput_rps >= MIN_THROUGHPUT_RPS,
+            "{id}: throughput {:.1} req/s under the {MIN_THROUGHPUT_RPS} req/s floor \
+             — requests serialized or hung",
+            record.throughput_rps
+        );
+    }
+}

@@ -259,3 +259,97 @@ fn watchdog_timeout_is_recoverable() {
     let (got, _) = fdbscan(&device, &points, params).unwrap();
     assert_core_equivalent(&oracle, &got);
 }
+
+// ---------------------------------------------------------------------------
+// Watchdog edge cases: a deadline that is already due when the launch
+// enters the pool, and a deadline that expires between batched stages.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_watchdog_deadline_times_out_before_any_block_runs() {
+    // The watchdog deadline is armed at launch entry; Duration::ZERO
+    // means it is already due at the first block pull, so the launch
+    // must report KernelTimeout having executed zero blocks.
+    let device = Device::new(
+        DeviceConfig::default()
+            .with_workers(2)
+            .with_block_size(8)
+            .with_kernel_timeout(Duration::ZERO),
+    );
+    let executed = AtomicU64::new(0);
+    let err = device
+        .try_launch(64, |_| {
+            executed.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap_err();
+    assert!(matches!(err, DeviceError::KernelTimeout { launch: 0, .. }), "got {err:?}");
+    assert_eq!(executed.load(Ordering::Relaxed), 0, "an already-due deadline ran blocks");
+    assert_eq!(device.counters().snapshot().failed_launches, 1);
+    assert_eq!(device.memory().in_use(), 0);
+}
+
+#[test]
+fn zero_watchdog_deadline_fails_a_batch_in_its_first_stage() {
+    let device =
+        Device::new(DeviceConfig::default().with_workers(2).with_kernel_timeout(Duration::ZERO));
+    let stage_two_ran = AtomicU64::new(0);
+    let err = device
+        .try_batch_named(
+            "edge.zero-deadline",
+            vec![
+                fdbscan_device::BatchStage::new("first", 32, |_| {}),
+                fdbscan_device::BatchStage::new("second", 32, |_| {
+                    stage_two_ran.fetch_add(1, Ordering::Relaxed);
+                }),
+            ],
+        )
+        .unwrap_err();
+    assert!(matches!(err, DeviceError::KernelTimeout { .. }), "got {err:?}");
+    assert_eq!(stage_two_ran.load(Ordering::Relaxed), 0, "stage 2 ran after stage 1 timed out");
+    // Exactly one stage was attempted; the batch is one launch, one failure.
+    let snap = device.counters().snapshot();
+    assert_eq!(snap.batched_stages, 1);
+    assert_eq!(snap.failed_launches, 1);
+    assert_eq!(snap.kernel_launches, 1);
+}
+
+#[test]
+fn stall_past_watchdog_between_batched_stages_skips_the_rest() {
+    // Stage 1 stalls 100 ms against a 15 ms watchdog. The batch shares
+    // one deadline across stages, so the timeout surfaces from stage 1
+    // and stage 2 must never start.
+    let plan = FaultPlan::new(9).with_worker_stall(0, 0, 100);
+    let device = Device::new(
+        DeviceConfig::default()
+            .with_workers(2)
+            .with_fault_plan(plan)
+            .with_kernel_timeout(Duration::from_millis(15)),
+    );
+    let stage_two_ran = AtomicU64::new(0);
+    let err = device
+        .try_batch_named(
+            "edge.stalled-stage",
+            vec![
+                fdbscan_device::BatchStage::new("stall", 64, |_| {}),
+                fdbscan_device::BatchStage::new("after", 64, |_| {
+                    stage_two_ran.fetch_add(1, Ordering::Relaxed);
+                }),
+            ],
+        )
+        .unwrap_err();
+    assert!(matches!(err, DeviceError::KernelTimeout { launch: 0, .. }), "got {err:?}");
+    assert_eq!(stage_two_ran.load(Ordering::Relaxed), 0, "stage after the stall still ran");
+    let snap = device.counters().snapshot();
+    assert_eq!(snap.injected_stalls, 1);
+    assert_eq!(snap.batched_stages, 1);
+    // The stall ordinal fired once; the device remains usable without it.
+    device
+        .try_batch_named(
+            "edge.retry",
+            vec![fdbscan_device::BatchStage::new("after", 64, |_| {
+                stage_two_ran.fetch_add(1, Ordering::Relaxed);
+            })],
+        )
+        .unwrap();
+    assert_eq!(stage_two_ran.load(Ordering::Relaxed), 64);
+}
