@@ -1,0 +1,35 @@
+//! CI checker for Prometheus text expositions.
+//!
+//! Reads the file named by the first argument, runs the strict
+//! exposition validator ([`fdbscan_device::metrics::validate_exposition`]:
+//! one TYPE per family before its samples, unique samples, finite
+//! non-negative counters, cumulative histogram buckets ending in a
+//! `+Inf` bucket that matches `_count`), and exits nonzero with the
+//! parse error on any violation. The `metrics-smoke` CI job points this
+//! at the dump the service bench writes under `FDBSCAN_METRICS_DUMP`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: check_metrics <exposition.prom>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("check_metrics: cannot read {path}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    match fdbscan_device::metrics::validate_exposition(&text) {
+        Ok(stats) => {
+            println!("{path}: OK — {} metric families, {} samples", stats.families, stats.samples);
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{path}: INVALID exposition: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

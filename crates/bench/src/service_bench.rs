@@ -30,8 +30,10 @@ use fdbscan_device::json::Json;
 use fdbscan_device::{Device, DeviceConfig};
 use fdbscan_service::{ClusterRequest, ClusterService, ServiceConfig};
 
-/// Schema tag of the document [`ServiceReport::write`] produces.
-pub const SERVICE_SCHEMA: &str = "fdbscan.bench_service.v1";
+/// Schema tag of the document [`ServiceReport::write`] produces. v2
+/// added `histogram_percentiles_ms` (p50/p95/p99 interpolated from the
+/// service's e2e latency histogram) per case.
+pub const SERVICE_SCHEMA: &str = "fdbscan.bench_service.v2";
 
 /// Dataset seed shared by every case.
 pub const SERVICE_SEED: u64 = 7;
@@ -101,6 +103,12 @@ pub struct ServiceRecord {
     pub failed: u64,
     /// Whether the measured p95 met [`P95_TARGET_MS`].
     pub met_p95_target: bool,
+    /// p50/p95/p99 end-to-end latency in milliseconds, interpolated
+    /// from the service's log2 e2e histogram (the telemetry path) —
+    /// deliberately a second opinion next to the exact nearest-rank
+    /// percentiles above, so the gate can check the two agree in order
+    /// of magnitude.
+    pub histogram_percentiles_ms: [f64; 3],
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -127,7 +135,10 @@ pub fn run_case(case: &ServiceCase) -> ServiceRecord {
     let device = Device::new(DeviceConfig::default().with_workers(case.workers));
     let service = ClusterService::new(
         device,
-        ServiceConfig { max_concurrency: case.max_concurrency, queue_depth: case.queue_depth },
+        ServiceConfig::default()
+            .with_max_concurrency(case.max_concurrency)
+            .with_queue_depth(case.queue_depth)
+            .with_metrics(true),
     );
 
     let started = Instant::now();
@@ -147,6 +158,10 @@ pub fn run_case(case: &ServiceCase) -> ServiceRecord {
     let stats = service.stats();
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let p95_ms = percentile(&latencies_ms, 95.0);
+    // The telemetry path's view of the same wave: interpolated
+    // quantiles from the e2e log2 histogram.
+    let e2e = service.metrics().e2e_latency();
+    let histogram_percentiles_ms = [0.50, 0.95, 0.99].map(|q| e2e.quantile(q) as f64 / 1e6);
     ServiceRecord {
         case: case.clone(),
         throughput_rps: stats.completed as f64 / wall.as_secs_f64().max(1e-9),
@@ -155,9 +170,10 @@ pub fn run_case(case: &ServiceCase) -> ServiceRecord {
         max_ms: latencies_ms.last().copied().unwrap_or(0.0),
         mean_queue_wait_ms: queue_wait.as_secs_f64() * 1e3 / case.requests.max(1) as f64,
         completed: stats.completed,
-        shed: stats.shed_overload,
+        shed: stats.shed(),
         failed: stats.deadline_exceeded + stats.cancelled + stats.rejected_invalid + stats.failed,
         met_p95_target: p95_ms <= P95_TARGET_MS,
+        histogram_percentiles_ms,
     }
 }
 
@@ -191,6 +207,14 @@ impl ServiceRecord {
                     ("mean_queue_wait", Json::F64(self.mean_queue_wait_ms)),
                 ]),
             ),
+            (
+                "histogram_percentiles_ms",
+                Json::obj([
+                    ("p50", Json::F64(self.histogram_percentiles_ms[0])),
+                    ("p95", Json::F64(self.histogram_percentiles_ms[1])),
+                    ("p99", Json::F64(self.histogram_percentiles_ms[2])),
+                ]),
+            ),
             ("completed", Json::U64(self.completed)),
             ("shed", Json::U64(self.shed)),
             ("failed", Json::U64(self.failed)),
@@ -219,8 +243,27 @@ impl ServiceReport {
 /// A parsed `BENCH_service.json` baseline.
 #[derive(Clone, Debug)]
 pub struct ServiceBaseline {
-    /// Per case: `(id, requests, completed, shed, failed, met_p95_target)`.
-    pub cases: Vec<(String, u64, u64, u64, u64, bool)>,
+    /// Per-case structural facts, in document order.
+    pub cases: Vec<BaselineCase>,
+}
+
+/// One case of a parsed baseline document.
+#[derive(Clone, Debug)]
+pub struct BaselineCase {
+    /// The case id (`service/<name>`).
+    pub id: String,
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed.
+    pub shed: u64,
+    /// Requests failed.
+    pub failed: u64,
+    /// Whether the exact p95 met the target.
+    pub met_p95_target: bool,
+    /// Histogram-interpolated `[p50, p95, p99]` e2e latency (ms).
+    pub histogram_percentiles_ms: [f64; 3],
 }
 
 impl ServiceBaseline {
@@ -241,22 +284,30 @@ impl ServiceBaseline {
                     .map(|v| v as u64)
                     .ok_or_else(|| format!("case {id} missing '{key}'"))
             };
-            let met = matches!(case.get("met_p95_target"), Some(Json::Bool(true)));
-            cases.push((
-                id.clone(),
-                num("requests")?,
-                num("completed")?,
-                num("shed")?,
-                num("failed")?,
-                met,
-            ));
+            let hist = case
+                .get("histogram_percentiles_ms")
+                .ok_or_else(|| format!("case {id} missing 'histogram_percentiles_ms'"))?;
+            let pct = |key: &str| {
+                hist.get(key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("case {id} missing histogram percentile '{key}'"))
+            };
+            cases.push(BaselineCase {
+                requests: num("requests")?,
+                completed: num("completed")?,
+                shed: num("shed")?,
+                failed: num("failed")?,
+                met_p95_target: matches!(case.get("met_p95_target"), Some(Json::Bool(true))),
+                histogram_percentiles_ms: [pct("p50")?, pct("p95")?, pct("p99")?],
+                id,
+            });
         }
         Ok(Self { cases })
     }
 
     /// One case by id, if present.
-    pub fn case(&self, id: &str) -> Option<&(String, u64, u64, u64, u64, bool)> {
-        self.cases.iter().find(|(cid, ..)| cid == id)
+    pub fn case(&self, id: &str) -> Option<&BaselineCase> {
+        self.cases.iter().find(|case| case.id == id)
     }
 }
 
@@ -304,12 +355,16 @@ mod tests {
             shed: 0,
             failed: 0,
             met_p95_target: true,
+            histogram_percentiles_ms: [1.1, 2.2, 3.3],
         };
         let report = ServiceReport { records: vec![record] };
         let baseline = ServiceBaseline::parse(&report.to_json().to_pretty(2)).unwrap();
-        let &(_, requests, completed, shed, failed, met) =
-            baseline.case(id).expect("case survives the round trip");
-        assert_eq!((requests, completed, shed, failed, met), (24, 24, 0, 0, true));
+        let parsed = baseline.case(id).expect("case survives the round trip");
+        assert_eq!(
+            (parsed.requests, parsed.completed, parsed.shed, parsed.failed, parsed.met_p95_target),
+            (24, 24, 0, 0, true)
+        );
+        assert_eq!(parsed.histogram_percentiles_ms, [1.1, 2.2, 3.3]);
     }
 
     #[test]

@@ -410,6 +410,7 @@ fn cuda_dclust_core<const D: usize>(
         peak_memory_bytes: device.memory().peak(),
         dense: None,
         attempts: 0,
+        request_id: None,
     };
     Ok((clustering, stats))
 }

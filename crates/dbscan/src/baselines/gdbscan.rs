@@ -319,6 +319,7 @@ fn gdbscan_core<const D: usize>(
         peak_memory_bytes: device.memory().peak(),
         dense: None,
         attempts: 0,
+        request_id: None,
     };
     Ok((clustering, stats))
 }

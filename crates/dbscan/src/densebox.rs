@@ -271,6 +271,7 @@ fn densebox_core<const D: usize>(
             dense_fraction: grid.dense_fraction(),
         }),
         attempts: 0,
+        request_id: None,
     };
     Ok((clustering, stats))
 }

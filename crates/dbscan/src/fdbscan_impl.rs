@@ -303,6 +303,7 @@ fn fdbscan_core<const D: usize>(
         peak_memory_bytes: device.memory().peak(),
         dense: None,
         attempts: 0,
+        request_id: None,
     };
     Ok((clustering, stats))
 }

@@ -199,6 +199,7 @@ fn on_index_core<const D: usize, I: SpatialIndex<D>>(
         peak_memory_bytes: device.memory().peak(),
         dense: None,
         attempts: 0,
+        request_id: None,
     };
     Ok((clustering, stats))
 }

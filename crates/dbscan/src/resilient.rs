@@ -322,6 +322,7 @@ pub fn run_resilient<const D: usize>(
                     report.attempts.push(Attempt { level: l, outcome: AttemptOutcome::Succeeded });
                     report.completed = Some(l);
                     stats.attempts = report.runs();
+                    stats.request_id = device.cancel_token().and_then(|t| t.request_id());
                     return Ok((clustering, stats, report));
                 }
                 Err(err) => {

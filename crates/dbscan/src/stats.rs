@@ -67,6 +67,10 @@ pub struct RunStats {
     /// transient fault was retried or the ladder stepped down a rung).
     /// 0 when the run did not go through the resilient ladder.
     pub attempts: usize,
+    /// Service-assigned request id carried on the device's
+    /// [`fdbscan_device::CancelToken`], when the run was executed on
+    /// behalf of a service request. `None` for standalone runs.
+    pub request_id: Option<u64>,
 }
 
 impl RunStats {

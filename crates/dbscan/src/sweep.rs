@@ -170,6 +170,7 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
                 peak_memory_bytes: self.device.memory().peak(),
                 dense: None,
                 attempts: 0,
+                request_id: None,
             },
         ))
     }

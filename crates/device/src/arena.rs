@@ -183,6 +183,27 @@ impl BufferArena {
     pub fn recycled_takes(&self) -> u64 {
         self.inner.recycled_takes.load(Ordering::Relaxed)
     }
+
+    /// One coherent sample of the arena's telemetry values.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            held_bytes: self.held_bytes(),
+            fresh_takes: self.fresh_takes(),
+            recycled_takes: self.recycled_takes(),
+        }
+    }
+}
+
+/// Point-in-time copy of the arena's gauge/counter values (see
+/// [`BufferArena::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Reservation-backed bytes parked in free lists right now.
+    pub held_bytes: usize,
+    /// Checkouts served by a fresh allocation, since construction.
+    pub fresh_takes: u64,
+    /// Checkouts served from a free list, since construction.
+    pub recycled_takes: u64,
 }
 
 impl std::fmt::Debug for BufferArena {

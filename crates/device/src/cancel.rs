@@ -44,6 +44,7 @@ pub enum CancelCause {
 pub struct CancelToken {
     cancelled: Arc<AtomicBool>,
     deadline: Option<Instant>,
+    request_id: Option<u64>,
 }
 
 impl Default for CancelToken {
@@ -55,12 +56,16 @@ impl Default for CancelToken {
 impl CancelToken {
     /// A token with no deadline; fires only via [`CancelToken::cancel`].
     pub fn new() -> Self {
-        Self { cancelled: Arc::new(AtomicBool::new(false)), deadline: None }
+        Self { cancelled: Arc::new(AtomicBool::new(false)), deadline: None, request_id: None }
     }
 
     /// A token that additionally fires once `deadline` passes.
     pub fn with_deadline(deadline: Instant) -> Self {
-        Self { cancelled: Arc::new(AtomicBool::new(false)), deadline: Some(deadline) }
+        Self {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+            request_id: None,
+        }
     }
 
     /// A token whose deadline is `timeout` from now.
@@ -75,7 +80,22 @@ impl CancelToken {
         Self {
             cancelled: Arc::clone(&self.cancelled),
             deadline: Some(self.deadline.map_or(deadline, |d| d.min(deadline))),
+            request_id: self.request_id,
         }
+    }
+
+    /// Tags this handle with a service-assigned request id. Like the
+    /// deadline, the id is per-handle (clones keep the id they were
+    /// built from); it rides the token through the device so telemetry
+    /// can correlate spans and run stats back to the request.
+    pub fn with_request_id(mut self, request_id: u64) -> Self {
+        self.request_id = Some(request_id);
+        self
+    }
+
+    /// The request id this handle was tagged with, if any.
+    pub fn request_id(&self) -> Option<u64> {
+        self.request_id
     }
 
     /// Requests cancellation. Idempotent; visible to every clone.
@@ -161,6 +181,16 @@ mod tests {
         let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
         token.cancel();
         assert_eq!(token.fired(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn request_id_rides_clones_and_capped_children() {
+        let token = CancelToken::new().with_request_id(42);
+        assert_eq!(token.request_id(), Some(42));
+        assert_eq!(token.clone().request_id(), Some(42));
+        let capped = token.with_deadline_capped(Instant::now() + Duration::from_secs(1));
+        assert_eq!(capped.request_id(), Some(42));
+        assert_eq!(CancelToken::new().request_id(), None);
     }
 
     #[test]

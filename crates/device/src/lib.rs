@@ -55,21 +55,24 @@ pub mod counters;
 pub mod fault;
 pub mod json;
 pub mod memory;
+pub mod metrics;
 pub mod pool;
 pub mod shared;
 pub mod snapshot;
 pub mod trace;
 
-pub use arena::{ArenaBuf, BufferArena};
+pub use arena::{ArenaBuf, ArenaStats, BufferArena};
 pub use cancel::{CancelCause, CancelToken};
 pub use counters::{Counters, CountersSnapshot};
 pub use fault::{FaultPlan, FaultSite};
 pub use memory::{DeviceError, MemoryReservation, MemoryTracker};
+pub use metrics::{Counter, ExpositionStats, Gauge, MetricHistogram, MetricUnit, MetricsRegistry};
 pub use pool::{LaunchProfile, WorkerPool};
 pub use shared::SharedMut;
 pub use snapshot::{Checkpointable, PipelineCheckpoint, RunManifest, SnapshotError};
 pub use trace::{
-    Histogram, HistogramSummary, KernelMeta, PhaseSpan, SpanKind, SpanRecord, TraceFormat, Tracer,
+    Histogram, HistogramSnapshot, HistogramSummary, KernelMeta, PhaseSpan, SpanKind, SpanRecord,
+    TraceFormat, Tracer,
 };
 
 use std::ops::Range;
@@ -375,6 +378,12 @@ impl Device {
     /// is the ordinal space [`FaultPlan`] launch faults are addressed in.
     pub fn launches_started(&self) -> u64 {
         self.launch_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Number of launches currently executing on the worker pool —
+    /// an occupancy gauge for telemetry scrapes.
+    pub fn active_launches(&self) -> usize {
+        self.pool.active_launches()
     }
 
     /// Core fallible launch: assigns the launch ordinal, arms the

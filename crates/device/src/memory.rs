@@ -187,6 +187,14 @@ impl MemoryTracker {
         self.state.in_use.load(Ordering::Relaxed)
     }
 
+    /// Budget bytes not currently reserved (`None` without a budget —
+    /// headroom is unbounded). The admission preflight and the telemetry
+    /// gauges both read this; note it excludes trimmable arena scratch,
+    /// which callers add back themselves.
+    pub fn headroom(&self) -> Option<usize> {
+        self.budget.map(|budget| budget.saturating_sub(self.in_use()))
+    }
+
     /// High-water mark of reserved bytes since construction (or the last
     /// [`MemoryTracker::reset_peak`]).
     pub fn peak(&self) -> usize {

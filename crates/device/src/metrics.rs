@@ -1,0 +1,930 @@
+//! Lock-light metrics: counters, gauges, histograms, Prometheus text.
+//!
+//! The service front-end needs production telemetry — request rates by
+//! outcome, latency distributions, device occupancy — without taxing
+//! the kernel hot path. This registry follows the same discipline as
+//! [`crate::trace::Tracer`]:
+//!
+//! * **One-atomic-load disabled path.** Every instrument handle
+//!   ([`Counter`], [`Gauge`], [`MetricHistogram`]) shares the registry's
+//!   enabled flag; a disabled `inc()`/`set()`/`observe()` is exactly one
+//!   relaxed atomic load and a branch.
+//! * **Lock-free recording.** Enabled updates are relaxed atomic RMWs.
+//!   Histograms reuse the 64-bucket log2 scheme of
+//!   [`crate::trace::Histogram`], so recording is four relaxed RMWs and
+//!   quantiles come from [`crate::trace::HistogramSnapshot`]'s
+//!   log-linear interpolation.
+//! * **Cold registration.** Creating or looking up an instrument takes
+//!   the registry mutex — done once per instrument at service
+//!   construction (or once per label value, e.g. per tenant), never per
+//!   request-hot operation.
+//!
+//! # Exposition
+//!
+//! [`MetricsRegistry::render_prometheus`] writes the Prometheus text
+//! format (`# HELP`/`# TYPE` lines, cumulative `_bucket{le="…"}`
+//! histogram series) by hand, like [`crate::json`] — no serialization
+//! dependency. [`validate_exposition`] is the matching strict checker
+//! CI runs against rendered output. [`MetricsRegistry::to_json`]
+//! produces a JSON snapshot (with interpolated p50/p95/p99 per
+//! histogram) for bench reports.
+//!
+//! Setting `FDBSCAN_METRICS_DUMP=<path>` enables a service's registry
+//! and makes it write the final exposition there at teardown (see
+//! [`dump_path`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::json::Json;
+use crate::trace::{Histogram, HistogramSnapshot};
+
+/// Environment variable naming the end-of-process metrics dump file.
+/// When set (non-empty), service registries start enabled and write
+/// their final Prometheus exposition to the named path on teardown.
+pub const METRICS_DUMP_ENV: &str = "FDBSCAN_METRICS_DUMP";
+
+/// The dump file configured in the environment, if any.
+pub fn dump_path() -> Option<std::path::PathBuf> {
+    match std::env::var_os(METRICS_DUMP_ENV) {
+        Some(path) if !path.is_empty() => Some(std::path::PathBuf::from(path)),
+        _ => None,
+    }
+}
+
+/// What a histogram's recorded values measure — drives unit conversion
+/// in the Prometheus exposition (`le`/`_sum` of a `Seconds` histogram
+/// are rendered in seconds although recording is in nanoseconds).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricUnit {
+    /// Durations, recorded in nanoseconds, exposed in seconds.
+    Seconds,
+    /// Byte sizes, exposed raw.
+    Bytes,
+    /// Dimensionless counts, exposed raw.
+    Count,
+}
+
+/// A monotonically increasing counter handle. Cheap to clone; clones
+/// share the underlying value.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds 1. One relaxed load (and nothing else) when disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. One relaxed load (and nothing else) when disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that goes up and down. Cheap to clone.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value. One relaxed load (and nothing else) when disabled.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative). One relaxed load when disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// `add(1)`.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// `add(-1)`.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram handle over the shared log2 bucket scheme. Cheap to
+/// clone.
+#[derive(Clone, Debug)]
+pub struct MetricHistogram {
+    enabled: Arc<AtomicBool>,
+    histogram: Arc<Histogram>,
+    unit: MetricUnit,
+}
+
+impl MetricHistogram {
+    /// Records one value (nanoseconds for [`MetricUnit::Seconds`]
+    /// histograms). One relaxed load (and nothing else) when disabled.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        self.histogram.record(value);
+    }
+
+    /// Records a duration (as nanoseconds, saturating).
+    #[inline]
+    pub fn observe_duration(&self, duration: std::time::Duration) {
+        self.observe(duration.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// The histogram's unit.
+    pub fn unit(&self) -> MetricUnit {
+        self.unit
+    }
+
+    /// Plain-value snapshot (for windowed quantiles).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.histogram.snapshot()
+    }
+
+    /// Interpolated all-time `q`-quantile, in recorded units.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.histogram.quantile_estimate(q)
+    }
+}
+
+/// One registered instrument: a name, optional `(key, value)` label
+/// pair, and the shared value.
+struct Registered {
+    name: String,
+    help: String,
+    label: Option<(String, String)>,
+    kind: Kind,
+}
+
+enum Kind {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(MetricUnit, Arc<Histogram>),
+}
+
+impl Kind {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Kind::Counter(_) => "counter",
+            Kind::Gauge(_) => "gauge",
+            Kind::Histogram(..) => "histogram",
+        }
+    }
+}
+
+/// A registry of named instruments with a shared enabled flag.
+///
+/// Registration is idempotent: asking for the same `(name, label)`
+/// again returns a handle to the same value (and panics on a kind
+/// mismatch — that is a programming error, not a runtime condition).
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    instruments: Mutex<Vec<Registered>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry; `enabled = false` makes every instrument a
+    /// one-atomic-load no-op.
+    pub fn new(enabled: bool) -> Self {
+        Self { enabled: Arc::new(AtomicBool::new(enabled)), instruments: Mutex::new(Vec::new()) }
+    }
+
+    /// A registry enabled iff `FDBSCAN_METRICS_DUMP` names a dump file.
+    pub fn from_env() -> Self {
+        Self::new(dump_path().is_some())
+    }
+
+    /// Whether instruments record (one relaxed load).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables every instrument of this registry at once.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Registers (or finds) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.labeled(
+            name,
+            help,
+            None,
+            || Kind::Counter(Arc::new(AtomicU64::new(0))),
+            |r| match &r.kind {
+                Kind::Counter(v) => {
+                    Counter { enabled: Arc::clone(&self.enabled), value: Arc::clone(v) }
+                }
+                _ => panic!("metric {name} already registered as a {}", r.kind.type_name()),
+            },
+        )
+    }
+
+    /// Registers (or finds) one series of a labeled counter family:
+    /// `name{key="value"}`. Every series of a family must use the same
+    /// label key.
+    pub fn labeled_counter(&self, name: &str, help: &str, key: &str, value: &str) -> Counter {
+        self.labeled(
+            name,
+            help,
+            Some((key, value)),
+            || Kind::Counter(Arc::new(AtomicU64::new(0))),
+            |r| match &r.kind {
+                Kind::Counter(v) => {
+                    Counter { enabled: Arc::clone(&self.enabled), value: Arc::clone(v) }
+                }
+                _ => panic!("metric {name} already registered as a {}", r.kind.type_name()),
+            },
+        )
+    }
+
+    /// Registers (or finds) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.labeled(
+            name,
+            help,
+            None,
+            || Kind::Gauge(Arc::new(AtomicI64::new(0))),
+            |r| match &r.kind {
+                Kind::Gauge(v) => {
+                    Gauge { enabled: Arc::clone(&self.enabled), value: Arc::clone(v) }
+                }
+                _ => panic!("metric {name} already registered as a {}", r.kind.type_name()),
+            },
+        )
+    }
+
+    /// Registers (or finds) a histogram with the given unit.
+    pub fn histogram(&self, name: &str, help: &str, unit: MetricUnit) -> MetricHistogram {
+        let enabled = Arc::clone(&self.enabled);
+        let mut instruments = self.instruments.lock();
+        if let Some(existing) = instruments.iter().find(|r| r.name == name && r.label.is_none()) {
+            match &existing.kind {
+                Kind::Histogram(u, h) => {
+                    assert_eq!(*u, unit, "metric {name} re-registered with a different unit");
+                    return MetricHistogram { enabled, histogram: Arc::clone(h), unit };
+                }
+                other => panic!("metric {name} already registered as a {}", other.type_name()),
+            }
+        }
+        validate_name(name);
+        let histogram = Arc::new(Histogram::default());
+        instruments.push(Registered {
+            name: name.to_string(),
+            help: help.to_string(),
+            label: None,
+            kind: Kind::Histogram(unit, Arc::clone(&histogram)),
+        });
+        MetricHistogram { enabled, histogram, unit }
+    }
+
+    fn labeled<T>(
+        &self,
+        name: &str,
+        help: &str,
+        label: Option<(&str, &str)>,
+        fresh: impl FnOnce() -> Kind,
+        make: impl Fn(&Registered) -> T,
+    ) -> T {
+        let mut instruments = self.instruments.lock();
+        if let Some(existing) = instruments.iter().find(|r| {
+            r.name == name && r.label.as_ref().map(|(k, v)| (k.as_str(), v.as_str())) == label
+        }) {
+            return make(existing);
+        }
+        validate_name(name);
+        let kind = fresh();
+        // A family's kind is fixed by its first series; `make` panics on
+        // a mismatch with the requested kind below.
+        if let Some(first) = instruments.iter().find(|r| r.name == name) {
+            assert_eq!(
+                std::mem::discriminant(&first.kind),
+                std::mem::discriminant(&kind),
+                "metric {name} already registered as a {}",
+                first.kind.type_name()
+            );
+        }
+        let registered = Registered {
+            name: name.to_string(),
+            help: help.to_string(),
+            label: label.map(|(k, v)| (k.to_string(), v.to_string())),
+            kind,
+        };
+        let result = make(&registered);
+        instruments.push(registered);
+        result
+    }
+
+    /// Renders the Prometheus text exposition format: one `# HELP` and
+    /// `# TYPE` block per family (first-registration order), histograms
+    /// as cumulative `_bucket{le="…"}` series plus `_sum`/`_count`.
+    pub fn render_prometheus(&self) -> String {
+        let instruments = self.instruments.lock();
+        let mut out = String::new();
+        let mut headers_done: Vec<&str> = Vec::new();
+        for registered in instruments.iter() {
+            if !headers_done.contains(&registered.name.as_str()) {
+                headers_done.push(&registered.name);
+                out.push_str(&format!("# HELP {} {}\n", registered.name, registered.help));
+                out.push_str(&format!(
+                    "# TYPE {} {}\n",
+                    registered.name,
+                    registered.kind.type_name()
+                ));
+                // Families render all series under the first header.
+                for series in instruments.iter().filter(|r| r.name == registered.name) {
+                    render_series(&mut out, series);
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON snapshot of every instrument: counters/gauges by value,
+    /// histograms with count/sum/max and interpolated p50/p95/p99 (in
+    /// recorded units — nanoseconds for `Seconds` histograms).
+    pub fn to_json(&self) -> Json {
+        let instruments = self.instruments.lock();
+        let mut counters = BTreeMap::new();
+        let mut gauges = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        for registered in instruments.iter() {
+            let key = match &registered.label {
+                Some((k, v)) => format!("{}{{{k}={v}}}", registered.name),
+                None => registered.name.clone(),
+            };
+            match &registered.kind {
+                Kind::Counter(v) => {
+                    counters.insert(key, Json::U64(v.load(Ordering::Relaxed)));
+                }
+                Kind::Gauge(v) => {
+                    gauges.insert(key, Json::I64(v.load(Ordering::Relaxed)));
+                }
+                Kind::Histogram(_, h) => {
+                    let snapshot = h.snapshot();
+                    histograms.insert(
+                        key,
+                        Json::obj([
+                            ("count", Json::U64(snapshot.count())),
+                            ("sum", Json::U64(snapshot.sum_ns())),
+                            ("max", Json::U64(snapshot.max_ns())),
+                            ("p50", Json::U64(snapshot.quantile(0.50))),
+                            ("p95", Json::U64(snapshot.quantile(0.95))),
+                            ("p99", Json::U64(snapshot.quantile(0.99))),
+                        ]),
+                    );
+                }
+            }
+        }
+        Json::obj([
+            ("counters", Json::Obj(counters)),
+            ("gauges", Json::Obj(gauges)),
+            ("histograms", Json::Obj(histograms)),
+        ])
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("enabled", &self.enabled())
+            .field("instruments", &self.instruments.lock().len())
+            .finish()
+    }
+}
+
+fn validate_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    assert!(
+        head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}"
+    );
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn labels_text(label: &Option<(String, String)>, extra: Option<(&str, String)>) -> String {
+    let mut parts = Vec::new();
+    if let Some((key, value)) = label {
+        parts.push(format!("{key}=\"{}\"", escape_label(value)));
+    }
+    if let Some((key, value)) = extra {
+        parts.push(format!("{key}=\"{value}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_series(out: &mut String, series: &Registered) {
+    match &series.kind {
+        Kind::Counter(v) => {
+            let labels = labels_text(&series.label, None);
+            out.push_str(&format!("{}{labels} {}\n", series.name, v.load(Ordering::Relaxed)));
+        }
+        Kind::Gauge(v) => {
+            let labels = labels_text(&series.label, None);
+            out.push_str(&format!("{}{labels} {}\n", series.name, v.load(Ordering::Relaxed)));
+        }
+        Kind::Histogram(unit, h) => {
+            let snapshot = h.snapshot();
+            let counts = snapshot.bucket_counts();
+            let last_used = counts.iter().rposition(|&c| c > 0);
+            let mut cumulative = 0u64;
+            for (index, &count) in counts.iter().enumerate().take(last_used.map_or(0, |l| l + 1)) {
+                cumulative += count;
+                let upper = Histogram::bucket_range(index).1;
+                let le = match unit {
+                    MetricUnit::Seconds => format!("{}", upper as f64 / 1e9),
+                    MetricUnit::Bytes | MetricUnit::Count => format!("{upper}"),
+                };
+                let labels = labels_text(&series.label, Some(("le", le)));
+                out.push_str(&format!("{}_bucket{labels} {cumulative}\n", series.name));
+            }
+            let labels = labels_text(&series.label, Some(("le", "+Inf".to_string())));
+            out.push_str(&format!("{}_bucket{labels} {}\n", series.name, snapshot.count()));
+            let plain = labels_text(&series.label, None);
+            let sum = match unit {
+                MetricUnit::Seconds => format!("{}", snapshot.sum_ns() as f64 / 1e9),
+                MetricUnit::Bytes | MetricUnit::Count => format!("{}", snapshot.sum_ns()),
+            };
+            out.push_str(&format!("{}_sum{plain} {sum}\n", series.name));
+            out.push_str(&format!("{}_count{plain} {}\n", series.name, snapshot.count()));
+        }
+    }
+}
+
+/// Summary returned by a successful [`validate_exposition`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Distinct metric families (`# TYPE` lines).
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+/// Strictly validates a Prometheus text exposition: parseable sample
+/// lines, exactly one `# TYPE` per family (before its samples), every
+/// sample tied to a declared family, unique (name, labelset) samples,
+/// finite non-negative counter values, and per-histogram invariants
+/// (cumulative `_bucket` values non-decreasing in `le` order, a
+/// terminal `le="+Inf"` bucket whose value equals `_count`).
+///
+/// Monotonicity of counters *over time* cannot be checked from one
+/// scrape; non-negativity plus the cumulative-bucket check are the
+/// single-exposition analogue.
+pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: Vec<String> = Vec::new();
+    let mut seen_samples: Vec<(String, String)> = Vec::new();
+    // (base name, non-le labels) -> [(le, cumulative value)]
+    let mut buckets: BTreeMap<(String, String), Vec<(f64, f64)>> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let mut hist_sums: Vec<(String, String)> = Vec::new();
+    let mut samples = 0usize;
+
+    for (number, line) in text.lines().enumerate() {
+        let lineno = number + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or_default().to_string();
+            let kind = parts.next().ok_or(format!("line {lineno}: TYPE without a kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {lineno}: unknown TYPE kind {kind:?}"));
+            }
+            if types.insert(name.clone(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or_default().to_string();
+            if helps.contains(&name) {
+                return Err(format!("line {lineno}: duplicate HELP for {name}"));
+            }
+            helps.push(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        let (name, labels, value_text) =
+            split_sample(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let value: f64 = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            other => {
+                other.parse().map_err(|_| format!("line {lineno}: unparseable value {other:?}"))?
+            }
+        };
+        if value.is_nan() {
+            return Err(format!("line {lineno}: NaN sample value"));
+        }
+        let sample_key = (name.to_string(), labels.to_string());
+        if seen_samples.contains(&sample_key) {
+            return Err(format!("line {lineno}: duplicate sample {name}{labels}"));
+        }
+        seen_samples.push(sample_key);
+        samples += 1;
+
+        // Resolve the declaring family: exact name, or histogram base.
+        let (base, suffix) = match types.get(name) {
+            Some(_) => (name.to_string(), ""),
+            None => {
+                let stripped = ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .find_map(|s| name.strip_suffix(s).map(|base| (base.to_string(), *s)));
+                match stripped {
+                    Some((base, suffix))
+                        if types.get(&base).map(String::as_str) == Some("histogram") =>
+                    {
+                        (base, suffix)
+                    }
+                    _ => return Err(format!("line {lineno}: sample {name} has no TYPE line")),
+                }
+            }
+        };
+        let family_type = types.get(&base).cloned().unwrap_or_default();
+        match family_type.as_str() {
+            "counter" => {
+                if !(value.is_finite() && value >= 0.0) {
+                    return Err(format!("line {lineno}: counter {name} has value {value}"));
+                }
+            }
+            "histogram" => {
+                let (own_labels, le) =
+                    partition_le(labels).map_err(|e| format!("line {lineno}: {e}"))?;
+                match suffix {
+                    "_bucket" => {
+                        let le =
+                            le.ok_or(format!("line {lineno}: {name} bucket without an le label"))?;
+                        let le_value = match le.as_str() {
+                            "+Inf" => f64::INFINITY,
+                            other => other
+                                .parse()
+                                .map_err(|_| format!("line {lineno}: unparseable le {other:?}"))?,
+                        };
+                        buckets.entry((base, own_labels)).or_default().push((le_value, value));
+                    }
+                    "_count" => {
+                        hist_counts.insert((base, own_labels), value);
+                    }
+                    "_sum" => hist_sums.push((base, own_labels)),
+                    _ => {
+                        return Err(format!(
+                            "line {lineno}: bare sample {name} for a histogram family"
+                        ))
+                    }
+                }
+            }
+            _ => {
+                if !value.is_finite() {
+                    return Err(format!("line {lineno}: non-finite gauge {name}"));
+                }
+            }
+        }
+    }
+
+    for ((base, labels), series) in &buckets {
+        let at = |what: &str| format!("histogram {base}{{{labels}}}: {what}");
+        for window in series.windows(2) {
+            if window[1].0 <= window[0].0 {
+                return Err(at("bucket le values not strictly increasing"));
+            }
+            if window[1].1 < window[0].1 {
+                return Err(at("cumulative bucket counts decreased"));
+            }
+        }
+        let Some(&(last_le, last_value)) = series.last() else { continue };
+        if !last_le.is_infinite() {
+            return Err(at("missing terminal +Inf bucket"));
+        }
+        match hist_counts.get(&(base.clone(), labels.clone())) {
+            Some(&count) if count == last_value => {}
+            Some(&count) => return Err(at(&format!("_count {count} != +Inf bucket {last_value}"))),
+            None => return Err(at("missing _count sample")),
+        }
+        if !hist_sums.contains(&(base.clone(), labels.clone())) {
+            return Err(at("missing _sum sample"));
+        }
+    }
+
+    for name in types.keys() {
+        let has_sample = seen_samples.iter().any(|(sample, _)| {
+            sample == name
+                || (types[name] == "histogram"
+                    && ["_bucket", "_sum", "_count"]
+                        .iter()
+                        .any(|s| sample.as_str() == format!("{name}{s}")))
+        });
+        if !has_sample {
+            return Err(format!("TYPE {name} declared but never sampled"));
+        }
+    }
+
+    Ok(ExpositionStats { families: types.len(), samples })
+}
+
+/// Splits a sample line into `(name, labels-with-braces-or-empty,
+/// value)`. Label values may contain escaped quotes.
+fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
+    let name_end = line
+        .find(['{', ' '])
+        .ok_or_else(|| format!("malformed sample {line:?}"))?;
+    let name = &line[..name_end];
+    if name.is_empty() {
+        return Err(format!("malformed sample {line:?}"));
+    }
+    if line.as_bytes()[name_end] == b' ' {
+        let value = line[name_end..].trim();
+        if value.is_empty() || value.contains(' ') {
+            return Err(format!("expected exactly one value in {line:?}"));
+        }
+        return Ok((name, "", value));
+    }
+    // Scan the label block respecting quotes and escapes.
+    let bytes = line.as_bytes();
+    let mut i = name_end + 1;
+    let mut in_quotes = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_quotes => i += 1, // skip the escaped byte
+            b'"' => in_quotes = !in_quotes,
+            b'}' if !in_quotes => {
+                let labels = &line[name_end..=i];
+                let value = line[i + 1..].trim();
+                if value.is_empty() || value.contains(' ') {
+                    return Err(format!("expected exactly one value in {line:?}"));
+                }
+                return Ok((name, labels, value));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err(format!("unterminated label block in {line:?}"))
+}
+
+/// Splits a label block into (labels minus `le`, the `le` value).
+fn partition_le(labels: &str) -> Result<(String, Option<String>), String> {
+    let inner = labels.strip_prefix('{').and_then(|l| l.strip_suffix('}')).unwrap_or("");
+    let mut kept = Vec::new();
+    let mut le = None;
+    for pair in split_label_pairs(inner)? {
+        match pair.strip_prefix("le=") {
+            Some(value) => le = Some(value.trim_matches('"').to_string()),
+            None => kept.push(pair),
+        }
+    }
+    Ok((kept.join(","), le))
+}
+
+/// Splits `k1="v1",k2="v2"` into pairs, respecting quoted commas.
+fn split_label_pairs(inner: &str) -> Result<Vec<String>, String> {
+    let mut pairs = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_quotes => {
+                current.push(c);
+                current.push(chars.next().ok_or("dangling escape in label block")?);
+            }
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            ',' if !in_quotes => {
+                pairs.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quote in label block".to_string());
+    }
+    if !current.is_empty() {
+        pairs.push(current);
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        // The metrics analogue of the disabled-sink tracer test: with
+        // the registry disabled, every instrument site costs one atomic
+        // load and leaves no trace in the underlying values.
+        let registry = MetricsRegistry::new(false);
+        let counter = registry.counter("fdbscan_test_total", "test");
+        let gauge = registry.gauge("fdbscan_test_gauge", "test");
+        let histogram = registry.histogram("fdbscan_test_seconds", "test", MetricUnit::Seconds);
+        counter.inc();
+        counter.add(41);
+        gauge.set(7);
+        gauge.inc();
+        histogram.observe(1000);
+        histogram.observe_duration(Duration::from_millis(5));
+        assert_eq!(counter.get(), 0);
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(histogram.snapshot().count(), 0);
+        // Flipping the flag arms every existing handle.
+        registry.set_enabled(true);
+        counter.inc();
+        assert_eq!(counter.get(), 1);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_kind_checked() {
+        let registry = MetricsRegistry::new(true);
+        let a = registry.counter("fdbscan_requests_total", "requests");
+        let b = registry.counter("fdbscan_requests_total", "requests");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same name must alias the same value");
+        let t1 = registry.labeled_counter("fdbscan_by_tenant_total", "per tenant", "tenant", "a");
+        let t2 = registry.labeled_counter("fdbscan_by_tenant_total", "per tenant", "tenant", "b");
+        t1.add(3);
+        t2.add(5);
+        assert_eq!((t1.get(), t2.get()), (3, 5), "label values are distinct series");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new(true);
+        registry.counter("fdbscan_thing", "x");
+        registry.gauge("fdbscan_thing", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        MetricsRegistry::new(true).counter("0bad name", "x");
+    }
+
+    #[test]
+    fn rendered_exposition_validates() {
+        let registry = MetricsRegistry::new(true);
+        registry.counter("fdbscan_requests_total", "Requests entering the service.").add(10);
+        registry.gauge("fdbscan_inflight", "Requests running right now.").set(2);
+        let latency = registry.histogram(
+            "fdbscan_latency_seconds",
+            "End-to-end latency.",
+            MetricUnit::Seconds,
+        );
+        for ms in [1u64, 2, 5, 40, 900] {
+            latency.observe_duration(Duration::from_millis(ms));
+        }
+        registry
+            .labeled_counter("fdbscan_shed_total", "Shed requests.", "cause", "queue_full")
+            .inc();
+        registry
+            .labeled_counter("fdbscan_shed_total", "Shed requests.", "cause", "memory_pressure")
+            .add(2);
+        let text = registry.render_prometheus();
+        let stats = validate_exposition(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert_eq!(stats.families, 4);
+        assert!(text.contains("# TYPE fdbscan_latency_seconds histogram"));
+        assert!(text.contains("fdbscan_shed_total{cause=\"queue_full\"} 1"));
+        assert!(text.contains("le=\"+Inf\"} 5"));
+        assert!(text.contains("fdbscan_latency_seconds_count 5"));
+        // Exactly one TYPE line for the labeled family.
+        assert_eq!(text.matches("# TYPE fdbscan_shed_total").count(), 1);
+    }
+
+    #[test]
+    fn seconds_histograms_render_in_seconds() {
+        let registry = MetricsRegistry::new(true);
+        let h = registry.histogram("fdbscan_wait_seconds", "x", MetricUnit::Seconds);
+        h.observe_duration(Duration::from_secs(1)); // 1e9 ns
+        let text = registry.render_prometheus();
+        // The 1e9 ns observation lands in bucket [2^29, 2^30-1]... no:
+        // bucket of 1e9 is 29 (2^29 ≈ 5.4e8 .. 2^30-1 ≈ 1.07e9); its
+        // upper bound in seconds is ≈ 1.07, and the sum is exactly 1.
+        assert!(text.contains("fdbscan_wait_seconds_sum 1\n"), "{text}");
+        assert!(validate_exposition(&text).is_ok());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new(true);
+        registry.labeled_counter("fdbscan_t_total", "x", "tenant", "a\"b\\c\nd").inc();
+        let text = registry.render_prometheus();
+        assert!(text.contains(r#"tenant="a\"b\\c\nd""#), "{text}");
+        validate_exposition(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+    }
+
+    #[test]
+    fn json_snapshot_carries_quantiles() {
+        let registry = MetricsRegistry::new(true);
+        let h = registry.histogram("fdbscan_x_seconds", "x", MetricUnit::Seconds);
+        for ns in 1..=1000u64 {
+            h.observe(ns);
+        }
+        registry.counter("fdbscan_n_total", "n").add(9);
+        let json = registry.to_json();
+        let hist = json.get("histograms").unwrap().get("fdbscan_x_seconds").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_f64(), Some(1000.0));
+        let p95 = hist.get("p95").unwrap().as_f64().unwrap();
+        assert!((p95 - 950.0).abs() / 950.0 < 0.2, "p95 {p95}");
+        assert_eq!(
+            json.get("counters").unwrap().get("fdbscan_n_total").unwrap().as_f64(),
+            Some(9.0)
+        );
+    }
+
+    #[test]
+    fn checker_rejects_malformed_expositions() {
+        let cases: &[(&str, &str)] = &[
+            ("x_total 1\n", "no TYPE line"),
+            ("# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n", "duplicate TYPE"),
+            ("# TYPE x_total counter\nx_total -1\n", "value -1"),
+            ("# TYPE x_total counter\nx_total 1\nx_total 2\n", "duplicate sample"),
+            ("# TYPE x_total counter\nx_total nope\n", "unparseable value"),
+            ("# TYPE x_total counter\n", "never sampled"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+                 h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+                "counts decreased",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+                "missing terminal +Inf",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+                "_count 4 != +Inf bucket 5",
+            ),
+        ];
+        for (text, expected) in cases {
+            let err = validate_exposition(text).expect_err(text);
+            assert!(err.contains(expected), "for {text:?}: got {err:?}, wanted {expected:?}");
+        }
+    }
+
+    #[test]
+    fn checker_accepts_labeled_histograms() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{tenant=\"a\",le=\"0.5\"} 1\n\
+                    h_bucket{tenant=\"a\",le=\"+Inf\"} 2\n\
+                    h_sum{tenant=\"a\"} 0.7\n\
+                    h_count{tenant=\"a\"} 2\n";
+        let stats = validate_exposition(text).unwrap();
+        assert_eq!(stats, ExpositionStats { families: 1, samples: 4 });
+    }
+}

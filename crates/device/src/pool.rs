@@ -214,6 +214,18 @@ enum Message {
 pub struct WorkerPool {
     sender: Sender<Message>,
     handles: Vec<std::thread::JoinHandle<()>>,
+    /// Launches currently executing (occupancy gauge for telemetry).
+    active: AtomicUsize,
+}
+
+/// Decrements the pool's active-launch count on every exit path of a
+/// launch, including panics unwinding out of it.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl WorkerPool {
@@ -237,12 +249,19 @@ impl WorkerPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Self { sender, handles }
+        Self { sender, handles, active: AtomicUsize::new(0) }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Launches executing right now (0 on an idle pool). Each launch
+    /// occupies every participant, so this counts concurrent *streams*,
+    /// not busy threads.
+    pub fn active_launches(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
     }
 
     /// Fallible block launch: executes `kernel` once per block of `block`
@@ -267,6 +286,8 @@ impl WorkerPool {
             return Ok(None);
         }
         assert!(block > 0, "block size must be nonzero");
+        self.active.fetch_add(1, Ordering::Relaxed);
+        let _active = ActiveGuard(&self.active);
         let started = Instant::now();
         // SAFETY (lifetime erasure): `job.kernel` must not be dereferenced
         // after this function returns. Workers dereference it only inside

@@ -50,6 +50,45 @@ use crate::json::Json;
 
 /// Environment variable naming the trace output file (enables tracing).
 pub const TRACE_ENV: &str = "FDBSCAN_TRACE";
+
+thread_local! {
+    /// The request id events recorded on this thread are attributed to.
+    /// Threaded through a thread-local (not the `Tracer`) because the
+    /// tracer is shared by every concurrent request on the device, while
+    /// a request's control flow — kernel launches block the caller — is
+    /// confined to the thread driving it.
+    static CURRENT_REQUEST: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// Tags every span/instant recorded on the current thread with
+/// `request_id` until the returned guard drops (scopes nest; the guard
+/// restores the previous id). A service front-end opens one scope per
+/// request so a Chrome trace of a concurrent run can be filtered per
+/// request.
+pub fn request_scope(request_id: u64) -> RequestScope {
+    let previous = CURRENT_REQUEST.with(|cell| cell.replace(Some(request_id)));
+    RequestScope { previous }
+}
+
+/// The request id spans recorded on this thread are tagged with, if a
+/// [`request_scope`] is open.
+pub fn current_request_id() -> Option<u64> {
+    CURRENT_REQUEST.with(std::cell::Cell::get)
+}
+
+/// RAII guard of a [`request_scope`]; restores the previous (usually
+/// absent) request id on drop.
+#[must_use = "the request scope ends when this guard is dropped"]
+#[derive(Debug)]
+pub struct RequestScope {
+    previous: Option<u64>,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        CURRENT_REQUEST.with(|cell| cell.set(self.previous));
+    }
+}
 /// Environment variable selecting the trace format (`chrome` | `text`).
 pub const TRACE_FORMAT_ENV: &str = "FDBSCAN_TRACE_FORMAT";
 
@@ -121,6 +160,9 @@ pub struct SpanRecord {
     pub end_ns: u64,
     /// Launch metadata (kernel spans only).
     pub kernel: Option<KernelMeta>,
+    /// The service request this event belongs to, when the recording
+    /// thread was inside a [`request_scope`].
+    pub request_id: Option<u64>,
 }
 
 impl SpanRecord {
@@ -216,6 +258,24 @@ impl Histogram {
         self.max_ns.load(Ordering::Relaxed)
     }
 
+    /// Plain-value copy of the whole histogram, suitable for windowed
+    /// quantile math ([`HistogramSnapshot::since`]) without resetting
+    /// the live atomics.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.bucket_counts(),
+            count: self.count(),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Interpolated `q`-quantile estimate (see
+    /// [`HistogramSnapshot::quantile`]) over everything recorded so far.
+    pub fn quantile_estimate(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
     /// Summarizes the histogram under the given label.
     pub fn summarize(&self, label: &str) -> HistogramSummary {
         HistogramSummary {
@@ -226,6 +286,96 @@ impl Histogram {
             max_ns: self.max_ns.load(Ordering::Relaxed),
             total_ns: self.sum_ns.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Plain-value copy of a [`Histogram`] at one point in time.
+///
+/// Two snapshots of the same histogram delta with
+/// [`HistogramSnapshot::since`], giving windowed (e.g. rolling-p95)
+/// quantiles without ever clearing the live atomics. Quantiles are
+/// estimated by **log-linear interpolation**: a rank that lands a
+/// fraction `f` of the way through bucket `b` maps to `2^(b + f)` —
+/// linear interpolation in log2 space, matching the buckets' geometry —
+/// clamped to the observed maximum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; BUCKETS], count: 0, sum_ns: 0, max_ns: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded durations, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Largest recorded duration, nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Per-bucket counts (see [`Histogram::bucket_range`]).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Saturating per-bucket delta against an `earlier` snapshot of the
+    /// same histogram — the recordings that happened *between* the two
+    /// snapshots. `max_ns` carries over from `self`: the true window
+    /// maximum is unrecoverable from bucket deltas, so the reported max
+    /// is an upper bound for the window (exact when the all-time max
+    /// fell inside it).
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum_ns: self.sum_ns.saturating_sub(earlier.sum_ns),
+            max_ns: self.max_ns,
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) in nanoseconds, by
+    /// log-linear interpolation within the containing log2 bucket,
+    /// clamped to the observed maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            if bucket == 0 {
+                continue;
+            }
+            seen += bucket;
+            if seen >= rank {
+                // Fraction of the way through this bucket, in (0, 1].
+                let into = (rank - (seen - bucket)) as f64 / bucket as f64;
+                let estimate = if index == 0 {
+                    // Bucket 0 spans [0, 1]: interpolate linearly.
+                    into
+                } else {
+                    // Log-linear: lower bound 2^index, upper 2^(index+1).
+                    (index as f64 + into).exp2()
+                };
+                return (estimate.round() as u64).min(self.max_ns);
+            }
+        }
+        self.max_ns
     }
 }
 
@@ -367,6 +517,7 @@ impl Tracer {
             start_ns: self.since_epoch(start),
             end_ns: self.since_epoch(end),
             kernel: None,
+            request_id: current_request_id(),
         };
         self.histogram(Cow::Borrowed(label)).record(record.duration_ns());
         self.events.lock().push(record);
@@ -390,6 +541,7 @@ impl Tracer {
             start_ns: self.since_epoch(start),
             end_ns: self.since_epoch(end),
             kernel: Some(meta),
+            request_id: current_request_id(),
         };
         self.histogram(Cow::Borrowed(label)).record(record.duration_ns());
         self.events.lock().push(record);
@@ -409,6 +561,7 @@ impl Tracer {
             start_ns: now,
             end_ns: now,
             kernel: None,
+            request_id: current_request_id(),
         };
         self.events.lock().push(record);
     }
@@ -458,8 +611,25 @@ impl Tracer {
             ("tid", Json::U64(1)),
             ("args", Json::obj([("name", Json::str("fdbscan simulated device"))])),
         ]));
+        // One named virtual thread row per request id, so Perfetto lays
+        // concurrent requests out side by side (tid 1 = untagged events).
+        let mut request_ids: Vec<u64> = events.iter().filter_map(|e| e.request_id).collect();
+        request_ids.sort_unstable();
+        request_ids.dedup();
+        for &id in &request_ids {
+            trace_events.push(Json::obj([
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::U64(1)),
+                ("tid", Json::U64(id + 2)),
+                ("args", Json::obj([("name", Json::str(format!("request {id}")))])),
+            ]));
+        }
         for event in events.iter() {
             let mut args = vec![("path", Json::str(event.path.clone()))];
+            if let Some(id) = event.request_id {
+                args.push(("request_id", Json::U64(id)));
+            }
             if let Some(meta) = &event.kernel {
                 args.extend([
                     ("index_space", Json::U64(meta.index_space as u64)),
@@ -476,7 +646,7 @@ impl Tracer {
                 ("name", Json::str(event.label.to_string())),
                 ("ts", Json::F64(ts)),
                 ("pid", Json::U64(1)),
-                ("tid", Json::U64(1)),
+                ("tid", Json::U64(event.request_id.map_or(1, |id| id + 2))),
                 ("args", Json::obj(args)),
             ];
             let specific = match event.kind {
@@ -697,6 +867,138 @@ mod tests {
         assert!(p95 >= 950, "p95 {p95}");
         assert!(p95 <= 1000, "p95 {p95} clamped to max");
         assert_eq!(histogram.summarize("x").max_ns, 1000);
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_a_uniform_distribution() {
+        // 1000 evenly spaced values 1..=1000: true p50 = 500, p95 = 950,
+        // p99 = 990. Log-linear interpolation must land within the
+        // containing log2 bucket *and* within 20% of the true value —
+        // far tighter than the factor-2 bucket-upper-bound estimate.
+        let histogram = Histogram::default();
+        for ns in 1..=1000u64 {
+            histogram.record(ns);
+        }
+        for (q, truth) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let estimate = histogram.quantile_estimate(q) as f64;
+            let error = (estimate - truth).abs() / truth;
+            assert!(error < 0.20, "q={q}: estimate {estimate} vs true {truth} (err {error:.3})");
+        }
+    }
+
+    #[test]
+    fn interpolated_quantiles_respect_a_point_mass() {
+        // Every observation identical: all quantiles clamp to the
+        // (exact) max, and stay within the value's own bucket.
+        let histogram = Histogram::default();
+        for _ in 0..100 {
+            histogram.record(777);
+        }
+        let (lower, _) = Histogram::bucket_range(Histogram::bucket_index(777));
+        for q in [0.01, 0.50, 0.95, 0.99, 1.0] {
+            let estimate = histogram.quantile_estimate(q);
+            assert!(estimate >= lower && estimate <= 777, "q={q}: estimate {estimate}");
+        }
+        assert_eq!(histogram.quantile_estimate(1.0), 777);
+    }
+
+    #[test]
+    fn interpolated_quantiles_split_a_bimodal_distribution() {
+        // 90 fast (≈100 ns) + 10 slow (≈1_000_000 ns): p50 must sit in
+        // the fast mode, p95 and p99 in the slow one, and the ordering
+        // p50 <= p95 <= p99 must hold.
+        let snapshot = {
+            let histogram = Histogram::default();
+            for _ in 0..90 {
+                histogram.record(100);
+            }
+            for _ in 0..10 {
+                histogram.record(1_000_000);
+            }
+            histogram.snapshot()
+        };
+        let (p50, p95, p99) =
+            (snapshot.quantile(0.50), snapshot.quantile(0.95), snapshot.quantile(0.99));
+        assert!(p50 <= 128, "p50 {p50} escaped the fast mode");
+        assert!(p95 >= 524_288, "p95 {p95} missed the slow mode");
+        assert!(p50 <= p95 && p95 <= p99, "quantiles out of order: {p50} {p95} {p99}");
+        assert_eq!(snapshot.quantile(0.0), snapshot.quantile(1e-9));
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let snapshot = Histogram::default().snapshot();
+        assert_eq!(snapshot.quantile(0.5), 0);
+        assert_eq!(snapshot.count(), 0);
+        assert_eq!(snapshot.since(&HistogramSnapshot::default()), snapshot);
+    }
+
+    #[test]
+    fn snapshot_delta_windows_the_quantiles() {
+        // Window 1 records slow values, window 2 fast ones; the delta
+        // quantile must reflect only window 2.
+        let histogram = Histogram::default();
+        for _ in 0..50 {
+            histogram.record(1 << 20);
+        }
+        let mark = histogram.snapshot();
+        for _ in 0..50 {
+            histogram.record(64);
+        }
+        let window = histogram.snapshot().since(&mark);
+        assert_eq!(window.count(), 50);
+        assert!(window.quantile(0.95) <= 128, "delta window leaked earlier recordings");
+        // The all-time view still sees both modes.
+        assert!(histogram.quantile_estimate(0.95) >= 1 << 19);
+    }
+
+    #[test]
+    fn request_scope_tags_spans_and_restores_on_drop() {
+        let tracer = Tracer::new(true);
+        tracer.instant("before");
+        {
+            let _scope = request_scope(41);
+            {
+                let _inner = request_scope(42); // scopes nest
+                let _phase = tracer.phase("work");
+                tracer.record_kernel("k", Instant::now(), Instant::now(), meta(10));
+            }
+            tracer.instant("outer-again");
+        }
+        tracer.instant("after");
+        let events = tracer.events();
+        let by_label = |label: &str| {
+            events.iter().find(|e| e.label == label).unwrap_or_else(|| panic!("{label} missing"))
+        };
+        assert_eq!(by_label("before").request_id, None);
+        assert_eq!(by_label("k").request_id, Some(42));
+        assert_eq!(by_label("work").request_id, Some(42));
+        assert_eq!(by_label("outer-again").request_id, Some(41));
+        assert_eq!(by_label("after").request_id, None);
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn chrome_export_carries_request_ids() {
+        let tracer = Tracer::new(true);
+        {
+            let _scope = request_scope(7);
+            let start = Instant::now();
+            tracer.record_kernel("scan", start, start + Duration::from_micros(3), meta(64));
+        }
+        let parsed = crate::json::parse(&tracer.export_chrome()).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let kernel = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("scan"))
+            .expect("kernel event present");
+        assert_eq!(kernel.get("args").unwrap().get("request_id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(kernel.get("tid").unwrap().as_f64(), Some(9.0), "tid = request_id + 2");
+        let row = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+            .expect("request thread row named");
+        assert_eq!(row.get("args").unwrap().get("name").unwrap().as_str(), Some("request 7"));
     }
 
     #[test]

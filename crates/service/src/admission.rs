@@ -75,6 +75,13 @@ impl AdmissionGate {
         self.state.lock().queued
     }
 
+    /// Both load figures — `(running, queued)` — read under one lock,
+    /// so a telemetry scrape sees a consistent pair.
+    pub fn load(&self) -> (usize, usize) {
+        let state = self.state.lock();
+        (state.running, state.queued)
+    }
+
     /// Admits the request, blocking in the bounded queue if the
     /// concurrency cap is reached. Sheds with
     /// [`ServiceError::Overloaded`] when the queue is full, and honors

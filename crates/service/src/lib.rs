@@ -25,6 +25,15 @@
 //!   [`fdbscan::run_resilient`] ladder with its own retry budget, and
 //!   its attempt count lands in its [`fdbscan::RunStats::attempts`];
 //!   neighboring requests never see the fault.
+//! * **Telemetry** ([`ServiceMetrics`]) — an opt-in metric registry
+//!   (one relaxed atomic load per instrument site when disabled)
+//!   covering the full request lifecycle: outcome counters, shed
+//!   causes, queue-wait/exec/e2e latency histograms with interpolated
+//!   quantiles, SLO budget burn against a p95 target, device occupancy
+//!   gauges, and a Prometheus text exposition
+//!   ([`ClusterService::render_metrics`]). Every request gets an id
+//!   minted at submission that rides its cancel token into trace spans
+//!   and [`fdbscan::RunStats::request_id`].
 //!
 //! ```
 //! use fdbscan::Params;
@@ -43,10 +52,12 @@
 
 pub mod admission;
 pub mod error;
+pub mod metrics;
 pub mod service;
 
 pub use admission::{AdmissionGate, Permit};
 pub use error::{OverloadReason, ServiceError};
+pub use metrics::ServiceMetrics;
 pub use service::{
     ClusterRequest, ClusterResponse, ClusterService, RequestHandle, ServiceConfig, ServiceStats,
     ServiceStatsSnapshot,
@@ -115,12 +126,42 @@ mod tests {
             ClusterRequest::new(points, Params::new(0.3, 4)).with_deadline(Duration::ZERO);
         let err = service.execute(request).unwrap_err();
         assert!(matches!(err, ServiceError::DeadlineExceeded { .. }), "got {err:?}");
-        assert_eq!(service.stats().deadline_exceeded, 1);
+        let stats = service.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        // The gate was uncontended, so admission was immediate and the
+        // deadline fired during execution — not in the queue.
+        assert_eq!(stats.deadline_expired_in_queue, 0);
         assert_eq!(
             service.device().memory().in_use(),
             service.device().arena().held_bytes(),
             "an out-of-time request leaked reservations"
         );
+    }
+
+    #[test]
+    fn deadline_expiring_in_queue_is_counted_as_a_shed_cause() {
+        // One slot held by a slow request; a queued request with a tiny
+        // budget must expire *in the queue* and be attributed to the
+        // deadline_in_queue shed cause, distinct from execution-time
+        // deadline failures.
+        let service = ClusterService::new(
+            Device::new(DeviceConfig::default().with_workers(1)),
+            ServiceConfig::default().with_max_concurrency(1).with_queue_depth(4),
+        );
+        let slow =
+            service.submit(ClusterRequest::new(random_points(6000, 2.0, 20), Params::new(0.1, 4)));
+        while service.gate().running() == 0 {
+            std::thread::yield_now();
+        }
+        let request = ClusterRequest::new(random_points(50, 5.0, 21), Params::new(0.3, 4))
+            .with_deadline(Duration::from_millis(1));
+        let err = service.execute(request).unwrap_err();
+        assert!(matches!(err, ServiceError::DeadlineExceeded { .. }), "got {err:?}");
+        let stats = service.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.deadline_expired_in_queue, 1);
+        assert_eq!(stats.admitted, 1, "the expired request must not have been admitted");
+        slow.wait().unwrap();
     }
 
     #[test]
@@ -157,8 +198,10 @@ mod tests {
         // One slot, zero queue: while a slow request holds the permit,
         // a second request must be shed, not blocked.
         let device = Device::new(DeviceConfig::default().with_workers(1));
-        let service =
-            ClusterService::new(device, ServiceConfig { max_concurrency: 1, queue_depth: 0 });
+        let service = ClusterService::new(
+            device,
+            ServiceConfig::default().with_max_concurrency(1).with_queue_depth(0),
+        );
         let slow =
             service.submit(ClusterRequest::new(random_points(4000, 2.0, 6), Params::new(0.1, 4)));
         // Wait until the slow request actually holds the permit.
@@ -172,7 +215,9 @@ mod tests {
             matches!(err, ServiceError::Overloaded { reason: OverloadReason::QueueFull { .. } }),
             "got {err:?}"
         );
-        assert_eq!(service.stats().shed_overload, 1);
+        let stats = service.stats();
+        assert_eq!(stats.shed_queue_full, 1);
+        assert_eq!(stats.shed(), 1);
         slow.wait().unwrap();
     }
 
@@ -193,7 +238,9 @@ mod tests {
             }
             other => panic!("expected MemoryPressure, got {other:?}"),
         }
-        assert_eq!(service.stats().shed_overload, 1);
+        let stats = service.stats();
+        assert_eq!(stats.shed_memory_pressure, 1);
+        assert_eq!(stats.shed(), 1);
         // The permit was released on the shed path.
         assert_eq!(service.gate().running(), 0);
     }
@@ -221,10 +268,101 @@ mod tests {
     }
 
     #[test]
+    fn disabled_metrics_record_nothing() {
+        // The disabled-path contract: with `metrics: false` (and no
+        // dump env in CI), a full request lifecycle must leave every
+        // instrument at its initial value — each site paid exactly the
+        // one relaxed flag load and returned.
+        let service = service(Device::new(DeviceConfig::default().with_workers(2)));
+        if service.metrics().enabled() {
+            return; // FDBSCAN_METRICS_DUMP set externally; contract N/A
+        }
+        let points = random_points(300, 5.0, 31);
+        let request = ClusterRequest::new(points, Params::new(0.3, 4)).with_tenant("acme");
+        service.execute(request).unwrap();
+        assert_eq!(service.stats().completed, 1, "ServiceStats stays always-on");
+        let json = service.metrics_json();
+        let counters = json.get("counters").unwrap();
+        assert_eq!(
+            counters.get("fdbscan_requests_completed_total").unwrap().as_f64(),
+            Some(0.0),
+            "a disabled registry must not count"
+        );
+        assert_eq!(service.metrics().e2e_latency().count(), 0);
+        assert_eq!(service.metrics().inflight(), 0);
+        assert!(
+            counters.get("fdbscan_tenant_requests_total{tenant=acme}").is_none(),
+            "disabled metrics must not even register tenant series"
+        );
+    }
+
+    #[test]
+    fn enabled_metrics_cover_the_lifecycle_and_render_cleanly() {
+        let service = ClusterService::new(
+            Device::new(DeviceConfig::default().with_workers(2)),
+            ServiceConfig::default().with_metrics(true),
+        );
+        for i in 0..3 {
+            let request = ClusterRequest::new(random_points(300, 5.0, 40 + i), Params::new(0.3, 4))
+                .with_tenant(if i == 0 { "acme" } else { "globex" });
+            let response = service.execute(request).unwrap();
+            assert_eq!(response.request_id, i + 1, "ids are minted sequentially from 1");
+            assert_eq!(response.stats.request_id, Some(i + 1), "the id must reach RunStats");
+        }
+        let mut bad = random_points(10, 5.0, 50);
+        bad[3] = Point2::new([f32::INFINITY, 0.0]);
+        service.execute(ClusterRequest::new(bad, Params::new(0.3, 4))).unwrap_err();
+
+        let e2e = service.metrics().e2e_latency();
+        assert_eq!(e2e.count(), 3, "one e2e observation per admitted request");
+        assert!(e2e.quantile(0.5) > 0);
+        assert_eq!(service.metrics().inflight(), 0, "inflight gauge must return to zero");
+
+        let text = service.render_metrics();
+        let stats = fdbscan_device::metrics::validate_exposition(&text)
+            .unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(stats.families > 10, "expected the full catalog, got {}", stats.families);
+        assert!(text.contains("fdbscan_requests_submitted_total 4"), "{text}");
+        assert!(text.contains("fdbscan_requests_completed_total 3"), "{text}");
+        assert!(text.contains("fdbscan_requests_rejected_invalid_total 1"), "{text}");
+        assert!(text.contains("fdbscan_tenant_requests_total{tenant=\"acme\"} 1"), "{text}");
+        assert!(text.contains("fdbscan_tenant_requests_total{tenant=\"globex\"} 2"), "{text}");
+        assert!(text.contains("fdbscan_ladder_attempts_total 3"), "{text}");
+        assert!(text.contains("# TYPE fdbscan_request_e2e_seconds histogram"), "{text}");
+    }
+
+    #[test]
+    fn slo_budget_burns_when_the_target_is_unmeetable() {
+        // A ZERO p95 target: every finished request burns budget, and
+        // the rolling p95 gauge reflects the window after a scrape.
+        let service = ClusterService::new(
+            Device::new(DeviceConfig::default().with_workers(2)),
+            ServiceConfig::default().with_metrics(true).with_p95_target(Duration::ZERO),
+        );
+        for i in 0..2 {
+            service
+                .execute(ClusterRequest::new(random_points(200, 5.0, 60 + i), Params::new(0.3, 4)))
+                .unwrap();
+        }
+        assert_eq!(service.metrics().budget_burn(), 2);
+        let json = service.metrics_json();
+        let p95 = json
+            .get("gauges")
+            .unwrap()
+            .get("fdbscan_slo_rolling_p95_ns")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(p95 > 0.0, "rolling p95 should be set after a scrape with traffic");
+    }
+
+    #[test]
     fn concurrent_requests_share_the_device_cleanly() {
         let device = Device::new(DeviceConfig::default().with_workers(2));
-        let service =
-            ClusterService::new(device, ServiceConfig { max_concurrency: 4, queue_depth: 16 });
+        let service = ClusterService::new(
+            device,
+            ServiceConfig::default().with_max_concurrency(4).with_queue_depth(16),
+        );
         let handles: Vec<_> = (0..8)
             .map(|i| {
                 service.submit(ClusterRequest::new(

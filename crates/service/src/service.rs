@@ -22,6 +22,7 @@ use fdbscan_geom::Point;
 
 use crate::admission::AdmissionGate;
 use crate::error::{OverloadReason, ServiceError};
+use crate::metrics::ServiceMetrics;
 
 /// Service sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -33,11 +34,24 @@ pub struct ServiceConfig {
     /// Requests allowed to wait beyond the concurrency cap before the
     /// service sheds load. Zero disables queueing entirely.
     pub queue_depth: usize,
+    /// Enables the telemetry registry ([`crate::ServiceMetrics`]).
+    /// When `false` (the default) every instrument site costs one
+    /// relaxed atomic load; the `FDBSCAN_METRICS_DUMP` environment
+    /// variable force-enables regardless.
+    pub metrics: bool,
+    /// p95 latency target for SLO tracking: finished requests slower
+    /// than this burn error budget (`fdbscan_slo_budget_burn_total`).
+    pub p95_target: Duration,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { max_concurrency: 4, queue_depth: 16 }
+        Self {
+            max_concurrency: 4,
+            queue_depth: 16,
+            metrics: false,
+            p95_target: Duration::from_secs(5),
+        }
     }
 }
 
@@ -51,6 +65,18 @@ impl ServiceConfig {
     /// Sets the queue bound.
     pub fn with_queue_depth(mut self, n: usize) -> Self {
         self.queue_depth = n;
+        self
+    }
+
+    /// Enables (or disables) the telemetry registry.
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
+    /// Sets the p95 latency target for SLO tracking.
+    pub fn with_p95_target(mut self, target: Duration) -> Self {
+        self.p95_target = target;
         self
     }
 }
@@ -70,12 +96,22 @@ pub struct ClusterRequest<const D: usize> {
     pub policy: ResiliencePolicy,
     /// Client-held cancellation handle; `None` = not cancellable.
     pub cancel: Option<CancelToken>,
+    /// Tenant attribution for the `fdbscan_tenant_requests_total`
+    /// metric family; `None` = unattributed.
+    pub tenant: Option<String>,
 }
 
 impl<const D: usize> ClusterRequest<D> {
     /// A request with default policy, no deadline, no cancel handle.
     pub fn new(points: Vec<Point<D>>, params: Params) -> Self {
-        Self { points, params, deadline: None, policy: ResiliencePolicy::default(), cancel: None }
+        Self {
+            points,
+            params,
+            deadline: None,
+            policy: ResiliencePolicy::default(),
+            cancel: None,
+            tenant: None,
+        }
     }
 
     /// Sets a latency budget (measured from when `execute`/`submit`
@@ -96,6 +132,12 @@ impl<const D: usize> ClusterRequest<D> {
     /// launch boundary, ladder rung boundary).
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Attributes the request to a tenant for per-tenant metrics.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 
@@ -125,6 +167,10 @@ pub struct ClusterResponse {
     pub queue_wait: Duration,
     /// End-to-end service time (queue wait + preflight + run).
     pub total: Duration,
+    /// Service-assigned request id: minted at submission, carried on
+    /// the request's [`CancelToken`], stamped into every trace span the
+    /// run emits and into [`RunStats::request_id`].
+    pub request_id: u64,
 }
 
 /// Monotonic service-wide counters (all requests, all outcomes).
@@ -134,7 +180,9 @@ pub struct ServiceStats {
     admitted: AtomicU64,
     completed: AtomicU64,
     degraded: AtomicU64,
-    shed_overload: AtomicU64,
+    shed_queue_full: AtomicU64,
+    shed_memory_pressure: AtomicU64,
+    deadline_expired_in_queue: AtomicU64,
     deadline_exceeded: AtomicU64,
     cancelled: AtomicU64,
     rejected_invalid: AtomicU64,
@@ -153,9 +201,15 @@ pub struct ServiceStatsSnapshot {
     /// Completed requests that finished on a lower ladder rung than
     /// they started on.
     pub degraded: u64,
-    /// Requests shed with [`ServiceError::Overloaded`].
-    pub shed_overload: u64,
-    /// Requests that failed with [`ServiceError::DeadlineExceeded`].
+    /// Requests shed with [`OverloadReason::QueueFull`].
+    pub shed_queue_full: u64,
+    /// Requests shed with [`OverloadReason::MemoryPressure`].
+    pub shed_memory_pressure: u64,
+    /// Requests whose deadline expired while waiting in the admission
+    /// queue (a subset of `deadline_exceeded`).
+    pub deadline_expired_in_queue: u64,
+    /// Requests that failed with [`ServiceError::DeadlineExceeded`]
+    /// anywhere (queue or execution).
     pub deadline_exceeded: u64,
     /// Requests that failed with [`ServiceError::Cancelled`].
     pub cancelled: u64,
@@ -177,7 +231,9 @@ impl ServiceStats {
             admitted: self.admitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
-            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Relaxed),
+            shed_memory_pressure: self.shed_memory_pressure.load(Ordering::Relaxed),
+            deadline_expired_in_queue: self.deadline_expired_in_queue.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
@@ -187,10 +243,15 @@ impl ServiceStats {
 }
 
 impl ServiceStatsSnapshot {
+    /// Requests shed with [`ServiceError::Overloaded`], all causes.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_memory_pressure
+    }
+
     /// Requests with any terminal outcome (success or typed failure).
     pub fn finished(&self) -> u64 {
         self.completed
-            + self.shed_overload
+            + self.shed()
             + self.deadline_exceeded
             + self.cancelled
             + self.rejected_invalid
@@ -202,6 +263,20 @@ struct ServiceInner {
     device: Device,
     gate: AdmissionGate,
     stats: ServiceStats,
+    metrics: ServiceMetrics,
+    next_request_id: AtomicU64,
+}
+
+impl Drop for ServiceInner {
+    fn drop(&mut self) {
+        // End-of-process exposition dump, gated on the same env var
+        // that force-enabled the registry. Best-effort: a service being
+        // torn down has no better channel to report an IO error on.
+        if let Some(path) = fdbscan_device::metrics::dump_path() {
+            self.metrics.sample(&self.device, &self.gate);
+            let _ = std::fs::write(path, self.metrics.render_prometheus());
+        }
+    }
 }
 
 /// A clustering service over one shared [`Device`]. Cheap to clone;
@@ -220,6 +295,8 @@ impl ClusterService {
                 device,
                 gate: AdmissionGate::new(config.max_concurrency, config.queue_depth),
                 stats: ServiceStats::default(),
+                metrics: ServiceMetrics::new(config.metrics, config.p95_target),
+                next_request_id: AtomicU64::new(1),
             }),
         }
     }
@@ -239,6 +316,26 @@ impl ClusterService {
         self.inner.stats.snapshot()
     }
 
+    /// The telemetry catalog (histograms, SLO state, registry).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.inner.metrics
+    }
+
+    /// Samples device/gate gauges and the rolling p95 window, then
+    /// renders the Prometheus text exposition.
+    pub fn render_metrics(&self) -> String {
+        self.inner.metrics.sample(&self.inner.device, &self.inner.gate);
+        self.inner.metrics.render_prometheus()
+    }
+
+    /// Samples gauges, then returns the registry's JSON snapshot
+    /// (counters/gauges by value, histograms with interpolated
+    /// p50/p95/p99).
+    pub fn metrics_json(&self) -> fdbscan_device::json::Json {
+        self.inner.metrics.sample(&self.inner.device, &self.inner.gate);
+        self.inner.metrics.registry().to_json()
+    }
+
     /// Runs `request` to completion on the calling thread.
     pub fn execute<const D: usize>(
         &self,
@@ -246,29 +343,56 @@ impl ClusterService {
     ) -> Result<ClusterResponse, ServiceError> {
         let started = Instant::now();
         let stats = &self.inner.stats;
+        let metrics = &self.inner.metrics;
         stats.bump(&stats.submitted);
+        metrics.submitted.inc();
+        if let Some(tenant) = &request.tenant {
+            metrics.count_tenant(tenant);
+        }
+        let request_id = self.inner.next_request_id.fetch_add(1, Ordering::Relaxed);
 
         // Reject garbage before it costs anyone anything: no queue
         // slot, no device time, and a diagnostic naming the offending
         // coordinate.
         if let Some(bad) = find_non_finite(&request.points) {
             stats.bump(&stats.rejected_invalid);
+            metrics.rejected_invalid.inc();
             return Err(ServiceError::InvalidInput(bad));
         }
 
-        let token = request.effective_token(started);
-        let permit = self.inner.gate.admit(&token).map_err(|err| {
-            self.count_error(&err);
+        let token = request.effective_token(started).with_request_id(request_id);
+        let permit = self.inner.gate.admit(&token).map_err(|err| match err {
             // The gate cannot know the real queue wait; stamp it here.
-            match err {
-                ServiceError::DeadlineExceeded { .. } => {
-                    ServiceError::DeadlineExceeded { waited: started.elapsed() }
-                }
-                other => other,
+            // A deadline that fires while still queued is both a
+            // deadline failure (client-visible outcome) and a shed
+            // cause (the service never spent device time on it).
+            ServiceError::DeadlineExceeded { .. } => {
+                stats.bump(&stats.deadline_exceeded);
+                stats.bump(&stats.deadline_expired_in_queue);
+                metrics.deadline_exceeded.inc();
+                metrics.shed_deadline_in_queue.inc();
+                metrics.finish(started.elapsed());
+                ServiceError::DeadlineExceeded { waited: started.elapsed() }
+            }
+            ServiceError::Cancelled => {
+                stats.bump(&stats.cancelled);
+                metrics.cancelled.inc();
+                ServiceError::Cancelled
+            }
+            other => {
+                // The gate's only other rejection is a full queue.
+                stats.bump(&stats.shed_queue_full);
+                metrics.shed_queue_full.inc();
+                other
             }
         })?;
         let queue_wait = started.elapsed();
         stats.bump(&stats.admitted);
+        metrics.admitted.inc();
+        metrics.queue_wait.observe_duration(queue_wait);
+        // Balanced on every exit path below (RAII), so the gauge can
+        // never leak past a return.
+        let _inflight = metrics.inflight_guard();
 
         // Memory preflight at grant time: shed if even the cheapest
         // parallel rung cannot fit in budget headroom plus trimmable
@@ -279,17 +403,19 @@ impl ClusterService {
             let arena = self.inner.device.arena();
             let unpooled = budget.saturating_sub(memory.in_use());
             let available = unpooled + arena.held_bytes();
+            metrics.preflight_available.observe(available as u64);
             let estimated = estimate_fdbscan_bytes::<D>(request.points.len());
             if estimated > available {
                 drop(permit);
-                let err = ServiceError::Overloaded {
+                stats.bump(&stats.shed_memory_pressure);
+                metrics.shed_memory_pressure.inc();
+                metrics.finish(started.elapsed());
+                return Err(ServiceError::Overloaded {
                     reason: OverloadReason::MemoryPressure {
                         estimated_bytes: estimated,
                         available_bytes: available,
                     },
-                };
-                self.count_error(&err);
-                return Err(err);
+                });
             }
             if estimated > unpooled {
                 // The request fits only if pooled scratch is released.
@@ -298,32 +424,58 @@ impl ClusterService {
         }
 
         let device = self.inner.device.with_cancel(token);
+        let exec_started = Instant::now();
+        // Every span the run records carries this request's id, so a
+        // Chrome trace of the shared device can be filtered per request.
+        let scope = fdbscan_device::trace::request_scope(request_id);
         let result = run_resilient(&device, &request.points, request.params, request.policy);
+        drop(scope);
+        metrics.exec.observe_duration(exec_started.elapsed());
         drop(permit);
 
+        let total = started.elapsed();
+        metrics.finish(total);
         match result {
             Ok((clustering, run_stats, report)) => {
                 stats.bump(&stats.completed);
+                metrics.completed.inc();
+                metrics.ladder_attempts.add(run_stats.attempts as u64);
                 if report.degraded() {
                     stats.bump(&stats.degraded);
+                    metrics.degraded.inc();
+                    metrics.ladder_degradations.inc();
                 }
                 Ok(ClusterResponse {
                     clustering,
                     stats: run_stats,
                     report,
                     queue_wait,
-                    total: started.elapsed(),
+                    total,
+                    request_id,
                 })
             }
             Err(err) => {
                 let err = match err {
                     DeviceError::Cancelled { .. } => ServiceError::Cancelled,
                     DeviceError::DeadlineExceeded { .. } => {
-                        ServiceError::DeadlineExceeded { waited: started.elapsed() }
+                        ServiceError::DeadlineExceeded { waited: total }
                     }
                     other => ServiceError::Device(other),
                 };
-                self.count_error(&err);
+                match &err {
+                    ServiceError::Cancelled => {
+                        stats.bump(&stats.cancelled);
+                        metrics.cancelled.inc();
+                    }
+                    ServiceError::DeadlineExceeded { .. } => {
+                        stats.bump(&stats.deadline_exceeded);
+                        metrics.deadline_exceeded.inc();
+                    }
+                    _ => {
+                        stats.bump(&stats.failed);
+                        metrics.failed.inc();
+                    }
+                }
                 Err(err)
             }
         }
@@ -340,17 +492,6 @@ impl ClusterService {
         let service = self.clone();
         let join = std::thread::spawn(move || service.execute(request));
         RequestHandle { token, join }
-    }
-
-    fn count_error(&self, err: &ServiceError) {
-        let stats = &self.inner.stats;
-        match err {
-            ServiceError::Overloaded { .. } => stats.bump(&stats.shed_overload),
-            ServiceError::DeadlineExceeded { .. } => stats.bump(&stats.deadline_exceeded),
-            ServiceError::Cancelled => stats.bump(&stats.cancelled),
-            ServiceError::InvalidInput(_) => stats.bump(&stats.rejected_invalid),
-            ServiceError::Device(_) => stats.bump(&stats.failed),
-        }
     }
 }
 

@@ -147,14 +147,40 @@ fn service_baseline_covers_the_matrix_and_is_clean() {
         .unwrap_or_else(|e| panic!("unreadable baseline {}: {e}\n{SERVICE_REGEN}", path.display()));
     let matrix = service_matrix();
     for case in &matrix {
-        let &(_, requests, completed, shed, failed, met) = baseline
+        let parsed = baseline
             .case(case.id)
             .unwrap_or_else(|| panic!("baseline missing case {}; {SERVICE_REGEN}", case.id));
-        assert_eq!(requests, case.requests as u64, "{}: request count drifted", case.id);
-        assert_eq!(completed, requests, "{}: baseline recorded incomplete requests", case.id);
-        assert_eq!(shed, 0, "{}: baseline recorded shed requests on a clean workload", case.id);
-        assert_eq!(failed, 0, "{}: baseline recorded failed requests", case.id);
-        assert!(met, "{}: baseline missed the p95 target; {SERVICE_REGEN}", case.id);
+        assert_eq!(parsed.requests, case.requests as u64, "{}: request count drifted", case.id);
+        assert_eq!(
+            parsed.completed, parsed.requests,
+            "{}: baseline recorded incomplete requests",
+            case.id
+        );
+        assert_eq!(
+            parsed.shed, 0,
+            "{}: baseline recorded shed requests on a clean workload",
+            case.id
+        );
+        assert_eq!(parsed.failed, 0, "{}: baseline recorded failed requests", case.id);
+        assert!(
+            parsed.met_p95_target,
+            "{}: baseline missed the p95 target; {SERVICE_REGEN}",
+            case.id
+        );
+        // Structural gate on the telemetry-sourced percentiles: present,
+        // positive, ordered. Absolute values are machine-dependent and
+        // not compared.
+        let [p50, p95, p99] = parsed.histogram_percentiles_ms;
+        assert!(
+            p50 > 0.0 && p95 > 0.0 && p99 > 0.0,
+            "{}: histogram percentiles missing or zero ({p50}/{p95}/{p99}); {SERVICE_REGEN}",
+            case.id
+        );
+        assert!(
+            p50 <= p95 && p95 <= p99,
+            "{}: histogram percentiles out of order ({p50}/{p95}/{p99})",
+            case.id
+        );
     }
     assert_eq!(
         baseline.cases.len(),
@@ -180,6 +206,18 @@ fn service_throughput_holds_generous_floors() {
             "{id}: throughput {:.1} req/s under the {MIN_THROUGHPUT_RPS} req/s floor \
              — requests serialized or hung",
             record.throughput_rps
+        );
+        // The telemetry histogram watched the same wave: its
+        // interpolated percentiles must exist, be ordered, and agree
+        // with the exact nearest-rank p95 within the log2 bucketing
+        // error (one bucket is a 2x band; allow 2x each way).
+        let [p50, p95, p99] = record.histogram_percentiles_ms;
+        assert!(p50 > 0.0 && p50 <= p95 && p95 <= p99, "{id}: bad percentiles {p50}/{p95}/{p99}");
+        assert!(
+            p95 <= record.p95_ms * 2.0 && p95 >= record.p95_ms / 2.0,
+            "{id}: histogram p95 {p95:.2} ms disagrees with exact p95 {:.2} ms beyond \
+             bucketing error",
+            record.p95_ms
         );
     }
 }

@@ -22,7 +22,18 @@
 //! schedule-dependent; the invariants hold regardless, and the fault
 //! plan itself is deterministic from `FDBSCAN_CHAOS_SEED` (default 1;
 //! CI sweeps several).
+//!
+//! The wave additionally runs with telemetry and tracing enabled: a
+//! scraper thread renders and validates the Prometheus exposition
+//! *while* the wave is in flight (invariant 4: a scrape is always
+//! internally consistent, never torn), afterwards the registry's
+//! counters must reconcile with `ServiceStats` and the inflight gauge
+//! must be back to zero (invariant 5: zero gauge leakage), and every
+//! phase/kernel span the shared device traced must carry the id of the
+//! request that emitted it (invariant 6: request-correlated traces).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use fdbscan::{run_resilient, Clustering, Params, ResiliencePolicy};
@@ -130,10 +141,46 @@ fn chaos_under_concurrency_matrix() {
         })
         .collect();
 
-    let device =
-        Device::new(DeviceConfig::default().with_workers(3).with_fault_plan(chaos_plan(seed)));
-    let service =
-        ClusterService::new(device, ServiceConfig { max_concurrency: 4, queue_depth: N_REQUESTS });
+    let device = Device::new(
+        DeviceConfig::default().with_workers(3).with_fault_plan(chaos_plan(seed)).with_tracing(),
+    );
+    let service = ClusterService::new(
+        device,
+        ServiceConfig::default()
+            .with_max_concurrency(4)
+            .with_queue_depth(N_REQUESTS)
+            .with_metrics(true),
+    );
+
+    // Invariant 4: scrape the registry while the wave is in flight.
+    // Every rendered exposition must parse and hold its structural
+    // invariants (cumulative buckets, declared families, unique
+    // samples), and the live counters must never be inconsistent —
+    // whatever instant the scrape lands on.
+    let stop_scraping = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let service = service.clone();
+        let stop = Arc::clone(&stop_scraping);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let text = service.render_metrics();
+                fdbscan_device::metrics::validate_exposition(&text)
+                    .unwrap_or_else(|e| panic!("mid-wave scrape invalid: {e}\n---\n{text}"));
+                let stats = service.stats();
+                assert!(stats.admitted <= stats.submitted, "admitted > submitted mid-wave");
+                assert!(stats.finished() <= stats.submitted, "finished > submitted mid-wave");
+                let inflight = service.metrics().inflight();
+                assert!(
+                    (0..=4).contains(&inflight),
+                    "inflight gauge {inflight} outside [0, max_concurrency]"
+                );
+                scrapes += 1;
+                std::thread::yield_now();
+            }
+            scrapes
+        })
+    };
 
     let mut victims = Vec::new();
     let handles: Vec<_> = specs
@@ -188,6 +235,86 @@ fn chaos_under_concurrency_matrix() {
     assert_eq!(completed + rejected, N_REQUESTS);
     assert!(completed > 0, "seed {seed}: every request was rejected — no survivors to check");
 
+    stop_scraping.store(true, Ordering::Relaxed);
+    let scrapes = scraper.join().expect("scraper thread panicked");
+    assert!(scrapes > 0, "the scraper never ran concurrently with the wave");
+
+    // Invariant 5: after the wave the registry reconciles with the
+    // always-on ServiceStats, and no gauge leaks past the last return.
+    let stats = service.stats();
+    let json = service.metrics_json();
+    let counter = |name: &str| {
+        json.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("missing counter {name}")) as u64
+    };
+    assert_eq!(counter("fdbscan_requests_submitted_total"), stats.submitted);
+    assert_eq!(counter("fdbscan_requests_admitted_total"), stats.admitted);
+    assert_eq!(counter("fdbscan_requests_completed_total"), stats.completed);
+    assert_eq!(counter("fdbscan_requests_cancelled_total"), stats.cancelled);
+    assert_eq!(counter("fdbscan_requests_deadline_exceeded_total"), stats.deadline_exceeded);
+    assert_eq!(counter("fdbscan_requests_shed_total{cause=queue_full}"), stats.shed_queue_full);
+    assert_eq!(
+        counter("fdbscan_requests_shed_total{cause=memory_pressure}"),
+        stats.shed_memory_pressure
+    );
+    assert_eq!(
+        counter("fdbscan_requests_shed_total{cause=deadline_in_queue}"),
+        stats.deadline_expired_in_queue
+    );
+    assert_eq!(service.metrics().inflight(), 0, "seed {seed}: inflight gauge leaked");
+    // Every admitted request records exactly one e2e observation
+    // (whether it executed or was shed at the memory preflight), plus
+    // one per deadline that expired in the queue.
+    assert_eq!(
+        service.metrics().e2e_latency().count(),
+        stats.admitted + stats.deadline_expired_in_queue,
+        "seed {seed}: e2e histogram disagrees with admission accounting"
+    );
+
+    // Invariant 6: every phase/kernel span the shared device traced was
+    // emitted inside some request's scope and carries that request's id
+    // — both in the raw records and in the Chrome export's args.
+    let events = service.device().tracer().events();
+    let spans: Vec<_> = events
+        .iter()
+        .filter(|e| {
+            matches!(e.kind, fdbscan_device::SpanKind::Phase | fdbscan_device::SpanKind::Kernel)
+        })
+        .collect();
+    assert!(!spans.is_empty(), "seed {seed}: tracing was enabled but recorded nothing");
+    for span in &spans {
+        let id = span
+            .request_id
+            .unwrap_or_else(|| panic!("seed {seed}: span {:?} has no request id", span.label));
+        assert!(
+            (1..=N_REQUESTS as u64).contains(&id),
+            "seed {seed}: span {:?} carries unknown request id {id}",
+            span.label
+        );
+    }
+    let chrome = fdbscan_device::json::parse(&service.device().tracer().export_chrome())
+        .expect("chrome export must parse");
+    let chrome_events = chrome
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("chrome export missing traceEvents");
+    let mut tagged = 0usize;
+    for event in chrome_events {
+        if event.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let id = event
+            .get("args")
+            .and_then(|a| a.get("request_id"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| panic!("seed {seed}: chrome X event lacks args.request_id"));
+        assert!((1.0..=N_REQUESTS as f64).contains(&id));
+        tagged += 1;
+    }
+    assert_eq!(tagged, spans.len(), "chrome export dropped tagged spans");
+
     // The plan's faults address early ordinals; the wave must have
     // tripped at least one (otherwise this test chaos-tests nothing).
     let counters = service.device().counters().snapshot();
@@ -221,7 +348,10 @@ fn repeated_chaos_waves_leave_a_clean_device() {
     let seed = chaos_seed();
     let device =
         Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(chaos_plan(seed)));
-    let service = ClusterService::new(device, ServiceConfig { max_concurrency: 3, queue_depth: 8 });
+    let service = ClusterService::new(
+        device,
+        ServiceConfig::default().with_max_concurrency(3).with_queue_depth(8).with_metrics(true),
+    );
     for wave in 0..3u64 {
         let handles: Vec<_> = (0..4)
             .map(|i| {
@@ -237,6 +367,12 @@ fn repeated_chaos_waves_leave_a_clean_device() {
             service.device().arena().held_bytes(),
             "wave {wave} leaked reservations"
         );
+        assert_eq!(service.metrics().inflight(), 0, "wave {wave} leaked the inflight gauge");
     }
     assert_eq!(service.stats().completed, 12);
+    let text = service.render_metrics();
+    let stats = fdbscan_device::metrics::validate_exposition(&text)
+        .unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+    assert!(stats.samples > 0);
+    assert!(text.contains("fdbscan_requests_completed_total 12"), "{text}");
 }
