@@ -1,0 +1,46 @@
+//! Regenerates the distributed-driver throughput/merge-time baseline.
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin dist -- BENCH_dist.json
+//! cargo run --release -p fdbscan-bench --bin dist -- --scale 4.0 BENCH_dist.json
+//! ```
+//!
+//! With no path argument the report is printed to stdout. Wall-clock
+//! numbers are machine-dependent; the regression gate guards only
+//! structure (bit-identity to the canonical oracle, exact fault-free
+//! message counts), so regenerating on a different machine is safe.
+
+use fdbscan_bench::dist_bench::collect_dist;
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = args.next().unwrap_or_else(|| {
+                    eprintln!("--scale needs a value");
+                    std::process::exit(2);
+                });
+                scale = value.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --scale value: {value}");
+                    std::process::exit(2);
+                });
+            }
+            other => path = Some(std::path::PathBuf::from(other)),
+        }
+    }
+
+    let report = collect_dist(scale);
+    match path {
+        Some(path) => {
+            if let Err(err) = report.write(&path) {
+                eprintln!("failed to write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!("wrote {} cases to {}", report.records.len(), path.display());
+        }
+        None => println!("{}", report.to_json().to_pretty(2)),
+    }
+}

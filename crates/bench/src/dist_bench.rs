@@ -1,0 +1,291 @@
+//! Distributed-driver throughput and merge-latency accounting for the
+//! bench-regression gate.
+//!
+//! The `crates/dist` driver shards a point set across simulated ranks,
+//! exchanges ε-halos, clusters each slab locally, and reassembles the
+//! global labeling with a checkpointed cross-rank merge. This module
+//! drives the cosmology workload (the paper's §5.2 distribution, scaled
+//! by `--scale`) through [`fdbscan_dist::distributed_fdbscan`] at a few
+//! rank counts and records **points per second** and the **merge time**
+//! as the rank count grows.
+//!
+//! Wall-clock numbers are machine-dependent, so the regression gate
+//! (`tests/bench_regression.rs`) guards only machine-independent
+//! structure: every case matches the canonical single-device oracle
+//! bit-for-bit, ownership partitions the input, the transport carries
+//! exactly the fault-free message count, and nothing retries or dies on
+//! a healthy run.
+//!
+//! Regenerate the checked-in baseline with:
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin dist -- BENCH_dist.json
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use fdbscan::seq::dbscan_canonical;
+use fdbscan::Params;
+use fdbscan_data::cosmology::default_snapshot;
+use fdbscan_device::json::Json;
+use fdbscan_device::{Device, DeviceConfig};
+use fdbscan_dist::distributed_fdbscan;
+
+use crate::scaled_cosmo_eps;
+
+/// Schema tag of the document [`DistReport::write`] produces.
+pub const DIST_SCHEMA: &str = "fdbscan.bench_dist.v1";
+
+/// Dataset seed shared by every case.
+pub const DIST_SEED: u64 = 11;
+
+/// Points at `--scale 1.0`. Sized so the oracle comparison stays cheap
+/// enough for the debug-build regression gate.
+pub const DIST_BASE_N: usize = 3000;
+
+/// One distributed benchmark scenario.
+#[derive(Clone, Debug)]
+pub struct DistCase {
+    /// Stable identifier (`dist/r<ranks>`), the join key against the
+    /// checked-in baseline.
+    pub id: &'static str,
+    /// Simulated rank count.
+    pub ranks: usize,
+}
+
+/// The fixed scenario matrix: the same cosmology workload at growing
+/// rank counts on a 2-worker device — the interesting axis is how the
+/// halo/merge overhead scales with the fleet, not device size.
+pub fn dist_matrix() -> Vec<DistCase> {
+    [("dist/r1", 1), ("dist/r2", 2), ("dist/r4", 4), ("dist/r8", 8)]
+        .into_iter()
+        .map(|(id, ranks)| DistCase { id, ranks })
+        .collect()
+}
+
+/// Measured outcome of one [`DistCase`].
+#[derive(Clone, Debug)]
+pub struct DistRecord {
+    /// The scenario.
+    pub case: DistCase,
+    /// Points clustered.
+    pub n: usize,
+    /// Points / wall seconds for the full distributed run.
+    pub points_per_sec: f64,
+    /// Wall time of the full run, milliseconds.
+    pub total_ms: f64,
+    /// Wall time of the cross-rank merge, milliseconds.
+    pub merge_ms: f64,
+    /// Halo-exchange frames delivered (fault-free: `2·r·(r−1)`).
+    pub messages_sent: u64,
+    /// Retransmissions (zero on a healthy run).
+    pub retransmits: u64,
+    /// Rank deaths (zero on a healthy run).
+    pub rank_deaths: u64,
+    /// Whether the labels were bit-identical to
+    /// `fdbscan::seq::dbscan_canonical` — the structural fact the gate
+    /// actually guards.
+    pub oracle_match: bool,
+}
+
+/// Runs one scenario at `scale` (multiplies [`DIST_BASE_N`]): cluster,
+/// compare to the canonical oracle, measure. Panics if the run fails —
+/// the workload is fault-free on a healthy unbudgeted device.
+pub fn run_case(case: &DistCase, scale: f64) -> DistRecord {
+    let n = ((DIST_BASE_N as f64 * scale) as usize).max(64);
+    let points = default_snapshot(n, DIST_SEED);
+    let params = Params::new(scaled_cosmo_eps(n), 5);
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+
+    let started = Instant::now();
+    let (clustering, stats) = distributed_fdbscan(&device, &points, params, case.ranks)
+        .unwrap_or_else(|e| panic!("{}: distributed run failed: {e}", case.id));
+    let wall = started.elapsed();
+
+    let oracle = dbscan_canonical(&points, params);
+    let owned: usize = stats.ranks.iter().map(|r| r.owned).sum();
+    assert_eq!(owned, n, "{}: ownership must partition the points", case.id);
+
+    DistRecord {
+        case: case.clone(),
+        n,
+        points_per_sec: n as f64 / wall.as_secs_f64().max(1e-9),
+        total_ms: wall.as_secs_f64() * 1e3,
+        merge_ms: stats.merge_time.as_secs_f64() * 1e3,
+        messages_sent: stats.recovery.messages_sent,
+        retransmits: stats.recovery.retransmits,
+        rank_deaths: stats.recovery.rank_deaths,
+        oracle_match: clustering == oracle,
+    }
+}
+
+/// The full distributed report: one [`DistRecord`] per scenario.
+#[derive(Clone, Debug, Default)]
+pub struct DistReport {
+    /// Executed records, in [`dist_matrix`] order.
+    pub records: Vec<DistRecord>,
+}
+
+/// Runs the whole [`dist_matrix`] at `scale`.
+pub fn collect_dist(scale: f64) -> DistReport {
+    DistReport { records: dist_matrix().iter().map(|case| run_case(case, scale)).collect() }
+}
+
+impl DistRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::str(self.case.id)),
+            ("ranks", Json::U64(self.case.ranks as u64)),
+            ("n", Json::U64(self.n as u64)),
+            ("points_per_sec", Json::F64(self.points_per_sec)),
+            ("total_ms", Json::F64(self.total_ms)),
+            ("merge_ms", Json::F64(self.merge_ms)),
+            ("messages_sent", Json::U64(self.messages_sent)),
+            ("retransmits", Json::U64(self.retransmits)),
+            ("rank_deaths", Json::U64(self.rank_deaths)),
+            ("oracle_match", Json::Bool(self.oracle_match)),
+        ])
+    }
+}
+
+impl DistReport {
+    /// Serializes the report (schema [`DIST_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(DIST_SCHEMA)),
+            ("seed", Json::U64(DIST_SEED)),
+            ("cases", Json::Arr(self.records.iter().map(|r| r.to_json()).collect())),
+        ])
+    }
+
+    /// Writes the report as pretty-printed JSON to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json().to_pretty(2)))
+    }
+}
+
+/// A parsed `BENCH_dist.json` baseline.
+#[derive(Clone, Debug)]
+pub struct DistBaseline {
+    /// Per-case structural facts, in document order.
+    pub cases: Vec<DistBaselineCase>,
+}
+
+/// One case of a parsed baseline document.
+#[derive(Clone, Debug)]
+pub struct DistBaselineCase {
+    /// The case id (`dist/r<ranks>`).
+    pub id: String,
+    /// Simulated rank count.
+    pub ranks: u64,
+    /// Points clustered.
+    pub n: u64,
+    /// Frames delivered.
+    pub messages_sent: u64,
+    /// Retransmissions recorded.
+    pub retransmits: u64,
+    /// Rank deaths recorded.
+    pub rank_deaths: u64,
+    /// Whether the baseline run matched the canonical oracle.
+    pub oracle_match: bool,
+    /// Merge wall time, milliseconds (structural: must be finite and
+    /// non-negative; absolute value is machine-dependent).
+    pub merge_ms: f64,
+}
+
+impl DistBaseline {
+    /// Parses a baseline document, validating the schema tag.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = fdbscan_device::json::parse(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+        let schema = doc.get("schema").and_then(|s| s.as_str());
+        if schema != Some(DIST_SCHEMA) {
+            return Err(format!("schema mismatch: expected {DIST_SCHEMA}, got {schema:?}"));
+        }
+        let mut cases = Vec::new();
+        for case in doc.get("cases").and_then(|c| c.as_arr()).ok_or("missing 'cases' array")? {
+            let id =
+                case.get("id").and_then(|v| v.as_str()).ok_or("case without 'id'")?.to_string();
+            let num = |key: &str| {
+                case.get(key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("case {id} missing '{key}'"))
+            };
+            cases.push(DistBaselineCase {
+                ranks: num("ranks")? as u64,
+                n: num("n")? as u64,
+                messages_sent: num("messages_sent")? as u64,
+                retransmits: num("retransmits")? as u64,
+                rank_deaths: num("rank_deaths")? as u64,
+                oracle_match: matches!(case.get("oracle_match"), Some(Json::Bool(true))),
+                merge_ms: num("merge_ms")?,
+                id,
+            });
+        }
+        Ok(Self { cases })
+    }
+
+    /// One case by id, if present.
+    pub fn case(&self, id: &str) -> Option<&DistBaselineCase> {
+        self.cases.iter().find(|case| case.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_ids_are_unique_and_rank_counts_grow() {
+        let matrix = dist_matrix();
+        let mut ids: Vec<_> = matrix.iter().map(|c| c.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), matrix.len());
+        for pair in matrix.windows(2) {
+            assert!(pair[0].ranks < pair[1].ranks, "rank axis must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_baseline_parser() {
+        let case = dist_matrix().remove(1);
+        let id = case.id;
+        let record = DistRecord {
+            case,
+            n: 3000,
+            points_per_sec: 1e5,
+            total_ms: 30.0,
+            merge_ms: 2.0,
+            messages_sent: 4,
+            retransmits: 0,
+            rank_deaths: 0,
+            oracle_match: true,
+        };
+        let report = DistReport { records: vec![record] };
+        let baseline = DistBaseline::parse(&report.to_json().to_pretty(2)).unwrap();
+        let parsed = baseline.case(id).expect("case survives the round trip");
+        assert_eq!(
+            (parsed.ranks, parsed.n, parsed.messages_sent, parsed.oracle_match),
+            (2, 3000, 4, true)
+        );
+        assert_eq!((parsed.retransmits, parsed.rank_deaths), (0, 0));
+        assert!((parsed.merge_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_parser_rejects_wrong_schema() {
+        let err = DistBaseline::parse(r#"{"schema": "something.else", "cases": []}"#).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn small_case_runs_and_matches_the_oracle() {
+        let record = run_case(&DistCase { id: "dist/r4", ranks: 4 }, 0.05);
+        assert!(record.oracle_match, "distributed labels must equal the canonical oracle");
+        assert_eq!(record.messages_sent, 2 * 4 * 3);
+        assert_eq!(record.retransmits, 0);
+        assert_eq!(record.rank_deaths, 0);
+        assert!(record.points_per_sec > 0.0);
+    }
+}

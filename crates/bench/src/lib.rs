@@ -14,6 +14,7 @@
 //! §5.2, with sizes scaled by `--scale`), the algorithm dispatch, and the
 //! cosmology `eps` rescaling rule.
 
+pub mod dist_bench;
 pub mod hotpaths;
 pub mod service_bench;
 

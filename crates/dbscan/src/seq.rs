@@ -13,7 +13,7 @@
 use std::collections::VecDeque;
 
 use fdbscan_geom::Point;
-use fdbscan_unionfind::SequentialDsu;
+use fdbscan_unionfind::{AtomicLabels, SequentialDsu};
 
 use crate::labels::{Clustering, PointClass, NOISE};
 use crate::Params;
@@ -98,6 +98,64 @@ pub fn dbscan_classic<const D: usize>(points: &[Point<D>], params: Params) -> Cl
         })
         .collect();
     Clustering { assignments: labels, num_clusters: next_cluster as usize, classes }
+}
+
+/// Canonical deterministic DBSCAN — the bit-identity oracle for the
+/// distributed driver.
+///
+/// DBSCAN's core/noise partition and the grouping of core points into
+/// clusters are unique, but border-point ownership is tie-broken by
+/// traversal order in [`dbscan_classic`] and by CAS races in the
+/// parallel implementations. This variant removes the last degree of
+/// freedom with two canonical rules, making the full label vector a
+/// pure function of the input:
+///
+/// * cluster representatives are **smallest-member** roots (the
+///   invariant `AtomicLabels::union` maintains), and clusters are
+///   numbered by first appearance in index order,
+/// * a border point joins the adjacent cluster with the **smallest
+///   canonical root** among its core neighbors.
+///
+/// `fdbscan-dist` reproduces exactly these rules across any rank count,
+/// any slab skew, and any survivable fault schedule, so chaos tests can
+/// assert `assignments` equality rather than mere core-equivalence.
+/// Core/cluster structure still matches [`dbscan_classic`] (verified by
+/// the test suite); only border ties differ.
+pub fn dbscan_canonical<const D: usize>(points: &[Point<D>], params: Params) -> Clustering {
+    let n = points.len();
+    let Params { eps, minpts } = params;
+    let eps_sq = eps * eps;
+
+    let neighborhoods: Vec<Vec<usize>> = (0..n).map(|x| region_query(points, x, eps)).collect();
+    let core: Vec<bool> = neighborhoods.iter().map(|nb| nb.len() >= minpts).collect();
+
+    // Core-core edges into a smallest-root forest. Sequential use of the
+    // lock-free structure: hooking larger roots under smaller makes the
+    // canonical form order-independent.
+    let forest = AtomicLabels::new(n);
+    for x in 0..n {
+        if !core[x] {
+            continue;
+        }
+        for &y in &neighborhoods[x] {
+            if y > x && core[y] && points[x].dist_sq(&points[y]) <= eps_sq {
+                forest.union(x as u32, y as u32);
+            }
+        }
+    }
+    let mut labels = forest.canonicalize();
+
+    // Borders: smallest canonical root among adjacent cores.
+    for x in 0..n {
+        if core[x] {
+            continue;
+        }
+        let target = neighborhoods[x].iter().filter(|&&y| core[y]).map(|&y| labels[y]).min();
+        if let Some(root) = target {
+            labels[x] = root;
+        }
+    }
+    Clustering::from_union_find(&labels, &core)
 }
 
 /// Sequential disjoint-set DBSCAN (paper Algorithm 2, Patwary et al.).
@@ -255,6 +313,37 @@ mod tests {
             assert_core_equivalent(&a, &b);
             let _ = trial;
         }
+    }
+
+    #[test]
+    fn canonical_matches_classic_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(177);
+        for _ in 0..10 {
+            let points: Vec<Point2> = (0..150)
+                .map(|_| Point2::new([rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)]))
+                .collect();
+            let params = Params::new(rng.gen_range(0.1..1.0), rng.gen_range(2..8));
+            let a = dbscan_classic(&points, params);
+            let b = dbscan_canonical(&points, params);
+            assert_core_equivalent(&a, &b);
+            // Determinism: the whole label vector is reproducible.
+            assert_eq!(b.assignments, dbscan_canonical(&points, params).assignments);
+        }
+    }
+
+    #[test]
+    fn canonical_border_joins_smallest_root_cluster() {
+        // The bridge at index 10 is within eps of both bars; the bar
+        // containing point 0 has the smaller canonical root, so the
+        // canonical rule must attach the bridge there — regardless of
+        // any traversal order.
+        let mut points: Vec<Point2> = (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
+        points.extend((0..5).map(|i| Point2::new([0.9, 0.1 * i as f32])));
+        points.push(Point2::new([0.45, 0.2]));
+        let c = dbscan_canonical(&points, Params::new(0.45, 5));
+        assert_eq!(c.num_clusters, 2);
+        assert_eq!(c.classes[10], PointClass::Border);
+        assert_eq!(c.assignments[10], c.assignments[0]);
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct Counters {
     pub injected_stalls: AtomicU64,
     /// Distributed-rank failures injected by a fault plan.
     pub injected_rank_faults: AtomicU64,
+    /// Message-layer faults (drop/corrupt/delay) injected by a fault
+    /// plan into the simulated distributed transport.
+    pub injected_message_faults: AtomicU64,
+    /// Permanent rank deaths injected by a fault plan at distributed
+    /// phase boundaries.
+    pub injected_rank_deaths: AtomicU64,
 }
 
 impl Counters {
@@ -71,6 +77,8 @@ impl Counters {
         self.injected_panics.store(0, Ordering::Relaxed);
         self.injected_stalls.store(0, Ordering::Relaxed);
         self.injected_rank_faults.store(0, Ordering::Relaxed);
+        self.injected_message_faults.store(0, Ordering::Relaxed);
+        self.injected_rank_deaths.store(0, Ordering::Relaxed);
     }
 
     /// Adds `n` to the distance-computation counter.
@@ -107,6 +115,8 @@ impl Counters {
             injected_panics: self.injected_panics.load(Ordering::Relaxed),
             injected_stalls: self.injected_stalls.load(Ordering::Relaxed),
             injected_rank_faults: self.injected_rank_faults.load(Ordering::Relaxed),
+            injected_message_faults: self.injected_message_faults.load(Ordering::Relaxed),
+            injected_rank_deaths: self.injected_rank_deaths.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,6 +154,10 @@ pub struct CountersSnapshot {
     pub injected_stalls: u64,
     /// Distributed-rank failures injected by a fault plan.
     pub injected_rank_faults: u64,
+    /// Message-layer faults injected by a fault plan.
+    pub injected_message_faults: u64,
+    /// Permanent rank deaths injected by a fault plan.
+    pub injected_rank_deaths: u64,
 }
 
 impl CountersSnapshot {
@@ -170,6 +184,12 @@ impl CountersSnapshot {
             injected_rank_faults: self
                 .injected_rank_faults
                 .saturating_sub(earlier.injected_rank_faults),
+            injected_message_faults: self
+                .injected_message_faults
+                .saturating_sub(earlier.injected_message_faults),
+            injected_rank_deaths: self
+                .injected_rank_deaths
+                .saturating_sub(earlier.injected_rank_deaths),
         }
     }
 }

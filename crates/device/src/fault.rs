@@ -74,6 +74,18 @@ pub enum FaultSite {
         /// The per-rank attempt ordinal that failed.
         attempt: usize,
     },
+    /// An injected message-layer fault (distributed halo exchange).
+    Message {
+        /// The global message ordinal the fault fired at.
+        ordinal: u64,
+    },
+    /// An injected permanent rank death at a distributed phase boundary.
+    RankDeath {
+        /// The rank that died.
+        rank: usize,
+        /// The phase ordinal it died at (interpreted by `fdbscan-dist`).
+        phase: u8,
+    },
 }
 
 impl fmt::Display for FaultSite {
@@ -91,8 +103,28 @@ impl fmt::Display for FaultSite {
             FaultSite::Rank { rank, attempt } => {
                 write!(f, "rank {rank} failure at attempt {attempt}")
             }
+            FaultSite::Message { ordinal } => {
+                write!(f, "message fault at ordinal {ordinal}")
+            }
+            FaultSite::RankDeath { rank, phase } => {
+                write!(f, "permanent death of rank {rank} at phase {phase}")
+            }
         }
     }
+}
+
+/// What an injected message fault does to a frame in flight. Returned by
+/// [`FaultPlan::message_fault`]; interpreted by the simulated transport
+/// in `fdbscan-dist`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageFault {
+    /// The frame is never delivered (the receiver must retransmit).
+    Drop,
+    /// One payload byte is flipped — the length+checksum framing must
+    /// detect it on receipt.
+    Corrupt,
+    /// Delivery is deferred by this many receive polls (reordering).
+    Delay(u64),
 }
 
 /// A deterministic schedule of faults to inject into a device.
@@ -127,6 +159,10 @@ pub struct FaultPlan {
     panic_at: Option<(u64, usize)>,
     stall_at: Option<(u64, usize, u64)>,
     rank_failures: Vec<(usize, usize)>,
+    message_drops: Vec<u64>,
+    message_corruptions: Vec<u64>,
+    message_delays: Vec<(u64, u64)>,
+    rank_deaths: Vec<(usize, u8)>,
 }
 
 impl FaultPlan {
@@ -181,6 +217,39 @@ impl FaultPlan {
         self
     }
 
+    /// Drops the message with global ordinal `n` (0-based, counted over
+    /// the simulated transport's lifetime). The frame is never
+    /// delivered; a retransmission draws a fresh ordinal and succeeds.
+    pub fn with_message_drop(mut self, n: u64) -> Self {
+        self.message_drops.push(n);
+        self
+    }
+
+    /// Corrupts one payload byte of the message with ordinal `n`. The
+    /// receiver's length+checksum framing must reject the frame and
+    /// request a retransmission (fresh ordinal, fires once).
+    pub fn with_message_corruption(mut self, n: u64) -> Self {
+        self.message_corruptions.push(n);
+        self
+    }
+
+    /// Delays delivery of the message with ordinal `n` by `slots`
+    /// receive polls — out-of-order delivery, not loss.
+    pub fn with_message_delay(mut self, n: u64, slots: u64) -> Self {
+        self.message_delays.push((n, slots));
+        self
+    }
+
+    /// Permanently kills distributed rank `rank` at phase-boundary
+    /// ordinal `phase` (interpreted by `fdbscan-dist`: 0 = halo,
+    /// 1 = local, 2 = merge). Unlike [`FaultPlan::with_rank_failure`],
+    /// a dead rank never comes back: its work must be re-sharded to
+    /// survivors or (for a merge coordinator) a successor elected.
+    pub fn with_rank_death(mut self, rank: usize, phase: u8) -> Self {
+        self.rank_deaths.push((rank, phase));
+        self
+    }
+
     /// Whether the reservation with `ordinal` asking for `bytes` must
     /// fail.
     pub fn oom_fires(&self, ordinal: u64, bytes: usize) -> bool {
@@ -206,6 +275,28 @@ impl FaultPlan {
         self.rank_failures.iter().any(|&(r, a)| r == rank && attempt < a)
     }
 
+    /// The fault (if any) scheduled for the message with global ordinal
+    /// `n`. Drop wins over corruption wins over delay when a test
+    /// schedules several at one ordinal.
+    pub fn message_fault(&self, n: u64) -> Option<MessageFault> {
+        if self.message_drops.contains(&n) {
+            return Some(MessageFault::Drop);
+        }
+        if self.message_corruptions.contains(&n) {
+            return Some(MessageFault::Corrupt);
+        }
+        self.message_delays
+            .iter()
+            .find(|&&(ord, _)| ord == n)
+            .map(|&(_, slots)| MessageFault::Delay(slots))
+    }
+
+    /// Whether `rank` dies permanently at phase-boundary ordinal
+    /// `phase`.
+    pub fn rank_dies(&self, rank: usize, phase: u8) -> bool {
+        self.rank_deaths.iter().any(|&(r, p)| r == rank && p == phase)
+    }
+
     /// Whether the plan schedules any fault at all.
     pub fn is_empty(&self) -> bool {
         self.oom_at_reservation.is_none()
@@ -213,6 +304,10 @@ impl FaultPlan {
             && self.panic_at.is_none()
             && self.stall_at.is_none()
             && self.rank_failures.is_empty()
+            && self.message_drops.is_empty()
+            && self.message_corruptions.is_empty()
+            && self.message_delays.is_empty()
+            && self.rank_deaths.is_empty()
     }
 
     /// Serializes the plan as a JSON tree — recorded in a
@@ -234,6 +329,29 @@ impl FaultPlan {
             (
                 "rank_failures",
                 Json::Arr(self.rank_failures.iter().map(|&(r, a)| pair(r as u64, a)).collect()),
+            ),
+            (
+                "message_drops",
+                Json::Arr(self.message_drops.iter().map(|&n| Json::U64(n)).collect()),
+            ),
+            (
+                "message_corruptions",
+                Json::Arr(self.message_corruptions.iter().map(|&n| Json::U64(n)).collect()),
+            ),
+            (
+                "message_delays",
+                Json::Arr(
+                    self.message_delays
+                        .iter()
+                        .map(|&(n, s)| Json::Arr(vec![Json::U64(n), Json::U64(s)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "rank_deaths",
+                Json::Arr(
+                    self.rank_deaths.iter().map(|&(r, p)| pair(r as u64, p as usize)).collect(),
+                ),
             ),
         ])
     }
@@ -266,26 +384,43 @@ impl FaultPlan {
             Some(Json::U64(v)) => *v,
             _ => return Err("fault plan: missing seed".to_string()),
         };
-        let rank_failures = match value.get("rank_failures") {
-            Some(Json::Arr(items)) => items
-                .iter()
-                .map(|item| match item.as_arr() {
-                    Some(pair) if pair.len() == 2 => {
-                        Ok((u64_at(pair, 0)? as usize, u64_at(pair, 1)? as usize))
-                    }
-                    _ => Err("fault plan: bad rank failure entry".to_string()),
-                })
-                .collect::<Result<Vec<_>, _>>()?,
-            Some(Json::Null) | None => Vec::new(),
-            _ => return Err("fault plan: 'rank_failures' is not an array".to_string()),
-        };
+        fn pair_list(value: &Json, key: &str) -> Result<Vec<(u64, u64)>, String> {
+            match value.get(key) {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|item| match item.as_arr() {
+                        Some(pair) if pair.len() == 2 => Ok((u64_at(pair, 0)?, u64_at(pair, 1)?)),
+                        _ => Err(format!("fault plan: bad '{key}' entry")),
+                    })
+                    .collect(),
+                Some(Json::Null) | None => Ok(Vec::new()),
+                _ => Err(format!("fault plan: '{key}' is not an array")),
+            }
+        }
+        fn u64_list(value: &Json, key: &str) -> Result<Vec<u64>, String> {
+            match value.get(key) {
+                Some(Json::Arr(items)) => {
+                    (0..items.len()).map(|i| u64_at(items, i)).collect::<Result<_, _>>()
+                }
+                Some(Json::Null) | None => Ok(Vec::new()),
+                _ => Err(format!("fault plan: '{key}' is not an array")),
+            }
+        }
+        let rank_failures =
+            pair_list(value, "rank_failures")?.into_iter().map(|(r, a)| (r as usize, a as usize));
+        let rank_deaths =
+            pair_list(value, "rank_deaths")?.into_iter().map(|(r, p)| (r as usize, p as u8));
         Ok(Self {
             seed,
             oom_at_reservation: opt_u64(value, "oom_at_reservation")?,
             oom_above_bytes: opt_u64(value, "oom_above_bytes")?.map(|b| b as usize),
             panic_at: opt_tuple(value, "panic_at", 2)?.map(|t| (t[0], t[1] as usize)),
             stall_at: opt_tuple(value, "stall_at", 3)?.map(|t| (t[0], t[1] as usize, t[2])),
-            rank_failures,
+            rank_failures: rank_failures.collect(),
+            message_drops: u64_list(value, "message_drops")?,
+            message_corruptions: u64_list(value, "message_corruptions")?,
+            message_delays: pair_list(value, "message_delays")?,
+            rank_deaths: rank_deaths.collect(),
         })
     }
 
@@ -365,6 +500,30 @@ mod tests {
     }
 
     #[test]
+    fn message_faults_address_ordinals_with_precedence() {
+        let plan = FaultPlan::new(1)
+            .with_message_drop(3)
+            .with_message_corruption(5)
+            .with_message_delay(7, 2)
+            .with_message_corruption(3) // drop at 3 wins
+            .with_message_delay(5, 9); // corruption at 5 wins
+        assert_eq!(plan.message_fault(3), Some(MessageFault::Drop));
+        assert_eq!(plan.message_fault(5), Some(MessageFault::Corrupt));
+        assert_eq!(plan.message_fault(7), Some(MessageFault::Delay(2)));
+        assert_eq!(plan.message_fault(0), None);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn rank_deaths_address_rank_and_phase() {
+        let plan = FaultPlan::new(1).with_rank_death(2, 1);
+        assert!(plan.rank_dies(2, 1));
+        assert!(!plan.rank_dies(2, 0));
+        assert!(!plan.rank_dies(1, 1));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
     fn json_round_trips_every_field() {
         let plan = FaultPlan::new(42)
             .with_oom_at_reservation(3)
@@ -372,7 +531,11 @@ mod tests {
             .with_kernel_panic_at(5, 2)
             .with_worker_stall(6, 0, 50)
             .with_rank_failure(2, 2)
-            .with_rank_failure(0, 1);
+            .with_rank_failure(0, 1)
+            .with_message_drop(4)
+            .with_message_corruption(9)
+            .with_message_delay(11, 3)
+            .with_rank_death(1, 2);
         assert_eq!(FaultPlan::from_json(&plan.to_json()), Ok(plan));
         let empty = FaultPlan::new(7);
         assert_eq!(FaultPlan::from_json(&empty.to_json()), Ok(empty));

@@ -64,7 +64,7 @@ pub mod trace;
 pub use arena::{ArenaBuf, ArenaStats, BufferArena};
 pub use cancel::{CancelCause, CancelToken};
 pub use counters::{Counters, CountersSnapshot};
-pub use fault::{FaultPlan, FaultSite};
+pub use fault::{FaultPlan, FaultSite, MessageFault};
 pub use memory::{DeviceError, MemoryReservation, MemoryTracker};
 pub use metrics::{Counter, ExpositionStats, Gauge, MetricHistogram, MetricUnit, MetricsRegistry};
 pub use pool::{LaunchProfile, WorkerPool};

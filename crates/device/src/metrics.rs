@@ -677,9 +677,7 @@ pub fn validate_exposition(text: &str) -> Result<ExpositionStats, String> {
 /// Splits a sample line into `(name, labels-with-braces-or-empty,
 /// value)`. Label values may contain escaped quotes.
 fn split_sample(line: &str) -> Result<(&str, &str, &str), String> {
-    let name_end = line
-        .find(['{', ' '])
-        .ok_or_else(|| format!("malformed sample {line:?}"))?;
+    let name_end = line.find(['{', ' ']).ok_or_else(|| format!("malformed sample {line:?}"))?;
     let name = &line[..name_end];
     if name.is_empty() {
         return Err(format!("malformed sample {line:?}"));

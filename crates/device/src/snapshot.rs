@@ -257,6 +257,8 @@ impl Checkpointable for crate::CountersSnapshot {
             ("injected_panics", Json::U64(self.injected_panics)),
             ("injected_stalls", Json::U64(self.injected_stalls)),
             ("injected_rank_faults", Json::U64(self.injected_rank_faults)),
+            ("injected_message_faults", Json::U64(self.injected_message_faults)),
+            ("injected_rank_deaths", Json::U64(self.injected_rank_deaths)),
         ])
     }
 
@@ -277,6 +279,8 @@ impl Checkpointable for crate::CountersSnapshot {
             injected_panics: req_u64(snapshot, "injected_panics")?,
             injected_stalls: req_u64(snapshot, "injected_stalls")?,
             injected_rank_faults: req_u64(snapshot, "injected_rank_faults")?,
+            injected_message_faults: req_u64(snapshot, "injected_message_faults")?,
+            injected_rank_deaths: req_u64(snapshot, "injected_rank_deaths")?,
         })
     }
 }

@@ -1,0 +1,147 @@
+//! Typed failure taxonomy of the distributed driver.
+//!
+//! Every way a distributed run can end short of a clustering is a
+//! [`DistError`] variant: transient faults that exhausted their retries,
+//! transport failures that exhausted retransmissions, durable-log
+//! corruption with no live owner to refetch from, capacity sheds during
+//! re-sharding, and the no-survivors end state. Panics never escape the
+//! driver; a chaos schedule either recovers to the oracle labeling or
+//! lands on exactly one of these.
+
+use std::fmt;
+
+use fdbscan_device::DeviceError;
+
+/// Error of a distributed run. Matches the recovery state machine in
+/// the crate docs: anything recoverable was already retried, re-sharded
+/// around, or replayed before one of these surfaces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DistError {
+    /// A device-level failure outside any rank's retry loop (input
+    /// validation, merge-device launches).
+    Device(DeviceError),
+    /// A rank phase kept failing past `MAX_RANK_RETRIES` — the
+    /// underlying device error is preserved for attribution.
+    RankFailed {
+        /// The rank whose phase gave up.
+        rank: usize,
+        /// The phase that failed (`"core"` or `"main"`).
+        phase: &'static str,
+        /// The error of the final attempt.
+        source: DeviceError,
+    },
+    /// A halo-exchange message could not be delivered intact within
+    /// `MAX_MESSAGE_RETRIES` retransmissions.
+    HaloExchange {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// The message ordinal of the last failed delivery.
+        ordinal: u64,
+        /// What the receiver observed (lost frame, checksum mismatch…).
+        reason: String,
+    },
+    /// A checkpointed rank summary failed integrity verification and
+    /// its owner rank is dead, so it cannot be re-checkpointed.
+    SummaryCorrupt {
+        /// The rank whose summary is unreadable.
+        rank: usize,
+        /// The integrity failure.
+        reason: String,
+    },
+    /// Re-sharding a dead rank's slab would overcommit a survivor's
+    /// memory budget. A typed shed: the run refuses up front instead of
+    /// panicking out of a mid-phase allocation.
+    CapacityExhausted {
+        /// The rank whose death triggered the re-shard.
+        dead_rank: usize,
+        /// The survivor whose preflight failed.
+        survivor: usize,
+        /// Bytes the survivor's grown slab is estimated to need.
+        required_bytes: usize,
+        /// Bytes actually available on the survivor's device.
+        available_bytes: usize,
+    },
+    /// Every rank died before the run could complete.
+    NoSurvivors,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Device(e) => write!(f, "device error: {e}"),
+            DistError::RankFailed { rank, phase, source } => {
+                write!(f, "rank {rank} {phase} phase failed after retries: {source}")
+            }
+            DistError::HaloExchange { from, to, ordinal, reason } => {
+                write!(f, "halo exchange {from} -> {to} failed at message {ordinal}: {reason}")
+            }
+            DistError::SummaryCorrupt { rank, reason } => {
+                write!(f, "rank {rank} merge log corrupt with no live owner: {reason}")
+            }
+            DistError::CapacityExhausted {
+                dead_rank,
+                survivor,
+                required_bytes,
+                available_bytes,
+            } => {
+                write!(
+                    f,
+                    "re-sharding dead rank {dead_rank} onto rank {survivor} needs \
+                     {required_bytes} B but only {available_bytes} B are available"
+                )
+            }
+            DistError::NoSurvivors => write!(f, "no surviving ranks"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Device(e) | DistError::RankFailed { source: e, .. } => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for DistError {
+    fn from(e: DeviceError) -> Self {
+        DistError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = DistError::RankFailed {
+            rank: 3,
+            phase: "core",
+            source: DeviceError::InvalidInput { reason: "boom".into() },
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("core"), "{s}");
+        assert!(DistError::NoSurvivors.to_string().contains("no surviving"));
+        let shed = DistError::CapacityExhausted {
+            dead_rank: 1,
+            survivor: 0,
+            required_bytes: 2048,
+            available_bytes: 1024,
+        }
+        .to_string();
+        assert!(shed.contains("2048") && shed.contains("1024"), "{shed}");
+    }
+
+    #[test]
+    fn device_errors_convert() {
+        let source = DeviceError::InvalidInput { reason: "nan".into() };
+        let e: DistError = source.clone().into();
+        assert_eq!(e, DistError::Device(source));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,342 @@
+//! Simulated message layer for the halo exchange.
+//!
+//! Every inter-rank transfer travels as a framed message through
+//! [`SimNetwork`] — the single place where the fault plan's message
+//! faults are applied. The frame reuses the length + FNV-1a checksum
+//! discipline of `device::snapshot`:
+//!
+//! ```text
+//! FDBSCANMSG 1 <seq> <payload-len> <fnv1a-64 hex>\n<payload bytes>
+//! ```
+//!
+//! A **dropped** frame never arrives; a **corrupted** frame arrives
+//! with flipped bits and is rejected by the checksum; both trigger a
+//! retransmission with a fresh message ordinal (bounded by
+//! [`MAX_MESSAGE_RETRIES`], then a typed
+//! [`DistError::HaloExchange`]). A **delayed** frame arrives intact
+//! but late — the exchange barrier absorbs the reordering, so delays
+//! are counted, not retried. Payload decoding is the rank's input
+//! boundary: a NaN smuggled past the checksum would still be caught by
+//! `validate_finite` before it can poison a BVH build.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fdbscan_device::snapshot::fnv1a_64;
+use fdbscan_device::{Counters, FaultPlan, MessageFault};
+use fdbscan_geom::Point;
+
+use crate::error::DistError;
+use crate::stats::RecoveryLog;
+
+/// Retransmissions allowed per logical message before the exchange
+/// gives up with [`DistError::HaloExchange`].
+pub const MAX_MESSAGE_RETRIES: usize = 3;
+
+const MAGIC: &str = "FDBSCANMSG";
+const VERSION: u32 = 1;
+
+/// Encodes one frame: header line + raw payload.
+pub fn encode_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let checksum = fnv1a_64(payload);
+    let mut frame =
+        format!("{MAGIC} {VERSION} {seq} {} {checksum:016x}\n", payload.len()).into_bytes();
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decodes and verifies one frame, returning `(seq, payload)`.
+pub fn decode_frame(frame: &[u8]) -> Result<(u64, Vec<u8>), String> {
+    let newline = frame
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| "missing header terminator".to_string())?;
+    let header =
+        std::str::from_utf8(&frame[..newline]).map_err(|_| "header is not UTF-8".to_string())?;
+    let mut fields = header.split(' ');
+    if fields.next() != Some(MAGIC) {
+        return Err("bad magic".to_string());
+    }
+    let version: u32 = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or_else(|| "bad version field".to_string())?;
+    if version != VERSION {
+        return Err(format!("unsupported frame version {version}"));
+    }
+    let seq: u64 =
+        fields.next().and_then(|f| f.parse().ok()).ok_or_else(|| "bad seq field".to_string())?;
+    let len: usize =
+        fields.next().and_then(|f| f.parse().ok()).ok_or_else(|| "bad length field".to_string())?;
+    let expected = fields
+        .next()
+        .and_then(|f| u64::from_str_radix(f, 16).ok())
+        .ok_or_else(|| "bad checksum field".to_string())?;
+    let payload = &frame[newline + 1..];
+    if payload.len() != len {
+        return Err(format!("length mismatch: header says {len}, got {}", payload.len()));
+    }
+    let actual = fnv1a_64(payload);
+    if actual != expected {
+        return Err(format!("checksum mismatch: expected {expected:016x}, got {actual:016x}"));
+    }
+    Ok((seq, payload.to_vec()))
+}
+
+/// Encodes `(global id, point)` pairs: id as LE `u32`, each coordinate
+/// as LE `f32` bits (exact round trip, including any non-finite values
+/// a hostile transport might inject — those die in `validate_finite`).
+pub fn encode_points<const D: usize>(items: &[(u32, Point<D>)]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(items.len() * (4 + D * 4));
+    for (gid, p) in items {
+        bytes.extend_from_slice(&gid.to_le_bytes());
+        for d in 0..D {
+            bytes.extend_from_slice(&p[d].to_bits().to_le_bytes());
+        }
+    }
+    bytes
+}
+
+/// Decodes a [`encode_points`] payload.
+pub fn decode_points<const D: usize>(bytes: &[u8]) -> Result<Vec<(u32, Point<D>)>, String> {
+    let stride = 4 + D * 4;
+    if !bytes.len().is_multiple_of(stride) {
+        return Err(format!("point payload length {} not a multiple of {stride}", bytes.len()));
+    }
+    let mut items = Vec::with_capacity(bytes.len() / stride);
+    for chunk in bytes.chunks_exact(stride) {
+        let gid = u32::from_le_bytes(chunk[..4].try_into().unwrap());
+        let mut coords = [0.0f32; D];
+        for (d, c) in chunk[4..].chunks_exact(4).enumerate() {
+            coords[d] = f32::from_bits(u32::from_le_bytes(c.try_into().unwrap()));
+        }
+        items.push((gid, Point::new(coords)));
+    }
+    Ok(items)
+}
+
+/// Encodes `(global id, core flag)` pairs.
+pub fn encode_flags(items: &[(u32, bool)]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(items.len() * 5);
+    for &(gid, flag) in items {
+        bytes.extend_from_slice(&gid.to_le_bytes());
+        bytes.push(flag as u8);
+    }
+    bytes
+}
+
+/// Decodes a [`encode_flags`] payload.
+pub fn decode_flags(bytes: &[u8]) -> Result<Vec<(u32, bool)>, String> {
+    if !bytes.len().is_multiple_of(5) {
+        return Err(format!("flag payload length {} not a multiple of 5", bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(5)
+        .map(|c| (u32::from_le_bytes(c[..4].try_into().unwrap()), c[4] != 0))
+        .collect())
+}
+
+/// The simulated transport. One instance per run; every send draws a
+/// globally unique message ordinal (the address space of
+/// `FaultPlan::with_message_drop` and friends), applies any scheduled
+/// fault, and accounts the outcome into the [`RecoveryLog`] and the
+/// root device's injection counters.
+pub struct SimNetwork<'a> {
+    plan: Option<&'a FaultPlan>,
+    counters: &'a Counters,
+    seq: AtomicU64,
+}
+
+impl<'a> SimNetwork<'a> {
+    /// A transport driven by the root device's fault plan and counters.
+    pub fn new(plan: Option<&'a FaultPlan>, counters: &'a Counters) -> Self {
+        Self { plan, counters, seq: AtomicU64::new(0) }
+    }
+
+    /// Messages sent so far (the next ordinal to be drawn).
+    pub fn messages_sent(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Delivers `payload` from `from` to `to` through the faulty
+    /// medium. Dropped or corrupted frames retransmit with fresh
+    /// ordinals up to [`MAX_MESSAGE_RETRIES`] times; a message that
+    /// cannot be delivered intact becomes [`DistError::HaloExchange`].
+    pub fn send(
+        &self,
+        from: usize,
+        to: usize,
+        payload: &[u8],
+        log: &RecoveryLog,
+    ) -> Result<Vec<u8>, DistError> {
+        let mut last = (0u64, String::new());
+        for attempt in 0..=MAX_MESSAGE_RETRIES {
+            if attempt > 0 {
+                log.retransmits.fetch_add(1, Ordering::Relaxed);
+            }
+            let ordinal = self.seq.fetch_add(1, Ordering::Relaxed);
+            log.messages_sent.fetch_add(1, Ordering::Relaxed);
+            let fault = self.plan.and_then(|p| p.message_fault(ordinal));
+            if fault.is_some() {
+                self.counters.injected_message_faults.fetch_add(1, Ordering::Relaxed);
+            }
+            let mut frame = encode_frame(ordinal, payload);
+            match fault {
+                Some(MessageFault::Drop) => {
+                    log.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                    last = (ordinal, "frame lost in flight".to_string());
+                    continue;
+                }
+                Some(MessageFault::Corrupt) => {
+                    // Flip bits mid-frame: in the payload when there is
+                    // one, otherwise in the checksum field itself.
+                    let target = if payload.is_empty() { frame.len() / 2 } else { frame.len() - 1 };
+                    frame[target] ^= 0xFF;
+                }
+                Some(MessageFault::Delay(_slots)) => {
+                    // Late but intact: the exchange barrier absorbs the
+                    // reordering, so this is an accounting event only.
+                    log.messages_delayed.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {}
+            }
+            match decode_frame(&frame) {
+                Ok((seq, delivered)) => {
+                    debug_assert_eq!(seq, ordinal);
+                    return Ok(delivered);
+                }
+                Err(reason) => {
+                    log.messages_corrupted.fetch_add(1, Ordering::Relaxed);
+                    last = (ordinal, reason);
+                }
+            }
+        }
+        Err(DistError::HaloExchange { from, to, ordinal: last.0, reason: last.1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_geom::Point2;
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = b"hello halo";
+        let frame = encode_frame(42, payload);
+        let (seq, got) = decode_frame(&frame).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut frame = encode_frame(7, b"payload-bytes");
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        // Header corruption is detected too.
+        let mut frame = encode_frame(7, b"payload-bytes");
+        frame[0] ^= 0xFF;
+        assert!(decode_frame(&frame).is_err());
+        // Truncation is detected by the length field.
+        let mut frame = encode_frame(7, b"payload-bytes");
+        frame.truncate(frame.len() - 2);
+        assert!(decode_frame(&frame).unwrap_err().contains("length"), "truncated frame");
+    }
+
+    #[test]
+    fn point_payload_round_trips_exactly() {
+        let items: Vec<(u32, Point2)> = vec![
+            (0, Point2::new([1.5, -2.25])),
+            (9, Point2::new([f32::MIN_POSITIVE, 1e30])),
+            (u32::MAX, Point2::new([0.0, -0.0])),
+        ];
+        let decoded = decode_points::<2>(&encode_points(&items)).unwrap();
+        assert_eq!(decoded.len(), items.len());
+        for ((ga, pa), (gb, pb)) in items.iter().zip(&decoded) {
+            assert_eq!(ga, gb);
+            for d in 0..2 {
+                assert_eq!(pa[d].to_bits(), pb[d].to_bits(), "bit-exact coordinates");
+            }
+        }
+        assert!(decode_points::<2>(&[0u8; 7]).is_err(), "ragged payload rejected");
+    }
+
+    #[test]
+    fn flag_payload_round_trips() {
+        let items = vec![(3u32, true), (4, false), (1000, true)];
+        assert_eq!(decode_flags(&encode_flags(&items)).unwrap(), items);
+        assert!(decode_flags(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn network_delivers_and_counts() {
+        let counters = Counters::default();
+        let net = SimNetwork::new(None, &counters);
+        let log = RecoveryLog::default();
+        let got = net.send(0, 1, b"abc", &log).unwrap();
+        assert_eq!(got, b"abc");
+        let snap = log.snapshot();
+        assert_eq!(snap.messages_sent, 1);
+        assert_eq!(snap.retransmits, 0);
+    }
+
+    #[test]
+    fn drop_then_retransmit_succeeds() {
+        let plan = FaultPlan::new(1).with_message_drop(0);
+        let counters = Counters::default();
+        let net = SimNetwork::new(Some(&plan), &counters);
+        let log = RecoveryLog::default();
+        let got = net.send(0, 1, b"abc", &log).unwrap();
+        assert_eq!(got, b"abc");
+        let snap = log.snapshot();
+        assert_eq!(snap.messages_sent, 2, "original + retransmit");
+        assert_eq!(snap.messages_dropped, 1);
+        assert_eq!(snap.retransmits, 1);
+        assert_eq!(counters.snapshot().injected_message_faults, 1);
+    }
+
+    #[test]
+    fn corrupt_then_retransmit_succeeds() {
+        let plan = FaultPlan::new(1).with_message_corruption(0);
+        let counters = Counters::default();
+        let net = SimNetwork::new(Some(&plan), &counters);
+        let log = RecoveryLog::default();
+        let got = net.send(2, 0, b"abcdef", &log).unwrap();
+        assert_eq!(got, b"abcdef");
+        assert_eq!(log.snapshot().messages_corrupted, 1);
+    }
+
+    #[test]
+    fn delayed_frames_arrive_intact() {
+        let plan = FaultPlan::new(1).with_message_delay(0, 3);
+        let counters = Counters::default();
+        let net = SimNetwork::new(Some(&plan), &counters);
+        let log = RecoveryLog::default();
+        let got = net.send(1, 2, b"slow", &log).unwrap();
+        assert_eq!(got, b"slow");
+        let snap = log.snapshot();
+        assert_eq!(snap.messages_delayed, 1);
+        assert_eq!(snap.retransmits, 0, "delays do not retransmit");
+    }
+
+    #[test]
+    fn persistent_loss_becomes_typed_error() {
+        let mut plan = FaultPlan::new(1);
+        for ordinal in 0..=(MAX_MESSAGE_RETRIES as u64) {
+            plan = plan.with_message_drop(ordinal);
+        }
+        let counters = Counters::default();
+        let net = SimNetwork::new(Some(&plan), &counters);
+        let log = RecoveryLog::default();
+        let err = net.send(0, 3, b"abc", &log).unwrap_err();
+        match err {
+            DistError::HaloExchange { from: 0, to: 3, reason, .. } => {
+                assert!(reason.contains("lost"), "{reason}");
+            }
+            other => panic!("expected HaloExchange, got {other:?}"),
+        }
+        assert_eq!(log.snapshot().messages_sent, 1 + MAX_MESSAGE_RETRIES as u64);
+    }
+}

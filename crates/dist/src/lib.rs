@@ -1,6 +1,6 @@
 #![warn(missing_docs)]
 
-//! Distributed-memory FDBSCAN driver.
+//! Fault-tolerant distributed-memory FDBSCAN driver.
 //!
 //! The paper's introduction argues that "since the local DBSCAN
 //! implementation is an inherent component of a full distributed
@@ -8,28 +8,41 @@
 //! distributed frameworks", and §6 lists distribution as future work.
 //! This crate realizes that plan in the shape used by the distributed
 //! DBSCAN literature the paper builds on (Patwary et al.'s PDSDBSCAN-D,
-//! Mr. Scan's tree of GPU nodes):
+//! Mr. Scan's tree of GPU nodes), and makes every step survivable:
 //!
-//! 1. **domain decomposition** — the domain is cut along its widest axis
-//!    into `ranks` slabs of equal point counts; each rank owns its slab
-//!    and receives a **ghost zone** of width `eps` from its neighbors,
-//!    so every owned point sees its complete ε-neighborhood locally,
-//! 2. **global core pass** — each rank determines the core status of its
-//!    *owned* points only (ghost core status would be truncated),
-//! 3. **local main phase** — each rank runs the FDBSCAN masked main
-//!    phase over its local set (owned + ghosts) against the *global*
-//!    core flags, into a local union-find,
-//! 4. **merge** — local trees are folded into one global union-find:
-//!    core points union with their local representative (translated to
-//!    global ids), then border claims replay through the global CAS
-//!    (first cluster wins, exactly as within a single device),
-//! 5. **finalization** — one global flatten + relabel.
+//! 1. **domain decomposition** ([`shard`]) — the domain is cut along
+//!    its widest axis into equal-count slabs, one per live rank; each
+//!    rank owns its slab and an **ε-halo** of ghost points,
+//! 2. **halo exchange** ([`halo`]) — ghosts travel as checksummed
+//!    frames through a simulated message layer with seeded fault
+//!    injection (drop, corruption, delay); damaged frames are detected
+//!    and retransmitted, bounded by [`MAX_MESSAGE_RETRIES`],
+//! 3. **local clustering** — each rank determines core status of its
+//!    owned points, exchanges ghost core flags, runs the FDBSCAN main
+//!    phase over its local set, and distills the result into a
+//!    [`RankSummary`] (core edge log + border claim log) that is
+//!    **checkpointed** through `device::snapshot` into a durable
+//!    [`SummaryStore`] *before* the merge begins; transient failures
+//!    retry on a deterministic backoff ([`recovery`]),
+//! 4. **cross-rank merge** ([`merge`]) — the lowest live rank folds the
+//!    checkpointed logs into one global union-find. The merge is
+//!    idempotent and order-independent, so a coordinator crash is
+//!    survived by deterministic successor election (lowest surviving
+//!    rank id) plus a replay of the same logs — bit-identical output,
+//! 5. **finalization** — canonical labels feed
+//!    [`Clustering::from_union_find`].
 //!
-//! Single-device ranks ([`distributed_fdbscan`]) run their phases
-//! back-to-back; [`distributed_fdbscan_multi`] gives each rank its own
-//! device and runs each phase concurrently across ranks ("multi-GPU
-//! node"). Either way, the data-movement structure — who needs which
-//! ghosts, what crosses rank boundaries — is the real thing.
+//! **Determinism contract.** The output is bit-identical to the
+//! canonical single-device oracle `fdbscan::seq::dbscan_canonical`
+//! for *any* rank count, slab skew, and survivable fault schedule:
+//! cores label to the smallest global id of their connected core set,
+//! and borders join the cluster with the smallest canonical root among
+//! their core neighbors. Rank death at a phase boundary re-shards the
+//! dead rank's slab over the survivors (after a memory preflight that
+//! sheds with [`DistError::CapacityExhausted`] rather than risking an
+//! OOM panic) and re-runs from the halo exchange; death after the
+//! checkpoint needs no recomputation at all — the logs are replayed.
+//! Unsurvivable schedules end in a typed [`DistError`], never a panic.
 //!
 //! # Example
 //!
@@ -48,8 +61,28 @@
 //! assert_eq!(stats.ranks.len(), 4);
 //! ```
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+pub mod error;
+pub mod halo;
+pub mod merge;
+pub mod recovery;
+pub mod shard;
+pub mod stats;
+
+pub use error::DistError;
+pub use halo::{SimNetwork, MAX_MESSAGE_RETRIES};
+pub use merge::RankSummary;
+pub use recovery::{
+    retry_backoff, InstantSleeper, Sleeper, SummaryStore, ThreadSleeper, MAX_RANK_RETRIES,
+    RETRY_BACKOFF_CAP_MS,
+};
+pub use stats::{
+    DistMetrics, DistStats, PhaseWork, PhaseWorkTable, RankStats, RecoveryEvents, RecoveryLog,
+};
+
+use std::collections::BTreeMap;
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use fdbscan::framework::CoreFlags;
@@ -57,160 +90,152 @@ use fdbscan::generic::main_phase;
 use fdbscan::index::build_bvh_index;
 use fdbscan::labels::Clustering;
 use fdbscan::{FdbscanOptions, Params};
-use fdbscan_device::{Counters, Device, DeviceError, FaultPlan, FaultSite};
+use fdbscan_device::snapshot::fnv1a_64;
+use fdbscan_device::{trace, CountersSnapshot, Device, DeviceError};
 use fdbscan_geom::Point;
 use fdbscan_unionfind::AtomicLabels;
 
-use std::ops::ControlFlow;
+use halo::{decode_flags, decode_points, encode_flags, encode_points};
+use merge::{checkpoint_summary, fetch_summaries, merge_summaries};
+use recovery::run_rank_phase;
+use shard::decompose;
 
-/// How many times a failed rank phase is re-executed before the whole
-/// distributed run gives up. A [`FaultPlan::with_rank_failure`] that
-/// fails more than `MAX_RANK_RETRIES` consecutive attempts of one phase
-/// is therefore fatal.
-pub const MAX_RANK_RETRIES: usize = 3;
+/// Phase ordinal of the halo exchange, for `FaultPlan::with_rank_death`.
+pub const PHASE_HALO: u8 = 0;
+/// Phase ordinal of local clustering (core pass + main phase).
+pub const PHASE_LOCAL: u8 = 1;
+/// Phase ordinal of the cross-rank merge.
+pub const PHASE_MERGE: u8 = 2;
 
-/// Upper bound on the per-retry backoff, in milliseconds. Retry `k`
-/// sleeps `min(2^(k-1), RETRY_BACKOFF_CAP_MS)` ms — deterministic
-/// (no wall-clock randomness, so replayed runs back off identically)
-/// and capped so a worst-case rank recovery stays bounded.
-pub const RETRY_BACKOFF_CAP_MS: u64 = 8;
+static THREAD_SLEEPER: ThreadSleeper = ThreadSleeper;
 
-/// The deterministic backoff before retry `k` (1-based): exponential,
-/// capped at [`RETRY_BACKOFF_CAP_MS`].
-pub fn retry_backoff(retry: usize) -> std::time::Duration {
-    let ms = (1u64 << (retry.saturating_sub(1)).min(63)).min(RETRY_BACKOFF_CAP_MS);
-    std::time::Duration::from_millis(ms)
+/// Knobs of a distributed run beyond the point set and parameters.
+#[derive(Clone, Copy)]
+pub struct DistConfig<'a> {
+    /// Number of simulated ranks.
+    pub ranks: usize,
+    /// How retry loops wait out their backoff. Defaults to a real
+    /// sleep; tests inject [`InstantSleeper`] to assert the schedule
+    /// without paying for it.
+    pub sleeper: &'a dyn Sleeper,
+    /// Telemetry sink: when set, the run records `fdbscan_dist_*`
+    /// series (runs, recovery events, per-phase work, merge latency).
+    pub metrics: Option<&'a DistMetrics>,
+    /// Correlates this run's trace spans with a service request id.
+    pub request_id: Option<u64>,
 }
 
-/// Per-rank decomposition summary.
-#[derive(Clone, Debug, Default)]
-pub struct RankStats {
-    /// Points owned by this rank.
-    pub owned: usize,
-    /// Ghost points replicated from neighbors.
-    pub ghosts: usize,
-    /// Phase executions on this rank, including retries after injected
-    /// or real failures. A fault-free run makes exactly 2 attempts per
-    /// rank: one core pass and one main phase.
-    pub attempts: usize,
-    /// Executions of the core pass alone (1 when fault-free).
-    pub core_attempts: usize,
-    /// Executions of the main phase alone (1 when fault-free).
-    pub main_attempts: usize,
-}
+impl<'a> DistConfig<'a> {
+    /// A default config over `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        Self { ranks, sleeper: &THREAD_SLEEPER, metrics: None, request_id: None }
+    }
 
-/// Statistics of a distributed run.
-#[derive(Clone, Debug, Default)]
-pub struct DistStats {
-    /// Decomposition summary per rank.
-    pub ranks: Vec<RankStats>,
-    /// The decomposition axis that was cut.
-    pub axis: usize,
-    /// End-to-end wall time.
-    pub total_time: std::time::Duration,
-}
+    /// Replaces the backoff sleeper.
+    pub fn with_sleeper(mut self, sleeper: &'a dyn Sleeper) -> Self {
+        self.sleeper = sleeper;
+        self
+    }
 
-fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+    /// Attaches a metrics sink.
+    pub fn with_metrics(mut self, metrics: &'a DistMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Correlates trace output with a request id.
+    pub fn with_request_id(mut self, request_id: u64) -> Self {
+        self.request_id = Some(request_id);
+        self
     }
 }
 
-/// Executes one phase of one rank, with fault injection and bounded
-/// retries.
-///
-/// Every execution (injected failure or not) consumes one attempt from
-/// the rank's lifetime counter; [`FaultPlan::rank_fails`] is consulted
-/// against that ordinal, so `with_rank_failure(r, k)` fails the first
-/// `k` attempts of rank `r` and the `k+1`-th retry succeeds. Panics
-/// escaping the phase (e.g. a kernel panic in an index build) are
-/// converted to [`DeviceError::KernelPanicked`] and retried the same
-/// way. Each retry backs off deterministically (see [`retry_backoff`])
-/// and leaves a tracer instant on the rank's device. After
-/// [`MAX_RANK_RETRIES`] retries the last error is returned.
-#[allow(clippy::too_many_arguments)]
-fn run_rank_phase<T>(
-    rank: usize,
-    phase: &'static str,
-    plan: Option<&FaultPlan>,
-    root_counters: &Counters,
-    attempts: &AtomicUsize,
-    phase_attempts: &AtomicUsize,
-    rank_device: &Device,
-    work: impl Fn() -> Result<T, DeviceError>,
-) -> Result<T, DeviceError> {
-    let mut tries = 0;
-    loop {
-        let attempt = attempts.fetch_add(1, Ordering::Relaxed);
-        phase_attempts.fetch_add(1, Ordering::Relaxed);
-        let outcome = match plan {
-            Some(p) if p.rank_fails(rank, attempt) => {
-                root_counters.injected_rank_faults.fetch_add(1, Ordering::Relaxed);
-                Err(DeviceError::FaultInjected { site: FaultSite::Rank { rank, attempt } })
-            }
-            _ => match catch_unwind(AssertUnwindSafe(&work)) {
-                Ok(result) => result,
-                Err(payload) => Err(DeviceError::KernelPanicked {
-                    launch: rank_device.launches_started().saturating_sub(1),
-                    payload: panic_payload(&*payload),
-                }),
-            },
-        };
-        match outcome {
-            Ok(value) => return Ok(value),
-            Err(err) => {
-                if tries >= MAX_RANK_RETRIES {
-                    return Err(err);
-                }
-                tries += 1;
-                let backoff = retry_backoff(tries);
-                rank_device.tracer().instant(format!(
-                    "dist.retry rank {rank} {phase}: attempt {} after {} ms ({err})",
-                    tries + 1,
-                    backoff.as_millis(),
-                ));
-                std::thread::sleep(backoff);
-            }
-        }
+impl std::fmt::Debug for DistConfig<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistConfig")
+            .field("ranks", &self.ranks)
+            .field("metrics", &self.metrics.is_some())
+            .field("request_id", &self.request_id)
+            .finish()
     }
 }
 
 /// Runs FDBSCAN over `ranks` simulated distributed ranks on one device.
 ///
-/// The clustering is identical (up to DBSCAN's inherent border ties) to
-/// a single-device [`fdbscan::fdbscan`] run — verified by the test
-/// suite across rank counts.
+/// The clustering is bit-identical to the canonical single-device
+/// oracle (`fdbscan::seq::dbscan_canonical`) — verified by the test
+/// suite across rank counts and fault schedules.
 pub fn distributed_fdbscan<const D: usize>(
     device: &Device,
     points: &[Point<D>],
     params: Params,
     ranks: usize,
-) -> Result<(Clustering, DistStats), DeviceError> {
+) -> Result<(Clustering, DistStats), DistError> {
     distributed_fdbscan_multi(std::slice::from_ref(device), points, params, ranks)
 }
 
 /// Runs FDBSCAN over `ranks` distributed ranks spread across several
 /// devices ("multi-GPU node"): rank `r` executes on
 /// `devices[r % devices.len()]`, and ranks sharing a phase run
-/// concurrently on their devices. The merge runs on `devices[0]`.
+/// concurrently on their devices. The merge runs on the coordinator's
+/// device.
 pub fn distributed_fdbscan_multi<const D: usize>(
     devices: &[Device],
     points: &[Point<D>],
     params: Params,
     ranks: usize,
-) -> Result<(Clustering, DistStats), DeviceError> {
+) -> Result<(Clustering, DistStats), DistError> {
+    distributed_fdbscan_with(devices, points, params, DistConfig::new(ranks))
+}
+
+/// [`distributed_fdbscan_multi`] with full control over the run
+/// ([`DistConfig`]): sleeper injection, metrics, request correlation.
+pub fn distributed_fdbscan_with<const D: usize>(
+    devices: &[Device],
+    points: &[Point<D>],
+    params: Params,
+    config: DistConfig<'_>,
+) -> Result<(Clustering, DistStats), DistError> {
     assert!(!devices.is_empty(), "need at least one device");
-    assert!(ranks >= 1, "need at least one rank");
+    assert!(config.ranks >= 1, "need at least one rank");
+    let _request = config.request_id.map(trace::request_scope);
+    let _inflight = config.metrics.map(|m| m.inflight_guard());
+    let recovery = RecoveryLog::default();
+    let result = run_distributed(devices, points, params, &config, &recovery);
+    if let Some(metrics) = config.metrics {
+        match &result {
+            Ok((_, stats)) => metrics.record_run(stats),
+            Err(err) => metrics.record_failure(
+                &recovery.snapshot(),
+                matches!(err, DistError::CapacityExhausted { .. }),
+            ),
+        }
+    }
+    result
+}
+
+/// One rank's working set for a round: owned points first, then ghosts
+/// decoded off the wire.
+struct LocalSet<const D: usize> {
+    rank: usize,
+    owned_count: usize,
+    to_global: Vec<u32>,
+    local_points: Vec<Point<D>>,
+}
+
+fn run_distributed<const D: usize>(
+    devices: &[Device],
+    points: &[Point<D>],
+    params: Params,
+    config: &DistConfig<'_>,
+    recovery: &RecoveryLog,
+) -> Result<(Clustering, DistStats), DistError> {
     fdbscan::validate_finite(points)?;
-    let device = &devices[0];
-    // Rank faults are driven by the root device's plan (the "launcher"
-    // in a real distributed job); injections are counted there too.
-    let plan = device.fault_plan();
-    let root_counters = device.counters();
+    let root = &devices[0];
+    // Rank/message faults are driven by the root device's plan (the
+    // "launcher" in a real distributed job); injections count there too.
+    let plan = root.fault_plan();
+    let root_counters = root.counters();
     let n = points.len();
     let Params { eps, minpts } = params;
     let start = Instant::now();
@@ -222,259 +247,471 @@ pub fn distributed_fdbscan_multi<const D: usize>(
         ));
     }
 
-    // --- 1. Decomposition along the widest axis --------------------------
-    let mut min = [f32::INFINITY; D];
-    let mut max = [f32::NEG_INFINITY; D];
-    for p in points {
-        for d in 0..D {
-            min[d] = min[d].min(p[d]);
-            max[d] = max[d].max(p[d]);
+    let ranks = config.ranks.min(n); // no empty ranks
+    let device_of = |rank: usize| rank % devices.len();
+
+    // Distinct counter sets across the devices, for per-phase work
+    // deltas (several ranks may share one device).
+    let mut unique: Vec<&Device> = Vec::new();
+    for d in devices {
+        if !unique.iter().any(|u| Arc::ptr_eq(&u.counters_arc(), &d.counters_arc())) {
+            unique.push(d);
         }
     }
-    // `total_cmp`: even though inputs are validated, subtracting two
-    // infinities (possible on future unvalidated paths) yields NaN, and
-    // `partial_cmp(...).unwrap()` would panic mid-decomposition.
-    let axis = (0..D).max_by(|&a, &b| (max[a] - min[a]).total_cmp(&(max[b] - min[b]))).unwrap_or(0);
-
-    // Equal-count slabs: sort ids by the cut coordinate and chunk.
-    let mut by_coord: Vec<u32> = (0..n as u32).collect();
-    by_coord
-        .sort_unstable_by(|&a, &b| points[a as usize][axis].total_cmp(&points[b as usize][axis]));
-    let ranks = ranks.min(n); // no empty ranks
-    let chunk = n.div_ceil(ranks);
-    let owned_of_rank: Vec<&[u32]> = by_coord.chunks(chunk).collect();
-    let ranks = owned_of_rank.len();
-
-    // --- Global state ------------------------------------------------------
-    let global_labels = AtomicLabels::with_counters(n, device.counters_arc());
-    let global_core = CoreFlags::new(n);
-    let mut rank_stats = Vec::with_capacity(ranks);
-
-    // Collected local results awaiting the merge.
-    struct LocalResult {
-        /// local index -> global id
-        to_global: Vec<u32>,
-        /// flattened local labels
-        labels: Vec<u32>,
-        /// local core flags (copied from global, for border detection)
-        core: Vec<bool>,
-    }
-    let mut local_results: Vec<LocalResult> = Vec::with_capacity(ranks);
-
-    let mut owned_by = vec![usize::MAX; n];
-    for (rank, owned) in owned_of_rank.iter().enumerate() {
-        for &id in owned.iter() {
-            owned_by[id as usize] = rank;
+    let snap_all =
+        || -> Vec<CountersSnapshot> { unique.iter().map(|d| d.counters().snapshot()).collect() };
+    let work_since = |before: &[CountersSnapshot]| -> PhaseWork {
+        let mut work = PhaseWork::default();
+        for (d, b) in unique.iter().zip(before) {
+            let delta = d.counters().snapshot().since(b);
+            work.launches += delta.kernel_launches;
+            work.distances += delta.distance_computations;
         }
-    }
+        work
+    };
 
-    // --- ghost exchange (simulated): collect each rank's local set -------
-    for (rank, owned) in owned_of_rank.iter().enumerate() {
-        // Slab bounds from the owned points (they are coordinate-sorted).
-        let lo = points[owned[0] as usize][axis];
-        let hi = points[*owned.last().unwrap() as usize][axis];
-        let mut to_global: Vec<u32> = owned.to_vec();
-        let owned_count = to_global.len();
-        for id in 0..n as u32 {
-            let c = points[id as usize][axis];
-            if c >= lo - eps && c <= hi + eps && owned_by[id as usize] != rank {
-                to_global.push(id);
-            }
-        }
-        rank_stats.push(RankStats {
-            owned: owned_count,
-            ghosts: to_global.len() - owned_count,
-            ..Default::default()
-        });
-        local_results.push(LocalResult { to_global, labels: Vec::new(), core: Vec::new() });
-    }
-
+    let mut alive = vec![true; ranks];
+    let mut rank_stats: Vec<RankStats> =
+        (0..ranks).map(|_| RankStats { alive: true, ..Default::default() }).collect();
     // Lifetime attempt counters, shared by the core pass and the main
-    // phase so [`FaultPlan::rank_fails`] sees one monotone sequence per
-    // rank (a fault-free run makes attempts 0 and 1). Per-phase
-    // counters keep the attempt history attributable after the run.
+    // phase so `FaultPlan::rank_fails` sees one monotone sequence per
+    // rank (a fault-free run makes attempts 0 and 1), and preserved
+    // across re-shard rounds.
     let attempt_counters: Vec<AtomicUsize> = (0..ranks).map(|_| AtomicUsize::new(0)).collect();
     let core_attempt_counters: Vec<AtomicUsize> = (0..ranks).map(|_| AtomicUsize::new(0)).collect();
     let main_attempt_counters: Vec<AtomicUsize> = (0..ranks).map(|_| AtomicUsize::new(0)).collect();
 
-    // --- 2. core status of owned points, all ranks concurrently ----------
-    // Each rank runs on its own device; the scope join is the inter-rank
-    // barrier the next phase needs (it reads ghosts' core flags).
-    let core_outcomes: Vec<Result<(), DeviceError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = local_results
+    let network = SimNetwork::new(plan, root_counters);
+    let store = SummaryStore::new();
+    let fingerprint = {
+        let mut bytes = Vec::with_capacity(24);
+        bytes.extend_from_slice(&(n as u64).to_le_bytes());
+        bytes.extend_from_slice(&eps.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&(minpts as u64).to_le_bytes());
+        fnv1a_64(&bytes)
+    };
+
+    let mut phase_work = PhaseWorkTable::default();
+    let mut prev_owner: Option<Vec<usize>> = None;
+    let mut last_dead = usize::MAX;
+
+    let kill = |rank: usize,
+                phase: u8,
+                alive: &mut [bool],
+                rank_stats: &mut [RankStats],
+                last_dead: &mut usize| {
+        alive[rank] = false;
+        rank_stats[rank].alive = false;
+        if phase != PHASE_MERGE {
+            // The slab will be re-sharded; merge-phase deaths keep
+            // their ownership record (the work is already durable).
+            rank_stats[rank].owned = 0;
+            rank_stats[rank].ghosts = 0;
+        }
+        *last_dead = rank;
+        recovery.rank_deaths.fetch_add(1, Ordering::Relaxed);
+        root_counters.injected_rank_deaths.fetch_add(1, Ordering::Relaxed);
+        root.tracer().instant(format!("dist.rank-death rank {rank} at phase {phase}"));
+    };
+
+    loop {
+        // --- deaths at the halo boundary ------------------------------
+        for r in 0..ranks {
+            if alive[r] && plan.is_some_and(|p| p.rank_dies(r, PHASE_HALO)) {
+                kill(r, PHASE_HALO, &mut alive, &mut rank_stats, &mut last_dead);
+            }
+        }
+        let live: Vec<usize> = (0..ranks).filter(|&r| alive[r]).collect();
+        if live.is_empty() {
+            return Err(DistError::NoSurvivors);
+        }
+
+        // --- decomposition (re-shard when ranks have died) ------------
+        let decomposition = decompose(points, &live);
+        let mut owner = vec![usize::MAX; n];
+        for slab in &decomposition.slabs {
+            for &id in &slab.owned {
+                owner[id as usize] = slab.rank;
+            }
+        }
+        if let Some(prev) = &prev_owner {
+            let moved = owner.iter().zip(prev).filter(|(now, was)| now != was).count();
+            recovery.resharded_points.fetch_add(moved as u64, Ordering::Relaxed);
+        }
+        if live.len() < ranks {
+            // Survivor slabs grew: confirm they fit *before* any phase
+            // launches, so capacity failure is a typed shed up front.
+            if let Err((survivor, required, available)) =
+                shard::preflight::<D>(points, &decomposition, eps, device_of, devices)
+            {
+                return Err(DistError::CapacityExhausted {
+                    dead_rank: last_dead,
+                    survivor,
+                    required_bytes: required,
+                    available_bytes: available,
+                });
+            }
+        }
+        prev_owner = Some(owner);
+
+        // --- halo exchange over the faulty transport ------------------
+        let halo_span = root.tracer().phase("dist.halo");
+        let before = snap_all();
+        let mut ghosts: Vec<Vec<(u32, Point<D>)>> = vec![Vec::new(); decomposition.slabs.len()];
+        for (k, to_slab) in decomposition.slabs.iter().enumerate() {
+            for from_slab in &decomposition.slabs {
+                if from_slab.rank == to_slab.rank {
+                    continue;
+                }
+                let items: Vec<(u32, Point<D>)> = from_slab
+                    .owned
+                    .iter()
+                    .filter(|&&id| to_slab.in_halo(points[id as usize][decomposition.axis], eps))
+                    .map(|&id| (id, points[id as usize]))
+                    .collect();
+                let delivered =
+                    network.send(from_slab.rank, to_slab.rank, &encode_points(&items), recovery)?;
+                let decoded =
+                    decode_points::<D>(&delivered).map_err(|reason| DistError::HaloExchange {
+                        from: from_slab.rank,
+                        to: to_slab.rank,
+                        ordinal: network.messages_sent().saturating_sub(1),
+                        reason,
+                    })?;
+                ghosts[k].extend(decoded);
+            }
+        }
+        phase_work.halo.accumulate(work_since(&before));
+        drop(halo_span);
+
+        // --- deaths at the local boundary -----------------------------
+        let mut newly_dead = false;
+        for r in 0..ranks {
+            if alive[r] && plan.is_some_and(|p| p.rank_dies(r, PHASE_LOCAL)) {
+                kill(r, PHASE_LOCAL, &mut alive, &mut rank_stats, &mut last_dead);
+                newly_dead = true;
+            }
+        }
+        if newly_dead {
+            continue; // re-shard over the survivors, redo the halo
+        }
+
+        // --- local clustering -----------------------------------------
+        let local_span = root.tracer().phase("dist.local");
+        let before = snap_all();
+        let local_sets: Vec<LocalSet<D>> = decomposition
+            .slabs
             .iter()
-            .enumerate()
-            .map(|(rank, result)| {
-                let rank_device = &devices[rank % devices.len()];
-                let global_core = &global_core;
-                let owned_count = rank_stats[rank].owned;
-                let attempts = &attempt_counters[rank];
-                let core_attempts = &core_attempt_counters[rank];
-                scope.spawn(move || {
-                    let to_global = &result.to_global;
-                    run_rank_phase(
-                        rank,
-                        "core",
-                        plan,
-                        root_counters,
-                        attempts,
-                        core_attempts,
-                        rank_device,
-                        || {
-                            let local_points: Vec<Point<D>> =
-                                to_global.iter().map(|&id| points[id as usize]).collect();
-                            // Ghost exchange is this rank's input boundary:
-                            // a NaN smuggled in by a (future) deserializing
-                            // transport must fail here, not poison the BVH.
-                            fdbscan::validate_finite(&local_points)?;
-                            let bvh = build_bvh_index(rank_device, &local_points);
-                            let bvh_ref = &bvh;
-                            let local_points_ref = &local_points;
-                            rank_device.try_launch(owned_count, |li| {
-                                let mut count = 0usize;
-                                bvh_ref.for_each_in_radius(
-                                    &local_points_ref[li],
-                                    eps,
-                                    0,
-                                    |_, _| {
-                                        count += 1;
-                                        if count >= minpts {
-                                            ControlFlow::Break(())
-                                        } else {
-                                            ControlFlow::Continue(())
-                                        }
-                                    },
-                                );
-                                if count >= minpts {
-                                    global_core.set(to_global[li]);
-                                }
-                            })
-                        },
-                    )
-                })
+            .zip(&ghosts)
+            .map(|(slab, ghost)| {
+                let mut to_global = slab.owned.clone();
+                let mut local_points: Vec<Point<D>> =
+                    slab.owned.iter().map(|&id| points[id as usize]).collect();
+                for &(gid, p) in ghost {
+                    to_global.push(gid);
+                    // Ghost coordinates come off the wire, not from the
+                    // local array — the codec is bit-exact, which the
+                    // determinism contract depends on.
+                    local_points.push(p);
+                }
+                LocalSet { rank: slab.rank, owned_count: slab.owned.len(), to_global, local_points }
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-    });
-    for outcome in core_outcomes {
-        outcome?;
-    }
+        for set in &local_sets {
+            rank_stats[set.rank].owned = set.owned_count;
+            rank_stats[set.rank].ghosts = set.to_global.len() - set.owned_count;
+        }
 
-    // --- 3. local main phases (global core flags are now complete) -------
-    let main_outcomes: Vec<Result<(), DeviceError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = local_results
-            .iter_mut()
-            .enumerate()
-            .map(|(rank, result)| {
-                let rank_device = &devices[rank % devices.len()];
-                let global_core = &global_core;
-                let attempts = &attempt_counters[rank];
-                let main_attempts = &main_attempt_counters[rank];
-                scope.spawn(move || {
-                    let LocalResult { to_global, labels, core } = result;
-                    let to_global = &*to_global;
-                    let (rank_labels, rank_core) = run_rank_phase(
-                        rank,
-                        "main",
-                        plan,
-                        root_counters,
-                        attempts,
-                        main_attempts,
-                        rank_device,
-                        || {
-                            let local_points: Vec<Point<D>> =
-                                to_global.iter().map(|&id| points[id as usize]).collect();
-                            fdbscan::validate_finite(&local_points)?;
-                            let local_n = local_points.len();
-                            let bvh = build_bvh_index(rank_device, &local_points);
+        // Core pass: each rank determines core status of its *owned*
+        // points only (ghost core status would be truncated).
+        let global_core = CoreFlags::new(n);
+        let core_outcomes: Vec<(usize, Result<(), DeviceError>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = local_sets
+                .iter()
+                .map(|set| {
+                    let rank = set.rank;
+                    let rank_device = &devices[device_of(rank)];
+                    let global_core = &global_core;
+                    let attempts = &attempt_counters[rank];
+                    let core_attempts = &core_attempt_counters[rank];
+                    let sleeper = config.sleeper;
+                    scope.spawn(move || {
+                        let outcome = run_rank_phase(
+                            rank,
+                            "core",
+                            plan,
+                            root_counters,
+                            attempts,
+                            core_attempts,
+                            rank_device,
+                            sleeper,
+                            recovery,
+                            || {
+                                // The wire is this rank's input
+                                // boundary: a NaN smuggled past the
+                                // checksum must fail here, not
+                                // poison the BVH build.
+                                fdbscan::validate_finite(&set.local_points)?;
+                                let bvh = build_bvh_index(rank_device, &set.local_points);
+                                let bvh_ref = &bvh;
+                                let local_points_ref = &set.local_points;
+                                let to_global = &set.to_global;
+                                rank_device.try_launch(set.owned_count, |li| {
+                                    let mut count = 0usize;
+                                    bvh_ref.for_each_in_radius(
+                                        &local_points_ref[li],
+                                        eps,
+                                        0,
+                                        |_, _| {
+                                            count += 1;
+                                            if count >= minpts {
+                                                ControlFlow::Break(())
+                                            } else {
+                                                ControlFlow::Continue(())
+                                            }
+                                        },
+                                    );
+                                    if count >= minpts {
+                                        global_core.set(to_global[li]);
+                                    }
+                                })
+                            },
+                        );
+                        (rank, outcome)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        });
+        for (rank, outcome) in core_outcomes {
+            outcome.map_err(|source| DistError::RankFailed { rank, phase: "core", source })?;
+        }
 
-                            // Local copies of the relevant global core flags.
-                            let local_core = CoreFlags::new(local_n);
-                            for (li, &gid) in to_global.iter().enumerate() {
-                                if global_core.get(gid) {
-                                    local_core.set(li as u32);
-                                }
-                            }
-                            let local_labels = AtomicLabels::new(local_n);
-                            // minpts <= 2 would trigger lazy core marking in
-                            // `main_phase`, which is wrong here (cores were
-                            // computed globally); force the flag-driven path.
-                            // The minpts value inside the main phase only
-                            // selects that branch.
-                            let branch_params = Params::new(eps, minpts.max(3));
-                            main_phase(
+        // Ghost core flags travel over the same faulty transport.
+        let mut ghost_core: Vec<BTreeMap<u32, bool>> =
+            vec![BTreeMap::new(); decomposition.slabs.len()];
+        for (k, to_slab) in decomposition.slabs.iter().enumerate() {
+            for from_slab in &decomposition.slabs {
+                if from_slab.rank == to_slab.rank {
+                    continue;
+                }
+                let items: Vec<(u32, bool)> = from_slab
+                    .owned
+                    .iter()
+                    .filter(|&&id| to_slab.in_halo(points[id as usize][decomposition.axis], eps))
+                    .map(|&id| (id, global_core.get(id)))
+                    .collect();
+                let delivered =
+                    network.send(from_slab.rank, to_slab.rank, &encode_flags(&items), recovery)?;
+                let decoded =
+                    decode_flags(&delivered).map_err(|reason| DistError::HaloExchange {
+                        from: from_slab.rank,
+                        to: to_slab.rank,
+                        ordinal: network.messages_sent().saturating_sub(1),
+                        reason,
+                    })?;
+                ghost_core[k].extend(decoded);
+            }
+        }
+
+        // Main phase + summary distillation, checkpointed per rank.
+        let mut summaries: Vec<Option<RankSummary>> = (0..ranks).map(|_| None).collect();
+        let main_outcomes: Vec<(usize, Result<RankSummary, DeviceError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = local_sets
+                    .iter()
+                    .zip(&ghost_core)
+                    .map(|(set, gflags)| {
+                        let rank = set.rank;
+                        let rank_device = &devices[device_of(rank)];
+                        let global_core = &global_core;
+                        let attempts = &attempt_counters[rank];
+                        let main_attempts = &main_attempt_counters[rank];
+                        let sleeper = config.sleeper;
+                        scope.spawn(move || {
+                            let outcome = run_rank_phase(
+                                rank,
+                                "main",
+                                plan,
+                                root_counters,
+                                attempts,
+                                main_attempts,
                                 rank_device,
-                                &local_points,
-                                &bvh,
-                                branch_params,
-                                FdbscanOptions::default(),
-                                &local_labels,
-                                &local_core,
-                            )?;
-                            local_labels.flatten(rank_device);
-                            Ok((local_labels.snapshot(), local_core.to_vec()))
-                        },
-                    )?;
-                    *labels = rank_labels;
-                    *core = rank_core;
-                    Ok(())
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
-    });
-    for outcome in main_outcomes {
-        outcome?;
-    }
-    for (rank, stat) in rank_stats.iter_mut().enumerate() {
-        stat.attempts = attempt_counters[rank].load(Ordering::Relaxed);
-        stat.core_attempts = core_attempt_counters[rank].load(Ordering::Relaxed);
-        stat.main_attempts = main_attempt_counters[rank].load(Ordering::Relaxed);
-    }
+                                sleeper,
+                                recovery,
+                                || {
+                                    let local_points = &set.local_points;
+                                    fdbscan::validate_finite(local_points)?;
+                                    let local_n = local_points.len();
+                                    let bvh = build_bvh_index(rank_device, local_points);
 
-    // --- 4a. merge: core unions ------------------------------------------
-    for result in &local_results {
-        let to_global = &result.to_global;
-        let labels = &result.labels;
-        let core = &result.core;
-        let global_labels_ref = &global_labels;
-        device.try_launch(labels.len(), |li| {
-            if core[li] {
-                let root = labels[li] as usize;
-                global_labels_ref.union(to_global[li], to_global[root]);
+                                    // Owned flags were computed here;
+                                    // ghost flags arrived over the wire.
+                                    let local_core = CoreFlags::new(local_n);
+                                    for (li, &gid) in set.to_global.iter().enumerate() {
+                                        let is_core = if li < set.owned_count {
+                                            global_core.get(gid)
+                                        } else {
+                                            gflags.get(&gid).copied().unwrap_or(false)
+                                        };
+                                        if is_core {
+                                            local_core.set(li as u32);
+                                        }
+                                    }
+                                    let local_labels = AtomicLabels::new(local_n);
+                                    // minpts <= 2 would trigger lazy core
+                                    // marking in `main_phase`, which is
+                                    // wrong here (cores were computed
+                                    // globally); force the flag-driven
+                                    // path — the value only selects the
+                                    // branch.
+                                    let branch_params = Params::new(eps, minpts.max(3));
+                                    main_phase(
+                                        rank_device,
+                                        local_points,
+                                        &bvh,
+                                        branch_params,
+                                        FdbscanOptions::default(),
+                                        &local_labels,
+                                        &local_core,
+                                    )?;
+                                    local_labels.flatten(rank_device);
+                                    let labels = local_labels.snapshot();
+
+                                    // Distill: core edge log + border
+                                    // claim log, all in global ids.
+                                    let mut summary = RankSummary { rank, ..Default::default() };
+                                    for (li, &root) in labels.iter().enumerate() {
+                                        if local_core.get(li as u32) {
+                                            summary.edges.push((
+                                                set.to_global[li],
+                                                set.to_global[root as usize],
+                                            ));
+                                            if li < set.owned_count {
+                                                summary.core_gids.push(set.to_global[li]);
+                                            }
+                                        }
+                                    }
+                                    for (li, point) in
+                                        local_points.iter().enumerate().take(set.owned_count)
+                                    {
+                                        if local_core.get(li as u32) {
+                                            continue;
+                                        }
+                                        // Owned border: full ε-ball is
+                                        // local, so the claim set (one
+                                        // per adjacent local cluster) is
+                                        // complete.
+                                        let mut roots: Vec<u32> = Vec::new();
+                                        bvh.for_each_in_radius(point, eps, 0, |_, j| {
+                                            if local_core.get(j) {
+                                                let root = labels[j as usize];
+                                                if !roots.contains(&root) {
+                                                    roots.push(root);
+                                                }
+                                            }
+                                            ControlFlow::Continue(())
+                                        });
+                                        for &root in &roots {
+                                            summary.claims.push((
+                                                set.to_global[li],
+                                                set.to_global[root as usize],
+                                            ));
+                                        }
+                                    }
+                                    Ok(summary)
+                                },
+                            );
+                            (rank, outcome)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            });
+        for (rank, outcome) in main_outcomes {
+            let summary =
+                outcome.map_err(|source| DistError::RankFailed { rank, phase: "main", source })?;
+            // The durable checkpoint: everything the merge needs from
+            // this rank, written *before* the merge phase begins.
+            store.put(rank, checkpoint_summary(&summary, fingerprint));
+            summaries[rank] = Some(summary);
+        }
+        phase_work.local.accumulate(work_since(&before));
+        drop(local_span);
+
+        for r in 0..ranks {
+            rank_stats[r].attempts = attempt_counters[r].load(Ordering::Relaxed);
+            rank_stats[r].core_attempts = core_attempt_counters[r].load(Ordering::Relaxed);
+            rank_stats[r].main_attempts = main_attempt_counters[r].load(Ordering::Relaxed);
+        }
+
+        // --- deaths at the merge boundary -----------------------------
+        // No re-shard here: the dead ranks' summaries are already
+        // durable, so their work survives them.
+        for r in 0..ranks {
+            if alive[r] && plan.is_some_and(|p| p.rank_dies(r, PHASE_MERGE)) {
+                kill(r, PHASE_MERGE, &mut alive, &mut rank_stats, &mut last_dead);
             }
-        })?;
-    }
-    // --- 4b. merge: border claims ------------------------------------------
-    for result in &local_results {
-        let to_global = &result.to_global;
-        let labels = &result.labels;
-        let core = &result.core;
-        let global_labels_ref = &global_labels;
-        device.try_launch(labels.len(), |li| {
-            if !core[li] && labels[li] != li as u32 {
-                let root = to_global[labels[li] as usize];
-                let target = global_labels_ref.find(root);
-                global_labels_ref.try_claim(to_global[li], target);
-            }
-        })?;
-    }
+        }
+        let survivors: Vec<usize> = (0..ranks).filter(|&r| alive[r]).collect();
+        if survivors.is_empty() {
+            return Err(DistError::NoSurvivors);
+        }
+        // Coordinator: the lowest rank that entered this round, unless
+        // it died — then the lowest *surviving* rank id is elected and
+        // replays the merge from the checkpointed logs.
+        let planned = live[0];
+        let coordinator = if alive[planned] {
+            planned
+        } else {
+            recovery.coordinator_elections.fetch_add(1, Ordering::Relaxed);
+            recovery.merge_replays.fetch_add(1, Ordering::Relaxed);
+            let successor = survivors[0];
+            root.tracer().instant(format!(
+                "dist.election coordinator {planned} dead; successor {successor} replays the merge"
+            ));
+            successor
+        };
 
-    // --- 5. finalize --------------------------------------------------------
-    global_labels.flatten(device);
-    let clustering = Clustering::from_union_find(&global_labels.snapshot(), &global_core.to_vec());
+        // --- cross-rank merge on the coordinator ----------------------
+        let merge_span = root.tracer().phase("dist.merge");
+        let before = snap_all();
+        let merge_start = Instant::now();
+        let participants: Vec<usize> = decomposition.slabs.iter().map(|s| s.rank).collect();
+        let fetched =
+            fetch_summaries(&store, &participants, &alive, &summaries, recovery, fingerprint)?;
+        let merge_device = &devices[device_of(coordinator)];
+        let refs: Vec<&RankSummary> = fetched.iter().collect();
+        let (labels, core) = merge_summaries(merge_device, n, &refs)?;
+        let merge_time = merge_start.elapsed();
+        phase_work.merge.accumulate(work_since(&before));
+        drop(merge_span);
 
-    Ok((clustering, DistStats { ranks: rank_stats, axis, total_time: start.elapsed() }))
+        // --- finalize -------------------------------------------------
+        let clustering = Clustering::from_union_find(&labels, &core);
+        return Ok((
+            clustering,
+            DistStats {
+                ranks: rank_stats,
+                axis: decomposition.axis,
+                coordinator,
+                total_time: start.elapsed(),
+                merge_time,
+                recovery: recovery.snapshot(),
+                phase_work,
+            },
+        ));
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use fdbscan::labels::assert_core_equivalent;
-    use fdbscan::seq::dbscan_classic;
+    use fdbscan::seq::{dbscan_canonical, dbscan_classic};
     use fdbscan::verify::assert_valid_clustering;
     use fdbscan_data::Dataset2;
-    use fdbscan_device::{DeviceConfig, FaultPlan, FaultSite};
+    use fdbscan_device::{DeviceConfig, FaultPlan, FaultSite, MetricsRegistry};
     use fdbscan_geom::Point2;
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -518,6 +755,21 @@ mod tests {
     }
 
     #[test]
+    fn bit_identical_to_canonical_oracle() {
+        // The determinism contract: not just equivalent up to border
+        // ties, but the exact same assignment vector as the canonical
+        // single-device oracle, for every rank count.
+        for ranks in [1usize, 2, 3, 5, 8] {
+            let d = device();
+            let points = random_points(500, 4.0, 100 + ranks as u64);
+            let params = Params::new(0.3, 4);
+            let oracle = dbscan_canonical(&points, params);
+            let (dist, _) = distributed_fdbscan(&d, &points, params, ranks).unwrap();
+            assert_eq!(dist, oracle, "ranks={ranks}: labels must be bit-identical");
+        }
+    }
+
+    #[test]
     fn cluster_spanning_every_rank_boundary() {
         // A dense line along the cut axis: one cluster crossing every
         // slab boundary; the merge must reassemble it.
@@ -531,16 +783,17 @@ mod tests {
     #[test]
     fn border_on_rank_boundary_claimed_once() {
         // Two bars and a bridge, decomposed such that the bridge sits in
-        // a ghost zone of both ranks: it must be claimed exactly once.
+        // a ghost zone of both ranks: it must land in exactly one
+        // cluster — the one with the smallest canonical root.
         let mut points: Vec<Point2> = (0..5).map(|i| Point2::new([0.0, 0.1 * i as f32])).collect();
         points.extend((0..5).map(|i| Point2::new([0.9, 0.1 * i as f32])));
         points.push(Point2::new([0.45, 0.2]));
         let params = Params::new(0.45, 5);
         let d = device();
-        let oracle = dbscan_classic(&points, params);
+        let oracle = dbscan_canonical(&points, params);
         for ranks in [2usize, 3] {
             let (dist, _) = distributed_fdbscan(&d, &points, params, ranks).unwrap();
-            assert_core_equivalent(&oracle, &dist);
+            assert_eq!(dist, oracle);
             assert_eq!(dist.num_clusters, 2);
         }
     }
@@ -606,7 +859,7 @@ mod tests {
     }
 
     #[test]
-    fn multi_device_repeated_runs_are_consistent() {
+    fn multi_device_repeated_runs_are_bit_identical() {
         let devices: Vec<Device> =
             (0..2).map(|_| Device::new(DeviceConfig::default().with_workers(2))).collect();
         let points = random_points(500, 3.0, 23);
@@ -614,7 +867,7 @@ mod tests {
         let (first, _) = distributed_fdbscan_multi(&devices, &points, params, 4).unwrap();
         for _ in 0..3 {
             let (again, _) = distributed_fdbscan_multi(&devices, &points, params, 4).unwrap();
-            assert_core_equivalent(&first, &again);
+            assert_eq!(first, again, "thread interleaving must not leak into labels");
         }
     }
 
@@ -631,9 +884,9 @@ mod tests {
             let d = device();
             let points = random_points(n, 3.0, seed);
             let params = Params::new(eps, minpts);
-            let oracle = dbscan_classic(&points, params);
+            let oracle = dbscan_canonical(&points, params);
             let (dist, _) = distributed_fdbscan(&d, &points, params, ranks).unwrap();
-            assert_core_equivalent(&oracle, &dist);
+            proptest::prop_assert_eq!(dist, oracle);
         }
     }
 
@@ -646,7 +899,19 @@ mod tests {
             assert_eq!(r.attempts, 2, "rank {rank}: core pass + main phase");
             assert_eq!(r.core_attempts, 1, "rank {rank}: one core pass");
             assert_eq!(r.main_attempts, 1, "rank {rank}: one main phase");
+            assert!(r.alive);
         }
+        assert_eq!(stats.coordinator, 0);
+        assert_eq!(
+            stats.recovery,
+            RecoveryEvents {
+                // 4 ranks exchange points and flags with each other.
+                messages_sent: 2 * 4 * 3,
+                ..Default::default()
+            }
+        );
+        assert!(stats.phase_work.local.launches > 0, "local phase does the real work");
+        assert!(stats.phase_work.merge.launches > 0, "merge folds edge logs on device");
     }
 
     #[test]
@@ -668,18 +933,7 @@ mod tests {
         );
         assert_eq!(stats.ranks[0].core_attempts, 1);
         assert_eq!(stats.ranks[0].main_attempts, 1);
-    }
-
-    #[test]
-    fn backoff_is_deterministic_and_capped() {
-        use std::time::Duration;
-        assert_eq!(retry_backoff(1), Duration::from_millis(1));
-        assert_eq!(retry_backoff(2), Duration::from_millis(2));
-        assert_eq!(retry_backoff(3), Duration::from_millis(4));
-        assert_eq!(retry_backoff(4), Duration::from_millis(RETRY_BACKOFF_CAP_MS));
-        assert_eq!(retry_backoff(100), Duration::from_millis(RETRY_BACKOFF_CAP_MS));
-        // Identical inputs, identical schedule: no wall-clock randomness.
-        assert_eq!(retry_backoff(3), retry_backoff(3));
+        assert_eq!(stats.recovery.rank_retries, 1);
     }
 
     #[test]
@@ -692,7 +946,7 @@ mod tests {
             let plan = FaultPlan::new(9).with_rank_failure(2, failures);
             let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
             let (got, stats) = distributed_fdbscan(&d, &points, params, 4).unwrap();
-            assert_core_equivalent(&reference, &got);
+            assert_eq!(got, reference, "recovered run must be bit-identical");
             assert_eq!(stats.ranks[2].attempts, 2 + failures, "retries surface in DistStats");
             assert_eq!(stats.ranks[0].attempts, 2, "healthy ranks are untouched");
             assert_eq!(d.counters().snapshot().injected_rank_faults, failures as u64);
@@ -707,7 +961,14 @@ mod tests {
         let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
         let err = distributed_fdbscan(&d, &points, Params::new(0.3, 4), 3).unwrap_err();
         assert!(
-            matches!(err, DeviceError::FaultInjected { site: FaultSite::Rank { rank: 1, .. } }),
+            matches!(
+                err,
+                DistError::RankFailed {
+                    rank: 1,
+                    phase: "core",
+                    source: DeviceError::FaultInjected { site: FaultSite::Rank { rank: 1, .. } },
+                }
+            ),
             "got {err:?}"
         );
         // Attempt ordinals are per run, so a re-run fails the same way:
@@ -726,7 +987,7 @@ mod tests {
         let d = device();
         let points = vec![Point2::new([f32::INFINITY, 0.0])];
         let err = distributed_fdbscan(&d, &points, Params::new(1.0, 2), 2).unwrap_err();
-        assert!(matches!(err, DeviceError::InvalidInput { .. }));
+        assert!(matches!(err, DistError::Device(DeviceError::InvalidInput { .. })));
     }
 
     #[test]
@@ -742,5 +1003,185 @@ mod tests {
         for r in &stats.ranks {
             assert_eq!(r.owned + r.ghosts, 200);
         }
+    }
+
+    // ----- fault tolerance ---------------------------------------------
+
+    #[test]
+    fn rank_death_reshards_and_stays_bit_identical() {
+        let points = random_points(500, 4.0, 40);
+        let params = Params::new(0.3, 4);
+        let oracle = dbscan_canonical(&points, params);
+        let plan = FaultPlan::new(12).with_rank_death(1, PHASE_LOCAL);
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let (dist, stats) = distributed_fdbscan(&d, &points, params, 4).unwrap();
+        assert_eq!(dist, oracle, "survivors must reproduce the oracle exactly");
+        assert!(!stats.ranks[1].alive);
+        assert_eq!(stats.ranks[1].owned, 0, "dead rank's slab was re-sharded");
+        assert_eq!(stats.recovery.rank_deaths, 1);
+        assert!(stats.recovery.resharded_points > 0, "its points moved to survivors");
+        let owned: usize = stats.ranks.iter().map(|r| r.owned).sum();
+        assert_eq!(owned, 500, "survivors repartition the whole set");
+        assert_eq!(d.counters().snapshot().injected_rank_deaths, 1);
+    }
+
+    #[test]
+    fn rank_death_at_halo_boundary_shrinks_the_fleet() {
+        let points = random_points(400, 4.0, 41);
+        let params = Params::new(0.3, 4);
+        let oracle = dbscan_canonical(&points, params);
+        let plan = FaultPlan::new(13).with_rank_death(2, PHASE_HALO);
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let (dist, stats) = distributed_fdbscan(&d, &points, params, 4).unwrap();
+        assert_eq!(dist, oracle);
+        assert!(!stats.ranks[2].alive);
+        assert_eq!(stats.ranks[2].attempts, 0, "died before doing any work");
+        assert_eq!(stats.recovery.rank_deaths, 1);
+        assert_eq!(stats.recovery.resharded_points, 0, "death before the first shard");
+    }
+
+    #[test]
+    fn coordinator_death_elects_successor_who_replays_the_merge() {
+        let points = random_points(500, 4.0, 42);
+        let params = Params::new(0.3, 4);
+        let oracle = dbscan_canonical(&points, params);
+        let plan = FaultPlan::new(14).with_rank_death(0, PHASE_MERGE);
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let (dist, stats) = distributed_fdbscan(&d, &points, params, 4).unwrap();
+        assert_eq!(dist, oracle, "the replayed merge must be bit-identical");
+        assert_eq!(stats.coordinator, 1, "lowest surviving rank id is elected");
+        assert!(!stats.ranks[0].alive);
+        assert!(stats.ranks[0].owned > 0, "its work was already checkpointed");
+        assert_eq!(stats.recovery.coordinator_elections, 1);
+        assert_eq!(stats.recovery.merge_replays, 1);
+    }
+
+    #[test]
+    fn every_rank_dying_is_a_typed_error() {
+        let points = random_points(200, 4.0, 43);
+        let mut plan = FaultPlan::new(15);
+        for rank in 0..3 {
+            plan = plan.with_rank_death(rank, PHASE_HALO);
+        }
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let err = distributed_fdbscan(&d, &points, Params::new(0.3, 4), 3).unwrap_err();
+        assert_eq!(err, DistError::NoSurvivors);
+        assert_eq!(d.memory().in_use(), d.arena().held_bytes());
+        d.arena().trim();
+        assert_eq!(d.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn message_faults_during_halo_are_recovered() {
+        let points = random_points(500, 4.0, 44);
+        let params = Params::new(0.3, 4);
+        let oracle = dbscan_canonical(&points, params);
+        let plan = FaultPlan::new(16)
+            .with_message_drop(0)
+            .with_message_corruption(5)
+            .with_message_delay(2, 4);
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let (dist, stats) = distributed_fdbscan(&d, &points, params, 4).unwrap();
+        assert_eq!(dist, oracle, "retransmitted halo must reproduce the oracle");
+        assert_eq!(stats.recovery.messages_dropped, 1);
+        assert_eq!(stats.recovery.messages_corrupted, 1);
+        assert_eq!(stats.recovery.messages_delayed, 1);
+        assert_eq!(stats.recovery.retransmits, 2, "drop + corruption; delays never retry");
+        assert_eq!(d.counters().snapshot().injected_message_faults, 3);
+    }
+
+    #[test]
+    fn persistent_message_loss_is_a_typed_error() {
+        let points = random_points(300, 4.0, 45);
+        let mut plan = FaultPlan::new(17);
+        for ordinal in 0..=(MAX_MESSAGE_RETRIES as u64) {
+            plan = plan.with_message_drop(ordinal);
+        }
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let err = distributed_fdbscan(&d, &points, Params::new(0.3, 4), 3).unwrap_err();
+        assert!(matches!(err, DistError::HaloExchange { .. }), "got {err:?}");
+        assert_eq!(d.memory().in_use(), d.arena().held_bytes());
+        d.arena().trim();
+        assert_eq!(d.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn reshard_preflight_sheds_instead_of_oom() {
+        // Rank 1 lives on a device too small for the whole domain. When
+        // rank 0 dies, re-sharding everything onto rank 1 must be
+        // refused up front with a typed error — not an OOM mid-phase.
+        let points = random_points(400, 4.0, 46);
+        let plan = FaultPlan::new(18).with_rank_death(0, PHASE_LOCAL);
+        let devices = vec![
+            Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan)),
+            Device::new(DeviceConfig::default().with_workers(2).with_memory_budget(1024)),
+        ];
+        let err = distributed_fdbscan_multi(&devices, &points, Params::new(0.3, 4), 2).unwrap_err();
+        match err {
+            DistError::CapacityExhausted {
+                dead_rank,
+                survivor,
+                required_bytes,
+                available_bytes,
+            } => {
+                assert_eq!(dead_rank, 0);
+                assert_eq!(survivor, 1);
+                assert!(required_bytes > available_bytes);
+            }
+            other => panic!("expected CapacityExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_sleeper_observes_the_backoff_schedule() {
+        let points = random_points(300, 4.0, 47);
+        let plan = FaultPlan::new(19).with_rank_failure(1, 2);
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let sleeper = InstantSleeper::new();
+        let config = DistConfig::new(3).with_sleeper(&sleeper);
+        let (_, stats) = distributed_fdbscan_with(
+            std::slice::from_ref(&d),
+            &points,
+            Params::new(0.3, 4),
+            config,
+        )
+        .unwrap();
+        assert_eq!(stats.ranks[1].attempts, 4, "2 failures, retried into success");
+        // The deterministic schedule, observed without really sleeping.
+        assert_eq!(sleeper.slept(), vec![retry_backoff(1), retry_backoff(2)]);
+    }
+
+    #[test]
+    fn metrics_capture_runs_recoveries_and_failures() {
+        let registry = MetricsRegistry::new(true);
+        let metrics = DistMetrics::new(&registry);
+        let points = random_points(400, 4.0, 48);
+        let params = Params::new(0.3, 4);
+
+        // A recovered run with a rank death.
+        let plan = FaultPlan::new(20).with_rank_death(1, PHASE_LOCAL);
+        let d = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let config = DistConfig::new(3).with_metrics(&metrics).with_request_id(77);
+        distributed_fdbscan_with(std::slice::from_ref(&d), &points, params, config).unwrap();
+
+        // A failed run: everyone dies.
+        let mut plan = FaultPlan::new(21);
+        for rank in 0..3 {
+            plan = plan.with_rank_death(rank, PHASE_HALO);
+        }
+        let d2 = Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(plan));
+        let config = DistConfig::new(3).with_metrics(&metrics);
+        let err = distributed_fdbscan_with(std::slice::from_ref(&d2), &points, params, config)
+            .unwrap_err();
+        assert_eq!(err, DistError::NoSurvivors);
+
+        assert_eq!(metrics.inflight(), 0, "inflight gauge must not leak on any path");
+        let text = registry.render_prometheus();
+        fdbscan_device::metrics::validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("fdbscan_dist_runs_total 1"), "{text}");
+        assert!(text.contains("fdbscan_dist_runs_failed_total 1"));
+        assert!(text.contains("fdbscan_dist_rank_deaths_total 4"), "1 + 3 deaths");
+        assert!(text.contains("fdbscan_dist_runs_inflight 0"));
+        assert!(text.contains("fdbscan_dist_merge_seconds"));
     }
 }

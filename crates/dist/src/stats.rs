@@ -1,0 +1,395 @@
+//! Run statistics, recovery-event accounting, and `fdbscan_dist_*`
+//! telemetry.
+//!
+//! Every recovery action the driver takes — a retried phase, a message
+//! retransmission, a rank death, a re-shard, a coordinator election, a
+//! merge replay — is counted twice: into the run's [`DistStats`] (the
+//! caller-visible record of *this* run) and, when a [`DistMetrics`] is
+//! attached, into the process-wide `device::metrics` registry where
+//! `render_prometheus` exposes it as `fdbscan_dist_*` series.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use fdbscan_device::metrics::{Counter, Gauge, MetricHistogram, MetricUnit, MetricsRegistry};
+
+/// Per-rank decomposition and execution summary.
+#[derive(Clone, Debug, Default)]
+pub struct RankStats {
+    /// Points owned by this rank (after any re-sharding).
+    pub owned: usize,
+    /// Ghost points replicated from neighbors.
+    pub ghosts: usize,
+    /// Phase executions on this rank, including retries after injected
+    /// or real failures. A fault-free run makes exactly 2 attempts per
+    /// rank: one core pass and one main phase.
+    pub attempts: usize,
+    /// Executions of the core pass alone (1 when fault-free).
+    pub core_attempts: usize,
+    /// Executions of the main phase alone (1 when fault-free).
+    pub main_attempts: usize,
+    /// Whether the rank survived to the end of the run. A dead rank
+    /// keeps its attempt history but owns no points.
+    pub alive: bool,
+}
+
+/// Plain-value totals of every recovery event of one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryEvents {
+    /// Rank-phase retries after transient failures.
+    pub rank_retries: u64,
+    /// Permanent rank deaths.
+    pub rank_deaths: u64,
+    /// Points re-sharded from dead ranks onto survivors.
+    pub resharded_points: u64,
+    /// Halo frames sent (including retransmissions).
+    pub messages_sent: u64,
+    /// Frames lost in flight (injected drops).
+    pub messages_dropped: u64,
+    /// Frames rejected by the length+checksum framing.
+    pub messages_corrupted: u64,
+    /// Frames delivered late (reordered).
+    pub messages_delayed: u64,
+    /// Retransmissions after a lost or rejected frame.
+    pub retransmits: u64,
+    /// Merge-coordinator successor elections.
+    pub coordinator_elections: u64,
+    /// Merge replays from the checkpointed edge logs.
+    pub merge_replays: u64,
+    /// Corrupt checkpointed summaries re-fetched from a live owner.
+    pub summary_refetches: u64,
+}
+
+/// Shared atomic accumulator behind [`RecoveryEvents`] — written from
+/// rank threads and the transport, snapshotted once into [`DistStats`].
+#[derive(Debug, Default)]
+pub struct RecoveryLog {
+    /// See [`RecoveryEvents::rank_retries`].
+    pub rank_retries: AtomicU64,
+    /// See [`RecoveryEvents::rank_deaths`].
+    pub rank_deaths: AtomicU64,
+    /// See [`RecoveryEvents::resharded_points`].
+    pub resharded_points: AtomicU64,
+    /// See [`RecoveryEvents::messages_sent`].
+    pub messages_sent: AtomicU64,
+    /// See [`RecoveryEvents::messages_dropped`].
+    pub messages_dropped: AtomicU64,
+    /// See [`RecoveryEvents::messages_corrupted`].
+    pub messages_corrupted: AtomicU64,
+    /// See [`RecoveryEvents::messages_delayed`].
+    pub messages_delayed: AtomicU64,
+    /// See [`RecoveryEvents::retransmits`].
+    pub retransmits: AtomicU64,
+    /// See [`RecoveryEvents::coordinator_elections`].
+    pub coordinator_elections: AtomicU64,
+    /// See [`RecoveryEvents::merge_replays`].
+    pub merge_replays: AtomicU64,
+    /// See [`RecoveryEvents::summary_refetches`].
+    pub summary_refetches: AtomicU64,
+}
+
+impl RecoveryLog {
+    /// Takes a plain-value snapshot.
+    pub fn snapshot(&self) -> RecoveryEvents {
+        RecoveryEvents {
+            rank_retries: self.rank_retries.load(Ordering::Relaxed),
+            rank_deaths: self.rank_deaths.load(Ordering::Relaxed),
+            resharded_points: self.resharded_points.load(Ordering::Relaxed),
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
+            messages_corrupted: self.messages_corrupted.load(Ordering::Relaxed),
+            messages_delayed: self.messages_delayed.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            coordinator_elections: self.coordinator_elections.load(Ordering::Relaxed),
+            merge_replays: self.merge_replays.load(Ordering::Relaxed),
+            summary_refetches: self.summary_refetches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Summed kernel-launch and distance-computation deltas of one phase,
+/// across every device the run touched.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseWork {
+    /// Kernel launches attributed to the phase.
+    pub launches: u64,
+    /// Distance computations attributed to the phase.
+    pub distances: u64,
+}
+
+impl PhaseWork {
+    /// Adds `delta` into this accumulator (re-shard loops make several
+    /// passes over the same phase).
+    pub fn accumulate(&mut self, delta: PhaseWork) {
+        self.launches += delta.launches;
+        self.distances += delta.distances;
+    }
+}
+
+/// Per-phase work table of a distributed run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseWorkTable {
+    /// Halo exchange (host-side framing; device work is usually zero).
+    pub halo: PhaseWork,
+    /// Local clustering: core pass + main phase across all ranks.
+    pub local: PhaseWork,
+    /// Cross-rank merge on the coordinator's device.
+    pub merge: PhaseWork,
+}
+
+/// Statistics of a distributed run.
+#[derive(Clone, Debug, Default)]
+pub struct DistStats {
+    /// Decomposition summary per rank, indexed by rank id.
+    pub ranks: Vec<RankStats>,
+    /// The decomposition axis that was cut.
+    pub axis: usize,
+    /// The rank that performed the merge (after any election).
+    pub coordinator: usize,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+    /// Wall time of the cross-rank merge alone.
+    pub merge_time: Duration,
+    /// Recovery-event totals.
+    pub recovery: RecoveryEvents,
+    /// Per-phase launch/distance work.
+    pub phase_work: PhaseWorkTable,
+}
+
+/// Pre-registered `fdbscan_dist_*` instruments. Create one per process
+/// (registration is idempotent, so several are harmless) and attach it
+/// via `DistConfig::with_metrics`; the driver records one batch per run.
+#[derive(Debug)]
+pub struct DistMetrics {
+    runs: Counter,
+    runs_failed: Counter,
+    runs_inflight: Gauge,
+    ranks: Counter,
+    rank_attempts: Counter,
+    rank_retries: Counter,
+    rank_deaths: Counter,
+    resharded_points: Counter,
+    capacity_sheds: Counter,
+    messages_sent: Counter,
+    messages_dropped: Counter,
+    messages_corrupted: Counter,
+    messages_delayed: Counter,
+    messages_retransmitted: Counter,
+    coordinator_elections: Counter,
+    merge_replays: Counter,
+    summary_refetches: Counter,
+    phase_launches_halo: Counter,
+    phase_launches_local: Counter,
+    phase_launches_merge: Counter,
+    phase_distances_halo: Counter,
+    phase_distances_local: Counter,
+    phase_distances_merge: Counter,
+    merge_seconds: MetricHistogram,
+}
+
+impl DistMetrics {
+    /// Registers every `fdbscan_dist_*` instrument on `registry`.
+    pub fn new(registry: &MetricsRegistry) -> Self {
+        let msg = |event: &str| {
+            registry.labeled_counter(
+                "fdbscan_dist_messages_total",
+                "Halo-exchange frames by transport event",
+                "event",
+                event,
+            )
+        };
+        let phase_launches = |phase: &str| {
+            registry.labeled_counter(
+                "fdbscan_dist_phase_launches_total",
+                "Kernel launches attributed to a distributed phase",
+                "phase",
+                phase,
+            )
+        };
+        let phase_distances = |phase: &str| {
+            registry.labeled_counter(
+                "fdbscan_dist_phase_distances_total",
+                "Distance computations attributed to a distributed phase",
+                "phase",
+                phase,
+            )
+        };
+        Self {
+            runs: registry
+                .counter("fdbscan_dist_runs_total", "Completed distributed clustering runs"),
+            runs_failed: registry
+                .counter("fdbscan_dist_runs_failed_total", "Distributed runs ending in an error"),
+            runs_inflight: registry
+                .gauge("fdbscan_dist_runs_inflight", "Distributed runs currently executing"),
+            ranks: registry.counter("fdbscan_dist_ranks_total", "Ranks launched across all runs"),
+            rank_attempts: registry.counter(
+                "fdbscan_dist_rank_attempts_total",
+                "Rank phase executions including retries",
+            ),
+            rank_retries: registry.counter(
+                "fdbscan_dist_rank_retries_total",
+                "Rank phase retries after transient failures",
+            ),
+            rank_deaths: registry
+                .counter("fdbscan_dist_rank_deaths_total", "Permanent rank deaths"),
+            resharded_points: registry.counter(
+                "fdbscan_dist_resharded_points_total",
+                "Points re-sharded from dead ranks onto survivors",
+            ),
+            capacity_sheds: registry.counter(
+                "fdbscan_dist_capacity_sheds_total",
+                "Re-shards refused by the memory preflight",
+            ),
+            messages_sent: msg("sent"),
+            messages_dropped: msg("dropped"),
+            messages_corrupted: msg("corrupted"),
+            messages_delayed: msg("delayed"),
+            messages_retransmitted: msg("retransmitted"),
+            coordinator_elections: registry.counter(
+                "fdbscan_dist_coordinator_elections_total",
+                "Merge-coordinator successor elections",
+            ),
+            merge_replays: registry.counter(
+                "fdbscan_dist_merge_replays_total",
+                "Merges replayed from checkpointed edge logs",
+            ),
+            summary_refetches: registry.counter(
+                "fdbscan_dist_summary_refetches_total",
+                "Corrupt summaries re-checkpointed from live owners",
+            ),
+            phase_launches_halo: phase_launches("halo"),
+            phase_launches_local: phase_launches("local"),
+            phase_launches_merge: phase_launches("merge"),
+            phase_distances_halo: phase_distances("halo"),
+            phase_distances_local: phase_distances("local"),
+            phase_distances_merge: phase_distances("merge"),
+            merge_seconds: registry.histogram(
+                "fdbscan_dist_merge_seconds",
+                "Cross-rank merge wall time",
+                MetricUnit::Seconds,
+            ),
+        }
+    }
+
+    /// Marks a run in flight; the guard's drop marks it done. RAII so
+    /// the gauge cannot leak on any error path.
+    pub fn inflight_guard(&self) -> InflightGuard<'_> {
+        self.runs_inflight.inc();
+        InflightGuard { gauge: &self.runs_inflight }
+    }
+
+    /// Records a completed run's stats batch.
+    pub fn record_run(&self, stats: &DistStats) {
+        self.runs.inc();
+        self.ranks.add(stats.ranks.len() as u64);
+        self.rank_attempts.add(stats.ranks.iter().map(|r| r.attempts as u64).sum());
+        self.record_recovery(&stats.recovery);
+        self.phase_launches_halo.add(stats.phase_work.halo.launches);
+        self.phase_launches_local.add(stats.phase_work.local.launches);
+        self.phase_launches_merge.add(stats.phase_work.merge.launches);
+        self.phase_distances_halo.add(stats.phase_work.halo.distances);
+        self.phase_distances_local.add(stats.phase_work.local.distances);
+        self.phase_distances_merge.add(stats.phase_work.merge.distances);
+        self.merge_seconds.observe_duration(stats.merge_time);
+    }
+
+    /// Records a failed run. `shed` marks a capacity shed
+    /// ([`crate::DistError::CapacityExhausted`]).
+    pub fn record_failure(&self, recovery: &RecoveryEvents, shed: bool) {
+        self.runs_failed.inc();
+        if shed {
+            self.capacity_sheds.inc();
+        }
+        self.record_recovery(recovery);
+    }
+
+    fn record_recovery(&self, r: &RecoveryEvents) {
+        self.rank_retries.add(r.rank_retries);
+        self.rank_deaths.add(r.rank_deaths);
+        self.resharded_points.add(r.resharded_points);
+        self.messages_sent.add(r.messages_sent);
+        self.messages_dropped.add(r.messages_dropped);
+        self.messages_corrupted.add(r.messages_corrupted);
+        self.messages_delayed.add(r.messages_delayed);
+        self.messages_retransmitted.add(r.retransmits);
+        self.coordinator_elections.add(r.coordinator_elections);
+        self.merge_replays.add(r.merge_replays);
+        self.summary_refetches.add(r.summary_refetches);
+    }
+
+    /// Current in-flight gauge value (for leak assertions in tests).
+    pub fn inflight(&self) -> i64 {
+        self.runs_inflight.get()
+    }
+}
+
+/// RAII guard for the `fdbscan_dist_runs_inflight` gauge.
+#[derive(Debug)]
+pub struct InflightGuard<'m> {
+    gauge: &'m Gauge,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.gauge.dec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_device::metrics::validate_exposition;
+
+    #[test]
+    fn recovery_log_snapshot_reflects_increments() {
+        let log = RecoveryLog::default();
+        log.rank_retries.fetch_add(2, Ordering::Relaxed);
+        log.messages_dropped.fetch_add(1, Ordering::Relaxed);
+        let snap = log.snapshot();
+        assert_eq!(snap.rank_retries, 2);
+        assert_eq!(snap.messages_dropped, 1);
+        assert_eq!(snap.merge_replays, 0);
+    }
+
+    #[test]
+    fn metrics_render_and_validate() {
+        let registry = MetricsRegistry::new(true);
+        let metrics = DistMetrics::new(&registry);
+        let stats = DistStats {
+            ranks: vec![RankStats { attempts: 2, alive: true, ..Default::default() }; 3],
+            recovery: RecoveryEvents { messages_sent: 12, rank_retries: 1, ..Default::default() },
+            merge_time: Duration::from_millis(3),
+            phase_work: PhaseWorkTable {
+                local: PhaseWork { launches: 10, distances: 400 },
+                merge: PhaseWork { launches: 2, distances: 0 },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        {
+            let _guard = metrics.inflight_guard();
+            assert_eq!(metrics.inflight(), 1);
+            metrics.record_run(&stats);
+        }
+        assert_eq!(metrics.inflight(), 0, "guard must restore the gauge");
+
+        let text = registry.render_prometheus();
+        let report = validate_exposition(&text).expect("exposition must be valid");
+        assert!(report.samples > 0);
+        assert!(text.contains("fdbscan_dist_runs_total 1"));
+        assert!(text.contains("fdbscan_dist_rank_attempts_total 6"));
+        assert!(text.contains("fdbscan_dist_messages_total{event=\"sent\"} 12"));
+        assert!(text.contains("fdbscan_dist_phase_launches_total{phase=\"local\"} 10"));
+        assert!(text.contains("fdbscan_dist_runs_inflight 0"));
+    }
+
+    #[test]
+    fn failure_path_counts_sheds() {
+        let registry = MetricsRegistry::new(true);
+        let metrics = DistMetrics::new(&registry);
+        metrics.record_failure(&RecoveryEvents::default(), true);
+        let text = registry.render_prometheus();
+        assert!(text.contains("fdbscan_dist_runs_failed_total 1"));
+        assert!(text.contains("fdbscan_dist_capacity_sheds_total 1"));
+    }
+}

@@ -246,6 +246,47 @@ impl AtomicLabels {
         });
     }
 
+    /// Absorbs a batch of union edges — the "merge log" of another
+    /// forest (e.g. a distributed rank's local trees translated to
+    /// global ids). Returns how many edges merged two distinct sets.
+    ///
+    /// This is the mergeable-forest primitive of the distributed merge:
+    /// because [`AtomicLabels::union`] hooks the larger root under the
+    /// smaller, the root of every tree is its smallest member, so the
+    /// **flattened** labels after absorbing any permutation (or
+    /// replayed duplicate) of the same edge multiset are bit-identical.
+    /// A merge coordinator can therefore crash and a successor can
+    /// replay the logs from scratch to the same global labeling.
+    pub fn absorb_edges(&self, edges: &[(u32, u32)]) -> usize {
+        edges.iter().filter(|&&(a, b)| self.union(a, b)).count()
+    }
+
+    /// Host-side finalization: returns the canonical (smallest-member)
+    /// representative of every element without launching a device
+    /// kernel and without mutating the structure. The device-kernel
+    /// equivalent is [`AtomicLabels::flatten`] followed by
+    /// [`AtomicLabels::snapshot`]; this form exists for merge
+    /// coordinators replaying logs outside any rank's device.
+    ///
+    /// Must not run concurrently with `union` (same contract as
+    /// `flatten`).
+    pub fn canonicalize(&self) -> Vec<u32> {
+        let n = self.labels.len();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut root = self.labels[i].load(Ordering::Relaxed);
+            loop {
+                let next = self.labels[root as usize].load(Ordering::Relaxed);
+                if next == root {
+                    break;
+                }
+                root = next;
+            }
+            out.push(root);
+        }
+        out
+    }
+
     /// Copies out the label values.
     pub fn snapshot(&self) -> Vec<u32> {
         self.labels.iter().map(|l| l.load(Ordering::Relaxed)).collect()
@@ -355,6 +396,38 @@ mod tests {
         let first = uf.snapshot();
         uf.flatten(&device);
         assert_eq!(first, uf.snapshot());
+    }
+
+    #[test]
+    fn absorb_edges_is_idempotent_and_order_independent() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let edges = vec![(4u32, 7u32), (1, 2), (7, 1), (9, 8), (3, 3)];
+        let forward = AtomicLabels::new(10);
+        assert_eq!(forward.absorb_edges(&edges), 4, "(3,3) merges nothing");
+
+        // Reversed order + a full replay of the log: same partition,
+        // and — after canonicalization — bit-identical labels.
+        let reversed = AtomicLabels::new(10);
+        let mut rev = edges.clone();
+        rev.reverse();
+        reversed.absorb_edges(&rev);
+        assert_eq!(reversed.absorb_edges(&edges), 0, "replay is idempotent");
+        assert_eq!(forward.canonicalize(), reversed.canonicalize());
+
+        // The host-side canonical form agrees with the device flatten.
+        forward.flatten(&device);
+        assert_eq!(forward.snapshot(), reversed.canonicalize());
+    }
+
+    #[test]
+    fn canonicalize_does_not_mutate() {
+        let uf = AtomicLabels::new(5);
+        uf.union(4, 0);
+        let before = uf.snapshot();
+        let canon = uf.canonicalize();
+        assert_eq!(uf.snapshot(), before, "canonicalize must be read-only");
+        assert_eq!(canon[4], 0);
+        assert_eq!(canon[0], 0);
     }
 
     #[test]

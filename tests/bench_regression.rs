@@ -221,3 +221,77 @@ fn service_throughput_holds_generous_floors() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Distributed gate: BENCH_dist.json. Wall-clock values are machine-
+// dependent, so the gate guards structure only: bit-identity to the
+// canonical oracle, the exact fault-free transport message count, zero
+// retransmits and rank deaths on a healthy device, and full matrix
+// coverage.
+// ---------------------------------------------------------------------------
+
+use fdbscan_bench::dist_bench::{collect_dist, dist_matrix, DistBaseline};
+
+fn dist_baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dist.json")
+}
+
+const DIST_REGEN: &str =
+    "regenerate with: cargo run --release -p fdbscan-bench --bin dist -- BENCH_dist.json";
+
+#[test]
+fn dist_baseline_covers_the_matrix_and_is_clean() {
+    let path = dist_baseline_path();
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing baseline {}: {e}\n{DIST_REGEN}", path.display()));
+    let baseline = DistBaseline::parse(&text)
+        .unwrap_or_else(|e| panic!("unreadable baseline {}: {e}\n{DIST_REGEN}", path.display()));
+    let matrix = dist_matrix();
+    for case in &matrix {
+        let parsed = baseline
+            .case(case.id)
+            .unwrap_or_else(|| panic!("baseline missing case {}; {DIST_REGEN}", case.id));
+        let r = case.ranks as u64;
+        assert_eq!(parsed.ranks, r, "{}: rank count drifted", case.id);
+        assert!(parsed.n > 0, "{}: empty workload", case.id);
+        assert!(
+            parsed.oracle_match,
+            "{}: baseline diverged from the canonical oracle; {DIST_REGEN}",
+            case.id
+        );
+        assert_eq!(
+            parsed.messages_sent,
+            2 * r * (r - 1),
+            "{}: fault-free transport must carry exactly two all-pairs exchanges",
+            case.id
+        );
+        assert_eq!(parsed.retransmits, 0, "{}: healthy baseline recorded retransmits", case.id);
+        assert_eq!(parsed.rank_deaths, 0, "{}: healthy baseline recorded rank deaths", case.id);
+        assert!(
+            parsed.merge_ms.is_finite() && parsed.merge_ms >= 0.0,
+            "{}: merge time missing or corrupt ({})",
+            case.id,
+            parsed.merge_ms
+        );
+    }
+    assert_eq!(
+        baseline.cases.len(),
+        matrix.len(),
+        "baseline carries cases the matrix no longer runs; {DIST_REGEN}"
+    );
+}
+
+#[test]
+fn dist_run_stays_bit_identical_and_structurally_clean() {
+    // Re-run the matrix at a reduced scale (the structure under guard is
+    // scale-independent; wall time is not compared at all).
+    for record in collect_dist(0.1).records {
+        let id = record.case.id;
+        let r = record.case.ranks as u64;
+        assert!(record.oracle_match, "{id}: distributed labels diverged from the oracle");
+        assert_eq!(record.messages_sent, 2 * r * (r - 1), "{id}: unexpected transport traffic");
+        assert_eq!(record.retransmits, 0, "{id}: healthy run retransmitted");
+        assert_eq!(record.rank_deaths, 0, "{id}: healthy run lost ranks");
+        assert!(record.points_per_sec > 0.0, "{id}: throughput not measured");
+    }
+}

@@ -1,0 +1,134 @@
+//! Distributed differential suite: the sharded, halo-exchanging,
+//! merge-reassembled pipeline must be **bit-identical** to the
+//! sequential canonical oracle (`fdbscan::seq::dbscan_canonical`) —
+//! not merely label-isomorphic — for every rank count, every slab
+//! skew, and every ε-to-slab-width ratio proptest can find.
+//!
+//! Dataset families stress the decomposition where it is weakest:
+//!
+//! * **skewed** — mass concentrated at one end of the cut axis, so
+//!   equal-count slabs have wildly different widths and the thin ones
+//!   ghost most of their points,
+//! * **straddle** — dense blobs centered on the equal-count cut
+//!   positions, so whole clusters live in the halo overlap,
+//! * **uniform** — scattered points: wide slabs, sparse halos,
+//! * **stacked** — duplicate-heavy sites: zero-width slabs and ties in
+//!   the sort-by-(coordinate, id) ownership rule.
+//!
+//! Failures print the full replay recipe (family, seed, ranks, n, eps,
+//! minpts, `FDBSCAN_DIFF_SEED`) so any divergence reruns exactly, same
+//! as `tests/differential.rs`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use fdbscan::seq::dbscan_canonical;
+use fdbscan::verify::assert_valid_clustering;
+use fdbscan::Params;
+use fdbscan_data::{blobs, uniform};
+use fdbscan_device::{Device, DeviceConfig};
+use fdbscan_dist::distributed_fdbscan;
+use fdbscan_geom::Point2;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn diff_seed_offset() -> u64 {
+    std::env::var("FDBSCAN_DIFF_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
+fn device() -> Device {
+    Device::new(DeviceConfig::default().with_workers(2).with_block_size(32))
+}
+
+const FAMILIES: [&str; 4] = ["skewed", "straddle", "uniform", "stacked"];
+
+/// Builds one dataset of the given family, deterministically in `seed`.
+fn dataset(family: &str, n: usize, seed: u64) -> Vec<Point2> {
+    let seed = seed ^ diff_seed_offset().wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut rng = StdRng::seed_from_u64(seed);
+    match family {
+        "skewed" => (0..n)
+            .map(|_| {
+                // x ~ u⁴ piles most points into the leftmost slabs.
+                let u: f32 = rng.gen_range(0.0..1.0);
+                Point2::new([u * u * u * u * 4.0, rng.gen_range(0.0..2.0)])
+            })
+            .collect(),
+        "straddle" => {
+            // Blobs whose centers sit near the equal-count cut lines of
+            // small rank counts, so clusters straddle slab boundaries
+            // and live almost entirely inside ε-halos.
+            blobs::<2>(n, 4, 0.12, 4.0, 0.1, seed)
+        }
+        "uniform" => uniform::<2>(n, 4.0, seed),
+        "stacked" => {
+            let sites: Vec<Point2> = (0..rng.gen_range(2usize..6))
+                .map(|_| Point2::new([rng.gen_range(0.0f32..3.0), rng.gen_range(0.0f32..3.0)]))
+                .collect();
+            (0..n).map(|i| sites[i % sites.len()]).collect()
+        }
+        other => panic!("unknown family {other}"),
+    }
+}
+
+/// Oracle differential for one (family, ranks, dataset, params) case;
+/// panics with the full replay recipe on divergence.
+fn check_case(family: &str, seed: u64, ranks: usize, points: &[Point2], params: Params) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let oracle = dbscan_canonical(points, params);
+        let dev = device();
+        let (got, stats) = distributed_fdbscan(&dev, points, params, ranks)
+            .unwrap_or_else(|e| panic!("run failed: {e}"));
+        assert_eq!(got, oracle, "distributed labels must be bit-identical to the oracle");
+        assert_valid_clustering(points, &got, params);
+        let owned: usize = stats.ranks.iter().map(|r| r.owned).sum();
+        assert_eq!(owned, points.len(), "ownership must partition the points");
+    }));
+    if let Err(payload) = outcome {
+        let detail = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic>".to_string());
+        panic!(
+            "distributed differential failure: family={family} seed={seed} ranks={ranks} \
+             n={} eps={} minpts={} FDBSCAN_DIFF_SEED={}\n{detail}",
+            points.len(),
+            params.eps,
+            params.minpts,
+            diff_seed_offset(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn distributed_matches_canonical_oracle_on_every_family(
+        seed in any::<u64>(),
+        n in 8usize..220,
+        ranks in 1usize..9,
+        eps in 0.05f32..0.9,
+        minpts in 1usize..10,
+    ) {
+        let params = Params::new(eps, minpts);
+        for family in FAMILIES {
+            let points = dataset(family, n, seed);
+            check_case(family, seed, ranks, &points, params);
+        }
+    }
+}
+
+/// ε chosen wider than the thinnest slab: halos swallow neighboring
+/// slabs whole, ghosts outnumber owned points, and the merge still
+/// reconstructs the oracle labeling exactly. Deterministic companion to
+/// the proptest sweep, pinned to the straddle regime.
+#[test]
+fn eps_wider_than_slabs_stays_bit_identical() {
+    for (ranks, eps) in [(3usize, 0.6f32), (5, 0.9), (8, 1.4)] {
+        let points = dataset("skewed", 300, 7 + ranks as u64);
+        let params = Params::new(eps, 5);
+        check_case("skewed", 7 + ranks as u64, ranks, &points, params);
+        let straddle = dataset("straddle", 300, 11 + ranks as u64);
+        check_case("straddle", 11 + ranks as u64, ranks, &straddle, params);
+    }
+}
