@@ -1,0 +1,54 @@
+//! Regenerates the sequential-vs-threaded wall-clock baseline.
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin wallclock -- BENCH_wallclock.json
+//! ```
+//!
+//! With no path the report is printed to stdout. `--scale <f>` shrinks
+//! every case (the CI smoke job runs `--scale 0.05`); the committed
+//! baseline must be recorded at the default scale 1.0. Wall times and
+//! speedups are machine-dependent — the regression gate reads the
+//! recorded `hardware_threads` field to decide whether the speedup
+//! floor is enforceable (see `tests/bench_regression.rs`).
+
+use fdbscan_bench::wallclock::collect_wallclock;
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--scale" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("--scale needs a value");
+                std::process::exit(2);
+            });
+            scale = value.parse().unwrap_or_else(|_| {
+                eprintln!("bad --scale value: {value}");
+                std::process::exit(2);
+            });
+            if !scale.is_finite() || scale <= 0.0 {
+                eprintln!("--scale must be positive, got {scale}");
+                std::process::exit(2);
+            }
+        } else {
+            path = Some(std::path::PathBuf::from(arg));
+        }
+    }
+    let report = collect_wallclock(scale);
+    match path {
+        Some(path) => {
+            if let Err(err) = report.write(&path) {
+                eprintln!("failed to write {}: {err}", path.display());
+                std::process::exit(1);
+            }
+            eprintln!(
+                "wrote {} cases (scale {scale}, {} hardware threads) to {}",
+                report.records.len(),
+                report.hardware_threads,
+                path.display()
+            );
+        }
+        None => println!("{}", report.to_json().to_pretty(2)),
+    }
+}

@@ -17,6 +17,7 @@
 pub mod dist_bench;
 pub mod hotpaths;
 pub mod service_bench;
+pub mod wallclock;
 
 use std::io::Write;
 use std::path::Path;

@@ -1,0 +1,414 @@
+//! Sequential-vs-threaded wall-clock comparison for the backend gate.
+//!
+//! The threaded SIMD backend is justified by *wall time*, not work
+//! counters: it runs the same kernels over the same index domains, so
+//! the hot-path counters are unchanged and `BENCH_hotpaths.json` cannot
+//! see it. This module measures each algorithm once on the sequential
+//! backend and once per thread count on the threaded backend, and
+//! records the main-phase speedup next to the machine's hardware thread
+//! count — speedups are meaningless without knowing how many cores the
+//! recording machine had, so the gate in `tests/bench_regression.rs`
+//! only enforces the speedup floor when `hardware_threads >= 4`.
+//! Structural properties (schema, matrix coverage, positive times,
+//! finite speedups) are gated unconditionally.
+//!
+//! Regenerate the checked-in baseline with:
+//!
+//! ```sh
+//! cargo run --release -p fdbscan-bench --bin wallclock -- BENCH_wallclock.json
+//! ```
+
+use std::path::Path;
+
+use fdbscan::{Params, RunStats};
+use fdbscan_data::cosmology::default_snapshot;
+use fdbscan_data::Dataset2;
+use fdbscan_device::json::Json;
+use fdbscan_device::{Device, DeviceConfig};
+
+use crate::Algo;
+
+/// Schema tag of the document [`WallclockReport::write`] produces.
+pub const WALLCLOCK_SCHEMA: &str = "fdbscan.bench_wallclock.v1";
+
+/// Dataset seed shared by every case.
+pub const WALLCLOCK_SEED: u64 = 77;
+
+/// Thread counts the threaded backend is sampled at, ascending. The
+/// last entry is the one the speedup floor applies to (on machines with
+/// at least that many hardware threads).
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Hardware threads of the measuring machine, recorded in the report so
+/// the gate knows whether a speedup floor is enforceable.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// One cell of the wall-clock matrix.
+#[derive(Clone, Debug)]
+pub struct WallclockCase {
+    /// Algorithm under measurement.
+    pub algo: Algo,
+    /// Dataset name as it appears in the report.
+    pub dataset: &'static str,
+    /// Number of points (already scaled).
+    pub n: usize,
+    /// DBSCAN parameters.
+    pub params: Params,
+}
+
+impl WallclockCase {
+    /// Stable identifier (`algorithm/dataset`), the join key between a
+    /// fresh run and the checked-in baseline.
+    pub fn id(&self) -> String {
+        format!("{}/{}", self.algo.name(), self.dataset)
+    }
+}
+
+/// The wall-clock matrix at `scale`: the paper's two tree-based
+/// algorithms on the 10^5-point 3-D cosmology workload (the
+/// configuration the backend was sized for), plus the all-to-all
+/// G-DBSCAN baseline on a small 2-D set — its quadratic distance phase
+/// is the purest measure of the SIMD inner loop. `scale = 1.0` is the
+/// committed-baseline size; the CI smoke job runs a small fraction.
+pub fn wallclock_matrix(scale: f64) -> Vec<WallclockCase> {
+    let scaled = |n: usize| ((n as f64 * scale) as usize).max(256);
+    let cosmo_n = scaled(100_000);
+    let cosmo = Params::new(crate::scaled_cosmo_eps(cosmo_n), 5);
+    vec![
+        WallclockCase { algo: Algo::Fdbscan, dataset: "cosmology", n: cosmo_n, params: cosmo },
+        WallclockCase {
+            algo: Algo::FdbscanDenseBox,
+            dataset: "cosmology",
+            n: cosmo_n,
+            params: cosmo,
+        },
+        WallclockCase {
+            algo: Algo::GDbscan,
+            dataset: "ngsim",
+            n: scaled(8_000),
+            params: Params::new(0.005, 20),
+        },
+    ]
+}
+
+/// One threaded sample: wall times at a fixed worker count, with the
+/// speedups against the sequential run of the same case.
+#[derive(Clone, Debug)]
+pub struct ThreadedSample {
+    /// Worker count of the threaded backend.
+    pub threads: usize,
+    /// End-to-end wall milliseconds.
+    pub total_ms: f64,
+    /// Main-phase wall milliseconds.
+    pub main_ms: f64,
+    /// `sequential main_ms / threaded main_ms`.
+    pub main_speedup: f64,
+    /// `sequential total_ms / threaded total_ms`.
+    pub total_speedup: f64,
+}
+
+/// Wall times of one executed case across both backends.
+#[derive(Clone, Debug)]
+pub struct WallclockRecord {
+    /// The matrix cell this record measured.
+    pub case: WallclockCase,
+    /// End-to-end wall milliseconds on the sequential backend.
+    pub sequential_total_ms: f64,
+    /// Main-phase wall milliseconds on the sequential backend.
+    pub sequential_main_ms: f64,
+    /// One sample per entry of [`THREAD_COUNTS`], in order.
+    pub threaded: Vec<ThreadedSample>,
+}
+
+impl WallclockRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::str(self.case.id())),
+            ("algorithm", Json::str(self.case.algo.name())),
+            ("dataset", Json::str(self.case.dataset)),
+            ("n", Json::U64(self.case.n as u64)),
+            ("eps", Json::f32(self.case.params.eps)),
+            ("minpts", Json::U64(self.case.params.minpts as u64)),
+            (
+                "sequential",
+                Json::obj([
+                    ("total_ms", Json::F64(self.sequential_total_ms)),
+                    ("main_ms", Json::F64(self.sequential_main_ms)),
+                ]),
+            ),
+            (
+                "threaded",
+                Json::Arr(
+                    self.threaded
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("threads", Json::U64(s.threads as u64)),
+                                ("total_ms", Json::F64(s.total_ms)),
+                                ("main_ms", Json::F64(s.main_ms)),
+                                ("main_speedup", Json::F64(s.main_speedup)),
+                                ("total_speedup", Json::F64(s.total_speedup)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The full wall-clock report.
+#[derive(Clone, Debug)]
+pub struct WallclockReport {
+    /// Hardware threads of the measuring machine.
+    pub hardware_threads: usize,
+    /// Scale the matrix ran at.
+    pub scale: f64,
+    /// Executed records, in [`wallclock_matrix`] order.
+    pub records: Vec<WallclockRecord>,
+}
+
+fn wall_ms(stats: &RunStats) -> (f64, f64) {
+    (stats.total_time.as_secs_f64() * 1e3, stats.main_time.as_secs_f64() * 1e3)
+}
+
+/// Runs the whole [`wallclock_matrix`] at `scale`, once on the
+/// sequential backend and once per [`THREAD_COUNTS`] entry on the
+/// threaded backend. Panics if any run fails — every cell is sized to
+/// fit an unbudgeted device.
+pub fn collect_wallclock(scale: f64) -> WallclockReport {
+    let run = |case: &WallclockCase, device: &Device| -> RunStats {
+        let result = if case.dataset == "cosmology" {
+            let points = default_snapshot(case.n, WALLCLOCK_SEED);
+            case.algo.run3(device, &points, case.params)
+        } else {
+            let kind = Dataset2::ALL
+                .into_iter()
+                .find(|k| k.name() == case.dataset)
+                .expect("2-D case names a known dataset");
+            let points = kind.generate(case.n, WALLCLOCK_SEED);
+            case.algo.run2(device, &points, case.params)
+        };
+        result.unwrap_or_else(|e| panic!("{} failed: {e}", case.id())).1
+    };
+    let mut records = Vec::new();
+    for case in wallclock_matrix(scale) {
+        let (sequential_total_ms, sequential_main_ms) =
+            wall_ms(&run(&case, &Device::new(DeviceConfig::sequential())));
+        let threaded = THREAD_COUNTS
+            .iter()
+            .map(|&threads| {
+                let stats = run(&case, &Device::new(DeviceConfig::default().with_workers(threads)));
+                let (total_ms, main_ms) = wall_ms(&stats);
+                ThreadedSample {
+                    threads,
+                    total_ms,
+                    main_ms,
+                    main_speedup: sequential_main_ms / main_ms,
+                    total_speedup: sequential_total_ms / total_ms,
+                }
+            })
+            .collect();
+        records.push(WallclockRecord { case, sequential_total_ms, sequential_main_ms, threaded });
+    }
+    WallclockReport { hardware_threads: hardware_threads(), scale, records }
+}
+
+impl WallclockReport {
+    /// Serializes the report (schema [`WALLCLOCK_SCHEMA`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(WALLCLOCK_SCHEMA)),
+            ("seed", Json::U64(WALLCLOCK_SEED)),
+            ("hardware_threads", Json::U64(self.hardware_threads as u64)),
+            ("scale", Json::F64(self.scale)),
+            ("cases", Json::Arr(self.records.iter().map(|r| r.to_json()).collect())),
+        ])
+    }
+
+    /// Writes the report as pretty-printed JSON to `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json().to_pretty(2)))
+    }
+}
+
+/// One parsed threaded sample of a baseline case.
+#[derive(Clone, Debug)]
+pub struct BaselineSample {
+    /// Worker count.
+    pub threads: u64,
+    /// Wall milliseconds, end to end.
+    pub total_ms: f64,
+    /// Wall milliseconds, main phase.
+    pub main_ms: f64,
+    /// Main-phase speedup over sequential.
+    pub main_speedup: f64,
+}
+
+/// One parsed baseline case.
+#[derive(Clone, Debug)]
+pub struct BaselineWallCase {
+    /// Case id (`algorithm/dataset`).
+    pub id: String,
+    /// Point count the baseline ran at.
+    pub n: u64,
+    /// Sequential wall milliseconds, end to end.
+    pub sequential_total_ms: f64,
+    /// Sequential wall milliseconds, main phase.
+    pub sequential_main_ms: f64,
+    /// Threaded samples in file order.
+    pub threaded: Vec<BaselineSample>,
+}
+
+/// A parsed `BENCH_wallclock.json` baseline.
+#[derive(Clone, Debug)]
+pub struct WallclockBaseline {
+    /// Hardware threads of the machine that recorded the baseline.
+    pub hardware_threads: u64,
+    /// Cases in file order.
+    pub cases: Vec<BaselineWallCase>,
+}
+
+fn field_f64(v: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    v.get(key).and_then(|x| x.as_f64()).ok_or_else(|| format!("{ctx} missing '{key}'"))
+}
+
+impl WallclockBaseline {
+    /// Parses a baseline document, validating the schema tag.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = fdbscan_device::json::parse(text).map_err(|e| format!("bad JSON: {e:?}"))?;
+        let schema = doc.get("schema").and_then(|s| s.as_str());
+        if schema != Some(WALLCLOCK_SCHEMA) {
+            return Err(format!("schema mismatch: expected {WALLCLOCK_SCHEMA}, got {schema:?}"));
+        }
+        let hardware_threads = doc
+            .get("hardware_threads")
+            .and_then(|v| v.as_f64())
+            .ok_or("missing 'hardware_threads'")? as u64;
+        let mut cases = Vec::new();
+        for case in doc.get("cases").and_then(|c| c.as_arr()).ok_or("missing 'cases' array")? {
+            let id =
+                case.get("id").and_then(|v| v.as_str()).ok_or("case without 'id'")?.to_string();
+            let n = field_f64(case, "n", &id)? as u64;
+            let seq = case.get("sequential").ok_or_else(|| format!("{id} missing 'sequential'"))?;
+            let sequential_total_ms = field_f64(seq, "total_ms", &id)?;
+            let sequential_main_ms = field_f64(seq, "main_ms", &id)?;
+            let samples = case
+                .get("threaded")
+                .and_then(|t| t.as_arr())
+                .ok_or_else(|| format!("{id} missing 'threaded' array"))?;
+            let mut threaded = Vec::new();
+            for sample in samples {
+                threaded.push(BaselineSample {
+                    threads: field_f64(sample, "threads", &id)? as u64,
+                    total_ms: field_f64(sample, "total_ms", &id)?,
+                    main_ms: field_f64(sample, "main_ms", &id)?,
+                    main_speedup: field_f64(sample, "main_speedup", &id)?,
+                });
+            }
+            cases.push(BaselineWallCase {
+                id,
+                n,
+                sequential_total_ms,
+                sequential_main_ms,
+                threaded,
+            });
+        }
+        Ok(Self { hardware_threads, cases })
+    }
+
+    /// Baseline data for one case id, if present.
+    pub fn case(&self, id: &str) -> Option<&BaselineWallCase> {
+        self.cases.iter().find(|c| c.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_fixed_and_ids_unique() {
+        let matrix = wallclock_matrix(1.0);
+        assert_eq!(matrix.len(), 3, "two tree algorithms + the all-to-all baseline");
+        let mut ids: Vec<String> = matrix.iter().map(|c| c.id()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 3, "case ids must be unique join keys");
+        assert_eq!(matrix[0].n, 100_000, "fdbscan runs the paper-scale 3-D workload");
+    }
+
+    #[test]
+    fn matrix_scale_floors_at_a_runnable_size() {
+        for case in wallclock_matrix(1e-9) {
+            assert!(case.n >= 256, "{}: degenerate scaled size {}", case.id(), case.n);
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_baseline_parser() {
+        let case = wallclock_matrix(1.0).remove(0);
+        let id = case.id();
+        let report = WallclockReport {
+            hardware_threads: 8,
+            scale: 1.0,
+            records: vec![WallclockRecord {
+                case,
+                sequential_total_ms: 100.0,
+                sequential_main_ms: 60.0,
+                threaded: THREAD_COUNTS
+                    .iter()
+                    .map(|&threads| ThreadedSample {
+                        threads,
+                        total_ms: 50.0,
+                        main_ms: 30.0,
+                        main_speedup: 2.0,
+                        total_speedup: 2.0,
+                    })
+                    .collect(),
+            }],
+        };
+        let baseline = WallclockBaseline::parse(&report.to_json().to_pretty(2)).unwrap();
+        assert_eq!(baseline.hardware_threads, 8);
+        let parsed = baseline.case(&id).expect("case survives the round trip");
+        assert_eq!(parsed.sequential_main_ms, 60.0);
+        assert_eq!(parsed.threaded.len(), THREAD_COUNTS.len());
+        for (sample, expected) in parsed.threaded.iter().zip(THREAD_COUNTS) {
+            assert_eq!(sample.threads, expected as u64);
+            assert_eq!(sample.main_speedup, 2.0);
+        }
+    }
+
+    #[test]
+    fn baseline_parser_rejects_wrong_schema() {
+        let err =
+            WallclockBaseline::parse(r#"{"schema": "something.else", "cases": []}"#).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn collection_samples_every_thread_count() {
+        // One tiny end-to-end collection: structure only, times are
+        // machine-dependent.
+        let report = collect_wallclock(0.003);
+        assert!(report.hardware_threads >= 1);
+        assert_eq!(report.records.len(), wallclock_matrix(0.003).len());
+        for record in &report.records {
+            let id = record.case.id();
+            assert!(record.sequential_total_ms > 0.0, "{id}: zero sequential wall time");
+            assert!(record.sequential_main_ms > 0.0, "{id}: zero sequential main-phase wall time");
+            assert_eq!(record.threaded.len(), THREAD_COUNTS.len(), "{id}");
+            for (sample, expected) in record.threaded.iter().zip(THREAD_COUNTS) {
+                assert_eq!(sample.threads, expected, "{id}: thread count drifted");
+                assert!(sample.main_ms > 0.0 && sample.total_ms > 0.0, "{id}");
+                assert!(
+                    sample.main_speedup.is_finite() && sample.main_speedup > 0.0,
+                    "{id}: corrupt speedup {}",
+                    sample.main_speedup
+                );
+            }
+        }
+    }
+}

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use fdbscan_device::shared::SharedMut;
 use fdbscan_device::{CountersSnapshot, Device, DeviceError, PipelineCheckpoint};
-use fdbscan_geom::Point;
+use fdbscan_geom::{simd, Point, SoaPoints};
 
 use crate::checkpoint::{
     self, BfsLabels, CoreSnapshot, CsrGraph, PHASE_CORE_FLAGS, PHASE_FINALIZE, PHASE_INDEX,
@@ -106,20 +106,24 @@ fn gdbscan_core<const D: usize>(
                 (graph.offsets, graph.adjacency, graph.core)
             }
             None => {
+                // Both all-to-all passes stream the lane-width SIMD
+                // kernels over the dimension-major layout (a transpose
+                // of the already-reserved point storage, so it is not
+                // charged against the budget a second time). The accept
+                // set is bit-identical to the scalar loop, so labels,
+                // adjacency order, and distance counters are unchanged.
+                let soa = SoaPoints::from_points(points);
                 // Degree pass (all-to-all): neighbor count excluding self;
                 // the core test adds the point itself back.
                 let mut degrees = vec![0u64; n + 1];
                 {
                     let deg_view = SharedMut::new(&mut degrees);
+                    let soa = &soa;
                     let counters = device.counters();
                     device.try_launch_named("gdbscan.degree", n, |i| {
-                        let q = &points[i];
-                        let mut count = 0u64;
-                        for (j, p) in points.iter().enumerate() {
-                            if j != i && p.dist_sq(q) <= eps_sq {
-                                count += 1;
-                            }
-                        }
+                        // The self-distance always passes, so subtract
+                        // the point itself back out of the lane count.
+                        let count = simd::count_within(soa, &points[i], eps_sq) as u64 - 1;
                         counters.add_distances(n as u64);
                         // SAFETY: one writer per index.
                         unsafe { deg_view.write(i, count) };
@@ -150,17 +154,19 @@ fn gdbscan_core<const D: usize>(
                 {
                     let adj_view = SharedMut::new(&mut adjacency);
                     let offsets_ref = &offsets;
+                    let soa = &soa;
                     let counters = device.counters();
                     device.try_launch_named("gdbscan.fill", n, |i| {
-                        let q = &points[i];
                         let mut cursor = offsets_ref[i] as usize;
-                        for (j, p) in points.iter().enumerate() {
-                            if j != i && p.dist_sq(q) <= eps_sq {
+                        // Lane hits arrive in ascending j — the same CSR
+                        // segment order as the scalar loop.
+                        simd::for_each_within(soa, &points[i], eps_sq, |j| {
+                            if j != i {
                                 // SAFETY: vertex i owns its CSR segment.
                                 unsafe { adj_view.write(cursor, j as u32) };
                                 cursor += 1;
                             }
-                        }
+                        });
                         counters.add_distances(n as u64);
                         debug_assert_eq!(cursor as u64, offsets_ref[i + 1]);
                     })?;

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod arena;
+pub mod backend;
 pub mod cancel;
 pub mod counters;
 pub mod fault;
@@ -62,6 +63,7 @@ pub mod snapshot;
 pub mod trace;
 
 pub use arena::{ArenaBuf, ArenaStats, BufferArena};
+pub use backend::Backend;
 pub use cancel::{CancelCause, CancelToken};
 pub use counters::{Counters, CountersSnapshot};
 pub use fault::{FaultPlan, FaultSite, MessageFault};
@@ -87,10 +89,9 @@ use pool::LaunchFailure;
 /// Configuration for a simulated device.
 #[derive(Clone, Debug)]
 pub struct DeviceConfig {
-    /// Number of pool worker threads. `0` means the launching thread runs
-    /// every block itself (fully sequential execution). The launching
-    /// thread always participates, so total parallelism is `workers + 1`.
-    pub workers: usize,
+    /// Execution engine for kernel launches (see [`Backend`]):
+    /// deterministic in-order sequential, or the threaded worker pool.
+    pub backend: Backend,
     /// Indices per block (the work-distribution granularity, analogous to
     /// a CUDA thread block).
     pub block_size: usize,
@@ -110,10 +111,11 @@ pub struct DeviceConfig {
 
 impl Default for DeviceConfig {
     fn default() -> Self {
-        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         Self {
-            // The launching thread participates, so spawn hw - 1 workers.
-            workers: hw.saturating_sub(1),
+            // `FDBSCAN_BACKEND` selects the engine; explicit builder
+            // calls (`with_backend`, `with_workers`, `sequential`)
+            // override it. Default: threaded, auto worker count.
+            backend: Backend::from_env().unwrap_or_else(Backend::default_backend),
             block_size: 256,
             memory_budget: None,
             fault_plan: None,
@@ -124,16 +126,41 @@ impl Default for DeviceConfig {
 }
 
 impl DeviceConfig {
-    /// A fully sequential device (no worker threads). Useful for
-    /// deterministic debugging and as the baseline in scaling studies.
+    /// A fully sequential device ([`Backend::Sequential`]): blocks run
+    /// inline on the launching thread, in ascending index order. The
+    /// deterministic counter/regression oracle, and the baseline in
+    /// scaling studies.
     pub fn sequential() -> Self {
-        Self { workers: 0, ..Self::default() }
+        Self { backend: Backend::Sequential, ..Self::default() }
     }
 
-    /// Sets the worker count.
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers;
+    /// Sets the execution backend explicitly (overriding any
+    /// `FDBSCAN_BACKEND` environment selection).
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
+    }
+
+    /// Sets the worker count: `0` selects [`Backend::Sequential`], any
+    /// other count the threaded backend with exactly that many workers.
+    /// (The launching thread always participates, so total parallelism
+    /// is `workers + 1`.)
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.backend =
+            if workers == 0 { Backend::Sequential } else { Backend::Threaded { workers } };
+        self
+    }
+
+    /// Like [`DeviceConfig::with_workers`], but only a *suggestion*: an
+    /// explicit `FDBSCAN_BACKEND` environment selection wins. Test
+    /// suites use this for their default devices so every suite gains a
+    /// backend axis without forfeiting its usual configuration.
+    pub fn with_suggested_workers(self, workers: usize) -> Self {
+        if Backend::from_env().is_some() {
+            self
+        } else {
+            self.with_workers(workers)
+        }
     }
 
     /// Sets the block size (must be nonzero).
@@ -206,6 +233,7 @@ impl std::fmt::Debug for BatchStage<'_> {
 #[derive(Clone)]
 pub struct Device {
     pool: Arc<WorkerPool>,
+    backend: Backend,
     counters: Arc<Counters>,
     memory: Arc<MemoryTracker>,
     arena: BufferArena,
@@ -236,7 +264,8 @@ impl Device {
             fault_plan.clone(),
         ));
         Self {
-            pool: Arc::new(WorkerPool::new(config.workers)),
+            pool: Arc::new(WorkerPool::new(config.backend.effective_workers())),
+            backend: config.backend,
             arena: BufferArena::new(Arc::clone(&memory)),
             memory,
             counters,
@@ -263,6 +292,11 @@ impl Device {
     /// Number of worker threads (excluding the launching thread).
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// The execution backend this device was constructed with.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The device's work-distribution block size.
@@ -416,6 +450,28 @@ impl Device {
         result
     }
 
+    /// Routes one stage to the configured execution engine: the
+    /// in-order inline loop ([`Backend::Sequential`]) or the worker
+    /// pool's shared-cursor distribution ([`Backend::Threaded`]). Both
+    /// honor the same deadline, panic-containment, and profiling
+    /// contract.
+    fn run_on_backend(
+        &self,
+        n: usize,
+        deadline: Option<Instant>,
+        measure: bool,
+        kernel: &(dyn Fn(Range<usize>) + Sync),
+    ) -> Result<Option<LaunchProfile>, LaunchFailure> {
+        match self.backend {
+            Backend::Sequential => {
+                self.pool.try_sequential_for_blocks(n, self.block_size, deadline, measure, kernel)
+            }
+            Backend::Threaded { .. } => {
+                self.pool.try_parallel_for_blocks(n, self.block_size, deadline, measure, kernel)
+            }
+        }
+    }
+
     /// One dispatched stage of a launch (a whole single launch, or one
     /// stage of a batched submission): weaves injected stalls/panics
     /// into the block kernel, maps pool failures to [`DeviceError`]
@@ -434,7 +490,7 @@ impl Device {
         let started = measure.then(Instant::now);
         let result = match self.fault_plan.as_deref() {
             // Fast path: no plan, no wrapping.
-            None => self.pool.try_parallel_for_blocks(n, self.block_size, deadline, measure, body),
+            None => self.run_on_backend(n, deadline, measure, body),
             Some(plan) => {
                 let wrapped = |range: Range<usize>| {
                     // Blocks are aligned to `block_size`, so the block
@@ -450,7 +506,7 @@ impl Device {
                     }
                     body(range);
                 };
-                self.pool.try_parallel_for_blocks(n, self.block_size, deadline, measure, &wrapped)
+                self.run_on_backend(n, deadline, measure, &wrapped)
             }
         };
         match result {
@@ -699,6 +755,7 @@ impl Device {
 impl std::fmt::Debug for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Device")
+            .field("backend", &self.backend)
             .field("workers", &self.workers())
             .field("block_size", &self.block_size)
             .field("memory_budget", &self.memory.budget())
@@ -1152,6 +1209,59 @@ mod tests {
         assert_eq!(snap.failed_launches, 1);
         // Fresh batches on an un-cancelled clone are unaffected.
         device.try_batch_named("batch.ok", vec![BatchStage::new("s", 16, |_| {})]).unwrap();
+    }
+
+    #[test]
+    fn with_workers_zero_selects_sequential_backend() {
+        let device = Device::new(DeviceConfig::default().with_workers(0));
+        assert_eq!(device.backend(), Backend::Sequential);
+        assert_eq!(device.workers(), 0);
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        assert_eq!(device.backend(), Backend::Threaded { workers: 3 });
+        assert_eq!(device.workers(), 3);
+        assert_eq!(Device::new(DeviceConfig::sequential()).backend(), Backend::Sequential);
+    }
+
+    #[test]
+    fn explicit_backend_overrides_config() {
+        let device =
+            Device::new(DeviceConfig::default().with_backend(Backend::Threaded { workers: 2 }));
+        assert_eq!(device.backend(), Backend::Threaded { workers: 2 });
+        assert_eq!(device.workers(), 2);
+    }
+
+    #[test]
+    fn sequential_backend_combines_reduce_partials_in_order() {
+        // The sequential engine runs blocks in ascending order on one
+        // thread, so even a non-commutative combine is deterministic —
+        // the property that makes it the regression oracle.
+        let device = Device::new(DeviceConfig::sequential().with_block_size(4));
+        let digits = device.reduce(10, String::new(), |i| i.to_string(), |a, b| format!("{a}{b}"));
+        assert_eq!(digits, "0123456789");
+    }
+
+    #[test]
+    fn sequential_backend_watchdog_and_recovery_match_threaded() {
+        for config in [
+            DeviceConfig::sequential().with_block_size(8),
+            DeviceConfig::default().with_workers(2).with_block_size(8),
+        ] {
+            let device = Device::new(config);
+            let err = device
+                .try_launch(64, |i| {
+                    if i == 17 {
+                        panic!("backend fault");
+                    }
+                })
+                .unwrap_err();
+            assert!(matches!(err, DeviceError::KernelPanicked { .. }), "got {err:?}");
+            // The engine survives and the next launch is clean.
+            let total = AtomicUsize::new(0);
+            device.launch(64, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 64);
+        }
     }
 
     #[test]

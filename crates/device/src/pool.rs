@@ -338,6 +338,58 @@ impl WorkerPool {
         Ok(Some(LaunchProfile { busy, blocks_pulled }))
     }
 
+    /// In-order block execution on the calling thread — the
+    /// [`crate::Backend::Sequential`] engine. Blocks run in ascending
+    /// index order with no `Job` machinery (no channel send, no condvar,
+    /// no shared cursor), so counters, reduce combine order, and fault
+    /// interleavings are fully deterministic: this path defines the
+    /// oracle behaviour the threaded engine is differentially tested
+    /// against. Failure semantics match
+    /// [`Self::try_parallel_for_blocks`]: panics are contained per
+    /// block, the deadline is checked before each block, and the pool's
+    /// active-launch gauge covers the launch on every exit path.
+    pub(crate) fn try_sequential_for_blocks(
+        &self,
+        n: usize,
+        block: usize,
+        deadline: Option<Instant>,
+        measure: bool,
+        kernel: &(dyn Fn(Range<usize>) + Sync),
+    ) -> Result<Option<LaunchProfile>, LaunchFailure> {
+        if n == 0 {
+            return Ok(None);
+        }
+        assert!(block > 0, "block size must be nonzero");
+        self.active.fetch_add(1, Ordering::Relaxed);
+        let _active = ActiveGuard(&self.active);
+        let started = Instant::now();
+        let mut busy = Duration::ZERO;
+        let mut pulled = 0u64;
+        let mut start = 0usize;
+        while start < n {
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Err(LaunchFailure::TimedOut { elapsed: started.elapsed() });
+                }
+            }
+            let end = (start + block).min(n);
+            let block_start = if measure { Some(Instant::now()) } else { None };
+            let result = catch_unwind(AssertUnwindSafe(|| kernel(start..end)));
+            if let Some(block_start) = block_start {
+                busy += block_start.elapsed();
+                pulled += 1;
+            }
+            if let Err(panic) = result {
+                return Err(LaunchFailure::Panicked { payload: payload_to_string(panic.as_ref()) });
+            }
+            start = end;
+        }
+        if !measure {
+            return Ok(None);
+        }
+        Ok(Some(LaunchProfile { busy: vec![busy], blocks_pulled: vec![pulled] }))
+    }
+
     /// Executes `kernel` once per block of `block` consecutive indices
     /// covering `0..n`. Blocks the calling thread (which participates)
     /// until the whole index space has been executed. Panics if any kernel
@@ -661,6 +713,72 @@ mod tests {
         let pool = WorkerPool::new(1);
         let profile = pool.try_parallel_for_blocks(100, 8, None, false, &|_| {}).unwrap();
         assert!(profile.is_none());
+    }
+
+    #[test]
+    fn sequential_path_runs_blocks_in_ascending_order() {
+        let pool = WorkerPool::new(0);
+        let order = Mutex::new(Vec::new());
+        pool.try_sequential_for_blocks(100, 7, None, false, &|range| {
+            order.lock().push(range);
+        })
+        .unwrap();
+        let ranges = order.into_inner();
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, 100);
+        assert!(ranges.windows(2).all(|w| w[0].end == w[1].start), "blocks must be in order");
+    }
+
+    #[test]
+    fn sequential_path_contains_panics_and_stops_at_fault() {
+        let pool = WorkerPool::new(0);
+        let executed = AtomicUsize::new(0);
+        let err = pool
+            .try_sequential_for_blocks(100, 10, None, false, &|range| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if range.contains(&35) {
+                    panic!("seq boom");
+                }
+            })
+            .unwrap_err();
+        match err {
+            LaunchFailure::Panicked { payload } => assert_eq!(payload, "seq boom"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // In-order execution: exactly blocks 0..=3 ran, nothing after
+        // the faulting block.
+        assert_eq!(executed.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn sequential_path_honors_deadline() {
+        let pool = WorkerPool::new(0);
+        let executed = AtomicUsize::new(0);
+        let err = pool
+            .try_sequential_for_blocks(
+                1000,
+                1,
+                Some(Instant::now() - Duration::from_millis(1)),
+                false,
+                &|_| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, LaunchFailure::TimedOut { .. }));
+        assert_eq!(executed.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn sequential_path_profiles_one_participant() {
+        let pool = WorkerPool::new(0);
+        let profile = pool
+            .try_sequential_for_blocks(100, 8, None, true, &|_| {})
+            .unwrap()
+            .expect("measured launch must profile");
+        assert_eq!(profile.participants(), 1);
+        assert_eq!(profile.blocks(), 13);
+        assert_eq!(profile.passes(), 13);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`SoaPoints`] — structure-of-arrays point storage with one
 //!   contiguous slice per dimension, the coalescing-friendly layout the
 //!   distance kernels stride through,
+//! * [`simd`] — explicit lane-width (8 × f32) distance kernels over the
+//!   SoA slices, bit-identical to the scalar accept set, for the
+//!   threaded device backend's inner loops,
 //! * distance helpers (point–point and point–box) used by radius queries,
 //!   including the early-exit [`dist_sq_within`] specialised for 2-D/3-D.
 //!
@@ -26,6 +29,7 @@ pub mod aabb;
 pub mod metric;
 pub mod morton;
 pub mod point;
+pub mod simd;
 pub mod soa;
 
 pub use aabb::Aabb;

@@ -7,7 +7,7 @@
 //! highest resolution that fits a `u64` and comfortably exceeds `f32`
 //! coordinate precision.
 
-use crate::{Aabb, Point};
+use crate::{simd::LANES, Aabb, Point, SoaPoints};
 
 /// Number of Morton bits used per axis for dimension `d`.
 #[inline]
@@ -96,6 +96,62 @@ pub fn morton_code<const D: usize>(p: &Point<D>, scene: &Aabb<D>) -> u64 {
         q[axis] = quantize(t, D);
     }
     interleave(q)
+}
+
+/// Lane-batched Morton encoding: fills `out[k]` with the code of point
+/// `range.start + k` of `soa`, relative to `scene`.
+///
+/// The normalize/quantize arithmetic runs [`LANES`] points at a time per
+/// axis over the dimension-major slices (the per-lane operations are the
+/// same, in the same order, as [`morton_code`], so codes are
+/// bit-identical to the scalar path); the bit interleave stays scalar —
+/// it is integer shuffling with no data-parallel win. The `range`
+/// parameter lets a device kernel encode just its block.
+///
+/// # Panics
+/// Panics if `out.len() != range.len()` or the range exceeds `soa`.
+pub fn morton_codes_soa<const D: usize>(
+    soa: &SoaPoints<D>,
+    scene: &Aabb<D>,
+    range: std::ops::Range<usize>,
+    out: &mut [u64],
+) {
+    assert_eq!(out.len(), range.len(), "output must cover exactly the requested range");
+    assert!(range.end <= soa.len(), "range exceeds the point set");
+    let mut lo = [0.0f32; D];
+    let mut extent = [0.0f32; D];
+    for axis in 0..D {
+        lo[axis] = scene.min[axis];
+        extent[axis] = scene.max[axis] - scene.min[axis];
+    }
+    let mut base = range.start;
+    let mut written = 0usize;
+    while base + LANES <= range.end {
+        // Per-axis quantization in lanes: one pass over each stride-1
+        // dimension slice, results staged per lane.
+        let mut q = [[0u64; LANES]; D];
+        for axis in 0..D {
+            let coords = &soa.dim(axis)[base..base + LANES];
+            for l in 0..LANES {
+                let t =
+                    if extent[axis] > 0.0 { (coords[l] - lo[axis]) / extent[axis] } else { 0.0 };
+                q[axis][l] = quantize(t, D);
+            }
+        }
+        for l in 0..LANES {
+            let mut per_axis = [0u64; D];
+            for (axis, lanes) in q.iter().enumerate() {
+                per_axis[axis] = lanes[l];
+            }
+            out[written + l] = interleave(per_axis);
+        }
+        base += LANES;
+        written += LANES;
+    }
+    for i in base..range.end {
+        out[written] = morton_code(&soa.get(i), scene);
+        written += 1;
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +247,36 @@ mod tests {
             assert!(code >= last, "codes along the main diagonal must not decrease");
             last = code;
         }
+    }
+
+    #[test]
+    fn batched_codes_match_scalar_on_ranges() {
+        let points: Vec<Point<3>> = (0..61)
+            .map(|i| {
+                let t = i as f32;
+                Point::new([t * 0.37 % 7.0, (t * 1.13) % 5.0, (t * 2.71) % 3.0])
+            })
+            .collect();
+        let soa = SoaPoints::from_points(&points);
+        let scene = Aabb::from_points(points.iter());
+        // Whole array, a lane-aligned slab, and an unaligned tail.
+        for range in [0..points.len(), 8..40, 3..points.len() - 2, 5..5] {
+            let mut out = vec![0u64; range.len()];
+            morton_codes_soa(&soa, &scene, range.clone(), &mut out);
+            for (k, i) in range.enumerate() {
+                assert_eq!(out[k], morton_code(&points[i], &scene), "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_codes_handle_degenerate_scene() {
+        let points = vec![Point::new([4.0, 4.0]); 20];
+        let soa = SoaPoints::from_points(&points);
+        let scene = Aabb::from_point(points[0]);
+        let mut out = vec![u64::MAX; 20];
+        morton_codes_soa(&soa, &scene, 0..20, &mut out);
+        assert!(out.iter().all(|&c| c == 0));
     }
 
     proptest! {

@@ -40,6 +40,11 @@ const BUCKETS: usize = 1 << RADIX_BITS;
 const SORT_BLOCK: usize = 1 << 14;
 /// Below this size, a sequential comparison sort wins.
 const SEQUENTIAL_THRESHOLD: usize = 1 << 10;
+/// Lane width of the histogram's digit extraction: the shift/mask over 8
+/// keys at a time vectorizes (4 × u64 per AVX2 register, two registers),
+/// while the bucket-table increments stay scalar — a 2^16-entry table
+/// cannot be scattered into with lanes.
+const DIGIT_LANES: usize = 8;
 
 /// Stable sort of `keys` with `values` permuted alongside, using the
 /// device's own buffer arena for scratch.
@@ -206,12 +211,28 @@ where
             // Heap-allocated: a 2^16-entry table would blow the worker
             // stack (the GPU analogue holds it in shared memory).
             let mut local = vec![0u32; BUCKETS];
-            for i in start..end {
+            // SAFETY (both key reads below): the previous scatter stage
+            // fully wrote this buffer; the batch barrier ordered it
+            // before us.
+            let mut digits = [0usize; DIGIT_LANES];
+            let mut i = start;
+            while i + DIGIT_LANES <= end {
+                for (l, digit) in digits.iter_mut().enumerate() {
+                    let key = match src {
+                        None => keygen(i + l),
+                        Some((kv, _)) => unsafe { kv.read(i + l) },
+                    };
+                    *digit = ((key >> shift) as usize) & (BUCKETS - 1);
+                }
+                for &digit in &digits {
+                    local[digit] += 1;
+                }
+                i += DIGIT_LANES;
+            }
+            for tail in i..end {
                 let key = match src {
-                    None => keygen(i),
-                    // SAFETY: the previous scatter stage fully wrote this
-                    // buffer; the batch barrier ordered it before us.
-                    Some((kv, _)) => unsafe { kv.read(i) },
+                    None => keygen(tail),
+                    Some((kv, _)) => unsafe { kv.read(tail) },
                 };
                 let digit = ((key >> shift) as usize) & (BUCKETS - 1);
                 local[digit] += 1;

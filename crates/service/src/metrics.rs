@@ -33,7 +33,7 @@
 //!
 //! | name | meaning |
 //! |---|---|
-//! | `fdbscan_requests_inflight` | admitted requests not yet finished |
+//! | `fdbscan_requests_inflight` | requests holding a device concurrency slot |
 //! | `fdbscan_slo_latency_target_ns` | configured p95 target |
 //! | `fdbscan_slo_rolling_p95_ns` | e2e p95 over the window since the previous scrape |
 //! | `fdbscan_gate_running` / `fdbscan_gate_queued` | admission-gate load (scrape-time) |
@@ -179,7 +179,7 @@ impl ServiceMetrics {
                 "Device-memory headroom observed by the admission preflight.",
                 MetricUnit::Bytes,
             ),
-            inflight: g("fdbscan_requests_inflight", "Admitted requests not yet finished."),
+            inflight: g("fdbscan_requests_inflight", "Requests holding a device concurrency slot."),
             slo_target: g(
                 "fdbscan_slo_latency_target_ns",
                 "Configured p95 latency target, in nanoseconds.",

@@ -391,8 +391,12 @@ impl ClusterService {
         metrics.admitted.inc();
         metrics.queue_wait.observe_duration(queue_wait);
         // Balanced on every exit path below (RAII), so the gauge can
-        // never leak past a return.
-        let _inflight = metrics.inflight_guard();
+        // never leak past a return. Wherever the permit is released
+        // early, the guard must drop *first*: the freed slot re-admits
+        // a queued request immediately, and a gauge still held here
+        // would let a scrape read more inflight requests than
+        // max_concurrency allows.
+        let inflight = metrics.inflight_guard();
 
         // Memory preflight at grant time: shed if even the cheapest
         // parallel rung cannot fit in budget headroom plus trimmable
@@ -406,6 +410,7 @@ impl ClusterService {
             metrics.preflight_available.observe(available as u64);
             let estimated = estimate_fdbscan_bytes::<D>(request.points.len());
             if estimated > available {
+                drop(inflight);
                 drop(permit);
                 stats.bump(&stats.shed_memory_pressure);
                 metrics.shed_memory_pressure.inc();
@@ -431,6 +436,7 @@ impl ClusterService {
         let result = run_resilient(&device, &request.points, request.params, request.policy);
         drop(scope);
         metrics.exec.observe_duration(exec_started.elapsed());
+        drop(inflight);
         drop(permit);
 
         let total = started.elapsed();

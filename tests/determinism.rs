@@ -22,7 +22,7 @@ fn membership_fingerprint(c: &Clustering) -> Vec<(i64, usize)> {
 
 #[test]
 fn identical_assignments_across_repeated_runs() {
-    let device = Device::new(DeviceConfig::default().with_workers(3));
+    let device = Device::new(DeviceConfig::default().with_suggested_workers(3));
     let points = Dataset2::RoadNetwork.generate(2500, 77);
     let params = Params::new(0.05, 8);
     let (first, _) = fdbscan(&device, &points, params).unwrap();
@@ -74,7 +74,7 @@ fn dataset_generation_is_reproducible_end_to_end() {
     // Same seed => same dataset => same clustering, across separate
     // generator invocations (guards against hidden global state).
     let params = Params::new(0.01, 5);
-    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let device = Device::new(DeviceConfig::default().with_suggested_workers(2));
     let (a, _) = fdbscan(&device, &Dataset2::PortoTaxi.generate(1500, 99), params).unwrap();
     let (b, _) = fdbscan(&device, &Dataset2::PortoTaxi.generate(1500, 99), params).unwrap();
     assert_eq!(a.assignments, b.assignments);

@@ -19,6 +19,12 @@
 //!
 //! `FDBSCAN_DIFF_SEED` offsets the proptest dataset seeds so CI can
 //! sweep several independent batches.
+//!
+//! Every case runs on **both execution backends** — the sequential
+//! in-order engine and the threaded SIMD pool — and each must match the
+//! oracle independently. A divergence names the backend in the replay
+//! recipe, so a lane-kernel or scheduling bug replays on exactly the
+//! engine that produced it.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -37,8 +43,13 @@ fn diff_seed_offset() -> u64 {
     std::env::var("FDBSCAN_DIFF_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
-fn device() -> Device {
-    Device::new(DeviceConfig::default().with_workers(3).with_block_size(32))
+/// Both execution backends, each with the small block size that forces
+/// multi-block launches even on the tiny differential datasets.
+fn backends() -> [(&'static str, Device); 2] {
+    [
+        ("sequential", Device::new(DeviceConfig::sequential().with_block_size(32))),
+        ("threaded", Device::new(DeviceConfig::default().with_workers(3).with_block_size(32))),
+    ]
 }
 
 const FAMILIES: [&str; 4] = ["clustered", "uniform", "collinear", "duplicates"];
@@ -76,33 +87,34 @@ fn dataset(family: &str, n: usize, seed: u64) -> Vec<Point2> {
 /// with the full replay recipe on divergence.
 fn check_case(family: &str, seed: u64, points: &[Point2], params: Params) {
     let oracle = dbscan_classic(points, params);
-    let dev = device();
-    let runs: [(&str, Box<dyn Fn() -> _>); 4] = [
-        ("fdbscan", Box::new(|| fdbscan(&dev, points, params))),
-        ("fdbscan-densebox", Box::new(|| fdbscan_densebox(&dev, points, params))),
-        ("g-dbscan", Box::new(|| gdbscan(&dev, points, params))),
-        ("cuda-dclust", Box::new(|| cuda_dclust(&dev, points, params))),
-    ];
-    for (algo, run) in runs {
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let (got, _) = run().unwrap_or_else(|e| panic!("run failed: {e}"));
-            assert_core_equivalent(&oracle, &got);
-            assert_valid_clustering(points, &got, params);
-        }));
-        if let Err(payload) = outcome {
-            let detail = payload
-                .downcast_ref::<String>()
-                .cloned()
-                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                .unwrap_or_else(|| "<non-string panic>".to_string());
-            panic!(
-                "differential failure: algo={algo} family={family} seed={seed} n={} \
-                 eps={} minpts={} FDBSCAN_DIFF_SEED={}\n{detail}",
-                points.len(),
-                params.eps,
-                params.minpts,
-                diff_seed_offset(),
-            );
+    for (backend, dev) in backends() {
+        let runs: [(&str, Box<dyn Fn() -> _>); 4] = [
+            ("fdbscan", Box::new(|| fdbscan(&dev, points, params))),
+            ("fdbscan-densebox", Box::new(|| fdbscan_densebox(&dev, points, params))),
+            ("g-dbscan", Box::new(|| gdbscan(&dev, points, params))),
+            ("cuda-dclust", Box::new(|| cuda_dclust(&dev, points, params))),
+        ];
+        for (algo, run) in runs {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let (got, _) = run().unwrap_or_else(|e| panic!("run failed: {e}"));
+                assert_core_equivalent(&oracle, &got);
+                assert_valid_clustering(points, &got, params);
+            }));
+            if let Err(payload) = outcome {
+                let detail = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                panic!(
+                    "differential failure: algo={algo} backend={backend} family={family} \
+                     seed={seed} n={} eps={} minpts={} FDBSCAN_DIFF_SEED={}\n{detail}",
+                    points.len(),
+                    params.eps,
+                    params.minpts,
+                    diff_seed_offset(),
+                );
+            }
         }
     }
 }

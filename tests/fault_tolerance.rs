@@ -353,3 +353,75 @@ fn stall_past_watchdog_between_batched_stages_skips_the_rest() {
         .unwrap();
     assert_eq!(stage_two_ran.load(Ordering::Relaxed), 64);
 }
+
+// ---------------------------------------------------------------------------
+// Backend-explicit fault recovery: the threaded pool and the injection
+// ordinals behave identically when the backend is selected explicitly
+// rather than through worker-count defaults.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explicit_threaded_backend_recovers_from_injected_worker_panic() {
+    use fdbscan_device::Backend;
+
+    // Panic injected into block 3 of launch 0: exactly one worker of
+    // the explicit 4-worker threaded backend hits it.
+    let device = Device::new(
+        DeviceConfig::default()
+            .with_backend(Backend::Threaded { workers: 4 })
+            .with_block_size(4)
+            .with_fault_plan(FaultPlan::new(91).with_kernel_panic_at(0, 3)),
+    );
+    assert_eq!(device.backend(), Backend::Threaded { workers: 4 });
+
+    let err = device.try_launch(64, |_| {}).unwrap_err();
+    assert!(matches!(err, DeviceError::KernelPanicked { launch: 0, .. }), "got {err:?}");
+    let snap = device.counters().snapshot();
+    assert_eq!(snap.injected_panics, 1);
+    assert_eq!(snap.failed_launches, 1);
+    assert_eq!(device.active_launches(), 0, "panicked launch left the gauge stuck");
+
+    // The surviving pool still produces oracle-equivalent clusterings.
+    let points = random_points(300, 4.0, 91);
+    let params = Params::new(0.3, 4);
+    let (got, _) = fdbscan(&device, &points, params).unwrap();
+    assert_core_equivalent(&dbscan_classic(&points, params), &got);
+    assert_eq!(device.memory().in_use(), device.arena().held_bytes());
+}
+
+#[test]
+fn oom_ordinal_fires_exactly_once_under_concurrent_reservations() {
+    // The injected-OOM ordinal is a global atomic: with four client
+    // threads racing reservations against a threaded-backend device,
+    // exactly one reservation may observe the fault — never zero,
+    // never two — and the error must not double-count.
+    let device = std::sync::Arc::new(Device::new(
+        DeviceConfig::default()
+            .with_workers(4)
+            .with_fault_plan(FaultPlan::new(7).with_oom_at_reservation(5)),
+    ));
+    let failures = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let device = std::sync::Arc::clone(&device);
+            let failures = &failures;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    match device.arena().take::<u8>(1 << 10) {
+                        Ok(buf) => drop(buf),
+                        Err(DeviceError::OutOfMemory { .. }) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("unexpected reservation error: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(failures.load(Ordering::Relaxed), 1, "OOM ordinal fired a wrong number of times");
+    assert_eq!(device.counters().snapshot().injected_oom, 1);
+    // All successful reservations unwound; only pooled scratch remains.
+    assert_eq!(device.memory().in_use(), device.arena().held_bytes());
+    device.arena().trim();
+    assert_eq!(device.memory().in_use(), 0);
+}

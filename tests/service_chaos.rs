@@ -142,7 +142,10 @@ fn chaos_under_concurrency_matrix() {
         .collect();
 
     let device = Device::new(
-        DeviceConfig::default().with_workers(3).with_fault_plan(chaos_plan(seed)).with_tracing(),
+        DeviceConfig::default()
+            .with_suggested_workers(3)
+            .with_fault_plan(chaos_plan(seed))
+            .with_tracing(),
     );
     let service = ClusterService::new(
         device,
@@ -346,8 +349,9 @@ fn repeated_chaos_waves_leave_a_clean_device() {
     // Three back-to-back waves on one service: leaks or poisoned pool
     // state from wave k would surface in wave k+1.
     let seed = chaos_seed();
-    let device =
-        Device::new(DeviceConfig::default().with_workers(2).with_fault_plan(chaos_plan(seed)));
+    let device = Device::new(
+        DeviceConfig::default().with_suggested_workers(2).with_fault_plan(chaos_plan(seed)),
+    );
     let service = ClusterService::new(
         device,
         ServiceConfig::default().with_max_concurrency(3).with_queue_depth(8).with_metrics(true),

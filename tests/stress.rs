@@ -11,7 +11,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 fn contended_device() -> Device {
     // Many workers on (possibly) one core with 1-element blocks: maximal
     // interleaving of union/claim operations.
-    Device::new(DeviceConfig::default().with_workers(8).with_block_size(1))
+    Device::new(DeviceConfig::default().with_suggested_workers(8).with_block_size(1))
 }
 
 #[test]
