@@ -31,16 +31,25 @@ use fdbscan_device::{Device, DeviceConfig};
 
 use crate::Algo;
 
-/// Schema tag of the document [`HotpathsReport::write`] produces.
-pub const HOTPATHS_SCHEMA: &str = "fdbscan.bench_hotpaths.v1";
+/// Schema tag of the document [`HotpathsReport::write`] produces. `v2`
+/// added the wide-traversal counters and the `/wide` matrix cases.
+pub const HOTPATHS_SCHEMA: &str = "fdbscan.bench_hotpaths.v2";
 
 /// Dataset seed shared by every case, so the matrix is one deterministic
 /// function of this file.
 pub const HOTPATHS_SEED: u64 = 42;
 
 /// The work counters the regression gate guards, in serialization order.
-pub const GUARDED_COUNTERS: [&str; 3] =
-    ["kernel_launches", "distance_computations", "bvh_nodes_visited"];
+/// The wide counters are zero on binary-layout cases by construction;
+/// on `/wide` cases they pin how much of the traversal actually ran
+/// through the batched path.
+pub const GUARDED_COUNTERS: [&str; 5] = [
+    "kernel_launches",
+    "distance_computations",
+    "bvh_nodes_visited",
+    "wide_nodes_visited",
+    "wide_leaf_lanes",
+];
 
 /// Phase keys of the per-phase launch breakdown, in serialization order.
 pub const PHASE_KEYS: [&str; 4] = ["index", "preprocess", "main", "finalize"];
@@ -56,20 +65,26 @@ pub struct HotpathCase {
     pub n: usize,
     /// DBSCAN parameters.
     pub params: Params,
+    /// Run with the wide (BVH8) layout instead of the binary rope.
+    pub wide: bool,
 }
 
 impl HotpathCase {
-    /// Stable identifier (`algorithm/dataset`), the join key between a
-    /// fresh run and the checked-in baseline.
+    /// Stable identifier (`algorithm/dataset`, plus a `/wide` suffix on
+    /// wide-layout cases), the join key between a fresh run and the
+    /// checked-in baseline.
     pub fn id(&self) -> String {
-        format!("{}/{}", self.algo.name(), self.dataset)
+        let suffix = if self.wide { "/wide" } else { "" };
+        format!("{}/{}{suffix}", self.algo.name(), self.dataset)
     }
 }
 
 /// The fixed matrix: all four algorithms over the three 2-D families,
-/// plus the two tree-based algorithms over the 3-D cosmology snapshot.
-/// Sizes are modest so the suite stays cheap in debug builds; the
-/// counters are exact, not sampled, so small n still pins the hot path.
+/// plus the two tree-based algorithms over the 3-D cosmology snapshot —
+/// and every tree-based cell repeated on the wide (BVH8) layout, so a
+/// regression in either traversal path is caught independently. Sizes
+/// are modest so the suite stays cheap in debug builds; the counters
+/// are exact, not sampled, so small n still pins the hot path.
 pub fn hotpath_matrix() -> Vec<HotpathCase> {
     let mut cases = Vec::new();
     for kind in Dataset2::ALL {
@@ -79,17 +94,23 @@ pub fn hotpath_matrix() -> Vec<HotpathCase> {
             Dataset2::RoadNetwork => Params::new(0.08, 20),
         };
         for algo in Algo::ALL {
-            cases.push(HotpathCase { algo, dataset: kind.name(), n: 2000, params });
+            cases.push(HotpathCase { algo, dataset: kind.name(), n: 2000, params, wide: false });
+        }
+        for algo in Algo::TREE {
+            cases.push(HotpathCase { algo, dataset: kind.name(), n: 2000, params, wide: true });
         }
     }
     let cosmo_eps = crate::scaled_cosmo_eps(4000);
-    for algo in Algo::TREE {
-        cases.push(HotpathCase {
-            algo,
-            dataset: "cosmology",
-            n: 4000,
-            params: Params::new(cosmo_eps, 5),
-        });
+    for wide in [false, true] {
+        for algo in Algo::TREE {
+            cases.push(HotpathCase {
+                algo,
+                dataset: "cosmology",
+                n: 4000,
+                params: Params::new(cosmo_eps, 5),
+                wide,
+            });
+        }
     }
     cases
 }
@@ -100,7 +121,7 @@ pub struct HotpathRecord {
     /// The matrix cell this record measured.
     pub case: HotpathCase,
     /// Guarded totals, keyed like [`GUARDED_COUNTERS`].
-    pub work: [(&'static str, u64); 3],
+    pub work: [(&'static str, u64); 5],
     /// Per-phase (index, preprocess, main, finalize) kernel launches —
     /// recorded so a fusion regression that moves launches between
     /// phases is visible, guarded via the total.
@@ -120,6 +141,8 @@ impl HotpathRecord {
                 ("kernel_launches", c.kernel_launches),
                 ("distance_computations", c.distance_computations),
                 ("bvh_nodes_visited", c.bvh_nodes_visited),
+                ("wide_nodes_visited", c.wide_nodes_visited),
+                ("wide_leaf_lanes", c.wide_leaf_lanes),
             ],
             phase_launches: [
                 p.index.kernel_launches,
@@ -176,9 +199,12 @@ pub struct HotpathsReport {
 /// the report. Panics if any run fails — every cell is sized to fit an
 /// unbudgeted device.
 pub fn collect_hotpaths() -> HotpathsReport {
-    let device = Device::new(DeviceConfig::sequential());
     let mut records = Vec::new();
     for case in hotpath_matrix() {
+        // Width pinned per cell so the ambient `FDBSCAN_BVH_WIDTH`
+        // cannot skew a baseline or a gate run.
+        let width = if case.wide { 8 } else { 2 };
+        let device = Device::new(DeviceConfig::sequential().with_bvh_width(width));
         let stats = if case.dataset == "cosmology" {
             let points = default_snapshot(case.n, HOTPATHS_SEED);
             case.algo.run3(&device, &points, case.params)
@@ -284,11 +310,15 @@ mod tests {
     #[test]
     fn matrix_is_fixed_and_ids_unique() {
         let matrix = hotpath_matrix();
-        assert_eq!(matrix.len(), 14, "3 datasets x 4 algos + cosmology x 2");
+        assert_eq!(matrix.len(), 22, "3 datasets x (4 algos + 2 wide) + cosmology x 2 x 2 layouts");
         let mut ids: Vec<String> = matrix.iter().map(|c| c.id()).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 14, "case ids must be unique join keys");
+        assert_eq!(ids.len(), 22, "case ids must be unique join keys");
+        assert_eq!(matrix.iter().filter(|c| c.wide).count(), 8, "every tree cell has a wide twin");
+        for case in matrix.iter().filter(|c| c.wide) {
+            assert!(case.id().ends_with("/wide"), "wide cases must be distinguishable join keys");
+        }
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct QueryStats {
     pub contained_hits: u64,
     /// Whether the callback terminated the traversal early.
     pub terminated_early: bool,
+    /// Wide (BVH8) nodes classified with one 8-lane kernel call each.
+    /// Zero on the binary rope path.
+    pub wide_nodes_visited: u64,
+    /// 8-wide lane batches spent scanning wide leaf runs. Zero on the
+    /// binary rope path.
+    pub wide_leaf_lanes: u64,
 }
 
 impl QueryStats {
@@ -123,6 +129,14 @@ impl<const D: usize> Bvh<D> {
             return stats;
         }
 
+        // Wide dispatch: same pre-checks, same hit set, lane-parallel
+        // node tests (see `wide::WideBvh`). Selected per device via
+        // `FDBSCAN_BVH_WIDTH` / `DeviceConfig::with_bvh_width`.
+        if let Some(wide) = &self.wide {
+            self.wide_walk(wide, center, eps_sq, cutoff, &mut stats, &mut callback);
+            return stats;
+        }
+
         let mut node = self.children[0][0];
         while node != NodeRef::NONE {
             if node.is_leaf() {
@@ -175,7 +189,7 @@ impl<const D: usize> Bvh<D> {
     /// Containment fast path: fires the callback for every leaf in the
     /// sorted range `[first, last]` at or above `cutoff`. Returns `true`
     /// if the callback broke out.
-    fn emit_range<F>(
+    pub(crate) fn emit_range<F>(
         &self,
         first: u32,
         last: u32,
@@ -513,6 +527,16 @@ mod tests {
     /// * identical callback counts,
     /// * the rope walk never visits more nodes than the stack walk.
     fn assert_matches_stack_reference(bvh: &Bvh<2>, center: &Point<2>, eps: f32, cutoff: u32) {
+        // This helper pins the *binary rope* against the stack reference
+        // (its visit-count bound is rope-specific), so force the binary
+        // path even when FDBSCAN_BVH_WIDTH selected wide at build time.
+        // Wide-vs-binary equivalence is pinned in `wide::tests`.
+        let bvh = {
+            let mut b = bvh.clone();
+            b.ensure_width(2);
+            b
+        };
+        let bvh = &bvh;
         let mut rope_hits = Vec::new();
         let rope = bvh.for_each_in_radius(center, eps, cutoff, |pos, payload| {
             rope_hits.push((pos, payload));

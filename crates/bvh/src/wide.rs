@@ -1,0 +1,595 @@
+//! Wide (BVH8) nodes: a SIMD re-layout of the binary LBVH for batched
+//! child tests.
+//!
+//! The binary rope traversal tests one AABB per step — fundamentally
+//! scalar work. Collapsing the Karras tree into 8-wide nodes lets one
+//! [`fdbscan_geom::simd::classify_lane_boxes`] call test all children of
+//! a node at once (rejection *and* containment masks in the same pass),
+//! and turns small subtrees into contiguous *leaf runs* scanned by the
+//! lane kernels — the batched-node idea RT-DBSCAN maps onto RT-core
+//! hardware, expressed here through the CPU's vector lanes.
+//!
+//! The wide layout is **derived** from the finished binary tree on the
+//! host (no extra device launch; the build stays three kernels) and is
+//! purely additive: the binary arrays remain intact and authoritative,
+//! snapshots never serialize wide nodes, and dropping the layout
+//! restores the oracle rope path bit for bit. Selection is per device
+//! via `FDBSCAN_BVH_WIDTH` / `DeviceConfig::with_bvh_width`.
+//!
+//! # Layout
+//!
+//! Each wide node stores its children as dimension-major corner lanes
+//! (`lo[d][lane]`, `hi[d][lane]`) plus a per-lane link and sorted-leaf
+//! range. Every child of a wide node is some binary subtree, so its
+//! sorted-leaf range is contiguous — the property that keeps the index
+//! mask (paper Fig. 1) and the containment fast path working unchanged:
+//! a contained lane emits its whole range, a masked lane compares one
+//! `u32`. Unfilled lanes hold inverted boxes (`lo = +inf`,
+//! `hi = -inf`) that self-reject in the lane kernel, so no per-lane
+//! occupancy branch is needed before the arithmetic.
+//!
+//! # Collapse
+//!
+//! Starting from the binary root's two children, the child covering the
+//! most leaves is repeatedly replaced by its own two children until the
+//! node has 8 slots. Slots that are single leaves or small subtrees
+//! (≤ [`RUN_THRESHOLD`] leaves) become leaf runs; larger subtrees
+//! become child wide nodes, processed iteratively (no recursion, so
+//! degenerate spine-shaped trees cannot overflow the host stack).
+
+use std::ops::ControlFlow;
+
+use fdbscan_geom::simd::{self, LANES};
+use fdbscan_geom::Point;
+
+use crate::node::{NodeRef, LEAF_FLAG};
+use crate::traverse::QueryStats;
+use crate::Bvh;
+
+/// Branching factor of the wide layout — one SIMD lane per child.
+pub const WIDTH: usize = LANES;
+
+/// Subtrees at or below this many leaves flatten into a leaf run
+/// scanned by the lane kernels (at most two 8-lane batches) instead of
+/// descending further: below this size the batched scan is cheaper than
+/// more node tests, and the run shares the binary tree's sorted SoA
+/// corner arrays so no leaf data is duplicated.
+pub(crate) const RUN_THRESHOLD: u32 = 16;
+
+/// Unfilled-lane sentinel for [`WideNode::child`]. Has the leaf flag
+/// bit set but an index outside the 31-bit primitive range, so it can
+/// never collide with a real leaf-run link.
+const EMPTY: u32 = u32::MAX;
+
+/// One 8-wide node: SoA child corners plus per-lane links.
+#[derive(Debug, Clone)]
+pub struct WideNode<const D: usize> {
+    /// Child lower corners, dimension-major lanes (`lo[d][lane]`).
+    pub lo: [[f32; WIDTH]; D],
+    /// Child upper corners, dimension-major lanes.
+    pub hi: [[f32; WIDTH]; D],
+    /// Per-lane link: index of the child wide node, or (leaf flag set)
+    /// a leaf run covering the lane's sorted range, or [`EMPTY`].
+    pub child: [u32; WIDTH],
+    /// Sorted-leaf range `[first, last]` covered by each lane.
+    pub ranges: [[u32; 2]; WIDTH],
+}
+
+impl<const D: usize> WideNode<D> {
+    fn empty() -> Self {
+        Self {
+            lo: [[f32::INFINITY; WIDTH]; D],
+            hi: [[f32::NEG_INFINITY; WIDTH]; D],
+            child: [EMPTY; WIDTH],
+            ranges: [[0; 2]; WIDTH],
+        }
+    }
+}
+
+/// The derived wide layout of a [`Bvh`]: wide nodes in DFS order, node
+/// 0 collapsing the binary root. Only derived for trees with at least
+/// two leaves (smaller trees are fully handled by the traversal's
+/// root/leaf pre-checks).
+#[derive(Debug, Clone)]
+pub struct WideBvh<const D: usize> {
+    pub(crate) nodes: Vec<WideNode<D>>,
+}
+
+impl<const D: usize> WideBvh<D> {
+    /// Number of wide nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate memory footprint of the wide layout in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<WideNode<D>>()
+    }
+}
+
+/// Collapses the finished binary tree into the wide layout. Host-side
+/// and allocation-only (plain `Vec`s, no arena buffers, no launches).
+pub(crate) fn collapse<const D: usize>(bvh: &Bvh<D>) -> WideBvh<D> {
+    debug_assert!(bvh.len() >= 2, "wide layout requires an internal root");
+    let leaf_count = |r: NodeRef| -> u32 {
+        if r.is_leaf() {
+            1
+        } else {
+            let range = bvh.ranges[r.index() as usize];
+            range[1] - range[0] + 1
+        }
+    };
+    let first_pos = |r: NodeRef| -> u32 {
+        if r.is_leaf() {
+            r.index()
+        } else {
+            bvh.ranges[r.index() as usize][0]
+        }
+    };
+
+    let mut nodes = vec![WideNode::empty()];
+    // (binary internal node to collapse, wide slot reserved for it).
+    let mut work: Vec<(u32, usize)> = vec![(0, 0)];
+    while let Some((bin, widx)) = work.pop() {
+        // Greedy expansion: always split the child covering the most
+        // leaves, so heavy subtrees get lane-parallel siblings first.
+        let mut slots: Vec<NodeRef> = bvh.children[bin as usize].to_vec();
+        while slots.len() < WIDTH {
+            let Some((si, _)) = slots
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(_, r)| !r.is_leaf())
+                .max_by_key(|&(_, r)| leaf_count(r))
+            else {
+                break; // all slots are leaves
+            };
+            let expanded = slots.swap_remove(si);
+            slots.extend(bvh.children[expanded.index() as usize]);
+        }
+        // Lanes in ascending sorted-leaf order, so the masked cutoff
+        // and the emit order both run low-to-high like the binary walk.
+        slots.sort_by_key(|&r| first_pos(r));
+
+        let mut node = WideNode::empty();
+        for (l, &slot) in slots.iter().enumerate() {
+            let (bounds, range) = if slot.is_leaf() {
+                let pos = slot.index();
+                (&bvh.leaf_bounds[pos as usize], [pos, pos])
+            } else {
+                let i = slot.index() as usize;
+                (&bvh.internal_bounds[i], bvh.ranges[i])
+            };
+            for d in 0..D {
+                node.lo[d][l] = bounds.min[d];
+                node.hi[d][l] = bounds.max[d];
+            }
+            node.ranges[l] = range;
+            if slot.is_leaf() || leaf_count(slot) <= RUN_THRESHOLD {
+                node.child[l] = range[0] | LEAF_FLAG;
+            } else {
+                let child_idx = nodes.len();
+                nodes.push(WideNode::empty());
+                node.child[l] = child_idx as u32;
+                work.push((slot.index(), child_idx));
+            }
+        }
+        nodes[widx] = node;
+    }
+    WideBvh { nodes }
+}
+
+impl<const D: usize> Bvh<D> {
+    /// Derives or drops the wide layout so the tree traverses at
+    /// `width`: `2` restores the pure binary rope path, `8` derives the
+    /// wide layout (a no-op if it is already present, and skipped for
+    /// trees too small to have an internal root). Host-side only — no
+    /// device launches, so snapshot-restored and freshly built trees
+    /// pay the same (zero) launch cost.
+    ///
+    /// # Panics
+    /// Panics on widths other than 2 or 8.
+    pub fn ensure_width(&mut self, width: usize) {
+        match width {
+            2 => self.wide = None,
+            8 => {
+                if self.wide.is_none() && self.len() >= 2 {
+                    self.wide = Some(collapse(self));
+                }
+            }
+            other => panic!("BVH width must be 2 or 8, got {other}"),
+        }
+    }
+
+    /// The derived wide layout, if [`Bvh::ensure_width`] selected it.
+    pub fn wide_layout(&self) -> Option<&WideBvh<D>> {
+        self.wide.as_ref()
+    }
+
+    /// The wide-node traversal body: called by
+    /// [`Bvh::for_each_in_radius_flagged`] after the shared root
+    /// pre-checks (mask, rejection, containment), with the same
+    /// callback/cutoff contract. One `classify_lane_boxes` call tests
+    /// all children of a node; contained lanes emit their sorted range,
+    /// leaf-run lanes batch-scan their SoA corners, surviving internal
+    /// lanes descend.
+    ///
+    /// The callback *sequence* is identical to the binary rope walk:
+    /// both visit leaves in ascending sorted order (surviving lanes are
+    /// resolved strictly low-to-high via one LIFO action stack, so lane
+    /// `l`'s whole subtree fires before lane `l + 1` touches anything),
+    /// and each leaf's accept decision is bit-identical. This is
+    /// load-bearing: border claims are first-writer-wins, so identical
+    /// hit order is what makes final labels bit-identical across
+    /// layouts. Only the `contained` flag may differ per hit (the two
+    /// layouts test containment at different subtree granularities),
+    /// which affects counters but never labels.
+    ///
+    /// Work accounting: `nodes_visited` counts batched operations (wide
+    /// nodes plus leaf lane batches — each one SIMD-wide unit of work),
+    /// `wide_nodes_visited` the wide nodes alone, and `wide_leaf_lanes`
+    /// the 8-wide batches spent on leaf runs.
+    pub(crate) fn wide_walk<F>(
+        &self,
+        wide: &WideBvh<D>,
+        center: &Point<D>,
+        eps_sq: f32,
+        cutoff: u32,
+        stats: &mut QueryStats,
+        callback: &mut F,
+    ) where
+        F: FnMut(u32, u32, bool) -> ControlFlow<()>,
+    {
+        /// One deferred unit of traversal, in sorted-leaf order on the
+        /// stack: emit a contained range, scan a leaf run, or classify
+        /// a child wide node.
+        #[derive(Clone, Copy)]
+        enum Action {
+            Emit([u32; 2]),
+            Scan([u32; 2]),
+            Descend(u32),
+        }
+        // Depth is bounded by the binary tree's (≤ 96, the augmented
+        // Morton prefix argument of the stack reference), and each
+        // level parks at most WIDTH - 1 sibling actions.
+        const STACK_DEPTH: usize = 1024;
+        let mut stack = [Action::Descend(0); STACK_DEPTH];
+        let mut top = 1usize;
+        while top > 0 {
+            top -= 1;
+            match stack[top] {
+                Action::Emit(range) => {
+                    // Lane was contained: accept its whole range with
+                    // no per-leaf work, like the binary fast path.
+                    if self.emit_range(range[0], range[1], cutoff, stats, callback) {
+                        return;
+                    }
+                }
+                Action::Scan(range) => {
+                    if self.scan_run(
+                        range[0].max(cutoff),
+                        range[1],
+                        center,
+                        eps_sq,
+                        stats,
+                        callback,
+                    ) {
+                        return;
+                    }
+                }
+                Action::Descend(idx) => {
+                    let node = &wide.nodes[idx as usize];
+                    stats.nodes_visited += 1;
+                    stats.wide_nodes_visited += 1;
+                    let (overlap, contained) =
+                        simd::classify_lane_boxes(&node.lo, &node.hi, center, eps_sq);
+                    // Push surviving lanes in reverse so pops resolve
+                    // them — and everything beneath them — in ascending
+                    // sorted order.
+                    for l in (0..WIDTH).rev() {
+                        let link = node.child[l];
+                        // Masked lanes cost one compare, like the
+                        // binary mask skip (no visit counted); empty
+                        // lanes also fail the overlap mask but are
+                        // cheaper to drop here.
+                        if link == EMPTY || node.ranges[l][1] < cutoff || overlap >> l & 1 == 0 {
+                            continue;
+                        }
+                        let action = if contained >> l & 1 == 1 {
+                            Action::Emit(node.ranges[l])
+                        } else if link & LEAF_FLAG != 0 {
+                            Action::Scan(node.ranges[l])
+                        } else {
+                            Action::Descend(link)
+                        };
+                        assert!(top < STACK_DEPTH, "wide traversal stack overflow");
+                        stack[top] = action;
+                        top += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batch-scans the leaf run `[first, last]` with the lane box
+    /// kernel (bit-identical accept set to the binary per-leaf test)
+    /// and fires the callback per accepted leaf. Returns `true` when
+    /// the callback broke the traversal; lane results after a break are
+    /// discarded uncounted (the batch was already in flight — the waste
+    /// is bounded by the run length).
+    fn scan_run<F>(
+        &self,
+        first: u32,
+        last: u32,
+        center: &Point<D>,
+        eps_sq: f32,
+        stats: &mut QueryStats,
+        callback: &mut F,
+    ) -> bool
+    where
+        F: FnMut(u32, u32, bool) -> ControlFlow<()>,
+    {
+        let count = (last - first + 1) as u64;
+        // One 8-lane batch is one unit of traversal work on this path,
+        // so visits are charged per batch, not per leaf — keeping
+        // `bvh_nodes_visited` comparable across algorithms as a work
+        // proxy when both run wide.
+        let batches = count.div_ceil(LANES as u64);
+        stats.nodes_visited += batches;
+        stats.wide_leaf_lanes += batches;
+        let mut broke = false;
+        simd::for_each_box_within(
+            &self.leaf_lo,
+            &self.leaf_hi,
+            first as usize,
+            last as usize + 1,
+            center,
+            eps_sq,
+            |i| {
+                if broke {
+                    return;
+                }
+                stats.leaf_hits += 1;
+                if callback(i as u32, self.leaf_payload[i], false).is_break() {
+                    broke = true;
+                }
+            },
+        );
+        if broke {
+            stats.terminated_early = true;
+        }
+        broke
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdbscan_device::{Device, DeviceConfig};
+    use fdbscan_geom::Aabb;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Point::new([rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)])).collect()
+    }
+
+    fn build_both(points: &[Point<2>]) -> (Bvh<2>, Bvh<2>) {
+        let device = Device::new(DeviceConfig::sequential().with_bvh_width(2));
+        let bounds: Vec<Aabb<2>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
+        let binary = Bvh::build(&device, &bounds);
+        let mut wide = binary.clone();
+        wide.ensure_width(8);
+        (binary, wide)
+    }
+
+    fn query_hits(
+        bvh: &Bvh<2>,
+        center: &Point<2>,
+        eps: f32,
+        cutoff: u32,
+    ) -> (Vec<(u32, u32)>, QueryStats) {
+        let mut hits = Vec::new();
+        let stats = bvh.for_each_in_radius(center, eps, cutoff, |pos, payload| {
+            hits.push((pos, payload));
+            ControlFlow::Continue(())
+        });
+        (hits, stats)
+    }
+
+    /// Wide and binary traversals of the same tree must agree on the
+    /// exact callback *sequence* (set and order — first-writer-wins
+    /// border claims make order part of the label contract) for any
+    /// query; the stack reference anchors both.
+    fn assert_wide_matches_binary(
+        binary: &Bvh<2>,
+        wide: &Bvh<2>,
+        center: &Point<2>,
+        eps: f32,
+        cutoff: u32,
+    ) {
+        let (bin_hits, bin_stats) = query_hits(binary, center, eps, cutoff);
+        let (wide_hits, wide_stats) = query_hits(wide, center, eps, cutoff);
+        assert_eq!(wide_hits, bin_hits, "hit sequences diverge (eps {eps}, cutoff {cutoff})");
+        assert_eq!(wide_stats.leaf_hits, bin_stats.leaf_hits, "callback counts diverge");
+        assert_eq!(
+            wide_stats.distance_tests() + wide_stats.contained_hits,
+            wide_stats.leaf_hits,
+            "wide stats must stay internally consistent"
+        );
+        let mut stack_hits = Vec::new();
+        binary.for_each_in_radius_stack(center, eps, cutoff, |pos, payload| {
+            stack_hits.push((pos, payload));
+            ControlFlow::Continue(())
+        });
+        stack_hits.sort_unstable();
+        let mut wide_sorted = wide_hits;
+        wide_sorted.sort_unstable();
+        assert_eq!(wide_sorted, stack_hits, "wide diverges from the stack reference");
+    }
+
+    #[test]
+    fn ensure_width_derives_and_drops() {
+        let (_, mut bvh) = build_both(&random_points(100, 5));
+        assert!(bvh.wide_layout().is_some());
+        assert!(bvh.wide_layout().unwrap().node_count() >= 1);
+        assert!(bvh.wide_layout().unwrap().memory_bytes() > 0);
+        bvh.ensure_width(2);
+        assert!(bvh.wide_layout().is_none(), "width 2 restores the binary path");
+    }
+
+    #[test]
+    fn small_trees_skip_the_wide_layout() {
+        let (_, one) = build_both(&random_points(1, 1));
+        assert!(one.wide_layout().is_none(), "a single leaf has no internal root");
+        let (_, two) = build_both(&random_points(2, 2));
+        assert!(two.wide_layout().is_some());
+    }
+
+    #[test]
+    fn device_width_selects_layout_at_build() {
+        let points = random_points(64, 9);
+        let bounds: Vec<Aabb<2>> = points.iter().map(|p| Aabb::from_point(*p)).collect();
+        let wide_dev = Device::new(DeviceConfig::sequential().with_bvh_width(8));
+        assert!(Bvh::build(&wide_dev, &bounds).wide_layout().is_some());
+        let bin_dev = Device::new(DeviceConfig::sequential().with_bvh_width(2));
+        assert!(Bvh::build(&bin_dev, &bounds).wide_layout().is_none());
+    }
+
+    #[test]
+    fn collapse_lanes_cover_the_root_range_exactly_once() {
+        let (_, bvh) = build_both(&random_points(500, 21));
+        let wide = bvh.wide_layout().unwrap();
+        // Node 0's filled lanes must partition the full sorted range;
+        // every node's lanes must partition its own contiguous range.
+        for node in &wide.nodes {
+            let lanes: Vec<[u32; 2]> =
+                (0..WIDTH).filter(|&l| node.child[l] != EMPTY).map(|l| node.ranges[l]).collect();
+            assert!(!lanes.is_empty());
+            for pair in lanes.windows(2) {
+                assert_eq!(
+                    pair[0][1] + 1,
+                    pair[1][0],
+                    "lanes must be sorted and contiguous: {pair:?}"
+                );
+            }
+            for (l, range) in lanes.iter().enumerate() {
+                assert!(range[0] <= range[1], "lane {l} range inverted");
+            }
+        }
+        let root_lanes: Vec<[u32; 2]> = (0..WIDTH)
+            .filter(|&l| wide.nodes[0].child[l] != EMPTY)
+            .map(|l| wide.nodes[0].ranges[l])
+            .collect();
+        assert_eq!(root_lanes.first().unwrap()[0], 0);
+        assert_eq!(root_lanes.last().unwrap()[1], bvh.len() as u32 - 1);
+    }
+
+    #[test]
+    fn wide_query_counts_wide_work() {
+        let (_, bvh) = build_both(&random_points(2000, 33));
+        let (_, stats) = query_hits(&bvh, &Point::new([50.0, 50.0]), 5.0, 0);
+        assert!(stats.wide_nodes_visited > 0, "wide path must batch node tests");
+        assert!(stats.wide_leaf_lanes > 0, "wide path must batch leaf runs");
+        // Binary traversal of the same tree reports no wide work.
+        let (binary, _) = build_both(&random_points(2000, 33));
+        let (_, bin_stats) = query_hits(&binary, &Point::new([50.0, 50.0]), 5.0, 0);
+        assert_eq!(bin_stats.wide_nodes_visited, 0);
+        assert_eq!(bin_stats.wide_leaf_lanes, 0);
+    }
+
+    #[test]
+    fn wide_early_termination_stops_after_break() {
+        let (_, bvh) = build_both(&vec![Point::new([1.0, 1.0]); 200]);
+        let mut count = 0;
+        let stats = bvh.for_each_in_radius(&Point::new([1.0, 1.0]), 1.0, 0, |_, _| {
+            count += 1;
+            if count >= 7 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(count, 7);
+        assert!(stats.terminated_early);
+        assert_eq!(stats.leaf_hits, 7, "hits after the break must not be counted");
+    }
+
+    #[test]
+    fn wide_matches_binary_on_box_leaves() {
+        // Mixed point/box primitives, the DenseBox shape.
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut bounds = Vec::new();
+        for _ in 0..120 {
+            let min = Point::new([rng.gen_range(0.0f32..50.0), rng.gen_range(0.0f32..50.0)]);
+            if rng.gen_bool(0.3) {
+                let max = Point::new([
+                    min[0] + rng.gen_range(0.0f32..3.0),
+                    min[1] + rng.gen_range(0.0f32..3.0),
+                ]);
+                bounds.push(Aabb::from_corners(min, max));
+            } else {
+                bounds.push(Aabb::from_point(min));
+            }
+        }
+        let device = Device::new(DeviceConfig::sequential().with_bvh_width(2));
+        let binary = Bvh::build(&device, &bounds);
+        let mut wide = binary.clone();
+        wide.ensure_width(8);
+        for (center, eps) in
+            [([10.0, 10.0], 4.0), ([25.0, 25.0], 9.0), ([100.0, 100.0], 1.0), ([25.0, 25.0], 200.0)]
+        {
+            for cutoff in [0u32, 40, 120] {
+                let c = Point::new(center);
+                let (b, _) = query_hits(&binary, &c, eps, cutoff);
+                let (w, _) = query_hits(&wide, &c, eps, cutoff);
+                assert_eq!(w, b, "center {center:?} eps {eps} cutoff {cutoff}");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn wide_matches_binary_and_stack_reference(
+            seed in any::<u64>(),
+            n in 1usize..500,
+            eps in 0.01f32..150.0,
+            cutoff_frac in 0.0f64..1.2,
+            cx in -20.0f32..120.0,
+            cy in -20.0f32..120.0,
+        ) {
+            let points = random_points(n, seed);
+            let (binary, wide) = build_both(&points);
+            let cutoff = ((n as f64) * cutoff_frac) as u32;
+            assert_wide_matches_binary(&binary, &wide, &Point::new([cx, cy]), eps, cutoff);
+        }
+
+        #[test]
+        fn wide_duplicates_and_collinear_match_binary(
+            seed in any::<u64>(),
+            n in 2usize..300,
+            collinear in any::<bool>(),
+            eps in 0.01f32..10.0,
+        ) {
+            // Degenerate Morton regimes: spine-shaped and zero-volume
+            // subtrees, the worst cases for the collapse.
+            let mut rng = StdRng::seed_from_u64(seed);
+            let points: Vec<Point<2>> = if collinear {
+                let step = rng.gen_range(0.05f32..0.4);
+                (0..n).map(|i| Point::new([i as f32 * step, 2.0])).collect()
+            } else {
+                let sites: Vec<Point<2>> = (0..rng.gen_range(2usize..6))
+                    .map(|_| Point::new([rng.gen_range(0.0f32..3.0), rng.gen_range(0.0f32..3.0)]))
+                    .collect();
+                (0..n).map(|i| sites[i % sites.len()]).collect()
+            };
+            let (binary, wide) = build_both(&points);
+            let center = points[n / 2];
+            for cutoff in [0u32, (n / 2) as u32] {
+                assert_wide_matches_binary(&binary, &wide, &center, eps, cutoff);
+            }
+        }
+    }
+}

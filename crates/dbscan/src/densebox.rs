@@ -164,7 +164,12 @@ fn densebox_core<const D: usize>(
     let _grid_mem = device.memory().reserve(grid.memory_bytes())?;
     let mixed = grid.mixed_primitives(points);
     let bvh = match restored_bvh {
-        Some(bvh) => bvh,
+        Some(mut bvh) => {
+            // Snapshots never carry the derived wide layout; re-derive it
+            // to match this device's configured width.
+            bvh.ensure_width(device.bvh_width());
+            bvh
+        }
         None => {
             let bvh = Bvh::build_in(device, device.arena(), &mixed.bounds)?;
             if let Some(c) = ckpt.as_deref_mut() {
@@ -377,6 +382,8 @@ fn run_main<const D: usize>(
                             }
                         });
                     counters.add_nodes_visited(stats.nodes_visited);
+                    counters.add_wide_nodes_visited(stats.wide_nodes_visited);
+                    counters.add_wide_leaf_lanes(stats.wide_leaf_lanes);
                     counters.add_distances(distances);
                     counters.dense_box_scans.fetch_add(box_scans, Ordering::Relaxed);
                     count >= minpts
@@ -459,6 +466,8 @@ fn run_main<const D: usize>(
                 ControlFlow::Continue(())
             });
             counters.add_nodes_visited(stats.nodes_visited);
+            counters.add_wide_nodes_visited(stats.wide_nodes_visited);
+            counters.add_wide_leaf_lanes(stats.wide_leaf_lanes);
             counters.add_distances(distances);
             counters.dense_box_scans.fetch_add(box_scans, Ordering::Relaxed);
             counters.neighbors_found.fetch_add(stats.leaf_hits, Ordering::Relaxed);

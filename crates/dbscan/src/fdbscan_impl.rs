@@ -135,8 +135,11 @@ fn fdbscan_core<const D: usize>(
     let index_start = Instant::now();
     let index_span = tracer.phase("index");
     let bvh = match ckpt.as_deref().and_then(|c| c.restore::<Bvh<D>>(PHASE_INDEX)) {
-        Some(bvh) => {
+        Some(mut bvh) => {
             tracer.instant("checkpoint.restore: index");
+            // Snapshots never carry the derived wide layout; re-derive it
+            // to match this device's configured width.
+            bvh.ensure_width(device.bvh_width());
             bvh
         }
         None => {
@@ -219,6 +222,8 @@ fn fdbscan_core<const D: usize>(
                                 }
                             });
                         counters.add_nodes_visited(stats.nodes_visited);
+                        counters.add_wide_nodes_visited(stats.wide_nodes_visited);
+                        counters.add_wide_leaf_lanes(stats.wide_leaf_lanes);
                         counters.add_distances(stats.distance_tests());
                         count >= minpts
                     }
@@ -250,6 +255,8 @@ fn fdbscan_core<const D: usize>(
                     ControlFlow::Continue(())
                 });
                 counters.add_nodes_visited(stats.nodes_visited);
+                counters.add_wide_nodes_visited(stats.wide_nodes_visited);
+                counters.add_wide_leaf_lanes(stats.wide_leaf_lanes);
                 counters.add_distances(stats.distance_tests());
                 counters
                     .neighbors_found

@@ -67,6 +67,8 @@ impl<'a, const D: usize> MinptsSweep<'a, D> {
                 // SAFETY: one writer per index.
                 unsafe { counts_view.write(i, count) };
                 counters.add_nodes_visited(stats.nodes_visited);
+                counters.add_wide_nodes_visited(stats.wide_nodes_visited);
+                counters.add_wide_leaf_lanes(stats.wide_leaf_lanes);
                 counters.add_distances(stats.distance_tests());
             })?;
         }

@@ -107,6 +107,12 @@ pub struct DeviceConfig {
     /// (the default), tracing is enabled iff `FDBSCAN_TRACE` is set (see
     /// [`trace::Tracer::from_env`]).
     pub tracing: bool,
+    /// BVH branching factor the tree index derives for traversal: `2`
+    /// keeps the binary rope layout (the oracle path), `8` additionally
+    /// collapses the tree into wide nodes whose children are tested by
+    /// one SIMD lane kernel per step. Defaults from `FDBSCAN_BVH_WIDTH`
+    /// (`2`/`binary` or `8`/`wide`); unset or unrecognized = binary.
+    pub bvh_width: usize,
 }
 
 impl Default for DeviceConfig {
@@ -121,7 +127,19 @@ impl Default for DeviceConfig {
             fault_plan: None,
             kernel_timeout: None,
             tracing: false,
+            bvh_width: bvh_width_from_env().unwrap_or(2),
         }
+    }
+}
+
+/// Parses `FDBSCAN_BVH_WIDTH`. Unset or unrecognized values yield
+/// `None` (binary default) rather than an error, matching the lenient
+/// `FDBSCAN_BACKEND` convention.
+fn bvh_width_from_env() -> Option<usize> {
+    match std::env::var("FDBSCAN_BVH_WIDTH").ok()?.trim().to_ascii_lowercase().as_str() {
+        "2" | "binary" => Some(2),
+        "8" | "wide" => Some(8),
+        _ => None,
     }
 }
 
@@ -193,6 +211,15 @@ impl DeviceConfig {
         self
     }
 
+    /// Sets the BVH branching factor explicitly (overriding any
+    /// `FDBSCAN_BVH_WIDTH` environment selection). Only widths `2`
+    /// (binary ropes) and `8` (SIMD wide nodes) exist.
+    pub fn with_bvh_width(mut self, width: usize) -> Self {
+        assert!(width == 2 || width == 8, "BVH width must be 2 or 8, got {width}");
+        self.bvh_width = width;
+        self
+    }
+
     /// Enables span recording (see [`trace::Tracer`]) without requiring
     /// the `FDBSCAN_TRACE` environment variable. Traces enabled this way
     /// are read back programmatically via [`Device::tracer`]; they are
@@ -244,6 +271,7 @@ pub struct Device {
     launch_ordinal: Arc<AtomicU64>,
     fault_plan: Option<Arc<FaultPlan>>,
     kernel_timeout: Option<Duration>,
+    bvh_width: usize,
     tracer: Arc<Tracer>,
     /// Per-request cancellation token (see [`Device::with_cancel`]).
     /// `None` on a freshly constructed device; attached per clone, so
@@ -263,8 +291,16 @@ impl Device {
             Arc::clone(&counters),
             fault_plan.clone(),
         ));
+        // A one-worker threaded pool would spend its time handing blocks
+        // across threads for zero extra parallelism (the launching thread
+        // always participates). Spawn no workers there; `run_on_backend`
+        // routes the empty pool through the in-order inline engine.
+        let pool_workers = match config.backend.effective_workers() {
+            1 => 0,
+            w => w,
+        };
         Self {
-            pool: Arc::new(WorkerPool::new(config.backend.effective_workers())),
+            pool: Arc::new(WorkerPool::new(pool_workers)),
             backend: config.backend,
             arena: BufferArena::new(Arc::clone(&memory)),
             memory,
@@ -273,6 +309,7 @@ impl Device {
             launch_ordinal: Arc::new(AtomicU64::new(0)),
             fault_plan,
             kernel_timeout: config.kernel_timeout,
+            bvh_width: config.bvh_width,
             cancel: None,
             tracer: Arc::new({
                 let tracer = Tracer::from_env();
@@ -336,6 +373,12 @@ impl Device {
     /// The configured kernel watchdog timeout, if any.
     pub fn kernel_timeout(&self) -> Option<Duration> {
         self.kernel_timeout
+    }
+
+    /// The BVH branching factor traversals on this device should use
+    /// (`2` = binary ropes, `8` = SIMD wide nodes).
+    pub fn bvh_width(&self) -> usize {
+        self.bvh_width
     }
 
     /// A clone of this device with a per-request [`CancelToken`]
@@ -464,6 +507,13 @@ impl Device {
     ) -> Result<Option<LaunchProfile>, LaunchFailure> {
         match self.backend {
             Backend::Sequential => {
+                self.pool.try_sequential_for_blocks(n, self.block_size, deadline, measure, kernel)
+            }
+            // A threaded backend whose pool spawned no workers (the
+            // `threaded:1` case) has exactly one participant — the
+            // launching thread — so the in-order inline engine runs the
+            // same schedule without the cross-thread handoff.
+            Backend::Threaded { .. } if self.pool.workers() == 0 => {
                 self.pool.try_sequential_for_blocks(n, self.block_size, deadline, measure, kernel)
             }
             Backend::Threaded { .. } => {
@@ -1220,6 +1270,40 @@ mod tests {
         assert_eq!(device.backend(), Backend::Threaded { workers: 3 });
         assert_eq!(device.workers(), 3);
         assert_eq!(Device::new(DeviceConfig::sequential()).backend(), Backend::Sequential);
+    }
+
+    #[test]
+    fn threaded_one_worker_runs_on_the_inline_engine() {
+        // `threaded:1` has no parallelism to win, so the device spawns
+        // no pool threads and the launch runs in-order on the caller.
+        let device = Device::new(DeviceConfig::default().with_workers(1));
+        assert_eq!(device.backend(), Backend::Threaded { workers: 1 });
+        assert_eq!(device.workers(), 0, "no cross-thread handoff at one worker");
+        let order = Mutex::new(Vec::new());
+        device.launch(100, |i| order.lock().push(i));
+        assert_eq!(*order.lock(), (0..100).collect::<Vec<_>>(), "inline engine is in-order");
+    }
+
+    #[test]
+    fn bvh_width_builder_and_accessor() {
+        // The unpinned default follows FDBSCAN_BVH_WIDTH (the CI sweep
+        // axis); without it the layout is binary.
+        let ambient = match std::env::var("FDBSCAN_BVH_WIDTH").as_deref() {
+            Ok("8") | Ok("wide") => 8,
+            _ => 2,
+        };
+        assert_eq!(Device::new(DeviceConfig::sequential()).bvh_width(), ambient);
+        // Explicit pins beat the environment in both directions.
+        let wide = Device::new(DeviceConfig::sequential().with_bvh_width(8));
+        assert_eq!(wide.bvh_width(), 8);
+        assert_eq!(wide.clone().bvh_width(), 8, "clones keep the width");
+        assert_eq!(Device::new(DeviceConfig::sequential().with_bvh_width(2)).bvh_width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "BVH width must be 2 or 8")]
+    fn bvh_width_rejects_unsupported_widths() {
+        let _ = DeviceConfig::sequential().with_bvh_width(4);
     }
 
     #[test]

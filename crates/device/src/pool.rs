@@ -111,6 +111,12 @@ struct Job {
     kernel: *const (dyn Fn(Range<usize>) + Sync),
     n: usize,
     block: usize,
+    /// Blocks claimed per cursor `fetch_add`. Claimed runs are executed
+    /// as individual `block`-sized sub-blocks (kernels still see ranges
+    /// aligned to `block`, which fault injection relies on); claiming
+    /// several per pull divides the atomic traffic on the shared cursor
+    /// by `chunk`.
+    chunk: usize,
     /// Cooperative watchdog deadline: checked before each block pull.
     /// A kernel that blocks forever inside a single block defeats it —
     /// same contract as a real GPU watchdog, which can only reset
@@ -146,41 +152,65 @@ impl Job {
         let kernel = unsafe { &*self.kernel };
         let mut busy = Duration::ZERO;
         let mut pulled = 0u64;
-        loop {
+        'claim: loop {
+            // Deadline check precedes the claim *and* the exhaustion
+            // test, so a participant returning late from a long block
+            // still reports the timeout even after the cursor drained.
             if let Some(deadline) = self.deadline {
                 if Instant::now() >= deadline {
                     self.timed_out.store(true, Ordering::Relaxed);
-                    // Cancel remaining blocks; in-flight blocks on other
-                    // workers finish their current block first.
+                    // Cancel remaining blocks; in-flight blocks on
+                    // other workers finish their current block first.
                     self.cursor.store(self.n, Ordering::Relaxed);
                     break;
                 }
             }
-            let start = self.cursor.fetch_add(self.block, Ordering::Relaxed);
+            // One fetch_add claims a run of `chunk` blocks; the run is
+            // then executed as `block`-sized sub-blocks in ascending
+            // order, so kernels observe the same aligned ranges as with
+            // per-block claiming — only the cursor traffic changes.
+            let start = self.cursor.fetch_add(self.chunk * self.block, Ordering::Relaxed);
             if start >= self.n {
                 break;
             }
-            let end = (start + self.block).min(self.n);
-            // Clock reads are gated on `measure`: an untraced launch pays
-            // zero timing overhead per block.
-            let block_start = if self.measure { Some(Instant::now()) } else { None };
-            let result = catch_unwind(AssertUnwindSafe(|| kernel(start..end)));
-            if let Some(block_start) = block_start {
-                busy += block_start.elapsed();
-                pulled += 1;
-            }
-            if let Err(panic) = result {
-                let mut slot = self.payload.lock();
-                if slot.is_none() {
-                    *slot = Some(payload_to_string(panic.as_ref()));
+            let claim_end = (start + self.chunk * self.block).min(self.n);
+            let mut sub = start;
+            while sub < claim_end {
+                // Between sub-blocks of a multi-block claim the watchdog
+                // still fires promptly (the first sub-block was covered
+                // by the loop-top check).
+                if sub > start {
+                    if let Some(deadline) = self.deadline {
+                        if Instant::now() >= deadline {
+                            self.timed_out.store(true, Ordering::Relaxed);
+                            self.cursor.store(self.n, Ordering::Relaxed);
+                            break 'claim;
+                        }
+                    }
                 }
-                drop(slot);
-                self.panicked.store(true, Ordering::Relaxed);
-                // Drain the rest of the index space so the launch still
-                // terminates promptly; remaining indices are skipped, the
-                // launcher will surface the failure.
-                self.cursor.store(self.n, Ordering::Relaxed);
-                break;
+                let end = (sub + self.block).min(claim_end);
+                // Clock reads are gated on `measure`: an untraced launch
+                // pays zero timing overhead per block.
+                let block_start = if self.measure { Some(Instant::now()) } else { None };
+                let result = catch_unwind(AssertUnwindSafe(|| kernel(sub..end)));
+                if let Some(block_start) = block_start {
+                    busy += block_start.elapsed();
+                    pulled += 1;
+                }
+                if let Err(panic) = result {
+                    let mut slot = self.payload.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload_to_string(panic.as_ref()));
+                    }
+                    drop(slot);
+                    self.panicked.store(true, Ordering::Relaxed);
+                    // Drain the rest of the index space so the launch
+                    // still terminates promptly; remaining indices are
+                    // skipped, the launcher will surface the failure.
+                    self.cursor.store(self.n, Ordering::Relaxed);
+                    break 'claim;
+                }
+                sub = end;
             }
         }
         if self.measure {
@@ -216,6 +246,22 @@ pub struct WorkerPool {
     handles: Vec<std::thread::JoinHandle<()>>,
     /// Launches currently executing (occupancy gauge for telemetry).
     active: AtomicUsize,
+    /// `FDBSCAN_POOL_CHUNK` override for the per-pull claim size, read
+    /// once at pool construction. `None` = auto-tune per launch.
+    chunk_override: Option<usize>,
+}
+
+/// Upper bound on the auto-tuned claim size: large enough to amortize
+/// the cursor `fetch_add`, small enough that a straggler's tail claim
+/// cannot dominate a launch.
+const MAX_AUTO_CHUNK: usize = 16;
+
+/// Blocks claimed per cursor pull for a launch of `total_blocks` blocks
+/// over `participants` pullers: about 8 pulls per participant, so claim
+/// overheads amortize while the final grid-stride pass still balances.
+/// Small launches degrade to per-block claiming (chunk 1).
+fn auto_chunk(total_blocks: usize, participants: usize) -> usize {
+    (total_blocks / (participants.max(1) * 8)).clamp(1, MAX_AUTO_CHUNK)
 }
 
 /// Decrements the pool's active-launch count on every exit path of a
@@ -249,7 +295,11 @@ impl WorkerPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        Self { sender, handles, active: AtomicUsize::new(0) }
+        let chunk_override = std::env::var("FDBSCAN_POOL_CHUNK")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0);
+        Self { sender, handles, active: AtomicUsize::new(0), chunk_override }
     }
 
     /// Number of worker threads.
@@ -301,10 +351,13 @@ impl WorkerPool {
             >(kernel as *const _)
         };
         let participants = self.handles.len() + 1;
+        let chunk =
+            self.chunk_override.unwrap_or_else(|| auto_chunk(n.div_ceil(block), participants));
         let job = Arc::new(Job {
             kernel: erased,
             n,
             block,
+            chunk,
             deadline,
             cursor: AtomicUsize::new(0),
             pending: AtomicUsize::new(participants),
@@ -779,6 +832,64 @@ mod tests {
         assert_eq!(profile.participants(), 1);
         assert_eq!(profile.blocks(), 13);
         assert_eq!(profile.passes(), 13);
+    }
+
+    #[test]
+    fn auto_chunk_scales_with_launch_size() {
+        // Small launches keep per-block claiming so every participant
+        // gets work; big launches claim runs, capped for tail balance.
+        assert_eq!(auto_chunk(1, 4), 1);
+        assert_eq!(auto_chunk(25, 3), 1);
+        assert_eq!(auto_chunk(125, 3), 5);
+        assert_eq!(auto_chunk(10_000, 3), MAX_AUTO_CHUNK);
+        assert_eq!(auto_chunk(100, 0), MAX_AUTO_CHUNK.min(100 / 8));
+    }
+
+    #[test]
+    fn chunked_claims_still_partition_index_space() {
+        // Large enough that auto_chunk claims multi-block runs: the
+        // sub-blocks must still cover every index exactly once and never
+        // exceed the block size.
+        let pool = WorkerPool::new(2);
+        let covered = Mutex::new(vec![false; 9973]);
+        pool.parallel_for_blocks("test", 9973, 8, &|range| {
+            assert!(range.len() <= 8);
+            let mut covered = covered.lock();
+            for i in range {
+                assert!(!covered[i], "index {i} executed twice");
+                covered[i] = true;
+            }
+        });
+        assert!(covered.into_inner().into_iter().all(|c| c));
+    }
+
+    #[test]
+    fn chunked_single_participant_replays_in_order() {
+        // With no workers the launcher claims every chunk itself; the
+        // sub-block schedule must remain the ascending sequential order
+        // (the in-order replay property fault recovery depends on).
+        let pool = WorkerPool::new(0);
+        let order = Mutex::new(Vec::new());
+        pool.parallel_for_blocks("test", 4096, 8, &|range| {
+            order.lock().push(range);
+        });
+        let ranges = order.into_inner();
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, 4096);
+        assert!(ranges.windows(2).all(|w| w[0].end == w[1].start), "sub-blocks must be in order");
+    }
+
+    #[test]
+    fn chunked_claims_keep_block_alignment() {
+        // Fault injection recovers the block index as
+        // `range.start / block_size`; chunked claiming must keep every
+        // sub-block start aligned for that to stay true.
+        let pool = WorkerPool::new(2);
+        let starts = Mutex::new(Vec::new());
+        pool.parallel_for_blocks("test", 5000, 8, &|range| {
+            starts.lock().push(range.start);
+        });
+        assert!(starts.into_inner().into_iter().all(|s| s % 8 == 0));
     }
 
     #[test]

@@ -245,6 +245,8 @@ impl Checkpointable for crate::CountersSnapshot {
             ("kernel_launches", Json::U64(self.kernel_launches)),
             ("distance_computations", Json::U64(self.distance_computations)),
             ("bvh_nodes_visited", Json::U64(self.bvh_nodes_visited)),
+            ("wide_nodes_visited", Json::U64(self.wide_nodes_visited)),
+            ("wide_leaf_lanes", Json::U64(self.wide_leaf_lanes)),
             ("unions", Json::U64(self.unions)),
             ("finds", Json::U64(self.finds)),
             ("label_cas", Json::U64(self.label_cas)),
@@ -267,6 +269,10 @@ impl Checkpointable for crate::CountersSnapshot {
             kernel_launches: req_u64(snapshot, "kernel_launches")?,
             distance_computations: req_u64(snapshot, "distance_computations")?,
             bvh_nodes_visited: req_u64(snapshot, "bvh_nodes_visited")?,
+            // Wide counters postdate the snapshot format: absent in
+            // checkpoints written before the wide layout means zero.
+            wide_nodes_visited: req_u64(snapshot, "wide_nodes_visited").unwrap_or(0),
+            wide_leaf_lanes: req_u64(snapshot, "wide_leaf_lanes").unwrap_or(0),
             unions: req_u64(snapshot, "unions")?,
             finds: req_u64(snapshot, "finds")?,
             label_cas: req_u64(snapshot, "label_cas")?,

@@ -1,6 +1,7 @@
 //! Bench-regression gate: the hot-path work counters (kernel launches,
-//! distance computations, BVH node visits) must not regress more than
-//! 5% against the checked-in `BENCH_hotpaths.json` baseline.
+//! distance computations, BVH node visits, wide-node visits, wide leaf
+//! lanes) must not regress more than 5% against the checked-in
+//! `BENCH_hotpaths.json` baseline.
 //!
 //! The matrix re-runs here on a **sequential** device, so the fresh
 //! counters are exactly reproducible and the 5% headroom is purely for
@@ -106,15 +107,27 @@ fn baseline_covers_the_current_matrix() {
         "baseline carries cases the matrix no longer runs; {REGEN}"
     );
     for (id, counters) in &baseline.cases {
+        let is_tree = id.starts_with("fdbscan");
+        let is_wide = id.ends_with("/wide");
         for ((name, value), expected) in counters.iter().zip(GUARDED_COUNTERS) {
             assert_eq!(name, expected);
             // Every algorithm launches kernels and computes distances;
-            // only the tree-based ones traverse a BVH.
-            let must_be_nonzero = name != "bvh_nodes_visited" || id.starts_with("fdbscan");
+            // only the tree-based ones traverse a BVH, and only the
+            // wide-layout cases exercise the batched path.
+            let must_be_nonzero = match name.as_str() {
+                "bvh_nodes_visited" => is_tree,
+                "wide_nodes_visited" | "wide_leaf_lanes" => is_wide,
+                _ => true,
+            };
             assert!(
                 !must_be_nonzero || *value > 0,
                 "{id}: guarded counter {name} is zero — it guards nothing"
             );
+            // The reverse leak: wide work on a binary-layout case means
+            // the per-cell width selection is broken.
+            if name.starts_with("wide_") && !is_wide {
+                assert_eq!(*value, 0, "{id}: {name} leaked onto a binary-layout case");
+            }
         }
     }
 }
